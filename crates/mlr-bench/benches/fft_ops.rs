@@ -1,0 +1,62 @@
+//! Criterion micro-benchmarks for the FFT substrate: uniform 1-D/2-D FFTs and
+//! the unequally-spaced transforms behind `F_u1D`/`F_u2D`.
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mlr_fft::fft::{Direction, FftPlan};
+use mlr_fft::fft2d::Fft2Batch;
+use mlr_fft::usfft::Usfft1d;
+use mlr_math::rng::seeded;
+use mlr_math::Complex64;
+use rand::Rng;
+
+fn random_signal(n: usize, seed: u64) -> Vec<Complex64> {
+    let mut rng = seeded(seed);
+    (0..n).map(|_| Complex64::new(rng.gen(), rng.gen())).collect()
+}
+
+fn bench_fft1d(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fft1d");
+    for &n in &[256usize, 1024, 4096] {
+        let plan = FftPlan::new(n);
+        let signal = random_signal(n, n as u64);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| {
+                let mut buf = signal.clone();
+                plan.process(&mut buf, Direction::Forward);
+                buf
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_fft2d(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fft2d_plane");
+    for &n in &[64usize, 128] {
+        let batch = Fft2Batch::new(n, n);
+        let plane = random_signal(n * n, n as u64);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| {
+                let mut buf = plane.clone();
+                batch.process_plane(&mut buf, Direction::Forward);
+                buf
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_usfft1d(c: &mut Criterion) {
+    let mut group = c.benchmark_group("usfft1d_forward");
+    for &n in &[64usize, 256] {
+        let freqs: Vec<f64> = (0..n).map(|i| (i as f64 - (n / 2) as f64) / n as f64 * 0.57).collect();
+        let transform = Usfft1d::new(n, freqs);
+        let signal = random_signal(n, 3);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| transform.forward(&signal))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fft1d, bench_fft2d, bench_usfft1d);
+criterion_main!(benches);

@@ -1,0 +1,59 @@
+//! Criterion micro-benchmarks for the memoization substrate: key encoding,
+//! ANN search and cache lookups.
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mlr_lamino::FftOpKind;
+use mlr_math::rng::seeded;
+use mlr_math::Complex64;
+use mlr_memo::ann::{IvfConfig, IvfIndex};
+use mlr_memo::cache::{CacheKind, MemoCache};
+use mlr_memo::encoder::{CnnEncoder, EncoderConfig};
+use rand::Rng;
+use std::sync::Arc;
+
+fn random_chunk(n: usize, seed: u64) -> Vec<Complex64> {
+    let mut rng = seeded(seed);
+    (0..n).map(|_| Complex64::new(rng.gen(), rng.gen())).collect()
+}
+
+fn bench_encoder(c: &mut Criterion) {
+    let encoder = CnnEncoder::new(EncoderConfig::default(), 1);
+    let mut group = c.benchmark_group("cnn_encode");
+    for &n in &[1024usize, 8192] {
+        let chunk = random_chunk(n, n as u64);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| encoder.encode(&chunk))
+        });
+    }
+    group.finish();
+}
+
+fn bench_ann_search(c: &mut Criterion) {
+    let mut rng = seeded(2);
+    let dim = 60;
+    let mut index = IvfIndex::new(dim, IvfConfig::default(), 3);
+    for i in 0..5000u64 {
+        index.add(i, (0..dim).map(|_| rng.gen::<f64>()).collect());
+    }
+    let query: Vec<f64> = (0..dim).map(|_| rng.gen()).collect();
+    c.bench_function("ivf_search_5k", |b| b.iter(|| index.search(&query)));
+}
+
+fn bench_cache_lookup(c: &mut Criterion) {
+    let mut private = MemoCache::new(CacheKind::Private, 64);
+    let mut global = MemoCache::new(CacheKind::Global, 64);
+    let key: Vec<f64> = (0..60).map(|i| i as f64).collect();
+    let value = Arc::new(vec![Complex64::ONE; 1024]);
+    for loc in 0..64 {
+        private.insert(FftOpKind::Fu2D, loc, key.clone(), value.clone(), 0);
+        global.insert(FftOpKind::Fu2D, loc, key.clone(), value.clone(), 0);
+    }
+    c.bench_function("cache_lookup_private", |b| {
+        b.iter(|| private.lookup(FftOpKind::Fu2D, 17, &key, 0.9, 1))
+    });
+    c.bench_function("cache_lookup_global", |b| {
+        b.iter(|| global.lookup(FftOpKind::Fu2D, 17, &key, 0.9, 1))
+    });
+}
+
+criterion_group!(benches, bench_encoder, bench_ann_search, bench_cache_lookup);
+criterion_main!(benches);

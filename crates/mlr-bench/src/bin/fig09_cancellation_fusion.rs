@@ -1,0 +1,53 @@
+//! Figure 9: FFT (one forward + one adjoint pass) and LSP time under the
+//! three strategies: no cancellation/fusion, cancellation only, both.
+use mlr_bench::{compare_row, fmt_secs, header, scale_from_args, write_record};
+use mlr_core::Scale;
+use mlr_sim::workload::{AdmmWorkload, ProblemSize};
+use mlr_sim::CostModel;
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Row {
+    dataset: String,
+    lsp_original: f64,
+    lsp_cancelled_only: f64,
+    lsp_cancelled_fused: f64,
+}
+
+fn main() {
+    header("Figure 9", "operation cancellation and fusion (LSP with N_inner = 4)");
+    let _ = scale_from_args() == Scale::Paper; // the figure is a cost-model projection at paper sizes
+    let cost = CostModel::polaris(1);
+    let mut rows = Vec::new();
+    for (label, size, paper_gain_fft) in [
+        ("1K^3", ProblemSize::paper_1k(), "9.4 % / 7.1 %"),
+        ("1.5K^3", ProblemSize::paper_1_5k(), "75.3 % / 60.1 %"),
+    ] {
+        let w = AdmmWorkload::new(size);
+        let original = w.lsp_time(&cost, false);
+        let fused = w.lsp_time(&cost, true);
+        // Cancellation without fusion: the frequency-domain subtraction runs
+        // on the CPU over COMPLEX64 data instead of being fused on the GPU.
+        let cpu_subtraction = cost.cpu_elementwise_time(size.data_elems() as usize, 2.0, 32.0)
+            - cost.gpu_elementwise_time(size.data_elems() as usize);
+        let cancelled_only = fused + cpu_subtraction.max(0.0) * w.n_inner as f64;
+        println!("dataset {label}:");
+        println!("  LSP w/o cancellation w/o fusion : {}", fmt_secs(original));
+        println!("  LSP w/ cancellation  w/o fusion : {}", fmt_secs(cancelled_only));
+        println!("  LSP w/ cancellation  w/ fusion  : {}", fmt_secs(fused));
+        compare_row(
+            &format!("  improvement from both ({label})"),
+            paper_gain_fft,
+            &mlr_bench::pct(1.0 - fused / original),
+        );
+        rows.push(Row {
+            dataset: label.to_string(),
+            lsp_original: original,
+            lsp_cancelled_only: cancelled_only,
+            lsp_cancelled_fused: fused,
+        });
+    }
+    println!("\n(the larger dataset benefits more, as in the paper; cancellation without fusion");
+    println!(" can lose time on the smaller dataset because the COMPLEX64 subtraction lands on the CPU)");
+    write_record("fig09_cancellation_fusion", &rows);
+}

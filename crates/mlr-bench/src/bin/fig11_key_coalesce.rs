@@ -1,0 +1,42 @@
+//! Figure 11: communication + similarity-search time per chunk with and
+//! without key coalescing.
+use mlr_bench::{compare_row, header, write_record};
+use mlr_sim::workload::ProblemSize;
+use mlr_sim::CostModel;
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Record {
+    without_coalesce_seconds: f64,
+    with_coalesce_seconds: f64,
+    improvement: f64,
+}
+
+fn main() {
+    header("Figure 11", "key coalescing: per-chunk communication and similarity-search time (1K^3)");
+    let size = ProblemSize::paper_1k();
+    let cost = CostModel::polaris(1);
+    let key_bytes: f64 = 60.0 * 8.0; // 60-dimensional f64 key
+    let keys_per_batch = (4096.0 / key_bytes).ceil() as usize;
+    let db_size = 1_000_000;
+
+    // Without coalescing: one message and one single-key search per query.
+    let without = cost.network_message_time(key_bytes) + cost.ann_query_time(db_size, 60, 1, 8);
+    // With coalescing: a 4 KB batch amortised over its keys, plus a batched
+    // (multi-threaded) index lookup.
+    let with = (cost.network_message_time(4096.0)
+        + cost.ann_query_time(db_size, 60, keys_per_batch, 8))
+        / keys_per_batch as f64;
+    let improvement = 1.0 - with / without;
+
+    println!("queries per 4 KB batch: {keys_per_batch}");
+    println!("per-query cost w/o coalescing: {}", mlr_bench::fmt_secs(without));
+    println!("per-query cost w/  coalescing: {}", mlr_bench::fmt_secs(with));
+    compare_row("improvement from key coalescing", "~25 %", &mlr_bench::pct(improvement));
+    let _ = size;
+    write_record("fig11_key_coalesce", &Record {
+        without_coalesce_seconds: without,
+        with_coalesce_seconds: with,
+        improvement,
+    });
+}

@@ -1,0 +1,21 @@
+//! Figure 15: interconnect bandwidth utilisation towards the memory node as
+//! the number of GPUs grows.
+use mlr_bench::{compare_row, header, write_record};
+use mlr_cluster::LatencyExperiment;
+
+fn main() {
+    header("Figure 15", "memory-node interconnect utilisation vs number of GPUs");
+    let experiment = LatencyExperiment::default();
+    let counts = [1usize, 2, 4, 6, 8, 12, 16];
+    let mut rows = Vec::new();
+    println!("{:>5} {:>14}", "GPUs", "utilisation");
+    for &g in &counts {
+        let u = experiment.utilisation(g);
+        println!("{:>5} {:>13.1}%", g, 100.0 * u);
+        rows.push((g, u));
+    }
+    println!();
+    compare_row("utilisation near peak at >= 12 GPUs (3 nodes)", "yes", &format!(
+        "{:.0} % at 12 GPUs", 100.0 * experiment.utilisation(12)));
+    write_record("fig15_bandwidth", &rows);
+}

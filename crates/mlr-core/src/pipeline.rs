@@ -1,0 +1,217 @@
+//! The end-to-end mLR pipeline.
+
+use crate::config::MlrConfig;
+use crate::report::{MlrReport, PaperScaleProjection};
+use mlr_lamino::{LaminoDataset, LaminoGeometry, LaminoOperator};
+use mlr_memo::{EncoderConfig, MemoizedExecutor};
+use mlr_sim::workload::{AdmmWorkload, ProblemSize};
+use mlr_sim::CostModel;
+use mlr_solver::{AdmmResult, AdmmSolver};
+
+/// The end-to-end pipeline: dataset simulation, exact reconstruction,
+/// memoized reconstruction, comparison and paper-scale projection.
+pub struct MlrPipeline {
+    config: MlrConfig,
+    dataset: LaminoDataset,
+    operator: LaminoOperator,
+}
+
+impl MlrPipeline {
+    /// Builds the pipeline: simulates the dataset and constructs the
+    /// laminography operator.
+    pub fn new(config: MlrConfig) -> Self {
+        let p = &config.problem;
+        let geometry = LaminoGeometry::cube(p.n, p.n_angles, p.tilt_degrees);
+        let dataset = LaminoDataset::simulate(geometry.clone(), p.phantom, p.noise, p.seed);
+        let operator = LaminoOperator::new(geometry, config.chunk_size);
+        Self { config, dataset, operator }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &MlrConfig {
+        &self.config
+    }
+
+    /// The simulated dataset (phantom + projections).
+    pub fn dataset(&self) -> &LaminoDataset {
+        &self.dataset
+    }
+
+    /// The laminography operator.
+    pub fn operator(&self) -> &LaminoOperator {
+        &self.operator
+    }
+
+    /// The encoder configuration used for the memoization key encoder,
+    /// scaled down for small problems so tests stay fast.
+    fn encoder_config(&self) -> EncoderConfig {
+        EncoderConfig {
+            input_grid: 8,
+            conv1_filters: 4,
+            conv2_filters: 8,
+            embedding_dim: 32,
+            learning_rate: 1e-3,
+        }
+    }
+
+    /// Runs the exact (non-memoized) ADMM-FFT reconstruction.
+    pub fn run_exact(&self) -> AdmmResult {
+        let solver = AdmmSolver::new(self.config.admm);
+        solver.run(&self.operator, &self.dataset.projections)
+    }
+
+    /// Runs the memoized (mLR) reconstruction; returns the result and the
+    /// executor holding all memoization statistics.
+    pub fn run_memoized(&self) -> (AdmmResult, MemoizedExecutor) {
+        let executor =
+            MemoizedExecutor::new(self.config.memo, self.encoder_config(), self.config.problem.seed);
+        let solver = AdmmSolver::new(self.config.admm);
+        let result = solver.run_with(&self.operator, &self.dataset.projections, &executor);
+        (result, executor)
+    }
+
+    /// Runs both pipelines and assembles the comparison report.
+    pub fn run_comparison(&self) -> MlrReport {
+        let exact = self.run_exact();
+        let (memo, executor) = self.run_memoized();
+
+        let accuracy =
+            mlr_solver::accuracy_vs_reference(&exact.reconstruction, &memo.reconstruction);
+        let stats = executor.stats();
+        let total = stats.total();
+        let exact_compute_seconds: f64 = exact
+            .history
+            .records()
+            .iter()
+            .map(|r| r.lsp_seconds)
+            .sum();
+        let memo_compute_seconds: f64 =
+            memo.history.records().iter().map(|r| r.lsp_seconds).sum();
+
+        MlrReport {
+            accuracy,
+            avoided_fraction: total.avoided_fraction(),
+            case_distribution: stats.case_distribution(),
+            exact_compute_seconds,
+            memo_compute_seconds,
+            exact_loss: exact.history.loss_series(),
+            memo_loss: memo.history.loss_series(),
+            memo_stats: stats,
+            cache_hit_rate: executor.cache_stats().hit_rate(),
+            db_bytes: executor.db_value_bytes(),
+        }
+    }
+
+    /// Projects the measured memoization behaviour onto one of the paper's
+    /// problem sizes using the analytic cost model: the original ADMM-FFT
+    /// runs Algorithm 1 with no memoization; mLR runs Algorithm 2 with the
+    /// measured case distribution deciding how many USFFT stages are replaced
+    /// by database or cache retrievals.
+    pub fn project_to_paper_scale(
+        &self,
+        n: usize,
+        case_distribution: (f64, f64, f64),
+    ) -> PaperScaleProjection {
+        let size = ProblemSize::cube(n, 16);
+        let workload = AdmmWorkload::new(size);
+        let cost = CostModel::polaris(1);
+        let (_f_fail, f_db, f_cache) = case_distribution;
+        let hit = (f_db + f_cache).clamp(0.0, 1.0);
+
+        // Original: Algorithm 1 LSP, nothing memoized.
+        let original_iter = workload.iteration_time(&cost, false);
+
+        // mLR: Algorithm 2 LSP where a `hit` fraction of every USFFT stage is
+        // replaced by retrieval (network transfer of the value for DB hits,
+        // DRAM copy for cache hits) plus key encoding for every invocation.
+        let xfer = cost.pcie_time(workload.stage_transfer_bytes());
+        let stage_times = [
+            workload.fu1d_time(&cost),
+            workload.fu2d_time(&cost),
+            workload.fu2d_time(&cost),
+            workload.fu1d_time(&cost),
+        ];
+        let value_bytes = 16.0 * size.voxels() as f64;
+        let db_retrieval = cost.network_bulk_time(value_bytes)
+            + cost.ann_query_time(1_000_000, 60, size.num_chunks(), 8);
+        let cache_retrieval = cost.dram_copy_time(value_bytes);
+        let encode = cost.cnn_encode_time(size.voxels() as usize);
+        let hit_retrieval = if hit > 0.0 {
+            (f_db * db_retrieval + f_cache * cache_retrieval) / hit
+        } else {
+            0.0
+        };
+        let lsp_inner: f64 = stage_times
+            .iter()
+            .map(|&compute| {
+                let exact_path = compute.max(xfer);
+                (1.0 - hit) * exact_path + hit * hit_retrieval + encode
+            })
+            .sum::<f64>()
+            + cost.gpu_elementwise_time(size.data_elems() as usize)
+            + workload.cg_update_time(&cost);
+        let mlr_iter = lsp_inner * workload.n_inner as f64
+            + workload.rsp_time(&cost)
+            + workload.lambda_update_time(&cost)
+            + workload.penalty_update_time(&cost);
+
+        PaperScaleProjection {
+            n,
+            original_seconds: original_iter,
+            mlr_seconds: mlr_iter,
+            normalized_time: mlr_iter / original_iter,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::MlrConfig;
+
+    fn tiny_pipeline(tau: f64) -> MlrPipeline {
+        MlrPipeline::new(MlrConfig::quick(12, 8).with_tau(tau).with_iterations(6))
+    }
+
+    #[test]
+    fn comparison_report_is_consistent() {
+        let p = tiny_pipeline(0.92);
+        let report = p.run_comparison();
+        // Memoization must not destroy the reconstruction.
+        assert!(report.accuracy > 0.8, "accuracy {}", report.accuracy);
+        assert!(report.accuracy <= 1.0 + 1e-12);
+        // Something was memoized across 6 iterations of a converging solver.
+        assert!(report.avoided_fraction > 0.0, "nothing was reused");
+        let (f, d, c) = report.case_distribution;
+        assert!((f + d + c - 1.0).abs() < 1e-9);
+        assert!(report.db_bytes > 0);
+        // Loss curves recorded for both runs.
+        assert_eq!(report.exact_loss.len(), 6);
+        assert_eq!(report.memo_loss.len(), 6);
+    }
+
+    #[test]
+    fn disabling_memoization_gives_identical_reconstruction() {
+        let p = MlrPipeline::new(MlrConfig::quick(12, 8).with_iterations(4).with_memoization(false));
+        let exact = p.run_exact();
+        let (memo, executor) = p.run_memoized();
+        let err = mlr_math::norms::relative_error(&exact.reconstruction, &memo.reconstruction);
+        assert!(err < 1e-12, "disabled memoization must be bit-equivalent, err {err}");
+        assert_eq!(executor.stats().total().db_hits, 0);
+    }
+
+    #[test]
+    fn paper_scale_projection_shows_improvement() {
+        let p = tiny_pipeline(0.92);
+        // Use the paper's reported case distribution directly.
+        let proj_1k = p.project_to_paper_scale(1024, (0.53, 0.19, 0.28));
+        let proj_2k = p.project_to_paper_scale(2048, (0.53, 0.19, 0.28));
+        assert!(proj_1k.normalized_time < 1.0);
+        assert!(proj_1k.improvement_percent() > 10.0);
+        assert!(proj_2k.normalized_time < 1.0);
+        // No memoization hits → little to no improvement from memoization
+        // (only cancellation/fusion remains).
+        let proj_none = p.project_to_paper_scale(1024, (1.0, 0.0, 0.0));
+        assert!(proj_none.normalized_time > proj_1k.normalized_time);
+    }
+}

@@ -1,0 +1,232 @@
+//! Two-dimensional and batched FFTs.
+//!
+//! `F_2D` in the paper is a per-projection 2-D FFT over the detector plane
+//! (`h × w`), applied independently to every projection angle. The batched
+//! form is therefore the hot path: a 3-D array of shape `(nθ, h, w)` is
+//! transformed plane by plane. Planes are independent, so the batch runs
+//! under rayon — this is the CPU stand-in for the paper's GPU execution; the
+//! simulated GPU timing lives in `mlr-sim`.
+
+use crate::fft::{Direction, FftPlan, FftPlanner};
+use mlr_math::{Array3, Complex64, Shape3};
+use rayon::prelude::*;
+
+/// In-place 2-D FFT of a row-major `rows × cols` plane.
+pub fn fft2_inplace(data: &mut [Complex64], rows: usize, cols: usize, dir: Direction) {
+    assert_eq!(data.len(), rows * cols, "fft2 length mismatch");
+    let row_plan = FftPlan::new(cols.max(1));
+    let col_plan = FftPlan::new(rows.max(1));
+    // Transform rows.
+    for r in 0..rows {
+        row_plan.process(&mut data[r * cols..(r + 1) * cols], dir);
+    }
+    // Transform columns through a scratch buffer.
+    let mut col = vec![Complex64::ZERO; rows];
+    for c in 0..cols {
+        for r in 0..rows {
+            col[r] = data[r * cols + c];
+        }
+        col_plan.process(&mut col, dir);
+        for r in 0..rows {
+            data[r * cols + c] = col[r];
+        }
+    }
+}
+
+/// In-place inverse 2-D FFT (normalised by `1/(rows·cols)`).
+pub fn ifft2_inplace(data: &mut [Complex64], rows: usize, cols: usize) {
+    fft2_inplace(data, rows, cols, Direction::Inverse);
+}
+
+/// A reusable batched 2-D FFT over the planes of a 3-D array.
+///
+/// The plan caches the row/column twiddle tables once, then transforms every
+/// `(axis-0) plane` of the input in parallel.
+pub struct Fft2Batch {
+    rows: usize,
+    cols: usize,
+    row_plan: std::sync::Arc<FftPlan>,
+    col_plan: std::sync::Arc<FftPlan>,
+}
+
+impl Fft2Batch {
+    /// Creates a batch plan for planes of `rows × cols`.
+    pub fn new(rows: usize, cols: usize) -> Self {
+        let planner = FftPlanner::new();
+        Self {
+            rows,
+            cols,
+            row_plan: planner.plan(cols.max(1)),
+            col_plan: planner.plan(rows.max(1)),
+        }
+    }
+
+    /// Plane dimensions `(rows, cols)`.
+    pub fn plane_dims(&self) -> (usize, usize) {
+        (self.rows, self.cols)
+    }
+
+    /// Transforms every axis-0 plane of `volume` in place, in parallel.
+    ///
+    /// # Panics
+    /// Panics when the volume's plane dimensions do not match the plan.
+    pub fn process_volume(&self, volume: &mut Array3<Complex64>, dir: Direction) {
+        let shape = volume.shape();
+        assert_eq!(shape.n1, self.rows, "plane row mismatch");
+        assert_eq!(shape.n2, self.cols, "plane col mismatch");
+        let plane_len = self.rows * self.cols;
+        volume
+            .as_mut_slice()
+            .par_chunks_mut(plane_len)
+            .for_each(|plane| self.process_plane(plane, dir));
+    }
+
+    /// Transforms a single row-major plane in place.
+    pub fn process_plane(&self, plane: &mut [Complex64], dir: Direction) {
+        assert_eq!(plane.len(), self.rows * self.cols, "plane length mismatch");
+        for r in 0..self.rows {
+            self.row_plan.process(&mut plane[r * self.cols..(r + 1) * self.cols], dir);
+        }
+        let mut col = vec![Complex64::ZERO; self.rows];
+        for c in 0..self.cols {
+            for r in 0..self.rows {
+                col[r] = plane[r * self.cols + c];
+            }
+            self.col_plan.process(&mut col, dir);
+            for r in 0..self.rows {
+                plane[r * self.cols + c] = col[r];
+            }
+        }
+    }
+
+    /// Out-of-place convenience: returns the transformed copy of `volume`.
+    pub fn transform_volume(&self, volume: &Array3<Complex64>, dir: Direction) -> Array3<Complex64> {
+        let mut out = volume.clone();
+        self.process_volume(&mut out, dir);
+        out
+    }
+}
+
+/// Converts a real 3-D array to complex (imaginary part zero).
+pub fn to_complex(volume: &Array3<f64>) -> Array3<Complex64> {
+    let data = volume.as_slice().iter().map(|&x| Complex64::from_real(x)).collect();
+    Array3::from_vec(volume.shape(), data)
+}
+
+/// Extracts the real part of a complex 3-D array.
+pub fn to_real(volume: &Array3<Complex64>) -> Array3<f64> {
+    let data = volume.as_slice().iter().map(|z| z.re).collect();
+    Array3::from_vec(volume.shape(), data)
+}
+
+/// Creates a complex volume of the given shape filled with zeros.
+pub fn zeros_complex(shape: Shape3) -> Array3<Complex64> {
+    Array3::zeros(shape)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fft::dft_naive;
+    use mlr_math::norms::max_abs_diff_c;
+    use mlr_math::rng::seeded;
+    use rand::Rng;
+
+    fn random_plane(rows: usize, cols: usize, seed: u64) -> Vec<Complex64> {
+        let mut rng = seeded(seed);
+        (0..rows * cols)
+            .map(|_| Complex64::new(rng.gen::<f64>() - 0.5, rng.gen::<f64>() - 0.5))
+            .collect()
+    }
+
+    /// Naive 2-D DFT for ground truth.
+    fn dft2_naive(data: &[Complex64], rows: usize, cols: usize, dir: Direction) -> Vec<Complex64> {
+        // Row pass.
+        let mut tmp = vec![Complex64::ZERO; rows * cols];
+        for r in 0..rows {
+            let row = dft_naive(&data[r * cols..(r + 1) * cols], dir);
+            tmp[r * cols..(r + 1) * cols].copy_from_slice(&row);
+        }
+        // Column pass.
+        let mut out = vec![Complex64::ZERO; rows * cols];
+        for c in 0..cols {
+            let col: Vec<Complex64> = (0..rows).map(|r| tmp[r * cols + c]).collect();
+            let t = dft_naive(&col, dir);
+            for r in 0..rows {
+                out[r * cols + c] = t[r];
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn fft2_matches_naive() {
+        for (rows, cols) in [(4, 4), (8, 16), (6, 10), (5, 7)] {
+            let data = random_plane(rows, cols, (rows * 31 + cols) as u64);
+            let mut fast = data.clone();
+            fft2_inplace(&mut fast, rows, cols, Direction::Forward);
+            let slow = dft2_naive(&data, rows, cols, Direction::Forward);
+            assert!(max_abs_diff_c(&fast, &slow) < 1e-8, "{rows}x{cols}");
+        }
+    }
+
+    #[test]
+    fn fft2_roundtrip() {
+        let (rows, cols) = (16, 12);
+        let data = random_plane(rows, cols, 3);
+        let mut buf = data.clone();
+        fft2_inplace(&mut buf, rows, cols, Direction::Forward);
+        ifft2_inplace(&mut buf, rows, cols);
+        assert!(max_abs_diff_c(&buf, &data) < 1e-9);
+    }
+
+    #[test]
+    fn batch_matches_per_plane() {
+        let shape = Shape3::new(5, 8, 8);
+        let mut rng = seeded(17);
+        let data: Vec<Complex64> = (0..shape.len())
+            .map(|_| Complex64::new(rng.gen::<f64>() - 0.5, rng.gen::<f64>() - 0.5))
+            .collect();
+        let volume = Array3::from_vec(shape, data);
+
+        let batch = Fft2Batch::new(8, 8);
+        let transformed = batch.transform_volume(&volume, Direction::Forward);
+
+        for p in 0..shape.n0 {
+            let mut plane = volume.plane(p).to_vec();
+            fft2_inplace(&mut plane, 8, 8, Direction::Forward);
+            assert!(max_abs_diff_c(&plane, transformed.plane(p)) < 1e-10, "plane {p}");
+        }
+    }
+
+    #[test]
+    fn batch_roundtrip_volume() {
+        let shape = Shape3::new(3, 4, 6);
+        let mut rng = seeded(23);
+        let data: Vec<Complex64> =
+            (0..shape.len()).map(|_| Complex64::new(rng.gen(), rng.gen())).collect();
+        let volume = Array3::from_vec(shape, data);
+        let batch = Fft2Batch::new(4, 6);
+        let fwd = batch.transform_volume(&volume, Direction::Forward);
+        let back = batch.transform_volume(&fwd, Direction::Inverse);
+        assert!(max_abs_diff_c(back.as_slice(), volume.as_slice()) < 1e-9);
+    }
+
+    #[test]
+    fn real_complex_conversions() {
+        let shape = Shape3::cube(3);
+        let real = Array3::from_vec(shape, (0..27).map(|i| i as f64).collect());
+        let c = to_complex(&real);
+        assert_eq!(c[(1, 1, 1)], Complex64::from_real(13.0));
+        let back = to_real(&c);
+        assert_eq!(back, real);
+    }
+
+    #[test]
+    #[should_panic(expected = "plane row mismatch")]
+    fn batch_shape_mismatch_panics() {
+        let batch = Fft2Batch::new(4, 4);
+        let mut volume: Array3<Complex64> = Array3::zeros(Shape3::new(2, 8, 4));
+        batch.process_volume(&mut volume, Direction::Forward);
+    }
+}

@@ -1,0 +1,119 @@
+//! `fftshift` / `ifftshift` / `fftfreq` helpers.
+//!
+//! The laminography operators express frequencies on centered grids
+//! (`k ∈ [-n/2, n/2)`), while the radix-2 FFT produces the standard
+//! "DC-first" ordering. These helpers translate between the two layouts for
+//! both 1-D lines and 2-D planes.
+
+use mlr_math::Complex64;
+
+/// Returns the centered frequency (in cycles per sample) of each FFT output
+/// bin, matching NumPy's `fftfreq(n)` followed by `fftshift`: the result is
+/// monotonically increasing from `-0.5` towards `+0.5`.
+pub fn fftfreq(n: usize) -> Vec<f64> {
+    let half = (n / 2) as isize;
+    (0..n as isize).map(|i| (i - half) as f64 / n as f64).collect()
+}
+
+/// Circularly rotates a 1-D spectrum so the DC bin moves to the center.
+pub fn fftshift_1d<T: Clone>(data: &[T]) -> Vec<T> {
+    let n = data.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let split = n.div_ceil(2);
+    let mut out = Vec::with_capacity(n);
+    out.extend_from_slice(&data[split..]);
+    out.extend_from_slice(&data[..split]);
+    out
+}
+
+/// Inverse of [`fftshift_1d`]: moves the centered DC bin back to index 0.
+pub fn ifftshift_1d<T: Clone>(data: &[T]) -> Vec<T> {
+    let n = data.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let split = n / 2;
+    let mut out = Vec::with_capacity(n);
+    out.extend_from_slice(&data[split..]);
+    out.extend_from_slice(&data[..split]);
+    out
+}
+
+/// 2-D `fftshift` over a row-major `rows × cols` plane.
+pub fn fftshift_2d(data: &[Complex64], rows: usize, cols: usize) -> Vec<Complex64> {
+    assert_eq!(data.len(), rows * cols, "fftshift_2d length mismatch");
+    let row_shifted: Vec<Vec<Complex64>> =
+        (0..rows).map(|r| fftshift_1d(&data[r * cols..(r + 1) * cols])).collect();
+    let row_order = fftshift_1d(&(0..rows).collect::<Vec<_>>());
+    let mut out = Vec::with_capacity(rows * cols);
+    for &r in &row_order {
+        out.extend_from_slice(&row_shifted[r]);
+    }
+    out
+}
+
+/// 2-D `ifftshift` over a row-major `rows × cols` plane.
+pub fn ifftshift_2d(data: &[Complex64], rows: usize, cols: usize) -> Vec<Complex64> {
+    assert_eq!(data.len(), rows * cols, "ifftshift_2d length mismatch");
+    let row_shifted: Vec<Vec<Complex64>> =
+        (0..rows).map(|r| ifftshift_1d(&data[r * cols..(r + 1) * cols])).collect();
+    let row_order = ifftshift_1d(&(0..rows).collect::<Vec<_>>());
+    let mut out = Vec::with_capacity(rows * cols);
+    for &r in &row_order {
+        out.extend_from_slice(&row_shifted[r]);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fftfreq_even_and_odd() {
+        let f4 = fftfreq(4);
+        assert_eq!(f4, vec![-0.5, -0.25, 0.0, 0.25]);
+        let f5 = fftfreq(5);
+        assert_eq!(f5.len(), 5);
+        assert!((f5[2] - 0.0).abs() < 1e-15);
+        assert!(f5.windows(2).all(|w| w[1] > w[0]));
+    }
+
+    #[test]
+    fn shift_roundtrip_even() {
+        let v: Vec<i32> = (0..8).collect();
+        let s = fftshift_1d(&v);
+        assert_eq!(s, vec![4, 5, 6, 7, 0, 1, 2, 3]);
+        assert_eq!(ifftshift_1d(&s), v);
+    }
+
+    #[test]
+    fn shift_roundtrip_odd() {
+        let v: Vec<i32> = (0..7).collect();
+        let s = fftshift_1d(&v);
+        assert_eq!(s, vec![4, 5, 6, 0, 1, 2, 3]);
+        assert_eq!(ifftshift_1d(&s), v);
+    }
+
+    #[test]
+    fn shift_empty() {
+        let v: Vec<i32> = Vec::new();
+        assert!(fftshift_1d(&v).is_empty());
+        assert!(ifftshift_1d(&v).is_empty());
+    }
+
+    #[test]
+    fn shift_2d_roundtrip() {
+        let rows = 3;
+        let cols = 4;
+        let data: Vec<Complex64> =
+            (0..rows * cols).map(|i| Complex64::new(i as f64, -(i as f64))).collect();
+        let shifted = fftshift_2d(&data, rows, cols);
+        let back = ifftshift_2d(&shifted, rows, cols);
+        assert_eq!(back, data);
+        // DC (index 0) should end up at the center position (row 1, col 2).
+        assert_eq!(shifted[1 * cols + 2], data[0]);
+    }
+}

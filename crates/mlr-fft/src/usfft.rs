@@ -1,0 +1,636 @@
+//! Unequally-spaced FFT (USFFT / NUFFT) in one and two dimensions.
+//!
+//! The laminography operators `F_u1D` and `F_u2D` evaluate discrete Fourier
+//! sums at frequencies that are **not** on the uniform grid — the tilted
+//! acquisition geometry places the Fourier-slice planes obliquely in the 3-D
+//! spectrum. The classical fast algorithm (Dutt & Rokhlin 1993;
+//! Greengard & Lee 2004) is used here:
+//!
+//! 1. pre-compensate the uniform samples by the inverse Fourier transform of
+//!    a Gaussian spreading kernel,
+//! 2. evaluate an oversampled uniform FFT (zero-padded fine grid),
+//! 3. interpolate to each non-uniform frequency with the Gaussian kernel.
+//!
+//! The adjoint is implemented as the **exact transpose** of the forward
+//! linear map (spread → unscaled inverse FFT → compensate), so the pair
+//! satisfies `⟨F x, y⟩ = ⟨x, F* y⟩` to machine precision — a property the
+//! conjugate-gradient iterations inside ADMM rely on. Accuracy against the
+//! direct (naive) non-uniform sum is ~1e-9 with the default parameters
+//! (oversampling 2, kernel half-width 10).
+
+use crate::fft::{Direction, FftPlan};
+use mlr_math::Complex64;
+use rayon::prelude::*;
+use std::f64::consts::PI;
+use std::sync::Arc;
+
+/// Default oversampling ratio of the fine grid.
+pub const DEFAULT_OVERSAMPLING: usize = 2;
+/// Default kernel half-width in fine-grid cells.
+pub const DEFAULT_HALF_WIDTH: usize = 10;
+
+/// Computes the Gaussian variance parameter `sigma` for a transform of size
+/// `n`, oversampling ratio `r` and kernel half-width `m_sp`, following
+/// Greengard & Lee with the frequency variable expressed in cycles/sample.
+fn gaussian_sigma(n: usize, r: usize, m_sp: usize) -> f64 {
+    let rf = r as f64;
+    m_sp as f64 / (4.0 * PI * (n as f64) * (n as f64) * rf * (rf - 0.5))
+}
+
+/// One-dimensional unequally-spaced FFT.
+///
+/// Maps `n` uniform samples (centered integer indices `p = -n/2 .. n/2-1`)
+/// to values of the Fourier sum `Σ_p u[p]·exp(-2πi·ω·p)` at a fixed list of
+/// non-uniform frequencies `ω ∈ [-0.5, 0.5)` (cycles per sample).
+pub struct Usfft1d {
+    n: usize,
+    nr: usize,
+    m_sp: usize,
+    sigma: f64,
+    freqs: Vec<f64>,
+    deconv: Vec<f64>,
+    scale: f64,
+    plan: Arc<FftPlan>,
+}
+
+impl Usfft1d {
+    /// Creates a transform for `n` uniform samples evaluated at the given
+    /// non-uniform frequencies (cycles/sample, any values — they are wrapped
+    /// periodically onto `[-0.5, 0.5)`).
+    ///
+    /// # Panics
+    /// Panics when `n == 0`.
+    pub fn new(n: usize, freqs: Vec<f64>) -> Self {
+        Self::with_params(n, freqs, DEFAULT_OVERSAMPLING, DEFAULT_HALF_WIDTH)
+    }
+
+    /// Creates a transform with explicit oversampling and kernel half-width.
+    ///
+    /// # Panics
+    /// Panics when `n == 0`, `oversampling < 2`, or `half_width == 0`.
+    pub fn with_params(n: usize, freqs: Vec<f64>, oversampling: usize, half_width: usize) -> Self {
+        assert!(n > 0, "USFFT size must be positive");
+        assert!(oversampling >= 2, "oversampling must be >= 2");
+        assert!(half_width > 0, "kernel half-width must be positive");
+        let nr = (n * oversampling).next_power_of_two();
+        let sigma = gaussian_sigma(n, oversampling, half_width);
+        let deconv: Vec<f64> = (0..n)
+            .map(|j| {
+                let p = j as f64 - (n / 2) as f64;
+                (4.0 * PI * PI * sigma * p * p).exp()
+            })
+            .collect();
+        let scale = 1.0 / (nr as f64 * (4.0 * PI * sigma).sqrt());
+        Self { n, nr, m_sp: half_width, sigma, freqs, deconv, scale, plan: Arc::new(FftPlan::new(nr)) }
+    }
+
+    /// Number of uniform input samples.
+    pub fn input_len(&self) -> usize {
+        self.n
+    }
+
+    /// Number of non-uniform output frequencies.
+    pub fn output_len(&self) -> usize {
+        self.freqs.len()
+    }
+
+    /// The non-uniform frequencies this transform evaluates.
+    pub fn freqs(&self) -> &[f64] {
+        &self.freqs
+    }
+
+    #[inline]
+    fn kernel(&self, dist_cells: f64) -> f64 {
+        let d = dist_cells / self.nr as f64;
+        (-(d * d) / (4.0 * self.sigma)).exp()
+    }
+
+    /// Forward transform: `out[k] = Σ_p u[p]·exp(-2πi·ω_k·p)`.
+    ///
+    /// # Panics
+    /// Panics when `u.len() != self.input_len()`.
+    pub fn forward(&self, u: &[Complex64]) -> Vec<Complex64> {
+        assert_eq!(u.len(), self.n, "USFFT input length mismatch");
+        // 1. Pre-compensate and place on the fine grid at (p mod nr).
+        let mut fine = vec![Complex64::ZERO; self.nr];
+        let half = (self.n / 2) as isize;
+        for (j, &val) in u.iter().enumerate() {
+            let p = j as isize - half;
+            let idx = p.rem_euclid(self.nr as isize) as usize;
+            fine[idx] = val.scale(self.deconv[j]);
+        }
+        // 2. Oversampled FFT: fine[q] = Σ_p v[p]·exp(-2πi·q·p/nr).
+        self.plan.process(&mut fine, Direction::Forward);
+        // 3. Interpolate to each non-uniform frequency.
+        self.interpolate(&fine)
+    }
+
+    fn interpolate(&self, fine: &[Complex64]) -> Vec<Complex64> {
+        let nr = self.nr as isize;
+        let m_sp = self.m_sp as isize;
+        self.freqs
+            .iter()
+            .map(|&w| {
+                let center = wrap_unit(w) * self.nr as f64;
+                let q0 = center.round() as isize;
+                let mut acc = Complex64::ZERO;
+                for l in -m_sp..=m_sp {
+                    let q = q0 + l;
+                    let weight = self.kernel(center - q as f64);
+                    let idx = q.rem_euclid(nr) as usize;
+                    acc += fine[idx].scale(weight);
+                }
+                acc.scale(self.scale)
+            })
+            .collect()
+    }
+
+    /// Adjoint transform: `out[p] = Σ_k y[k]·exp(+2πi·ω_k·p)`, implemented as
+    /// the exact transpose of [`Self::forward`].
+    ///
+    /// # Panics
+    /// Panics when `y.len() != self.output_len()`.
+    pub fn adjoint(&self, y: &[Complex64]) -> Vec<Complex64> {
+        assert_eq!(y.len(), self.freqs.len(), "USFFT adjoint input length mismatch");
+        let nr = self.nr as isize;
+        let m_sp = self.m_sp as isize;
+        // 1. Spread each non-uniform value onto the fine grid (transpose of
+        //    the interpolation step).
+        let mut fine = vec![Complex64::ZERO; self.nr];
+        for (k, &val) in y.iter().enumerate() {
+            let center = wrap_unit(self.freqs[k]) * self.nr as f64;
+            let q0 = center.round() as isize;
+            let scaled = val.scale(self.scale);
+            for l in -m_sp..=m_sp {
+                let q = q0 + l;
+                let weight = self.kernel(center - q as f64);
+                let idx = q.rem_euclid(nr) as usize;
+                fine[idx] += scaled.scale(weight);
+            }
+        }
+        // 2. Conjugate-transpose of the forward FFT = unscaled inverse FFT.
+        self.plan.process_unscaled(&mut fine, Direction::Inverse);
+        // 3. Transpose of placement + compensation.
+        let half = (self.n / 2) as isize;
+        (0..self.n)
+            .map(|j| {
+                let p = j as isize - half;
+                let idx = p.rem_euclid(nr) as usize;
+                fine[idx].scale(self.deconv[j])
+            })
+            .collect()
+    }
+
+    /// Naive `O(n·m)` evaluation of the forward transform (ground truth for
+    /// tests and for the small exact paths in examples).
+    pub fn forward_naive(&self, u: &[Complex64]) -> Vec<Complex64> {
+        assert_eq!(u.len(), self.n, "USFFT input length mismatch");
+        let half = (self.n / 2) as isize;
+        self.freqs
+            .iter()
+            .map(|&w| {
+                let mut acc = Complex64::ZERO;
+                for (j, &val) in u.iter().enumerate() {
+                    let p = (j as isize - half) as f64;
+                    acc += val * Complex64::cis(-2.0 * PI * w * p);
+                }
+                acc
+            })
+            .collect()
+    }
+
+    /// Naive `O(n·m)` evaluation of the adjoint transform.
+    pub fn adjoint_naive(&self, y: &[Complex64]) -> Vec<Complex64> {
+        assert_eq!(y.len(), self.freqs.len(), "USFFT adjoint input length mismatch");
+        let half = (self.n / 2) as isize;
+        (0..self.n)
+            .map(|j| {
+                let p = (j as isize - half) as f64;
+                let mut acc = Complex64::ZERO;
+                for (k, &val) in y.iter().enumerate() {
+                    acc += val * Complex64::cis(2.0 * PI * self.freqs[k] * p);
+                }
+                acc
+            })
+            .collect()
+    }
+}
+
+/// Wraps a frequency onto `[0, 1)` (the fine-grid index space is periodic).
+#[inline]
+fn wrap_unit(w: f64) -> f64 {
+    let r = w.rem_euclid(1.0);
+    if r >= 1.0 {
+        0.0
+    } else {
+        r
+    }
+}
+
+/// Two-dimensional unequally-spaced FFT.
+///
+/// Maps an `n1 × n2` uniform grid (centered indices) to the Fourier sum
+/// `Σ_{p1,p2} u[p1,p2]·exp(-2πi(ω1·p1 + ω2·p2))` evaluated at a list of
+/// non-uniform frequency pairs `(ω1, ω2)`.
+pub struct Usfft2d {
+    n1: usize,
+    n2: usize,
+    nr1: usize,
+    nr2: usize,
+    m_sp: usize,
+    sigma1: f64,
+    sigma2: f64,
+    freqs: Vec<(f64, f64)>,
+    deconv1: Vec<f64>,
+    deconv2: Vec<f64>,
+    scale: f64,
+    plan1: Arc<FftPlan>,
+    plan2: Arc<FftPlan>,
+}
+
+impl Usfft2d {
+    /// Creates a transform for an `n1 × n2` uniform grid evaluated at the
+    /// given non-uniform frequency pairs `(ω1, ω2)` in cycles/sample.
+    ///
+    /// # Panics
+    /// Panics when either dimension is zero.
+    pub fn new(n1: usize, n2: usize, freqs: Vec<(f64, f64)>) -> Self {
+        Self::with_params(n1, n2, freqs, DEFAULT_OVERSAMPLING, DEFAULT_HALF_WIDTH)
+    }
+
+    /// Creates a transform with explicit oversampling and kernel half-width.
+    ///
+    /// # Panics
+    /// Panics when a dimension is zero, `oversampling < 2`, or `half_width == 0`.
+    pub fn with_params(
+        n1: usize,
+        n2: usize,
+        freqs: Vec<(f64, f64)>,
+        oversampling: usize,
+        half_width: usize,
+    ) -> Self {
+        assert!(n1 > 0 && n2 > 0, "USFFT2D dimensions must be positive");
+        assert!(oversampling >= 2, "oversampling must be >= 2");
+        assert!(half_width > 0, "kernel half-width must be positive");
+        let nr1 = (n1 * oversampling).next_power_of_two();
+        let nr2 = (n2 * oversampling).next_power_of_two();
+        let sigma1 = gaussian_sigma(n1, oversampling, half_width);
+        let sigma2 = gaussian_sigma(n2, oversampling, half_width);
+        let deconv = |n: usize, sigma: f64| -> Vec<f64> {
+            (0..n)
+                .map(|j| {
+                    let p = j as f64 - (n / 2) as f64;
+                    (4.0 * PI * PI * sigma * p * p).exp()
+                })
+                .collect()
+        };
+        let scale = 1.0
+            / (nr1 as f64 * (4.0 * PI * sigma1).sqrt())
+            / (nr2 as f64 * (4.0 * PI * sigma2).sqrt());
+        Self {
+            n1,
+            n2,
+            nr1,
+            nr2,
+            m_sp: half_width,
+            sigma1,
+            sigma2,
+            freqs,
+            deconv1: deconv(n1, sigma1),
+            deconv2: deconv(n2, sigma2),
+            scale,
+            plan1: Arc::new(FftPlan::new(nr1)),
+            plan2: Arc::new(FftPlan::new(nr2)),
+        }
+    }
+
+    /// Uniform grid dimensions `(n1, n2)`.
+    pub fn input_dims(&self) -> (usize, usize) {
+        (self.n1, self.n2)
+    }
+
+    /// Number of non-uniform output frequencies.
+    pub fn output_len(&self) -> usize {
+        self.freqs.len()
+    }
+
+    /// The non-uniform frequency pairs this transform evaluates.
+    pub fn freqs(&self) -> &[(f64, f64)] {
+        &self.freqs
+    }
+
+    #[inline]
+    fn kernel1(&self, dist_cells: f64) -> f64 {
+        let d = dist_cells / self.nr1 as f64;
+        (-(d * d) / (4.0 * self.sigma1)).exp()
+    }
+
+    #[inline]
+    fn kernel2(&self, dist_cells: f64) -> f64 {
+        let d = dist_cells / self.nr2 as f64;
+        (-(d * d) / (4.0 * self.sigma2)).exp()
+    }
+
+    /// Builds the pre-compensated, zero-embedded fine grid and transforms it.
+    fn fine_forward(&self, u: &[Complex64]) -> Vec<Complex64> {
+        let mut fine = vec![Complex64::ZERO; self.nr1 * self.nr2];
+        let half1 = (self.n1 / 2) as isize;
+        let half2 = (self.n2 / 2) as isize;
+        for j1 in 0..self.n1 {
+            let p1 = j1 as isize - half1;
+            let r1 = p1.rem_euclid(self.nr1 as isize) as usize;
+            for j2 in 0..self.n2 {
+                let p2 = j2 as isize - half2;
+                let r2 = p2.rem_euclid(self.nr2 as isize) as usize;
+                fine[r1 * self.nr2 + r2] =
+                    u[j1 * self.n2 + j2].scale(self.deconv1[j1] * self.deconv2[j2]);
+            }
+        }
+        self.fft_fine(&mut fine, Direction::Forward, true);
+        fine
+    }
+
+    /// Row–column transform of the fine grid. `scaled` selects the normalised
+    /// inverse (not used here) vs. the unscaled conjugate transpose.
+    fn fft_fine(&self, fine: &mut [Complex64], dir: Direction, scaled: bool) {
+        // Rows (length nr2), parallel over rows.
+        fine.par_chunks_mut(self.nr2).for_each(|row| {
+            if scaled {
+                self.plan2.process(row, dir);
+            } else {
+                self.plan2.process_unscaled(row, dir);
+            }
+        });
+        // Columns (length nr1).
+        let nr1 = self.nr1;
+        let nr2 = self.nr2;
+        let mut transposed = vec![Complex64::ZERO; nr1 * nr2];
+        for r in 0..nr1 {
+            for c in 0..nr2 {
+                transposed[c * nr1 + r] = fine[r * nr2 + c];
+            }
+        }
+        transposed.par_chunks_mut(nr1).for_each(|col| {
+            if scaled {
+                self.plan1.process(col, dir);
+            } else {
+                self.plan1.process_unscaled(col, dir);
+            }
+        });
+        for c in 0..nr2 {
+            for r in 0..nr1 {
+                fine[r * nr2 + c] = transposed[c * nr1 + r];
+            }
+        }
+    }
+
+    /// Forward transform of a row-major `n1 × n2` grid.
+    ///
+    /// # Panics
+    /// Panics when `u.len() != n1 * n2`.
+    pub fn forward(&self, u: &[Complex64]) -> Vec<Complex64> {
+        assert_eq!(u.len(), self.n1 * self.n2, "USFFT2D input length mismatch");
+        let fine = self.fine_forward(u);
+        let m_sp = self.m_sp as isize;
+        let nr1 = self.nr1 as isize;
+        let nr2 = self.nr2 as isize;
+        self.freqs
+            .par_iter()
+            .map(|&(w1, w2)| {
+                let c1 = wrap_unit(w1) * self.nr1 as f64;
+                let c2 = wrap_unit(w2) * self.nr2 as f64;
+                let q1 = c1.round() as isize;
+                let q2 = c2.round() as isize;
+                let mut acc = Complex64::ZERO;
+                for l1 in -m_sp..=m_sp {
+                    let k1 = self.kernel1(c1 - (q1 + l1) as f64);
+                    let i1 = (q1 + l1).rem_euclid(nr1) as usize;
+                    for l2 in -m_sp..=m_sp {
+                        let k2 = self.kernel2(c2 - (q2 + l2) as f64);
+                        let i2 = (q2 + l2).rem_euclid(nr2) as usize;
+                        acc += fine[i1 * self.nr2 + i2].scale(k1 * k2);
+                    }
+                }
+                acc.scale(self.scale)
+            })
+            .collect()
+    }
+
+    /// Adjoint transform: `out[p1,p2] = Σ_k y[k]·exp(+2πi(ω1_k·p1 + ω2_k·p2))`,
+    /// implemented as the exact transpose of [`Self::forward`].
+    ///
+    /// # Panics
+    /// Panics when `y.len() != self.output_len()`.
+    pub fn adjoint(&self, y: &[Complex64]) -> Vec<Complex64> {
+        assert_eq!(y.len(), self.freqs.len(), "USFFT2D adjoint input length mismatch");
+        let m_sp = self.m_sp as isize;
+        let nr1 = self.nr1 as isize;
+        let nr2 = self.nr2 as isize;
+        let mut fine = vec![Complex64::ZERO; self.nr1 * self.nr2];
+        for (k, &val) in y.iter().enumerate() {
+            let (w1, w2) = self.freqs[k];
+            let c1 = wrap_unit(w1) * self.nr1 as f64;
+            let c2 = wrap_unit(w2) * self.nr2 as f64;
+            let q1 = c1.round() as isize;
+            let q2 = c2.round() as isize;
+            let scaled = val.scale(self.scale);
+            for l1 in -m_sp..=m_sp {
+                let k1 = self.kernel1(c1 - (q1 + l1) as f64);
+                let i1 = (q1 + l1).rem_euclid(nr1) as usize;
+                for l2 in -m_sp..=m_sp {
+                    let k2 = self.kernel2(c2 - (q2 + l2) as f64);
+                    let i2 = (q2 + l2).rem_euclid(nr2) as usize;
+                    fine[i1 * self.nr2 + i2] += scaled.scale(k1 * k2);
+                }
+            }
+        }
+        self.fft_fine(&mut fine, Direction::Inverse, false);
+        let half1 = (self.n1 / 2) as isize;
+        let half2 = (self.n2 / 2) as isize;
+        let mut out = vec![Complex64::ZERO; self.n1 * self.n2];
+        for j1 in 0..self.n1 {
+            let p1 = j1 as isize - half1;
+            let r1 = p1.rem_euclid(nr1) as usize;
+            for j2 in 0..self.n2 {
+                let p2 = j2 as isize - half2;
+                let r2 = p2.rem_euclid(nr2) as usize;
+                out[j1 * self.n2 + j2] =
+                    fine[r1 * self.nr2 + r2].scale(self.deconv1[j1] * self.deconv2[j2]);
+            }
+        }
+        out
+    }
+
+    /// Naive `O(n1·n2·m)` forward evaluation (ground truth for tests).
+    pub fn forward_naive(&self, u: &[Complex64]) -> Vec<Complex64> {
+        assert_eq!(u.len(), self.n1 * self.n2, "USFFT2D input length mismatch");
+        let half1 = (self.n1 / 2) as isize;
+        let half2 = (self.n2 / 2) as isize;
+        self.freqs
+            .iter()
+            .map(|&(w1, w2)| {
+                let mut acc = Complex64::ZERO;
+                for j1 in 0..self.n1 {
+                    let p1 = (j1 as isize - half1) as f64;
+                    for j2 in 0..self.n2 {
+                        let p2 = (j2 as isize - half2) as f64;
+                        acc += u[j1 * self.n2 + j2]
+                            * Complex64::cis(-2.0 * PI * (w1 * p1 + w2 * p2));
+                    }
+                }
+                acc
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mlr_math::norms::{l2_norm_c, max_abs_diff_c};
+    use mlr_math::rng::seeded;
+    use rand::Rng;
+
+    fn random_c(n: usize, seed: u64) -> Vec<Complex64> {
+        let mut rng = seeded(seed);
+        (0..n).map(|_| Complex64::new(rng.gen::<f64>() - 0.5, rng.gen::<f64>() - 0.5)).collect()
+    }
+
+    fn random_freqs(m: usize, seed: u64) -> Vec<f64> {
+        let mut rng = seeded(seed);
+        (0..m).map(|_| rng.gen::<f64>() - 0.5).collect()
+    }
+
+    #[test]
+    fn usfft1d_matches_naive_forward() {
+        let n = 32;
+        let m = 45;
+        let u = random_c(n, 1);
+        let t = Usfft1d::new(n, random_freqs(m, 2));
+        let fast = t.forward(&u);
+        let slow = t.forward_naive(&u);
+        let err = max_abs_diff_c(&fast, &slow) / l2_norm_c(&slow) * (m as f64).sqrt();
+        assert!(err < 1e-5, "relative error {err}");
+    }
+
+    #[test]
+    fn usfft1d_uniform_freqs_match_fft() {
+        // When the "non-uniform" frequencies are exactly the uniform grid
+        // k/n, the USFFT must agree with a centered DFT.
+        let n = 16;
+        let freqs: Vec<f64> = (0..n).map(|k| (k as f64 - (n / 2) as f64) / n as f64).collect();
+        let u = random_c(n, 3);
+        let t = Usfft1d::new(n, freqs.clone());
+        let fast = t.forward(&u);
+        let slow = t.forward_naive(&u);
+        assert!(max_abs_diff_c(&fast, &slow) < 1e-8);
+    }
+
+    #[test]
+    fn usfft1d_adjoint_matches_naive() {
+        let n = 24;
+        let m = 31;
+        let t = Usfft1d::new(n, random_freqs(m, 5));
+        let y = random_c(m, 6);
+        let fast = t.adjoint(&y);
+        let slow = t.adjoint_naive(&y);
+        let err = max_abs_diff_c(&fast, &slow) / l2_norm_c(&slow) * (n as f64).sqrt();
+        assert!(err < 1e-5, "relative error {err}");
+    }
+
+    #[test]
+    fn usfft1d_exact_adjointness() {
+        // <F x, y> == <x, F* y> holds to machine precision because the
+        // adjoint is the literal transpose of the forward map.
+        let n = 40;
+        let m = 27;
+        let t = Usfft1d::new(n, random_freqs(m, 7));
+        let x = random_c(n, 8);
+        let y = random_c(m, 9);
+        let fx = t.forward(&x);
+        let fty = t.adjoint(&y);
+        let lhs: Complex64 = fx.iter().zip(&y).map(|(a, b)| *a * b.conj()).sum();
+        let rhs: Complex64 = x.iter().zip(&fty).map(|(a, b)| *a * b.conj()).sum();
+        assert!((lhs - rhs).abs() < 1e-10 * lhs.abs().max(1.0));
+    }
+
+    #[test]
+    fn usfft1d_frequency_wrapping() {
+        // Frequencies outside [-0.5, 0.5) are periodic aliases.
+        let n = 16;
+        let u = random_c(n, 10);
+        let t1 = Usfft1d::new(n, vec![0.3]);
+        let t2 = Usfft1d::new(n, vec![0.3 - 1.0]);
+        let a = t1.forward(&u);
+        let b = t2.forward(&u);
+        assert!((a[0] - b[0]).abs() < 1e-8);
+    }
+
+    #[test]
+    fn usfft1d_empty_freqs() {
+        let t = Usfft1d::new(8, vec![]);
+        assert_eq!(t.output_len(), 0);
+        let out = t.forward(&random_c(8, 11));
+        assert!(out.is_empty());
+        let back = t.adjoint(&[]);
+        assert_eq!(back.len(), 8);
+        assert!(back.iter().all(|z| z.abs() == 0.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn usfft1d_wrong_input_length_panics() {
+        let t = Usfft1d::new(8, vec![0.1]);
+        let _ = t.forward(&random_c(4, 12));
+    }
+
+    #[test]
+    fn usfft2d_matches_naive_forward() {
+        let (n1, n2) = (12, 16);
+        let m = 40;
+        let mut rng = seeded(13);
+        let freqs: Vec<(f64, f64)> =
+            (0..m).map(|_| (rng.gen::<f64>() - 0.5, rng.gen::<f64>() - 0.5)).collect();
+        let u = random_c(n1 * n2, 14);
+        let t = Usfft2d::new(n1, n2, freqs);
+        let fast = t.forward(&u);
+        let slow = t.forward_naive(&u);
+        let err = max_abs_diff_c(&fast, &slow) / l2_norm_c(&slow) * (m as f64).sqrt();
+        assert!(err < 1e-5, "relative error {err}");
+    }
+
+    #[test]
+    fn usfft2d_exact_adjointness() {
+        let (n1, n2) = (10, 14);
+        let m = 25;
+        let mut rng = seeded(15);
+        let freqs: Vec<(f64, f64)> =
+            (0..m).map(|_| (rng.gen::<f64>() - 0.5, rng.gen::<f64>() - 0.5)).collect();
+        let t = Usfft2d::new(n1, n2, freqs);
+        let x = random_c(n1 * n2, 16);
+        let y = random_c(m, 17);
+        let fx = t.forward(&x);
+        let fty = t.adjoint(&y);
+        let lhs: Complex64 = fx.iter().zip(&y).map(|(a, b)| *a * b.conj()).sum();
+        let rhs: Complex64 = x.iter().zip(&fty).map(|(a, b)| *a * b.conj()).sum();
+        assert!((lhs - rhs).abs() < 1e-9 * lhs.abs().max(1.0));
+    }
+
+    #[test]
+    fn usfft2d_dims_accessors() {
+        let t = Usfft2d::new(8, 6, vec![(0.0, 0.0), (0.1, -0.2)]);
+        assert_eq!(t.input_dims(), (8, 6));
+        assert_eq!(t.output_len(), 2);
+        assert_eq!(t.freqs().len(), 2);
+    }
+
+    #[test]
+    fn usfft2d_dc_frequency_is_sum() {
+        let (n1, n2) = (8, 8);
+        let u = random_c(n1 * n2, 18);
+        let t = Usfft2d::new(n1, n2, vec![(0.0, 0.0)]);
+        let out = t.forward(&u);
+        let total: Complex64 = u.iter().copied().sum();
+        assert!((out[0] - total).abs() < 1e-8 * total.abs().max(1.0));
+    }
+}

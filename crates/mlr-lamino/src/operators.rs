@@ -1,0 +1,662 @@
+//! The factored laminography forward/adjoint operators.
+//!
+//! `L = F*_2D · F_u2D · F_u1D` maps a reconstruction volume
+//! `u ∈ R^(n1, n0, n2)` to projection data `d ∈ R^(nθ, h, w)`; its adjoint
+//! `L* = F*_u1D · F*_u2D · F_2D` maps residual projections back to a volume
+//! gradient. Every stage is exposed *chunk by chunk* through the
+//! [`FftExecutor`] seam, which is where mLR's memoization, the simulated GPU
+//! timing and the multi-GPU distribution plug in without the operator (or
+//! the FFT code) knowing about them — mirroring the paper's claim that mLR
+//! "does not change the FFT algorithm".
+
+use crate::chunk::ChunkGrid;
+use crate::geometry::LaminoGeometry;
+use mlr_fft::fft::Direction;
+use mlr_fft::fft2d::Fft2Batch;
+use mlr_fft::usfft::{Usfft1d, Usfft2d};
+use mlr_math::{Array3, Complex64, Shape3};
+use rayon::prelude::*;
+use serde::{Deserialize, Serialize};
+
+/// Identifies one of the six FFT operations that Algorithm 1 of the paper
+/// invokes (and that mLR memoizes).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum FftOpKind {
+    /// `F_u1D` — 1-D USFFT along the vertical axis.
+    Fu1D,
+    /// `F*_u1D` — adjoint of `F_u1D`.
+    Fu1DAdj,
+    /// `F_u2D` — per-row 2-D USFFT over horizontal planes.
+    Fu2D,
+    /// `F*_u2D` — adjoint of `F_u2D`.
+    Fu2DAdj,
+    /// `F_2D` — uniform 2-D FFT per projection.
+    F2D,
+    /// `F*_2D` — inverse uniform 2-D FFT per projection.
+    F2DAdj,
+}
+
+impl FftOpKind {
+    /// All operation kinds, in the order they appear in one LSP iteration of
+    /// Algorithm 1 (forward pass then adjoint pass).
+    pub const ALL: [FftOpKind; 6] = [
+        FftOpKind::Fu1D,
+        FftOpKind::Fu2D,
+        FftOpKind::F2DAdj,
+        FftOpKind::F2D,
+        FftOpKind::Fu2DAdj,
+        FftOpKind::Fu1DAdj,
+    ];
+
+    /// The four operations that remain after the paper's operation
+    /// cancellation (Algorithm 2): `F_2D`/`F*_2D` are eliminated.
+    pub const AFTER_CANCELLATION: [FftOpKind; 4] =
+        [FftOpKind::Fu1D, FftOpKind::Fu2D, FftOpKind::Fu2DAdj, FftOpKind::Fu1DAdj];
+
+    /// Short human-readable label used by reports and benches.
+    pub fn label(&self) -> &'static str {
+        match self {
+            FftOpKind::Fu1D => "Fu1D",
+            FftOpKind::Fu1DAdj => "F*u1D",
+            FftOpKind::Fu2D => "Fu2D",
+            FftOpKind::Fu2DAdj => "F*u2D",
+            FftOpKind::F2D => "F2D",
+            FftOpKind::F2DAdj => "F*2D",
+        }
+    }
+
+    /// Returns `true` for the unequally-spaced operations (the expensive
+    /// ones, and the only ones mLR memoizes after cancellation).
+    pub fn is_unequally_spaced(&self) -> bool {
+        !matches!(self, FftOpKind::F2D | FftOpKind::F2DAdj)
+    }
+}
+
+/// The execution seam for chunked FFT operations.
+///
+/// The operator hands every chunk-level FFT invocation to an executor
+/// together with a closure that performs the actual computation. The default
+/// [`DirectExecutor`] simply calls the closure; mLR's memoization engine
+/// (in `mlr-memo`) instead searches its database and only falls back to the
+/// closure on a miss; the hardware simulator wraps either to account time.
+pub trait FftExecutor: Send + Sync {
+    /// Executes (or replaces) FFT operation `kind` on chunk location `loc`.
+    ///
+    /// `input` is the flattened chunk (row-major); `compute` performs the
+    /// exact transform and must be called on a miss.
+    fn execute(
+        &self,
+        kind: FftOpKind,
+        loc: usize,
+        input: &[Complex64],
+        compute: &dyn Fn(&[Complex64]) -> Vec<Complex64>,
+    ) -> Vec<Complex64>;
+
+    /// Notifies the executor that a new outer (ADMM) iteration begins.
+    /// Memoizing executors use this for similarity tracking; the default
+    /// implementation does nothing.
+    fn begin_iteration(&self, _iteration: usize) {}
+}
+
+/// Executor that always performs the exact computation.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct DirectExecutor;
+
+impl FftExecutor for DirectExecutor {
+    fn execute(
+        &self,
+        _kind: FftOpKind,
+        _loc: usize,
+        input: &[Complex64],
+        compute: &dyn Fn(&[Complex64]) -> Vec<Complex64>,
+    ) -> Vec<Complex64> {
+        compute(input)
+    }
+}
+
+/// The laminography operator for a fixed geometry.
+///
+/// Construction precomputes the USFFT plans (vertical transform and one
+/// in-plane transform per detector row) and the uniform 2-D FFT plan, so
+/// repeated applications — every CG step of every ADMM iteration — reuse
+/// them.
+pub struct LaminoOperator {
+    geometry: LaminoGeometry,
+    usfft_vertical: Usfft1d,
+    usfft_rows: Vec<Usfft2d>,
+    fft2_detector: Fft2Batch,
+    chunk_size: usize,
+}
+
+impl LaminoOperator {
+    /// Builds the operator for `geometry` with the given chunk size (the
+    /// paper's default is 16 slabs per chunk).
+    ///
+    /// # Panics
+    /// Panics when `chunk_size == 0`.
+    pub fn new(geometry: LaminoGeometry, chunk_size: usize) -> Self {
+        assert!(chunk_size > 0, "chunk size must be positive");
+        let usfft_vertical = Usfft1d::with_params(geometry.n0, geometry.vertical_freqs(), 2, 6);
+        let usfft_rows: Vec<Usfft2d> = (0..geometry.detector.rows)
+            .into_par_iter()
+            .map(|row| {
+                Usfft2d::with_params(
+                    geometry.n1,
+                    geometry.n2,
+                    geometry.inplane_freqs_for_row(row),
+                    2,
+                    6,
+                )
+            })
+            .collect();
+        let fft2_detector = Fft2Batch::new(geometry.detector.rows, geometry.detector.cols);
+        Self { geometry, usfft_vertical, usfft_rows, fft2_detector, chunk_size }
+    }
+
+    /// The geometry this operator was built for.
+    pub fn geometry(&self) -> &LaminoGeometry {
+        &self.geometry
+    }
+
+    /// Chunk size used for the chunked stages.
+    pub fn chunk_size(&self) -> usize {
+        self.chunk_size
+    }
+
+    /// Chunk grid of the `F_u1D` stage (slabs along volume axis `n1`).
+    pub fn fu1d_grid(&self) -> ChunkGrid {
+        ChunkGrid::new(self.geometry.n1, self.chunk_size)
+    }
+
+    /// Chunk grid of the `F_u2D` stage (slabs along the detector-row axis).
+    pub fn fu2d_grid(&self) -> ChunkGrid {
+        ChunkGrid::new(self.geometry.detector.rows, self.chunk_size)
+    }
+
+    /// Chunk grid of the `F_2D` stage (slabs along the angle axis).
+    pub fn f2d_grid(&self) -> ChunkGrid {
+        ChunkGrid::new(self.geometry.n_angles(), self.chunk_size)
+    }
+
+    // ----------------------------------------------------------------- Fu1D
+
+    /// Applies `F_u1D` to the whole volume: `u[n1, n0, n2] → ũ1[n1, h, n2]`.
+    pub fn fu1d(&self, u: &Array3<Complex64>, exec: &dyn FftExecutor) -> Array3<Complex64> {
+        let shape = u.shape();
+        assert_eq!(shape, self.geometry.volume_shape(), "Fu1D input shape mismatch");
+        let out_shape = self.geometry.u1_shape();
+        let mut out = Array3::zeros(out_shape);
+        let grid = self.fu1d_grid();
+        for loc in grid.iter() {
+            let chunk = u.slab(loc.start, loc.len);
+            let result = exec.execute(FftOpKind::Fu1D, loc.index, chunk.as_slice(), &|input| {
+                self.fu1d_chunk_compute(input, loc.len)
+            });
+            let chunk_out =
+                Array3::from_vec(Shape3::new(loc.len, out_shape.n1, out_shape.n2), result);
+            out.set_slab(loc.start, &chunk_out);
+        }
+        out
+    }
+
+    /// Exact computation of `F_u1D` on one chunk (a slab of `len` planes of
+    /// the volume along `n1`). Exposed so benches can time the raw kernel.
+    pub fn fu1d_chunk_compute(&self, input: &[Complex64], len: usize) -> Vec<Complex64> {
+        let n0 = self.geometry.n0;
+        let n2 = self.geometry.n2;
+        let h = self.geometry.detector.rows;
+        assert_eq!(input.len(), len * n0 * n2, "Fu1D chunk length mismatch");
+        let mut out = vec![Complex64::ZERO; len * h * n2];
+        out.par_chunks_mut(h * n2).enumerate().for_each(|(i1, out_plane)| {
+            let in_plane = &input[i1 * n0 * n2..(i1 + 1) * n0 * n2];
+            let mut column = vec![Complex64::ZERO; n0];
+            for i2 in 0..n2 {
+                for j in 0..n0 {
+                    column[j] = in_plane[j * n2 + i2];
+                }
+                let transformed = self.usfft_vertical.forward(&column);
+                for (row, &v) in transformed.iter().enumerate() {
+                    out_plane[row * n2 + i2] = v;
+                }
+            }
+        });
+        out
+    }
+
+    /// Applies `F*_u1D`: `ũ1[n1, h, n2] → u[n1, n0, n2]`.
+    pub fn fu1d_adjoint(&self, u1: &Array3<Complex64>, exec: &dyn FftExecutor) -> Array3<Complex64> {
+        let shape = u1.shape();
+        assert_eq!(shape, self.geometry.u1_shape(), "F*u1D input shape mismatch");
+        let out_shape = self.geometry.volume_shape();
+        let mut out = Array3::zeros(out_shape);
+        let grid = self.fu1d_grid();
+        for loc in grid.iter() {
+            let chunk = u1.slab(loc.start, loc.len);
+            let result = exec.execute(FftOpKind::Fu1DAdj, loc.index, chunk.as_slice(), &|input| {
+                self.fu1d_adjoint_chunk_compute(input, loc.len)
+            });
+            let chunk_out =
+                Array3::from_vec(Shape3::new(loc.len, out_shape.n1, out_shape.n2), result);
+            out.set_slab(loc.start, &chunk_out);
+        }
+        out
+    }
+
+    /// Exact computation of `F*_u1D` on one chunk.
+    pub fn fu1d_adjoint_chunk_compute(&self, input: &[Complex64], len: usize) -> Vec<Complex64> {
+        let n0 = self.geometry.n0;
+        let n2 = self.geometry.n2;
+        let h = self.geometry.detector.rows;
+        assert_eq!(input.len(), len * h * n2, "F*u1D chunk length mismatch");
+        let mut out = vec![Complex64::ZERO; len * n0 * n2];
+        out.par_chunks_mut(n0 * n2).enumerate().for_each(|(i1, out_plane)| {
+            let in_plane = &input[i1 * h * n2..(i1 + 1) * h * n2];
+            let mut column = vec![Complex64::ZERO; h];
+            for i2 in 0..n2 {
+                for row in 0..h {
+                    column[row] = in_plane[row * n2 + i2];
+                }
+                let transformed = self.usfft_vertical.adjoint(&column);
+                for (j, &v) in transformed.iter().enumerate() {
+                    out_plane[j * n2 + i2] = v;
+                }
+            }
+        });
+        out
+    }
+
+    // ----------------------------------------------------------------- Fu2D
+
+    /// Applies `F_u2D`: `ũ1[n1, h, n2] → d̂[nθ, h, w]` (the sampled spectrum
+    /// of every projection).
+    pub fn fu2d(&self, u1: &Array3<Complex64>, exec: &dyn FftExecutor) -> Array3<Complex64> {
+        assert_eq!(u1.shape(), self.geometry.u1_shape(), "Fu2D input shape mismatch");
+        let n_theta = self.geometry.n_angles();
+        let h = self.geometry.detector.rows;
+        let w = self.geometry.detector.cols;
+        let mut out = Array3::zeros(Shape3::new(n_theta, h, w));
+        let grid = self.fu2d_grid();
+        for loc in grid.iter() {
+            let chunk = self.gather_rows(u1, loc.start, loc.len);
+            let result = exec.execute(FftOpKind::Fu2D, loc.index, &chunk, &|input| {
+                self.fu2d_chunk_compute(input, loc.start, loc.len)
+            });
+            // result layout: [rows_in_chunk][nθ * w]
+            for (r, row_data) in result.chunks(n_theta * w).enumerate() {
+                let row = loc.start + r;
+                for t in 0..n_theta {
+                    for c in 0..w {
+                        out[(t, row, c)] = row_data[t * w + c];
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Exact computation of `F_u2D` on one chunk of detector rows.
+    ///
+    /// `input` holds, per row in the chunk, the `n1 × n2` horizontal plane of
+    /// `ũ1`; the output holds, per row, the `nθ × w` sampled spectrum.
+    pub fn fu2d_chunk_compute(&self, input: &[Complex64], row_start: usize, len: usize) -> Vec<Complex64> {
+        let n1 = self.geometry.n1;
+        let n2 = self.geometry.n2;
+        let n_theta = self.geometry.n_angles();
+        let w = self.geometry.detector.cols;
+        assert_eq!(input.len(), len * n1 * n2, "Fu2D chunk length mismatch");
+        let mut out = vec![Complex64::ZERO; len * n_theta * w];
+        out.par_chunks_mut(n_theta * w).enumerate().for_each(|(r, out_row)| {
+            let row = row_start + r;
+            let plane = &input[r * n1 * n2..(r + 1) * n1 * n2];
+            let values = self.usfft_rows[row].forward(plane);
+            out_row.copy_from_slice(&values);
+        });
+        out
+    }
+
+    /// Applies `F*_u2D`: `d̂[nθ, h, w] → ũ1[n1, h, n2]`.
+    pub fn fu2d_adjoint(&self, dhat: &Array3<Complex64>, exec: &dyn FftExecutor) -> Array3<Complex64> {
+        assert_eq!(dhat.shape(), self.geometry.data_shape(), "F*u2D input shape mismatch");
+        let n1 = self.geometry.n1;
+        let n2 = self.geometry.n2;
+        let n_theta = self.geometry.n_angles();
+        let w = self.geometry.detector.cols;
+        let mut out = Array3::zeros(self.geometry.u1_shape());
+        let grid = self.fu2d_grid();
+        for loc in grid.iter() {
+            // Gather the chunk: per row, the nθ × w spectrum samples.
+            let mut chunk = vec![Complex64::ZERO; loc.len * n_theta * w];
+            for r in 0..loc.len {
+                let row = loc.start + r;
+                for t in 0..n_theta {
+                    for c in 0..w {
+                        chunk[r * n_theta * w + t * w + c] = dhat[(t, row, c)];
+                    }
+                }
+            }
+            let result = exec.execute(FftOpKind::Fu2DAdj, loc.index, &chunk, &|input| {
+                self.fu2d_adjoint_chunk_compute(input, loc.start, loc.len)
+            });
+            // result layout: [rows_in_chunk][n1 * n2]
+            for (r, plane) in result.chunks(n1 * n2).enumerate() {
+                let row = loc.start + r;
+                for i1 in 0..n1 {
+                    for i2 in 0..n2 {
+                        out[(i1, row, i2)] = plane[i1 * n2 + i2];
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Exact computation of `F*_u2D` on one chunk of detector rows.
+    pub fn fu2d_adjoint_chunk_compute(
+        &self,
+        input: &[Complex64],
+        row_start: usize,
+        len: usize,
+    ) -> Vec<Complex64> {
+        let n1 = self.geometry.n1;
+        let n2 = self.geometry.n2;
+        let n_theta = self.geometry.n_angles();
+        let w = self.geometry.detector.cols;
+        assert_eq!(input.len(), len * n_theta * w, "F*u2D chunk length mismatch");
+        let mut out = vec![Complex64::ZERO; len * n1 * n2];
+        out.par_chunks_mut(n1 * n2).enumerate().for_each(|(r, out_plane)| {
+            let row = row_start + r;
+            let samples = &input[r * n_theta * w..(r + 1) * n_theta * w];
+            let plane = self.usfft_rows[row].adjoint(samples);
+            out_plane.copy_from_slice(&plane);
+        });
+        out
+    }
+
+    // ------------------------------------------------------------------ F2D
+
+    /// Applies the uniform per-projection 2-D FFT `F_2D`:
+    /// `d[nθ, h, w] → d̂[nθ, h, w]` (chunked along the angle axis).
+    pub fn f2d(&self, d: &Array3<Complex64>, exec: &dyn FftExecutor) -> Array3<Complex64> {
+        self.f2d_impl(d, exec, FftOpKind::F2D)
+    }
+
+    /// Applies the inverse per-projection 2-D FFT `F*_2D`.
+    pub fn f2d_inverse(&self, dhat: &Array3<Complex64>, exec: &dyn FftExecutor) -> Array3<Complex64> {
+        self.f2d_impl(dhat, exec, FftOpKind::F2DAdj)
+    }
+
+    fn f2d_impl(
+        &self,
+        d: &Array3<Complex64>,
+        exec: &dyn FftExecutor,
+        kind: FftOpKind,
+    ) -> Array3<Complex64> {
+        assert_eq!(d.shape(), self.geometry.data_shape(), "F2D input shape mismatch");
+        let mut out = Array3::zeros(d.shape());
+        let grid = self.f2d_grid();
+        for loc in grid.iter() {
+            let chunk = d.slab(loc.start, loc.len);
+            let result = exec.execute(kind, loc.index, chunk.as_slice(), &|input| {
+                self.f2d_chunk_compute(input, loc.len, kind)
+            });
+            let chunk_out = Array3::from_vec(
+                Shape3::new(loc.len, d.shape().n1, d.shape().n2),
+                result,
+            );
+            out.set_slab(loc.start, &chunk_out);
+        }
+        out
+    }
+
+    /// Exact computation of `F_2D`/`F*_2D` on one chunk of projections.
+    pub fn f2d_chunk_compute(&self, input: &[Complex64], len: usize, kind: FftOpKind) -> Vec<Complex64> {
+        let h = self.geometry.detector.rows;
+        let w = self.geometry.detector.cols;
+        assert_eq!(input.len(), len * h * w, "F2D chunk length mismatch");
+        let dir = match kind {
+            FftOpKind::F2D => Direction::Forward,
+            FftOpKind::F2DAdj => Direction::Inverse,
+            other => panic!("f2d_chunk_compute called with {other:?}"),
+        };
+        let mut out = input.to_vec();
+        out.par_chunks_mut(h * w).for_each(|plane| self.fft2_detector.process_plane(plane, dir));
+        out
+    }
+
+    // ------------------------------------------------------------ composite
+
+    /// Full forward operator `d = L u` on a real volume, using the direct
+    /// executor (no memoization).
+    pub fn forward(&self, u: &Array3<f64>) -> Array3<f64> {
+        self.forward_with(u, &DirectExecutor)
+    }
+
+    /// Full forward operator with an explicit executor.
+    pub fn forward_with(&self, u: &Array3<f64>, exec: &dyn FftExecutor) -> Array3<f64> {
+        let u_c = mlr_fft::fft2d::to_complex(u);
+        let u1 = self.fu1d(&u_c, exec);
+        let dhat = self.fu2d(&u1, exec);
+        let d = self.f2d_inverse(&dhat, exec);
+        mlr_fft::fft2d::to_real(&d)
+    }
+
+    /// Full adjoint operator `u = L* d` on real projection data, using the
+    /// direct executor.
+    pub fn adjoint(&self, d: &Array3<f64>) -> Array3<f64> {
+        self.adjoint_with(d, &DirectExecutor)
+    }
+
+    /// Full adjoint operator with an explicit executor.
+    pub fn adjoint_with(&self, d: &Array3<f64>, exec: &dyn FftExecutor) -> Array3<f64> {
+        let d_c = mlr_fft::fft2d::to_complex(d);
+        let mut dhat = self.f2d(&d_c, exec);
+        // Adjoint of the normalised inverse FFT is the forward FFT divided by
+        // the plane size.
+        let scale = 1.0 / (self.geometry.detector.rows * self.geometry.detector.cols) as f64;
+        dhat.map_inplace(|z| *z = z.scale(scale));
+        let u1 = self.fu2d_adjoint(&dhat, exec);
+        let u = self.fu1d_adjoint(&u1, exec);
+        mlr_fft::fft2d::to_real(&u)
+    }
+
+    /// Gathers a slab of detector rows `[start, start+len)` from
+    /// `ũ1[n1, h, n2]`, producing the per-row planes consumed by `F_u2D`.
+    fn gather_rows(&self, u1: &Array3<Complex64>, start: usize, len: usize) -> Vec<Complex64> {
+        let n1 = self.geometry.n1;
+        let n2 = self.geometry.n2;
+        let mut out = vec![Complex64::ZERO; len * n1 * n2];
+        for r in 0..len {
+            let row = start + r;
+            for i1 in 0..n1 {
+                for i2 in 0..n2 {
+                    out[r * n1 * n2 + i1 * n2 + i2] = u1[(i1, row, i2)];
+                }
+            }
+        }
+        out
+    }
+
+    /// Size in complex elements of the chunk fed to `kind` at any location
+    /// with the nominal chunk size (the last chunk may be smaller). Used by
+    /// the memoization sizing logic and the memory accounting in `mlr-sim`.
+    pub fn chunk_elems(&self, kind: FftOpKind) -> usize {
+        let g = &self.geometry;
+        let cs = self.chunk_size;
+        match kind {
+            FftOpKind::Fu1D => cs.min(g.n1) * g.n0 * g.n2,
+            FftOpKind::Fu1DAdj => cs.min(g.n1) * g.detector.rows * g.n2,
+            FftOpKind::Fu2D => cs.min(g.detector.rows) * g.n1 * g.n2,
+            FftOpKind::Fu2DAdj => cs.min(g.detector.rows) * g.n_angles() * g.detector.cols,
+            FftOpKind::F2D | FftOpKind::F2DAdj => {
+                cs.min(g.n_angles()) * g.detector.rows * g.detector.cols
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::phantom::brain_phantom;
+    use mlr_math::norms::max_abs_diff_c;
+    use mlr_math::rng::seeded;
+    use rand::Rng;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    fn small_operator() -> LaminoOperator {
+        LaminoOperator::new(LaminoGeometry::cube(8, 6, 30.0), 4)
+    }
+
+    fn random_complex_volume(shape: Shape3, seed: u64) -> Array3<Complex64> {
+        let mut rng = seeded(seed);
+        let data = (0..shape.len())
+            .map(|_| Complex64::new(rng.gen::<f64>() - 0.5, rng.gen::<f64>() - 0.5))
+            .collect();
+        Array3::from_vec(shape, data)
+    }
+
+    fn random_real_volume(shape: Shape3, seed: u64) -> Array3<f64> {
+        let mut rng = seeded(seed);
+        let data = (0..shape.len()).map(|_| rng.gen::<f64>() - 0.5).collect();
+        Array3::from_vec(shape, data)
+    }
+
+    #[test]
+    fn shapes_of_factored_stages() {
+        let op = small_operator();
+        let exec = DirectExecutor;
+        let u = random_complex_volume(op.geometry().volume_shape(), 1);
+        let u1 = op.fu1d(&u, &exec);
+        assert_eq!(u1.shape(), op.geometry().u1_shape());
+        let dhat = op.fu2d(&u1, &exec);
+        assert_eq!(dhat.shape(), op.geometry().data_shape());
+        let d = op.f2d_inverse(&dhat, &exec);
+        assert_eq!(d.shape(), op.geometry().data_shape());
+    }
+
+    #[test]
+    fn fu1d_adjointness() {
+        let op = small_operator();
+        let exec = DirectExecutor;
+        let x = random_complex_volume(op.geometry().volume_shape(), 2);
+        let y = random_complex_volume(op.geometry().u1_shape(), 3);
+        let fx = op.fu1d(&x, &exec);
+        let fty = op.fu1d_adjoint(&y, &exec);
+        let lhs = fx.inner(&y);
+        let rhs = x.inner(&fty);
+        assert!((lhs - rhs).abs() < 1e-8 * lhs.abs().max(1.0), "{lhs:?} vs {rhs:?}");
+    }
+
+    #[test]
+    fn fu2d_adjointness() {
+        let op = small_operator();
+        let exec = DirectExecutor;
+        let x = random_complex_volume(op.geometry().u1_shape(), 4);
+        let y = random_complex_volume(op.geometry().data_shape(), 5);
+        let fx = op.fu2d(&x, &exec);
+        let fty = op.fu2d_adjoint(&y, &exec);
+        let lhs = fx.inner(&y);
+        let rhs = x.inner(&fty);
+        assert!((lhs - rhs).abs() < 1e-8 * lhs.abs().max(1.0), "{lhs:?} vs {rhs:?}");
+    }
+
+    #[test]
+    fn full_operator_adjointness_real() {
+        // <L u, d> == <u, L* d> on real vector spaces.
+        let op = small_operator();
+        let u = random_real_volume(op.geometry().volume_shape(), 6);
+        let d = random_real_volume(op.geometry().data_shape(), 7);
+        let lu = op.forward(&u);
+        let ltd = op.adjoint(&d);
+        let lhs = lu.dot(&d);
+        let rhs = u.dot(&ltd);
+        assert!((lhs - rhs).abs() < 1e-7 * lhs.abs().max(1.0), "{lhs} vs {rhs}");
+    }
+
+    #[test]
+    fn f2d_roundtrip_identity() {
+        let op = small_operator();
+        let exec = DirectExecutor;
+        let d = random_complex_volume(op.geometry().data_shape(), 8);
+        let dhat = op.f2d(&d, &exec);
+        let back = op.f2d_inverse(&dhat, &exec);
+        assert!(max_abs_diff_c(back.as_slice(), d.as_slice()) < 1e-9);
+    }
+
+    #[test]
+    fn forward_linear() {
+        let op = small_operator();
+        let shape = op.geometry().volume_shape();
+        let a = random_real_volume(shape, 9);
+        let b = random_real_volume(shape, 10);
+        let mut sum = a.clone();
+        sum.axpby(1.0, &b, 1.0);
+        let la = op.forward(&a);
+        let lb = op.forward(&b);
+        let lsum = op.forward(&sum);
+        let mut expected = la.clone();
+        expected.axpby(1.0, &lb, 1.0);
+        let diff: f64 = lsum
+            .as_slice()
+            .iter()
+            .zip(expected.as_slice())
+            .map(|(x, y)| (x - y).abs())
+            .fold(0.0, f64::max);
+        assert!(diff < 1e-9, "nonlinearity {diff}");
+    }
+
+    #[test]
+    fn executor_sees_every_chunk() {
+        struct Counting {
+            count: AtomicUsize,
+        }
+        impl FftExecutor for Counting {
+            fn execute(
+                &self,
+                _kind: FftOpKind,
+                _loc: usize,
+                input: &[Complex64],
+                compute: &dyn Fn(&[Complex64]) -> Vec<Complex64>,
+            ) -> Vec<Complex64> {
+                self.count.fetch_add(1, Ordering::Relaxed);
+                compute(input)
+            }
+        }
+        let op = small_operator();
+        let exec = Counting { count: AtomicUsize::new(0) };
+        let u = random_real_volume(op.geometry().volume_shape(), 11);
+        let _ = op.forward_with(&u, &exec);
+        // Three stages, each with ceil(8/4)=2 chunks for Fu1D/Fu2D and
+        // ceil(6/4)=2 chunks for F*2D.
+        assert_eq!(exec.count.load(Ordering::Relaxed), 2 + 2 + 2);
+    }
+
+    #[test]
+    fn projection_of_flat_phantom_is_nontrivial() {
+        let geometry = LaminoGeometry::cube(16, 8, 35.0);
+        let op = LaminoOperator::new(geometry, 8);
+        let u = brain_phantom(16, 1);
+        let d = op.forward(&u);
+        let energy: f64 = d.as_slice().iter().map(|x| x * x).sum();
+        assert!(energy > 0.0);
+        assert!(d.as_slice().iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn chunk_elems_match_actual_chunks() {
+        let op = small_operator();
+        assert_eq!(op.chunk_elems(FftOpKind::Fu1D), 4 * 8 * 8);
+        assert_eq!(op.chunk_elems(FftOpKind::Fu2D), 4 * 8 * 8);
+        assert_eq!(op.chunk_elems(FftOpKind::Fu2DAdj), 4 * 6 * 8);
+        assert_eq!(op.chunk_elems(FftOpKind::F2D), 4 * 8 * 8);
+    }
+
+    #[test]
+    fn op_kind_labels_and_sets() {
+        assert_eq!(FftOpKind::ALL.len(), 6);
+        assert_eq!(FftOpKind::AFTER_CANCELLATION.len(), 4);
+        assert!(FftOpKind::Fu2D.is_unequally_spaced());
+        assert!(!FftOpKind::F2D.is_unequally_spaced());
+        assert_eq!(FftOpKind::Fu2DAdj.label(), "F*u2D");
+    }
+}

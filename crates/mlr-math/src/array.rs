@@ -1,0 +1,543 @@
+//! Dense row-major 1-D/2-D/3-D arrays.
+//!
+//! The reconstruction volume `u ∈ R^(n1, n0, n2)`, the projection data
+//! `d ∈ R^(nθ, h, w)` and every frequency-domain chunk in the paper are dense
+//! 3-D arrays. We provide a minimal generic container with the indexing,
+//! slicing-along-axis-0 (chunking) and element-wise operations the rest of the
+//! workspace needs, instead of pulling in an external array crate.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::ops::{Index, IndexMut};
+
+/// Shape of a 3-D array expressed as `(n0, n1, n2)` — axis 0 is the slowest
+/// (outermost) dimension, matching row-major layout.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Shape3 {
+    /// Extent along axis 0 (slowest varying).
+    pub n0: usize,
+    /// Extent along axis 1.
+    pub n1: usize,
+    /// Extent along axis 2 (fastest varying).
+    pub n2: usize,
+}
+
+impl Shape3 {
+    /// Creates a new shape.
+    pub const fn new(n0: usize, n1: usize, n2: usize) -> Self {
+        Self { n0, n1, n2 }
+    }
+
+    /// Cubic shape `n × n × n`.
+    pub const fn cube(n: usize) -> Self {
+        Self { n0: n, n1: n, n2: n }
+    }
+
+    /// Total number of elements.
+    pub const fn len(&self) -> usize {
+        self.n0 * self.n1 * self.n2
+    }
+
+    /// Returns `true` when any extent is zero.
+    pub const fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Linear (row-major) index of `(i, j, k)`.
+    #[inline]
+    pub fn offset(&self, i: usize, j: usize, k: usize) -> usize {
+        debug_assert!(i < self.n0 && j < self.n1 && k < self.n2);
+        (i * self.n1 + j) * self.n2 + k
+    }
+
+    /// Shape as a tuple.
+    pub const fn dims(&self) -> (usize, usize, usize) {
+        (self.n0, self.n1, self.n2)
+    }
+}
+
+impl fmt::Debug for Shape3 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}x{}x{}", self.n0, self.n1, self.n2)
+    }
+}
+
+impl From<(usize, usize, usize)> for Shape3 {
+    fn from((n0, n1, n2): (usize, usize, usize)) -> Self {
+        Self { n0, n1, n2 }
+    }
+}
+
+/// A dense 1-D array. Mostly a thin wrapper over `Vec<T>` that exists so the
+/// FFT APIs read naturally; it also carries a few numeric conveniences.
+#[derive(Clone, PartialEq, Serialize, Deserialize)]
+pub struct Array1<T> {
+    data: Vec<T>,
+}
+
+impl<T: Clone + Default> Array1<T> {
+    /// Creates an array of `n` default-initialised elements.
+    pub fn zeros(n: usize) -> Self {
+        Self { data: vec![T::default(); n] }
+    }
+}
+
+impl<T> Array1<T> {
+    /// Wraps an existing vector.
+    pub fn from_vec(data: Vec<T>) -> Self {
+        Self { data }
+    }
+
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Returns `true` when the array has no elements.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Immutable view of the underlying storage.
+    pub fn as_slice(&self) -> &[T] {
+        &self.data
+    }
+
+    /// Mutable view of the underlying storage.
+    pub fn as_mut_slice(&mut self) -> &mut [T] {
+        &mut self.data
+    }
+
+    /// Consumes the array and returns the underlying vector.
+    pub fn into_vec(self) -> Vec<T> {
+        self.data
+    }
+}
+
+impl<T> Index<usize> for Array1<T> {
+    type Output = T;
+    #[inline]
+    fn index(&self, i: usize) -> &T {
+        &self.data[i]
+    }
+}
+
+impl<T> IndexMut<usize> for Array1<T> {
+    #[inline]
+    fn index_mut(&mut self, i: usize) -> &mut T {
+        &mut self.data[i]
+    }
+}
+
+impl<T: fmt::Debug> fmt::Debug for Array1<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Array1(len={})", self.data.len())
+    }
+}
+
+/// A dense row-major 2-D array.
+#[derive(Clone, PartialEq, Serialize, Deserialize)]
+pub struct Array2<T> {
+    rows: usize,
+    cols: usize,
+    data: Vec<T>,
+}
+
+impl<T: Clone + Default> Array2<T> {
+    /// Creates a `rows × cols` array of default-initialised elements.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Self { rows, cols, data: vec![T::default(); rows * cols] }
+    }
+}
+
+impl<T> Array2<T> {
+    /// Wraps an existing vector; `data.len()` must equal `rows * cols`.
+    ///
+    /// # Panics
+    /// Panics on a length mismatch.
+    pub fn from_vec(rows: usize, cols: usize, data: Vec<T>) -> Self {
+        assert_eq!(data.len(), rows * cols, "Array2 data length mismatch");
+        Self { rows, cols, data }
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Total number of elements.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Returns `true` when the array has no elements.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Immutable view of the underlying storage (row-major).
+    pub fn as_slice(&self) -> &[T] {
+        &self.data
+    }
+
+    /// Mutable view of the underlying storage (row-major).
+    pub fn as_mut_slice(&mut self) -> &mut [T] {
+        &mut self.data
+    }
+
+    /// Immutable view of row `r`.
+    pub fn row(&self, r: usize) -> &[T] {
+        &self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Mutable view of row `r`.
+    pub fn row_mut(&mut self, r: usize) -> &mut [T] {
+        &mut self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Consumes the array and returns the underlying vector.
+    pub fn into_vec(self) -> Vec<T> {
+        self.data
+    }
+}
+
+impl<T: Clone> Array2<T> {
+    /// Out-of-place transpose.
+    pub fn transpose(&self) -> Array2<T> {
+        let mut out = Vec::with_capacity(self.data.len());
+        for c in 0..self.cols {
+            for r in 0..self.rows {
+                out.push(self.data[r * self.cols + c].clone());
+            }
+        }
+        Array2 { rows: self.cols, cols: self.rows, data: out }
+    }
+}
+
+impl<T> Index<(usize, usize)> for Array2<T> {
+    type Output = T;
+    #[inline]
+    fn index(&self, (r, c): (usize, usize)) -> &T {
+        &self.data[r * self.cols + c]
+    }
+}
+
+impl<T> IndexMut<(usize, usize)> for Array2<T> {
+    #[inline]
+    fn index_mut(&mut self, (r, c): (usize, usize)) -> &mut T {
+        &mut self.data[r * self.cols + c]
+    }
+}
+
+impl<T: fmt::Debug> fmt::Debug for Array2<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Array2({}x{})", self.rows, self.cols)
+    }
+}
+
+/// A dense row-major 3-D array; the workhorse container of the workspace.
+#[derive(Clone, PartialEq, Serialize, Deserialize)]
+pub struct Array3<T> {
+    shape: Shape3,
+    data: Vec<T>,
+}
+
+impl<T: Clone + Default> Array3<T> {
+    /// Creates an array of default-initialised elements with the given shape.
+    pub fn zeros(shape: Shape3) -> Self {
+        Self { shape, data: vec![T::default(); shape.len()] }
+    }
+}
+
+impl<T: Clone> Array3<T> {
+    /// Creates an array filled with copies of `value`.
+    pub fn filled(shape: Shape3, value: T) -> Self {
+        Self { shape, data: vec![value; shape.len()] }
+    }
+
+    /// Extracts the sub-array of `count` slabs along axis 0 starting at
+    /// `start`. This is exactly the "chunk" partitioning the paper uses:
+    /// "A chunk is a partition of an input 3D array along a specific
+    /// dimension".
+    ///
+    /// # Panics
+    /// Panics when `start + count` exceeds `n0`.
+    pub fn slab(&self, start: usize, count: usize) -> Array3<T> {
+        assert!(start + count <= self.shape.n0, "slab out of range");
+        let slab_len = self.shape.n1 * self.shape.n2;
+        let data = self.data[start * slab_len..(start + count) * slab_len].to_vec();
+        Array3 { shape: Shape3::new(count, self.shape.n1, self.shape.n2), data }
+    }
+
+    /// Writes `slab` back into this array starting at axis-0 index `start`.
+    ///
+    /// # Panics
+    /// Panics when the slab's inner dimensions differ or it does not fit.
+    pub fn set_slab(&mut self, start: usize, slab: &Array3<T>) {
+        assert_eq!(slab.shape.n1, self.shape.n1, "slab n1 mismatch");
+        assert_eq!(slab.shape.n2, self.shape.n2, "slab n2 mismatch");
+        assert!(start + slab.shape.n0 <= self.shape.n0, "slab does not fit");
+        let slab_len = self.shape.n1 * self.shape.n2;
+        let dst = &mut self.data[start * slab_len..(start + slab.shape.n0) * slab_len];
+        dst.clone_from_slice(&slab.data);
+    }
+}
+
+impl<T> Array3<T> {
+    /// Wraps an existing vector; `data.len()` must equal `shape.len()`.
+    ///
+    /// # Panics
+    /// Panics on a length mismatch.
+    pub fn from_vec(shape: Shape3, data: Vec<T>) -> Self {
+        assert_eq!(data.len(), shape.len(), "Array3 data length mismatch");
+        Self { shape, data }
+    }
+
+    /// The array's shape.
+    pub fn shape(&self) -> Shape3 {
+        self.shape
+    }
+
+    /// Total number of elements.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Returns `true` when the array has no elements.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Immutable view of the underlying storage (row-major).
+    pub fn as_slice(&self) -> &[T] {
+        &self.data
+    }
+
+    /// Mutable view of the underlying storage (row-major).
+    pub fn as_mut_slice(&mut self) -> &mut [T] {
+        &mut self.data
+    }
+
+    /// Consumes the array and returns the underlying vector.
+    pub fn into_vec(self) -> Vec<T> {
+        self.data
+    }
+
+    /// Immutable view of the contiguous `(j-row at slab i)` line along axis 2.
+    pub fn line(&self, i: usize, j: usize) -> &[T] {
+        let base = self.shape.offset(i, j, 0);
+        &self.data[base..base + self.shape.n2]
+    }
+
+    /// Mutable view of the contiguous line along axis 2.
+    pub fn line_mut(&mut self, i: usize, j: usize) -> &mut [T] {
+        let base = self.shape.offset(i, j, 0);
+        &mut self.data[base..base + self.shape.n2]
+    }
+
+    /// Immutable view of slab `i` (the `n1 × n2` plane at axis-0 index `i`).
+    pub fn plane(&self, i: usize) -> &[T] {
+        let plane_len = self.shape.n1 * self.shape.n2;
+        &self.data[i * plane_len..(i + 1) * plane_len]
+    }
+
+    /// Mutable view of slab `i`.
+    pub fn plane_mut(&mut self, i: usize) -> &mut [T] {
+        let plane_len = self.shape.n1 * self.shape.n2;
+        &mut self.data[i * plane_len..(i + 1) * plane_len]
+    }
+
+    /// Applies `f` to every element in place.
+    pub fn map_inplace(&mut self, mut f: impl FnMut(&mut T)) {
+        for v in &mut self.data {
+            f(v);
+        }
+    }
+}
+
+impl<T> Index<(usize, usize, usize)> for Array3<T> {
+    type Output = T;
+    #[inline]
+    fn index(&self, (i, j, k): (usize, usize, usize)) -> &T {
+        &self.data[self.shape.offset(i, j, k)]
+    }
+}
+
+impl<T> IndexMut<(usize, usize, usize)> for Array3<T> {
+    #[inline]
+    fn index_mut(&mut self, (i, j, k): (usize, usize, usize)) -> &mut T {
+        &mut self.data[self.shape.offset(i, j, k)]
+    }
+}
+
+impl<T: fmt::Debug> fmt::Debug for Array3<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Array3({:?})", self.shape)
+    }
+}
+
+impl Array3<f64> {
+    /// Element-wise linear combination `self ← self * a + other * b`.
+    ///
+    /// # Panics
+    /// Panics when shapes differ.
+    pub fn axpby(&mut self, a: f64, other: &Array3<f64>, b: f64) {
+        assert_eq!(self.shape, other.shape, "axpby shape mismatch");
+        for (x, y) in self.data.iter_mut().zip(&other.data) {
+            *x = *x * a + *y * b;
+        }
+    }
+
+    /// Sum of all elements.
+    pub fn sum(&self) -> f64 {
+        self.data.iter().sum()
+    }
+
+    /// Dot product with another array of identical shape.
+    ///
+    /// # Panics
+    /// Panics when shapes differ.
+    pub fn dot(&self, other: &Array3<f64>) -> f64 {
+        assert_eq!(self.shape, other.shape, "dot shape mismatch");
+        self.data.iter().zip(&other.data).map(|(a, b)| a * b).sum()
+    }
+}
+
+impl Array3<crate::Complex64> {
+    /// Element-wise linear combination with complex scalars.
+    ///
+    /// # Panics
+    /// Panics when shapes differ.
+    pub fn axpby_c(&mut self, a: crate::Complex64, other: &Self, b: crate::Complex64) {
+        assert_eq!(self.shape, other.shape, "axpby shape mismatch");
+        for (x, y) in self.data.iter_mut().zip(&other.data) {
+            *x = *x * a + *y * b;
+        }
+    }
+
+    /// Complex inner product `⟨self, other⟩ = Σ self · conj(other)`.
+    ///
+    /// # Panics
+    /// Panics when shapes differ.
+    pub fn inner(&self, other: &Self) -> crate::Complex64 {
+        assert_eq!(self.shape, other.shape, "inner shape mismatch");
+        self.data.iter().zip(&other.data).map(|(a, b)| *a * b.conj()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Complex64;
+
+    #[test]
+    fn shape_offsets_are_row_major() {
+        let s = Shape3::new(2, 3, 4);
+        assert_eq!(s.len(), 24);
+        assert_eq!(s.offset(0, 0, 0), 0);
+        assert_eq!(s.offset(0, 0, 3), 3);
+        assert_eq!(s.offset(0, 1, 0), 4);
+        assert_eq!(s.offset(1, 0, 0), 12);
+        assert_eq!(s.offset(1, 2, 3), 23);
+        assert_eq!(s.dims(), (2, 3, 4));
+    }
+
+    #[test]
+    fn array3_index_roundtrip() {
+        let mut a: Array3<f64> = Array3::zeros(Shape3::new(3, 4, 5));
+        a[(2, 3, 4)] = 7.5;
+        a[(0, 0, 0)] = -1.0;
+        assert_eq!(a[(2, 3, 4)], 7.5);
+        assert_eq!(a[(0, 0, 0)], -1.0);
+        assert_eq!(a.len(), 60);
+    }
+
+    #[test]
+    fn slab_extraction_and_writeback() {
+        let shape = Shape3::new(6, 2, 2);
+        let data: Vec<f64> = (0..shape.len()).map(|i| i as f64).collect();
+        let a = Array3::from_vec(shape, data);
+        let slab = a.slab(2, 2);
+        assert_eq!(slab.shape(), Shape3::new(2, 2, 2));
+        assert_eq!(slab[(0, 0, 0)], 8.0);
+        assert_eq!(slab[(1, 1, 1)], 15.0);
+
+        let mut b: Array3<f64> = Array3::zeros(shape);
+        b.set_slab(2, &slab);
+        assert_eq!(b[(2, 0, 0)], 8.0);
+        assert_eq!(b[(3, 1, 1)], 15.0);
+        assert_eq!(b[(0, 0, 0)], 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "slab out of range")]
+    fn slab_out_of_range_panics() {
+        let a: Array3<f64> = Array3::zeros(Shape3::cube(4));
+        let _ = a.slab(3, 2);
+    }
+
+    #[test]
+    fn plane_and_line_views() {
+        let shape = Shape3::new(2, 3, 4);
+        let data: Vec<f64> = (0..24).map(|i| i as f64).collect();
+        let a = Array3::from_vec(shape, data);
+        assert_eq!(a.plane(1).len(), 12);
+        assert_eq!(a.plane(1)[0], 12.0);
+        assert_eq!(a.line(1, 2), &[20.0, 21.0, 22.0, 23.0]);
+    }
+
+    #[test]
+    fn axpby_and_dot() {
+        let shape = Shape3::cube(3);
+        let mut a = Array3::filled(shape, 2.0);
+        let b = Array3::filled(shape, 3.0);
+        a.axpby(2.0, &b, -1.0);
+        assert_eq!(a[(1, 1, 1)], 1.0);
+        assert_eq!(a.sum(), 27.0);
+        assert_eq!(a.dot(&b), 81.0);
+    }
+
+    #[test]
+    fn complex_inner_product() {
+        let shape = Shape3::new(1, 1, 4);
+        let a = Array3::from_vec(shape, vec![Complex64::new(1.0, 1.0); 4]);
+        let b = Array3::from_vec(shape, vec![Complex64::new(0.0, 1.0); 4]);
+        let ip = a.inner(&b);
+        // (1+i) * conj(i) = (1+i)(-i) = -i - i^2 = 1 - i, times 4.
+        assert_eq!(ip, Complex64::new(4.0, -4.0));
+    }
+
+    #[test]
+    fn array2_transpose() {
+        let a = Array2::from_vec(2, 3, vec![1, 2, 3, 4, 5, 6]);
+        let t = a.transpose();
+        assert_eq!(t.rows(), 3);
+        assert_eq!(t.cols(), 2);
+        assert_eq!(t[(0, 1)], 4);
+        assert_eq!(t[(2, 0)], 3);
+        assert_eq!(t.row(1), &[2, 5]);
+    }
+
+    #[test]
+    fn array1_basics() {
+        let mut a: Array1<f64> = Array1::zeros(5);
+        a[3] = 9.0;
+        assert_eq!(a.len(), 5);
+        assert_eq!(a[3], 9.0);
+        assert_eq!(a.as_slice()[3], 9.0);
+        let v = a.into_vec();
+        assert_eq!(v[3], 9.0);
+    }
+
+    #[test]
+    fn map_inplace_applies_everywhere() {
+        let mut a = Array3::filled(Shape3::cube(2), 1.0f64);
+        a.map_inplace(|x| *x *= 3.0);
+        assert!(a.as_slice().iter().all(|&x| x == 3.0));
+    }
+}

@@ -1,0 +1,170 @@
+//! Interpolation kernels for the unequally-spaced FFT (USFFT).
+//!
+//! The paper's laminography operators `F_u1D` and `F_u2D` evaluate Fourier
+//! transforms on *unequally spaced* frequency grids (Dutt & Rokhlin's NUFFT
+//! family). The standard implementation spreads each non-uniform sample onto
+//! an oversampled uniform grid with a compact smoothing kernel and corrects
+//! for the kernel's Fourier transform afterwards. We use the classical
+//! Gaussian kernel, which is what the reference laminography code
+//! (`lam_usfft`) uses.
+
+use std::f64::consts::PI;
+
+/// Parameters of the Gaussian spreading kernel used by the USFFT.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GaussianKernel {
+    /// Oversampling factor of the fine grid (typically 2).
+    pub oversampling: f64,
+    /// Kernel half-width in fine-grid cells.
+    pub half_width: usize,
+    /// Gaussian exponent parameter `tau`.
+    pub tau: f64,
+}
+
+impl GaussianKernel {
+    /// Creates a kernel for a transform of logical size `n` with the given
+    /// oversampling factor and half-width (in fine-grid cells).
+    ///
+    /// The `tau` parameter follows Dutt–Rokhlin: wider kernels allow a flatter
+    /// Gaussian which reduces aliasing error.
+    ///
+    /// # Panics
+    /// Panics when `n == 0`, `oversampling < 1.0`, or `half_width == 0`.
+    pub fn new(n: usize, oversampling: f64, half_width: usize) -> Self {
+        assert!(n > 0, "kernel size must be positive");
+        assert!(oversampling >= 1.0, "oversampling must be >= 1");
+        assert!(half_width > 0, "kernel half-width must be positive");
+        let m = half_width as f64;
+        let r = oversampling;
+        // Standard choice (Dutt & Rokhlin 1993; Greengard & Lee 2004):
+        // tau = pi * m / (n^2 * r * (r - 0.5)); for r == 1 fall back to a
+        // stable positive value.
+        let denom = if r > 0.5 { r * (r - 0.5) } else { 0.5 };
+        let tau = PI * m / ((n as f64) * (n as f64) * denom);
+        Self { oversampling: r, half_width, tau }
+    }
+
+    /// Kernel value at distance `dx` (in fine-grid cells) from the sample.
+    #[inline]
+    pub fn eval(&self, dx: f64, n: usize) -> f64 {
+        // Expressed on the unit torus: distance in cycles is dx / (r * n).
+        let scaled = dx / (self.oversampling * n as f64);
+        (-(scaled * scaled) / (4.0 * self.tau)).exp()
+    }
+
+    /// Fourier-domain correction factor for output index `k` (centered,
+    /// i.e. `k ∈ [-n/2, n/2)`), which deconvolves the spreading kernel.
+    #[inline]
+    pub fn correction(&self, k: isize) -> f64 {
+        let kf = k as f64;
+        (self.tau * kf * kf).exp()
+    }
+}
+
+/// Evaluates the normalized sinc function `sin(pi x)/(pi x)`.
+#[inline]
+pub fn sinc(x: f64) -> f64 {
+    if x.abs() < 1e-12 {
+        1.0
+    } else {
+        let px = PI * x;
+        px.sin() / px
+    }
+}
+
+/// A Hann window of length `n`, used when apodizing projection data before
+/// Fourier-domain filtering.
+pub fn hann_window(n: usize) -> Vec<f64> {
+    if n <= 1 {
+        return vec![1.0; n];
+    }
+    (0..n)
+        .map(|i| 0.5 * (1.0 - (2.0 * PI * i as f64 / (n - 1) as f64).cos()))
+        .collect()
+}
+
+/// A ramp (Ram-Lak) filter in the frequency domain for `n` centered
+/// frequencies, optionally apodized by a Hann roll-off. This is the classic
+/// filtered-backprojection weighting; it is used by the non-iterative
+/// baseline reconstruction in `mlr-lamino`.
+pub fn ramp_filter(n: usize, hann: bool) -> Vec<f64> {
+    (0..n)
+        .map(|i| {
+            let k = i as isize - (n / 2) as isize;
+            let f = k.unsigned_abs() as f64 / (n as f64 / 2.0);
+            if hann {
+                f * 0.5 * (1.0 + (PI * f).cos())
+            } else {
+                f
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::approx_eq;
+
+    #[test]
+    fn gaussian_kernel_peaks_at_zero() {
+        let k = GaussianKernel::new(64, 2.0, 4);
+        assert!(approx_eq(k.eval(0.0, 64), 1.0, 1e-12));
+        assert!(k.eval(1.0, 64) < 1.0);
+        assert!(k.eval(4.0, 64) < k.eval(1.0, 64));
+        assert!(k.eval(4.0, 64) > 0.0);
+    }
+
+    #[test]
+    fn gaussian_kernel_symmetric() {
+        let k = GaussianKernel::new(32, 2.0, 3);
+        for d in [0.5, 1.0, 2.5] {
+            assert!(approx_eq(k.eval(d, 32), k.eval(-d, 32), 1e-15));
+        }
+    }
+
+    #[test]
+    fn correction_grows_with_frequency() {
+        let k = GaussianKernel::new(64, 2.0, 4);
+        assert!(approx_eq(k.correction(0), 1.0, 1e-15));
+        assert!(k.correction(10) > k.correction(1));
+        assert!(approx_eq(k.correction(-7), k.correction(7), 1e-15));
+    }
+
+    #[test]
+    #[should_panic(expected = "half-width")]
+    fn zero_half_width_panics() {
+        let _ = GaussianKernel::new(64, 2.0, 0);
+    }
+
+    #[test]
+    fn sinc_values() {
+        assert!(approx_eq(sinc(0.0), 1.0, 1e-15));
+        assert!(approx_eq(sinc(1.0), 0.0, 1e-12));
+        assert!(approx_eq(sinc(0.5), 2.0 / PI, 1e-12));
+    }
+
+    #[test]
+    fn hann_window_endpoints_and_symmetry() {
+        let w = hann_window(9);
+        assert!(approx_eq(w[0], 0.0, 1e-12));
+        assert!(approx_eq(w[8], 0.0, 1e-12));
+        assert!(approx_eq(w[4], 1.0, 1e-12));
+        for i in 0..4 {
+            assert!(approx_eq(w[i], w[8 - i], 1e-12));
+        }
+        assert_eq!(hann_window(1), vec![1.0]);
+        assert_eq!(hann_window(0).len(), 0);
+    }
+
+    #[test]
+    fn ramp_filter_shape() {
+        let f = ramp_filter(8, false);
+        assert_eq!(f.len(), 8);
+        assert!(approx_eq(f[4], 0.0, 1e-12)); // DC at center index n/2
+        assert!(f[0] > f[2]); // |k| larger at edges
+        let fh = ramp_filter(8, true);
+        // Hann apodization suppresses the highest frequencies.
+        assert!(fh[0] < f[0]);
+    }
+}

@@ -1,0 +1,76 @@
+//! # mlr-math
+//!
+//! Numerical substrate for the mLR laminography-reconstruction workspace.
+//!
+//! The crate provides the small set of numerical building blocks that every
+//! other crate in the workspace relies on:
+//!
+//! * [`Complex64`] — a minimal, `#[repr(C)]` double-precision complex number
+//!   with the arithmetic needed by FFTs and Fourier-domain operators.
+//! * [`Array1`], [`Array2`], [`Array3`] — dense row-major arrays used for
+//!   projection data, reconstruction volumes and frequency-domain chunks.
+//! * [`norms`] — L2 / Frobenius norms, cosine similarity (the similarity
+//!   measure mLR uses for memoization keys), and the relative-error metric
+//!   `E` from the paper's Eq. 4.
+//! * [`stats`] — descriptive statistics, histograms and empirical CDFs used
+//!   by the evaluation harnesses (e.g. the latency CDF of Figure 16).
+//! * [`kernels`] — interpolation kernels for the unequally-spaced FFT
+//!   (Gaussian gridding kernel) used by `mlr-fft`.
+//! * [`rng`] — deterministic random-number helpers so every experiment in the
+//!   repository is reproducible.
+//!
+//! The crate deliberately avoids external linear-algebra dependencies: the
+//! point of the reproduction is to build the substrate from scratch.
+
+pub mod array;
+pub mod complex;
+pub mod kernels;
+pub mod norms;
+pub mod rng;
+pub mod stats;
+
+pub use array::{Array1, Array2, Array3, Shape3};
+pub use complex::Complex64;
+
+/// Convenience alias used throughout the workspace.
+pub type C64 = Complex64;
+
+/// The floating-point scalar type used by the whole workspace.
+pub type Real = f64;
+
+/// Machine-epsilon-scaled tolerance used by numerical tests.
+pub const TEST_TOL: f64 = 1e-9;
+
+/// Returns `true` when two floating point values agree to within `tol`
+/// absolutely or relatively (whichever is looser). Used pervasively by tests.
+pub fn approx_eq(a: f64, b: f64, tol: f64) -> bool {
+    let diff = (a - b).abs();
+    if diff <= tol {
+        return true;
+    }
+    let scale = a.abs().max(b.abs());
+    diff <= tol * scale
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn approx_eq_absolute() {
+        assert!(approx_eq(1.0, 1.0 + 1e-12, 1e-9));
+        assert!(!approx_eq(1.0, 1.1, 1e-9));
+    }
+
+    #[test]
+    fn approx_eq_relative() {
+        assert!(approx_eq(1e12, 1e12 + 1.0, 1e-9));
+        assert!(!approx_eq(1e12, 1.01e12, 1e-9));
+    }
+
+    #[test]
+    fn approx_eq_zero() {
+        assert!(approx_eq(0.0, 0.0, 1e-12));
+        assert!(approx_eq(0.0, 1e-13, 1e-12));
+    }
+}

@@ -1,0 +1,184 @@
+//! Key coalescing.
+//!
+//! Each memoization query ships an encoded key of well under 1 KB to the
+//! memory node. Sending them one by one wastes the interconnect (low payload
+//! utilisation, per-message RDMA setup). The coalescer buffers keys from
+//! *different chunks* — keys within one chunk have data dependencies and must
+//! not be delayed (§4.3.3) — and flushes a batch once the accumulated payload
+//! reaches the saturating size (4 KB on Slingshot-11), enabling batched
+//! lookups on the memory node.
+
+use serde::{Deserialize, Serialize};
+
+/// A key queued for transmission.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PendingKey {
+    /// Which chunk location issued the query.
+    pub location: usize,
+    /// The encoded key.
+    pub key: Vec<f64>,
+}
+
+/// Statistics of coalescing behaviour (feeds Figure 11).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct CoalesceStats {
+    /// Keys submitted.
+    pub keys: u64,
+    /// Messages (batches) actually sent.
+    pub messages: u64,
+    /// Total payload bytes sent.
+    pub bytes: u64,
+}
+
+impl CoalesceStats {
+    /// Mean payload size per message.
+    pub fn mean_payload(&self) -> f64 {
+        if self.messages == 0 {
+            0.0
+        } else {
+            self.bytes as f64 / self.messages as f64
+        }
+    }
+
+    /// Mean number of keys per message (batch size seen by the index DB).
+    pub fn mean_batch(&self) -> f64 {
+        if self.messages == 0 {
+            0.0
+        } else {
+            self.keys as f64 / self.messages as f64
+        }
+    }
+}
+
+/// Buffers keys until the payload reaches the target size.
+#[derive(Debug)]
+pub struct KeyCoalescer {
+    target_payload_bytes: usize,
+    enabled: bool,
+    pending: Vec<PendingKey>,
+    pending_bytes: usize,
+    stats: CoalesceStats,
+}
+
+impl KeyCoalescer {
+    /// Creates a coalescer flushing at `target_payload_bytes` (the paper uses
+    /// 4 KB). When `enabled` is `false` every key is flushed immediately,
+    /// which is the baseline of Figure 11.
+    pub fn new(target_payload_bytes: usize, enabled: bool) -> Self {
+        Self {
+            target_payload_bytes: target_payload_bytes.max(1),
+            enabled,
+            pending: Vec::new(),
+            pending_bytes: 0,
+            stats: CoalesceStats::default(),
+        }
+    }
+
+    /// Size in bytes of one key on the wire.
+    fn key_bytes(key: &[f64]) -> usize {
+        key.len() * 8
+    }
+
+    /// Submits a key. Returns the batch to transmit when the payload target
+    /// is reached (or immediately when coalescing is disabled), otherwise
+    /// `None`.
+    pub fn submit(&mut self, location: usize, key: Vec<f64>) -> Option<Vec<PendingKey>> {
+        self.stats.keys += 1;
+        let bytes = Self::key_bytes(&key);
+        self.pending.push(PendingKey { location, key });
+        self.pending_bytes += bytes;
+        if !self.enabled || self.pending_bytes >= self.target_payload_bytes {
+            Some(self.flush())
+        } else {
+            None
+        }
+    }
+
+    /// Flushes whatever is pending (end of an iteration, or a dependency that
+    /// cannot wait). Returns an empty batch when nothing is pending.
+    pub fn flush(&mut self) -> Vec<PendingKey> {
+        if self.pending.is_empty() {
+            return Vec::new();
+        }
+        self.stats.messages += 1;
+        self.stats.bytes += self.pending_bytes as u64;
+        self.pending_bytes = 0;
+        std::mem::take(&mut self.pending)
+    }
+
+    /// Number of keys waiting in the buffer.
+    pub fn pending(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// Accumulated statistics.
+    pub fn stats(&self) -> CoalesceStats {
+        self.stats
+    }
+
+    /// Whether coalescing is enabled.
+    pub fn enabled(&self) -> bool {
+        self.enabled
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn key(dim: usize) -> Vec<f64> {
+        vec![1.0; dim]
+    }
+
+    #[test]
+    fn disabled_coalescer_flushes_every_key() {
+        let mut c = KeyCoalescer::new(4096, false);
+        for loc in 0..5 {
+            let batch = c.submit(loc, key(60)).expect("immediate flush");
+            assert_eq!(batch.len(), 1);
+            assert_eq!(batch[0].location, loc);
+        }
+        let s = c.stats();
+        assert_eq!(s.keys, 5);
+        assert_eq!(s.messages, 5);
+        assert!((s.mean_batch() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn enabled_coalescer_batches_to_payload_target() {
+        // 60-d keys are 480 bytes; 4096/480 → flush on the 9th key.
+        let mut c = KeyCoalescer::new(4096, true);
+        let mut flushed = None;
+        for loc in 0..9 {
+            flushed = c.submit(loc, key(60));
+            if loc < 8 {
+                assert!(flushed.is_none(), "flushed too early at {loc}");
+            }
+        }
+        let batch = flushed.expect("flush at payload target");
+        assert_eq!(batch.len(), 9);
+        let s = c.stats();
+        assert_eq!(s.messages, 1);
+        assert!(s.mean_payload() >= 4096.0);
+        assert_eq!(c.pending(), 0);
+    }
+
+    #[test]
+    fn manual_flush_drains_pending() {
+        let mut c = KeyCoalescer::new(1 << 20, true);
+        assert!(c.submit(0, key(8)).is_none());
+        assert!(c.submit(1, key(8)).is_none());
+        assert_eq!(c.pending(), 2);
+        let batch = c.flush();
+        assert_eq!(batch.len(), 2);
+        assert!(c.flush().is_empty());
+        assert_eq!(c.stats().messages, 1);
+    }
+
+    #[test]
+    fn mean_payload_zero_when_no_messages() {
+        let c = KeyCoalescer::new(4096, true);
+        assert_eq!(c.stats().mean_payload(), 0.0);
+        assert!(c.enabled());
+    }
+}

@@ -1,0 +1,393 @@
+//! The memoization database: encoder + index database + value database.
+//!
+//! This is the memory-node side of the paper's distributed memoization
+//! (§4.3.2). An *insertion* encodes the FFT input chunk into a key, adds the
+//! key to the index database and the FFT output to the value database. A
+//! *query* encodes the input, asks the index database for the most similar
+//! stored key and — only if the similarity clears the threshold `τ` —
+//! returns the associated value.
+//!
+//! The similarity gate follows the paper's Eq. 3: cosine similarity between
+//! the query key and the stored key. By default the gate is evaluated on the
+//! raw input chunks (stored alongside each entry), which makes the
+//! accuracy-vs-τ experiments faithful to what τ means in the paper; the
+//! encoded keys are what the ANN index searches.
+
+use crate::ann::{IvfConfig, IvfIndex};
+use crate::encoder::{CnnEncoder, EncoderConfig};
+use crate::kvstore::ValueStore;
+use mlr_lamino::FftOpKind;
+use mlr_math::norms::{scale_aware_similarity, scale_aware_similarity_c};
+use mlr_math::Complex64;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Database configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MemoDbConfig {
+    /// Similarity threshold `τ`: a stored value is reused only when the
+    /// cosine similarity between query and stored key exceeds it.
+    pub tau: f64,
+    /// Scope searches to the (operation, chunk location) pair. The paper's
+    /// observation (Figure 4) is that reuse happens *at* a chunk location
+    /// across iterations, so this is the default; disabling it searches
+    /// across locations.
+    pub per_location: bool,
+    /// Evaluate the τ gate on the raw input chunks (exact fidelity, more
+    /// memory); when `false` the gate uses the encoded keys only.
+    pub gate_on_raw: bool,
+    /// ANN index parameters.
+    pub ivf: IvfConfig,
+}
+
+impl Default for MemoDbConfig {
+    fn default() -> Self {
+        Self { tau: 0.92, per_location: true, gate_on_raw: true, ivf: IvfConfig::default() }
+    }
+}
+
+/// Outcome of a database query.
+#[derive(Debug, Clone)]
+pub enum QueryOutcome {
+    /// A value passed the τ gate; `similarity` is the measured cosine
+    /// similarity and `key` the encoded key of the query (reusable for the
+    /// compute-node cache).
+    Hit {
+        /// The stored FFT result.
+        value: Arc<Vec<Complex64>>,
+        /// Cosine similarity between query and stored entry.
+        similarity: f64,
+        /// Encoded query key.
+        key: Vec<f64>,
+    },
+    /// No stored entry was similar enough; the encoded key is returned so the
+    /// caller can reuse it for the insertion that follows the exact compute.
+    Miss {
+        /// Encoded query key.
+        key: Vec<f64>,
+    },
+}
+
+/// One index scope (either global or per (op, location)).
+#[derive(Debug)]
+struct Scope {
+    index: IvfIndex,
+}
+
+/// The memoization database.
+pub struct MemoDatabase {
+    config: MemoDbConfig,
+    encoder: CnnEncoder,
+    scopes: HashMap<(FftOpKind, usize), Scope>,
+    values: ValueStore,
+    /// Raw inputs kept for the τ gate (entry id → input chunk).
+    raw_inputs: HashMap<u64, Arc<Vec<Complex64>>>,
+    /// Encoded keys kept for the τ gate when raw gating is disabled.
+    keys: HashMap<u64, Vec<f64>>,
+    /// Outer ADMM iteration in which each entry was inserted.
+    iterations: HashMap<u64, usize>,
+    next_id: u64,
+    /// Total number of index queries served (for reports).
+    queries: u64,
+}
+
+impl MemoDatabase {
+    /// Creates an empty database with the given configuration and a fresh
+    /// (untrained) encoder.
+    pub fn new(config: MemoDbConfig, encoder_config: EncoderConfig, seed: u64) -> Self {
+        Self::with_encoder(config, CnnEncoder::new(encoder_config, seed))
+    }
+
+    /// Creates an empty database around an existing (possibly pre-trained)
+    /// encoder.
+    pub fn with_encoder(config: MemoDbConfig, encoder: CnnEncoder) -> Self {
+        Self {
+            config,
+            encoder,
+            scopes: HashMap::new(),
+            values: ValueStore::new(),
+            raw_inputs: HashMap::new(),
+            keys: HashMap::new(),
+            iterations: HashMap::new(),
+            next_id: 0,
+            queries: 0,
+        }
+    }
+
+    /// The database configuration.
+    pub fn config(&self) -> &MemoDbConfig {
+        &self.config
+    }
+
+    /// Mutable access to the encoder (e.g. to train it on collected chunks).
+    pub fn encoder_mut(&mut self) -> &mut CnnEncoder {
+        &mut self.encoder
+    }
+
+    /// The encoder.
+    pub fn encoder(&self) -> &CnnEncoder {
+        &self.encoder
+    }
+
+    /// Number of stored entries.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Returns `true` when the database holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Approximate resident bytes of the value database.
+    pub fn value_bytes(&self) -> u64 {
+        self.values.bytes()
+    }
+
+    /// Number of queries served.
+    pub fn queries(&self) -> u64 {
+        self.queries
+    }
+
+    /// Encodes an input chunk into a key (exposed for the compute-node cache
+    /// and for benches that time the encoder separately).
+    pub fn encode(&self, input: &[Complex64]) -> Vec<f64> {
+        self.encoder.encode(input)
+    }
+
+    fn scope_key(&self, op: FftOpKind, loc: usize) -> (FftOpKind, usize) {
+        if self.config.per_location {
+            (op, loc)
+        } else {
+            (op, usize::MAX)
+        }
+    }
+
+    /// Queries the database for an entry similar to `input` at
+    /// `(op, loc)`.
+    pub fn query(&mut self, op: FftOpKind, loc: usize, input: &[Complex64]) -> QueryOutcome {
+        let key = self.encode(input);
+        self.query_with_key(op, loc, input, key, usize::MAX)
+    }
+
+    /// Queries with a pre-computed encoded key (avoids double encoding when
+    /// the caller already consulted the compute-node cache).
+    pub fn query_with_key(
+        &mut self,
+        op: FftOpKind,
+        loc: usize,
+        input: &[Complex64],
+        key: Vec<f64>,
+        current_iteration: usize,
+    ) -> QueryOutcome {
+        self.queries += 1;
+        let scope_key = self.scope_key(op, loc);
+        let Some(scope) = self.scopes.get(&scope_key) else {
+            return QueryOutcome::Miss { key };
+        };
+        let Some(hit) = scope.index.search(&key) else {
+            return QueryOutcome::Miss { key };
+        };
+        // Only entries from *earlier* ADMM iterations may be reused; a value
+        // produced within the current LSP solve would feed the CG its own
+        // output back and stall the update.
+        if self.iterations.get(&hit.id).copied().unwrap_or(0) >= current_iteration {
+            return QueryOutcome::Miss { key };
+        }
+        let similarity = if self.config.gate_on_raw {
+            match self.raw_inputs.get(&hit.id) {
+                Some(stored) => scale_aware_similarity_c(input, stored),
+                None => return QueryOutcome::Miss { key },
+            }
+        } else {
+            match self.keys.get(&hit.id) {
+                Some(stored) => scale_aware_similarity(&key, stored),
+                None => return QueryOutcome::Miss { key },
+            }
+        };
+        if similarity > self.config.tau {
+            if let Some(value) = self.values.get(hit.id) {
+                return QueryOutcome::Hit { value, similarity, key };
+            }
+        }
+        QueryOutcome::Miss { key }
+    }
+
+    /// Inserts an entry: the FFT `input` (as the key source) and its computed
+    /// `output` (as the value). Returns the new entry id.
+    pub fn insert(
+        &mut self,
+        op: FftOpKind,
+        loc: usize,
+        input: &[Complex64],
+        key: Vec<f64>,
+        output: Vec<Complex64>,
+        iteration: usize,
+    ) -> u64 {
+        let id = self.next_id;
+        self.next_id += 1;
+        self.iterations.insert(id, iteration);
+        let scope_key = self.scope_key(op, loc);
+        let dim = key.len();
+        let ivf = self.config.ivf;
+        let scope = self
+            .scopes
+            .entry(scope_key)
+            .or_insert_with(|| Scope { index: IvfIndex::new(dim, ivf, id ^ 0x5EED) });
+        scope.index.add(id, key.clone());
+        if self.config.gate_on_raw {
+            self.raw_inputs.insert(id, Arc::new(input.to_vec()));
+        } else {
+            self.keys.insert(id, key);
+        }
+        self.values.put(id, output);
+        id
+    }
+
+    /// Average number of key comparisons one query performs (used by the
+    /// simulated-cost reports).
+    pub fn comparisons_per_query(&self) -> f64 {
+        if self.scopes.is_empty() {
+            return 0.0;
+        }
+        let total: usize = self.scopes.values().map(|s| s.index.comparisons_per_query()).sum();
+        total as f64 / self.scopes.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::encoder::EncoderConfig;
+
+    fn tiny_encoder_config() -> EncoderConfig {
+        EncoderConfig {
+            input_grid: 8,
+            conv1_filters: 2,
+            conv2_filters: 4,
+            embedding_dim: 8,
+            learning_rate: 1e-3,
+        }
+    }
+
+    fn db(tau: f64) -> MemoDatabase {
+        MemoDatabase::new(
+            MemoDbConfig { tau, ..Default::default() },
+            tiny_encoder_config(),
+            1,
+        )
+    }
+
+    fn chunk(scale: f64, phase: f64, n: usize) -> Vec<Complex64> {
+        (0..n)
+            .map(|i| {
+                let t = i as f64 / n as f64;
+                Complex64::new(scale * (5.0 * t + phase).sin(), scale * (3.0 * t).cos())
+            })
+            .collect()
+    }
+
+    #[test]
+    fn query_empty_is_miss() {
+        let mut d = db(0.9);
+        assert!(d.is_empty());
+        match d.query(FftOpKind::Fu2D, 0, &chunk(1.0, 0.0, 128)) {
+            QueryOutcome::Miss { key } => assert_eq!(key.len(), 8),
+            QueryOutcome::Hit { .. } => panic!("unexpected hit"),
+        }
+        assert_eq!(d.queries(), 1);
+    }
+
+    #[test]
+    fn insert_then_identical_query_hits() {
+        let mut d = db(0.9);
+        let input = chunk(1.0, 0.0, 256);
+        let output = chunk(2.0, 1.0, 64);
+        let key = d.encode(&input);
+        d.insert(FftOpKind::Fu2D, 3, &input, key, output.clone(), 0);
+        match d.query(FftOpKind::Fu2D, 3, &input) {
+            QueryOutcome::Hit { value, similarity, .. } => {
+                assert!(similarity > 0.999);
+                assert_eq!(value.as_slice(), output.as_slice());
+            }
+            QueryOutcome::Miss { .. } => panic!("expected hit"),
+        }
+    }
+
+    #[test]
+    fn dissimilar_query_misses() {
+        let mut d = db(0.95);
+        let input = chunk(1.0, 0.0, 256);
+        let key = d.encode(&input);
+        d.insert(FftOpKind::Fu2D, 3, &input, key, chunk(2.0, 1.0, 64), 0);
+        // Same location but very different content.
+        let other = chunk(1.0, 2.5, 256);
+        match d.query(FftOpKind::Fu2D, 3, &other) {
+            QueryOutcome::Miss { .. } => {}
+            QueryOutcome::Hit { similarity, .. } => {
+                panic!("expected miss, got hit with similarity {similarity}")
+            }
+        }
+    }
+
+    #[test]
+    fn per_location_scoping_prevents_cross_location_hits() {
+        let mut d = db(0.9);
+        let input = chunk(1.0, 0.0, 256);
+        let key = d.encode(&input);
+        d.insert(FftOpKind::Fu2D, 0, &input, key, chunk(2.0, 1.0, 64), 0);
+        match d.query(FftOpKind::Fu2D, 1, &input) {
+            QueryOutcome::Miss { .. } => {}
+            QueryOutcome::Hit { .. } => panic!("per-location scoping violated"),
+        }
+    }
+
+    #[test]
+    fn global_scope_allows_cross_location_hits() {
+        let config = MemoDbConfig { tau: 0.9, per_location: false, ..Default::default() };
+        let mut d = MemoDatabase::new(config, tiny_encoder_config(), 2);
+        let input = chunk(1.0, 0.0, 256);
+        let key = d.encode(&input);
+        d.insert(FftOpKind::Fu2D, 0, &input, key, chunk(2.0, 1.0, 64), 0);
+        match d.query(FftOpKind::Fu2D, 7, &input) {
+            QueryOutcome::Hit { .. } => {}
+            QueryOutcome::Miss { .. } => panic!("global scope should hit"),
+        }
+    }
+
+    #[test]
+    fn tau_controls_strictness() {
+        // A mildly perturbed chunk should hit under a loose τ and miss under
+        // a strict one.
+        let base = chunk(1.0, 0.0, 256);
+        let perturbed: Vec<Complex64> =
+            base.iter().enumerate().map(|(i, z)| *z + chunk(0.12, 1.3, 256)[i]).collect();
+        let sim = mlr_math::norms::scale_aware_similarity_c(&base, &perturbed);
+        assert!(sim > 0.85 && sim < 0.999, "test setup: sim {sim}");
+
+        let mut loose = db((sim - 0.05).max(0.0));
+        let key = loose.encode(&base);
+        loose.insert(FftOpKind::Fu1D, 0, &base, key, chunk(2.0, 0.5, 32), 0);
+        assert!(matches!(loose.query(FftOpKind::Fu1D, 0, &perturbed), QueryOutcome::Hit { .. }));
+
+        let mut strict = db((sim + 0.02).min(0.9999));
+        let key = strict.encode(&base);
+        strict.insert(FftOpKind::Fu1D, 0, &base, key, chunk(2.0, 0.5, 32), 0);
+        assert!(matches!(strict.query(FftOpKind::Fu1D, 0, &perturbed), QueryOutcome::Miss { .. }));
+    }
+
+    #[test]
+    fn value_bytes_grow_with_insertions() {
+        let mut d = db(0.9);
+        assert_eq!(d.value_bytes(), 0);
+        for loc in 0..4 {
+            let input = chunk(1.0 + loc as f64, 0.0, 64);
+            let key = d.encode(&input);
+            d.insert(FftOpKind::Fu2D, loc, &input, key, chunk(1.0, 0.0, 32), 0);
+        }
+        assert_eq!(d.len(), 4);
+        assert_eq!(d.value_bytes(), 4 * 32 * 16);
+        assert!(d.comparisons_per_query() > 0.0);
+    }
+}

@@ -1,0 +1,425 @@
+//! The memoized FFT executor.
+//!
+//! [`MemoizedExecutor`] implements `mlr_lamino::FftExecutor`, so the ADMM
+//! solver can run unmodified while every unequally-spaced FFT invocation goes
+//! through the memoization protocol of Figure 6:
+//!
+//! 1. encode the input chunk into a key (CNN encoder, on the CPU);
+//! 2. check the compute-node memoization cache (private per chunk location);
+//! 3. on a cache miss, query the memoization database on the (simulated)
+//!    memory node — key coalescing batches these queries;
+//! 4. on a database hit whose similarity clears `τ`, reuse the stored value;
+//! 5. otherwise compute the FFT exactly and insert the result asynchronously.
+//!
+//! Uniform-FFT operations (`F_2D`, `F*_2D`) are never memoized — after the
+//! operation cancellation of Algorithm 2 they do not appear at all.
+
+use crate::cache::{CacheKind, MemoCache};
+use crate::coalesce::KeyCoalescer;
+use crate::db::{MemoDatabase, MemoDbConfig, QueryOutcome};
+use crate::encoder::EncoderConfig;
+use crate::similarity::SimilarityTracker;
+use crate::stats::{MemoCase, MemoStats};
+use mlr_lamino::{FftExecutor, FftOpKind};
+use mlr_math::Complex64;
+use parking_lot::Mutex;
+use serde::{Deserialize, Serialize};
+use std::time::Instant;
+
+/// Executor configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MemoConfig {
+    /// Similarity threshold `τ` (the paper's default is 0.92).
+    pub tau: f64,
+    /// Master switch: when `false` every invocation is computed exactly
+    /// (useful for producing the reference reconstruction).
+    pub enabled: bool,
+    /// Use the compute-node memoization cache.
+    pub use_cache: bool,
+    /// Cache organisation (private per location vs. global).
+    pub cache_kind: CacheKind,
+    /// Coalesce query keys into ≥4 KB payloads.
+    pub coalesce_keys: bool,
+    /// Payload size at which coalesced batches are flushed.
+    pub coalesce_payload_bytes: usize,
+    /// Track per-location chunk similarity across iterations (Figure 4).
+    pub track_similarity: bool,
+    /// Memoize only the unequally-spaced operations (the paper's choice
+    /// after operation cancellation). When `false`, all six operations are
+    /// memoized.
+    pub usfft_only: bool,
+    /// Number of initial ADMM iterations during which memoization is not
+    /// consulted: early iterates change too quickly for reuse to be safe, and
+    /// the paper's own characterisation (Figure 4) shows similar chunks only
+    /// start appearing after the first iterations.
+    pub warmup_iterations: usize,
+}
+
+impl Default for MemoConfig {
+    fn default() -> Self {
+        Self {
+            tau: 0.92,
+            enabled: true,
+            use_cache: true,
+            cache_kind: CacheKind::Private,
+            coalesce_keys: true,
+            coalesce_payload_bytes: 4096,
+            track_similarity: false,
+            usfft_only: true,
+            warmup_iterations: 2,
+        }
+    }
+}
+
+/// Mutable state behind one lock: the protocol is sequential per chunk
+/// anyway (the solver iterates chunk by chunk), so a single mutex keeps the
+/// implementation simple without measurable contention.
+struct EngineState {
+    db: MemoDatabase,
+    cache: MemoCache,
+    coalescer: KeyCoalescer,
+    stats: MemoStats,
+    similarity: SimilarityTracker,
+    iteration: usize,
+}
+
+/// The memoized FFT executor.
+pub struct MemoizedExecutor {
+    config: MemoConfig,
+    state: Mutex<EngineState>,
+}
+
+impl MemoizedExecutor {
+    /// Creates an executor with the given configuration, database
+    /// configuration, and encoder.
+    pub fn new(config: MemoConfig, encoder_config: EncoderConfig, seed: u64) -> Self {
+        let db_config = MemoDbConfig { tau: config.tau, ..Default::default() };
+        let db = MemoDatabase::new(db_config, encoder_config, seed);
+        Self::with_database(config, db)
+    }
+
+    /// Creates an executor around an existing database (e.g. with a
+    /// pre-trained encoder).
+    pub fn with_database(config: MemoConfig, db: MemoDatabase) -> Self {
+        let cache_capacity = 4096;
+        Self {
+            config,
+            state: Mutex::new(EngineState {
+                db,
+                cache: MemoCache::new(config.cache_kind, cache_capacity),
+                coalescer: KeyCoalescer::new(config.coalesce_payload_bytes, config.coalesce_keys),
+                stats: MemoStats::new(),
+                similarity: SimilarityTracker::new(config.tau),
+                iteration: 0,
+            }),
+        }
+    }
+
+    /// The executor configuration.
+    pub fn config(&self) -> &MemoConfig {
+        &self.config
+    }
+
+    /// Marks the start of a new ADMM (outer) iteration; used by the
+    /// similarity tracker and by reports.
+    pub fn begin_iteration(&self, iteration: usize) {
+        self.state.lock().iteration = iteration;
+    }
+
+    /// Snapshot of the accumulated statistics.
+    pub fn stats(&self) -> MemoStats {
+        self.state.lock().stats.clone()
+    }
+
+    /// Snapshot of the compute-node cache statistics.
+    pub fn cache_stats(&self) -> crate::cache::CacheStats {
+        self.state.lock().cache.stats()
+    }
+
+    /// Snapshot of the key-coalescing statistics.
+    pub fn coalesce_stats(&self) -> crate::coalesce::CoalesceStats {
+        self.state.lock().coalescer.stats()
+    }
+
+    /// Number of entries in the memoization database.
+    pub fn db_len(&self) -> usize {
+        self.state.lock().db.len()
+    }
+
+    /// Resident bytes of the value database.
+    pub fn db_value_bytes(&self) -> u64 {
+        self.state.lock().db.value_bytes()
+    }
+
+    /// Chunk-similarity series for a location (only populated when
+    /// `track_similarity` is on).
+    pub fn similarity_series(&self, location: usize) -> Vec<(usize, usize)> {
+        self.state.lock().similarity.series(location)
+    }
+
+    /// Fraction of iterations in which a similar prior chunk existed.
+    pub fn similarity_fraction(&self) -> f64 {
+        self.state.lock().similarity.fraction_with_similar()
+    }
+
+    /// Trains the database's CNN encoder on the provided sample chunks using
+    /// the contrastive objective.
+    pub fn train_encoder(&self, samples: &[Vec<Complex64>], epochs: usize) -> f64 {
+        let mut state = self.state.lock();
+        let loss = state.db.encoder_mut().train_contrastive(samples, epochs);
+        state.db.encoder_mut().quantise_weights();
+        loss
+    }
+
+    fn should_memoize(&self, kind: FftOpKind) -> bool {
+        self.config.enabled && (!self.config.usfft_only || kind.is_unequally_spaced())
+    }
+}
+
+impl FftExecutor for MemoizedExecutor {
+    fn begin_iteration(&self, iteration: usize) {
+        MemoizedExecutor::begin_iteration(self, iteration);
+    }
+
+    fn execute(
+        &self,
+        kind: FftOpKind,
+        loc: usize,
+        input: &[Complex64],
+        compute: &dyn Fn(&[Complex64]) -> Vec<Complex64>,
+    ) -> Vec<Complex64> {
+        let in_warmup = self.state.lock().iteration < self.config.warmup_iterations;
+        if !self.should_memoize(kind) || in_warmup {
+            let start = Instant::now();
+            let out = compute(input);
+            let mut state = self.state.lock();
+            state.stats.record(kind, MemoCase::Computed);
+            state.stats.add_compute_time(kind, start.elapsed().as_secs_f64());
+            return out;
+        }
+
+        let mut state = self.state.lock();
+        let iteration = state.iteration;
+        if self.config.track_similarity {
+            state.similarity.record(loc, iteration, input);
+        }
+
+        // 1. Encode the key once.
+        let key = state.db.encode(input);
+        state.stats.add_encoded_key(kind);
+
+        // 2. Compute-node cache.
+        if self.config.use_cache {
+            if let Some(value) = state.cache.lookup(kind, loc, &key, self.config.tau, iteration) {
+                state.stats.record(kind, MemoCase::CacheHit);
+                return value.as_ref().clone();
+            }
+        }
+
+        // 3. Key coalescing: the query key travels to the memory node as part
+        //    of a batch. The batch boundary only affects *when* bytes cross
+        //    the wire (accounted in the stats), not the query result.
+        let key_bytes = (key.len() * 8) as u64;
+        if let Some(batch) = state.coalescer.submit(loc, key.clone()) {
+            let batch_bytes: u64 = batch.iter().map(|k| (k.key.len() * 8) as u64).sum();
+            state.stats.add_remote_bytes(kind, batch_bytes);
+        } else {
+            // Buffered; bytes accounted when the batch flushes.
+            let _ = key_bytes;
+        }
+
+        // 4. Query the memoization database.
+        match state.db.query_with_key(kind, loc, input, key, iteration) {
+            QueryOutcome::Hit { value, key, .. } => {
+                state.stats.record(kind, MemoCase::DbHit);
+                state.stats.add_remote_bytes(kind, (value.len() * 16) as u64);
+                if self.config.use_cache {
+                    state.cache.insert(kind, loc, key, value.clone(), iteration);
+                }
+                value.as_ref().clone()
+            }
+            QueryOutcome::Miss { key } => {
+                // 5. Compute exactly and insert (the insertion itself is
+                //    overlapped with the next chunk's compute in the real
+                //    system; here only its bytes are accounted).
+                drop(state);
+                let start = Instant::now();
+                let out = compute(input);
+                let elapsed = start.elapsed().as_secs_f64();
+                let mut state = self.state.lock();
+                state.stats.record(kind, MemoCase::FailedMemo);
+                state.stats.add_compute_time(kind, elapsed);
+                state.stats.add_remote_bytes(kind, (out.len() * 16) as u64);
+                let iteration = state.iteration;
+                state.db.insert(kind, loc, input, key, out.clone(), iteration);
+                out
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mlr_lamino::DirectExecutor;
+    use mlr_math::rng::seeded;
+    use rand::Rng;
+
+    /// Default config with warm-up disabled so the protocol is exercised
+    /// from the first call.
+    fn test_config() -> MemoConfig {
+        MemoConfig { warmup_iterations: 0, ..Default::default() }
+    }
+
+    fn tiny_encoder() -> EncoderConfig {
+        EncoderConfig {
+            input_grid: 8,
+            conv1_filters: 2,
+            conv2_filters: 4,
+            embedding_dim: 8,
+            learning_rate: 1e-3,
+        }
+    }
+
+    fn chunk(seed: u64, n: usize) -> Vec<Complex64> {
+        let mut rng = seeded(seed);
+        (0..n).map(|_| Complex64::new(rng.gen::<f64>(), rng.gen::<f64>())).collect()
+    }
+
+    /// A deterministic stand-in FFT: negate and swap components.
+    fn fake_fft(input: &[Complex64]) -> Vec<Complex64> {
+        input.iter().map(|z| Complex64::new(-z.im, z.re)).collect()
+    }
+
+    #[test]
+    fn identical_inputs_hit_after_first_miss() {
+        let exec = MemoizedExecutor::new(test_config(), tiny_encoder(), 1);
+        let input = chunk(1, 128);
+        exec.begin_iteration(0);
+        let first = exec.execute(FftOpKind::Fu2D, 0, &input, &fake_fft);
+        exec.begin_iteration(1);
+        let second = exec.execute(FftOpKind::Fu2D, 0, &input, &fake_fft);
+        assert_eq!(first, second);
+        let stats = exec.stats().op(FftOpKind::Fu2D);
+        assert_eq!(stats.failed_memo, 1);
+        assert_eq!(stats.db_hits + stats.cache_hits, 1);
+        assert_eq!(exec.db_len(), 1);
+    }
+
+    #[test]
+    fn cache_hit_comes_from_compute_node_cache() {
+        let exec = MemoizedExecutor::new(test_config(), tiny_encoder(), 2);
+        let input = chunk(2, 128);
+        exec.begin_iteration(0);
+        let _ = exec.execute(FftOpKind::Fu1D, 5, &input, &fake_fft);
+        // Later iterations with an identical chunk: the first goes to the DB
+        // (and fills the cache), subsequent ones hit the cache.
+        exec.begin_iteration(1);
+        let _ = exec.execute(FftOpKind::Fu1D, 5, &input, &fake_fft);
+        exec.begin_iteration(2);
+        let _ = exec.execute(FftOpKind::Fu1D, 5, &input, &fake_fft);
+        let stats = exec.stats().op(FftOpKind::Fu1D);
+        assert_eq!(stats.failed_memo, 1);
+        assert!(stats.cache_hits >= 1, "stats: {stats:?}");
+    }
+
+    #[test]
+    fn disabled_memoization_always_computes() {
+        let config = MemoConfig { enabled: false, ..test_config() };
+        let exec = MemoizedExecutor::new(config, tiny_encoder(), 3);
+        let input = chunk(3, 64);
+        for _ in 0..3 {
+            let out = exec.execute(FftOpKind::Fu2D, 0, &input, &fake_fft);
+            assert_eq!(out, fake_fft(&input));
+        }
+        let stats = exec.stats().op(FftOpKind::Fu2D);
+        assert_eq!(stats.computed, 3);
+        assert_eq!(stats.failed_memo + stats.db_hits + stats.cache_hits, 0);
+        assert_eq!(exec.db_len(), 0);
+    }
+
+    #[test]
+    fn uniform_fft_ops_are_not_memoized_by_default() {
+        let exec = MemoizedExecutor::new(test_config(), tiny_encoder(), 4);
+        let input = chunk(4, 64);
+        let _ = exec.execute(FftOpKind::F2D, 0, &input, &fake_fft);
+        let _ = exec.execute(FftOpKind::F2D, 0, &input, &fake_fft);
+        let stats = exec.stats().op(FftOpKind::F2D);
+        assert_eq!(stats.computed, 2);
+        assert_eq!(exec.db_len(), 0);
+    }
+
+    #[test]
+    fn results_match_direct_executor_when_inputs_differ() {
+        // With completely different inputs every call, memoization never
+        // hits, so outputs must equal the exact computation.
+        let exec = MemoizedExecutor::new(test_config(), tiny_encoder(), 5);
+        let direct = DirectExecutor;
+        for i in 0..5 {
+            let input = chunk(100 + i, 96);
+            let memo_out = exec.execute(FftOpKind::Fu2D, i as usize, &input, &fake_fft);
+            let direct_out = direct.execute(FftOpKind::Fu2D, i as usize, &input, &fake_fft);
+            assert_eq!(memo_out, direct_out);
+        }
+        let stats = exec.stats().op(FftOpKind::Fu2D);
+        assert_eq!(stats.failed_memo, 5);
+        assert_eq!(stats.db_hits + stats.cache_hits, 0);
+    }
+
+    #[test]
+    fn similar_inputs_reuse_stored_value_approximately() {
+        let config = MemoConfig { tau: 0.90, ..test_config() };
+        let exec = MemoizedExecutor::new(config, tiny_encoder(), 6);
+        let base = chunk(6, 256);
+        exec.begin_iteration(0);
+        let exact_base = exec.execute(FftOpKind::Fu2D, 0, &base, &fake_fft);
+        // Slightly perturbed input in the next iteration: similar enough to
+        // reuse.
+        let perturbed: Vec<Complex64> =
+            base.iter().map(|z| *z + Complex64::new(0.01, -0.01)).collect();
+        exec.begin_iteration(1);
+        let reused = exec.execute(FftOpKind::Fu2D, 0, &perturbed, &fake_fft);
+        // The reused value is the *stored* result, i.e. an approximation of
+        // the exact result for the perturbed input.
+        assert_eq!(reused, exact_base);
+        let exact_perturbed = fake_fft(&perturbed);
+        let err = mlr_math::norms::l2_distance_c(&reused, &exact_perturbed)
+            / mlr_math::norms::l2_norm_c(&exact_perturbed);
+        assert!(err < 0.05, "approximation error too large: {err}");
+        let stats = exec.stats().op(FftOpKind::Fu2D);
+        assert_eq!(stats.db_hits + stats.cache_hits, 1);
+    }
+
+    #[test]
+    fn similarity_tracking_collects_series() {
+        let config = MemoConfig { track_similarity: true, tau: 0.9, ..test_config() };
+        let exec = MemoizedExecutor::new(config, tiny_encoder(), 7);
+        let base = chunk(7, 64);
+        for it in 0..4 {
+            exec.begin_iteration(it);
+            let scaled: Vec<Complex64> =
+                base.iter().map(|z| z.scale(1.0 + 0.001 * it as f64)).collect();
+            let _ = exec.execute(FftOpKind::Fu2D, 2, &scaled, &fake_fft);
+        }
+        let series = exec.similarity_series(2);
+        assert_eq!(series.len(), 4);
+        assert_eq!(series[0].1, 0);
+        assert!(series[3].1 >= 1);
+        assert!(exec.similarity_fraction() > 0.0);
+    }
+
+    #[test]
+    fn coalesce_stats_accumulate() {
+        let config =
+            MemoConfig { coalesce_keys: true, coalesce_payload_bytes: 64, ..test_config() };
+        let exec = MemoizedExecutor::new(config, tiny_encoder(), 8);
+        for i in 0..6 {
+            let _ = exec.execute(FftOpKind::Fu2D, i, &chunk(200 + i as u64, 64), &fake_fft);
+        }
+        let cs = exec.coalesce_stats();
+        assert_eq!(cs.keys, 6);
+        assert!(cs.messages >= 1);
+        assert!(exec.db_value_bytes() > 0);
+        assert!(exec.cache_stats().lookups >= 6);
+    }
+}

@@ -1,0 +1,169 @@
+//! The value database: an in-memory sharded key-value store.
+//!
+//! The paper uses Redis on the memory node to hold the FFT-operation results
+//! (the "values"); the compute node retrieves a value only after the index
+//! database has produced a matching key. This module provides the same
+//! get/put/async-put surface as an embedded, sharded hash map guarded by
+//! `parking_lot` locks, with byte accounting so the harnesses can report
+//! database growth against the memory node's capacity.
+
+use mlr_math::Complex64;
+use parking_lot::RwLock;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Number of shards; a small power of two is plenty for the access pattern
+/// (one writer per chunk, many readers).
+const SHARDS: usize = 16;
+
+/// An in-memory, thread-safe value store mapping entry ids to FFT results.
+#[derive(Debug, Default)]
+pub struct ValueStore {
+    shards: Vec<RwLock<HashMap<u64, Arc<Vec<Complex64>>>>>,
+    bytes: AtomicU64,
+    puts: AtomicU64,
+    gets: AtomicU64,
+    hits: AtomicU64,
+}
+
+impl ValueStore {
+    /// Creates an empty store.
+    pub fn new() -> Self {
+        Self {
+            shards: (0..SHARDS).map(|_| RwLock::new(HashMap::new())).collect(),
+            bytes: AtomicU64::new(0),
+            puts: AtomicU64::new(0),
+            gets: AtomicU64::new(0),
+            hits: AtomicU64::new(0),
+        }
+    }
+
+    #[inline]
+    fn shard(&self, id: u64) -> &RwLock<HashMap<u64, Arc<Vec<Complex64>>>> {
+        &self.shards[(id as usize) % SHARDS]
+    }
+
+    /// Stores (or replaces) the value for `id`. Returns the previous value's
+    /// size in bytes, if any.
+    pub fn put(&self, id: u64, value: Vec<Complex64>) -> Option<usize> {
+        let new_bytes = value.len() as u64 * 16;
+        let prev = self.shard(id).write().insert(id, Arc::new(value));
+        self.puts.fetch_add(1, Ordering::Relaxed);
+        self.bytes.fetch_add(new_bytes, Ordering::Relaxed);
+        prev.map(|old| {
+            let old_bytes = old.len() * 16;
+            self.bytes.fetch_sub(old_bytes as u64, Ordering::Relaxed);
+            old_bytes
+        })
+    }
+
+    /// Retrieves the value for `id`, if present. The value is shared (`Arc`)
+    /// so large results are not copied on the hot path.
+    pub fn get(&self, id: u64) -> Option<Arc<Vec<Complex64>>> {
+        self.gets.fetch_add(1, Ordering::Relaxed);
+        let hit = self.shard(id).read().get(&id).cloned();
+        if hit.is_some() {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+        }
+        hit
+    }
+
+    /// Removes the value for `id`, if present.
+    pub fn remove(&self, id: u64) -> bool {
+        let removed = self.shard(id).write().remove(&id);
+        if let Some(v) = removed {
+            self.bytes.fetch_sub(v.len() as u64 * 16, Ordering::Relaxed);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Number of stored values.
+    pub fn len(&self) -> usize {
+        self.shards.iter().map(|s| s.read().len()).sum()
+    }
+
+    /// Returns `true` when no values are stored.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Approximate resident size of the stored values, in bytes.
+    pub fn bytes(&self) -> u64 {
+        self.bytes.load(Ordering::Relaxed)
+    }
+
+    /// `(puts, gets, hits)` counters.
+    pub fn counters(&self) -> (u64, u64, u64) {
+        (
+            self.puts.load(Ordering::Relaxed),
+            self.gets.load(Ordering::Relaxed),
+            self.hits.load(Ordering::Relaxed),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn value(n: usize, v: f64) -> Vec<Complex64> {
+        vec![Complex64::new(v, -v); n]
+    }
+
+    #[test]
+    fn put_get_roundtrip() {
+        let store = ValueStore::new();
+        assert!(store.is_empty());
+        store.put(42, value(8, 1.0));
+        let got = store.get(42).expect("stored value");
+        assert_eq!(got.len(), 8);
+        assert_eq!(got[0], Complex64::new(1.0, -1.0));
+        assert!(store.get(43).is_none());
+        assert_eq!(store.len(), 1);
+    }
+
+    #[test]
+    fn byte_accounting_on_replace_and_remove() {
+        let store = ValueStore::new();
+        store.put(1, value(10, 1.0));
+        assert_eq!(store.bytes(), 160);
+        let prev = store.put(1, value(4, 2.0));
+        assert_eq!(prev, Some(160));
+        assert_eq!(store.bytes(), 64);
+        assert!(store.remove(1));
+        assert!(!store.remove(1));
+        assert_eq!(store.bytes(), 0);
+    }
+
+    #[test]
+    fn counters_track_hits() {
+        let store = ValueStore::new();
+        store.put(7, value(2, 3.0));
+        let _ = store.get(7);
+        let _ = store.get(8);
+        let (puts, gets, hits) = store.counters();
+        assert_eq!((puts, gets, hits), (1, 2, 1));
+    }
+
+    #[test]
+    fn concurrent_access_is_safe() {
+        let store = Arc::new(ValueStore::new());
+        let mut handles = Vec::new();
+        for t in 0..8u64 {
+            let s = Arc::clone(&store);
+            handles.push(std::thread::spawn(move || {
+                for i in 0..100u64 {
+                    s.put(t * 1000 + i, value(4, i as f64));
+                    assert!(s.get(t * 1000 + i).is_some());
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(store.len(), 800);
+    }
+}

@@ -1,0 +1,51 @@
+//! # mlr-memo
+//!
+//! The distributed memoization system that is mLR's core contribution:
+//! replace expensive unequally-spaced FFT operations with values computed in
+//! earlier ADMM iterations whenever the operation's input chunk is
+//! sufficiently similar (cosine similarity above a threshold `τ`) to a chunk
+//! seen before.
+//!
+//! The crate mirrors the paper's architecture piece by piece:
+//!
+//! * [`encoder`] — the CNN key encoder (§4.3.1): complex chunks are split
+//!   into real/imaginary planes, passed through a small convolutional network
+//!   trained with a contrastive loss so that chunks with similar content land
+//!   close together in a ~60-dimensional embedding space; weights can be
+//!   quantised to INT8 for cheap CPU inference.
+//! * [`ann`] — the index database (§4.3.2): a from-scratch cluster-based
+//!   (IVF) approximate-nearest-neighbour index standing in for Faiss,
+//!   supporting dynamic insertion and batched queries.
+//! * [`kvstore`] — the value database: an in-memory sharded key-value store
+//!   standing in for Redis, with asynchronous insertion.
+//! * [`db`] — the memoization database combining encoder + index + values,
+//!   with the τ-thresholded query/insert protocol.
+//! * [`cache`] — the compute-node memoization cache (§4.4): a one-entry FIFO
+//!   cache *private to each chunk location*, compared against a global cache.
+//! * [`coalesce`] — key coalescing (§4.3.3): queries are buffered until the
+//!   payload reaches the interconnect's saturating size (4 KB).
+//! * [`engine`] — the [`MemoizedExecutor`], an implementation of
+//!   `mlr_lamino::FftExecutor` that the ADMM solver can use in place of the
+//!   direct executor; it accounts simulated time against `mlr-sim`'s cost
+//!   model and records the per-case statistics behind Figures 10–12.
+//! * [`similarity`] — the chunk-similarity tracker behind Figure 4.
+
+pub mod ann;
+pub mod cache;
+pub mod coalesce;
+pub mod db;
+pub mod encoder;
+pub mod engine;
+pub mod kvstore;
+pub mod similarity;
+pub mod stats;
+
+pub use ann::IvfIndex;
+pub use cache::{CacheKind, MemoCache};
+pub use coalesce::KeyCoalescer;
+pub use db::{MemoDatabase, MemoDbConfig, QueryOutcome};
+pub use encoder::{CnnEncoder, EncoderConfig};
+pub use engine::{MemoConfig, MemoizedExecutor};
+pub use kvstore::ValueStore;
+pub use similarity::SimilarityTracker;
+pub use stats::{MemoCase, MemoStats, OpStats};

@@ -1,0 +1,215 @@
+//! Memoization statistics.
+//!
+//! The engine classifies every memoizable FFT invocation into the three cases
+//! of the paper's §6.4 breakdown (Figure 10):
+//!
+//! 1. **failed memoization** — no sufficiently similar entry exists; the FFT
+//!    is computed and the result inserted into the database;
+//! 2. **successful memoization** — a database entry is reused (remote round
+//!    trip, no FFT);
+//! 3. **cache hit** — the compute-node cache satisfies the query (no remote
+//!    round trip, no FFT).
+
+use mlr_lamino::FftOpKind;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// How one memoizable FFT invocation was satisfied.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum MemoCase {
+    /// Computed exactly, without consulting the memoization system (either
+    /// memoization is disabled or the operation is not memoizable).
+    Computed,
+    /// Case 1: database miss → compute + insert.
+    FailedMemo,
+    /// Case 2: database hit (value retrieved from the memory node).
+    DbHit,
+    /// Case 3: compute-node cache hit.
+    CacheHit,
+}
+
+/// Per-operation counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct OpStats {
+    /// Invocations computed without memoization.
+    pub computed: u64,
+    /// Case-1 invocations (miss + insert).
+    pub failed_memo: u64,
+    /// Case-2 invocations (database hit).
+    pub db_hits: u64,
+    /// Case-3 invocations (cache hit).
+    pub cache_hits: u64,
+    /// Wall-clock seconds spent inside the exact compute closure.
+    pub compute_seconds: f64,
+    /// Keys encoded.
+    pub keys_encoded: u64,
+    /// Bytes shipped to/from the memory node (keys + values).
+    pub remote_bytes: u64,
+}
+
+impl OpStats {
+    /// Total memoizable invocations.
+    pub fn total(&self) -> u64 {
+        self.computed + self.failed_memo + self.db_hits + self.cache_hits
+    }
+
+    /// Fraction of invocations whose FFT computation was avoided.
+    pub fn avoided_fraction(&self) -> f64 {
+        let total = self.total();
+        if total == 0 {
+            0.0
+        } else {
+            (self.db_hits + self.cache_hits) as f64 / total as f64
+        }
+    }
+}
+
+/// Aggregated statistics across operations.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct MemoStats {
+    per_op: HashMap<FftOpKind, OpStats>,
+}
+
+impl MemoStats {
+    /// Creates empty statistics.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one invocation outcome.
+    pub fn record(&mut self, op: FftOpKind, case: MemoCase) {
+        let entry = self.per_op.entry(op).or_default();
+        match case {
+            MemoCase::Computed => entry.computed += 1,
+            MemoCase::FailedMemo => entry.failed_memo += 1,
+            MemoCase::DbHit => entry.db_hits += 1,
+            MemoCase::CacheHit => entry.cache_hits += 1,
+        }
+    }
+
+    /// Adds compute wall-clock time for an operation.
+    pub fn add_compute_time(&mut self, op: FftOpKind, seconds: f64) {
+        self.per_op.entry(op).or_default().compute_seconds += seconds;
+    }
+
+    /// Adds one encoded key for an operation.
+    pub fn add_encoded_key(&mut self, op: FftOpKind) {
+        self.per_op.entry(op).or_default().keys_encoded += 1;
+    }
+
+    /// Adds remote traffic for an operation.
+    pub fn add_remote_bytes(&mut self, op: FftOpKind, bytes: u64) {
+        self.per_op.entry(op).or_default().remote_bytes += bytes;
+    }
+
+    /// Counters for one operation.
+    pub fn op(&self, op: FftOpKind) -> OpStats {
+        self.per_op.get(&op).copied().unwrap_or_default()
+    }
+
+    /// Sum over all operations.
+    pub fn total(&self) -> OpStats {
+        let mut out = OpStats::default();
+        for s in self.per_op.values() {
+            out.computed += s.computed;
+            out.failed_memo += s.failed_memo;
+            out.db_hits += s.db_hits;
+            out.cache_hits += s.cache_hits;
+            out.compute_seconds += s.compute_seconds;
+            out.keys_encoded += s.keys_encoded;
+            out.remote_bytes += s.remote_bytes;
+        }
+        out
+    }
+
+    /// Distribution of the three memoization cases over all memoizable
+    /// invocations: `(failed, db_hit, cache_hit)` as fractions summing to 1
+    /// (ignores plain computed invocations). Matches the paper's 53/19/28 %
+    /// breakdown in §6.4.
+    pub fn case_distribution(&self) -> (f64, f64, f64) {
+        let t = self.total();
+        let memoizable = (t.failed_memo + t.db_hits + t.cache_hits) as f64;
+        if memoizable == 0.0 {
+            return (0.0, 0.0, 0.0);
+        }
+        (
+            t.failed_memo as f64 / memoizable,
+            t.db_hits as f64 / memoizable,
+            t.cache_hits as f64 / memoizable,
+        )
+    }
+
+    /// Merges another set of statistics into this one.
+    pub fn merge(&mut self, other: &MemoStats) {
+        for (op, s) in &other.per_op {
+            let entry = self.per_op.entry(*op).or_default();
+            entry.computed += s.computed;
+            entry.failed_memo += s.failed_memo;
+            entry.db_hits += s.db_hits;
+            entry.cache_hits += s.cache_hits;
+            entry.compute_seconds += s.compute_seconds;
+            entry.keys_encoded += s.keys_encoded;
+            entry.remote_bytes += s.remote_bytes;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_and_query() {
+        let mut s = MemoStats::new();
+        s.record(FftOpKind::Fu2D, MemoCase::FailedMemo);
+        s.record(FftOpKind::Fu2D, MemoCase::DbHit);
+        s.record(FftOpKind::Fu2D, MemoCase::CacheHit);
+        s.record(FftOpKind::Fu1D, MemoCase::Computed);
+        let fu2d = s.op(FftOpKind::Fu2D);
+        assert_eq!(fu2d.total(), 3);
+        assert!((fu2d.avoided_fraction() - 2.0 / 3.0).abs() < 1e-12);
+        assert_eq!(s.total().total(), 4);
+    }
+
+    #[test]
+    fn case_distribution_sums_to_one() {
+        let mut s = MemoStats::new();
+        for _ in 0..53 {
+            s.record(FftOpKind::Fu2D, MemoCase::FailedMemo);
+        }
+        for _ in 0..19 {
+            s.record(FftOpKind::Fu2D, MemoCase::DbHit);
+        }
+        for _ in 0..28 {
+            s.record(FftOpKind::Fu2D, MemoCase::CacheHit);
+        }
+        let (f, d, c) = s.case_distribution();
+        assert!((f + d + c - 1.0).abs() < 1e-12);
+        assert!((f - 0.53).abs() < 1e-12);
+        assert!((c - 0.28).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_distribution_is_zero() {
+        let s = MemoStats::new();
+        assert_eq!(s.case_distribution(), (0.0, 0.0, 0.0));
+        assert_eq!(s.op(FftOpKind::Fu1D).total(), 0);
+    }
+
+    #[test]
+    fn merge_accumulates() {
+        let mut a = MemoStats::new();
+        a.record(FftOpKind::Fu1D, MemoCase::DbHit);
+        a.add_compute_time(FftOpKind::Fu1D, 1.5);
+        let mut b = MemoStats::new();
+        b.record(FftOpKind::Fu1D, MemoCase::DbHit);
+        b.add_remote_bytes(FftOpKind::Fu1D, 100);
+        b.add_encoded_key(FftOpKind::Fu1D);
+        a.merge(&b);
+        let s = a.op(FftOpKind::Fu1D);
+        assert_eq!(s.db_hits, 2);
+        assert_eq!(s.remote_bytes, 100);
+        assert_eq!(s.keys_encoded, 1);
+        assert!((s.compute_seconds - 1.5).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,33 @@
+//! # mlr-offload
+//!
+//! ADMM-Offload (§5.1 of the paper): reduce the CPU-memory footprint of
+//! ADMM-FFT by moving large auxiliary variables (ψ, λ, g, g_prev) to SSD
+//! while they are not being accessed, and prefetching them back just before
+//! the phase that needs them — without exposing the data movement on the
+//! critical path if it can be helped.
+//!
+//! The crate has four pieces:
+//!
+//! * [`profile`] — the per-variable liveness profile of one ADMM iteration
+//!   (which phase touches which variable, when, and how large it is),
+//!   derived from the analytic workload model in `mlr-sim`.
+//! * [`planner`] — enumerates offload/prefetch plans, rejects those that
+//!   violate the paper's four constraints, prices memory saving `M` and
+//!   performance loss `T` for the rest, and selects the plan with the
+//!   largest `MT = M / T`.
+//! * [`simulate`] — produces RSS-over-time traces and total execution time
+//!   for no offloading, greedy offloading, LRU-style offloading and the
+//!   planned ADMM-Offload (Figure 13 and the §5.1 LRU comparison).
+//! * [`store`] — a real file-backed variable store: offloaded variables are
+//!   written to and read back from disk, demonstrating the mechanism end to
+//!   end at laptop scale.
+
+pub mod planner;
+pub mod profile;
+pub mod simulate;
+pub mod store;
+
+pub use planner::{OffloadPlan, OffloadPlanner, PlanEvaluation};
+pub use profile::{AccessWindow, IterationProfile, VariableProfile};
+pub use simulate::{simulate_strategy, OffloadStrategy, OffloadTrace};
+pub use store::SsdStore;

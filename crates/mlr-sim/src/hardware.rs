@@ -1,0 +1,244 @@
+//! Hardware specifications.
+//!
+//! All values are *nominal* device capabilities; the cost model applies
+//! efficiency factors on top (real codes never reach peak FLOPs or peak
+//! bandwidth). The default constructors mirror the Polaris nodes used in the
+//! paper's evaluation.
+
+use serde::{Deserialize, Serialize};
+
+/// A GPU device.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GpuSpec {
+    /// Marketing name, for reports.
+    pub name: String,
+    /// Peak FP32 throughput in TFLOP/s.
+    pub fp32_tflops: f64,
+    /// HBM capacity in GiB.
+    pub hbm_gib: f64,
+    /// HBM bandwidth in GB/s.
+    pub hbm_gbps: f64,
+    /// Kernel launch overhead in microseconds.
+    pub kernel_launch_us: f64,
+}
+
+impl GpuSpec {
+    /// NVIDIA A100-40GB (SXM), the Polaris GPU.
+    pub fn a100_40gb() -> Self {
+        Self {
+            name: "NVIDIA A100-40GB".to_string(),
+            fp32_tflops: 19.5,
+            hbm_gib: 40.0,
+            hbm_gbps: 1555.0,
+            kernel_launch_us: 5.0,
+        }
+    }
+}
+
+/// A local NVMe SSD (possibly a RAID of two, as on Polaris).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SsdSpec {
+    /// Capacity in GiB.
+    pub capacity_gib: f64,
+    /// Sequential read bandwidth in GB/s.
+    pub read_gbps: f64,
+    /// Sequential write bandwidth in GB/s.
+    pub write_gbps: f64,
+    /// Access latency in microseconds.
+    pub latency_us: f64,
+}
+
+impl SsdSpec {
+    /// Polaris local NVMe (2 drives, 3.2 TB total).
+    pub fn polaris_nvme() -> Self {
+        Self { capacity_gib: 3200.0, read_gbps: 6.4, write_gbps: 4.2, latency_us: 80.0 }
+    }
+}
+
+/// The inter-node interconnect (and the link to the memory node).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct InterconnectSpec {
+    /// Bidirectional injection bandwidth per node in Gb/s (the paper quotes
+    /// 200 Gb/s for dual Slingshot-11).
+    pub injection_gbps: f64,
+    /// Base one-way latency in microseconds.
+    pub latency_us: f64,
+    /// Fixed per-message software/RDMA-setup overhead in microseconds.
+    pub per_message_us: f64,
+    /// Payload size (bytes) that reaches ~95 % of peak bandwidth utilisation;
+    /// smaller payloads are penalised (this is what key coalescing fixes).
+    pub saturating_payload_bytes: f64,
+}
+
+impl InterconnectSpec {
+    /// HPE Slingshot-11 as configured on Polaris.
+    pub fn slingshot11() -> Self {
+        Self {
+            injection_gbps: 200.0,
+            latency_us: 2.0,
+            per_message_us: 1.5,
+            saturating_payload_bytes: 4096.0,
+        }
+    }
+
+    /// Injection bandwidth in GB/s (bytes, not bits).
+    pub fn injection_gb_per_s(&self) -> f64 {
+        self.injection_gbps / 8.0
+    }
+
+    /// Fraction of peak bandwidth achieved by a message of `payload_bytes`,
+    /// following a simple saturation curve: utilisation approaches 1 as the
+    /// payload approaches [`Self::saturating_payload_bytes`], and 95 % is
+    /// reached exactly at that size (matching the paper's observation that
+    /// 4 KB payloads reach 95 % utilisation on Slingshot-11).
+    pub fn payload_utilisation(&self, payload_bytes: f64) -> f64 {
+        if payload_bytes <= 0.0 {
+            return 0.0;
+        }
+        // u(p) = p / (p + k) with k chosen so u(saturating) = 0.95.
+        let k = self.saturating_payload_bytes * (1.0 - 0.95) / 0.95;
+        payload_bytes / (payload_bytes + k)
+    }
+}
+
+/// A host (compute node) with CPUs, DRAM, GPUs, SSD.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct NodeSpec {
+    /// Physical CPU cores.
+    pub cpu_cores: usize,
+    /// Sustained per-core GFLOP/s for the CPU cost model.
+    pub cpu_core_gflops: f64,
+    /// DRAM capacity in GiB.
+    pub dram_gib: f64,
+    /// DRAM bandwidth in GB/s.
+    pub dram_gbps: f64,
+    /// Number of GPUs.
+    pub gpus: usize,
+    /// GPU model.
+    pub gpu: GpuSpec,
+    /// Host↔GPU PCIe bandwidth in GB/s (per direction).
+    pub pcie_gbps: f64,
+    /// GPU↔GPU NVLink bandwidth in GB/s.
+    pub nvlink_gbps: f64,
+    /// Local SSD.
+    pub ssd: SsdSpec,
+}
+
+impl NodeSpec {
+    /// A Polaris compute node: 1× EPYC 7543P (32 cores), 512 GB DDR4,
+    /// 4× A100-40GB, PCIe Gen4 x16, NVLink, local NVMe.
+    pub fn polaris() -> Self {
+        Self {
+            cpu_cores: 32,
+            cpu_core_gflops: 35.0,
+            dram_gib: 512.0,
+            dram_gbps: 204.8,
+            gpus: 4,
+            gpu: GpuSpec::a100_40gb(),
+            pcie_gbps: 25.0,
+            nvlink_gbps: 600.0,
+            ssd: SsdSpec::polaris_nvme(),
+        }
+    }
+}
+
+/// The dedicated memory node hosting the memoization database.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MemoryNodeSpec {
+    /// DRAM capacity in GiB.
+    pub dram_gib: f64,
+    /// DRAM bandwidth in GB/s.
+    pub dram_gbps: f64,
+    /// SSD spill capacity in GiB (the paper uses up to 1.5 TB).
+    pub ssd_gib: f64,
+    /// CPU cores available for index/value lookups.
+    pub cpu_cores: usize,
+}
+
+impl MemoryNodeSpec {
+    /// The paper's memory node: 512 GB DRAM plus up to 1.5 TB SSD.
+    pub fn polaris_memory_node() -> Self {
+        Self { dram_gib: 512.0, dram_gbps: 204.8, ssd_gib: 1536.0, cpu_cores: 64 }
+    }
+}
+
+/// The full simulated system: compute nodes, interconnect and memory node.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ClusterSpec {
+    /// Per-node hardware.
+    pub node: NodeSpec,
+    /// Number of compute nodes.
+    pub num_nodes: usize,
+    /// Inter-node / memory-node interconnect.
+    pub interconnect: InterconnectSpec,
+    /// The memory node.
+    pub memory_node: MemoryNodeSpec,
+}
+
+impl ClusterSpec {
+    /// A Polaris-like cluster with the given number of compute nodes.
+    ///
+    /// # Panics
+    /// Panics when `num_nodes == 0`.
+    pub fn polaris(num_nodes: usize) -> Self {
+        assert!(num_nodes > 0, "cluster needs at least one node");
+        Self {
+            node: NodeSpec::polaris(),
+            num_nodes,
+            interconnect: InterconnectSpec::slingshot11(),
+            memory_node: MemoryNodeSpec::polaris_memory_node(),
+        }
+    }
+
+    /// Total number of GPUs across the cluster.
+    pub fn total_gpus(&self) -> usize {
+        self.num_nodes * self.node.gpus
+    }
+
+    /// Number of nodes required to host `gpus` GPUs.
+    pub fn nodes_for_gpus(&self, gpus: usize) -> usize {
+        gpus.div_ceil(self.node.gpus).max(1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn polaris_defaults_sane() {
+        let c = ClusterSpec::polaris(2);
+        assert_eq!(c.total_gpus(), 8);
+        assert_eq!(c.node.gpus, 4);
+        assert!(c.node.gpu.fp32_tflops > 10.0);
+        assert!(c.interconnect.injection_gb_per_s() > 20.0);
+        assert!(c.memory_node.dram_gib >= 512.0);
+    }
+
+    #[test]
+    fn nodes_for_gpus_rounds_up() {
+        let c = ClusterSpec::polaris(4);
+        assert_eq!(c.nodes_for_gpus(1), 1);
+        assert_eq!(c.nodes_for_gpus(4), 1);
+        assert_eq!(c.nodes_for_gpus(5), 2);
+        assert_eq!(c.nodes_for_gpus(16), 4);
+    }
+
+    #[test]
+    fn payload_utilisation_curve() {
+        let i = InterconnectSpec::slingshot11();
+        assert_eq!(i.payload_utilisation(0.0), 0.0);
+        let small = i.payload_utilisation(256.0);
+        let at_4k = i.payload_utilisation(4096.0);
+        let large = i.payload_utilisation((1u64 << 20) as f64);
+        assert!(small < at_4k);
+        assert!((at_4k - 0.95).abs() < 1e-9);
+        assert!(large > 0.99);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one node")]
+    fn zero_nodes_panics() {
+        let _ = ClusterSpec::polaris(0);
+    }
+}

@@ -1,0 +1,161 @@
+//! Shared-link contention model.
+//!
+//! All compute nodes query the single memory node, so its injection link is a
+//! shared resource. Figure 15 of the paper shows interconnect utilisation
+//! approaching saturation beyond ~12 GPUs (3 nodes), and Figure 16 shows the
+//! query-latency CDF stretching by orders of magnitude under that contention.
+//! The model here is a standard M/M/1-style latency inflation on top of the
+//! base cost model: as offered load approaches capacity, queueing delay
+//! diverges; beyond capacity, the excess is explicitly queued.
+
+use crate::hardware::InterconnectSpec;
+use crate::Seconds;
+use mlr_math::rng::exponential;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// A contended, shared link (the memory node's injection port).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SharedLink {
+    /// Link capacity in GB/s.
+    pub capacity_gbps: f64,
+    /// Base (unloaded) one-way latency in seconds.
+    pub base_latency: Seconds,
+}
+
+impl SharedLink {
+    /// Builds the shared link from an interconnect spec.
+    pub fn from_interconnect(spec: &InterconnectSpec) -> Self {
+        Self {
+            capacity_gbps: spec.injection_gb_per_s(),
+            base_latency: (spec.latency_us + spec.per_message_us) * 1e-6,
+        }
+    }
+
+    /// Utilisation in `[0, 1]` given an aggregate offered load in GB/s.
+    pub fn utilisation(&self, offered_gbps: f64) -> f64 {
+        if self.capacity_gbps <= 0.0 {
+            return 1.0;
+        }
+        (offered_gbps / self.capacity_gbps).clamp(0.0, 1.0)
+    }
+
+    /// Effective per-client bandwidth (GB/s) when `clients` clients each
+    /// offer `per_client_gbps` of load: fair sharing of the capacity.
+    pub fn per_client_bandwidth(&self, clients: usize, per_client_gbps: f64) -> f64 {
+        if clients == 0 {
+            return self.capacity_gbps;
+        }
+        let offered = clients as f64 * per_client_gbps;
+        if offered <= self.capacity_gbps {
+            per_client_gbps
+        } else {
+            self.capacity_gbps / clients as f64
+        }
+    }
+
+    /// Mean queueing-inflated latency for a message of `bytes`, given link
+    /// utilisation `rho` (M/M/1-style `1/(1-ρ)` inflation, capped so the
+    /// model stays finite at saturation).
+    pub fn loaded_latency(&self, bytes: f64, rho: f64) -> Seconds {
+        let service = self.base_latency + bytes / (self.capacity_gbps * 1e9);
+        let rho = rho.clamp(0.0, 0.995);
+        service / (1.0 - rho)
+    }
+
+    /// Draws a randomised latency sample for one query under load `rho`,
+    /// combining the deterministic loaded latency with an exponential
+    /// queueing tail. This produces the spread seen in the latency CDF of
+    /// Figure 16: at low load the distribution is tight around the base
+    /// latency; near saturation a long tail appears.
+    pub fn sample_latency<R: Rng + ?Sized>(&self, rng: &mut R, bytes: f64, rho: f64) -> Seconds {
+        let mean = self.loaded_latency(bytes, rho);
+        let rho = rho.clamp(0.0, 0.995);
+        // Tail weight grows with utilisation: at rho→1 most of the latency is
+        // queueing delay, which is approximately exponential.
+        let queue_fraction = rho;
+        let deterministic = mean * (1.0 - queue_fraction);
+        let tail = exponential(rng, 1.0 / (mean * queue_fraction).max(1e-12));
+        deterministic + tail
+    }
+}
+
+/// Aggregate offered load on the memory-node link for a given number of
+/// GPUs, each issuing `queries_per_s` memoization queries of `query_bytes`
+/// and receiving values of `value_bytes`.
+pub fn offered_load_gbps(
+    gpus: usize,
+    queries_per_s: f64,
+    query_bytes: f64,
+    value_bytes: f64,
+) -> f64 {
+    gpus as f64 * queries_per_s * (query_bytes + value_bytes) / 1e9
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hardware::InterconnectSpec;
+    use mlr_math::rng::seeded;
+
+    fn link() -> SharedLink {
+        SharedLink::from_interconnect(&InterconnectSpec::slingshot11())
+    }
+
+    #[test]
+    fn utilisation_clamps() {
+        let l = link();
+        assert_eq!(l.utilisation(0.0), 0.0);
+        assert!(l.utilisation(12.0) < 1.0);
+        assert_eq!(l.utilisation(1e6), 1.0);
+    }
+
+    #[test]
+    fn fair_sharing_beyond_capacity() {
+        let l = link();
+        let per = l.per_client_bandwidth(16, 5.0);
+        assert!(per < 5.0);
+        assert!((per - l.capacity_gbps / 16.0).abs() < 1e-9);
+        let under = l.per_client_bandwidth(2, 5.0);
+        assert_eq!(under, 5.0);
+        assert_eq!(l.per_client_bandwidth(0, 5.0), l.capacity_gbps);
+    }
+
+    #[test]
+    fn latency_inflates_with_load() {
+        let l = link();
+        let bytes = 4096.0;
+        let idle = l.loaded_latency(bytes, 0.0);
+        let busy = l.loaded_latency(bytes, 0.9);
+        let saturated = l.loaded_latency(bytes, 1.0);
+        assert!(busy > 5.0 * idle);
+        assert!(saturated > busy);
+        assert!(saturated.is_finite());
+    }
+
+    #[test]
+    fn sampled_latency_tail_grows_with_load() {
+        let l = link();
+        let mut rng = seeded(3);
+        let bytes = 4096.0;
+        let sample = |rng: &mut _, rho: f64| -> Vec<f64> {
+            (0..2000).map(|_| l.sample_latency(rng, bytes, rho)).collect()
+        };
+        let low = sample(&mut rng, 0.1);
+        let high = sample(&mut rng, 0.95);
+        let p99 = |v: &mut Vec<f64>| {
+            v.sort_by(|a, b| a.partial_cmp(b).unwrap());
+            v[(v.len() as f64 * 0.99) as usize]
+        };
+        let mut low = low;
+        let mut high = high;
+        assert!(p99(&mut high) > 10.0 * p99(&mut low));
+    }
+
+    #[test]
+    fn offered_load_scales_with_gpus() {
+        let one = offered_load_gbps(1, 100.0, 1024.0, (1u64 << 20) as f64);
+        let sixteen = offered_load_gbps(16, 100.0, 1024.0, (1u64 << 20) as f64);
+        assert!((sixteen / one - 16.0).abs() < 1e-9);
+    }
+}

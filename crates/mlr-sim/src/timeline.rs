@@ -1,0 +1,179 @@
+//! Resource-aware event timeline.
+//!
+//! The paper's pipelines (Figures 1 and 3) overlap chunk transfers with FFT
+//! compute and overlap memoization insertion with the next iteration's
+//! compute. The timeline models that: each hardware resource (a GPU stream,
+//! the PCIe link, the network, the SSD, the CPU) can execute one operation at
+//! a time; an operation may also depend on earlier operations finishing.
+//! The makespan of the scheduled operations is the simulated execution time.
+
+use crate::Seconds;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// A simulated hardware resource that serialises the operations scheduled on
+/// it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum Resource {
+    /// GPU compute stream `i`.
+    Gpu(usize),
+    /// Host↔GPU PCIe link of GPU `i`.
+    Pcie(usize),
+    /// CPU (host) execution.
+    Cpu,
+    /// Local SSD.
+    Ssd,
+    /// The inter-node interconnect (compute side).
+    Network,
+    /// The memory node (index + value databases).
+    MemoryNode,
+}
+
+/// One scheduled operation.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Span {
+    /// Resource the operation ran on.
+    pub resource: Resource,
+    /// Start time (seconds).
+    pub start: Seconds,
+    /// End time (seconds).
+    pub end: Seconds,
+    /// Human-readable label (e.g. `"Fu2D chunk 7"`).
+    pub label: String,
+}
+
+impl Span {
+    /// Duration of the span.
+    pub fn duration(&self) -> Seconds {
+        self.end - self.start
+    }
+}
+
+/// The event timeline.
+#[derive(Debug, Clone, Default)]
+pub struct SimTimeline {
+    busy_until: HashMap<Resource, Seconds>,
+    spans: Vec<Span>,
+}
+
+impl SimTimeline {
+    /// Creates an empty timeline (all resources idle at t = 0).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Schedules an operation of `duration` seconds on `resource`, starting
+    /// no earlier than `earliest_start` and no earlier than the resource
+    /// becomes free. Returns the span's `(start, end)`.
+    pub fn schedule(
+        &mut self,
+        resource: Resource,
+        earliest_start: Seconds,
+        duration: Seconds,
+        label: impl Into<String>,
+    ) -> (Seconds, Seconds) {
+        assert!(duration >= 0.0, "negative duration");
+        let free = self.busy_until.get(&resource).copied().unwrap_or(0.0);
+        let start = free.max(earliest_start);
+        let end = start + duration;
+        self.busy_until.insert(resource, end);
+        self.spans.push(Span { resource, start, end, label: label.into() });
+        (start, end)
+    }
+
+    /// Time at which `resource` becomes free.
+    pub fn free_at(&self, resource: Resource) -> Seconds {
+        self.busy_until.get(&resource).copied().unwrap_or(0.0)
+    }
+
+    /// Completion time of the last operation over all resources (the
+    /// simulated wall-clock time).
+    pub fn makespan(&self) -> Seconds {
+        self.busy_until.values().copied().fold(0.0, f64::max)
+    }
+
+    /// Total busy time of one resource.
+    pub fn busy_time(&self, resource: Resource) -> Seconds {
+        self.spans.iter().filter(|s| s.resource == resource).map(Span::duration).sum()
+    }
+
+    /// Utilisation of one resource over the makespan, in `[0, 1]`.
+    pub fn utilisation(&self, resource: Resource) -> f64 {
+        let total = self.makespan();
+        if total <= 0.0 {
+            return 0.0;
+        }
+        (self.busy_time(resource) / total).min(1.0)
+    }
+
+    /// All scheduled spans, in scheduling order.
+    pub fn spans(&self) -> &[Span] {
+        &self.spans
+    }
+
+    /// Sum of the durations of spans whose label contains `needle`.
+    pub fn time_for_label(&self, needle: &str) -> Seconds {
+        self.spans.iter().filter(|s| s.label.contains(needle)).map(Span::duration).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn serialised_on_same_resource() {
+        let mut t = SimTimeline::new();
+        let (s1, e1) = t.schedule(Resource::Gpu(0), 0.0, 1.0, "a");
+        let (s2, e2) = t.schedule(Resource::Gpu(0), 0.0, 2.0, "b");
+        assert_eq!((s1, e1), (0.0, 1.0));
+        assert_eq!((s2, e2), (1.0, 3.0));
+        assert_eq!(t.makespan(), 3.0);
+    }
+
+    #[test]
+    fn overlap_on_different_resources() {
+        let mut t = SimTimeline::new();
+        t.schedule(Resource::Gpu(0), 0.0, 2.0, "compute");
+        t.schedule(Resource::Pcie(0), 0.0, 1.5, "transfer");
+        assert_eq!(t.makespan(), 2.0);
+        assert!((t.utilisation(Resource::Pcie(0)) - 0.75).abs() < 1e-12);
+        assert_eq!(t.utilisation(Resource::Gpu(0)), 1.0);
+    }
+
+    #[test]
+    fn dependencies_via_earliest_start() {
+        let mut t = SimTimeline::new();
+        let (_, transfer_done) = t.schedule(Resource::Pcie(0), 0.0, 1.0, "h2d");
+        let (start, _) = t.schedule(Resource::Gpu(0), transfer_done, 0.5, "fft");
+        assert_eq!(start, 1.0);
+        assert_eq!(t.makespan(), 1.5);
+    }
+
+    #[test]
+    fn label_accounting() {
+        let mut t = SimTimeline::new();
+        t.schedule(Resource::Gpu(0), 0.0, 1.0, "Fu2D chunk 0");
+        t.schedule(Resource::Gpu(0), 0.0, 2.0, "Fu2D chunk 1");
+        t.schedule(Resource::Gpu(0), 0.0, 4.0, "Fu1D chunk 0");
+        assert_eq!(t.time_for_label("Fu2D"), 3.0);
+        assert_eq!(t.time_for_label("Fu1D"), 4.0);
+        assert_eq!(t.spans().len(), 3);
+        assert_eq!(t.busy_time(Resource::Gpu(0)), 7.0);
+    }
+
+    #[test]
+    fn empty_timeline() {
+        let t = SimTimeline::new();
+        assert_eq!(t.makespan(), 0.0);
+        assert_eq!(t.utilisation(Resource::Cpu), 0.0);
+        assert_eq!(t.free_at(Resource::Ssd), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "negative duration")]
+    fn negative_duration_panics() {
+        let mut t = SimTimeline::new();
+        t.schedule(Resource::Cpu, 0.0, -1.0, "bad");
+    }
+}

@@ -1,0 +1,287 @@
+//! The outer ADMM driver.
+//!
+//! One ADMM iteration runs the four phases of §5.1 of the paper:
+//!
+//! 1. **LSP** — `N_inner` CG-style refinements of `u` against the data term
+//!    and the augmented TV coupling (this is where all the FFT work, and all
+//!    of mLR's memoization, happens);
+//! 2. **RSP** — closed-form shrinkage update of the auxiliary variable `ψ`;
+//! 3. **λ update** — dual ascent on the constraint `∇u = ψ`;
+//! 4. **penalty update** — residual balancing of `ρ`.
+//!
+//! The driver takes any `FftExecutor`, so the same code path produces the
+//! exact baseline (direct executor), the memoized run (mLR's engine) and the
+//! instrumented runs behind the evaluation figures.
+
+use crate::lsp::{
+    lsp_gradient_cancelled, lsp_gradient_original, CgState, FrequencyData, LspVariant,
+};
+use crate::metrics::{ConvergenceHistory, IterationRecord};
+use crate::tv::{gradient, shrink, tv_norm, VectorField};
+use mlr_lamino::{DirectExecutor, FftExecutor, LaminoOperator};
+use mlr_math::Array3;
+use serde::{Deserialize, Serialize};
+use std::time::Instant;
+
+/// ADMM configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct AdmmConfig {
+    /// Number of outer ADMM iterations.
+    pub outer_iterations: usize,
+    /// Number of inner CG iterations per LSP solve (`N_inner`, paper: 4).
+    pub n_inner: usize,
+    /// TV regularisation weight `α`.
+    pub alpha: f64,
+    /// Initial augmented-Lagrangian penalty `ρ`.
+    pub rho: f64,
+    /// Initial gradient-descent step for the first CG update.
+    pub initial_step: f64,
+    /// Which LSP formulation to run.
+    pub variant: LspVariant,
+    /// Enforce a non-negative reconstruction after every LSP phase
+    /// (attenuation coefficients are physically non-negative).
+    pub nonnegativity: bool,
+    /// Adapt `ρ` by primal/dual residual balancing.
+    pub adaptive_rho: bool,
+}
+
+impl Default for AdmmConfig {
+    fn default() -> Self {
+        Self {
+            outer_iterations: 20,
+            n_inner: 4,
+            alpha: 1e-3,
+            rho: 0.5,
+            initial_step: 0.05,
+            variant: LspVariant::Cancelled,
+            nonnegativity: true,
+            adaptive_rho: true,
+        }
+    }
+}
+
+/// Result of one ADMM run.
+pub struct AdmmResult {
+    /// The reconstructed volume.
+    pub reconstruction: Array3<f64>,
+    /// Per-iteration loss and timing records.
+    pub history: ConvergenceHistory,
+    /// Final penalty value.
+    pub final_rho: f64,
+}
+
+/// The ADMM-FFT solver.
+pub struct AdmmSolver {
+    config: AdmmConfig,
+}
+
+impl AdmmSolver {
+    /// Creates a solver with the given configuration.
+    pub fn new(config: AdmmConfig) -> Self {
+        Self { config }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &AdmmConfig {
+        &self.config
+    }
+
+    /// Runs ADMM-FFT with the direct (exact) executor.
+    pub fn run(&self, op: &LaminoOperator, d: &Array3<f64>) -> AdmmResult {
+        self.run_with(op, d, &DirectExecutor)
+    }
+
+    /// Runs ADMM-FFT with an explicit executor (e.g. mLR's memoized engine).
+    pub fn run_with(
+        &self,
+        op: &LaminoOperator,
+        d: &Array3<f64>,
+        exec: &dyn FftExecutor,
+    ) -> AdmmResult {
+        let cfg = &self.config;
+        let vol_shape = op.geometry().volume_shape();
+        assert_eq!(d.shape(), op.geometry().data_shape(), "projection data shape mismatch");
+
+        let mut u: Array3<f64> = Array3::zeros(vol_shape);
+        let mut psi = VectorField::zeros(vol_shape);
+        let mut lambda = VectorField::zeros(vol_shape);
+        let mut rho = cfg.rho;
+        let mut history = ConvergenceHistory::new();
+
+        // Algorithm 2 maps the data to the frequency domain once.
+        let freq = match cfg.variant {
+            LspVariant::Cancelled => Some(FrequencyData::new(op, d, exec)),
+            LspVariant::Original => None,
+        };
+
+        for iteration in 0..cfg.outer_iterations {
+            exec.begin_iteration(iteration);
+
+            // ------------------------------------------------------- LSP
+            let lsp_start = Instant::now();
+            // g = ψ − λ/ρ  (Algorithm 1 line 1).
+            let mut g_field = psi.clone();
+            g_field.axpby(1.0, &lambda, -1.0 / rho);
+
+            let mut cg = CgState::new();
+            let mut data_loss = 0.0;
+            for _ in 0..cfg.n_inner {
+                let grad = match cfg.variant {
+                    LspVariant::Original => {
+                        lsp_gradient_original(op, &u, d, &g_field, rho, exec)
+                    }
+                    LspVariant::Cancelled => lsp_gradient_cancelled(
+                        op,
+                        &u,
+                        freq.as_ref().expect("frequency data"),
+                        &g_field,
+                        rho,
+                        exec,
+                    ),
+                };
+                data_loss = grad.data_loss;
+                cg.update(&mut u, &grad.grad, cfg.initial_step);
+            }
+            if cfg.nonnegativity {
+                u.map_inplace(|v| *v = v.max(0.0));
+            }
+            let lsp_seconds = lsp_start.elapsed().as_secs_f64();
+
+            // ------------------------------------------------------- RSP
+            let rsp_start = Instant::now();
+            let grad_u = gradient(&u);
+            // ψ = shrink(∇u + λ/ρ, α/ρ).
+            let mut arg = grad_u.clone();
+            arg.axpby(1.0, &lambda, 1.0 / rho);
+            psi = shrink(&arg, cfg.alpha / rho);
+            let rsp_seconds = rsp_start.elapsed().as_secs_f64();
+
+            // -------------------------------------------------- λ update
+            let lambda_start = Instant::now();
+            // λ ← λ + ρ(∇u − ψ).
+            let mut primal = grad_u.clone();
+            primal.axpby(1.0, &psi, -1.0);
+            lambda.axpby(1.0, &primal, rho);
+            let lambda_seconds = lambda_start.elapsed().as_secs_f64();
+
+            // --------------------------------------------- penalty update
+            let penalty_start = Instant::now();
+            if cfg.adaptive_rho {
+                let primal_res = primal.norm_sqr().sqrt();
+                // Dual residual ~ ρ‖ψ_k − ψ_{k−1}‖; approximate with the
+                // primal/ψ balance (standard Boyd §3.4 heuristic).
+                let psi_norm = psi.norm_sqr().sqrt().max(1e-12);
+                if primal_res > 10.0 * psi_norm {
+                    rho *= 2.0;
+                } else if psi_norm > 10.0 * primal_res {
+                    rho *= 0.5;
+                }
+                rho = rho.clamp(1e-6, 1e6);
+            }
+            let penalty_seconds = penalty_start.elapsed().as_secs_f64();
+
+            let loss = data_loss + cfg.alpha * tv_norm(&u);
+            history.push(IterationRecord {
+                iteration,
+                loss,
+                data_loss,
+                lsp_seconds,
+                rsp_seconds,
+                lambda_seconds,
+                penalty_seconds,
+            });
+        }
+
+        AdmmResult { reconstruction: u, history, final_rho: rho }
+    }
+}
+
+pub use crate::lsp::LspVariant as Variant;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mlr_lamino::{LaminoDataset, LaminoGeometry, LaminoOperator};
+    use mlr_math::norms::relative_error;
+
+    fn small_dataset() -> (LaminoOperator, LaminoDataset) {
+        let ds = LaminoDataset::brain_cube(12, 8, 32.0, 5);
+        let op = LaminoOperator::new(ds.geometry.clone(), 4);
+        (op, ds)
+    }
+
+    fn quick_config(outer: usize, variant: LspVariant) -> AdmmConfig {
+        AdmmConfig {
+            outer_iterations: outer,
+            n_inner: 3,
+            alpha: 1e-4,
+            rho: 0.5,
+            initial_step: 0.05,
+            variant,
+            nonnegativity: true,
+            adaptive_rho: true,
+        }
+    }
+
+    #[test]
+    fn loss_decreases_over_iterations() {
+        let (op, ds) = small_dataset();
+        let solver = AdmmSolver::new(quick_config(8, LspVariant::Cancelled));
+        let result = solver.run(&op, &ds.projections);
+        let series = result.history.loss_series();
+        assert_eq!(series.len(), 8);
+        let first = series[0].1;
+        let last = series.last().unwrap().1;
+        assert!(last < first, "loss did not decrease: {first} -> {last}");
+        assert!(result.final_rho > 0.0);
+    }
+
+    #[test]
+    fn reconstruction_approaches_ground_truth() {
+        let (op, ds) = small_dataset();
+        let solver = AdmmSolver::new(quick_config(15, LspVariant::Cancelled));
+        let result = solver.run(&op, &ds.projections);
+        // The reconstruction need not be perfect after 15 iterations at this
+        // tiny scale, but it must be much closer to the truth than the zero
+        // initialisation.
+        let err = relative_error(&ds.ground_truth, &result.reconstruction);
+        let zero_err = relative_error(&ds.ground_truth, &Array3::zeros(ds.ground_truth.shape()));
+        assert!(err < 0.8 * zero_err, "err {err} vs zero baseline {zero_err}");
+        // Non-negativity was enforced.
+        assert!(result.reconstruction.as_slice().iter().all(|&v| v >= 0.0));
+    }
+
+    #[test]
+    fn original_and_cancelled_variants_produce_same_reconstruction() {
+        let (op, ds) = small_dataset();
+        let a = AdmmSolver::new(quick_config(4, LspVariant::Original)).run(&op, &ds.projections);
+        let b = AdmmSolver::new(quick_config(4, LspVariant::Cancelled)).run(&op, &ds.projections);
+        let err = relative_error(&a.reconstruction, &b.reconstruction);
+        assert!(err < 1e-6, "variants diverged: {err}");
+        // Loss histories match too.
+        for (ra, rb) in a.history.records().iter().zip(b.history.records()) {
+            assert!((ra.loss - rb.loss).abs() < 1e-6 * ra.loss.max(1.0));
+        }
+    }
+
+    #[test]
+    fn history_phase_times_populated() {
+        let (op, ds) = small_dataset();
+        let solver = AdmmSolver::new(quick_config(2, LspVariant::Cancelled));
+        let result = solver.run(&op, &ds.projections);
+        for r in result.history.records() {
+            assert!(r.lsp_seconds > 0.0);
+            assert!(r.total_seconds() >= r.lsp_seconds);
+        }
+        // The LSP dominates execution time, as in Figure 2.
+        assert!(result.history.lsp_fraction() > 0.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "projection data shape mismatch")]
+    fn mismatched_data_shape_panics() {
+        let (op, _) = small_dataset();
+        let bad = Array3::zeros(mlr_math::Shape3::cube(4));
+        let _ = AdmmSolver::new(AdmmConfig::default()).run(&op, &bad);
+    }
+}

@@ -1,0 +1,38 @@
+//! # mlr-solver
+//!
+//! The ADMM-FFT laminography solver the paper accelerates.
+//!
+//! Laminography reconstruction with total-variation regularisation solves
+//!
+//! ```text
+//! min_u  ½‖L u − d‖₂² + α‖u‖_TV
+//! ```
+//!
+//! by ADMM: the **laminography subproblem** (LSP) refines `u` with a few
+//! CG-style iterations against the FFT-factored operator `L`; the
+//! **regularisation subproblem** (RSP) updates the auxiliary variable `ψ`
+//! with a shrinkage step; the Lagrange multiplier `λ` and the penalty `ρ` are
+//! then updated. The crate provides:
+//!
+//! * [`tv`] — forward-difference gradient, its adjoint (negative divergence),
+//!   the isotropic TV norm and the shrinkage (proximal) operator.
+//! * [`lsp`] — the LSP gradient under both the **original** formulation
+//!   (Algorithm 1: `F*_2D`/`F_2D` appear in every pass) and the
+//!   **cancelled + fused** formulation (Algorithm 2: the data is mapped to
+//!   the frequency domain once and the uniform FFT pair disappears), plus the
+//!   CG-style update that consumes those gradients.
+//! * [`admm`] — the outer ADMM driver with loss tracking, phase timing and
+//!   pluggable `FftExecutor` (this is where mLR's memoization engine slots
+//!   in).
+//! * [`metrics`] — the paper's reconstruction-quality metrics (Eq. 4/5) and
+//!   convergence histories.
+
+pub mod admm;
+pub mod lsp;
+pub mod metrics;
+pub mod tv;
+
+pub use admm::{AdmmConfig, AdmmResult, AdmmSolver};
+pub use lsp::{FrequencyData, LspVariant};
+pub use metrics::{accuracy_vs_reference, ConvergenceHistory};
+pub use tv::{divergence, gradient, shrink, tv_norm, VectorField};

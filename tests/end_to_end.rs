@@ -1,0 +1,61 @@
+//! End-to-end integration tests spanning the whole workspace: phantom →
+//! projections → exact and memoized ADMM-TV reconstruction → report, plus the
+//! offload planner and scaling model wired to the same workload description.
+use mlr_core::{MlrConfig, MlrPipeline};
+use mlr_cluster::ScalingModel;
+use mlr_lamino::{LaminoGeometry, LaminoOperator};
+use mlr_offload::{simulate::simulate_all, IterationProfile, OffloadPlanner};
+use mlr_sim::workload::{AdmmWorkload, ProblemSize};
+use mlr_sim::CostModel;
+use mlr_solver::{AdmmConfig, AdmmSolver, LspVariant};
+
+#[test]
+fn full_pipeline_memoized_reconstruction_stays_accurate() {
+    let config = MlrConfig::quick(12, 8).with_iterations(6);
+    let pipeline = MlrPipeline::new(config);
+    let report = pipeline.run_comparison();
+    assert!(report.accuracy > 0.85, "accuracy {}", report.accuracy);
+    assert!(report.avoided_fraction > 0.0);
+    // A stricter threshold must be at least as accurate.
+    let strict = MlrPipeline::new(MlrConfig::quick(12, 8).with_iterations(6).with_tau(0.99));
+    let strict_report = strict.run_comparison();
+    assert!(strict_report.accuracy + 1e-6 >= report.accuracy - 0.05);
+}
+
+#[test]
+fn algorithm1_and_algorithm2_match_through_the_full_solver() {
+    let geometry = LaminoGeometry::cube(10, 6, 30.0);
+    let dataset = mlr_lamino::LaminoDataset::simulate(
+        geometry.clone(),
+        mlr_lamino::PhantomKind::Brain,
+        mlr_lamino::ProjectionNoise::None,
+        3,
+    );
+    let op = LaminoOperator::new(geometry, 4);
+    let base = AdmmConfig { outer_iterations: 3, n_inner: 2, ..AdmmConfig::default() };
+    let a = AdmmSolver::new(AdmmConfig { variant: LspVariant::Original, ..base })
+        .run(&op, &dataset.projections);
+    let b = AdmmSolver::new(AdmmConfig { variant: LspVariant::Cancelled, ..base })
+        .run(&op, &dataset.projections);
+    let err = mlr_math::norms::relative_error(&a.reconstruction, &b.reconstruction);
+    assert!(err < 1e-6, "operation cancellation changed the result: {err}");
+}
+
+#[test]
+fn offload_planner_and_scaling_model_agree_with_workload() {
+    let workload = AdmmWorkload::new(ProblemSize::paper_1k());
+    let cost = CostModel::polaris(1);
+    let profile = IterationProfile::from_workload(&workload, &cost);
+    let planner = OffloadPlanner::new(&profile, &cost);
+    let (_, eval) = planner.best_plan();
+    assert!(eval.memory_saving > 0.1);
+    assert!(eval.mt > 1.0);
+
+    let traces = simulate_all(&profile, &cost, 2);
+    assert!(traces[3].mt > traces[1].mt, "planned offload must beat greedy");
+
+    let scaling = ScalingModel::new(workload, 10);
+    let p1 = scaling.point(1);
+    let p4 = scaling.point(4);
+    assert!(p4.overall_seconds < p1.overall_seconds);
+}

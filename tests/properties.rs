@@ -1,0 +1,78 @@
+//! Property-based integration tests over the numerical substrates.
+use mlr_fft::fft::{dft_naive, fft, ifft, Direction};
+use mlr_lamino::{ChunkGrid, DirectExecutor, LaminoGeometry, LaminoOperator};
+use mlr_math::norms::{cosine_similarity_c, l2_norm_c, max_abs_diff_c, scale_aware_similarity_c};
+use mlr_math::{Array3, Complex64};
+use proptest::prelude::*;
+
+fn complex_vec(len: usize) -> impl Strategy<Value = Vec<Complex64>> {
+    prop::collection::vec((-1.0f64..1.0, -1.0f64..1.0), len..=len)
+        .prop_map(|v| v.into_iter().map(|(re, im)| Complex64::new(re, im)).collect())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn fft_roundtrip_recovers_signal(signal in complex_vec(64)) {
+        let back = ifft(&fft(&signal));
+        prop_assert!(max_abs_diff_c(&back, &signal) < 1e-9);
+    }
+
+    #[test]
+    fn fft_matches_naive_dft(signal in complex_vec(24)) {
+        let fast = fft(&signal);
+        let slow = dft_naive(&signal, Direction::Forward);
+        prop_assert!(max_abs_diff_c(&fast, &slow) < 1e-8);
+    }
+
+    #[test]
+    fn fft_preserves_energy(signal in complex_vec(32)) {
+        let spectrum = fft(&signal);
+        let time_energy: f64 = signal.iter().map(|z| z.norm_sqr()).sum();
+        let freq_energy: f64 = spectrum.iter().map(|z| z.norm_sqr()).sum::<f64>() / 32.0;
+        prop_assert!((time_energy - freq_energy).abs() <= 1e-9 * time_energy.max(1.0));
+    }
+
+    #[test]
+    fn similarity_measures_are_bounded(a in complex_vec(48), b in complex_vec(48)) {
+        let cs = cosine_similarity_c(&a, &b);
+        prop_assert!((-1.0..=1.0).contains(&cs));
+        let sas = scale_aware_similarity_c(&a, &b);
+        prop_assert!(sas <= cs.abs() + 1e-12);
+        prop_assert!(scale_aware_similarity_c(&a, &a) > 0.999 || l2_norm_c(&a) == 0.0);
+    }
+
+    #[test]
+    fn chunk_grid_partitions_axis(extent in 1usize..200, chunk in 1usize..40) {
+        let grid = ChunkGrid::new(extent, chunk);
+        let mut covered = vec![0u32; extent];
+        for loc in grid.iter() {
+            for i in loc.start..loc.start + loc.len {
+                covered[i] += 1;
+            }
+        }
+        prop_assert!(covered.iter().all(|&c| c == 1));
+    }
+}
+
+#[test]
+fn laminography_operator_adjointness_holds_for_random_volumes() {
+    // A single heavier check outside proptest: <L u, d> == <u, L* d>.
+    let geometry = LaminoGeometry::cube(8, 5, 28.0);
+    let op = LaminoOperator::new(geometry, 4);
+    let mut rng_state = 0x1234_5678u64;
+    let mut next = || {
+        rng_state = rng_state.wrapping_mul(6364136223846793005).wrapping_add(1);
+        ((rng_state >> 33) as f64 / (1u64 << 31) as f64) - 1.0
+    };
+    let vol_shape = op.geometry().volume_shape();
+    let data_shape = op.geometry().data_shape();
+    let u = Array3::from_vec(vol_shape, (0..vol_shape.len()).map(|_| next()).collect());
+    let d = Array3::from_vec(data_shape, (0..data_shape.len()).map(|_| next()).collect());
+    let lu = op.forward_with(&u, &DirectExecutor);
+    let ltd = op.adjoint_with(&d, &DirectExecutor);
+    let lhs = lu.dot(&d);
+    let rhs = u.dot(&ltd);
+    assert!((lhs - rhs).abs() < 1e-7 * lhs.abs().max(1.0), "{lhs} vs {rhs}");
+}
