@@ -14,7 +14,10 @@ struct Record {
 }
 
 fn main() {
-    header("Figure 2", "CPU memory breakdown of one ADMM iteration (1.5K-projection problem)");
+    header(
+        "Figure 2",
+        "CPU memory breakdown of one ADMM iteration (1.5K-projection problem)",
+    );
     let workload = AdmmWorkload::new(ProblemSize::paper_1_5k());
     let cost = CostModel::polaris(1);
     let total = workload.total_bytes() as f64;
@@ -22,24 +25,48 @@ fn main() {
     let mut variables_gib = Vec::new();
     println!("{:<18} {:>10} {:>8}", "variable", "GiB", "share");
     for v in workload.variables() {
-        println!("{:<18} {:>10.1} {:>8}", v.name, gib(v.bytes), pct(v.bytes as f64 / total));
+        println!(
+            "{:<18} {:>10.1} {:>8}",
+            v.name,
+            gib(v.bytes),
+            pct(v.bytes as f64 / total)
+        );
         variables_gib.push((v.name, gib(v.bytes)));
     }
     println!();
-    compare_row("psi share of memory", "12 %", &pct(workload.variables()[0].bytes as f64 / total));
-    compare_row("lambda share of memory", "12 %", &pct(workload.variables()[1].bytes as f64 / total));
+    compare_row(
+        "psi share of memory",
+        "12 %",
+        &pct(workload.variables()[0].bytes as f64 / total),
+    );
+    compare_row(
+        "lambda share of memory",
+        "12 %",
+        &pct(workload.variables()[1].bytes as f64 / total),
+    );
     let g_total = workload.variables()[2].bytes + workload.variables()[3].bytes;
-    compare_row("g + g_prev share of memory", "24 %", &pct(g_total as f64 / total));
-    compare_row("total CPU memory (1.5K case)", "~300 GB", &format!("{:.0} GiB", gib(workload.total_bytes())));
+    compare_row(
+        "g + g_prev share of memory",
+        "24 %",
+        &pct(g_total as f64 / total),
+    );
+    compare_row(
+        "total CPU memory (1.5K case)",
+        "~300 GB",
+        &format!("{:.0} GiB", gib(workload.total_bytes())),
+    );
 
     let profile = IterationProfile::from_workload(&workload, &cost);
     let lsp = profile.phases[0].2 - profile.phases[0].1;
     let lsp_fraction = lsp / profile.duration;
     compare_row("LSP share of iteration time", "> 67 %", &pct(lsp_fraction));
 
-    write_record("fig02_memory_breakdown", &Record {
-        variables_gib,
-        total_gib: gib(workload.total_bytes()),
-        lsp_fraction,
-    });
+    write_record(
+        "fig02_memory_breakdown",
+        &Record {
+            variables_gib,
+            total_gib: gib(workload.total_bytes()),
+            lsp_fraction,
+        },
+    );
 }

@@ -12,11 +12,16 @@ struct Record {
 }
 
 fn main() {
-    header("Figure 4", "similar chunks across iterations at three chunk locations (τ = 0.93)");
+    header(
+        "Figure 4",
+        "similar chunks across iterations at three chunk locations (τ = 0.93)",
+    );
     let scale = scale_from_args();
     let n = scale.volume_size();
     let iterations = if scale == Scale::Tiny { 12 } else { 30 };
-    let mut config = MlrConfig::quick(n, n / 2).with_tau(0.93).with_iterations(iterations);
+    let mut config = MlrConfig::quick(n, n / 2)
+        .with_tau(0.93)
+        .with_iterations(iterations);
     config.memo.track_similarity = true;
     config.memo.warmup_iterations = 0;
     let pipeline = MlrPipeline::new(config);
@@ -25,20 +30,44 @@ fn main() {
     let num_locations = pipeline.operator().fu2d_grid().num_chunks();
     let locations = vec![0, num_locations / 2, num_locations - 1];
     let mut series = Vec::new();
-    println!("{:<12} {:<10} {}", "location", "iteration", "similar prior chunks");
+    println!(
+        "{:<12} {:<10} similar prior chunks",
+        "location", "iteration"
+    );
     for &loc in &locations {
         let s = executor.similarity_series(loc);
-        for &(it, count) in s.iter().filter(|(it, _)| it % 5 == 0 || *it + 1 == iterations) {
+        for &(it, count) in s
+            .iter()
+            .filter(|(it, _)| it % 5 == 0 || *it + 1 == iterations)
+        {
             println!("{:<12} {:<10} {}", loc, it, count);
         }
         series.push(s);
     }
     let fraction = executor.similarity_fraction();
     println!();
-    compare_row("iterations with >=1 similar prior chunk", "~70 %", &mlr_bench::pct(fraction));
-    compare_row("similar chunks grow as ADMM converges", "yes (4-9 after 30 iters)", &format!(
-        "last-iteration counts {:?}",
-        series.iter().map(|s| s.last().map(|p| p.1).unwrap_or(0)).collect::<Vec<_>>()
-    ));
-    write_record("fig04_chunk_similarity", &Record { locations, series, fraction_with_similar: fraction });
+    compare_row(
+        "iterations with >=1 similar prior chunk",
+        "~70 %",
+        &mlr_bench::pct(fraction),
+    );
+    compare_row(
+        "similar chunks grow as ADMM converges",
+        "yes (4-9 after 30 iters)",
+        &format!(
+            "last-iteration counts {:?}",
+            series
+                .iter()
+                .map(|s| s.last().map(|p| p.1).unwrap_or(0))
+                .collect::<Vec<_>>()
+        ),
+    );
+    write_record(
+        "fig04_chunk_similarity",
+        &Record {
+            locations,
+            series,
+            fraction_with_similar: fraction,
+        },
+    );
 }

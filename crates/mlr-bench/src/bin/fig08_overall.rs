@@ -12,7 +12,10 @@ struct Record {
 }
 
 fn main() {
-    header("Figure 8", "overall normalized time: mLR vs original ADMM-FFT");
+    header(
+        "Figure 8",
+        "overall normalized time: mLR vs original ADMM-FFT",
+    );
     let scale = scale_from_args();
     let n = scale.volume_size();
     let iterations = if scale == Scale::Tiny { 8 } else { 15 };
@@ -35,7 +38,11 @@ fn main() {
     } else {
         (0.53, 0.19, 0.28)
     };
-    let paper_norm = [("1K^3", 1024usize, 0.654), ("1.5K^3", 1536, 0.414), ("2K^3", 2048, 0.363)];
+    let paper_norm = [
+        ("1K^3", 1024usize, 0.654),
+        ("1.5K^3", 1536, 0.414),
+        ("2K^3", 2048, 0.363),
+    ];
     let mut projections = Vec::new();
     for &(label, size, paper) in &paper_norm {
         let p = pipeline.project_to_paper_scale(size, dist);
@@ -46,12 +53,22 @@ fn main() {
         );
         projections.push(p);
     }
-    let mean_improvement =
-        projections.iter().map(|p| p.improvement_percent()).sum::<f64>() / projections.len() as f64;
-    compare_row("average improvement", "52.8 %", &format!("{mean_improvement:.1} %"));
-    write_record("fig08_overall", &Record {
-        measured_case_distribution: report.case_distribution,
-        projections,
-        mean_improvement_percent: mean_improvement,
-    });
+    let mean_improvement = projections
+        .iter()
+        .map(|p| p.improvement_percent())
+        .sum::<f64>()
+        / projections.len() as f64;
+    compare_row(
+        "average improvement",
+        "52.8 %",
+        &format!("{mean_improvement:.1} %"),
+    );
+    write_record(
+        "fig08_overall",
+        &Record {
+            measured_case_distribution: report.case_distribution,
+            projections,
+            mean_improvement_percent: mean_improvement,
+        },
+    );
 }

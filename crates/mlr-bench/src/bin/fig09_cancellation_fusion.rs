@@ -15,7 +15,10 @@ struct Row {
 }
 
 fn main() {
-    header("Figure 9", "operation cancellation and fusion (LSP with N_inner = 4)");
+    header(
+        "Figure 9",
+        "operation cancellation and fusion (LSP with N_inner = 4)",
+    );
     let _ = scale_from_args() == Scale::Paper; // the figure is a cost-model projection at paper sizes
     let cost = CostModel::polaris(1);
     let mut rows = Vec::new();
@@ -33,7 +36,10 @@ fn main() {
         let cancelled_only = fused + cpu_subtraction.max(0.0) * w.n_inner as f64;
         println!("dataset {label}:");
         println!("  LSP w/o cancellation w/o fusion : {}", fmt_secs(original));
-        println!("  LSP w/ cancellation  w/o fusion : {}", fmt_secs(cancelled_only));
+        println!(
+            "  LSP w/ cancellation  w/o fusion : {}",
+            fmt_secs(cancelled_only)
+        );
         println!("  LSP w/ cancellation  w/ fusion  : {}", fmt_secs(fused));
         compare_row(
             &format!("  improvement from both ({label})"),
@@ -48,6 +54,8 @@ fn main() {
         });
     }
     println!("\n(the larger dataset benefits more, as in the paper; cancellation without fusion");
-    println!(" can lose time on the smaller dataset because the COMPLEX64 subtraction lands on the CPU)");
+    println!(
+        " can lose time on the smaller dataset because the COMPLEX64 subtraction lands on the CPU)"
+    );
     write_record("fig09_cancellation_fusion", &rows);
 }

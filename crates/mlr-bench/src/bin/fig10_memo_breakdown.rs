@@ -16,7 +16,10 @@ struct Record {
 }
 
 fn main() {
-    header("Figure 10", "memoization breakdown per operator, and the §6.4 case distribution");
+    header(
+        "Figure 10",
+        "memoization breakdown per operator, and the §6.4 case distribution",
+    );
     let scale = scale_from_args();
     let n = scale.volume_size();
     let iterations = if scale == Scale::Tiny { 8 } else { 20 };
@@ -25,20 +28,44 @@ fn main() {
     let stats = executor.stats();
 
     let mut per_op_avoided = Vec::new();
-    println!("{:<8} {:>10} {:>12} {:>10} {:>12}", "op", "computed", "failed memo", "db hits", "cache hits");
-    for op in [FftOpKind::Fu1D, FftOpKind::Fu1DAdj, FftOpKind::Fu2D, FftOpKind::Fu2DAdj] {
+    println!(
+        "{:<8} {:>10} {:>12} {:>10} {:>12}",
+        "op", "computed", "failed memo", "db hits", "cache hits"
+    );
+    for op in [
+        FftOpKind::Fu1D,
+        FftOpKind::Fu1DAdj,
+        FftOpKind::Fu2D,
+        FftOpKind::Fu2DAdj,
+    ] {
         let s = stats.op(op);
         println!(
             "{:<8} {:>10} {:>12} {:>10} {:>12}",
-            op.label(), s.computed, s.failed_memo, s.db_hits, s.cache_hits
+            op.label(),
+            s.computed,
+            s.failed_memo,
+            s.db_hits,
+            s.cache_hits
         );
         per_op_avoided.push((op.label().to_string(), s.avoided_fraction()));
     }
     let (fail, db, cache) = stats.case_distribution();
     println!();
-    compare_row("case distribution (fail / db / cache)", "53 % / 19 % / 28 %", &format!(
-        "{:.0} % / {:.0} % / {:.0} %", 100.0 * fail, 100.0 * db, 100.0 * cache));
-    compare_row("FFT computation avoided (USFFT ops)", "~47 %", &mlr_bench::pct(stats.total().avoided_fraction()));
+    compare_row(
+        "case distribution (fail / db / cache)",
+        "53 % / 19 % / 28 %",
+        &format!(
+            "{:.0} % / {:.0} % / {:.0} %",
+            100.0 * fail,
+            100.0 * db,
+            100.0 * cache
+        ),
+    );
+    compare_row(
+        "FFT computation avoided (USFFT ops)",
+        "~47 %",
+        &mlr_bench::pct(stats.total().avoided_fraction()),
+    );
 
     // Paper-scale per-case timing for one chunk (cost-model projection).
     let size = ProblemSize::paper_1k();
@@ -52,18 +79,25 @@ fn main() {
         let orig = stage.max(cost.pcie_time(w.stage_transfer_bytes())) * chunk_fraction;
         let encode = cost.cnn_encode_time((size.voxels() as f64 * chunk_fraction) as usize);
         let failed = orig + encode + cost.ann_query_time(1_000_000, 60, 1, 8);
-        let db_hit = encode + cost.ann_query_time(1_000_000, 60, 1, 8) + cost.network_bulk_time(value_bytes);
+        let db_hit =
+            encode + cost.ann_query_time(1_000_000, 60, 1, 8) + cost.network_bulk_time(value_bytes);
         let cache_hit = encode + cost.dram_copy_time(value_bytes);
         println!(
             "  {label:<6} {} / {} / {} / {}",
-            fmt_secs(orig), fmt_secs(failed), fmt_secs(db_hit), fmt_secs(cache_hit)
+            fmt_secs(orig),
+            fmt_secs(failed),
+            fmt_secs(db_hit),
+            fmt_secs(cache_hit)
         );
         paper_rows.push((label.to_string(), orig, failed, db_hit, cache_hit));
     }
     println!("(shape check: failed memo ~= original; db hit far cheaper; cache hit cheaper still)");
-    write_record("fig10_memo_breakdown", &Record {
-        case_distribution: (fail, db, cache),
-        per_op_avoided,
-        paper_scale_case_seconds: paper_rows,
-    });
+    write_record(
+        "fig10_memo_breakdown",
+        &Record {
+            case_distribution: (fail, db, cache),
+            per_op_avoided,
+            paper_scale_case_seconds: paper_rows,
+        },
+    );
 }

@@ -13,7 +13,10 @@ struct Record {
 }
 
 fn main() {
-    header("Figure 11", "key coalescing: per-chunk communication and similarity-search time (1K^3)");
+    header(
+        "Figure 11",
+        "key coalescing: per-chunk communication and similarity-search time (1K^3)",
+    );
     let size = ProblemSize::paper_1k();
     let cost = CostModel::polaris(1);
     let key_bytes: f64 = 60.0 * 8.0; // 60-dimensional f64 key
@@ -30,13 +33,26 @@ fn main() {
     let improvement = 1.0 - with / without;
 
     println!("queries per 4 KB batch: {keys_per_batch}");
-    println!("per-query cost w/o coalescing: {}", mlr_bench::fmt_secs(without));
-    println!("per-query cost w/  coalescing: {}", mlr_bench::fmt_secs(with));
-    compare_row("improvement from key coalescing", "~25 %", &mlr_bench::pct(improvement));
+    println!(
+        "per-query cost w/o coalescing: {}",
+        mlr_bench::fmt_secs(without)
+    );
+    println!(
+        "per-query cost w/  coalescing: {}",
+        mlr_bench::fmt_secs(with)
+    );
+    compare_row(
+        "improvement from key coalescing",
+        "~25 %",
+        &mlr_bench::pct(improvement),
+    );
     let _ = size;
-    write_record("fig11_key_coalesce", &Record {
-        without_coalesce_seconds: without,
-        with_coalesce_seconds: with,
-        improvement,
-    });
+    write_record(
+        "fig11_key_coalesce",
+        &Record {
+            without_coalesce_seconds: without,
+            with_coalesce_seconds: with,
+            improvement,
+        },
+    );
 }

@@ -14,13 +14,18 @@ struct Record {
 }
 
 fn main() {
-    header("Figure 12", "private vs global memoization cache (F_u2D and friends)");
+    header(
+        "Figure 12",
+        "private vs global memoization cache (F_u2D and friends)",
+    );
     let scale = scale_from_args();
     let n = scale.volume_size();
     let iterations = if scale == Scale::Tiny { 10 } else { 25 };
     let run = |kind: CacheKind| {
         let pipeline = MlrPipeline::new(
-            MlrConfig::quick(n, n / 2).with_iterations(iterations).with_cache(kind),
+            MlrConfig::quick(n, n / 2)
+                .with_iterations(iterations)
+                .with_cache(kind),
         );
         let (_, executor) = pipeline.run_memoized();
         executor.cache_stats()
@@ -28,18 +33,43 @@ fn main() {
     let private = run(CacheKind::Private);
     let global = run(CacheKind::Global);
 
-    println!("{:<10} {:>10} {:>14} {:>16}", "cache", "hit rate", "lookups", "comparisons");
-    println!("{:<10} {:>10.3} {:>14} {:>16}", "private", private.hit_rate(), private.lookups, private.comparisons);
-    println!("{:<10} {:>10.3} {:>14} {:>16}", "global", global.hit_rate(), global.lookups, global.comparisons);
+    println!(
+        "{:<10} {:>10} {:>14} {:>16}",
+        "cache", "hit rate", "lookups", "comparisons"
+    );
+    println!(
+        "{:<10} {:>10.3} {:>14} {:>16}",
+        "private",
+        private.hit_rate(),
+        private.lookups,
+        private.comparisons
+    );
+    println!(
+        "{:<10} {:>10.3} {:>14} {:>16}",
+        "global",
+        global.hit_rate(),
+        global.lookups,
+        global.comparisons
+    );
     println!();
-    compare_row("hit rates are similar", "private ≈ global", &format!(
-        "{:.3} vs {:.3}", private.hit_rate(), global.hit_rate()));
+    compare_row(
+        "hit rates are similar",
+        "private ≈ global",
+        &format!("{:.3} vs {:.3}", private.hit_rate(), global.hit_rate()),
+    );
     let saving = 1.0 - private.comparisons as f64 / global.comparisons.max(1) as f64;
-    compare_row("similarity-comparison saving (private)", "~85 %", &mlr_bench::pct(saving));
-    write_record("fig12_cache_hit_rate", &Record {
-        private_hit_rate: private.hit_rate(),
-        global_hit_rate: global.hit_rate(),
-        private_comparisons: private.comparisons,
-        global_comparisons: global.comparisons,
-    });
+    compare_row(
+        "similarity-comparison saving (private)",
+        "~85 %",
+        &mlr_bench::pct(saving),
+    );
+    write_record(
+        "fig12_cache_hit_rate",
+        &Record {
+            private_hit_rate: private.hit_rate(),
+            global_hit_rate: global.hit_rate(),
+            private_comparisons: private.comparisons,
+            global_comparisons: global.comparisons,
+        },
+    );
 }

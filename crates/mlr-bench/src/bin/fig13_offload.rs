@@ -8,13 +8,19 @@ use mlr_sim::workload::{AdmmWorkload, ProblemSize};
 use mlr_sim::CostModel;
 
 fn main() {
-    header("Figure 13", "ADMM-Offload vs no offload, greedy offload and LRU offload (1K^3)");
+    header(
+        "Figure 13",
+        "ADMM-Offload vs no offload, greedy offload and LRU offload (1K^3)",
+    );
     let workload = AdmmWorkload::new(ProblemSize::paper_1k());
     let cost = CostModel::polaris(1);
     let profile = IterationProfile::from_workload(&workload, &cost);
     let traces = simulate_all(&profile, &cost, 5);
 
-    println!("{:<24} {:>12} {:>14} {:>12} {:>10} {:>8}", "strategy", "peak (GiB)", "time (s)", "mem saving", "perf loss", "MT");
+    println!(
+        "{:<24} {:>12} {:>14} {:>12} {:>10} {:>8}",
+        "strategy", "peak (GiB)", "time (s)", "mem saving", "perf loss", "MT"
+    );
     for t in &traces {
         println!(
             "{:<24} {:>12.1} {:>14.1} {:>12} {:>10} {:>8.2}",
@@ -31,11 +37,35 @@ fn main() {
     let greedy = &traces[1];
     let lru = &traces[2];
     let planned = &traces[3];
-    compare_row("peak memory without offload", "~121 GB", &format!("{:.0} GiB", gib(none.peak_bytes)));
-    compare_row("greedy offload: saving / loss / MT", "42 % / 81.5 % / 0.51", &format!(
-        "{} / {} / {:.2}", mlr_bench::pct(greedy.memory_saving), mlr_bench::pct(greedy.performance_loss), greedy.mt));
-    compare_row("ADMM-Offload: saving / loss / MT", "29 % / 21 % / 1.38", &format!(
-        "{} / {} / {:.2}", mlr_bench::pct(planned.memory_saving), mlr_bench::pct(planned.performance_loss), planned.mt));
-    compare_row("ADMM-Offload vs LRU offloading", "40.5 % faster", &mlr_bench::pct(1.0 - planned.total_seconds / lru.total_seconds));
+    compare_row(
+        "peak memory without offload",
+        "~121 GB",
+        &format!("{:.0} GiB", gib(none.peak_bytes)),
+    );
+    compare_row(
+        "greedy offload: saving / loss / MT",
+        "42 % / 81.5 % / 0.51",
+        &format!(
+            "{} / {} / {:.2}",
+            mlr_bench::pct(greedy.memory_saving),
+            mlr_bench::pct(greedy.performance_loss),
+            greedy.mt
+        ),
+    );
+    compare_row(
+        "ADMM-Offload: saving / loss / MT",
+        "29 % / 21 % / 1.38",
+        &format!(
+            "{} / {} / {:.2}",
+            mlr_bench::pct(planned.memory_saving),
+            mlr_bench::pct(planned.performance_loss),
+            planned.mt
+        ),
+    );
+    compare_row(
+        "ADMM-Offload vs LRU offloading",
+        "40.5 % faster",
+        &mlr_bench::pct(1.0 - planned.total_seconds / lru.total_seconds),
+    );
     write_record("fig13_offload", &traces);
 }

@@ -5,10 +5,16 @@ use mlr_cluster::ScalingModel;
 use mlr_sim::workload::{AdmmWorkload, ProblemSize};
 
 fn main() {
-    header("Figure 14", "FFT-operation time and overall time vs number of GPUs (1K^3)");
+    header(
+        "Figure 14",
+        "FFT-operation time and overall time vs number of GPUs (1K^3)",
+    );
     let model = ScalingModel::new(AdmmWorkload::new(ProblemSize::paper_1k()), 60);
     let sweep = model.sweep(&[1, 2, 4, 8, 16]);
-    println!("{:>5} {:>6} {:>12} {:>12} {:>14}", "GPUs", "nodes", "Fu1D (s)", "Fu2D (s)", "overall (s)");
+    println!(
+        "{:>5} {:>6} {:>12} {:>12} {:>14}",
+        "GPUs", "nodes", "Fu1D (s)", "Fu2D (s)", "overall (s)"
+    );
     for p in &sweep {
         println!(
             "{:>5} {:>6} {:>12.3} {:>12.3} {:>14.1}",
@@ -17,10 +23,22 @@ fn main() {
     }
     println!();
     let fu1d_speedup = sweep[0].fu1d_seconds / sweep[4].fu1d_seconds;
-    compare_row("Fu1D speedup 1 -> 16 GPUs", "2.2x", &format!("{fu1d_speedup:.1}x"));
+    compare_row(
+        "Fu1D speedup 1 -> 16 GPUs",
+        "2.2x",
+        &format!("{fu1d_speedup:.1}x"),
+    );
     let s24 = sweep[1].overall_seconds / sweep[2].overall_seconds;
     let s48 = sweep[2].overall_seconds / sweep[3].overall_seconds;
-    compare_row("overall speedup 2 -> 4 GPUs", "1.36x", &format!("{s24:.2}x"));
-    compare_row("overall speedup 4 -> 8 GPUs", "~1x (slight loss)", &format!("{s48:.2}x"));
+    compare_row(
+        "overall speedup 2 -> 4 GPUs",
+        "1.36x",
+        &format!("{s24:.2}x"),
+    );
+    compare_row(
+        "overall speedup 4 -> 8 GPUs",
+        "~1x (slight loss)",
+        &format!("{s48:.2}x"),
+    );
     write_record("fig14_scalability", &sweep);
 }

@@ -4,7 +4,10 @@ use mlr_bench::{compare_row, header, write_record};
 use mlr_cluster::LatencyExperiment;
 
 fn main() {
-    header("Figure 15", "memory-node interconnect utilisation vs number of GPUs");
+    header(
+        "Figure 15",
+        "memory-node interconnect utilisation vs number of GPUs",
+    );
     let experiment = LatencyExperiment::default();
     let counts = [1usize, 2, 4, 6, 8, 12, 16];
     let mut rows = Vec::new();
@@ -15,7 +18,10 @@ fn main() {
         rows.push((g, u));
     }
     println!();
-    compare_row("utilisation near peak at >= 12 GPUs (3 nodes)", "yes", &format!(
-        "{:.0} % at 12 GPUs", 100.0 * experiment.utilisation(12)));
+    compare_row(
+        "utilisation near peak at >= 12 GPUs (3 nodes)",
+        "yes",
+        &format!("{:.0} % at 12 GPUs", 100.0 * experiment.utilisation(12)),
+    );
     write_record("fig15_bandwidth", &rows);
 }

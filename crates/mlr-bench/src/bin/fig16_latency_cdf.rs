@@ -14,10 +14,16 @@ struct Row {
 }
 
 fn main() {
-    header("Figure 16", "memoization-query latency CDF under contention (one memory node)");
+    header(
+        "Figure 16",
+        "memoization-query latency CDF under contention (one memory node)",
+    );
     let experiment = LatencyExperiment::default();
     let mut rows = Vec::new();
-    println!("{:>5} {:>12} {:>12} {:>12} {:>18}", "GPUs", "p50 (µs)", "p90 (µs)", "p99 (µs)", "> 100 ms");
+    println!(
+        "{:>5} {:>12} {:>12} {:>12} {:>18}",
+        "GPUs", "p50 (µs)", "p90 (µs)", "p99 (µs)", "> 100 ms"
+    );
     for &g in &[1usize, 2, 4, 8, 16] {
         let cdf = experiment.cdf(g);
         let row = Row {
@@ -29,12 +35,24 @@ fn main() {
         };
         println!(
             "{:>5} {:>12.0} {:>12.0} {:>12.0} {:>17.1}%",
-            row.gpus, row.p50_us, row.p90_us, row.p99_us, 100.0 * row.fraction_over_100ms
+            row.gpus,
+            row.p50_us,
+            row.p90_us,
+            row.p99_us,
+            100.0 * row.fraction_over_100ms
         );
         rows.push(row);
     }
     println!();
-    compare_row("queries > 100 ms at 16 GPUs", "43 %", &mlr_bench::pct(rows.last().unwrap().fraction_over_100ms));
-    compare_row("distribution shifts right with more GPUs", "yes", "yes (see table)");
+    compare_row(
+        "queries > 100 ms at 16 GPUs",
+        "43 %",
+        &mlr_bench::pct(rows.last().unwrap().fraction_over_100ms),
+    );
+    compare_row(
+        "distribution shifts right with more GPUs",
+        "yes",
+        "yes (see table)",
+    );
     write_record("fig16_latency_cdf", &rows);
 }

@@ -50,7 +50,12 @@ impl LatencyExperiment {
     /// number of GPUs (Figure 15's y-axis).
     pub fn utilisation(&self, gpus: usize) -> f64 {
         let link = SharedLink::from_interconnect(&InterconnectSpec::slingshot11());
-        let offered = offered_load_gbps(gpus, self.queries_per_gpu_per_s, self.query_bytes, self.value_bytes);
+        let offered = offered_load_gbps(
+            gpus,
+            self.queries_per_gpu_per_s,
+            self.query_bytes,
+            self.value_bytes,
+        );
         link.utilisation(offered)
     }
 
@@ -78,7 +83,12 @@ impl LatencyExperiment {
 /// Convenience: the latency CDF curve as `(latency_us, cumulative_fraction)`
 /// pairs for plotting.
 pub fn latency_cdf(experiment: &LatencyExperiment, gpus: usize) -> Vec<(f64, f64)> {
-    experiment.cdf(gpus).curve().into_iter().map(|(s, f)| (s * 1e6, f)).collect()
+    experiment
+        .cdf(gpus)
+        .curve()
+        .into_iter()
+        .map(|(s, f)| (s * 1e6, f))
+        .collect()
 }
 
 #[cfg(test)]
@@ -100,7 +110,10 @@ mod tests {
 
     #[test]
     fn latency_distribution_shifts_right_with_gpus() {
-        let e = LatencyExperiment { samples: 1500, ..Default::default() };
+        let e = LatencyExperiment {
+            samples: 1500,
+            ..Default::default()
+        };
         let median = |gpus: usize| e.cdf(gpus).quantile(0.5);
         assert!(median(16) > median(1), "{} vs {}", median(16), median(1));
         // Tail: a substantial fraction of queries become very slow at 16 GPUs
@@ -114,7 +127,10 @@ mod tests {
 
     #[test]
     fn cdf_curve_is_monotone() {
-        let e = LatencyExperiment { samples: 500, ..Default::default() };
+        let e = LatencyExperiment {
+            samples: 500,
+            ..Default::default()
+        };
         let curve = latency_cdf(&e, 8);
         assert_eq!(curve.len(), 500);
         for w in curve.windows(2) {
@@ -126,7 +142,10 @@ mod tests {
 
     #[test]
     fn deterministic_per_seed() {
-        let e = LatencyExperiment { samples: 100, ..Default::default() };
+        let e = LatencyExperiment {
+            samples: 100,
+            ..Default::default()
+        };
         assert_eq!(e.sample_latencies(4), e.sample_latencies(4));
     }
 }

@@ -42,7 +42,11 @@ impl ScalingModel {
     /// Creates a scaling model for the given workload and ADMM iteration
     /// count on Polaris-like nodes (4 GPUs per node).
     pub fn new(workload: AdmmWorkload, iterations: usize) -> Self {
-        Self { workload, iterations, gpus_per_node: 4 }
+        Self {
+            workload,
+            iterations,
+            gpus_per_node: 4,
+        }
     }
 
     /// Number of nodes needed for `gpus` GPUs.
@@ -79,8 +83,7 @@ impl ScalingModel {
             // Cross-node fraction of the exchange goes over the interconnect,
             // whose per-node injection bandwidth is shared by its GPUs.
             let cross_fraction = 1.0 - 1.0 / nodes as f64;
-            let per_node_bytes =
-                total_bytes * cross_fraction / nodes as f64;
+            let per_node_bytes = total_bytes * cross_fraction / nodes as f64;
             cost.nvlink_time(per_gpu_bytes) + cost.network_bulk_time(per_node_bytes)
         }
     }
@@ -182,7 +185,10 @@ mod tests {
         let s_4_to_8 = p4.overall_seconds / p8.overall_seconds;
         assert!(s_2_to_4 > 1.2, "2->4 speedup {s_2_to_4}");
         assert!(s_4_to_8 < s_2_to_4, "4->8 {s_4_to_8} vs 2->4 {s_2_to_4}");
-        assert!(s_4_to_8 < 1.15, "4->8 should be nearly flat, got {s_4_to_8}");
+        assert!(
+            s_4_to_8 < 1.15,
+            "4->8 should be nearly flat, got {s_4_to_8}"
+        );
     }
 
     #[test]

@@ -111,7 +111,10 @@ impl MlrConfig {
                 nonnegativity: true,
                 adaptive_rho: true,
             },
-            memo: MemoConfig { tau: 0.92, ..Default::default() },
+            memo: MemoConfig {
+                tau: 0.92,
+                ..Default::default()
+            },
             chunk_size: 8,
         }
     }
@@ -156,7 +159,10 @@ mod tests {
 
     #[test]
     fn quick_config_builders() {
-        let c = MlrConfig::quick(16, 8).with_tau(0.9).with_iterations(5).with_memoization(false);
+        let c = MlrConfig::quick(16, 8)
+            .with_tau(0.9)
+            .with_iterations(5)
+            .with_memoization(false);
         assert_eq!(c.problem.n, 16);
         assert_eq!(c.memo.tau, 0.9);
         assert_eq!(c.admm.outer_iterations, 5);

@@ -3,10 +3,11 @@
 use crate::config::MlrConfig;
 use crate::report::{MlrReport, PaperScaleProjection};
 use mlr_lamino::{LaminoDataset, LaminoGeometry, LaminoOperator};
-use mlr_memo::{EncoderConfig, MemoizedExecutor};
+use mlr_memo::{EncoderConfig, JobId, MemoDbConfig, MemoStore, MemoizedExecutor, ShardedMemoDb};
 use mlr_sim::workload::{AdmmWorkload, ProblemSize};
 use mlr_sim::CostModel;
 use mlr_solver::{AdmmResult, AdmmSolver};
+use std::sync::Arc;
 
 /// The end-to-end pipeline: dataset simulation, exact reconstruction,
 /// memoized reconstruction, comparison and paper-scale projection.
@@ -24,7 +25,11 @@ impl MlrPipeline {
         let geometry = LaminoGeometry::cube(p.n, p.n_angles, p.tilt_degrees);
         let dataset = LaminoDataset::simulate(geometry.clone(), p.phantom, p.noise, p.seed);
         let operator = LaminoOperator::new(geometry, config.chunk_size);
-        Self { config, dataset, operator }
+        Self {
+            config,
+            dataset,
+            operator,
+        }
     }
 
     /// The configuration.
@@ -43,8 +48,10 @@ impl MlrPipeline {
     }
 
     /// The encoder configuration used for the memoization key encoder,
-    /// scaled down for small problems so tests stay fast.
-    fn encoder_config(&self) -> EncoderConfig {
+    /// scaled down for small problems so tests stay fast. Public so shared
+    /// stores (e.g. the runtime's `ShardedMemoDb`) can be built with the
+    /// exact key space this pipeline would use on its own.
+    pub fn encoder_config(&self) -> EncoderConfig {
         EncoderConfig {
             input_grid: 8,
             conv1_filters: 4,
@@ -52,6 +59,22 @@ impl MlrPipeline {
             embedding_dim: 32,
             learning_rate: 1e-3,
         }
+    }
+
+    /// Builds a sharded memo store compatible with this pipeline (same τ,
+    /// same encoder configuration and seed), suitable for sharing across
+    /// several pipelines/jobs.
+    pub fn build_shared_store(&self, shards: usize) -> Arc<ShardedMemoDb> {
+        let db_config = MemoDbConfig {
+            tau: self.config.memo.tau,
+            ..Default::default()
+        };
+        Arc::new(ShardedMemoDb::with_shards(
+            db_config,
+            self.encoder_config(),
+            self.config.problem.seed,
+            shards,
+        ))
     }
 
     /// Runs the exact (non-memoized) ADMM-FFT reconstruction.
@@ -63,8 +86,26 @@ impl MlrPipeline {
     /// Runs the memoized (mLR) reconstruction; returns the result and the
     /// executor holding all memoization statistics.
     pub fn run_memoized(&self) -> (AdmmResult, MemoizedExecutor) {
-        let executor =
-            MemoizedExecutor::new(self.config.memo, self.encoder_config(), self.config.problem.seed);
+        let executor = MemoizedExecutor::new(
+            self.config.memo,
+            self.encoder_config(),
+            self.config.problem.seed,
+        );
+        let solver = AdmmSolver::new(self.config.admm);
+        let result = solver.run_with(&self.operator, &self.dataset.projections, &executor);
+        (result, executor)
+    }
+
+    /// Runs the memoized reconstruction against an injected (typically
+    /// shared) memo store on behalf of job `job`. With a store shared
+    /// between pipelines, FFT results memoized by one reconstruction are
+    /// reused by the others — the multi-tenant mode the runtime builds on.
+    pub fn run_memoized_with_store(
+        &self,
+        store: Arc<dyn MemoStore>,
+        job: JobId,
+    ) -> (AdmmResult, MemoizedExecutor) {
+        let executor = MemoizedExecutor::with_store(self.config.memo, store, job);
         let solver = AdmmSolver::new(self.config.admm);
         let result = solver.run_with(&self.operator, &self.dataset.projections, &executor);
         (result, executor)
@@ -79,14 +120,9 @@ impl MlrPipeline {
             mlr_solver::accuracy_vs_reference(&exact.reconstruction, &memo.reconstruction);
         let stats = executor.stats();
         let total = stats.total();
-        let exact_compute_seconds: f64 = exact
-            .history
-            .records()
-            .iter()
-            .map(|r| r.lsp_seconds)
-            .sum();
-        let memo_compute_seconds: f64 =
-            memo.history.records().iter().map(|r| r.lsp_seconds).sum();
+        let exact_compute_seconds: f64 =
+            exact.history.records().iter().map(|r| r.lsp_seconds).sum();
+        let memo_compute_seconds: f64 = memo.history.records().iter().map(|r| r.lsp_seconds).sum();
 
         MlrReport {
             accuracy,
@@ -192,12 +228,37 @@ mod tests {
 
     #[test]
     fn disabling_memoization_gives_identical_reconstruction() {
-        let p = MlrPipeline::new(MlrConfig::quick(12, 8).with_iterations(4).with_memoization(false));
+        let p = MlrPipeline::new(
+            MlrConfig::quick(12, 8)
+                .with_iterations(4)
+                .with_memoization(false),
+        );
         let exact = p.run_exact();
         let (memo, executor) = p.run_memoized();
         let err = mlr_math::norms::relative_error(&exact.reconstruction, &memo.reconstruction);
-        assert!(err < 1e-12, "disabled memoization must be bit-equivalent, err {err}");
+        assert!(
+            err < 1e-12,
+            "disabled memoization must be bit-equivalent, err {err}"
+        );
         assert_eq!(executor.stats().total().db_hits, 0);
+    }
+
+    #[test]
+    fn injected_sharded_store_matches_private_database() {
+        // The runtime's determinism contract: one job over a shared sharded
+        // store reconstructs bit-identically to the classic private-database
+        // path.
+        let p = tiny_pipeline(0.92);
+        let (private, _) = p.run_memoized();
+        let store = p.build_shared_store(8);
+        let (shared, executor) = p.run_memoized_with_store(store, 7);
+        let err = mlr_math::norms::relative_error(&private.reconstruction, &shared.reconstruction);
+        assert!(
+            err < 1e-12,
+            "sharded store changed the reconstruction: {err}"
+        );
+        assert_eq!(executor.job(), 7);
+        assert!(executor.store().stats().queries > 0);
     }
 
     #[test]

@@ -74,7 +74,12 @@ impl FftPlan {
                 twiddles_fwd.push(Complex64::cis(-theta));
                 twiddles_inv.push(Complex64::cis(theta));
             }
-            Self { n, twiddles_fwd, twiddles_inv, bluestein: None }
+            Self {
+                n,
+                twiddles_fwd,
+                twiddles_inv,
+                bluestein: None,
+            }
         } else {
             let m = (2 * n - 1).next_power_of_two();
             let mut chirp = Vec::with_capacity(n);
@@ -87,7 +92,11 @@ impl FftPlan {
             let build_bhat = |conj_chirp: bool| -> Vec<Complex64> {
                 let mut b = vec![Complex64::ZERO; m];
                 for i in 0..n {
-                    let c = if conj_chirp { chirp[i].conj() } else { chirp[i] };
+                    let c = if conj_chirp {
+                        chirp[i].conj()
+                    } else {
+                        chirp[i]
+                    };
                     b[i] = c;
                     if i != 0 {
                         b[m - i] = c;
@@ -118,7 +127,13 @@ impl FftPlan {
                 n,
                 twiddles_fwd: Vec::new(),
                 twiddles_inv: Vec::new(),
-                bluestein: Some(BluesteinTables { m, chirp, b_hat_fwd, b_hat_inv, inner }),
+                bluestein: Some(BluesteinTables {
+                    m,
+                    chirp,
+                    b_hat_fwd,
+                    b_hat_inv,
+                    inner,
+                }),
             }
         }
     }
@@ -232,7 +247,7 @@ impl FftPlan {
             Direction::Inverse => &tables.b_hat_inv,
         };
         for (x, y) in a.iter_mut().zip(b_hat) {
-            *x = *x * *y;
+            *x *= *y;
         }
         tables.inner.process(&mut a, Direction::Inverse);
         for i in 0..n {
@@ -260,13 +275,18 @@ pub struct FftPlanner {
 impl FftPlanner {
     /// Creates an empty planner.
     pub fn new() -> Self {
-        Self { plans: Mutex::new(HashMap::new()) }
+        Self {
+            plans: Mutex::new(HashMap::new()),
+        }
     }
 
     /// Returns the (possibly cached) plan for length `n`.
     pub fn plan(&self, n: usize) -> Arc<FftPlan> {
         let mut guard = self.plans.lock().expect("planner lock poisoned");
-        guard.entry(n).or_insert_with(|| Arc::new(FftPlan::new(n))).clone()
+        guard
+            .entry(n)
+            .or_insert_with(|| Arc::new(FftPlan::new(n)))
+            .clone()
     }
 
     /// Number of distinct lengths planned so far.
@@ -299,7 +319,11 @@ pub fn dft_naive(input: &[Complex64], dir: Direction) -> Vec<Complex64> {
             let theta = dir.sign() * 2.0 * PI * (k * j % n.max(1)) as f64 / n as f64;
             acc += x * Complex64::cis(theta);
         }
-        *o = if dir == Direction::Inverse { acc.scale(1.0 / n as f64) } else { acc };
+        *o = if dir == Direction::Inverse {
+            acc.scale(1.0 / n as f64)
+        } else {
+            acc
+        };
     }
     out
 }
@@ -313,7 +337,9 @@ mod tests {
 
     fn random_signal(n: usize, seed: u64) -> Vec<Complex64> {
         let mut rng = seeded(seed);
-        (0..n).map(|_| Complex64::new(rng.gen::<f64>() - 0.5, rng.gen::<f64>() - 0.5)).collect()
+        (0..n)
+            .map(|_| Complex64::new(rng.gen::<f64>() - 0.5, rng.gen::<f64>() - 0.5))
+            .collect()
     }
 
     #[test]

@@ -85,7 +85,8 @@ impl Fft2Batch {
     pub fn process_plane(&self, plane: &mut [Complex64], dir: Direction) {
         assert_eq!(plane.len(), self.rows * self.cols, "plane length mismatch");
         for r in 0..self.rows {
-            self.row_plan.process(&mut plane[r * self.cols..(r + 1) * self.cols], dir);
+            self.row_plan
+                .process(&mut plane[r * self.cols..(r + 1) * self.cols], dir);
         }
         let mut col = vec![Complex64::ZERO; self.rows];
         for c in 0..self.cols {
@@ -100,7 +101,11 @@ impl Fft2Batch {
     }
 
     /// Out-of-place convenience: returns the transformed copy of `volume`.
-    pub fn transform_volume(&self, volume: &Array3<Complex64>, dir: Direction) -> Array3<Complex64> {
+    pub fn transform_volume(
+        &self,
+        volume: &Array3<Complex64>,
+        dir: Direction,
+    ) -> Array3<Complex64> {
         let mut out = volume.clone();
         self.process_volume(&mut out, dir);
         out
@@ -109,7 +114,11 @@ impl Fft2Batch {
 
 /// Converts a real 3-D array to complex (imaginary part zero).
 pub fn to_complex(volume: &Array3<f64>) -> Array3<Complex64> {
-    let data = volume.as_slice().iter().map(|&x| Complex64::from_real(x)).collect();
+    let data = volume
+        .as_slice()
+        .iter()
+        .map(|&x| Complex64::from_real(x))
+        .collect();
     Array3::from_vec(volume.shape(), data)
 }
 
@@ -195,7 +204,10 @@ mod tests {
         for p in 0..shape.n0 {
             let mut plane = volume.plane(p).to_vec();
             fft2_inplace(&mut plane, 8, 8, Direction::Forward);
-            assert!(max_abs_diff_c(&plane, transformed.plane(p)) < 1e-10, "plane {p}");
+            assert!(
+                max_abs_diff_c(&plane, transformed.plane(p)) < 1e-10,
+                "plane {p}"
+            );
         }
     }
 
@@ -203,8 +215,9 @@ mod tests {
     fn batch_roundtrip_volume() {
         let shape = Shape3::new(3, 4, 6);
         let mut rng = seeded(23);
-        let data: Vec<Complex64> =
-            (0..shape.len()).map(|_| Complex64::new(rng.gen(), rng.gen())).collect();
+        let data: Vec<Complex64> = (0..shape.len())
+            .map(|_| Complex64::new(rng.gen(), rng.gen()))
+            .collect();
         let volume = Array3::from_vec(shape, data);
         let batch = Fft2Batch::new(4, 6);
         let fwd = batch.transform_volume(&volume, Direction::Forward);

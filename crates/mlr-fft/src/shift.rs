@@ -12,7 +12,9 @@ use mlr_math::Complex64;
 /// monotonically increasing from `-0.5` towards `+0.5`.
 pub fn fftfreq(n: usize) -> Vec<f64> {
     let half = (n / 2) as isize;
-    (0..n as isize).map(|i| (i - half) as f64 / n as f64).collect()
+    (0..n as isize)
+        .map(|i| (i - half) as f64 / n as f64)
+        .collect()
 }
 
 /// Circularly rotates a 1-D spectrum so the DC bin moves to the center.
@@ -44,8 +46,9 @@ pub fn ifftshift_1d<T: Clone>(data: &[T]) -> Vec<T> {
 /// 2-D `fftshift` over a row-major `rows × cols` plane.
 pub fn fftshift_2d(data: &[Complex64], rows: usize, cols: usize) -> Vec<Complex64> {
     assert_eq!(data.len(), rows * cols, "fftshift_2d length mismatch");
-    let row_shifted: Vec<Vec<Complex64>> =
-        (0..rows).map(|r| fftshift_1d(&data[r * cols..(r + 1) * cols])).collect();
+    let row_shifted: Vec<Vec<Complex64>> = (0..rows)
+        .map(|r| fftshift_1d(&data[r * cols..(r + 1) * cols]))
+        .collect();
     let row_order = fftshift_1d(&(0..rows).collect::<Vec<_>>());
     let mut out = Vec::with_capacity(rows * cols);
     for &r in &row_order {
@@ -57,8 +60,9 @@ pub fn fftshift_2d(data: &[Complex64], rows: usize, cols: usize) -> Vec<Complex6
 /// 2-D `ifftshift` over a row-major `rows × cols` plane.
 pub fn ifftshift_2d(data: &[Complex64], rows: usize, cols: usize) -> Vec<Complex64> {
     assert_eq!(data.len(), rows * cols, "ifftshift_2d length mismatch");
-    let row_shifted: Vec<Vec<Complex64>> =
-        (0..rows).map(|r| ifftshift_1d(&data[r * cols..(r + 1) * cols])).collect();
+    let row_shifted: Vec<Vec<Complex64>> = (0..rows)
+        .map(|r| ifftshift_1d(&data[r * cols..(r + 1) * cols]))
+        .collect();
     let row_order = ifftshift_1d(&(0..rows).collect::<Vec<_>>());
     let mut out = Vec::with_capacity(rows * cols);
     for &r in &row_order {
@@ -108,12 +112,13 @@ mod tests {
     fn shift_2d_roundtrip() {
         let rows = 3;
         let cols = 4;
-        let data: Vec<Complex64> =
-            (0..rows * cols).map(|i| Complex64::new(i as f64, -(i as f64))).collect();
+        let data: Vec<Complex64> = (0..rows * cols)
+            .map(|i| Complex64::new(i as f64, -(i as f64)))
+            .collect();
         let shifted = fftshift_2d(&data, rows, cols);
         let back = ifftshift_2d(&shifted, rows, cols);
         assert_eq!(back, data);
         // DC (index 0) should end up at the center position (row 1, col 2).
-        assert_eq!(shifted[1 * cols + 2], data[0]);
+        assert_eq!(shifted[cols + 2], data[0]);
     }
 }

@@ -81,7 +81,16 @@ impl Usfft1d {
             })
             .collect();
         let scale = 1.0 / (nr as f64 * (4.0 * PI * sigma).sqrt());
-        Self { n, nr, m_sp: half_width, sigma, freqs, deconv, scale, plan: Arc::new(FftPlan::new(nr)) }
+        Self {
+            n,
+            nr,
+            m_sp: half_width,
+            sigma,
+            freqs,
+            deconv,
+            scale,
+            plan: Arc::new(FftPlan::new(nr)),
+        }
     }
 
     /// Number of uniform input samples.
@@ -151,7 +160,11 @@ impl Usfft1d {
     /// # Panics
     /// Panics when `y.len() != self.output_len()`.
     pub fn adjoint(&self, y: &[Complex64]) -> Vec<Complex64> {
-        assert_eq!(y.len(), self.freqs.len(), "USFFT adjoint input length mismatch");
+        assert_eq!(
+            y.len(),
+            self.freqs.len(),
+            "USFFT adjoint input length mismatch"
+        );
         let nr = self.nr as isize;
         let m_sp = self.m_sp as isize;
         // 1. Spread each non-uniform value onto the fine grid (transpose of
@@ -201,7 +214,11 @@ impl Usfft1d {
 
     /// Naive `O(n·m)` evaluation of the adjoint transform.
     pub fn adjoint_naive(&self, y: &[Complex64]) -> Vec<Complex64> {
-        assert_eq!(y.len(), self.freqs.len(), "USFFT adjoint input length mismatch");
+        assert_eq!(
+            y.len(),
+            self.freqs.len(),
+            "USFFT adjoint input length mismatch"
+        );
         let half = (self.n / 2) as isize;
         (0..self.n)
             .map(|j| {
@@ -422,7 +439,11 @@ impl Usfft2d {
     /// # Panics
     /// Panics when `y.len() != self.output_len()`.
     pub fn adjoint(&self, y: &[Complex64]) -> Vec<Complex64> {
-        assert_eq!(y.len(), self.freqs.len(), "USFFT2D adjoint input length mismatch");
+        assert_eq!(
+            y.len(),
+            self.freqs.len(),
+            "USFFT2D adjoint input length mismatch"
+        );
         let m_sp = self.m_sp as isize;
         let nr1 = self.nr1 as isize;
         let nr2 = self.nr2 as isize;
@@ -474,8 +495,8 @@ impl Usfft2d {
                     let p1 = (j1 as isize - half1) as f64;
                     for j2 in 0..self.n2 {
                         let p2 = (j2 as isize - half2) as f64;
-                        acc += u[j1 * self.n2 + j2]
-                            * Complex64::cis(-2.0 * PI * (w1 * p1 + w2 * p2));
+                        acc +=
+                            u[j1 * self.n2 + j2] * Complex64::cis(-2.0 * PI * (w1 * p1 + w2 * p2));
                     }
                 }
                 acc
@@ -493,7 +514,9 @@ mod tests {
 
     fn random_c(n: usize, seed: u64) -> Vec<Complex64> {
         let mut rng = seeded(seed);
-        (0..n).map(|_| Complex64::new(rng.gen::<f64>() - 0.5, rng.gen::<f64>() - 0.5)).collect()
+        (0..n)
+            .map(|_| Complex64::new(rng.gen::<f64>() - 0.5, rng.gen::<f64>() - 0.5))
+            .collect()
     }
 
     fn random_freqs(m: usize, seed: u64) -> Vec<f64> {
@@ -518,7 +541,9 @@ mod tests {
         // When the "non-uniform" frequencies are exactly the uniform grid
         // k/n, the USFFT must agree with a centered DFT.
         let n = 16;
-        let freqs: Vec<f64> = (0..n).map(|k| (k as f64 - (n / 2) as f64) / n as f64).collect();
+        let freqs: Vec<f64> = (0..n)
+            .map(|k| (k as f64 - (n / 2) as f64) / n as f64)
+            .collect();
         let u = random_c(n, 3);
         let t = Usfft1d::new(n, freqs.clone());
         let fast = t.forward(&u);
@@ -589,8 +614,9 @@ mod tests {
         let (n1, n2) = (12, 16);
         let m = 40;
         let mut rng = seeded(13);
-        let freqs: Vec<(f64, f64)> =
-            (0..m).map(|_| (rng.gen::<f64>() - 0.5, rng.gen::<f64>() - 0.5)).collect();
+        let freqs: Vec<(f64, f64)> = (0..m)
+            .map(|_| (rng.gen::<f64>() - 0.5, rng.gen::<f64>() - 0.5))
+            .collect();
         let u = random_c(n1 * n2, 14);
         let t = Usfft2d::new(n1, n2, freqs);
         let fast = t.forward(&u);
@@ -604,8 +630,9 @@ mod tests {
         let (n1, n2) = (10, 14);
         let m = 25;
         let mut rng = seeded(15);
-        let freqs: Vec<(f64, f64)> =
-            (0..m).map(|_| (rng.gen::<f64>() - 0.5, rng.gen::<f64>() - 0.5)).collect();
+        let freqs: Vec<(f64, f64)> = (0..m)
+            .map(|_| (rng.gen::<f64>() - 0.5, rng.gen::<f64>() - 0.5))
+            .collect();
         let t = Usfft2d::new(n1, n2, freqs);
         let x = random_c(n1 * n2, 16);
         let y = random_c(m, 17);

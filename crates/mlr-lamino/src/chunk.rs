@@ -155,11 +155,11 @@ mod tests {
     #[test]
     fn locations_cover_axis_disjointly() {
         let g = ChunkGrid::new(77, 10);
-        let mut covered = vec![false; 77];
+        let mut covered = [false; 77];
         for loc in g.iter() {
-            for i in loc.start..loc.start + loc.len {
-                assert!(!covered[i], "slab {i} covered twice");
-                covered[i] = true;
+            for (i, c) in covered.iter_mut().enumerate().skip(loc.start).take(loc.len) {
+                assert!(!*c, "slab {i} covered twice");
+                *c = true;
             }
         }
         assert!(covered.iter().all(|&c| c));

@@ -57,7 +57,7 @@ impl LaminoDataset {
             geometry.volume_shape(),
             "dataset simulation currently requires a cubic geometry"
         );
-        let operator = LaminoOperator::new(geometry.clone(), geometry.n1.min(16).max(1));
+        let operator = LaminoOperator::new(geometry.clone(), geometry.n1.clamp(1, 16));
         let mut projections = operator.forward(&ground_truth);
         if let ProjectionNoise::Gaussian { relative_sigma } = noise {
             let rms = (projections.as_slice().iter().map(|x| x * x).sum::<f64>()
@@ -69,7 +69,13 @@ impl LaminoDataset {
                 *v += sigma * standard_normal(&mut rng);
             }
         }
-        Self { geometry, ground_truth, projections, phantom, noise }
+        Self {
+            geometry,
+            ground_truth,
+            projections,
+            phantom,
+            noise,
+        }
     }
 
     /// Convenience constructor for a cubic brain-phantom dataset.
@@ -110,7 +116,9 @@ mod tests {
         let noisy = LaminoDataset::simulate(
             g,
             PhantomKind::Brain,
-            ProjectionNoise::Gaussian { relative_sigma: 0.05 },
+            ProjectionNoise::Gaussian {
+                relative_sigma: 0.05,
+            },
             4,
         );
         assert_eq!(clean.ground_truth, noisy.ground_truth);

@@ -63,7 +63,9 @@ impl LaminoGeometry {
     pub fn cube(n: usize, n_angles: usize, tilt_degrees: f64) -> Self {
         assert!(n > 0, "volume size must be positive");
         assert!(n_angles > 0, "need at least one rotation angle");
-        let angles = (0..n_angles).map(|j| PI * j as f64 / n_angles as f64).collect();
+        let angles = (0..n_angles)
+            .map(|j| PI * j as f64 / n_angles as f64)
+            .collect();
         Self {
             n1: n,
             n0: n,
@@ -115,7 +117,9 @@ impl LaminoGeometry {
     /// parameterises `F_u1D` and is independent of the rotation angle, which
     /// is what makes the three-stage factorisation possible.
     pub fn vertical_freqs(&self) -> Vec<f64> {
-        (0..self.detector.rows).map(|i| self.row_freq(i) * self.tilt.sin()).collect()
+        (0..self.detector.rows)
+            .map(|i| self.row_freq(i) * self.tilt.sin())
+            .collect()
     }
 
     /// The in-plane frequency pair `(k_x, k_y)` sampled by rotation angle

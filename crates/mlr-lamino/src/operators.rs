@@ -50,8 +50,12 @@ impl FftOpKind {
 
     /// The four operations that remain after the paper's operation
     /// cancellation (Algorithm 2): `F_2D`/`F*_2D` are eliminated.
-    pub const AFTER_CANCELLATION: [FftOpKind; 4] =
-        [FftOpKind::Fu1D, FftOpKind::Fu2D, FftOpKind::Fu2DAdj, FftOpKind::Fu1DAdj];
+    pub const AFTER_CANCELLATION: [FftOpKind; 4] = [
+        FftOpKind::Fu1D,
+        FftOpKind::Fu2D,
+        FftOpKind::Fu2DAdj,
+        FftOpKind::Fu1DAdj,
+    ];
 
     /// Short human-readable label used by reports and benches.
     pub fn label(&self) -> &'static str {
@@ -150,7 +154,13 @@ impl LaminoOperator {
             })
             .collect();
         let fft2_detector = Fft2Batch::new(geometry.detector.rows, geometry.detector.cols);
-        Self { geometry, usfft_vertical, usfft_rows, fft2_detector, chunk_size }
+        Self {
+            geometry,
+            usfft_vertical,
+            usfft_rows,
+            fft2_detector,
+            chunk_size,
+        }
     }
 
     /// The geometry this operator was built for.
@@ -183,7 +193,11 @@ impl LaminoOperator {
     /// Applies `F_u1D` to the whole volume: `u[n1, n0, n2] → ũ1[n1, h, n2]`.
     pub fn fu1d(&self, u: &Array3<Complex64>, exec: &dyn FftExecutor) -> Array3<Complex64> {
         let shape = u.shape();
-        assert_eq!(shape, self.geometry.volume_shape(), "Fu1D input shape mismatch");
+        assert_eq!(
+            shape,
+            self.geometry.volume_shape(),
+            "Fu1D input shape mismatch"
+        );
         let out_shape = self.geometry.u1_shape();
         let mut out = Array3::zeros(out_shape);
         let grid = self.fu1d_grid();
@@ -207,26 +221,36 @@ impl LaminoOperator {
         let h = self.geometry.detector.rows;
         assert_eq!(input.len(), len * n0 * n2, "Fu1D chunk length mismatch");
         let mut out = vec![Complex64::ZERO; len * h * n2];
-        out.par_chunks_mut(h * n2).enumerate().for_each(|(i1, out_plane)| {
-            let in_plane = &input[i1 * n0 * n2..(i1 + 1) * n0 * n2];
-            let mut column = vec![Complex64::ZERO; n0];
-            for i2 in 0..n2 {
-                for j in 0..n0 {
-                    column[j] = in_plane[j * n2 + i2];
+        out.par_chunks_mut(h * n2)
+            .enumerate()
+            .for_each(|(i1, out_plane)| {
+                let in_plane = &input[i1 * n0 * n2..(i1 + 1) * n0 * n2];
+                let mut column = vec![Complex64::ZERO; n0];
+                for i2 in 0..n2 {
+                    for j in 0..n0 {
+                        column[j] = in_plane[j * n2 + i2];
+                    }
+                    let transformed = self.usfft_vertical.forward(&column);
+                    for (row, &v) in transformed.iter().enumerate() {
+                        out_plane[row * n2 + i2] = v;
+                    }
                 }
-                let transformed = self.usfft_vertical.forward(&column);
-                for (row, &v) in transformed.iter().enumerate() {
-                    out_plane[row * n2 + i2] = v;
-                }
-            }
-        });
+            });
         out
     }
 
     /// Applies `F*_u1D`: `ũ1[n1, h, n2] → u[n1, n0, n2]`.
-    pub fn fu1d_adjoint(&self, u1: &Array3<Complex64>, exec: &dyn FftExecutor) -> Array3<Complex64> {
+    pub fn fu1d_adjoint(
+        &self,
+        u1: &Array3<Complex64>,
+        exec: &dyn FftExecutor,
+    ) -> Array3<Complex64> {
         let shape = u1.shape();
-        assert_eq!(shape, self.geometry.u1_shape(), "F*u1D input shape mismatch");
+        assert_eq!(
+            shape,
+            self.geometry.u1_shape(),
+            "F*u1D input shape mismatch"
+        );
         let out_shape = self.geometry.volume_shape();
         let mut out = Array3::zeros(out_shape);
         let grid = self.fu1d_grid();
@@ -249,19 +273,21 @@ impl LaminoOperator {
         let h = self.geometry.detector.rows;
         assert_eq!(input.len(), len * h * n2, "F*u1D chunk length mismatch");
         let mut out = vec![Complex64::ZERO; len * n0 * n2];
-        out.par_chunks_mut(n0 * n2).enumerate().for_each(|(i1, out_plane)| {
-            let in_plane = &input[i1 * h * n2..(i1 + 1) * h * n2];
-            let mut column = vec![Complex64::ZERO; h];
-            for i2 in 0..n2 {
-                for row in 0..h {
-                    column[row] = in_plane[row * n2 + i2];
+        out.par_chunks_mut(n0 * n2)
+            .enumerate()
+            .for_each(|(i1, out_plane)| {
+                let in_plane = &input[i1 * h * n2..(i1 + 1) * h * n2];
+                let mut column = vec![Complex64::ZERO; h];
+                for i2 in 0..n2 {
+                    for row in 0..h {
+                        column[row] = in_plane[row * n2 + i2];
+                    }
+                    let transformed = self.usfft_vertical.adjoint(&column);
+                    for (j, &v) in transformed.iter().enumerate() {
+                        out_plane[j * n2 + i2] = v;
+                    }
                 }
-                let transformed = self.usfft_vertical.adjoint(&column);
-                for (j, &v) in transformed.iter().enumerate() {
-                    out_plane[j * n2 + i2] = v;
-                }
-            }
-        });
+            });
         out
     }
 
@@ -270,7 +296,11 @@ impl LaminoOperator {
     /// Applies `F_u2D`: `ũ1[n1, h, n2] → d̂[nθ, h, w]` (the sampled spectrum
     /// of every projection).
     pub fn fu2d(&self, u1: &Array3<Complex64>, exec: &dyn FftExecutor) -> Array3<Complex64> {
-        assert_eq!(u1.shape(), self.geometry.u1_shape(), "Fu2D input shape mismatch");
+        assert_eq!(
+            u1.shape(),
+            self.geometry.u1_shape(),
+            "Fu2D input shape mismatch"
+        );
         let n_theta = self.geometry.n_angles();
         let h = self.geometry.detector.rows;
         let w = self.geometry.detector.cols;
@@ -298,25 +328,40 @@ impl LaminoOperator {
     ///
     /// `input` holds, per row in the chunk, the `n1 × n2` horizontal plane of
     /// `ũ1`; the output holds, per row, the `nθ × w` sampled spectrum.
-    pub fn fu2d_chunk_compute(&self, input: &[Complex64], row_start: usize, len: usize) -> Vec<Complex64> {
+    pub fn fu2d_chunk_compute(
+        &self,
+        input: &[Complex64],
+        row_start: usize,
+        len: usize,
+    ) -> Vec<Complex64> {
         let n1 = self.geometry.n1;
         let n2 = self.geometry.n2;
         let n_theta = self.geometry.n_angles();
         let w = self.geometry.detector.cols;
         assert_eq!(input.len(), len * n1 * n2, "Fu2D chunk length mismatch");
         let mut out = vec![Complex64::ZERO; len * n_theta * w];
-        out.par_chunks_mut(n_theta * w).enumerate().for_each(|(r, out_row)| {
-            let row = row_start + r;
-            let plane = &input[r * n1 * n2..(r + 1) * n1 * n2];
-            let values = self.usfft_rows[row].forward(plane);
-            out_row.copy_from_slice(&values);
-        });
+        out.par_chunks_mut(n_theta * w)
+            .enumerate()
+            .for_each(|(r, out_row)| {
+                let row = row_start + r;
+                let plane = &input[r * n1 * n2..(r + 1) * n1 * n2];
+                let values = self.usfft_rows[row].forward(plane);
+                out_row.copy_from_slice(&values);
+            });
         out
     }
 
     /// Applies `F*_u2D`: `d̂[nθ, h, w] → ũ1[n1, h, n2]`.
-    pub fn fu2d_adjoint(&self, dhat: &Array3<Complex64>, exec: &dyn FftExecutor) -> Array3<Complex64> {
-        assert_eq!(dhat.shape(), self.geometry.data_shape(), "F*u2D input shape mismatch");
+    pub fn fu2d_adjoint(
+        &self,
+        dhat: &Array3<Complex64>,
+        exec: &dyn FftExecutor,
+    ) -> Array3<Complex64> {
+        assert_eq!(
+            dhat.shape(),
+            self.geometry.data_shape(),
+            "F*u2D input shape mismatch"
+        );
         let n1 = self.geometry.n1;
         let n2 = self.geometry.n2;
         let n_theta = self.geometry.n_angles();
@@ -361,14 +406,20 @@ impl LaminoOperator {
         let n2 = self.geometry.n2;
         let n_theta = self.geometry.n_angles();
         let w = self.geometry.detector.cols;
-        assert_eq!(input.len(), len * n_theta * w, "F*u2D chunk length mismatch");
+        assert_eq!(
+            input.len(),
+            len * n_theta * w,
+            "F*u2D chunk length mismatch"
+        );
         let mut out = vec![Complex64::ZERO; len * n1 * n2];
-        out.par_chunks_mut(n1 * n2).enumerate().for_each(|(r, out_plane)| {
-            let row = row_start + r;
-            let samples = &input[r * n_theta * w..(r + 1) * n_theta * w];
-            let plane = self.usfft_rows[row].adjoint(samples);
-            out_plane.copy_from_slice(&plane);
-        });
+        out.par_chunks_mut(n1 * n2)
+            .enumerate()
+            .for_each(|(r, out_plane)| {
+                let row = row_start + r;
+                let samples = &input[r * n_theta * w..(r + 1) * n_theta * w];
+                let plane = self.usfft_rows[row].adjoint(samples);
+                out_plane.copy_from_slice(&plane);
+            });
         out
     }
 
@@ -381,7 +432,11 @@ impl LaminoOperator {
     }
 
     /// Applies the inverse per-projection 2-D FFT `F*_2D`.
-    pub fn f2d_inverse(&self, dhat: &Array3<Complex64>, exec: &dyn FftExecutor) -> Array3<Complex64> {
+    pub fn f2d_inverse(
+        &self,
+        dhat: &Array3<Complex64>,
+        exec: &dyn FftExecutor,
+    ) -> Array3<Complex64> {
         self.f2d_impl(dhat, exec, FftOpKind::F2DAdj)
     }
 
@@ -391,7 +446,11 @@ impl LaminoOperator {
         exec: &dyn FftExecutor,
         kind: FftOpKind,
     ) -> Array3<Complex64> {
-        assert_eq!(d.shape(), self.geometry.data_shape(), "F2D input shape mismatch");
+        assert_eq!(
+            d.shape(),
+            self.geometry.data_shape(),
+            "F2D input shape mismatch"
+        );
         let mut out = Array3::zeros(d.shape());
         let grid = self.f2d_grid();
         for loc in grid.iter() {
@@ -399,17 +458,20 @@ impl LaminoOperator {
             let result = exec.execute(kind, loc.index, chunk.as_slice(), &|input| {
                 self.f2d_chunk_compute(input, loc.len, kind)
             });
-            let chunk_out = Array3::from_vec(
-                Shape3::new(loc.len, d.shape().n1, d.shape().n2),
-                result,
-            );
+            let chunk_out =
+                Array3::from_vec(Shape3::new(loc.len, d.shape().n1, d.shape().n2), result);
             out.set_slab(loc.start, &chunk_out);
         }
         out
     }
 
     /// Exact computation of `F_2D`/`F*_2D` on one chunk of projections.
-    pub fn f2d_chunk_compute(&self, input: &[Complex64], len: usize, kind: FftOpKind) -> Vec<Complex64> {
+    pub fn f2d_chunk_compute(
+        &self,
+        input: &[Complex64],
+        len: usize,
+        kind: FftOpKind,
+    ) -> Vec<Complex64> {
         let h = self.geometry.detector.rows;
         let w = self.geometry.detector.cols;
         assert_eq!(input.len(), len * h * w, "F2D chunk length mismatch");
@@ -419,7 +481,8 @@ impl LaminoOperator {
             other => panic!("f2d_chunk_compute called with {other:?}"),
         };
         let mut out = input.to_vec();
-        out.par_chunks_mut(h * w).for_each(|plane| self.fft2_detector.process_plane(plane, dir));
+        out.par_chunks_mut(h * w)
+            .for_each(|plane| self.fft2_detector.process_plane(plane, dir));
         out
     }
 
@@ -544,7 +607,10 @@ mod tests {
         let fty = op.fu1d_adjoint(&y, &exec);
         let lhs = fx.inner(&y);
         let rhs = x.inner(&fty);
-        assert!((lhs - rhs).abs() < 1e-8 * lhs.abs().max(1.0), "{lhs:?} vs {rhs:?}");
+        assert!(
+            (lhs - rhs).abs() < 1e-8 * lhs.abs().max(1.0),
+            "{lhs:?} vs {rhs:?}"
+        );
     }
 
     #[test]
@@ -557,7 +623,10 @@ mod tests {
         let fty = op.fu2d_adjoint(&y, &exec);
         let lhs = fx.inner(&y);
         let rhs = x.inner(&fty);
-        assert!((lhs - rhs).abs() < 1e-8 * lhs.abs().max(1.0), "{lhs:?} vs {rhs:?}");
+        assert!(
+            (lhs - rhs).abs() < 1e-8 * lhs.abs().max(1.0),
+            "{lhs:?} vs {rhs:?}"
+        );
     }
 
     #[test]
@@ -570,7 +639,10 @@ mod tests {
         let ltd = op.adjoint(&d);
         let lhs = lu.dot(&d);
         let rhs = u.dot(&ltd);
-        assert!((lhs - rhs).abs() < 1e-7 * lhs.abs().max(1.0), "{lhs} vs {rhs}");
+        assert!(
+            (lhs - rhs).abs() < 1e-7 * lhs.abs().max(1.0),
+            "{lhs} vs {rhs}"
+        );
     }
 
     #[test]
@@ -623,7 +695,9 @@ mod tests {
             }
         }
         let op = small_operator();
-        let exec = Counting { count: AtomicUsize::new(0) };
+        let exec = Counting {
+            count: AtomicUsize::new(0),
+        };
         let u = random_real_volume(op.geometry().volume_shape(), 11);
         let _ = op.forward_with(&u, &exec);
         // Three stages, each with ceil(8/4)=2 chunks for Fu1D/Fu2D and

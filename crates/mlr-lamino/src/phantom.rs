@@ -275,7 +275,10 @@ mod tests {
                 }
             }
         }
-        assert!(slab_mass > 10.0 * outside_mass.max(1e-9), "phantom is not flat");
+        assert!(
+            slab_mass > 10.0 * outside_mass.max(1e-9),
+            "phantom is not flat"
+        );
     }
 
     #[test]
@@ -308,7 +311,11 @@ mod tests {
         let n = 16;
         let vol = smooth_random_phantom(n, 5);
         let lo = vol.as_slice().iter().cloned().fold(f64::INFINITY, f64::min);
-        let hi = vol.as_slice().iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        let hi = vol
+            .as_slice()
+            .iter()
+            .cloned()
+            .fold(f64::NEG_INFINITY, f64::max);
         assert!(lo >= 0.0 && hi <= 1.0 + 1e-12);
         assert!(hi - lo > 0.5, "should use most of the dynamic range");
         // Smoothness: neighbouring voxels differ much less than the range.
@@ -325,7 +332,11 @@ mod tests {
 
     #[test]
     fn phantom_kind_dispatch() {
-        for kind in [PhantomKind::Brain, PhantomKind::Ic, PhantomKind::SmoothRandom] {
+        for kind in [
+            PhantomKind::Brain,
+            PhantomKind::Ic,
+            PhantomKind::SmoothRandom,
+        ] {
             let v = kind.generate(16, 9);
             assert_eq!(v.shape(), Shape3::cube(16));
         }

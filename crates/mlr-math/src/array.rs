@@ -30,7 +30,11 @@ impl Shape3 {
 
     /// Cubic shape `n × n × n`.
     pub const fn cube(n: usize) -> Self {
-        Self { n0: n, n1: n, n2: n }
+        Self {
+            n0: n,
+            n1: n,
+            n2: n,
+        }
     }
 
     /// Total number of elements.
@@ -78,7 +82,9 @@ pub struct Array1<T> {
 impl<T: Clone + Default> Array1<T> {
     /// Creates an array of `n` default-initialised elements.
     pub fn zeros(n: usize) -> Self {
-        Self { data: vec![T::default(); n] }
+        Self {
+            data: vec![T::default(); n],
+        }
     }
 }
 
@@ -146,7 +152,11 @@ pub struct Array2<T> {
 impl<T: Clone + Default> Array2<T> {
     /// Creates a `rows × cols` array of default-initialised elements.
     pub fn zeros(rows: usize, cols: usize) -> Self {
-        Self { rows, cols, data: vec![T::default(); rows * cols] }
+        Self {
+            rows,
+            cols,
+            data: vec![T::default(); rows * cols],
+        }
     }
 }
 
@@ -215,7 +225,11 @@ impl<T: Clone> Array2<T> {
                 out.push(self.data[r * self.cols + c].clone());
             }
         }
-        Array2 { rows: self.cols, cols: self.rows, data: out }
+        Array2 {
+            rows: self.cols,
+            cols: self.rows,
+            data: out,
+        }
     }
 }
 
@@ -250,14 +264,20 @@ pub struct Array3<T> {
 impl<T: Clone + Default> Array3<T> {
     /// Creates an array of default-initialised elements with the given shape.
     pub fn zeros(shape: Shape3) -> Self {
-        Self { shape, data: vec![T::default(); shape.len()] }
+        Self {
+            shape,
+            data: vec![T::default(); shape.len()],
+        }
     }
 }
 
 impl<T: Clone> Array3<T> {
     /// Creates an array filled with copies of `value`.
     pub fn filled(shape: Shape3, value: T) -> Self {
-        Self { shape, data: vec![value; shape.len()] }
+        Self {
+            shape,
+            data: vec![value; shape.len()],
+        }
     }
 
     /// Extracts the sub-array of `count` slabs along axis 0 starting at
@@ -271,7 +291,10 @@ impl<T: Clone> Array3<T> {
         assert!(start + count <= self.shape.n0, "slab out of range");
         let slab_len = self.shape.n1 * self.shape.n2;
         let data = self.data[start * slab_len..(start + count) * slab_len].to_vec();
-        Array3 { shape: Shape3::new(count, self.shape.n1, self.shape.n2), data }
+        Array3 {
+            shape: Shape3::new(count, self.shape.n1, self.shape.n2),
+            data,
+        }
     }
 
     /// Writes `slab` back into this array starting at axis-0 index `start`.
@@ -426,7 +449,11 @@ impl Array3<crate::Complex64> {
     /// Panics when shapes differ.
     pub fn inner(&self, other: &Self) -> crate::Complex64 {
         assert_eq!(self.shape, other.shape, "inner shape mismatch");
-        self.data.iter().zip(&other.data).map(|(a, b)| *a * b.conj()).sum()
+        self.data
+            .iter()
+            .zip(&other.data)
+            .map(|(a, b)| *a * b.conj())
+            .sum()
     }
 }
 

@@ -52,7 +52,10 @@ impl Complex64 {
     /// Complex conjugate.
     #[inline]
     pub fn conj(self) -> Self {
-        Self { re: self.re, im: -self.im }
+        Self {
+            re: self.re,
+            im: -self.im,
+        }
     }
 
     /// Squared magnitude `re² + im²`.
@@ -76,7 +79,10 @@ impl Complex64 {
     /// Multiplies by a real scalar.
     #[inline]
     pub fn scale(self, k: f64) -> Self {
-        Self { re: self.re * k, im: self.im * k }
+        Self {
+            re: self.re * k,
+            im: self.im * k,
+        }
     }
 
     /// Multiplicative inverse. Returns a non-finite value when `self` is zero,
@@ -84,7 +90,10 @@ impl Complex64 {
     #[inline]
     pub fn recip(self) -> Self {
         let d = self.norm_sqr();
-        Self { re: self.re / d, im: -self.im / d }
+        Self {
+            re: self.re / d,
+            im: -self.im / d,
+        }
     }
 
     /// Complex exponential `e^self`.
@@ -98,7 +107,10 @@ impl Complex64 {
         let r = self.abs();
         let re = ((r + self.re) * 0.5).max(0.0).sqrt();
         let im_mag = ((r - self.re) * 0.5).max(0.0).sqrt();
-        Self { re, im: if self.im < 0.0 { -im_mag } else { im_mag } }
+        Self {
+            re,
+            im: if self.im < 0.0 { -im_mag } else { im_mag },
+        }
     }
 
     /// Fused multiply-add: `self * b + c`.
@@ -148,7 +160,10 @@ impl Add for Complex64 {
     type Output = Complex64;
     #[inline]
     fn add(self, rhs: Self) -> Self {
-        Self { re: self.re + rhs.re, im: self.im + rhs.im }
+        Self {
+            re: self.re + rhs.re,
+            im: self.im + rhs.im,
+        }
     }
 }
 
@@ -156,7 +171,10 @@ impl Sub for Complex64 {
     type Output = Complex64;
     #[inline]
     fn sub(self, rhs: Self) -> Self {
-        Self { re: self.re - rhs.re, im: self.im - rhs.im }
+        Self {
+            re: self.re - rhs.re,
+            im: self.im - rhs.im,
+        }
     }
 }
 
@@ -174,6 +192,7 @@ impl Mul for Complex64 {
 impl Div for Complex64 {
     type Output = Complex64;
     #[inline]
+    #[allow(clippy::suspicious_arithmetic_impl)] // z / w == z * w^-1
     fn div(self, rhs: Self) -> Self {
         self * rhs.recip()
     }
@@ -183,7 +202,10 @@ impl Neg for Complex64 {
     type Output = Complex64;
     #[inline]
     fn neg(self) -> Self {
-        Self { re: -self.re, im: -self.im }
+        Self {
+            re: -self.re,
+            im: -self.im,
+        }
     }
 }
 
@@ -282,7 +304,10 @@ pub fn split_re_im(data: &[Complex64]) -> (Vec<f64>, Vec<f64>) {
 /// Panics when the two planes have different lengths.
 pub fn join_re_im(re: &[f64], im: &[f64]) -> Vec<Complex64> {
     assert_eq!(re.len(), im.len(), "re/im planes must have equal length");
-    re.iter().zip(im).map(|(&r, &i)| Complex64::new(r, i)).collect()
+    re.iter()
+        .zip(im)
+        .map(|(&r, &i)| Complex64::new(r, i))
+        .collect()
 }
 
 #[cfg(test)]
@@ -333,7 +358,13 @@ mod tests {
 
     #[test]
     fn sqrt_squares_back() {
-        for &(re, im) in &[(4.0, 0.0), (0.0, 2.0), (-1.0, 0.0), (3.0, -4.0), (-2.0, -2.0)] {
+        for &(re, im) in &[
+            (4.0, 0.0),
+            (0.0, 2.0),
+            (-1.0, 0.0),
+            (3.0, -4.0),
+            (-2.0, -2.0),
+        ] {
             let z = Complex64::new(re, im);
             let s = z.sqrt();
             let sq = s * s;
@@ -362,8 +393,9 @@ mod tests {
 
     #[test]
     fn split_and_join_roundtrip() {
-        let data: Vec<Complex64> =
-            (0..16).map(|i| Complex64::new(i as f64, -(i as f64) * 0.5)).collect();
+        let data: Vec<Complex64> = (0..16)
+            .map(|i| Complex64::new(i as f64, -(i as f64) * 0.5))
+            .collect();
         let (re, im) = split_re_im(&data);
         assert_eq!(re.len(), 16);
         assert_eq!(im[4], -2.0);

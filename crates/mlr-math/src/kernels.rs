@@ -41,7 +41,11 @@ impl GaussianKernel {
         // stable positive value.
         let denom = if r > 0.5 { r * (r - 0.5) } else { 0.5 };
         let tau = PI * m / ((n as f64) * (n as f64) * denom);
-        Self { oversampling: r, half_width, tau }
+        Self {
+            oversampling: r,
+            half_width,
+            tau,
+        }
     }
 
     /// Kernel value at distance `dx` (in fine-grid cells) from the sample.

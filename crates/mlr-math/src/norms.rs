@@ -27,7 +27,11 @@ pub fn l2_norm_c(x: &[Complex64]) -> f64 {
 /// Panics when the slices have different lengths.
 pub fn l2_distance(a: &[f64], b: &[f64]) -> f64 {
     assert_eq!(a.len(), b.len(), "l2_distance length mismatch");
-    a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum::<f64>().sqrt()
+    a.iter()
+        .zip(b)
+        .map(|(x, y)| (x - y) * (x - y))
+        .sum::<f64>()
+        .sqrt()
 }
 
 /// L2 distance between two complex vectors.
@@ -36,7 +40,11 @@ pub fn l2_distance(a: &[f64], b: &[f64]) -> f64 {
 /// Panics when the slices have different lengths.
 pub fn l2_distance_c(a: &[Complex64], b: &[Complex64]) -> f64 {
     assert_eq!(a.len(), b.len(), "l2_distance_c length mismatch");
-    a.iter().zip(b).map(|(x, y)| (*x - *y).norm_sqr()).sum::<f64>().sqrt()
+    a.iter()
+        .zip(b)
+        .map(|(x, y)| (*x - *y).norm_sqr())
+        .sum::<f64>()
+        .sqrt()
 }
 
 /// Cosine similarity between two real vectors (paper Eq. 3).
@@ -128,7 +136,11 @@ pub fn frobenius_c(x: &Array3<Complex64>) -> f64 {
 /// # Panics
 /// Panics when the shapes differ.
 pub fn relative_error(reference: &Array3<f64>, approx: &Array3<f64>) -> f64 {
-    assert_eq!(reference.shape(), approx.shape(), "relative_error shape mismatch");
+    assert_eq!(
+        reference.shape(),
+        approx.shape(),
+        "relative_error shape mismatch"
+    );
     let denom = frobenius(reference);
     let num = l2_distance(reference.as_slice(), approx.as_slice());
     if denom == 0.0 {
@@ -153,7 +165,10 @@ pub fn accuracy(reference: &Array3<f64>, approx: &Array3<f64>) -> f64 {
 /// Panics when the slices have different lengths.
 pub fn max_abs_diff_c(a: &[Complex64], b: &[Complex64]) -> f64 {
     assert_eq!(a.len(), b.len(), "max_abs_diff_c length mismatch");
-    a.iter().zip(b).map(|(x, y)| (*x - *y).abs()).fold(0.0, f64::max)
+    a.iter()
+        .zip(b)
+        .map(|(x, y)| (*x - *y).abs())
+        .fold(0.0, f64::max)
 }
 
 /// Maximum absolute element-wise difference between two real slices.
@@ -162,7 +177,10 @@ pub fn max_abs_diff_c(a: &[Complex64], b: &[Complex64]) -> f64 {
 /// Panics when the slices have different lengths.
 pub fn max_abs_diff(a: &[f64], b: &[f64]) -> f64 {
     assert_eq!(a.len(), b.len(), "max_abs_diff length mismatch");
-    a.iter().zip(b).map(|(x, y)| (x - y).abs()).fold(0.0, f64::max)
+    a.iter()
+        .zip(b)
+        .map(|(x, y)| (x - y).abs())
+        .fold(0.0, f64::max)
 }
 
 #[cfg(test)]

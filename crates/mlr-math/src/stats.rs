@@ -31,7 +31,15 @@ impl Summary {
     /// an empty sample.
     pub fn of(sample: &[f64]) -> Self {
         if sample.is_empty() {
-            return Self { count: 0, mean: 0.0, std_dev: 0.0, min: 0.0, max: 0.0, median: 0.0, p99: 0.0 };
+            return Self {
+                count: 0,
+                mean: 0.0,
+                std_dev: 0.0,
+                min: 0.0,
+                max: 0.0,
+                median: 0.0,
+                p99: 0.0,
+            };
         }
         let count = sample.len();
         let mean = sample.iter().sum::<f64>() / count as f64;
@@ -147,7 +155,11 @@ impl Histogram {
     pub fn new(lo: f64, hi: f64, bins: usize) -> Self {
         assert!(bins > 0, "histogram needs at least one bin");
         assert!(hi > lo, "histogram range must be non-empty");
-        Self { lo, hi, counts: vec![0; bins] }
+        Self {
+            lo,
+            hi,
+            counts: vec![0; bins],
+        }
     }
 
     /// Records one observation.
@@ -252,7 +264,11 @@ mod tests {
         assert!(approx_eq(percentile_sorted(&sorted, 0.0), 10.0, 1e-12));
         assert!(approx_eq(percentile_sorted(&sorted, 100.0), 40.0, 1e-12));
         assert!(approx_eq(percentile_sorted(&sorted, 50.0), 25.0, 1e-12));
-        assert!(approx_eq(percentile(&[40.0, 10.0, 30.0, 20.0], 50.0), 25.0, 1e-12));
+        assert!(approx_eq(
+            percentile(&[40.0, 10.0, 30.0, 20.0], 50.0),
+            25.0,
+            1e-12
+        ));
     }
 
     #[test]

@@ -37,7 +37,11 @@ pub struct IvfConfig {
 
 impl Default for IvfConfig {
     fn default() -> Self {
-        Self { nlist: 16, nprobe: 4, retrain_interval: 1024 }
+        Self {
+            nlist: 16,
+            nprobe: 4,
+            retrain_interval: 1024,
+        }
     }
 }
 
@@ -97,7 +101,11 @@ impl IvfIndex {
     /// Panics when the key dimension is wrong.
     pub fn add(&mut self, id: u64, key: Vec<f64>) {
         assert_eq!(key.len(), self.dim, "key dimension mismatch");
-        let list = if self.centroids.is_empty() { 0 } else { self.nearest_centroid(&key) };
+        let list = if self.centroids.is_empty() {
+            0
+        } else {
+            self.nearest_centroid(&key)
+        };
         self.lists[list].push((id, key));
         self.len += 1;
         self.inserts_since_train += 1;
@@ -120,8 +128,11 @@ impl IvfIndex {
         for &li in &lists {
             for (id, key) in &self.lists[li] {
                 let d = l2_distance(query, key);
-                if best.map_or(true, |b| d < b.distance) {
-                    best = Some(SearchHit { id: *id, distance: d });
+                if best.is_none_or(|b| d < b.distance) {
+                    best = Some(SearchHit {
+                        id: *id,
+                        distance: d,
+                    });
                 }
             }
         }
@@ -142,8 +153,11 @@ impl IvfIndex {
         for list in &self.lists {
             for (id, key) in list {
                 let d = l2_distance(query, key);
-                if best.map_or(true, |b| d < b.distance) {
-                    best = Some(SearchHit { id: *id, distance: d });
+                if best.is_none_or(|b| d < b.distance) {
+                    best = Some(SearchHit {
+                        id: *id,
+                        distance: d,
+                    });
                 }
             }
         }
@@ -186,7 +200,11 @@ impl IvfIndex {
             .map(|(i, c)| (i, l2_distance(query, c)))
             .collect();
         dists.sort_by(|a, b| a.1.partial_cmp(&b.1).expect("non-finite distance"));
-        dists.iter().take(self.config.nprobe).map(|&(i, _)| i).collect()
+        dists
+            .iter()
+            .take(self.config.nprobe)
+            .map(|&(i, _)| i)
+            .collect()
     }
 
     /// Re-trains centroids with a few Lloyd iterations over all stored keys
@@ -200,8 +218,11 @@ impl IvfIndex {
         // k-means++ style: random distinct initial centroids.
         let mut indices: Vec<usize> = (0..all.len()).collect();
         indices.shuffle(&mut rng);
-        let mut centroids: Vec<Vec<f64>> =
-            indices.iter().take(self.config.nlist).map(|&i| all[i].1.clone()).collect();
+        let mut centroids: Vec<Vec<f64>> = indices
+            .iter()
+            .take(self.config.nlist)
+            .map(|&i| all[i].1.clone())
+            .collect();
 
         for _ in 0..5 {
             let mut sums = vec![vec![0.0; self.dim]; centroids.len()];
@@ -252,14 +273,16 @@ mod tests {
 
     fn random_keys(n: usize, dim: usize, seed: u64) -> Vec<Vec<f64>> {
         let mut rng = seeded(seed);
-        (0..n).map(|_| (0..dim).map(|_| rng.gen::<f64>()).collect()).collect()
+        (0..n)
+            .map(|_| (0..dim).map(|_| rng.gen::<f64>()).collect())
+            .collect()
     }
 
     #[test]
     fn empty_index_returns_none() {
         let idx = IvfIndex::new(8, IvfConfig::default(), 1);
         assert!(idx.is_empty());
-        assert!(idx.search(&vec![0.0; 8]).is_none());
+        assert!(idx.search(&[0.0; 8]).is_none());
     }
 
     #[test]
@@ -283,7 +306,15 @@ mod tests {
     #[test]
     fn recall_against_exact_search() {
         let dim = 16;
-        let mut idx = IvfIndex::new(dim, IvfConfig { nlist: 8, nprobe: 3, retrain_interval: 256 }, 4);
+        let mut idx = IvfIndex::new(
+            dim,
+            IvfConfig {
+                nlist: 8,
+                nprobe: 3,
+                retrain_interval: 256,
+            },
+            4,
+        );
         for (i, key) in random_keys(500, dim, 5).into_iter().enumerate() {
             idx.add(i as u64, key);
         }
@@ -318,8 +349,15 @@ mod tests {
     #[test]
     fn comparisons_shrink_after_training() {
         let dim = 8;
-        let mut idx =
-            IvfIndex::new(dim, IvfConfig { nlist: 16, nprobe: 2, retrain_interval: 10_000 }, 10);
+        let mut idx = IvfIndex::new(
+            dim,
+            IvfConfig {
+                nlist: 16,
+                nprobe: 2,
+                retrain_interval: 10_000,
+            },
+            10,
+        );
         for (i, key) in random_keys(63, dim, 11).into_iter().enumerate() {
             idx.add(i as u64, key);
         }

@@ -148,7 +148,11 @@ impl MemoCache {
         iteration: usize,
     ) {
         self.stats.insertions += 1;
-        let entry = CacheEntry { key, value, iteration };
+        let entry = CacheEntry {
+            key,
+            value,
+            iteration,
+        };
         if self.kind_is_global {
             if self.global.len() >= self.global_capacity {
                 // FIFO: drop the oldest entry.
@@ -217,7 +221,9 @@ mod tests {
         assert!(c.lookup(FftOpKind::Fu2D, 4, &key(1.0), 0.9, 1).is_none());
         assert!(c.lookup(FftOpKind::Fu1D, 3, &key(1.0), 0.9, 1).is_none());
         // Dissimilar key at the same location: miss.
-        assert!(c.lookup(FftOpKind::Fu2D, 3, &[1.0, -2.0, 1.0, -0.5], 0.9, 1).is_none());
+        assert!(c
+            .lookup(FftOpKind::Fu2D, 3, &[1.0, -2.0, 1.0, -0.5], 0.9, 1)
+            .is_none());
     }
 
     #[test]
@@ -228,7 +234,9 @@ mod tests {
         assert_eq!(c.len(), 1);
         // The original key has been evicted.
         assert!(c.lookup(FftOpKind::Fu1D, 0, &key(1.0), 0.99, 1).is_none());
-        assert!(c.lookup(FftOpKind::Fu1D, 0, &[0.0, 0.0, 1.0, 0.0], 0.99, 1).is_some());
+        assert!(c
+            .lookup(FftOpKind::Fu1D, 0, &[0.0, 0.0, 1.0, 0.0], 0.99, 1)
+            .is_some());
     }
 
     #[test]

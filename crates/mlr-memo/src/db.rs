@@ -16,6 +16,7 @@
 use crate::ann::{IvfConfig, IvfIndex};
 use crate::encoder::{CnnEncoder, EncoderConfig};
 use crate::kvstore::ValueStore;
+use crate::store::{Provenance, StoreStats};
 use mlr_lamino::FftOpKind;
 use mlr_math::norms::{scale_aware_similarity, scale_aware_similarity_c};
 use mlr_math::Complex64;
@@ -43,7 +44,12 @@ pub struct MemoDbConfig {
 
 impl Default for MemoDbConfig {
     fn default() -> Self {
-        Self { tau: 0.92, per_location: true, gate_on_raw: true, ivf: IvfConfig::default() }
+        Self {
+            tau: 0.92,
+            per_location: true,
+            gate_on_raw: true,
+            ivf: IvfConfig::default(),
+        }
     }
 }
 
@@ -60,6 +66,9 @@ pub enum QueryOutcome {
         similarity: f64,
         /// Encoded query key.
         key: Vec<f64>,
+        /// Which job/iteration inserted the entry that served this hit
+        /// (drives the cross-job accounting of shared stores).
+        origin: Provenance,
     },
     /// No stored entry was similar enough; the encoded key is returned so the
     /// caller can reuse it for the insertion that follows the exact compute.
@@ -85,11 +94,32 @@ pub struct MemoDatabase {
     raw_inputs: HashMap<u64, Arc<Vec<Complex64>>>,
     /// Encoded keys kept for the τ gate when raw gating is disabled.
     keys: HashMap<u64, Vec<f64>>,
-    /// Outer ADMM iteration in which each entry was inserted.
-    iterations: HashMap<u64, usize>,
+    /// Job + outer ADMM iteration in which each entry was inserted.
+    origins: HashMap<u64, Provenance>,
     next_id: u64,
     /// Total number of index queries served (for reports).
     queries: u64,
+    /// Queries that returned a value.
+    hits: u64,
+    /// Hits served by an entry another job inserted.
+    cross_job_hits: u64,
+    /// Insertions performed.
+    inserts: u64,
+}
+
+/// Stable 64-bit hash of an index scope, used to seed the scope's ANN index.
+/// Deriving the seed from the *scope* (rather than from the running entry
+/// counter) makes query outcomes independent of how entries interleave
+/// across scopes — and therefore identical whether the scopes live in one
+/// database or are spread over the shards of a `ShardedMemoDb`.
+pub(crate) fn scope_seed(op: FftOpKind, loc: usize) -> u64 {
+    // FNV-1a over the discriminant and location.
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for byte in [(op as u8)].into_iter().chain(loc.to_le_bytes()) {
+        h ^= byte as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
 }
 
 impl MemoDatabase {
@@ -109,9 +139,12 @@ impl MemoDatabase {
             values: ValueStore::new(),
             raw_inputs: HashMap::new(),
             keys: HashMap::new(),
-            iterations: HashMap::new(),
+            origins: HashMap::new(),
             next_id: 0,
             queries: 0,
+            hits: 0,
+            cross_job_hits: 0,
+            inserts: 0,
         }
     }
 
@@ -150,6 +183,18 @@ impl MemoDatabase {
         self.queries
     }
 
+    /// Aggregate counters in the shape shared with the other memo stores.
+    pub fn stats(&self) -> StoreStats {
+        StoreStats {
+            entries: self.len(),
+            queries: self.queries,
+            hits: self.hits,
+            cross_job_hits: self.cross_job_hits,
+            inserts: self.inserts,
+            value_bytes: self.value_bytes(),
+        }
+    }
+
     /// Encodes an input chunk into a key (exposed for the compute-node cache
     /// and for benches that time the encoder separately).
     pub fn encode(&self, input: &[Complex64]) -> Vec<f64> {
@@ -181,6 +226,19 @@ impl MemoDatabase {
         key: Vec<f64>,
         current_iteration: usize,
     ) -> QueryOutcome {
+        self.query_with_key_from(op, loc, input, key, Provenance::solo(current_iteration))
+    }
+
+    /// Queries with a pre-computed key on behalf of a specific job/iteration
+    /// (the multi-tenant entry point used through the `MemoStore` seam).
+    pub fn query_with_key_from(
+        &mut self,
+        op: FftOpKind,
+        loc: usize,
+        input: &[Complex64],
+        key: Vec<f64>,
+        origin: Provenance,
+    ) -> QueryOutcome {
         self.queries += 1;
         let scope_key = self.scope_key(op, loc);
         let Some(scope) = self.scopes.get(&scope_key) else {
@@ -189,10 +247,16 @@ impl MemoDatabase {
         let Some(hit) = scope.index.search(&key) else {
             return QueryOutcome::Miss { key };
         };
-        // Only entries from *earlier* ADMM iterations may be reused; a value
-        // produced within the current LSP solve would feed the CG its own
-        // output back and stall the update.
-        if self.iterations.get(&hit.id).copied().unwrap_or(0) >= current_iteration {
+        // Within one job, only entries from *earlier* ADMM iterations may be
+        // reused; a value produced within the current LSP solve would feed
+        // the CG its own output back and stall the update. Entries from
+        // other jobs are always eligible.
+        let stored_origin = self
+            .origins
+            .get(&hit.id)
+            .copied()
+            .unwrap_or(Provenance::solo(0));
+        if !stored_origin.may_serve(&origin) {
             return QueryOutcome::Miss { key };
         }
         let similarity = if self.config.gate_on_raw {
@@ -208,7 +272,16 @@ impl MemoDatabase {
         };
         if similarity > self.config.tau {
             if let Some(value) = self.values.get(hit.id) {
-                return QueryOutcome::Hit { value, similarity, key };
+                self.hits += 1;
+                if stored_origin.job != origin.job {
+                    self.cross_job_hits += 1;
+                }
+                return QueryOutcome::Hit {
+                    value,
+                    similarity,
+                    key,
+                    origin: stored_origin,
+                };
             }
         }
         QueryOutcome::Miss { key }
@@ -225,16 +298,29 @@ impl MemoDatabase {
         output: Vec<Complex64>,
         iteration: usize,
     ) -> u64 {
+        self.insert_from(op, loc, input, key, output, Provenance::solo(iteration))
+    }
+
+    /// Inserts an entry on behalf of a specific job/iteration.
+    pub fn insert_from(
+        &mut self,
+        op: FftOpKind,
+        loc: usize,
+        input: &[Complex64],
+        key: Vec<f64>,
+        output: Vec<Complex64>,
+        origin: Provenance,
+    ) -> u64 {
         let id = self.next_id;
         self.next_id += 1;
-        self.iterations.insert(id, iteration);
+        self.inserts += 1;
+        self.origins.insert(id, origin);
         let scope_key = self.scope_key(op, loc);
         let dim = key.len();
         let ivf = self.config.ivf;
-        let scope = self
-            .scopes
-            .entry(scope_key)
-            .or_insert_with(|| Scope { index: IvfIndex::new(dim, ivf, id ^ 0x5EED) });
+        let scope = self.scopes.entry(scope_key).or_insert_with(|| Scope {
+            index: IvfIndex::new(dim, ivf, scope_seed(scope_key.0, scope_key.1) ^ 0x5EED),
+        });
         scope.index.add(id, key.clone());
         if self.config.gate_on_raw {
             self.raw_inputs.insert(id, Arc::new(input.to_vec()));
@@ -251,7 +337,11 @@ impl MemoDatabase {
         if self.scopes.is_empty() {
             return 0.0;
         }
-        let total: usize = self.scopes.values().map(|s| s.index.comparisons_per_query()).sum();
+        let total: usize = self
+            .scopes
+            .values()
+            .map(|s| s.index.comparisons_per_query())
+            .sum();
         total as f64 / self.scopes.len() as f64
     }
 }
@@ -273,7 +363,10 @@ mod tests {
 
     fn db(tau: f64) -> MemoDatabase {
         MemoDatabase::new(
-            MemoDbConfig { tau, ..Default::default() },
+            MemoDbConfig {
+                tau,
+                ..Default::default()
+            },
             tiny_encoder_config(),
             1,
         )
@@ -307,7 +400,9 @@ mod tests {
         let key = d.encode(&input);
         d.insert(FftOpKind::Fu2D, 3, &input, key, output.clone(), 0);
         match d.query(FftOpKind::Fu2D, 3, &input) {
-            QueryOutcome::Hit { value, similarity, .. } => {
+            QueryOutcome::Hit {
+                value, similarity, ..
+            } => {
                 assert!(similarity > 0.999);
                 assert_eq!(value.as_slice(), output.as_slice());
             }
@@ -345,7 +440,11 @@ mod tests {
 
     #[test]
     fn global_scope_allows_cross_location_hits() {
-        let config = MemoDbConfig { tau: 0.9, per_location: false, ..Default::default() };
+        let config = MemoDbConfig {
+            tau: 0.9,
+            per_location: false,
+            ..Default::default()
+        };
         let mut d = MemoDatabase::new(config, tiny_encoder_config(), 2);
         let input = chunk(1.0, 0.0, 256);
         let key = d.encode(&input);
@@ -361,20 +460,29 @@ mod tests {
         // A mildly perturbed chunk should hit under a loose τ and miss under
         // a strict one.
         let base = chunk(1.0, 0.0, 256);
-        let perturbed: Vec<Complex64> =
-            base.iter().enumerate().map(|(i, z)| *z + chunk(0.12, 1.3, 256)[i]).collect();
+        let perturbed: Vec<Complex64> = base
+            .iter()
+            .enumerate()
+            .map(|(i, z)| *z + chunk(0.12, 1.3, 256)[i])
+            .collect();
         let sim = mlr_math::norms::scale_aware_similarity_c(&base, &perturbed);
         assert!(sim > 0.85 && sim < 0.999, "test setup: sim {sim}");
 
         let mut loose = db((sim - 0.05).max(0.0));
         let key = loose.encode(&base);
         loose.insert(FftOpKind::Fu1D, 0, &base, key, chunk(2.0, 0.5, 32), 0);
-        assert!(matches!(loose.query(FftOpKind::Fu1D, 0, &perturbed), QueryOutcome::Hit { .. }));
+        assert!(matches!(
+            loose.query(FftOpKind::Fu1D, 0, &perturbed),
+            QueryOutcome::Hit { .. }
+        ));
 
         let mut strict = db((sim + 0.02).min(0.9999));
         let key = strict.encode(&base);
         strict.insert(FftOpKind::Fu1D, 0, &base, key, chunk(2.0, 0.5, 32), 0);
-        assert!(matches!(strict.query(FftOpKind::Fu1D, 0, &perturbed), QueryOutcome::Miss { .. }));
+        assert!(matches!(
+            strict.query(FftOpKind::Fu1D, 0, &perturbed),
+            QueryOutcome::Miss { .. }
+        ));
     }
 
     #[test]

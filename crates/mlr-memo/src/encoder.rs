@@ -69,7 +69,12 @@ struct Tensor {
 
 impl Tensor {
     fn zeros(c: usize, h: usize, w: usize) -> Self {
-        Self { c, h, w, data: vec![0.0; c * h * w] }
+        Self {
+            c,
+            h,
+            w,
+            data: vec![0.0; c * h * w],
+        }
     }
 
     #[inline]
@@ -98,9 +103,16 @@ impl ConvLayer {
     fn new(in_c: usize, out_c: usize, k: usize, rng: &mut impl Rng) -> Self {
         let fan_in = (in_c * k * k) as f64;
         let scale = (2.0 / fan_in).sqrt();
-        let weights =
-            (0..out_c * in_c * k * k).map(|_| (rng.gen::<f64>() - 0.5) * 2.0 * scale).collect();
-        Self { in_c, out_c, k, weights, bias: vec![0.0; out_c] }
+        let weights = (0..out_c * in_c * k * k)
+            .map(|_| (rng.gen::<f64>() - 0.5) * 2.0 * scale)
+            .collect();
+        Self {
+            in_c,
+            out_c,
+            k,
+            weights,
+            bias: vec![0.0; out_c],
+        }
     }
 
     #[inline]
@@ -120,8 +132,13 @@ impl ConvLayer {
                             for kx in 0..self.k {
                                 let yy = y as isize + ky as isize - pad as isize;
                                 let xx = x as isize + kx as isize - pad as isize;
-                                if yy >= 0 && xx >= 0 && (yy as usize) < input.h && (xx as usize) < input.w {
-                                    acc += self.w(o, i, ky, kx) * input.at(i, yy as usize, xx as usize);
+                                if yy >= 0
+                                    && xx >= 0
+                                    && (yy as usize) < input.h
+                                    && (xx as usize) < input.w
+                                {
+                                    acc += self.w(o, i, ky, kx)
+                                        * input.at(i, yy as usize, xx as usize);
                                 }
                             }
                         }
@@ -144,6 +161,7 @@ impl ConvLayer {
     ) -> Tensor {
         let pad = self.k / 2;
         let mut grad_in = Tensor::zeros(input.c, input.h, input.w);
+        #[allow(clippy::needless_range_loop)] // `o` indexes grad_out, grad_w and grad_b alike
         for o in 0..self.out_c {
             for y in 0..input.h {
                 for x in 0..input.w {
@@ -157,7 +175,11 @@ impl ConvLayer {
                             for kx in 0..self.k {
                                 let yy = y as isize + ky as isize - pad as isize;
                                 let xx = x as isize + kx as isize - pad as isize;
-                                if yy >= 0 && xx >= 0 && (yy as usize) < input.h && (xx as usize) < input.w {
+                                if yy >= 0
+                                    && xx >= 0
+                                    && (yy as usize) < input.h
+                                    && (xx as usize) < input.w
+                                {
                                     let widx = ((o * self.in_c + i) * self.k + ky) * self.k + kx;
                                     grad_w[widx] += go * input.at(i, yy as usize, xx as usize);
                                     *grad_in.at_mut(i, yy as usize, xx as usize) +=
@@ -185,8 +207,15 @@ struct FcLayer {
 impl FcLayer {
     fn new(in_dim: usize, out_dim: usize, rng: &mut impl Rng) -> Self {
         let scale = (2.0 / in_dim as f64).sqrt();
-        let weights = (0..out_dim * in_dim).map(|_| (rng.gen::<f64>() - 0.5) * 2.0 * scale).collect();
-        Self { in_dim, out_dim, weights, bias: vec![0.0; out_dim] }
+        let weights = (0..out_dim * in_dim)
+            .map(|_| (rng.gen::<f64>() - 0.5) * 2.0 * scale)
+            .collect();
+        Self {
+            in_dim,
+            out_dim,
+            weights,
+            bias: vec![0.0; out_dim],
+        }
     }
 
     fn forward(&self, input: &[f64]) -> Vec<f64> {
@@ -233,15 +262,25 @@ pub struct QuantisedLayer {
 
 /// Quantises a weight slice to INT8 with a symmetric per-layer scale.
 pub fn quantise_int8(weights: &[f64]) -> QuantisedLayer {
-    let max = weights.iter().fold(0.0f64, |m, &w| m.max(w.abs())).max(1e-12);
+    let max = weights
+        .iter()
+        .fold(0.0f64, |m, &w| m.max(w.abs()))
+        .max(1e-12);
     let scale = max / 127.0;
-    let q = weights.iter().map(|&w| (w / scale).round().clamp(-127.0, 127.0) as i8).collect();
+    let q = weights
+        .iter()
+        .map(|&w| (w / scale).round().clamp(-127.0, 127.0) as i8)
+        .collect();
     QuantisedLayer { weights: q, scale }
 }
 
 /// Dequantises an INT8 layer back to `f64` weights.
 pub fn dequantise(layer: &QuantisedLayer) -> Vec<f64> {
-    layer.weights.iter().map(|&q| q as f64 * layer.scale).collect()
+    layer
+        .weights
+        .iter()
+        .map(|&q| q as f64 * layer.scale)
+        .collect()
 }
 
 /// The CNN encoder.
@@ -277,7 +316,13 @@ impl CnnEncoder {
         let pooled = config.input_grid / 2;
         let flat_dim = config.conv2_filters * pooled * pooled;
         let fc = FcLayer::new(flat_dim, config.embedding_dim, &mut rng);
-        Self { config, conv1, conv2, fc, quantised: false }
+        Self {
+            config,
+            conv1,
+            conv2,
+            fc,
+            quantised: false,
+        }
     }
 
     /// The encoder configuration.
@@ -332,7 +377,16 @@ impl CnnEncoder {
         let relu2 = relu(&conv2_out);
         let flat = relu2.data.clone();
         let embedding = self.fc.forward(&flat);
-        ForwardTrace { input, conv1_out, relu1, pool1, conv2_out, relu2, flat, embedding }
+        ForwardTrace {
+            input,
+            conv1_out,
+            relu1,
+            pool1,
+            conv2_out,
+            relu2,
+            flat,
+            embedding,
+        }
     }
 
     /// Encodes a complex chunk into the embedding space.
@@ -358,8 +412,12 @@ impl CnnEncoder {
             .sum::<f64>()
             .sqrt();
 
-        let diff: Vec<f64> =
-            ta.embedding.iter().zip(&tb.embedding).map(|(x, y)| x - y).collect();
+        let diff: Vec<f64> = ta
+            .embedding
+            .iter()
+            .zip(&tb.embedding)
+            .map(|(x, y)| x - y)
+            .collect();
         let dist = diff.iter().map(|d| d * d).sum::<f64>().sqrt().max(1e-12);
         let loss = (dist - target).abs();
         let sign = if dist >= target { 1.0 } else { -1.0 };
@@ -377,7 +435,9 @@ impl CnnEncoder {
         let mut gb_c2 = vec![0.0; self.conv2.bias.len()];
 
         for (trace, grad_z) in [(&ta, &grad_za), (&tb, &grad_zb)] {
-            let grad_flat = self.fc.backward(&trace.flat, grad_z, &mut gw_fc, &mut gb_fc);
+            let grad_flat = self
+                .fc
+                .backward(&trace.flat, grad_z, &mut gw_fc, &mut gb_fc);
             let mut grad_relu2 = Tensor {
                 c: trace.relu2.c,
                 h: trace.relu2.h,
@@ -385,11 +445,14 @@ impl CnnEncoder {
                 data: grad_flat,
             };
             relu_backward(&trace.conv2_out, &mut grad_relu2);
-            let grad_pool1 =
-                self.conv2.backward(&trace.pool1, &grad_relu2, &mut gw_c2, &mut gb_c2);
+            let grad_pool1 = self
+                .conv2
+                .backward(&trace.pool1, &grad_relu2, &mut gw_c2, &mut gb_c2);
             let mut grad_relu1 = avg_pool2_backward(&grad_pool1, &trace.relu1);
             relu_backward(&trace.conv1_out, &mut grad_relu1);
-            let _ = self.conv1.backward(&trace.input, &grad_relu1, &mut gw_c1, &mut gb_c1);
+            let _ = self
+                .conv1
+                .backward(&trace.input, &grad_relu1, &mut gw_c1, &mut gb_c1);
         }
 
         // SGD update.
@@ -435,7 +498,12 @@ impl CnnEncoder {
 }
 
 fn relu(t: &Tensor) -> Tensor {
-    Tensor { c: t.c, h: t.h, w: t.w, data: t.data.iter().map(|&x| x.max(0.0)).collect() }
+    Tensor {
+        c: t.c,
+        h: t.h,
+        w: t.w,
+        data: t.data.iter().map(|&x| x.max(0.0)).collect(),
+    }
 }
 
 /// Zeroes gradient entries where the pre-activation was non-positive.
@@ -508,7 +576,10 @@ mod tests {
         (0..n)
             .map(|i| {
                 let t = i as f64 / n as f64;
-                Complex64::new(scale * (6.0 * t + phase).sin(), scale * (4.0 * t + phase).cos())
+                Complex64::new(
+                    scale * (6.0 * t + phase).sin(),
+                    scale * (4.0 * t + phase).cos(),
+                )
             })
             .collect()
     }

@@ -20,10 +20,12 @@ use crate::db::{MemoDatabase, MemoDbConfig, QueryOutcome};
 use crate::encoder::EncoderConfig;
 use crate::similarity::SimilarityTracker;
 use crate::stats::{MemoCase, MemoStats};
+use crate::store::{JobId, LocalMemoStore, MemoStore, Provenance};
 use mlr_lamino::{FftExecutor, FftOpKind};
 use mlr_math::Complex64;
 use parking_lot::Mutex;
 use serde::{Deserialize, Serialize};
+use std::sync::Arc;
 use std::time::Instant;
 
 /// Executor configuration.
@@ -71,11 +73,13 @@ impl Default for MemoConfig {
     }
 }
 
-/// Mutable state behind one lock: the protocol is sequential per chunk
-/// anyway (the solver iterates chunk by chunk), so a single mutex keeps the
-/// implementation simple without measurable contention.
+/// Per-executor mutable state behind one lock: the compute-node cache, key
+/// coalescer and statistics are private to one job, and the protocol is
+/// sequential per chunk within a job, so a single mutex keeps the
+/// implementation simple without measurable contention. The memoization
+/// database itself lives *outside* this lock, behind the [`MemoStore`] seam,
+/// so several executors can share one store concurrently.
 struct EngineState {
-    db: MemoDatabase,
     cache: MemoCache,
     coalescer: KeyCoalescer,
     stats: MemoStats,
@@ -86,14 +90,22 @@ struct EngineState {
 /// The memoized FFT executor.
 pub struct MemoizedExecutor {
     config: MemoConfig,
+    /// The job this executor runs on behalf of (0 for standalone use);
+    /// stamped into every insert so shared stores can gate intra-job reuse
+    /// and account cross-job hits.
+    job: JobId,
+    store: Arc<dyn MemoStore>,
     state: Mutex<EngineState>,
 }
 
 impl MemoizedExecutor {
     /// Creates an executor with the given configuration, database
-    /// configuration, and encoder.
+    /// configuration, and encoder, backed by a private single-tenant store.
     pub fn new(config: MemoConfig, encoder_config: EncoderConfig, seed: u64) -> Self {
-        let db_config = MemoDbConfig { tau: config.tau, ..Default::default() };
+        let db_config = MemoDbConfig {
+            tau: config.tau,
+            ..Default::default()
+        };
         let db = MemoDatabase::new(db_config, encoder_config, seed);
         Self::with_database(config, db)
     }
@@ -101,11 +113,20 @@ impl MemoizedExecutor {
     /// Creates an executor around an existing database (e.g. with a
     /// pre-trained encoder).
     pub fn with_database(config: MemoConfig, db: MemoDatabase) -> Self {
+        Self::with_store(config, Arc::new(LocalMemoStore::new(db)), 0)
+    }
+
+    /// Creates an executor on top of a (possibly shared) memo store, on
+    /// behalf of job `job`. This is the multi-tenant entry point used by the
+    /// runtime: several executors built over one `Arc<ShardedMemoDb>` reuse
+    /// each other's entries.
+    pub fn with_store(config: MemoConfig, store: Arc<dyn MemoStore>, job: JobId) -> Self {
         let cache_capacity = 4096;
         Self {
             config,
+            job,
+            store,
             state: Mutex::new(EngineState {
-                db,
                 cache: MemoCache::new(config.cache_kind, cache_capacity),
                 coalescer: KeyCoalescer::new(config.coalesce_payload_bytes, config.coalesce_keys),
                 stats: MemoStats::new(),
@@ -118,6 +139,16 @@ impl MemoizedExecutor {
     /// The executor configuration.
     pub fn config(&self) -> &MemoConfig {
         &self.config
+    }
+
+    /// The job this executor is attributed to.
+    pub fn job(&self) -> JobId {
+        self.job
+    }
+
+    /// The memo store backing this executor.
+    pub fn store(&self) -> &Arc<dyn MemoStore> {
+        &self.store
     }
 
     /// Marks the start of a new ADMM (outer) iteration; used by the
@@ -143,12 +174,12 @@ impl MemoizedExecutor {
 
     /// Number of entries in the memoization database.
     pub fn db_len(&self) -> usize {
-        self.state.lock().db.len()
+        self.store.len()
     }
 
     /// Resident bytes of the value database.
     pub fn db_value_bytes(&self) -> u64 {
-        self.state.lock().db.value_bytes()
+        self.store.value_bytes()
     }
 
     /// Chunk-similarity series for a location (only populated when
@@ -162,13 +193,10 @@ impl MemoizedExecutor {
         self.state.lock().similarity.fraction_with_similar()
     }
 
-    /// Trains the database's CNN encoder on the provided sample chunks using
+    /// Trains the store's CNN encoder on the provided sample chunks using
     /// the contrastive objective.
     pub fn train_encoder(&self, samples: &[Vec<Complex64>], epochs: usize) -> f64 {
-        let mut state = self.state.lock();
-        let loss = state.db.encoder_mut().train_contrastive(samples, epochs);
-        state.db.encoder_mut().quantise_weights();
-        loss
+        self.store.train_encoder(samples, epochs)
     }
 
     fn should_memoize(&self, kind: FftOpKind) -> bool {
@@ -194,7 +222,9 @@ impl FftExecutor for MemoizedExecutor {
             let out = compute(input);
             let mut state = self.state.lock();
             state.stats.record(kind, MemoCase::Computed);
-            state.stats.add_compute_time(kind, start.elapsed().as_secs_f64());
+            state
+                .stats
+                .add_compute_time(kind, start.elapsed().as_secs_f64());
             return out;
         }
 
@@ -204,13 +234,17 @@ impl FftExecutor for MemoizedExecutor {
             state.similarity.record(loc, iteration, input);
         }
 
-        // 1. Encode the key once.
-        let key = state.db.encode(input);
+        // 1. Encode the key once (through the store, so every tenant of a
+        //    shared store uses the same encoder).
+        let key = self.store.encode(input);
         state.stats.add_encoded_key(kind);
 
         // 2. Compute-node cache.
         if self.config.use_cache {
-            if let Some(value) = state.cache.lookup(kind, loc, &key, self.config.tau, iteration) {
+            if let Some(value) = state
+                .cache
+                .lookup(kind, loc, &key, self.config.tau, iteration)
+            {
                 state.stats.record(kind, MemoCase::CacheHit);
                 return value.as_ref().clone();
             }
@@ -229,10 +263,16 @@ impl FftExecutor for MemoizedExecutor {
         }
 
         // 4. Query the memoization database.
-        match state.db.query_with_key(kind, loc, input, key, iteration) {
+        let origin = Provenance {
+            job: self.job,
+            iteration,
+        };
+        match self.store.query_with_key(kind, loc, input, key, origin) {
             QueryOutcome::Hit { value, key, .. } => {
                 state.stats.record(kind, MemoCase::DbHit);
-                state.stats.add_remote_bytes(kind, (value.len() * 16) as u64);
+                state
+                    .stats
+                    .add_remote_bytes(kind, (value.len() * 16) as u64);
                 if self.config.use_cache {
                     state.cache.insert(kind, loc, key, value.clone(), iteration);
                 }
@@ -250,8 +290,13 @@ impl FftExecutor for MemoizedExecutor {
                 state.stats.record(kind, MemoCase::FailedMemo);
                 state.stats.add_compute_time(kind, elapsed);
                 state.stats.add_remote_bytes(kind, (out.len() * 16) as u64);
-                let iteration = state.iteration;
-                state.db.insert(kind, loc, input, key, out.clone(), iteration);
+                let origin = Provenance {
+                    job: self.job,
+                    iteration: state.iteration,
+                };
+                drop(state);
+                self.store
+                    .insert(kind, loc, input, key, out.clone(), origin);
                 out
             }
         }
@@ -268,7 +313,10 @@ mod tests {
     /// Default config with warm-up disabled so the protocol is exercised
     /// from the first call.
     fn test_config() -> MemoConfig {
-        MemoConfig { warmup_iterations: 0, ..Default::default() }
+        MemoConfig {
+            warmup_iterations: 0,
+            ..Default::default()
+        }
     }
 
     fn tiny_encoder() -> EncoderConfig {
@@ -283,7 +331,9 @@ mod tests {
 
     fn chunk(seed: u64, n: usize) -> Vec<Complex64> {
         let mut rng = seeded(seed);
-        (0..n).map(|_| Complex64::new(rng.gen::<f64>(), rng.gen::<f64>())).collect()
+        (0..n)
+            .map(|_| Complex64::new(rng.gen::<f64>(), rng.gen::<f64>()))
+            .collect()
     }
 
     /// A deterministic stand-in FFT: negate and swap components.
@@ -325,7 +375,10 @@ mod tests {
 
     #[test]
     fn disabled_memoization_always_computes() {
-        let config = MemoConfig { enabled: false, ..test_config() };
+        let config = MemoConfig {
+            enabled: false,
+            ..test_config()
+        };
         let exec = MemoizedExecutor::new(config, tiny_encoder(), 3);
         let input = chunk(3, 64);
         for _ in 0..3 {
@@ -368,15 +421,20 @@ mod tests {
 
     #[test]
     fn similar_inputs_reuse_stored_value_approximately() {
-        let config = MemoConfig { tau: 0.90, ..test_config() };
+        let config = MemoConfig {
+            tau: 0.90,
+            ..test_config()
+        };
         let exec = MemoizedExecutor::new(config, tiny_encoder(), 6);
         let base = chunk(6, 256);
         exec.begin_iteration(0);
         let exact_base = exec.execute(FftOpKind::Fu2D, 0, &base, &fake_fft);
         // Slightly perturbed input in the next iteration: similar enough to
         // reuse.
-        let perturbed: Vec<Complex64> =
-            base.iter().map(|z| *z + Complex64::new(0.01, -0.01)).collect();
+        let perturbed: Vec<Complex64> = base
+            .iter()
+            .map(|z| *z + Complex64::new(0.01, -0.01))
+            .collect();
         exec.begin_iteration(1);
         let reused = exec.execute(FftOpKind::Fu2D, 0, &perturbed, &fake_fft);
         // The reused value is the *stored* result, i.e. an approximation of
@@ -392,13 +450,19 @@ mod tests {
 
     #[test]
     fn similarity_tracking_collects_series() {
-        let config = MemoConfig { track_similarity: true, tau: 0.9, ..test_config() };
+        let config = MemoConfig {
+            track_similarity: true,
+            tau: 0.9,
+            ..test_config()
+        };
         let exec = MemoizedExecutor::new(config, tiny_encoder(), 7);
         let base = chunk(7, 64);
         for it in 0..4 {
             exec.begin_iteration(it);
-            let scaled: Vec<Complex64> =
-                base.iter().map(|z| z.scale(1.0 + 0.001 * it as f64)).collect();
+            let scaled: Vec<Complex64> = base
+                .iter()
+                .map(|z| z.scale(1.0 + 0.001 * it as f64))
+                .collect();
             let _ = exec.execute(FftOpKind::Fu2D, 2, &scaled, &fake_fft);
         }
         let series = exec.similarity_series(2);
@@ -410,8 +474,11 @@ mod tests {
 
     #[test]
     fn coalesce_stats_accumulate() {
-        let config =
-            MemoConfig { coalesce_keys: true, coalesce_payload_bytes: 64, ..test_config() };
+        let config = MemoConfig {
+            coalesce_keys: true,
+            coalesce_payload_bytes: 64,
+            ..test_config()
+        };
         let exec = MemoizedExecutor::new(config, tiny_encoder(), 8);
         for i in 0..6 {
             let _ = exec.execute(FftOpKind::Fu2D, i, &chunk(200 + i as u64, 64), &fake_fft);

@@ -29,6 +29,12 @@
 //!   direct executor; it accounts simulated time against `mlr-sim`'s cost
 //!   model and records the per-case statistics behind Figures 10–12.
 //! * [`similarity`] — the chunk-similarity tracker behind Figure 4.
+//! * [`store`] — the [`MemoStore`] seam: a thread-safe interface the
+//!   executor talks to, so the database behind it can be a private
+//!   [`MemoDatabase`] or a store shared by many concurrent jobs.
+//! * [`sharded`] — the [`ShardedMemoDb`], a lock-striped concurrent store
+//!   serving several reconstruction jobs at once (the in-process analogue
+//!   of the paper's memory node under multi-job traffic).
 
 pub mod ann;
 pub mod cache;
@@ -37,8 +43,10 @@ pub mod db;
 pub mod encoder;
 pub mod engine;
 pub mod kvstore;
+pub mod sharded;
 pub mod similarity;
 pub mod stats;
+pub mod store;
 
 pub use ann::IvfIndex;
 pub use cache::{CacheKind, MemoCache};
@@ -47,5 +55,7 @@ pub use db::{MemoDatabase, MemoDbConfig, QueryOutcome};
 pub use encoder::{CnnEncoder, EncoderConfig};
 pub use engine::{MemoConfig, MemoizedExecutor};
 pub use kvstore::ValueStore;
+pub use sharded::{ShardedMemoDb, DEFAULT_SHARDS};
 pub use similarity::SimilarityTracker;
 pub use stats::{MemoCase, MemoStats, OpStats};
+pub use store::{JobId, LocalMemoStore, MemoStore, Provenance, StoreStats};

@@ -1,0 +1,402 @@
+//! The sharded, lock-striped concurrent memoization store.
+//!
+//! [`ShardedMemoDb`] is the multi-tenant counterpart of
+//! [`MemoDatabase`](crate::db::MemoDatabase): one logical database whose
+//! index scopes are distributed over `N` shards, each behind its own
+//! `parking_lot` mutex, so concurrent reconstruction jobs contend only when
+//! they touch the *same* chunk neighbourhood. It is the in-process analogue
+//! of the paper's memory-node database (Figure 6) serving several compute
+//! jobs at once: entries inserted by job A are served to job B (tracked by
+//! the `cross_job_hits` counter), which is where a shared database beats
+//! per-job isolation.
+//!
+//! Sharding is by index scope — `(operation, chunk location)` under the
+//! default per-location scoping, operation only under global scoping — so a
+//! scope never straddles shards and query semantics are *identical* to a
+//! single [`MemoDatabase`]: the same inserts produce the same hit/miss
+//! sequence regardless of the shard count (the per-scope ANN seeds are
+//! derived from the scope, not from insertion order, for exactly this
+//! reason). Key encoding goes through one shared encoder behind a `RwLock`
+//! (reads only, after optional training), so every tenant speaks the same
+//! key space.
+
+use crate::db::{scope_seed, MemoDatabase, MemoDbConfig, QueryOutcome};
+use crate::encoder::{CnnEncoder, EncoderConfig};
+use crate::store::{MemoStore, Provenance, StoreStats};
+use mlr_lamino::FftOpKind;
+use mlr_math::Complex64;
+use parking_lot::{Mutex, RwLock};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Default number of lock stripes. Enough to keep eight-ish concurrent jobs
+/// off each other's locks without bloating small deployments.
+pub const DEFAULT_SHARDS: usize = 16;
+
+/// A concurrent memoization store sharded by chunk-location hash.
+pub struct ShardedMemoDb {
+    config: MemoDbConfig,
+    /// The shared key encoder. Write-locked only by `train_encoder`; every
+    /// encode takes a read lock.
+    encoder: RwLock<CnnEncoder>,
+    shards: Vec<Mutex<MemoDatabase>>,
+    queries: AtomicU64,
+    hits: AtomicU64,
+    cross_job_hits: AtomicU64,
+    inserts: AtomicU64,
+}
+
+impl ShardedMemoDb {
+    /// Creates an empty store with [`DEFAULT_SHARDS`] stripes.
+    pub fn new(config: MemoDbConfig, encoder_config: EncoderConfig, seed: u64) -> Self {
+        Self::with_shards(config, encoder_config, seed, DEFAULT_SHARDS)
+    }
+
+    /// Creates an empty store with an explicit shard count.
+    ///
+    /// # Panics
+    /// Panics when `shards == 0`.
+    pub fn with_shards(
+        config: MemoDbConfig,
+        encoder_config: EncoderConfig,
+        seed: u64,
+        shards: usize,
+    ) -> Self {
+        assert!(shards > 0, "shard count must be positive");
+        // Every shard gets an encoder with the same seed so the whole store
+        // is one consistent key space; only the top-level encoder is ever
+        // used for encoding (the shards are driven exclusively through the
+        // pre-encoded-key entry points).
+        let shard_dbs = (0..shards)
+            .map(|_| Mutex::new(MemoDatabase::new(config, encoder_config, seed)))
+            .collect();
+        Self {
+            config,
+            encoder: RwLock::new(CnnEncoder::new(encoder_config, seed)),
+            shards: shard_dbs,
+            queries: AtomicU64::new(0),
+            hits: AtomicU64::new(0),
+            cross_job_hits: AtomicU64::new(0),
+            inserts: AtomicU64::new(0),
+        }
+    }
+
+    /// Number of lock stripes.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Which shard owns the index scope of `(op, loc)`.
+    fn shard_for(&self, op: FftOpKind, loc: usize) -> &Mutex<MemoDatabase> {
+        // Under global scoping all locations of an operation share one index
+        // scope, which therefore must live in one shard.
+        let scope_loc = if self.config.per_location {
+            loc
+        } else {
+            usize::MAX
+        };
+        let idx = (scope_seed(op, scope_loc) % self.shards.len() as u64) as usize;
+        &self.shards[idx]
+    }
+
+    /// Per-shard entry counts (diagnostics; shows stripe balance).
+    pub fn shard_sizes(&self) -> Vec<usize> {
+        self.shards.iter().map(|s| s.lock().len()).collect()
+    }
+}
+
+impl MemoStore for ShardedMemoDb {
+    fn config(&self) -> MemoDbConfig {
+        self.config
+    }
+
+    fn encode(&self, input: &[Complex64]) -> Vec<f64> {
+        self.encoder.read().encode(input)
+    }
+
+    fn query_with_key(
+        &self,
+        op: FftOpKind,
+        loc: usize,
+        input: &[Complex64],
+        key: Vec<f64>,
+        origin: Provenance,
+    ) -> QueryOutcome {
+        self.queries.fetch_add(1, Ordering::Relaxed);
+        let outcome = self
+            .shard_for(op, loc)
+            .lock()
+            .query_with_key_from(op, loc, input, key, origin);
+        if let QueryOutcome::Hit {
+            origin: entry_origin,
+            ..
+        } = &outcome
+        {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            if entry_origin.job != origin.job {
+                self.cross_job_hits.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        outcome
+    }
+
+    fn insert(
+        &self,
+        op: FftOpKind,
+        loc: usize,
+        input: &[Complex64],
+        key: Vec<f64>,
+        output: Vec<Complex64>,
+        origin: Provenance,
+    ) -> u64 {
+        self.inserts.fetch_add(1, Ordering::Relaxed);
+        self.shard_for(op, loc)
+            .lock()
+            .insert_from(op, loc, input, key, output, origin)
+    }
+
+    fn len(&self) -> usize {
+        self.shards.iter().map(|s| s.lock().len()).sum()
+    }
+
+    fn value_bytes(&self) -> u64 {
+        self.shards.iter().map(|s| s.lock().value_bytes()).sum()
+    }
+
+    fn stats(&self) -> StoreStats {
+        StoreStats {
+            entries: self.len(),
+            queries: self.queries.load(Ordering::Relaxed),
+            hits: self.hits.load(Ordering::Relaxed),
+            cross_job_hits: self.cross_job_hits.load(Ordering::Relaxed),
+            inserts: self.inserts.load(Ordering::Relaxed),
+            value_bytes: self.value_bytes(),
+        }
+    }
+
+    fn comparisons_per_query(&self) -> f64 {
+        let per_shard: Vec<f64> = self
+            .shards
+            .iter()
+            .map(|s| s.lock().comparisons_per_query())
+            .filter(|&c| c > 0.0)
+            .collect();
+        if per_shard.is_empty() {
+            0.0
+        } else {
+            per_shard.iter().sum::<f64>() / per_shard.len() as f64
+        }
+    }
+
+    fn train_encoder(&self, samples: &[Vec<Complex64>], epochs: usize) -> f64 {
+        let mut encoder = self.encoder.write();
+        let loss = encoder.train_contrastive(samples, epochs);
+        encoder.quantise_weights();
+        // Keep the shards' own encoders in lockstep: all store traffic goes
+        // through the pre-encoded-key entry points, but MemoDatabase's
+        // `encode`/`query` are public, and a shard answering with a stale
+        // (untrained) encoder would silently live in a different key space.
+        for shard in &self.shards {
+            *shard.lock().encoder_mut() = encoder.clone();
+        }
+        loss
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::encoder::EncoderConfig;
+    use crate::store::LocalMemoStore;
+
+    fn tiny_encoder_config() -> EncoderConfig {
+        EncoderConfig {
+            input_grid: 8,
+            conv1_filters: 2,
+            conv2_filters: 4,
+            embedding_dim: 8,
+            learning_rate: 1e-3,
+        }
+    }
+
+    fn sharded(tau: f64, shards: usize) -> ShardedMemoDb {
+        ShardedMemoDb::with_shards(
+            MemoDbConfig {
+                tau,
+                ..Default::default()
+            },
+            tiny_encoder_config(),
+            1,
+            shards,
+        )
+    }
+
+    fn chunk(scale: f64, phase: f64, n: usize) -> Vec<Complex64> {
+        (0..n)
+            .map(|i| {
+                let t = i as f64 / n as f64;
+                Complex64::new(scale * (5.0 * t + phase).sin(), scale * (3.0 * t).cos())
+            })
+            .collect()
+    }
+
+    #[test]
+    fn insert_then_query_hits_across_jobs() {
+        let db = sharded(0.9, 4);
+        let input = chunk(1.0, 0.0, 256);
+        let key = db.encode(&input);
+        let origin_a = Provenance {
+            job: 1,
+            iteration: 3,
+        };
+        db.insert(
+            FftOpKind::Fu2D,
+            5,
+            &input,
+            key.clone(),
+            chunk(2.0, 1.0, 32),
+            origin_a,
+        );
+
+        // Same job, same iteration: the freshness gate must refuse.
+        match db.query_with_key(FftOpKind::Fu2D, 5, &input, key.clone(), origin_a) {
+            QueryOutcome::Miss { .. } => {}
+            QueryOutcome::Hit { .. } => panic!("same-iteration reuse must be gated"),
+        }
+        // Different job at iteration 0: eligible, and counted as cross-job.
+        let origin_b = Provenance {
+            job: 2,
+            iteration: 0,
+        };
+        match db.query_with_key(FftOpKind::Fu2D, 5, &input, key, origin_b) {
+            QueryOutcome::Hit { origin, .. } => assert_eq!(origin, origin_a),
+            QueryOutcome::Miss { .. } => panic!("cross-job hit expected"),
+        }
+        let stats = db.stats();
+        assert_eq!(stats.queries, 2);
+        assert_eq!(stats.hits, 1);
+        assert_eq!(stats.cross_job_hits, 1);
+        assert_eq!(stats.inserts, 1);
+        assert!(stats.cross_job_hit_rate() > 0.0);
+    }
+
+    #[test]
+    fn outcome_is_independent_of_shard_count() {
+        // The same insert/query trace against 1, 3 and 16 shards (and the
+        // single-tenant LocalMemoStore) must produce identical hit/miss
+        // sequences — the determinism contract the runtime relies on.
+        let trace: Vec<(FftOpKind, usize, f64, f64)> = vec![
+            (FftOpKind::Fu2D, 0, 1.0, 0.0),
+            (FftOpKind::Fu2D, 1, 1.0, 0.4),
+            (FftOpKind::Fu1D, 0, 0.7, 0.1),
+            (FftOpKind::Fu2DAdj, 3, 1.3, 0.9),
+            (FftOpKind::Fu2D, 0, 1.01, 0.01),
+            (FftOpKind::Fu1D, 0, 0.72, 0.12),
+        ];
+        let run = |store: &dyn MemoStore| -> Vec<bool> {
+            let mut outcomes = Vec::new();
+            for (it, &(op, loc, scale, phase)) in trace.iter().enumerate() {
+                let input = chunk(scale, phase, 256);
+                let key = store.encode(&input);
+                let origin = Provenance::solo(it + 1);
+                match store.query_with_key(op, loc, &input, key.clone(), origin) {
+                    QueryOutcome::Hit { .. } => outcomes.push(true),
+                    QueryOutcome::Miss { key } => {
+                        outcomes.push(false);
+                        store.insert(op, loc, &input, key, chunk(2.0, 0.5, 16), origin);
+                    }
+                }
+            }
+            outcomes
+        };
+        let local = LocalMemoStore::new(MemoDatabase::new(
+            MemoDbConfig {
+                tau: 0.9,
+                ..Default::default()
+            },
+            tiny_encoder_config(),
+            1,
+        ));
+        let reference = run(&local);
+        assert!(
+            reference.iter().any(|&h| h),
+            "trace never hits — test is vacuous"
+        );
+        for shards in [1, 3, 16] {
+            assert_eq!(
+                run(&sharded(0.9, shards)),
+                reference,
+                "{shards} shards diverged"
+            );
+        }
+    }
+
+    #[test]
+    fn scopes_do_not_leak_across_locations() {
+        let db = sharded(0.9, 8);
+        let input = chunk(1.0, 0.0, 256);
+        let key = db.encode(&input);
+        db.insert(
+            FftOpKind::Fu2D,
+            0,
+            &input,
+            key.clone(),
+            chunk(2.0, 1.0, 16),
+            Provenance::solo(0),
+        );
+        match db.query_with_key(FftOpKind::Fu2D, 1, &input, key, Provenance::solo(1)) {
+            QueryOutcome::Miss { .. } => {}
+            QueryOutcome::Hit { .. } => panic!("per-location scoping violated"),
+        }
+    }
+
+    #[test]
+    fn global_scope_stays_in_one_shard() {
+        let config = MemoDbConfig {
+            tau: 0.9,
+            per_location: false,
+            ..Default::default()
+        };
+        let db = ShardedMemoDb::with_shards(config, tiny_encoder_config(), 2, 8);
+        let input = chunk(1.0, 0.0, 256);
+        let key = db.encode(&input);
+        db.insert(
+            FftOpKind::Fu2D,
+            0,
+            &input,
+            key,
+            chunk(2.0, 1.0, 16),
+            Provenance::solo(0),
+        );
+        // A different location must still hit: the whole operation shares one
+        // index scope, which sharding must not split.
+        let key2 = db.encode(&input);
+        match db.query_with_key(FftOpKind::Fu2D, 77, &input, key2, Provenance::solo(1)) {
+            QueryOutcome::Hit { .. } => {}
+            QueryOutcome::Miss { .. } => panic!("global scope broken by sharding"),
+        }
+    }
+
+    #[test]
+    fn value_accounting_sums_over_shards() {
+        let db = sharded(0.9, 4);
+        for loc in 0..8 {
+            let input = chunk(1.0 + loc as f64, 0.0, 64);
+            let key = db.encode(&input);
+            db.insert(
+                FftOpKind::Fu2D,
+                loc,
+                &input,
+                key,
+                chunk(1.0, 0.0, 32),
+                Provenance::solo(0),
+            );
+        }
+        assert_eq!(db.len(), 8);
+        assert_eq!(db.value_bytes(), 8 * 32 * 16);
+        assert_eq!(db.shard_sizes().iter().sum::<usize>(), 8);
+        assert!(
+            db.shard_sizes().iter().filter(|&&n| n > 0).count() > 1,
+            "all in one stripe"
+        );
+    }
+}

@@ -36,7 +36,11 @@ impl SimilarityTracker {
     /// Creates a tracker with similarity threshold `tau` (the paper uses
     /// τ = 0.93 for Figure 4).
     pub fn new(tau: f64) -> Self {
-        Self { tau, history: HashMap::new(), points: Vec::new() }
+        Self {
+            tau,
+            history: HashMap::new(),
+            points: Vec::new(),
+        }
     }
 
     /// The similarity threshold.
@@ -53,7 +57,11 @@ impl SimilarityTracker {
             .filter(|prev| cosine_similarity_c(chunk, prev) > self.tau)
             .count();
         history.push(chunk.to_vec());
-        self.points.push(SimilarityPoint { location, iteration, similar_prior_chunks: similar });
+        self.points.push(SimilarityPoint {
+            location,
+            iteration,
+            similar_prior_chunks: similar,
+        });
         similar
     }
 
@@ -80,7 +88,10 @@ impl SimilarityTracker {
         if eligible.is_empty() {
             return 0.0;
         }
-        eligible.iter().filter(|p| p.similar_prior_chunks > 0).count() as f64
+        eligible
+            .iter()
+            .filter(|p| p.similar_prior_chunks > 0)
+            .count() as f64
             / eligible.len() as f64
     }
 
@@ -134,8 +145,7 @@ mod tests {
     }
 
     #[test]
-    fn locations_are_independent()
-    {
+    fn locations_are_independent() {
         let mut tracker = SimilarityTracker::new(0.9);
         tracker.record(0, 0, &chunk(1.0, 0.0));
         let similar_other_loc = tracker.record(1, 1, &chunk(1.0, 0.0));

@@ -1,0 +1,272 @@
+//! The memo-store seam: a thread-safe interface over "the memoization
+//! database", so the executor no longer cares whether it talks to a private
+//! single-tenant [`MemoDatabase`](crate::db::MemoDatabase) or to the
+//! sharded, lock-striped [`ShardedMemoDb`](crate::sharded::ShardedMemoDb)
+//! shared by every job of a runtime.
+//!
+//! The paper's distributed design (Figure 6) keeps the memoization database
+//! on a dedicated memory node precisely so that *many* reconstructions can
+//! amortise each other's USFFT work; this trait is the in-process analogue
+//! of that seam. Entries carry a [`Provenance`] — which job inserted them,
+//! during which outer ADMM iteration — so a store can enforce the paper's
+//! "reuse only across iterations" rule *per job* while still serving job B
+//! values that job A computed.
+
+use crate::db::{MemoDatabase, MemoDbConfig, QueryOutcome};
+use mlr_lamino::FftOpKind;
+use mlr_math::Complex64;
+use parking_lot::Mutex;
+use serde::{Deserialize, Serialize};
+
+/// Identifies the reconstruction job a query or entry belongs to. Jobs are
+/// numbered by the runtime; standalone executors use [`Provenance::solo`]
+/// (job 0).
+pub type JobId = u64;
+
+/// Where an entry came from (or where a query originates): the owning job
+/// and the outer ADMM iteration.
+///
+/// The iteration component enforces the intra-job freshness rule: a value
+/// produced *within* the current LSP solve must not be fed back to the CG
+/// update that produced it. Entries from *other* jobs are always eligible —
+/// that is exactly the cross-job reuse the shared store exists for.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Provenance {
+    /// The job that issued the operation.
+    pub job: JobId,
+    /// The job's outer ADMM iteration at the time.
+    pub iteration: usize,
+}
+
+impl Provenance {
+    /// Provenance for a single-tenant executor (job 0).
+    pub fn solo(iteration: usize) -> Self {
+        Self { job: 0, iteration }
+    }
+
+    /// Returns `true` when an entry with this provenance may serve a query
+    /// with provenance `query`: either a different job, or an earlier
+    /// iteration of the same job.
+    pub fn may_serve(&self, query: &Provenance) -> bool {
+        self.job != query.job || self.iteration < query.iteration
+    }
+}
+
+/// Aggregate counters of a memo store.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct StoreStats {
+    /// Entries currently stored.
+    pub entries: usize,
+    /// Queries served.
+    pub queries: u64,
+    /// Queries that returned a value.
+    pub hits: u64,
+    /// Hits served by an entry inserted by a *different* job than the
+    /// querying one — the cross-job amortisation a shared store buys.
+    pub cross_job_hits: u64,
+    /// Insertions performed.
+    pub inserts: u64,
+    /// Approximate resident bytes of the value database.
+    pub value_bytes: u64,
+}
+
+impl StoreStats {
+    /// Fraction of queries answered from the store.
+    pub fn hit_rate(&self) -> f64 {
+        if self.queries == 0 {
+            0.0
+        } else {
+            self.hits as f64 / self.queries as f64
+        }
+    }
+
+    /// Fraction of queries answered by another job's entry.
+    pub fn cross_job_hit_rate(&self) -> f64 {
+        if self.queries == 0 {
+            0.0
+        } else {
+            self.cross_job_hits as f64 / self.queries as f64
+        }
+    }
+}
+
+/// A thread-safe memoization store.
+///
+/// All methods take `&self`; implementations are responsible for their own
+/// interior locking. The executor encodes keys through the store so every
+/// tenant of a shared store uses the *same* encoder (keys from different
+/// encoders would be mutually meaningless).
+pub trait MemoStore: Send + Sync {
+    /// The database configuration (τ threshold, scoping, gating).
+    fn config(&self) -> MemoDbConfig;
+
+    /// Encodes an input chunk into a key.
+    fn encode(&self, input: &[Complex64]) -> Vec<f64>;
+
+    /// Queries for an entry similar to `input` at `(op, loc)` with a
+    /// pre-computed key. `origin` identifies the querying job/iteration.
+    fn query_with_key(
+        &self,
+        op: FftOpKind,
+        loc: usize,
+        input: &[Complex64],
+        key: Vec<f64>,
+        origin: Provenance,
+    ) -> QueryOutcome;
+
+    /// Inserts an entry computed by `origin`. Returns the entry id
+    /// (meaningful within the store's shard).
+    fn insert(
+        &self,
+        op: FftOpKind,
+        loc: usize,
+        input: &[Complex64],
+        key: Vec<f64>,
+        output: Vec<Complex64>,
+        origin: Provenance,
+    ) -> u64;
+
+    /// Number of stored entries.
+    fn len(&self) -> usize;
+
+    /// Returns `true` when the store holds no entries.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Approximate resident bytes of the value database.
+    fn value_bytes(&self) -> u64;
+
+    /// Aggregate counters.
+    fn stats(&self) -> StoreStats;
+
+    /// Average number of key comparisons one query performs.
+    fn comparisons_per_query(&self) -> f64;
+
+    /// Trains the store's key encoder on sample chunks (contrastive
+    /// objective + INT8 quantisation); returns the final loss.
+    fn train_encoder(&self, samples: &[Vec<Complex64>], epochs: usize) -> f64;
+}
+
+/// Single-tenant [`MemoStore`]: one [`MemoDatabase`] behind one mutex.
+/// This is exactly the pre-runtime behaviour of the memoized executor; it
+/// exists so the executor has a uniform seam whether or not a shared store
+/// is in play.
+pub struct LocalMemoStore {
+    inner: Mutex<MemoDatabase>,
+}
+
+impl LocalMemoStore {
+    /// Wraps an existing database.
+    pub fn new(db: MemoDatabase) -> Self {
+        Self {
+            inner: Mutex::new(db),
+        }
+    }
+
+    /// Consumes the store, returning the database.
+    pub fn into_inner(self) -> MemoDatabase {
+        self.inner.into_inner()
+    }
+}
+
+impl MemoStore for LocalMemoStore {
+    fn config(&self) -> MemoDbConfig {
+        *self.inner.lock().config()
+    }
+
+    fn encode(&self, input: &[Complex64]) -> Vec<f64> {
+        self.inner.lock().encode(input)
+    }
+
+    fn query_with_key(
+        &self,
+        op: FftOpKind,
+        loc: usize,
+        input: &[Complex64],
+        key: Vec<f64>,
+        origin: Provenance,
+    ) -> QueryOutcome {
+        self.inner
+            .lock()
+            .query_with_key_from(op, loc, input, key, origin)
+    }
+
+    fn insert(
+        &self,
+        op: FftOpKind,
+        loc: usize,
+        input: &[Complex64],
+        key: Vec<f64>,
+        output: Vec<Complex64>,
+        origin: Provenance,
+    ) -> u64 {
+        self.inner
+            .lock()
+            .insert_from(op, loc, input, key, output, origin)
+    }
+
+    fn len(&self) -> usize {
+        self.inner.lock().len()
+    }
+
+    fn value_bytes(&self) -> u64 {
+        self.inner.lock().value_bytes()
+    }
+
+    fn stats(&self) -> StoreStats {
+        self.inner.lock().stats()
+    }
+
+    fn comparisons_per_query(&self) -> f64 {
+        self.inner.lock().comparisons_per_query()
+    }
+
+    fn train_encoder(&self, samples: &[Vec<Complex64>], epochs: usize) -> f64 {
+        let mut db = self.inner.lock();
+        let loss = db.encoder_mut().train_contrastive(samples, epochs);
+        db.encoder_mut().quantise_weights();
+        loss
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn provenance_gating() {
+        let a0 = Provenance {
+            job: 1,
+            iteration: 0,
+        };
+        let a1 = Provenance {
+            job: 1,
+            iteration: 1,
+        };
+        let b0 = Provenance {
+            job: 2,
+            iteration: 0,
+        };
+        // Same job: only earlier iterations may serve.
+        assert!(a0.may_serve(&a1));
+        assert!(!a1.may_serve(&a1));
+        assert!(!a1.may_serve(&a0));
+        // Different job: always eligible.
+        assert!(a1.may_serve(&b0));
+        assert!(b0.may_serve(&a0));
+    }
+
+    #[test]
+    fn stats_rates() {
+        let s = StoreStats {
+            queries: 10,
+            hits: 5,
+            cross_job_hits: 2,
+            ..Default::default()
+        };
+        assert!((s.hit_rate() - 0.5).abs() < 1e-12);
+        assert!((s.cross_job_hit_rate() - 0.2).abs() < 1e-12);
+        assert_eq!(StoreStats::default().hit_rate(), 0.0);
+    }
+}

@@ -85,7 +85,9 @@ impl<'a> OffloadPlanner<'a> {
         let offload_time = self.cost.ssd_write_time(bytes);
         let prefetch_time = self.cost.ssd_read_time(bytes);
         for (i, window) in var.windows.iter().enumerate() {
-            let Some(gap) = var.gap_after(i) else { continue };
+            let Some(gap) = var.gap_after(i) else {
+                continue;
+            };
             // Constraint 2: zero prefetch distance → skip.
             if gap <= 0.0 {
                 continue;
@@ -128,7 +130,10 @@ impl<'a> OffloadPlanner<'a> {
                 }
             }
         }
-        OffloadPlan { variables: variables.to_vec(), moves }
+        OffloadPlan {
+            variables: variables.to_vec(),
+            moves,
+        }
     }
 
     /// Evaluates a plan: peak-memory saving, performance loss and `MT`.
@@ -149,7 +154,9 @@ impl<'a> OffloadPlanner<'a> {
             .fold(0.0, f64::max);
         let mut saved_bytes = 0.0;
         for name in &plan.variables {
-            let Some(var) = self.profile.variable(name) else { continue };
+            let Some(var) = self.profile.variable(name) else {
+                continue;
+            };
             let has_covering_move = plan
                 .moves
                 .iter()
@@ -190,7 +197,10 @@ impl<'a> OffloadPlanner<'a> {
     }
 
     fn bytes_of(&self, name: &str) -> f64 {
-        self.profile.variable(name).map(|v| v.bytes as f64).unwrap_or(0.0)
+        self.profile
+            .variable(name)
+            .map(|v| v.bytes as f64)
+            .unwrap_or(0.0)
     }
 
     /// Enumerates all subsets of the offloadable variables, evaluates each,
@@ -220,21 +230,23 @@ impl<'a> OffloadPlanner<'a> {
                 Some((_, b)) => {
                     let tol = 1e-6 * b.mt.abs().max(1.0);
                     eval.mt > b.mt + tol
-                        || ((eval.mt - b.mt).abs() <= tol
-                            && eval.memory_saving > b.memory_saving)
+                        || ((eval.mt - b.mt).abs() <= tol && eval.memory_saving > b.memory_saving)
                 }
             };
             if better {
                 best = Some((plan, eval));
             }
         }
-        best.unwrap_or((OffloadPlan::default(), PlanEvaluation {
-            memory_saving: 0.0,
-            performance_loss: 0.0,
-            mt: 0.0,
-            peak_bytes: self.profile.total_bytes,
-            duration: self.profile.duration,
-        }))
+        best.unwrap_or((
+            OffloadPlan::default(),
+            PlanEvaluation {
+                memory_saving: 0.0,
+                performance_loss: 0.0,
+                mt: 0.0,
+                peak_bytes: self.profile.total_bytes,
+                duration: self.profile.duration,
+            },
+        ))
     }
 }
 
@@ -288,7 +300,11 @@ mod tests {
         let (profile, cost) = setup();
         let planner = OffloadPlanner::new(&profile, &cost);
         let (_, eval) = planner.best_plan();
-        assert!(eval.memory_saving > 0.15 && eval.memory_saving < 0.45, "M {}", eval.memory_saving);
+        assert!(
+            eval.memory_saving > 0.15 && eval.memory_saving < 0.45,
+            "M {}",
+            eval.memory_saving
+        );
         assert!(eval.performance_loss < 0.5, "T {}", eval.performance_loss);
         assert!(eval.mt > 1.0, "MT {}", eval.mt);
     }

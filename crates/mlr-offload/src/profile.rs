@@ -88,7 +88,11 @@ impl IterationProfile {
 
         let catalog = workload.variables();
         let lookup = |name: &str| -> u64 {
-            catalog.iter().find(|v| v.name == name).map(|v| v.bytes).unwrap_or(0)
+            catalog
+                .iter()
+                .find(|v| v.name == name)
+                .map(|v| v.bytes)
+                .unwrap_or(0)
         };
 
         // Access model (one iteration):
@@ -106,9 +110,21 @@ impl IterationProfile {
                 bytes: lookup("psi"),
                 offloadable: true,
                 windows: vec![
-                    AccessWindow { phase: AdmmPhase::Lsp, first: lsp_s, last: head(lsp_s, lsp_e) },
-                    AccessWindow { phase: AdmmPhase::Rsp, first: rsp_s, last: rsp_e },
-                    AccessWindow { phase: AdmmPhase::LambdaUpdate, first: lam_s, last: lam_e },
+                    AccessWindow {
+                        phase: AdmmPhase::Lsp,
+                        first: lsp_s,
+                        last: head(lsp_s, lsp_e),
+                    },
+                    AccessWindow {
+                        phase: AdmmPhase::Rsp,
+                        first: rsp_s,
+                        last: rsp_e,
+                    },
+                    AccessWindow {
+                        phase: AdmmPhase::LambdaUpdate,
+                        first: lam_s,
+                        last: lam_e,
+                    },
                 ],
             },
             VariableProfile {
@@ -116,9 +132,21 @@ impl IterationProfile {
                 bytes: lookup("lambda"),
                 offloadable: true,
                 windows: vec![
-                    AccessWindow { phase: AdmmPhase::Lsp, first: lsp_s, last: head(lsp_s, lsp_e) },
-                    AccessWindow { phase: AdmmPhase::Rsp, first: rsp_s, last: rsp_e },
-                    AccessWindow { phase: AdmmPhase::LambdaUpdate, first: lam_s, last: lam_e },
+                    AccessWindow {
+                        phase: AdmmPhase::Lsp,
+                        first: lsp_s,
+                        last: head(lsp_s, lsp_e),
+                    },
+                    AccessWindow {
+                        phase: AdmmPhase::Rsp,
+                        first: rsp_s,
+                        last: rsp_e,
+                    },
+                    AccessWindow {
+                        phase: AdmmPhase::LambdaUpdate,
+                        first: lam_s,
+                        last: lam_e,
+                    },
                 ],
             },
             VariableProfile {
@@ -126,7 +154,11 @@ impl IterationProfile {
                 bytes: lookup("g"),
                 offloadable: true,
                 windows: vec![
-                    AccessWindow { phase: AdmmPhase::Lsp, first: lsp_s, last: lsp_e },
+                    AccessWindow {
+                        phase: AdmmPhase::Lsp,
+                        first: lsp_s,
+                        last: lsp_e,
+                    },
                     AccessWindow {
                         phase: AdmmPhase::PenaltyUpdate,
                         first: pen_e,
@@ -147,7 +179,12 @@ impl IterationProfile {
         ];
 
         let total_bytes = workload.total_bytes();
-        Self { phases, variables, duration, total_bytes }
+        Self {
+            phases,
+            variables,
+            duration,
+            total_bytes,
+        }
     }
 
     /// Profile of one named variable.
@@ -157,7 +194,11 @@ impl IterationProfile {
 
     /// Names of all offloadable variables.
     pub fn offloadable_names(&self) -> Vec<String> {
-        self.variables.iter().filter(|v| v.offloadable).map(|v| v.name.clone()).collect()
+        self.variables
+            .iter()
+            .filter(|v| v.offloadable)
+            .map(|v| v.name.clone())
+            .collect()
     }
 }
 
@@ -205,7 +246,11 @@ mod tests {
         // large fraction of the LSP phase.
         let gap = psi.gap_after(0).unwrap();
         let (_, lsp_s, lsp_e) = p.phases[0];
-        assert!(gap > 0.5 * (lsp_e - lsp_s), "gap {gap} vs LSP {}", lsp_e - lsp_s);
+        assert!(
+            gap > 0.5 * (lsp_e - lsp_s),
+            "gap {gap} vs LSP {}",
+            lsp_e - lsp_s
+        );
         assert!(psi.gap_after(2).is_none());
     }
 }

@@ -80,13 +80,25 @@ pub fn simulate_all(
     vec![
         simulate_strategy(profile, cost, &OffloadStrategy::None, iterations),
         simulate_strategy(profile, cost, &OffloadStrategy::Greedy, iterations),
-        simulate_strategy(profile, cost, &OffloadStrategy::Lru { dram_limit_bytes: lru_budget }, iterations),
+        simulate_strategy(
+            profile,
+            cost,
+            &OffloadStrategy::Lru {
+                dram_limit_bytes: lru_budget,
+            },
+            iterations,
+        ),
         simulate_strategy(profile, cost, &OffloadStrategy::Planned(plan), iterations),
     ]
 }
 
 fn offloadable_bytes(profile: &IterationProfile) -> u64 {
-    profile.variables.iter().filter(|v| v.offloadable).map(|v| v.bytes).sum()
+    profile
+        .variables
+        .iter()
+        .filter(|v| v.offloadable)
+        .map(|v| v.bytes)
+        .sum()
 }
 
 fn resident_baseline(profile: &IterationProfile) -> u64 {
@@ -149,15 +161,21 @@ fn simulate_greedy(
     let off_bytes = offloadable_bytes(profile);
     // The greedy strategy keeps the big four on SSD whenever possible, so the
     // resident peak excludes them except while one is being used.
-    let largest: u64 =
-        profile.variables.iter().filter(|v| v.offloadable).map(|v| v.bytes).max().unwrap_or(0);
+    let largest: u64 = profile
+        .variables
+        .iter()
+        .filter(|v| v.offloadable)
+        .map(|v| v.bytes)
+        .max()
+        .unwrap_or(0);
     let peak = baseline - off_bytes + largest;
 
     // Every access window of every offloadable variable triggers a demand
     // read and a write-back, fully exposed.
     let mut exposed_per_iter = 0.0;
     for var in profile.variables.iter().filter(|v| v.offloadable) {
-        let per_access = cost.ssd_read_time(var.bytes as f64) + cost.ssd_write_time(var.bytes as f64);
+        let per_access =
+            cost.ssd_read_time(var.bytes as f64) + cost.ssd_write_time(var.bytes as f64);
         exposed_per_iter += per_access * var.windows.len() as f64;
     }
     let iter_time = profile.duration + exposed_per_iter;
@@ -172,7 +190,14 @@ fn simulate_greedy(
         rss.push((base_t + 0.1 * iter_time, peak));
         rss.push((base_t + 0.9 * iter_time, baseline - off_bytes));
     }
-    finish("ADMM greedy offload", rss, peak, total, baseline, baseline_total)
+    finish(
+        "ADMM greedy offload",
+        rss,
+        peak,
+        total,
+        baseline,
+        baseline_total,
+    )
 }
 
 fn simulate_lru(
@@ -214,7 +239,14 @@ fn simulate_lru(
         rss.push((base_t, peak));
         rss.push((base_t + iter_time, peak));
     }
-    finish("ADMM LRU offload", rss, peak, total, baseline, baseline_total)
+    finish(
+        "ADMM LRU offload",
+        rss,
+        peak,
+        total,
+        baseline,
+        baseline_total,
+    )
 }
 
 fn simulate_planned(
@@ -238,19 +270,32 @@ fn simulate_planned(
         let base_t = it as f64 * iter_time;
         rss.push((base_t, baseline));
         if let (Some(first), Some(last)) = (
-            plan.moves.iter().map(|m| m.offload_end).fold(None, |acc: Option<f64>, x| {
-                Some(acc.map_or(x, |a| a.min(x)))
-            }),
-            plan.moves.iter().map(|m| m.prefetch_start).fold(None, |acc: Option<f64>, x| {
-                Some(acc.map_or(x, |a| a.max(x)))
-            }),
+            plan.moves
+                .iter()
+                .map(|m| m.offload_end)
+                .fold(None, |acc: Option<f64>, x| {
+                    Some(acc.map_or(x, |a| a.min(x)))
+                }),
+            plan.moves
+                .iter()
+                .map(|m| m.prefetch_start)
+                .fold(None, |acc: Option<f64>, x| {
+                    Some(acc.map_or(x, |a| a.max(x)))
+                }),
         ) {
             rss.push((base_t + first, baseline - saved));
             rss.push((base_t + last, baseline));
         }
         rss.push((base_t + iter_time, baseline));
     }
-    finish("ADMM offload", rss, eval.peak_bytes, total, baseline, baseline_total)
+    finish(
+        "ADMM offload",
+        rss,
+        eval.peak_bytes,
+        total,
+        baseline,
+        baseline_total,
+    )
 }
 
 #[cfg(test)]
@@ -281,7 +326,12 @@ mod tests {
         assert!(greedy.memory_saving > planned.memory_saving);
         assert!(planned.memory_saving > 0.15);
         assert!(greedy.performance_loss > planned.performance_loss);
-        assert!(planned.mt > greedy.mt, "planned MT {} vs greedy {}", planned.mt, greedy.mt);
+        assert!(
+            planned.mt > greedy.mt,
+            "planned MT {} vs greedy {}",
+            planned.mt,
+            greedy.mt
+        );
         // The §5.1 claim: ADMM-Offload outperforms LRU-based offloading.
         assert!(planned.total_seconds < lru.total_seconds);
         // Peaks are ordered: greedy < planned < none.
@@ -309,7 +359,9 @@ mod tests {
         let trace = simulate_strategy(
             &profile,
             &cost,
-            &OffloadStrategy::Lru { dram_limit_bytes: budget },
+            &OffloadStrategy::Lru {
+                dram_limit_bytes: budget,
+            },
             2,
         );
         assert!(trace.peak_bytes <= budget);

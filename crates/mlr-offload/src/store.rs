@@ -29,7 +29,12 @@ impl SsdStore {
     pub fn new(dir: impl AsRef<Path>) -> std::io::Result<Self> {
         let dir = dir.as_ref().to_path_buf();
         fs::create_dir_all(&dir)?;
-        Ok(Self { dir, offloaded: HashMap::new(), bytes_written: 0, bytes_read: 0 })
+        Ok(Self {
+            dir,
+            offloaded: HashMap::new(),
+            bytes_written: 0,
+            bytes_read: 0,
+        })
     }
 
     /// Creates a store in a fresh subdirectory of the system temp directory.
@@ -67,7 +72,10 @@ impl SsdStore {
     /// error from reading the file.
     pub fn prefetch(&mut self, name: &str) -> std::io::Result<Vec<f64>> {
         let len = *self.offloaded.get(name).ok_or_else(|| {
-            std::io::Error::new(std::io::ErrorKind::NotFound, format!("{name} not offloaded"))
+            std::io::Error::new(
+                std::io::ErrorKind::NotFound,
+                format!("{name} not offloaded"),
+            )
         })?;
         let mut file = fs::File::open(self.path_for(name))?;
         let mut bytes = Vec::with_capacity(len * 8);

@@ -1,0 +1,48 @@
+//! # mlr-runtime
+//!
+//! A multi-tenant reconstruction runtime for the mLR reproduction.
+//!
+//! The paper's distributed memoization (Figure 6) separates compute nodes
+//! from a memory node holding the memoization database — a design that only
+//! pays off when *many* reconstructions share that database. Synchrotron
+//! laminography runs many large samples back-to-back (and concurrently);
+//! this crate is the serving layer for that regime:
+//!
+//! ```text
+//!   ReconJob ──► bounded priority queue ──► worker pool ──► JobReport
+//!                 (admission control,        │ │ │
+//!                  backpressure)             ▼ ▼ ▼
+//!                                      ShardedMemoDb (N lock stripes)
+//!                                      shared by every in-flight job
+//! ```
+//!
+//! * [`ReconJob`] — a named pipeline configuration plus a [`Priority`];
+//!   popped highest-priority-first, FIFO within a priority.
+//! * [`Runtime`] — fixed worker pool; [`Runtime::submit`] rejects when the
+//!   queue is full (admission control), [`Runtime::submit_blocking`] parks
+//!   the producer (backpressure).
+//! * The shared [`ShardedMemoDb`](mlr_memo::ShardedMemoDb): every worker's
+//!   executor queries and feeds the same store, so job B reuses USFFT
+//!   results job A computed. Entries carry a
+//!   [`Provenance`](mlr_memo::Provenance) so intra-job freshness gating
+//!   still holds per job while cross-job reuse is unrestricted; the store
+//!   counts those cross-job hits, surfaced via
+//!   [`RuntimeStats::cross_job_hit_rate`].
+//! * Within a job, the chunk-level USFFT kernels fan out through the rayon
+//!   scope-backed data-parallel layer, so parallelism composes: jobs across
+//!   workers, chunk kernels within a job.
+//!
+//! Determinism contract: a single job run through the runtime (over a store
+//! built by [`RuntimeConfig::matching`]) produces the *same reconstruction*
+//! as `MlrPipeline::run_memoized` — sharding is an implementation detail,
+//! pinned by tests in `tests/runtime.rs`.
+
+pub mod job;
+mod queue;
+pub mod runtime;
+pub mod stats;
+
+pub use job::{JobReport, JobSummary, Priority, ReconJob};
+pub use queue::AdmissionError;
+pub use runtime::{JobHandle, Runtime, RuntimeConfig};
+pub use stats::RuntimeStats;

@@ -1,0 +1,440 @@
+//! The runtime: a fixed worker pool multiplexing reconstruction jobs over
+//! one shared, sharded memoization store.
+
+use crate::job::{JobReport, ReconJob};
+use crate::queue::{AdmissionError, JobQueue, QueuedJob};
+use crate::stats::RuntimeStats;
+use mlr_core::MlrPipeline;
+use mlr_memo::{EncoderConfig, JobId, MemoDbConfig, MemoStore, ShardedMemoDb, DEFAULT_SHARDS};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::mpsc::{channel, Receiver};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Instant;
+
+/// Runtime configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct RuntimeConfig {
+    /// Worker threads executing jobs.
+    pub workers: usize,
+    /// Queue capacity; submissions beyond it are rejected (admission
+    /// control) or block (backpressure), depending on the submit call.
+    pub queue_capacity: usize,
+    /// Lock stripes of the shared memo store.
+    pub shards: usize,
+    /// Shared store database configuration (τ threshold, scoping). Jobs keep
+    /// their own `MemoConfig`, but the store gates reuse with *this* τ, so
+    /// tenants should agree with it.
+    pub db: MemoDbConfig,
+    /// Shared store key-encoder configuration.
+    pub encoder: EncoderConfig,
+    /// Seed for the shared encoder.
+    pub seed: u64,
+}
+
+impl Default for RuntimeConfig {
+    fn default() -> Self {
+        Self {
+            workers: std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+                .min(4),
+            queue_capacity: 32,
+            shards: DEFAULT_SHARDS,
+            db: MemoDbConfig::default(),
+            encoder: EncoderConfig {
+                input_grid: 8,
+                conv1_filters: 4,
+                conv2_filters: 8,
+                embedding_dim: 32,
+                learning_rate: 1e-3,
+            },
+            seed: 7,
+        }
+    }
+}
+
+impl RuntimeConfig {
+    /// Aligns the store's τ and encoder seed with a job configuration, so a
+    /// single job run through the runtime behaves exactly like
+    /// `MlrPipeline::run_memoized` (the determinism contract the tests pin).
+    pub fn matching(config: &mlr_core::MlrConfig) -> Self {
+        Self {
+            db: MemoDbConfig {
+                tau: config.memo.tau,
+                ..Default::default()
+            },
+            seed: config.problem.seed,
+            ..Default::default()
+        }
+    }
+}
+
+/// Handle to a submitted job; resolves to its [`JobReport`].
+pub struct JobHandle {
+    id: JobId,
+    name: String,
+    rx: Receiver<JobReport>,
+}
+
+impl JobHandle {
+    /// The runtime-assigned job id.
+    pub fn id(&self) -> JobId {
+        self.id
+    }
+
+    /// The job name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Blocks until the job completes.
+    ///
+    /// # Panics
+    /// Panics if the runtime was torn down without running the job, or if
+    /// the job itself panicked (see [`JobHandle::try_wait`] for the
+    /// non-panicking variant).
+    pub fn wait(self) -> JobReport {
+        self.rx
+            .recv()
+            .expect("runtime dropped the job without a result")
+    }
+
+    /// Blocks until the job completes; returns `None` when the job panicked
+    /// or the runtime was torn down without running it.
+    pub fn try_wait(self) -> Option<JobReport> {
+        self.rx.recv().ok()
+    }
+}
+
+#[derive(Default)]
+struct Counters {
+    submitted: AtomicU64,
+    rejected: AtomicU64,
+    completed: AtomicU64,
+    failed: AtomicU64,
+    queue_ns_total: AtomicU64,
+    queue_ns_max: AtomicU64,
+    busy_ns_total: AtomicU64,
+}
+
+/// The multi-tenant reconstruction runtime.
+///
+/// Jobs enter a bounded priority queue; a fixed pool of worker threads pops
+/// them and runs the full memoized ADMM reconstruction, every executor
+/// sharing one [`ShardedMemoDb`]. Chunk-level USFFT kernels inside a job
+/// fan out through the rayon scope-based data-parallel layer, so the two
+/// parallelism grains compose: jobs across workers, chunk kernels within a
+/// job.
+pub struct Runtime {
+    queue: Arc<JobQueue>,
+    store: Arc<ShardedMemoDb>,
+    counters: Arc<Counters>,
+    workers: Vec<JoinHandle<()>>,
+    worker_count: usize,
+    next_job: AtomicU64,
+    started: Instant,
+}
+
+impl Runtime {
+    /// Starts a runtime with a fresh shared store.
+    pub fn new(config: RuntimeConfig) -> Self {
+        let store = Arc::new(ShardedMemoDb::with_shards(
+            config.db,
+            config.encoder,
+            config.seed,
+            config.shards,
+        ));
+        Self::with_store(config, store)
+    }
+
+    /// Starts a runtime over an existing (possibly pre-warmed) store.
+    pub fn with_store(config: RuntimeConfig, store: Arc<ShardedMemoDb>) -> Self {
+        assert!(config.workers > 0, "worker count must be positive");
+        let queue = Arc::new(JobQueue::new(config.queue_capacity));
+        let counters = Arc::new(Counters::default());
+        let workers = (0..config.workers)
+            .map(|i| {
+                let queue = Arc::clone(&queue);
+                let store = Arc::clone(&store);
+                let counters = Arc::clone(&counters);
+                std::thread::Builder::new()
+                    .name(format!("mlr-worker-{i}"))
+                    .spawn(move || worker_loop(&queue, &store, &counters))
+                    .expect("failed to spawn worker thread")
+            })
+            .collect();
+        Self {
+            queue,
+            store,
+            counters,
+            workers,
+            worker_count: config.workers,
+            // Job 0 is reserved for standalone executors.
+            next_job: AtomicU64::new(1),
+            started: Instant::now(),
+        }
+    }
+
+    /// The shared memo store.
+    pub fn store(&self) -> &Arc<ShardedMemoDb> {
+        &self.store
+    }
+
+    /// Non-blocking submission with admission control: rejects with
+    /// [`AdmissionError::QueueFull`] when the queue is at capacity.
+    pub fn submit(&self, job: ReconJob) -> Result<JobHandle, AdmissionError> {
+        let id = self.next_job.fetch_add(1, Ordering::Relaxed);
+        let name = job.name.clone();
+        let (tx, rx) = channel();
+        match self.queue.try_push(id, job, tx) {
+            Ok(()) => {
+                self.counters.submitted.fetch_add(1, Ordering::Relaxed);
+                Ok(JobHandle { id, name, rx })
+            }
+            Err(e) => {
+                self.counters.rejected.fetch_add(1, Ordering::Relaxed);
+                Err(e)
+            }
+        }
+    }
+
+    /// Blocking submission: applies backpressure to the producer until a
+    /// queue slot frees up.
+    pub fn submit_blocking(&self, job: ReconJob) -> Result<JobHandle, AdmissionError> {
+        let id = self.next_job.fetch_add(1, Ordering::Relaxed);
+        let name = job.name.clone();
+        let (tx, rx) = channel();
+        self.queue.push_blocking(id, job, tx)?;
+        self.counters.submitted.fetch_add(1, Ordering::Relaxed);
+        Ok(JobHandle { id, name, rx })
+    }
+
+    /// A snapshot of the runtime statistics.
+    pub fn stats(&self) -> RuntimeStats {
+        let completed = self.counters.completed.load(Ordering::Relaxed);
+        let failed = self.counters.failed.load(Ordering::Relaxed);
+        let finished = completed + failed;
+        let queue_ns_total = self.counters.queue_ns_total.load(Ordering::Relaxed);
+        RuntimeStats {
+            workers: self.worker_count,
+            submitted: self.counters.submitted.load(Ordering::Relaxed),
+            rejected: self.counters.rejected.load(Ordering::Relaxed),
+            completed,
+            failed,
+            queued: self.queue.len(),
+            wall_seconds: self.started.elapsed().as_secs_f64(),
+            busy_seconds: self.counters.busy_ns_total.load(Ordering::Relaxed) as f64 * 1e-9,
+            queue_seconds_mean: if finished == 0 {
+                0.0
+            } else {
+                queue_ns_total as f64 * 1e-9 / finished as f64
+            },
+            queue_seconds_max: self.counters.queue_ns_max.load(Ordering::Relaxed) as f64 * 1e-9,
+            store: self.store.stats(),
+        }
+    }
+
+    /// The configured queue capacity.
+    pub fn queue_capacity(&self) -> usize {
+        self.queue.capacity()
+    }
+
+    /// Drains the queue, stops the workers and returns the final statistics.
+    /// Already-admitted jobs still run to completion.
+    pub fn shutdown(mut self) -> RuntimeStats {
+        self.queue.close();
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+        self.stats()
+    }
+}
+
+impl Drop for Runtime {
+    fn drop(&mut self) {
+        self.queue.close();
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+    }
+}
+
+fn worker_loop(queue: &JobQueue, store: &Arc<ShardedMemoDb>, counters: &Counters) {
+    while let Some(q) = queue.pop() {
+        let queue_ns = q.enqueued.elapsed().as_nanos() as u64;
+        let start = Instant::now();
+        // Contain per-job panics (bad configs assert deep in the pipeline):
+        // one misbehaving tenant must not kill the worker and starve every
+        // queued job behind it. The panicked job's responder is dropped, so
+        // its handle observes the failure; the worker lives on.
+        let outcome =
+            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| run_job(q, store, queue_ns)));
+        let busy_ns = start.elapsed().as_nanos() as u64;
+        counters.busy_ns_total.fetch_add(busy_ns, Ordering::Relaxed);
+        // Queue-latency accounting lands together with completed/failed so
+        // mid-run snapshots divide matching job sets.
+        counters
+            .queue_ns_total
+            .fetch_add(queue_ns, Ordering::Relaxed);
+        counters.queue_ns_max.fetch_max(queue_ns, Ordering::Relaxed);
+        match outcome {
+            Ok(()) => counters.completed.fetch_add(1, Ordering::Relaxed),
+            Err(_) => counters.failed.fetch_add(1, Ordering::Relaxed),
+        };
+    }
+}
+
+fn run_job(q: QueuedJob, store: &Arc<ShardedMemoDb>, queue_ns: u64) {
+    let start = Instant::now();
+    let pipeline = MlrPipeline::new(q.job.config);
+    let shared: Arc<dyn MemoStore> = Arc::clone(store) as Arc<dyn MemoStore>;
+    let (result, executor) = pipeline.run_memoized_with_store(shared, q.id);
+    let busy_ns = start.elapsed().as_nanos() as u64;
+
+    let stats = executor.stats();
+    let report = JobReport {
+        job: q.id,
+        name: q.job.name,
+        reconstruction: result.reconstruction,
+        loss: result.history.loss_series(),
+        avoided_fraction: stats.total().avoided_fraction(),
+        memo: stats,
+        cache_hit_rate: executor.cache_stats().hit_rate(),
+        queue_seconds: queue_ns as f64 * 1e-9,
+        run_seconds: busy_ns as f64 * 1e-9,
+    };
+    // The submitter may have dropped the handle; the job still ran and its
+    // entries still benefit every other tenant of the store.
+    let _ = q.responder.send(report);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::job::Priority;
+    use mlr_core::MlrConfig;
+
+    fn tiny_config() -> MlrConfig {
+        MlrConfig::quick(12, 8).with_iterations(4)
+    }
+
+    #[test]
+    fn single_job_runs_to_completion() {
+        let rt = Runtime::new(RuntimeConfig {
+            workers: 1,
+            queue_capacity: 4,
+            ..RuntimeConfig::matching(&tiny_config())
+        });
+        let handle = rt.submit(ReconJob::new("solo", tiny_config())).unwrap();
+        let report = handle.wait();
+        assert_eq!(report.job, 1);
+        assert_eq!(report.name, "solo");
+        assert_eq!(report.loss.len(), 4);
+        assert!(report.run_seconds > 0.0);
+        assert!(report
+            .reconstruction
+            .as_slice()
+            .iter()
+            .all(|v| v.is_finite()));
+        let stats = rt.shutdown();
+        assert_eq!(stats.completed, 1);
+        assert_eq!(stats.submitted, 1);
+        assert!(stats.store.queries > 0);
+    }
+
+    #[test]
+    fn concurrent_jobs_share_the_store() {
+        let config = tiny_config();
+        let rt = Runtime::new(RuntimeConfig {
+            workers: 2,
+            queue_capacity: 8,
+            ..RuntimeConfig::matching(&config)
+        });
+        let handles: Vec<_> = (0..4)
+            .map(|i| {
+                rt.submit(ReconJob::new(format!("job-{i}"), config))
+                    .unwrap()
+            })
+            .collect();
+        let reports: Vec<_> = handles.into_iter().map(JobHandle::wait).collect();
+        assert_eq!(reports.len(), 4);
+        // Identical samples: later jobs must reuse earlier jobs' entries.
+        let stats = rt.shutdown();
+        assert_eq!(stats.completed, 4);
+        assert!(
+            stats.store.cross_job_hits > 0,
+            "no cross-job reuse despite identical samples: {:?}",
+            stats.store
+        );
+        assert!(stats.cross_job_hit_rate() > 0.0);
+        assert!(stats.utilisation() > 0.0);
+    }
+
+    #[test]
+    fn admission_control_applies_backpressure() {
+        // One worker, capacity-1 queue: flooding submissions must reject.
+        let rt = Runtime::new(RuntimeConfig {
+            workers: 1,
+            queue_capacity: 1,
+            ..RuntimeConfig::matching(&tiny_config())
+        });
+        let mut handles = Vec::new();
+        let mut rejected = 0usize;
+        for i in 0..12 {
+            match rt.submit(
+                ReconJob::new(format!("flood-{i}"), tiny_config()).with_priority(Priority::Batch),
+            ) {
+                Ok(h) => handles.push(h),
+                Err(AdmissionError::QueueFull { .. }) => rejected += 1,
+                Err(e) => panic!("unexpected admission error: {e}"),
+            }
+        }
+        assert!(rejected > 0, "capacity-1 queue never pushed back");
+        for h in handles {
+            let _ = h.wait();
+        }
+        let stats = rt.shutdown();
+        assert_eq!(stats.rejected as usize, rejected);
+        assert_eq!(stats.submitted + stats.rejected, 12);
+    }
+
+    #[test]
+    fn panicking_job_does_not_kill_the_worker() {
+        // An invalid configuration asserts deep inside the pipeline; the
+        // worker must survive and keep serving the jobs queued behind it.
+        let rt = Runtime::new(RuntimeConfig {
+            workers: 1,
+            queue_capacity: 4,
+            ..RuntimeConfig::matching(&tiny_config())
+        });
+        let bad = rt
+            .submit(ReconJob::new("bad", MlrConfig::quick(0, 0)))
+            .unwrap();
+        let good = rt.submit(ReconJob::new("good", tiny_config())).unwrap();
+        assert!(
+            bad.try_wait().is_none(),
+            "panicked job must not yield a report"
+        );
+        let report = good.try_wait().expect("queued job must still run");
+        assert_eq!(report.name, "good");
+        let stats = rt.shutdown();
+        assert_eq!(stats.failed, 1);
+        assert_eq!(stats.completed, 1);
+    }
+
+    #[test]
+    fn shutdown_drains_admitted_jobs() {
+        let rt = Runtime::new(RuntimeConfig {
+            workers: 1,
+            queue_capacity: 8,
+            ..RuntimeConfig::matching(&tiny_config())
+        });
+        let h1 = rt.submit(ReconJob::new("a", tiny_config())).unwrap();
+        let h2 = rt.submit(ReconJob::new("b", tiny_config())).unwrap();
+        let stats = rt.shutdown();
+        assert_eq!(stats.completed, 2);
+        assert_eq!(h1.wait().name, "a");
+        assert_eq!(h2.wait().name, "b");
+    }
+}

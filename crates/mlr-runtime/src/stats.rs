@@ -1,0 +1,100 @@
+//! Runtime-wide statistics.
+
+use mlr_memo::StoreStats;
+use serde::{Deserialize, Serialize};
+
+/// A snapshot of the runtime's aggregate behaviour: job throughput, queue
+/// latency, worker utilisation, and the shared store's counters (including
+/// the cross-job hit rate that quantifies what sharing one memoization
+/// database across jobs buys).
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct RuntimeStats {
+    /// Number of worker threads.
+    pub workers: usize,
+    /// Jobs admitted to the queue.
+    pub submitted: u64,
+    /// Jobs rejected by admission control.
+    pub rejected: u64,
+    /// Jobs completed.
+    pub completed: u64,
+    /// Jobs that panicked while running (bad configurations); the worker
+    /// survives and the job's handle observes the failure.
+    pub failed: u64,
+    /// Jobs currently waiting in the queue.
+    pub queued: usize,
+    /// Wall-clock seconds since the runtime started.
+    pub wall_seconds: f64,
+    /// Total worker-busy seconds across all workers.
+    pub busy_seconds: f64,
+    /// Mean queue latency over completed jobs.
+    pub queue_seconds_mean: f64,
+    /// Maximum queue latency over completed jobs.
+    pub queue_seconds_max: f64,
+    /// Counters of the shared memo store.
+    pub store: StoreStats,
+}
+
+impl RuntimeStats {
+    /// Completed jobs per wall-clock second.
+    pub fn throughput_jobs_per_second(&self) -> f64 {
+        if self.wall_seconds <= 0.0 {
+            0.0
+        } else {
+            self.completed as f64 / self.wall_seconds
+        }
+    }
+
+    /// Fraction of worker capacity that was busy.
+    pub fn utilisation(&self) -> f64 {
+        let capacity = self.wall_seconds * self.workers as f64;
+        if capacity <= 0.0 {
+            0.0
+        } else {
+            (self.busy_seconds / capacity).min(1.0)
+        }
+    }
+
+    /// Store hit rate (all jobs).
+    pub fn hit_rate(&self) -> f64 {
+        self.store.hit_rate()
+    }
+
+    /// Fraction of store queries served by an entry another job inserted —
+    /// the headline number of the shared-store design.
+    pub fn cross_job_hit_rate(&self) -> f64 {
+        self.store.cross_job_hit_rate()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn derived_rates() {
+        let s = RuntimeStats {
+            workers: 4,
+            submitted: 10,
+            rejected: 2,
+            completed: 8,
+            failed: 0,
+            queued: 0,
+            wall_seconds: 2.0,
+            busy_seconds: 4.0,
+            queue_seconds_mean: 0.1,
+            queue_seconds_max: 0.5,
+            store: StoreStats {
+                entries: 100,
+                queries: 50,
+                hits: 20,
+                cross_job_hits: 10,
+                inserts: 30,
+                value_bytes: 1 << 20,
+            },
+        };
+        assert!((s.throughput_jobs_per_second() - 4.0).abs() < 1e-12);
+        assert!((s.utilisation() - 0.5).abs() < 1e-12);
+        assert!((s.hit_rate() - 0.4).abs() < 1e-12);
+        assert!((s.cross_job_hit_rate() - 0.2).abs() < 1e-12);
+    }
+}

@@ -33,7 +33,14 @@ pub struct Efficiency {
 
 impl Default for Efficiency {
     fn default() -> Self {
-        Self { gpu_fft: 0.12, pcie: 0.80, network: 0.85, ssd: 0.85, dram: 0.65, cpu: 0.55 }
+        Self {
+            gpu_fft: 0.12,
+            pcie: 0.80,
+            network: 0.85,
+            ssd: 0.85,
+            dram: 0.65,
+            cpu: 0.55,
+        }
     }
 }
 
@@ -49,7 +56,10 @@ pub struct CostModel {
 impl CostModel {
     /// Cost model for a Polaris-like cluster of `num_nodes` nodes.
     pub fn polaris(num_nodes: usize) -> Self {
-        Self { cluster: ClusterSpec::polaris(num_nodes), efficiency: Efficiency::default() }
+        Self {
+            cluster: ClusterSpec::polaris(num_nodes),
+            efficiency: Efficiency::default(),
+        }
     }
 
     // ------------------------------------------------------------- compute
@@ -87,7 +97,12 @@ impl CostModel {
     /// parallelised over all cores. This models the frequency-domain
     /// COMPLEX64 subtraction the paper measures as a 5.1 % slowdown when it
     /// runs on the CPU instead of the GPU.
-    pub fn cpu_elementwise_time(&self, elems: usize, flops_per_elem: f64, bytes_per_elem: f64) -> Seconds {
+    pub fn cpu_elementwise_time(
+        &self,
+        elems: usize,
+        flops_per_elem: f64,
+        bytes_per_elem: f64,
+    ) -> Seconds {
         let node = &self.cluster.node;
         let flops = elems as f64 * flops_per_elem;
         let bytes = elems as f64 * bytes_per_elem;
@@ -106,7 +121,10 @@ impl CostModel {
 
     /// GPU↔GPU transfer time over NVLink (same node).
     pub fn nvlink_time(&self, bytes: f64) -> Seconds {
-        transfer_seconds(bytes, self.cluster.node.nvlink_gbps * self.efficiency.network) + 5e-6
+        transfer_seconds(
+            bytes,
+            self.cluster.node.nvlink_gbps * self.efficiency.network,
+        ) + 5e-6
     }
 
     /// One message over the inter-node interconnect with the given payload
@@ -117,8 +135,7 @@ impl CostModel {
         let eff_bw = link.injection_gb_per_s()
             * self.efficiency.network
             * link.payload_utilisation(payload_bytes).max(1e-3);
-        transfer_seconds(payload_bytes, eff_bw)
-            + (link.latency_us + link.per_message_us) * 1e-6
+        transfer_seconds(payload_bytes, eff_bw) + (link.latency_us + link.per_message_us) * 1e-6
     }
 
     /// Bulk (streaming, large-payload) network transfer time.
@@ -164,7 +181,13 @@ impl CostModel {
     /// `batch` keys of dimension `dim` against `db_size` stored keys using an
     /// IVF index probing `nprobe` clusters. Calibrated so one query against
     /// one million 60-d keys costs ~0.2 ms (the paper's measurement).
-    pub fn ann_query_time(&self, db_size: usize, dim: usize, batch: usize, nprobe: usize) -> Seconds {
+    pub fn ann_query_time(
+        &self,
+        db_size: usize,
+        dim: usize,
+        batch: usize,
+        nprobe: usize,
+    ) -> Seconds {
         if batch == 0 {
             return 0.0;
         }

@@ -51,7 +51,12 @@ pub struct SsdSpec {
 impl SsdSpec {
     /// Polaris local NVMe (2 drives, 3.2 TB total).
     pub fn polaris_nvme() -> Self {
-        Self { capacity_gib: 3200.0, read_gbps: 6.4, write_gbps: 4.2, latency_us: 80.0 }
+        Self {
+            capacity_gib: 3200.0,
+            read_gbps: 6.4,
+            write_gbps: 4.2,
+            latency_us: 80.0,
+        }
     }
 }
 
@@ -158,7 +163,12 @@ pub struct MemoryNodeSpec {
 impl MemoryNodeSpec {
     /// The paper's memory node: 512 GB DRAM plus up to 1.5 TB SSD.
     pub fn polaris_memory_node() -> Self {
-        Self { dram_gib: 512.0, dram_gbps: 204.8, ssd_gib: 1536.0, cpu_cores: 64 }
+        Self {
+            dram_gib: 512.0,
+            dram_gbps: 204.8,
+            ssd_gib: 1536.0,
+            cpu_cores: 64,
+        }
     }
 }
 

@@ -25,7 +25,12 @@ pub enum MemTier {
 
 impl MemTier {
     /// All tiers.
-    pub const ALL: [MemTier; 4] = [MemTier::GpuHbm, MemTier::CpuDram, MemTier::Ssd, MemTier::Remote];
+    pub const ALL: [MemTier; 4] = [
+        MemTier::GpuHbm,
+        MemTier::CpuDram,
+        MemTier::Ssd,
+        MemTier::Remote,
+    ];
 
     /// Display label.
     pub fn label(&self) -> &'static str {
@@ -80,8 +85,10 @@ impl MemoryTracker {
     /// # Panics
     /// Panics if `name` is not allocated.
     pub fn free(&mut self, name: &str, t: Seconds) {
-        let (bytes, tier) =
-            self.allocations.remove(name).unwrap_or_else(|| panic!("variable {name} not allocated"));
+        let (bytes, tier) = self
+            .allocations
+            .remove(name)
+            .unwrap_or_else(|| panic!("variable {name} not allocated"));
         self.add(tier, -(bytes as i64), t);
     }
 
@@ -108,7 +115,10 @@ impl MemoryTracker {
         *entry = new;
         let peak = self.peak.entry(tier).or_insert(0);
         *peak = (*peak).max(new);
-        self.traces.entry(tier).or_default().push(UsagePoint { time: t, bytes: new });
+        self.traces.entry(tier).or_default().push(UsagePoint {
+            time: t,
+            bytes: new,
+        });
     }
 
     /// Bytes currently resident in `tier`.

@@ -139,7 +139,9 @@ mod tests {
         let mut rng = seeded(3);
         let bytes = 4096.0;
         let sample = |rng: &mut _, rho: f64| -> Vec<f64> {
-            (0..2000).map(|_| l.sample_latency(rng, bytes, rho)).collect()
+            (0..2000)
+                .map(|_| l.sample_latency(rng, bytes, rho))
+                .collect()
         };
         let low = sample(&mut rng, 0.1);
         let high = sample(&mut rng, 0.95);

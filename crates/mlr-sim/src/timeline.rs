@@ -77,7 +77,12 @@ impl SimTimeline {
         let start = free.max(earliest_start);
         let end = start + duration;
         self.busy_until.insert(resource, end);
-        self.spans.push(Span { resource, start, end, label: label.into() });
+        self.spans.push(Span {
+            resource,
+            start,
+            end,
+            label: label.into(),
+        });
         (start, end)
     }
 
@@ -94,7 +99,11 @@ impl SimTimeline {
 
     /// Total busy time of one resource.
     pub fn busy_time(&self, resource: Resource) -> Seconds {
-        self.spans.iter().filter(|s| s.resource == resource).map(Span::duration).sum()
+        self.spans
+            .iter()
+            .filter(|s| s.resource == resource)
+            .map(Span::duration)
+            .sum()
     }
 
     /// Utilisation of one resource over the makespan, in `[0, 1]`.
@@ -113,7 +122,11 @@ impl SimTimeline {
 
     /// Sum of the durations of spans whose label contains `needle`.
     pub fn time_for_label(&self, needle: &str) -> Seconds {
-        self.spans.iter().filter(|s| s.label.contains(needle)).map(Span::duration).sum()
+        self.spans
+            .iter()
+            .filter(|s| s.label.contains(needle))
+            .map(Span::duration)
+            .sum()
     }
 }
 

@@ -31,7 +31,13 @@ impl ProblemSize {
     /// A cubic problem with `N` angles and an `N × N` detector — the shape of
     /// the paper's datasets.
     pub fn cube(n: usize, chunk_size: usize) -> Self {
-        Self { n, n_theta: n, h: n, w: n, chunk_size }
+        Self {
+            n,
+            n_theta: n,
+            h: n,
+            w: n,
+            chunk_size,
+        }
     }
 
     /// The paper's small dataset, `1K³`.
@@ -91,8 +97,12 @@ pub enum AdmmPhase {
 
 impl AdmmPhase {
     /// All four phases in execution order.
-    pub const ALL: [AdmmPhase; 4] =
-        [AdmmPhase::Lsp, AdmmPhase::Rsp, AdmmPhase::LambdaUpdate, AdmmPhase::PenaltyUpdate];
+    pub const ALL: [AdmmPhase; 4] = [
+        AdmmPhase::Lsp,
+        AdmmPhase::Rsp,
+        AdmmPhase::LambdaUpdate,
+        AdmmPhase::PenaltyUpdate,
+    ];
 
     /// Display label.
     pub fn label(&self) -> &'static str {
@@ -120,7 +130,11 @@ pub struct AdmmWorkload {
 impl AdmmWorkload {
     /// Creates the workload model with the paper's `N_inner = 4`.
     pub fn new(size: ProblemSize) -> Self {
-        Self { size, n_inner: 4, usfft_overhead: 2.5 }
+        Self {
+            size,
+            n_inner: 4,
+            usfft_overhead: 2.5,
+        }
     }
 
     // ----------------------------------------------------------- variables
@@ -265,7 +279,11 @@ impl AdmmWorkload {
     }
 
     /// Duration of each phase of one ADMM iteration, in execution order.
-    pub fn phase_times(&self, cost: &CostModel, cancelled_and_fused: bool) -> Vec<(AdmmPhase, Seconds)> {
+    pub fn phase_times(
+        &self,
+        cost: &CostModel,
+        cancelled_and_fused: bool,
+    ) -> Vec<(AdmmPhase, Seconds)> {
         vec![
             (AdmmPhase::Lsp, self.lsp_time(cost, cancelled_and_fused)),
             (AdmmPhase::Rsp, self.rsp_time(cost)),
@@ -319,8 +337,12 @@ mod tests {
         // They account for >40 % of memory ("more than 80%" in the paper
         // refers to all alias-free candidates; the four big ones dominate).
         let total = w.total_bytes() as f64;
-        let sum: u64 =
-            w.variables().iter().filter(|v| v.offloadable).map(|v| v.bytes).sum();
+        let sum: u64 = w
+            .variables()
+            .iter()
+            .filter(|v| v.offloadable)
+            .map(|v| v.bytes)
+            .sum();
         assert!(sum as f64 / total >= 0.35);
     }
 

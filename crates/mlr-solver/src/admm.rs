@@ -100,7 +100,11 @@ impl AdmmSolver {
     ) -> AdmmResult {
         let cfg = &self.config;
         let vol_shape = op.geometry().volume_shape();
-        assert_eq!(d.shape(), op.geometry().data_shape(), "projection data shape mismatch");
+        assert_eq!(
+            d.shape(),
+            op.geometry().data_shape(),
+            "projection data shape mismatch"
+        );
 
         let mut u: Array3<f64> = Array3::zeros(vol_shape);
         let mut psi = VectorField::zeros(vol_shape);
@@ -127,9 +131,7 @@ impl AdmmSolver {
             let mut data_loss = 0.0;
             for _ in 0..cfg.n_inner {
                 let grad = match cfg.variant {
-                    LspVariant::Original => {
-                        lsp_gradient_original(op, &u, d, &g_field, rho, exec)
-                    }
+                    LspVariant::Original => lsp_gradient_original(op, &u, d, &g_field, rho, exec),
                     LspVariant::Cancelled => lsp_gradient_cancelled(
                         op,
                         &u,
@@ -192,7 +194,11 @@ impl AdmmSolver {
             });
         }
 
-        AdmmResult { reconstruction: u, history, final_rho: rho }
+        AdmmResult {
+            reconstruction: u,
+            history,
+            final_rho: rho,
+        }
     }
 }
 
@@ -201,7 +207,7 @@ pub use crate::lsp::LspVariant as Variant;
 #[cfg(test)]
 mod tests {
     use super::*;
-    use mlr_lamino::{LaminoDataset, LaminoGeometry, LaminoOperator};
+    use mlr_lamino::{LaminoDataset, LaminoOperator};
     use mlr_math::norms::relative_error;
 
     fn small_dataset() -> (LaminoOperator, LaminoDataset) {
@@ -246,7 +252,10 @@ mod tests {
         // initialisation.
         let err = relative_error(&ds.ground_truth, &result.reconstruction);
         let zero_err = relative_error(&ds.ground_truth, &Array3::zeros(ds.ground_truth.shape()));
-        assert!(err < 0.8 * zero_err, "err {err} vs zero baseline {zero_err}");
+        assert!(
+            err < 0.8 * zero_err,
+            "err {err} vs zero baseline {zero_err}"
+        );
         // Non-negativity was enforced.
         assert!(result.reconstruction.as_slice().iter().all(|&v| v >= 0.0));
     }

@@ -136,7 +136,10 @@ pub fn lsp_gradient_original(
     let back = op.fu2d_adjoint(&rhat, exec);
     let g_data = to_real(&op.fu1d_adjoint(&back, exec));
 
-    LspGradient { grad: add_regulariser(g_data, u, g_field, rho), data_loss }
+    LspGradient {
+        grad: add_regulariser(g_data, u, g_field, rho),
+        data_loss,
+    }
 }
 
 /// Evaluates the LSP gradient under Algorithm 2 (cancellation + fusion).
@@ -158,14 +161,13 @@ pub fn lsp_gradient_cancelled(
     // Algorithm 1 storing the projection residual as real detector data.
     let mut rhat = dhat_prime;
     for (a, b) in rhat.as_mut_slice().iter_mut().zip(freq.dhat().as_slice()) {
-        *a = *a - *b;
+        *a -= *b;
     }
     hermitian_project(&mut rhat);
 
     // ½‖Lu − d‖² via Parseval, no extra FFT needed.
     let plane_scale = freq.plane_scale();
-    let data_loss =
-        0.5 * plane_scale * rhat.as_slice().iter().map(|z| z.norm_sqr()).sum::<f64>();
+    let data_loss = 0.5 * plane_scale * rhat.as_slice().iter().map(|z| z.norm_sqr()).sum::<f64>();
 
     rhat.map_inplace(|z| *z = z.scale(plane_scale));
 
@@ -173,7 +175,10 @@ pub fn lsp_gradient_cancelled(
     let back = op.fu2d_adjoint(&rhat, exec);
     let g_data = to_real(&op.fu1d_adjoint(&back, exec));
 
-    LspGradient { grad: add_regulariser(g_data, u, g_field, rho), data_loss }
+    LspGradient {
+        grad: add_regulariser(g_data, u, g_field, rho),
+        data_loss,
+    }
 }
 
 /// Adds the augmented-Lagrangian regularisation term `ρ ∇ᵀ(∇u − g)` to the
@@ -254,11 +259,15 @@ mod tests {
         let data_shape = op.geometry().data_shape();
         let u = Array3::from_vec(
             vol_shape,
-            (0..vol_shape.len()).map(|_| rng.gen::<f64>() - 0.5).collect(),
+            (0..vol_shape.len())
+                .map(|_| rng.gen::<f64>() - 0.5)
+                .collect(),
         );
         let d = Array3::from_vec(
             data_shape,
-            (0..data_shape.len()).map(|_| rng.gen::<f64>() - 0.5).collect(),
+            (0..data_shape.len())
+                .map(|_| rng.gen::<f64>() - 0.5)
+                .collect(),
         );
         (op, u, d)
     }
@@ -274,7 +283,12 @@ mod tests {
         let freq = FrequencyData::new(&op, &d, &exec);
         let canc = lsp_gradient_cancelled(&op, &u, &freq, &g_field, rho, &exec);
 
-        let scale = orig.grad.as_slice().iter().map(|x| x.abs()).fold(0.0, f64::max);
+        let scale = orig
+            .grad
+            .as_slice()
+            .iter()
+            .map(|x| x.abs())
+            .fold(0.0, f64::max);
         let diff = max_abs_diff(orig.grad.as_slice(), canc.grad.as_slice());
         assert!(diff < 1e-8 * scale.max(1.0), "gradient mismatch {diff}");
         assert!((orig.data_loss - canc.data_loss).abs() < 1e-8 * orig.data_loss.max(1.0));
@@ -289,8 +303,17 @@ mod tests {
         let d = op.forward(&u_true);
         let g_field = VectorField::zeros(u_true.shape());
         let g = lsp_gradient_original(&op, &u_true, &d, &g_field, 0.0, &exec);
-        let max = g.grad.as_slice().iter().map(|x| x.abs()).fold(0.0, f64::max);
-        let scale = u_true.as_slice().iter().map(|x| x.abs()).fold(0.0, f64::max);
+        let max = g
+            .grad
+            .as_slice()
+            .iter()
+            .map(|x| x.abs())
+            .fold(0.0, f64::max);
+        let scale = u_true
+            .as_slice()
+            .iter()
+            .map(|x| x.abs())
+            .fold(0.0, f64::max);
         assert!(max < 1e-6 * scale.max(1.0), "gradient at solution {max}");
         assert!(g.data_loss < 1e-10);
     }
@@ -307,7 +330,12 @@ mod tests {
         let mut u2 = u.clone();
         u2.axpby(1.0, &g.grad, -step);
         let g2 = lsp_gradient_original(&op, &u2, &d, &g_field, rho, &exec);
-        assert!(g2.data_loss <= g.data_loss + 1e-12, "{} -> {}", g.data_loss, g2.data_loss);
+        assert!(
+            g2.data_loss <= g.data_loss + 1e-12,
+            "{} -> {}",
+            g.data_loss,
+            g2.data_loss
+        );
     }
 
     #[test]
@@ -342,13 +370,15 @@ mod tests {
         let dhat_prime = op.fu2d(&u1, &exec);
         let mut rhat = dhat_prime;
         for (a, b) in rhat.as_mut_slice().iter_mut().zip(freq.dhat().as_slice()) {
-            *a = *a - *b;
+            *a -= *b;
         }
         hermitian_project(&mut rhat);
-        let via_freq = 0.5
-            * freq.plane_scale()
-            * rhat.as_slice().iter().map(|z| z.norm_sqr()).sum::<f64>();
-        assert!((direct - via_freq).abs() < 1e-8 * direct.max(1.0), "{direct} vs {via_freq}");
+        let via_freq =
+            0.5 * freq.plane_scale() * rhat.as_slice().iter().map(|z| z.norm_sqr()).sum::<f64>();
+        assert!(
+            (direct - via_freq).abs() < 1e-8 * direct.max(1.0),
+            "{direct} vs {via_freq}"
+        );
     }
 
     #[test]

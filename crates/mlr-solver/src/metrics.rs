@@ -75,7 +75,10 @@ impl ConvergenceHistory {
 
     /// Total wall-clock seconds across all iterations.
     pub fn total_seconds(&self) -> f64 {
-        self.records.iter().map(IterationRecord::total_seconds).sum()
+        self.records
+            .iter()
+            .map(IterationRecord::total_seconds)
+            .sum()
     }
 
     /// Fraction of the total time spent in the LSP phase (the paper reports

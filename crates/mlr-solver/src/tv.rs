@@ -23,7 +23,11 @@ pub struct VectorField {
 impl VectorField {
     /// A zero field over `shape`.
     pub fn zeros(shape: Shape3) -> Self {
-        Self { x: Array3::zeros(shape), y: Array3::zeros(shape), z: Array3::zeros(shape) }
+        Self {
+            x: Array3::zeros(shape),
+            y: Array3::zeros(shape),
+            z: Array3::zeros(shape),
+        }
     }
 
     /// The underlying volume shape.
@@ -170,7 +174,10 @@ mod tests {
     fn random_volume(n: usize, seed: u64) -> Array3<f64> {
         let mut rng = seeded(seed);
         let shape = Shape3::cube(n);
-        Array3::from_vec(shape, (0..shape.len()).map(|_| rng.gen::<f64>() - 0.5).collect())
+        Array3::from_vec(
+            shape,
+            (0..shape.len()).map(|_| rng.gen::<f64>() - 0.5).collect(),
+        )
     }
 
     fn random_field(n: usize, seed: u64) -> VectorField {
@@ -222,7 +229,10 @@ mod tests {
         let lhs = gu.dot(&p);
         let div_p = divergence(&p);
         let rhs = u.dot(&div_p);
-        assert!((lhs - rhs).abs() < 1e-10 * lhs.abs().max(1.0), "{lhs} vs {rhs}");
+        assert!(
+            (lhs - rhs).abs() < 1e-10 * lhs.abs().max(1.0),
+            "{lhs} vs {rhs}"
+        );
     }
 
     #[test]

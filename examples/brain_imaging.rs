@@ -18,7 +18,10 @@ fn main() {
     println!("reconstructing a 32^3 soft-tissue phantom (τ = 0.95) ...");
     let report = pipeline.run_comparison();
     println!("accuracy vs exact reconstruction : {:.3}", report.accuracy);
-    println!("FFT invocations avoided          : {:.1} %", 100.0 * report.avoided_fraction);
+    println!(
+        "FFT invocations avoided          : {:.1} %",
+        100.0 * report.avoided_fraction
+    );
 
     // Memory planning for the paper-scale (1K^3) version of the same study.
     let workload = AdmmWorkload::new(ProblemSize::paper_1k());
@@ -28,15 +31,25 @@ fn main() {
     let (plan, eval) = planner.best_plan();
     println!("\n== ADMM-Offload plan for the 1K^3 study ==");
     println!("offloaded variables : {:?}", plan.variables);
-    println!("memory saving       : {:.1} % (peak {:.0} GiB)", 100.0 * eval.memory_saving, gib(eval.peak_bytes));
-    println!("performance loss    : {:.1} %", 100.0 * eval.performance_loss);
+    println!(
+        "memory saving       : {:.1} % (peak {:.0} GiB)",
+        100.0 * eval.memory_saving,
+        gib(eval.peak_bytes)
+    );
+    println!(
+        "performance loss    : {:.1} %",
+        100.0 * eval.performance_loss
+    );
     println!("MT metric           : {:.2}", eval.mt);
 
     println!("\nall offloading strategies (5 iterations):");
     for trace in simulate_all(&profile, &cost, 5) {
         println!(
             "  {:<22} peak {:>6.1} GiB  time {:>8.1} s  MT {:>6.2}",
-            trace.label, gib(trace.peak_bytes), trace.total_seconds, trace.mt
+            trace.label,
+            gib(trace.peak_bytes),
+            trace.total_seconds,
+            trace.mt
         );
     }
 }

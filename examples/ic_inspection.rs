@@ -14,20 +14,29 @@ fn main() {
     config.problem = ProblemSpec::ic(32, 16);
     let pipeline = MlrPipeline::new(config);
 
-    println!("reconstructing a {}^3 IC phantom from {} projections ...", 32, 16);
+    println!(
+        "reconstructing a {}^3 IC phantom from {} projections ...",
+        32, 16
+    );
     let exact = pipeline.run_exact();
     let (memo, executor) = pipeline.run_memoized();
 
-    let vs_truth_exact = accuracy_vs_reference(&pipeline.dataset().ground_truth, &exact.reconstruction);
-    let vs_truth_memo = accuracy_vs_reference(&pipeline.dataset().ground_truth, &memo.reconstruction);
+    let vs_truth_exact =
+        accuracy_vs_reference(&pipeline.dataset().ground_truth, &exact.reconstruction);
+    let vs_truth_memo =
+        accuracy_vs_reference(&pipeline.dataset().ground_truth, &memo.reconstruction);
     let vs_exact = accuracy_vs_reference(&exact.reconstruction, &memo.reconstruction);
 
     println!("\n== IC inspection (τ = 0.90) ==");
     println!("accuracy vs ground truth (exact ADMM-FFT) : {vs_truth_exact:.3}");
     println!("accuracy vs ground truth (mLR)            : {vs_truth_memo:.3}");
     println!("accuracy of mLR vs exact reconstruction   : {vs_exact:.3}");
-    println!("FFT invocations avoided                   : {:.1} %",
-        100.0 * executor.stats().total().avoided_fraction());
-    println!("final data-fidelity loss                  : {:.3e}",
-        memo.history.records().last().unwrap().data_loss);
+    println!(
+        "FFT invocations avoided                   : {:.1} %",
+        100.0 * executor.stats().total().avoided_fraction()
+    );
+    println!(
+        "final data-fidelity loss                  : {:.3e}",
+        memo.history.records().last().unwrap().data_loss
+    );
 }

@@ -16,13 +16,29 @@ fn main() {
     let report = pipeline.run_comparison();
 
     println!("\n== mLR quickstart ==");
-    println!("reconstruction accuracy vs exact ADMM-FFT : {:.3}", report.accuracy);
-    println!("FFT invocations avoided by memoization    : {:.1} %", 100.0 * report.avoided_fraction);
+    println!(
+        "reconstruction accuracy vs exact ADMM-FFT : {:.3}",
+        report.accuracy
+    );
+    println!(
+        "FFT invocations avoided by memoization    : {:.1} %",
+        100.0 * report.avoided_fraction
+    );
     let (fail, db, cache) = report.case_distribution;
-    println!("case distribution (fail / db / cache)     : {:.0} % / {:.0} % / {:.0} %",
-        100.0 * fail, 100.0 * db, 100.0 * cache);
-    println!("FFT compute wall-clock saved              : {:.1} %", 100.0 * report.compute_saving());
-    println!("memoization database size                 : {:.1} MiB", report.db_bytes as f64 / (1 << 20) as f64);
+    println!(
+        "case distribution (fail / db / cache)     : {:.0} % / {:.0} % / {:.0} %",
+        100.0 * fail,
+        100.0 * db,
+        100.0 * cache
+    );
+    println!(
+        "FFT compute wall-clock saved              : {:.1} %",
+        100.0 * report.compute_saving()
+    );
+    println!(
+        "memoization database size                 : {:.1} MiB",
+        report.db_bytes as f64 / (1 << 20) as f64
+    );
 
     // Project the measured behaviour to the paper's 1K^3 problem.
     let projection = pipeline.project_to_paper_scale(1024, report.case_distribution);

@@ -13,16 +13,23 @@ fn main() {
     let latency = LatencyExperiment::default();
 
     println!("== scaling ADMM-FFT over GPUs (1K^3, 60 iterations) ==");
-    println!("{:>5} {:>6} {:>10} {:>10} {:>12} {:>12} {:>14}",
-        "GPUs", "nodes", "Fu1D (s)", "Fu2D (s)", "overall (s)", "link util", "p99 query");
+    println!(
+        "{:>5} {:>6} {:>10} {:>10} {:>12} {:>12} {:>14}",
+        "GPUs", "nodes", "Fu1D (s)", "Fu2D (s)", "overall (s)", "link util", "p99 query"
+    );
     for &gpus in &[1usize, 2, 4, 8, 16] {
         let p = model.point(gpus);
         let util = latency.utilisation(gpus);
         let p99 = latency.cdf(gpus).quantile(0.99);
         println!(
             "{:>5} {:>6} {:>10.2} {:>10.2} {:>12.1} {:>11.0}% {:>11.1} ms",
-            p.gpus, p.nodes, p.fu1d_seconds, p.fu2d_seconds, p.overall_seconds,
-            100.0 * util, p99 * 1e3
+            p.gpus,
+            p.nodes,
+            p.fu1d_seconds,
+            p.fu2d_seconds,
+            p.overall_seconds,
+            100.0 * util,
+            p99 * 1e3
         );
     }
     println!("\nNote the knee after 4 GPUs (one full node): additional speedup is eaten by");

@@ -1,0 +1,95 @@
+//! The distributions used by the workspace: `Standard` and `Uniform`.
+
+use crate::{unit_f64, Rng};
+
+/// Types that can produce samples of `T`.
+pub trait Distribution<T> {
+    /// Draws one sample using `rng`.
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> T;
+}
+
+/// The "natural" distribution of a type: `f64`/`f32` in `[0, 1)`, integers
+/// over their full range, fair `bool`.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Standard;
+
+impl Distribution<f64> for Standard {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        unit_f64(rng.next_u64())
+    }
+}
+
+impl Distribution<f32> for Standard {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f32 {
+        ((rng.next_u64() >> 40) as f32) * (1.0 / (1u64 << 24) as f32)
+    }
+}
+
+impl Distribution<u64> for Standard {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> u64 {
+        rng.next_u64()
+    }
+}
+
+impl Distribution<u32> for Standard {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> u32 {
+        rng.next_u32()
+    }
+}
+
+impl Distribution<usize> for Standard {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
+        rng.next_u64() as usize
+    }
+}
+
+impl Distribution<bool> for Standard {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+/// Types [`Uniform`] can sample.
+pub trait SampleUniform: PartialOrd + Copy {
+    /// Draws one sample from `[low, high)`.
+    fn sample_between<R: Rng + ?Sized>(rng: &mut R, low: Self, high: Self) -> Self;
+}
+
+impl SampleUniform for f64 {
+    fn sample_between<R: Rng + ?Sized>(rng: &mut R, low: Self, high: Self) -> Self {
+        low + unit_f64(rng.next_u64()) * (high - low)
+    }
+}
+
+impl SampleUniform for usize {
+    fn sample_between<R: Rng + ?Sized>(rng: &mut R, low: Self, high: Self) -> Self {
+        low + (rng.next_u64() % (high - low) as u64) as usize
+    }
+}
+
+impl SampleUniform for u64 {
+    fn sample_between<R: Rng + ?Sized>(rng: &mut R, low: Self, high: Self) -> Self {
+        low + rng.next_u64() % (high - low)
+    }
+}
+
+/// Uniform distribution over `[low, high)`.
+#[derive(Debug, Clone, Copy)]
+pub struct Uniform<T> {
+    low: T,
+    high: T,
+}
+
+impl<T: SampleUniform> Uniform<T> {
+    /// Creates a uniform distribution over `[low, high)`.
+    pub fn new(low: T, high: T) -> Self {
+        assert!(low < high, "Uniform::new: low must be < high");
+        Self { low, high }
+    }
+}
+
+impl<T: SampleUniform> Distribution<T> for Uniform<T> {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> T {
+        T::sample_between(rng, self.low, self.high)
+    }
+}

@@ -1,0 +1,312 @@
+//! Offline stand-in for the `serde` facade.
+//!
+//! This workspace builds in an environment without access to crates.io, so
+//! the real `serde` cannot be fetched. The repository only needs a small
+//! slice of it: `#[derive(Serialize, Deserialize)]` on plain structs/enums
+//! and `serde_json::to_string_pretty` for the experiment records written by
+//! `mlr-bench`. This crate provides exactly that slice:
+//!
+//! * [`Value`] — a JSON value tree (the entire data model);
+//! * [`Serialize`] — lowers a value into a [`Value`];
+//! * [`Deserialize`] — a marker trait so existing `derive` lists compile;
+//! * derive macros re-exported from the sibling `serde_derive` shim.
+//!
+//! The surface intentionally mirrors how the workspace uses serde (trait
+//! bounds like `T: Serialize` and derives) rather than serde's full
+//! `Serializer`/`Deserializer` architecture.
+
+// Let the `::serde::...` paths emitted by the derive macros resolve when the
+// derives are used inside this crate (e.g. in its own tests).
+extern crate self as serde;
+
+pub use serde_derive::{Deserialize, Serialize};
+
+use std::collections::{BTreeMap, HashMap};
+use std::sync::Arc;
+
+/// A JSON value: the data model every [`Serialize`] impl lowers into.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// JSON `null`.
+    Null,
+    /// JSON boolean.
+    Bool(bool),
+    /// Unsigned integer.
+    U64(u64),
+    /// Signed integer.
+    I64(i64),
+    /// Floating point number (non-finite values render as `null`).
+    F64(f64),
+    /// JSON string.
+    Str(String),
+    /// JSON array.
+    Array(Vec<Value>),
+    /// JSON object; insertion order is preserved.
+    Object(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// Renders this value as a JSON object key: strings pass through, other
+    /// scalars use their compact JSON rendering.
+    pub fn into_key(self) -> String {
+        match self {
+            Value::Str(s) => s,
+            Value::Bool(b) => b.to_string(),
+            Value::U64(n) => n.to_string(),
+            Value::I64(n) => n.to_string(),
+            Value::F64(x) => format_f64(x),
+            other => format!("{other:?}"),
+        }
+    }
+}
+
+/// Formats an `f64` as a JSON number (non-finite values become `null`).
+pub fn format_f64(x: f64) -> String {
+    if x.is_finite() {
+        // Ensure the rendering parses back as a float where relevant; `{}` on
+        // f64 already produces a valid JSON number (e.g. `1`, `0.25`).
+        format!("{x}")
+    } else {
+        "null".to_string()
+    }
+}
+
+/// Types that can be lowered into a JSON [`Value`].
+pub trait Serialize {
+    /// Lowers `self` into the JSON data model.
+    fn to_value(&self) -> Value;
+}
+
+/// Marker trait standing in for serde's `Deserialize`. The workspace derives
+/// it on config/record types but never deserialises at runtime; the derive
+/// emits an empty impl.
+pub trait Deserialize<'de>: Sized {}
+
+// ------------------------------------------------------------- scalar impls
+
+macro_rules! impl_ser_unsigned {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value { Value::U64(*self as u64) }
+        }
+    )*};
+}
+macro_rules! impl_ser_signed {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value { Value::I64(*self as i64) }
+        }
+    )*};
+}
+impl_ser_unsigned!(u8, u16, u32, u64, usize);
+impl_ser_signed!(i8, i16, i32, i64, isize);
+
+impl Serialize for f32 {
+    fn to_value(&self) -> Value {
+        Value::F64(*self as f64)
+    }
+}
+impl Serialize for f64 {
+    fn to_value(&self) -> Value {
+        Value::F64(*self)
+    }
+}
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+impl Serialize for char {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+impl Serialize for str {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::Str(self.clone())
+    }
+}
+impl Serialize for () {
+    fn to_value(&self) -> Value {
+        Value::Null
+    }
+}
+
+// ----------------------------------------------------------- compound impls
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            Some(v) => v.to_value(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for Box<T> {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for Arc<T> {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+macro_rules! impl_ser_tuple {
+    ($(($($n:tt $t:ident),+)),+) => {$(
+        impl<$($t: Serialize),+> Serialize for ($($t,)+) {
+            fn to_value(&self) -> Value {
+                Value::Array(vec![$(self.$n.to_value()),+])
+            }
+        }
+    )+};
+}
+impl_ser_tuple!(
+    (0 A),
+    (0 A, 1 B),
+    (0 A, 1 B, 2 C),
+    (0 A, 1 B, 2 C, 3 D),
+    (0 A, 1 B, 2 C, 3 D, 4 E)
+);
+
+impl<K: Serialize, V: Serialize, S> Serialize for HashMap<K, V, S> {
+    fn to_value(&self) -> Value {
+        let mut entries: Vec<(String, Value)> = self
+            .iter()
+            .map(|(k, v)| (k.to_value().into_key(), v.to_value()))
+            .collect();
+        // Hash iteration order is unstable; sort so records are reproducible.
+        entries.sort_by(|a, b| a.0.cmp(&b.0));
+        Value::Object(entries)
+    }
+}
+
+impl<K: Serialize, V: Serialize> Serialize for BTreeMap<K, V> {
+    fn to_value(&self) -> Value {
+        Value::Object(
+            self.iter()
+                .map(|(k, v)| (k.to_value().into_key(), v.to_value()))
+                .collect(),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[derive(Serialize)]
+    struct Plain {
+        a: u32,
+        b: f64,
+        label: String,
+    }
+
+    #[derive(Serialize)]
+    struct Generic<T> {
+        data: Vec<T>,
+    }
+
+    #[derive(Serialize)]
+    enum Mixed {
+        Unit,
+        Tup(u64),
+        Named { x: f64 },
+    }
+
+    #[test]
+    fn derive_named_struct() {
+        let v = Plain {
+            a: 3,
+            b: 0.5,
+            label: "hi".into(),
+        }
+        .to_value();
+        assert_eq!(
+            v,
+            Value::Object(vec![
+                ("a".into(), Value::U64(3)),
+                ("b".into(), Value::F64(0.5)),
+                ("label".into(), Value::Str("hi".into())),
+            ])
+        );
+    }
+
+    #[test]
+    fn derive_generic_struct() {
+        let v = Generic {
+            data: vec![1usize, 2],
+        }
+        .to_value();
+        assert_eq!(
+            v,
+            Value::Object(vec![(
+                "data".into(),
+                Value::Array(vec![Value::U64(1), Value::U64(2)])
+            )])
+        );
+    }
+
+    #[test]
+    fn derive_enum_variants() {
+        assert_eq!(Mixed::Unit.to_value(), Value::Str("Unit".into()));
+        assert_eq!(
+            Mixed::Tup(7).to_value(),
+            Value::Object(vec![("Tup".into(), Value::U64(7))])
+        );
+        assert_eq!(
+            Mixed::Named { x: 1.0 }.to_value(),
+            Value::Object(vec![(
+                "Named".into(),
+                Value::Object(vec![("x".into(), Value::F64(1.0))])
+            )])
+        );
+    }
+
+    #[test]
+    fn map_keys_are_strings() {
+        let mut m = HashMap::new();
+        m.insert(2u64, "b");
+        m.insert(1u64, "a");
+        let v = m.to_value();
+        assert_eq!(
+            v,
+            Value::Object(vec![
+                ("1".into(), Value::Str("a".into())),
+                ("2".into(), Value::Str("b".into())),
+            ])
+        );
+    }
+}

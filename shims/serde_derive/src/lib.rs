@@ -1,0 +1,498 @@
+//! Derive macros for the vendored `serde` facade (see `shims/serde`).
+//!
+//! The real `serde_derive` is unavailable in this offline build environment,
+//! so this crate re-implements the two derives against the facade's much
+//! smaller data model: `Serialize` lowers a value into `serde::Value` (a JSON
+//! value tree) and `Deserialize` is a marker trait. The input item is parsed
+//! directly from the `proc_macro` token stream — no `syn`/`quote` — which is
+//! sufficient for the shapes used in this repository: named/tuple structs
+//! (optionally with simple type parameters) and enums with unit, tuple and
+//! struct variants.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Parsed generic parameters: declaration tokens (with `Serialize` bounds
+/// added to type parameters) and the bare argument list.
+struct Generics {
+    /// e.g. `'a, T: ::serde::Serialize`
+    decl: String,
+    /// e.g. `'a, T`
+    args: String,
+    /// Argument list without added bounds, for `Deserialize` impls.
+    decl_unbounded: String,
+}
+
+impl Generics {
+    fn empty() -> Self {
+        Generics {
+            decl: String::new(),
+            args: String::new(),
+            decl_unbounded: String::new(),
+        }
+    }
+}
+
+enum Fields {
+    Unit,
+    /// Named fields, in declaration order.
+    Named(Vec<String>),
+    /// Number of tuple fields.
+    Tuple(usize),
+}
+
+struct Variant {
+    name: String,
+    fields: Fields,
+}
+
+enum Item {
+    Struct {
+        name: String,
+        generics: Generics,
+        fields: Fields,
+    },
+    Enum {
+        name: String,
+        generics: Generics,
+        variants: Vec<Variant>,
+    },
+}
+
+fn is_punct(tt: &TokenTree, ch: char) -> bool {
+    matches!(tt, TokenTree::Punct(p) if p.as_char() == ch)
+}
+
+fn is_ident(tt: &TokenTree, s: &str) -> bool {
+    matches!(tt, TokenTree::Ident(i) if i.to_string() == s)
+}
+
+/// Advances `i` past any leading `#[...]` attributes and visibility
+/// modifiers (`pub`, `pub(crate)`, ...).
+fn skip_attrs_and_vis(tokens: &[TokenTree], i: &mut usize) {
+    loop {
+        if *i < tokens.len() && is_punct(&tokens[*i], '#') {
+            *i += 1; // '#'
+            if *i < tokens.len() {
+                *i += 1; // the [...] group
+            }
+        } else if *i < tokens.len() && is_ident(&tokens[*i], "pub") {
+            *i += 1;
+            if *i < tokens.len() {
+                if let TokenTree::Group(g) = &tokens[*i] {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        *i += 1; // pub(...) restriction
+                    }
+                }
+            }
+        } else {
+            return;
+        }
+    }
+}
+
+/// Skips tokens until a top-level `,` (angle-bracket depth 0) or the end;
+/// leaves `i` *on* the comma (or at the end).
+fn skip_to_top_level_comma(tokens: &[TokenTree], i: &mut usize) {
+    let mut depth: i32 = 0;
+    while *i < tokens.len() {
+        match &tokens[*i] {
+            TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => return,
+            _ => {}
+        }
+        *i += 1;
+    }
+}
+
+/// Parses `< ... >` starting at the `<`; returns the tokens strictly inside.
+fn parse_generics(tokens: &[TokenTree], i: &mut usize) -> Generics {
+    debug_assert!(is_punct(&tokens[*i], '<'));
+    *i += 1;
+    let mut depth = 1i32;
+    let mut inner: Vec<TokenTree> = Vec::new();
+    while *i < tokens.len() {
+        match &tokens[*i] {
+            TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => {
+                depth -= 1;
+                if depth == 0 {
+                    *i += 1;
+                    break;
+                }
+            }
+            _ => {}
+        }
+        inner.push(tokens[*i].clone());
+        *i += 1;
+    }
+
+    // Split the parameter list on top-level commas.
+    let mut params: Vec<Vec<TokenTree>> = vec![Vec::new()];
+    let mut depth = 0i32;
+    for tt in inner {
+        match &tt {
+            TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => {
+                params.push(Vec::new());
+                continue;
+            }
+            _ => {}
+        }
+        params.last_mut().unwrap().push(tt);
+    }
+
+    let mut decl_parts = Vec::new();
+    let mut arg_parts = Vec::new();
+    let mut unbounded_parts = Vec::new();
+    for param in params.into_iter().filter(|p| !p.is_empty()) {
+        let raw: String = param
+            .iter()
+            .map(|t| t.to_string())
+            .collect::<Vec<_>>()
+            .join(" ");
+        let is_lifetime = matches!(&param[0], TokenTree::Punct(p) if p.as_char() == '\'');
+        if is_lifetime {
+            // `'a` (the ident follows the quote punct).
+            let name = format!(
+                "'{}",
+                param.get(1).map(|t| t.to_string()).unwrap_or_default()
+            );
+            decl_parts.push(raw.clone());
+            unbounded_parts.push(raw);
+            arg_parts.push(name);
+        } else if matches!(&param[0], TokenTree::Ident(id) if id.to_string() == "const") {
+            // `const N: usize` — keep the declaration, pass `N` through.
+            let name = param.get(1).map(|t| t.to_string()).unwrap_or_default();
+            decl_parts.push(raw.clone());
+            unbounded_parts.push(raw);
+            arg_parts.push(name);
+        } else {
+            // Type parameter: `T`, `T: Bound`, `T = Default`.
+            let name = param[0].to_string();
+            // Strip any default (`= ...`) and keep existing bounds.
+            let mut bound_tokens: Vec<String> = Vec::new();
+            let mut seen_colon = false;
+            for tt in param.iter().skip(1) {
+                if is_punct(tt, '=') {
+                    break;
+                }
+                if is_punct(tt, ':') && !seen_colon {
+                    seen_colon = true;
+                    continue;
+                }
+                bound_tokens.push(tt.to_string());
+            }
+            let mut decl = name.clone();
+            decl.push_str(": ");
+            if seen_colon && !bound_tokens.is_empty() {
+                decl.push_str(&bound_tokens.join(" "));
+                decl.push_str(" + ");
+            }
+            decl.push_str("::serde::Serialize");
+            decl_parts.push(decl);
+            unbounded_parts.push(if seen_colon {
+                format!("{name}: {}", bound_tokens.join(" "))
+            } else {
+                name.clone()
+            });
+            arg_parts.push(name);
+        }
+    }
+    Generics {
+        decl: decl_parts.join(", "),
+        args: arg_parts.join(", "),
+        decl_unbounded: unbounded_parts.join(", "),
+    }
+}
+
+/// Parses the field names of a `{ ... }` body.
+fn parse_named_fields(group: &proc_macro::Group) -> Vec<String> {
+    let tokens: Vec<TokenTree> = group.stream().into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0usize;
+    while i < tokens.len() {
+        skip_attrs_and_vis(&tokens, &mut i);
+        if i >= tokens.len() {
+            break;
+        }
+        if let TokenTree::Ident(name) = &tokens[i] {
+            fields.push(name.to_string());
+            i += 1;
+            // `: Type`
+            if i < tokens.len() && is_punct(&tokens[i], ':') {
+                i += 1;
+                skip_to_top_level_comma(&tokens, &mut i);
+            }
+            if i < tokens.len() && is_punct(&tokens[i], ',') {
+                i += 1;
+            }
+        } else {
+            i += 1; // unexpected token; make progress
+        }
+    }
+    fields
+}
+
+/// Counts the fields of a `( ... )` tuple body.
+fn count_tuple_fields(group: &proc_macro::Group) -> usize {
+    let tokens: Vec<TokenTree> = group.stream().into_iter().collect();
+    if tokens.is_empty() {
+        return 0;
+    }
+    let mut count = 1usize;
+    let mut depth = 0i32;
+    let mut trailing_comma = false;
+    for (idx, tt) in tokens.iter().enumerate() {
+        match tt {
+            TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => {
+                if idx + 1 == tokens.len() {
+                    trailing_comma = true;
+                } else {
+                    count += 1;
+                }
+            }
+            _ => {}
+        }
+    }
+    let _ = trailing_comma;
+    count
+}
+
+fn parse_variants(group: &proc_macro::Group) -> Vec<Variant> {
+    let tokens: Vec<TokenTree> = group.stream().into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0usize;
+    while i < tokens.len() {
+        skip_attrs_and_vis(&tokens, &mut i);
+        if i >= tokens.len() {
+            break;
+        }
+        if let TokenTree::Ident(name) = &tokens[i] {
+            let name = name.to_string();
+            i += 1;
+            let fields = if i < tokens.len() {
+                match &tokens[i] {
+                    TokenTree::Group(g) if g.delimiter() == Delimiter::Brace => {
+                        let f = Fields::Named(parse_named_fields(g));
+                        i += 1;
+                        f
+                    }
+                    TokenTree::Group(g) if g.delimiter() == Delimiter::Parenthesis => {
+                        let f = Fields::Tuple(count_tuple_fields(g));
+                        i += 1;
+                        f
+                    }
+                    _ => Fields::Unit,
+                }
+            } else {
+                Fields::Unit
+            };
+            // Skip an optional discriminant, then the separating comma.
+            skip_to_top_level_comma(&tokens, &mut i);
+            if i < tokens.len() && is_punct(&tokens[i], ',') {
+                i += 1;
+            }
+            variants.push(Variant { name, fields });
+        } else {
+            i += 1;
+        }
+    }
+    variants
+}
+
+fn parse_item(input: TokenStream) -> Result<Item, String> {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0usize;
+    skip_attrs_and_vis(&tokens, &mut i);
+    let is_struct = if is_ident(&tokens[i], "struct") {
+        true
+    } else if is_ident(&tokens[i], "enum") {
+        false
+    } else {
+        return Err(format!(
+            "expected `struct` or `enum`, found `{}`",
+            tokens[i]
+        ));
+    };
+    i += 1;
+    let name = match &tokens[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => return Err(format!("expected item name, found `{other}`")),
+    };
+    i += 1;
+    let generics = if i < tokens.len() && is_punct(&tokens[i], '<') {
+        parse_generics(&tokens, &mut i)
+    } else {
+        Generics::empty()
+    };
+    // A `where` clause would need real bound plumbing; nothing in the
+    // workspace uses one on a serialisable type.
+    if i < tokens.len() && is_ident(&tokens[i], "where") {
+        return Err("`where` clauses are not supported by the vendored serde derive".into());
+    }
+    if is_struct {
+        let fields = if i >= tokens.len() {
+            Fields::Unit
+        } else {
+            match &tokens[i] {
+                TokenTree::Group(g) if g.delimiter() == Delimiter::Brace => {
+                    Fields::Named(parse_named_fields(g))
+                }
+                TokenTree::Group(g) if g.delimiter() == Delimiter::Parenthesis => {
+                    Fields::Tuple(count_tuple_fields(g))
+                }
+                _ => Fields::Unit,
+            }
+        };
+        Ok(Item::Struct {
+            name,
+            generics,
+            fields,
+        })
+    } else {
+        match &tokens[i] {
+            TokenTree::Group(g) if g.delimiter() == Delimiter::Brace => Ok(Item::Enum {
+                name,
+                generics,
+                variants: parse_variants(g),
+            }),
+            other => Err(format!("expected enum body, found `{other}`")),
+        }
+    }
+}
+
+fn impl_header(generics: &Generics, trait_path: &str, name: &str) -> String {
+    let decl = if generics.decl.is_empty() {
+        String::new()
+    } else {
+        format!("<{}>", generics.decl)
+    };
+    let args = if generics.args.is_empty() {
+        String::new()
+    } else {
+        format!("<{}>", generics.args)
+    };
+    format!("impl{decl} {trait_path} for {name}{args}")
+}
+
+fn named_fields_expr(names: &[String], accessor: impl Fn(&str) -> String) -> String {
+    let mut pushes = String::new();
+    for f in names {
+        pushes.push_str(&format!(
+            "fields.push((String::from(\"{f}\"), ::serde::Serialize::to_value({})));",
+            accessor(f)
+        ));
+    }
+    format!(
+        "{{ let mut fields: Vec<(String, ::serde::Value)> = Vec::new(); {pushes} ::serde::Value::Object(fields) }}"
+    )
+}
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = match parse_item(input) {
+        Ok(item) => item,
+        Err(msg) => {
+            return format!("compile_error!(\"derive(Serialize): {msg}\");")
+                .parse()
+                .unwrap()
+        }
+    };
+    let code = match &item {
+        Item::Struct {
+            name,
+            generics,
+            fields,
+        } => {
+            let body = match fields {
+                Fields::Unit => "::serde::Value::Null".to_string(),
+                Fields::Named(names) => named_fields_expr(names, |f| format!("&self.{f}")),
+                Fields::Tuple(n) => {
+                    let items: Vec<String> = (0..*n)
+                        .map(|i| format!("::serde::Serialize::to_value(&self.{i})"))
+                        .collect();
+                    format!("::serde::Value::Array(vec![{}])", items.join(", "))
+                }
+            };
+            format!(
+                "{} {{ fn to_value(&self) -> ::serde::Value {{ {body} }} }}",
+                impl_header(generics, "::serde::Serialize", name)
+            )
+        }
+        Item::Enum {
+            name,
+            generics,
+            variants,
+        } => {
+            let mut arms = String::new();
+            for v in variants {
+                let vn = &v.name;
+                match &v.fields {
+                    Fields::Unit => arms.push_str(&format!(
+                        "{name}::{vn} => ::serde::Value::Str(String::from(\"{vn}\")),"
+                    )),
+                    Fields::Tuple(n) => {
+                        let binds: Vec<String> = (0..*n).map(|i| format!("f{i}")).collect();
+                        let inner = if *n == 1 {
+                            "::serde::Serialize::to_value(f0)".to_string()
+                        } else {
+                            let items: Vec<String> = binds
+                                .iter()
+                                .map(|b| format!("::serde::Serialize::to_value({b})"))
+                                .collect();
+                            format!("::serde::Value::Array(vec![{}])", items.join(", "))
+                        };
+                        arms.push_str(&format!(
+                            "{name}::{vn}({}) => ::serde::Value::Object(vec![(String::from(\"{vn}\"), {inner})]),",
+                            binds.join(", ")
+                        ));
+                    }
+                    Fields::Named(field_names) => {
+                        let inner = named_fields_expr(field_names, |f| f.to_string());
+                        arms.push_str(&format!(
+                            "{name}::{vn} {{ {} }} => ::serde::Value::Object(vec![(String::from(\"{vn}\"), {inner})]),",
+                            field_names.join(", ")
+                        ));
+                    }
+                }
+            }
+            format!(
+                "{} {{ fn to_value(&self) -> ::serde::Value {{ match self {{ {arms} }} }} }}",
+                impl_header(generics, "::serde::Serialize", name)
+            )
+        }
+    };
+    code.parse().unwrap()
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = match parse_item(input) {
+        Ok(item) => item,
+        Err(msg) => {
+            return format!("compile_error!(\"derive(Deserialize): {msg}\");")
+                .parse()
+                .unwrap()
+        }
+    };
+    let (name, generics) = match &item {
+        Item::Struct { name, generics, .. } | Item::Enum { name, generics, .. } => (name, generics),
+    };
+    let decl = if generics.decl_unbounded.is_empty() {
+        "<'de>".to_string()
+    } else {
+        format!("<'de, {}>", generics.decl_unbounded)
+    };
+    let args = if generics.args.is_empty() {
+        String::new()
+    } else {
+        format!("<{}>", generics.args)
+    };
+    format!("impl{decl} ::serde::Deserialize<'de> for {name}{args} {{}}")
+        .parse()
+        .unwrap()
+}

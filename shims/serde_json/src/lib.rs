@@ -1,0 +1,153 @@
+//! Offline stand-in for `serde_json`, rendering the vendored serde facade's
+//! [`serde::Value`] tree as JSON text. Only the serialisation direction is
+//! implemented — that is all the experiment harnesses use.
+
+use serde::{format_f64, Serialize, Value};
+use std::fmt;
+
+/// Serialisation error. Rendering a [`Value`] tree cannot actually fail, but
+/// the `Result` return keeps call sites source-compatible with serde_json.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Error(String);
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "json serialisation error: {}", self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Result alias matching serde_json's.
+pub type Result<T> = std::result::Result<T, Error>;
+
+/// Serialises a value as a compact JSON string.
+pub fn to_string<T: Serialize + ?Sized>(value: &T) -> Result<String> {
+    let mut out = String::new();
+    render(&value.to_value(), None, 0, &mut out);
+    Ok(out)
+}
+
+/// Serialises a value as a pretty-printed JSON string (two-space indent).
+pub fn to_string_pretty<T: Serialize + ?Sized>(value: &T) -> Result<String> {
+    let mut out = String::new();
+    render(&value.to_value(), Some(2), 0, &mut out);
+    Ok(out)
+}
+
+fn push_escaped(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+fn newline_indent(indent: Option<usize>, depth: usize, out: &mut String) {
+    if let Some(width) = indent {
+        out.push('\n');
+        for _ in 0..width * depth {
+            out.push(' ');
+        }
+    }
+}
+
+fn render(value: &Value, indent: Option<usize>, depth: usize, out: &mut String) {
+    match value {
+        Value::Null => out.push_str("null"),
+        Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        Value::U64(n) => out.push_str(&n.to_string()),
+        Value::I64(n) => out.push_str(&n.to_string()),
+        Value::F64(x) => out.push_str(&format_f64(*x)),
+        Value::Str(s) => push_escaped(s, out),
+        Value::Array(items) => {
+            if items.is_empty() {
+                out.push_str("[]");
+                return;
+            }
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                newline_indent(indent, depth + 1, out);
+                render(item, indent, depth + 1, out);
+            }
+            newline_indent(indent, depth, out);
+            out.push(']');
+        }
+        Value::Object(entries) => {
+            if entries.is_empty() {
+                out.push_str("{}");
+                return;
+            }
+            out.push('{');
+            for (i, (key, item)) in entries.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                newline_indent(indent, depth + 1, out);
+                push_escaped(key, out);
+                out.push(':');
+                if indent.is_some() {
+                    out.push(' ');
+                }
+                render(item, indent, depth + 1, out);
+            }
+            newline_indent(indent, depth, out);
+            out.push('}');
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[derive(Serialize)]
+    struct Record {
+        name: String,
+        values: Vec<f64>,
+        count: usize,
+        nested: Inner,
+    }
+
+    #[derive(Serialize)]
+    struct Inner {
+        flag: bool,
+    }
+
+    #[test]
+    fn compact_rendering() {
+        let r = Record {
+            name: "x\"y".into(),
+            values: vec![1.0, 0.25],
+            count: 2,
+            nested: Inner { flag: true },
+        };
+        assert_eq!(
+            to_string(&r).unwrap(),
+            r#"{"name":"x\"y","values":[1,0.25],"count":2,"nested":{"flag":true}}"#
+        );
+    }
+
+    #[test]
+    fn pretty_rendering_is_indented() {
+        let r = Inner { flag: false };
+        assert_eq!(to_string_pretty(&r).unwrap(), "{\n  \"flag\": false\n}");
+    }
+
+    #[test]
+    fn non_finite_floats_render_null() {
+        assert_eq!(to_string(&f64::NAN).unwrap(), "null");
+        assert_eq!(to_string(&f64::INFINITY).unwrap(), "null");
+    }
+}

@@ -1,8 +1,8 @@
 //! End-to-end integration tests spanning the whole workspace: phantom →
 //! projections → exact and memoized ADMM-TV reconstruction → report, plus the
 //! offload planner and scaling model wired to the same workload description.
-use mlr_core::{MlrConfig, MlrPipeline};
 use mlr_cluster::ScalingModel;
+use mlr_core::{MlrConfig, MlrPipeline};
 use mlr_lamino::{LaminoGeometry, LaminoOperator};
 use mlr_offload::{simulate::simulate_all, IterationProfile, OffloadPlanner};
 use mlr_sim::workload::{AdmmWorkload, ProblemSize};
@@ -32,13 +32,26 @@ fn algorithm1_and_algorithm2_match_through_the_full_solver() {
         3,
     );
     let op = LaminoOperator::new(geometry, 4);
-    let base = AdmmConfig { outer_iterations: 3, n_inner: 2, ..AdmmConfig::default() };
-    let a = AdmmSolver::new(AdmmConfig { variant: LspVariant::Original, ..base })
-        .run(&op, &dataset.projections);
-    let b = AdmmSolver::new(AdmmConfig { variant: LspVariant::Cancelled, ..base })
-        .run(&op, &dataset.projections);
+    let base = AdmmConfig {
+        outer_iterations: 3,
+        n_inner: 2,
+        ..AdmmConfig::default()
+    };
+    let a = AdmmSolver::new(AdmmConfig {
+        variant: LspVariant::Original,
+        ..base
+    })
+    .run(&op, &dataset.projections);
+    let b = AdmmSolver::new(AdmmConfig {
+        variant: LspVariant::Cancelled,
+        ..base
+    })
+    .run(&op, &dataset.projections);
     let err = mlr_math::norms::relative_error(&a.reconstruction, &b.reconstruction);
-    assert!(err < 1e-6, "operation cancellation changed the result: {err}");
+    assert!(
+        err < 1e-6,
+        "operation cancellation changed the result: {err}"
+    );
 }
 
 #[test]
@@ -52,7 +65,10 @@ fn offload_planner_and_scaling_model_agree_with_workload() {
     assert!(eval.mt > 1.0);
 
     let traces = simulate_all(&profile, &cost, 2);
-    assert!(traces[3].mt > traces[1].mt, "planned offload must beat greedy");
+    assert!(
+        traces[3].mt > traces[1].mt,
+        "planned offload must beat greedy"
+    );
 
     let scaling = ScalingModel::new(workload, 10);
     let p1 = scaling.point(1);

@@ -1,64 +1,113 @@
 //! Property-based integration tests over the numerical substrates.
+//!
+//! Originally written against `proptest`; this offline build has no access
+//! to crates.io, so the same properties are exercised as deterministic
+//! seeded sweeps (32 cases per property, matching the original
+//! `ProptestConfig::with_cases(32)`), which also makes failures trivially
+//! reproducible.
+
 use mlr_fft::fft::{dft_naive, fft, ifft, Direction};
 use mlr_lamino::{ChunkGrid, DirectExecutor, LaminoGeometry, LaminoOperator};
 use mlr_math::norms::{cosine_similarity_c, l2_norm_c, max_abs_diff_c, scale_aware_similarity_c};
+use mlr_math::rng::seeded;
 use mlr_math::{Array3, Complex64};
-use proptest::prelude::*;
+use rand::Rng;
 
-fn complex_vec(len: usize) -> impl Strategy<Value = Vec<Complex64>> {
-    prop::collection::vec((-1.0f64..1.0, -1.0f64..1.0), len..=len)
-        .prop_map(|v| v.into_iter().map(|(re, im)| Complex64::new(re, im)).collect())
+const CASES: u64 = 32;
+
+/// A random complex vector with components in `[-1, 1)`, the distribution
+/// the original proptest strategy used.
+fn complex_vec(len: usize, seed: u64) -> Vec<Complex64> {
+    let mut rng = seeded(seed);
+    (0..len)
+        .map(|_| Complex64::new(2.0 * rng.gen::<f64>() - 1.0, 2.0 * rng.gen::<f64>() - 1.0))
+        .collect()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(32))]
-
-    #[test]
-    fn fft_roundtrip_recovers_signal(signal in complex_vec(64)) {
+#[test]
+fn fft_roundtrip_recovers_signal() {
+    for case in 0..CASES {
+        let signal = complex_vec(64, 100 + case);
         let back = ifft(&fft(&signal));
-        prop_assert!(max_abs_diff_c(&back, &signal) < 1e-9);
+        assert!(
+            max_abs_diff_c(&back, &signal) < 1e-9,
+            "roundtrip error too large (case {case})"
+        );
     }
+}
 
-    #[test]
-    fn fft_matches_naive_dft(signal in complex_vec(24)) {
+#[test]
+fn fft_matches_naive_dft() {
+    for case in 0..CASES {
+        let signal = complex_vec(24, 200 + case);
         let fast = fft(&signal);
         let slow = dft_naive(&signal, Direction::Forward);
-        prop_assert!(max_abs_diff_c(&fast, &slow) < 1e-8);
+        assert!(
+            max_abs_diff_c(&fast, &slow) < 1e-8,
+            "fft disagrees with naive DFT (case {case})"
+        );
     }
+}
 
-    #[test]
-    fn fft_preserves_energy(signal in complex_vec(32)) {
+#[test]
+fn fft_preserves_energy() {
+    for case in 0..CASES {
+        let signal = complex_vec(32, 300 + case);
         let spectrum = fft(&signal);
         let time_energy: f64 = signal.iter().map(|z| z.norm_sqr()).sum();
         let freq_energy: f64 = spectrum.iter().map(|z| z.norm_sqr()).sum::<f64>() / 32.0;
-        prop_assert!((time_energy - freq_energy).abs() <= 1e-9 * time_energy.max(1.0));
+        assert!(
+            (time_energy - freq_energy).abs() <= 1e-9 * time_energy.max(1.0),
+            "Parseval violated (case {case}): {time_energy} vs {freq_energy}"
+        );
     }
+}
 
-    #[test]
-    fn similarity_measures_are_bounded(a in complex_vec(48), b in complex_vec(48)) {
+#[test]
+fn similarity_measures_are_bounded() {
+    for case in 0..CASES {
+        let a = complex_vec(48, 400 + case);
+        let b = complex_vec(48, 500 + case);
         let cs = cosine_similarity_c(&a, &b);
-        prop_assert!((-1.0..=1.0).contains(&cs));
+        assert!(
+            (-1.0..=1.0).contains(&cs),
+            "cosine out of range (case {case}): {cs}"
+        );
         let sas = scale_aware_similarity_c(&a, &b);
-        prop_assert!(sas <= cs.abs() + 1e-12);
-        prop_assert!(scale_aware_similarity_c(&a, &a) > 0.999 || l2_norm_c(&a) == 0.0);
+        assert!(
+            sas <= cs.abs() + 1e-12,
+            "scale-aware exceeds cosine (case {case})"
+        );
+        assert!(
+            scale_aware_similarity_c(&a, &a) > 0.999 || l2_norm_c(&a) == 0.0,
+            "self-similarity must be ~1 (case {case})"
+        );
     }
+}
 
-    #[test]
-    fn chunk_grid_partitions_axis(extent in 1usize..200, chunk in 1usize..40) {
+#[test]
+fn chunk_grid_partitions_axis() {
+    let mut rng = seeded(600);
+    for case in 0..CASES {
+        let extent = rng.gen_range(1usize..200);
+        let chunk = rng.gen_range(1usize..40);
         let grid = ChunkGrid::new(extent, chunk);
         let mut covered = vec![0u32; extent];
         for loc in grid.iter() {
-            for i in loc.start..loc.start + loc.len {
-                covered[i] += 1;
+            for c in covered.iter_mut().skip(loc.start).take(loc.len) {
+                *c += 1;
             }
         }
-        prop_assert!(covered.iter().all(|&c| c == 1));
+        assert!(
+            covered.iter().all(|&c| c == 1),
+            "grid does not partition extent {extent} / chunk {chunk} (case {case})"
+        );
     }
 }
 
 #[test]
 fn laminography_operator_adjointness_holds_for_random_volumes() {
-    // A single heavier check outside proptest: <L u, d> == <u, L* d>.
+    // A single heavier check: <L u, d> == <u, L* d>.
     let geometry = LaminoGeometry::cube(8, 5, 28.0);
     let op = LaminoOperator::new(geometry, 4);
     let mut rng_state = 0x1234_5678u64;
@@ -74,5 +123,8 @@ fn laminography_operator_adjointness_holds_for_random_volumes() {
     let ltd = op.adjoint_with(&d, &DirectExecutor);
     let lhs = lu.dot(&d);
     let rhs = u.dot(&ltd);
-    assert!((lhs - rhs).abs() < 1e-7 * lhs.abs().max(1.0), "{lhs} vs {rhs}");
+    assert!(
+        (lhs - rhs).abs() < 1e-7 * lhs.abs().max(1.0),
+        "{lhs} vs {rhs}"
+    );
 }
