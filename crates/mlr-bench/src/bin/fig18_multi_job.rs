@@ -11,7 +11,7 @@
 //! wall time. The machine-readable record lands in `BENCH_runtime.json`
 //! (and, like every harness, under `target/experiments/`).
 
-use mlr_bench::{compare_row, header, pct, scale_from_args, write_record};
+use mlr_bench::{compare_row, header, pct, scale_from_args, smoke_from_args, write_record};
 use mlr_core::{MlrConfig, MlrPipeline, Scale};
 use mlr_runtime::{JobSummary, ReconJob, Runtime, RuntimeConfig};
 use serde::Serialize;
@@ -28,6 +28,7 @@ struct SideRecord {
 
 #[derive(Serialize)]
 struct Record {
+    smoke: bool,
     jobs: usize,
     workers: usize,
     shards: usize,
@@ -48,8 +49,15 @@ fn main() {
         "multi-job runtime: shared sharded memo DB vs isolated per-job DBs",
     );
     let scale = scale_from_args();
-    let n = if scale == Scale::Tiny { 12 } else { 16 };
-    let iterations = if scale == Scale::Tiny { 5 } else { 8 };
+    // `--smoke` is the CI bench-smoke mode: smallest problem that still
+    // exercises cross-job reuse, so the regression gate has a signal.
+    let smoke = smoke_from_args();
+    let n = if smoke || scale == Scale::Tiny {
+        12
+    } else {
+        16
+    };
+    let iterations = if smoke || scale == Scale::Tiny { 5 } else { 8 };
     let jobs = 4usize;
     let workers = 2usize;
     let shards = 16usize;
@@ -182,6 +190,7 @@ fn main() {
     );
 
     let record = Record {
+        smoke,
         jobs,
         workers,
         shards,

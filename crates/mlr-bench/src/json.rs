@@ -1,0 +1,350 @@
+//! A minimal JSON reader for the bench-regression gate.
+//!
+//! The vendored `serde_json` shim only *serialises* (that is all the
+//! harnesses need to produce their `BENCH_*.json` records); the CI gate in
+//! `check_bench` must also read those records and the committed baseline
+//! back. This module is a small recursive-descent parser over the JSON the
+//! workspace itself emits — objects, arrays, strings (with the standard
+//! escapes), numbers, booleans and `null` — plus dotted-path lookup.
+
+use std::fmt;
+
+/// A parsed JSON value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum JsonValue {
+    /// `null`
+    Null,
+    /// `true` / `false`
+    Bool(bool),
+    /// Any JSON number (parsed as `f64`, which covers the records we emit).
+    Number(f64),
+    /// A string.
+    String(String),
+    /// An array.
+    Array(Vec<JsonValue>),
+    /// An object; insertion order preserved (lookup is linear).
+    Object(Vec<(String, JsonValue)>),
+}
+
+/// A parse error with byte offset context.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JsonError {
+    /// What went wrong.
+    pub message: String,
+    /// Byte offset in the input.
+    pub offset: usize,
+}
+
+impl fmt::Display for JsonError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} at byte {}", self.message, self.offset)
+    }
+}
+
+impl std::error::Error for JsonError {}
+
+impl JsonValue {
+    /// Parses a complete JSON document.
+    pub fn parse(input: &str) -> Result<JsonValue, JsonError> {
+        let bytes = input.as_bytes();
+        let mut pos = 0usize;
+        let value = parse_value(bytes, &mut pos)?;
+        skip_ws(bytes, &mut pos);
+        if pos != bytes.len() {
+            return Err(err("trailing characters after document", pos));
+        }
+        Ok(value)
+    }
+
+    /// Looks up a dot-separated path (`"shared.cross_job_hit_rate"`,
+    /// `"cells.0.hit_rate"` — numeric segments index arrays).
+    pub fn get(&self, path: &str) -> Option<&JsonValue> {
+        let mut current = self;
+        for segment in path.split('.') {
+            current = match current {
+                JsonValue::Object(fields) => {
+                    fields.iter().find(|(k, _)| k == segment).map(|(_, v)| v)?
+                }
+                JsonValue::Array(items) => items.get(segment.parse::<usize>().ok()?)?,
+                _ => return None,
+            };
+        }
+        Some(current)
+    }
+
+    /// The value as a number, if it is one.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            JsonValue::Number(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// The value as a bool, if it is one.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            JsonValue::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// The value as a string slice, if it is one.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            JsonValue::String(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The value as an array slice, if it is one.
+    pub fn as_array(&self) -> Option<&[JsonValue]> {
+        match self {
+            JsonValue::Array(items) => Some(items),
+            _ => None,
+        }
+    }
+}
+
+fn err(message: &str, offset: usize) -> JsonError {
+    JsonError {
+        message: message.to_string(),
+        offset,
+    }
+}
+
+fn skip_ws(bytes: &[u8], pos: &mut usize) {
+    while *pos < bytes.len() && matches!(bytes[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+        *pos += 1;
+    }
+}
+
+fn parse_value(bytes: &[u8], pos: &mut usize) -> Result<JsonValue, JsonError> {
+    skip_ws(bytes, pos);
+    match bytes.get(*pos) {
+        None => Err(err("unexpected end of input", *pos)),
+        Some(b'{') => parse_object(bytes, pos),
+        Some(b'[') => parse_array(bytes, pos),
+        Some(b'"') => Ok(JsonValue::String(parse_string(bytes, pos)?)),
+        Some(b't') => parse_keyword(bytes, pos, "true", JsonValue::Bool(true)),
+        Some(b'f') => parse_keyword(bytes, pos, "false", JsonValue::Bool(false)),
+        Some(b'n') => parse_keyword(bytes, pos, "null", JsonValue::Null),
+        Some(_) => parse_number(bytes, pos),
+    }
+}
+
+fn parse_keyword(
+    bytes: &[u8],
+    pos: &mut usize,
+    word: &str,
+    value: JsonValue,
+) -> Result<JsonValue, JsonError> {
+    if bytes[*pos..].starts_with(word.as_bytes()) {
+        *pos += word.len();
+        Ok(value)
+    } else {
+        Err(err("invalid literal", *pos))
+    }
+}
+
+fn parse_number(bytes: &[u8], pos: &mut usize) -> Result<JsonValue, JsonError> {
+    let start = *pos;
+    while *pos < bytes.len()
+        && matches!(bytes[*pos], b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E')
+    {
+        *pos += 1;
+    }
+    let text = std::str::from_utf8(&bytes[start..*pos]).map_err(|_| err("bad utf8", start))?;
+    text.parse::<f64>()
+        .map(JsonValue::Number)
+        .map_err(|_| err("invalid number", start))
+}
+
+fn parse_string(bytes: &[u8], pos: &mut usize) -> Result<String, JsonError> {
+    debug_assert_eq!(bytes[*pos], b'"');
+    *pos += 1;
+    let mut out = String::new();
+    loop {
+        match bytes.get(*pos) {
+            None => return Err(err("unterminated string", *pos)),
+            Some(b'"') => {
+                *pos += 1;
+                return Ok(out);
+            }
+            Some(b'\\') => {
+                *pos += 1;
+                match bytes.get(*pos) {
+                    Some(b'"') => out.push('"'),
+                    Some(b'\\') => out.push('\\'),
+                    Some(b'/') => out.push('/'),
+                    Some(b'n') => out.push('\n'),
+                    Some(b't') => out.push('\t'),
+                    Some(b'r') => out.push('\r'),
+                    Some(b'b') => out.push('\u{8}'),
+                    Some(b'f') => out.push('\u{c}'),
+                    Some(b'u') => {
+                        let hex = bytes
+                            .get(*pos + 1..*pos + 5)
+                            .ok_or_else(|| err("truncated \\u escape", *pos))?;
+                        let code = u32::from_str_radix(
+                            std::str::from_utf8(hex).map_err(|_| err("bad utf8", *pos))?,
+                            16,
+                        )
+                        .map_err(|_| err("invalid \\u escape", *pos))?;
+                        out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                        *pos += 4;
+                    }
+                    _ => return Err(err("invalid escape", *pos)),
+                }
+                *pos += 1;
+            }
+            Some(&b) if b < 0x80 => {
+                out.push(b as char);
+                *pos += 1;
+            }
+            Some(_) => {
+                // Multi-byte UTF-8: copy the whole character.
+                let s = std::str::from_utf8(&bytes[*pos..]).map_err(|_| err("bad utf8", *pos))?;
+                let ch = s.chars().next().ok_or_else(|| err("bad utf8", *pos))?;
+                out.push(ch);
+                *pos += ch.len_utf8();
+            }
+        }
+    }
+}
+
+fn parse_array(bytes: &[u8], pos: &mut usize) -> Result<JsonValue, JsonError> {
+    debug_assert_eq!(bytes[*pos], b'[');
+    *pos += 1;
+    let mut items = Vec::new();
+    skip_ws(bytes, pos);
+    if bytes.get(*pos) == Some(&b']') {
+        *pos += 1;
+        return Ok(JsonValue::Array(items));
+    }
+    loop {
+        items.push(parse_value(bytes, pos)?);
+        skip_ws(bytes, pos);
+        match bytes.get(*pos) {
+            Some(b',') => {
+                *pos += 1;
+            }
+            Some(b']') => {
+                *pos += 1;
+                return Ok(JsonValue::Array(items));
+            }
+            _ => return Err(err("expected ',' or ']'", *pos)),
+        }
+    }
+}
+
+fn parse_object(bytes: &[u8], pos: &mut usize) -> Result<JsonValue, JsonError> {
+    debug_assert_eq!(bytes[*pos], b'{');
+    *pos += 1;
+    let mut fields = Vec::new();
+    skip_ws(bytes, pos);
+    if bytes.get(*pos) == Some(&b'}') {
+        *pos += 1;
+        return Ok(JsonValue::Object(fields));
+    }
+    loop {
+        skip_ws(bytes, pos);
+        if bytes.get(*pos) != Some(&b'"') {
+            return Err(err("expected object key", *pos));
+        }
+        let key = parse_string(bytes, pos)?;
+        skip_ws(bytes, pos);
+        if bytes.get(*pos) != Some(&b':') {
+            return Err(err("expected ':'", *pos));
+        }
+        *pos += 1;
+        let value = parse_value(bytes, pos)?;
+        fields.push((key, value));
+        skip_ws(bytes, pos);
+        match bytes.get(*pos) {
+            Some(b',') => {
+                *pos += 1;
+            }
+            Some(b'}') => {
+                *pos += 1;
+                return Ok(JsonValue::Object(fields));
+            }
+            _ => return Err(err("expected ',' or '}'", *pos)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_records_the_workspace_emits() {
+        let doc = r#"{
+            "jobs": 4,
+            "shared": { "hit_rate": 0.625, "cross_job_hit_rate": 0.5 },
+            "cells": [ { "policy": "lru", "bounded": true },
+                       { "policy": "cost-aware", "bounded": true } ],
+            "note": "x A\n",
+            "none": null,
+            "neg": -1.5e-3
+        }"#;
+        let v = JsonValue::parse(doc).unwrap();
+        assert_eq!(v.get("jobs").and_then(JsonValue::as_f64), Some(4.0));
+        assert_eq!(
+            v.get("shared.cross_job_hit_rate")
+                .and_then(JsonValue::as_f64),
+            Some(0.5)
+        );
+        assert_eq!(
+            v.get("cells.1.policy").and_then(JsonValue::as_str),
+            Some("cost-aware")
+        );
+        assert_eq!(
+            v.get("cells.0.bounded").and_then(JsonValue::as_bool),
+            Some(true)
+        );
+        assert_eq!(v.get("note").and_then(JsonValue::as_str), Some("x A\n"));
+        assert_eq!(v.get("none"), Some(&JsonValue::Null));
+        assert_eq!(v.get("neg").and_then(JsonValue::as_f64), Some(-1.5e-3));
+        assert_eq!(
+            v.get("cells")
+                .and_then(JsonValue::as_array)
+                .map(|a| a.len()),
+            Some(2)
+        );
+        assert!(v.get("missing").is_none());
+        assert!(v.get("cells.7").is_none());
+    }
+
+    #[test]
+    fn roundtrips_with_the_serde_shim() {
+        // Whatever the serialisation shim emits, this parser must read.
+        #[derive(serde::Serialize)]
+        struct Rec {
+            name: String,
+            rate: f64,
+            ok: bool,
+            items: Vec<u64>,
+        }
+        let text = serde_json::to_string_pretty(&Rec {
+            name: "fig19".into(),
+            rate: 0.512,
+            ok: true,
+            items: vec![1, 2, 3],
+        })
+        .unwrap();
+        let v = JsonValue::parse(&text).unwrap();
+        assert_eq!(v.get("name").and_then(JsonValue::as_str), Some("fig19"));
+        assert_eq!(v.get("rate").and_then(JsonValue::as_f64), Some(0.512));
+        assert_eq!(v.get("items.2").and_then(JsonValue::as_f64), Some(3.0));
+    }
+
+    #[test]
+    fn rejects_malformed_documents() {
+        assert!(JsonValue::parse("{").is_err());
+        assert!(JsonValue::parse("[1, 2,]").is_err());
+        assert!(JsonValue::parse("{}extra").is_err());
+        assert!(JsonValue::parse("\"unterminated").is_err());
+        assert!(JsonValue::parse("nul").is_err());
+    }
+}

@@ -18,14 +18,21 @@
 //! | `fig16_latency_cdf` | Figure 16 — memoization-query latency CDF under contention |
 //! | `fig17_convergence` | Figure 17 — convergence loss with and without memoization |
 //! | `table1_accuracy` | Table 1 — reconstruction accuracy vs τ |
+//! | `fig18_multi_job` | beyond the paper — multi-job runtime, shared vs isolated stores |
+//! | `fig19_eviction` | beyond the paper — capacity budget vs cross-job hit rate per eviction policy |
+//! | `check_bench` | CI regression gate over the `BENCH_*.json` records (see `ci/bench_baseline.json`) |
 //!
 //! Run any of them with `cargo run --release -p mlr-bench --bin <name> [-- --scale tiny|small|paper]`.
-//! Each prints a human-readable table with the paper's reported values next
-//! to the reproduced ones and writes a JSON record under `target/experiments/`.
+//! `fig18_multi_job` and `fig19_eviction` additionally accept `--smoke`, the
+//! reduced-size mode CI's bench-smoke job runs. Each prints a human-readable
+//! table with the paper's reported values next to the reproduced ones and
+//! writes a JSON record under `target/experiments/`.
 
 use mlr_core::Scale;
 use serde::Serialize;
 use std::path::PathBuf;
+
+pub mod json;
 
 /// Parses the `--scale` argument from the process command line.
 pub fn scale_from_args() -> Scale {
@@ -36,6 +43,24 @@ pub fn scale_from_args() -> Scale {
         }
     }
     Scale::Small
+}
+
+/// Whether `--smoke` was passed: the reduced-size mode CI's bench-smoke job
+/// runs, small enough for a pull-request gate but still producing the same
+/// `BENCH_*.json` records the full runs do.
+pub fn smoke_from_args() -> bool {
+    std::env::args().any(|a| a == "--smoke")
+}
+
+/// The value of `--arg <value>` from the process command line, if present.
+pub fn arg_value(name: &str) -> Option<String> {
+    let args: Vec<String> = std::env::args().collect();
+    for i in 0..args.len() {
+        if args[i] == name && i + 1 < args.len() {
+            return Some(args[i + 1].clone());
+        }
+    }
+    None
 }
 
 /// Prints a section header for a harness.
@@ -95,5 +120,11 @@ mod tests {
     #[test]
     fn default_scale_is_small() {
         assert_eq!(scale_from_args(), Scale::Small);
+    }
+
+    #[test]
+    fn smoke_defaults_off() {
+        assert!(!smoke_from_args());
+        assert_eq!(arg_value("--no-such-arg"), None);
     }
 }

@@ -1,7 +1,7 @@
 //! Pipeline configuration.
 
 use mlr_lamino::{PhantomKind, ProjectionNoise};
-use mlr_memo::{CacheKind, MemoConfig};
+use mlr_memo::{CacheKind, CapacityBudget, EvictionPolicyKind, MemoConfig};
 use mlr_solver::{AdmmConfig, LspVariant};
 use serde::{Deserialize, Serialize};
 
@@ -143,6 +143,20 @@ impl MlrConfig {
         self.memo.enabled = enabled;
         self
     }
+
+    /// Caps the memoization store with `budget`, enforced by `eviction`.
+    /// The budget flows into the private database of `run_memoized`, into
+    /// stores built by `MlrPipeline::build_shared_store`, and into runtimes
+    /// configured with `RuntimeConfig::matching`.
+    pub fn with_memo_budget(
+        mut self,
+        budget: CapacityBudget,
+        eviction: EvictionPolicyKind,
+    ) -> Self {
+        self.memo.budget = budget;
+        self.memo.eviction = eviction;
+        self
+    }
 }
 
 #[cfg(test)]
@@ -169,5 +183,14 @@ mod tests {
         assert!(!c.memo.enabled);
         let ic = ProblemSpec::ic(32, 16);
         assert_eq!(ic.phantom, PhantomKind::Ic);
+    }
+
+    #[test]
+    fn memo_budget_builder_flows_into_memo_config() {
+        let c = MlrConfig::quick(16, 8)
+            .with_memo_budget(CapacityBudget::bytes(1 << 20), EvictionPolicyKind::Lru);
+        assert_eq!(c.memo.budget.max_bytes, Some(1 << 20));
+        assert_eq!(c.memo.eviction, EvictionPolicyKind::Lru);
+        assert!(c.memo.budget.is_bounded());
     }
 }

@@ -3,7 +3,10 @@
 use crate::config::MlrConfig;
 use crate::report::{MlrReport, PaperScaleProjection};
 use mlr_lamino::{LaminoDataset, LaminoGeometry, LaminoOperator};
-use mlr_memo::{EncoderConfig, JobId, MemoDbConfig, MemoStore, MemoizedExecutor, ShardedMemoDb};
+use mlr_memo::{
+    CapacityBudget, EncoderConfig, EvictionPolicyKind, JobId, MemoDbConfig, MemoStore,
+    MemoizedExecutor, ShardedMemoDb,
+};
 use mlr_sim::workload::{AdmmWorkload, ProblemSize};
 use mlr_sim::CostModel;
 use mlr_solver::{AdmmResult, AdmmSolver};
@@ -62,11 +65,26 @@ impl MlrPipeline {
     }
 
     /// Builds a sharded memo store compatible with this pipeline (same τ,
-    /// same encoder configuration and seed), suitable for sharing across
-    /// several pipelines/jobs.
+    /// same encoder configuration and seed, and the capacity budget /
+    /// eviction policy carried in `config.memo`), suitable for sharing
+    /// across several pipelines/jobs.
     pub fn build_shared_store(&self, shards: usize) -> Arc<ShardedMemoDb> {
+        self.build_shared_store_with(shards, self.config.memo.budget, self.config.memo.eviction)
+    }
+
+    /// Builds a sharded memo store with an explicit capacity budget and
+    /// eviction policy, overriding whatever the pipeline configuration
+    /// carries — the entry point the budget-sweep harnesses use.
+    pub fn build_shared_store_with(
+        &self,
+        shards: usize,
+        budget: CapacityBudget,
+        eviction: EvictionPolicyKind,
+    ) -> Arc<ShardedMemoDb> {
         let db_config = MemoDbConfig {
             tau: self.config.memo.tau,
+            budget,
+            eviction,
             ..Default::default()
         };
         Arc::new(ShardedMemoDb::with_shards(

@@ -117,6 +117,21 @@ impl IvfIndex {
         }
     }
 
+    /// Removes the key stored under `id`, if present; returns whether a key
+    /// was removed. List order is preserved so search tie-breaking (first
+    /// encountered wins at equal distance) stays deterministic across
+    /// removals — capacity eviction depends on that.
+    pub fn remove(&mut self, id: u64) -> bool {
+        for list in &mut self.lists {
+            if let Some(pos) = list.iter().position(|(stored, _)| *stored == id) {
+                list.remove(pos);
+                self.len -= 1;
+                return true;
+            }
+        }
+        false
+    }
+
     /// Finds the nearest stored key to `query`, if any.
     pub fn search(&self, query: &[f64]) -> Option<SearchHit> {
         assert_eq!(query.len(), self.dim, "query dimension mismatch");
@@ -368,6 +383,24 @@ mod tests {
         }
         // After training, far fewer comparisons than the full database.
         assert!(idx.comparisons_per_query() < idx.len());
+    }
+
+    #[test]
+    fn remove_deletes_exactly_one_key() {
+        let mut idx = IvfIndex::new(4, IvfConfig::default(), 20);
+        for (i, key) in random_keys(120, 4, 21).into_iter().enumerate() {
+            idx.add(i as u64, key);
+        }
+        assert_eq!(idx.len(), 120);
+        // Removing a present id shrinks the index and makes it unfindable.
+        let probe = random_keys(120, 4, 21)[33].clone();
+        assert_eq!(idx.search_exact(&probe).unwrap().id, 33);
+        assert!(idx.remove(33));
+        assert_eq!(idx.len(), 119);
+        assert_ne!(idx.search_exact(&probe).unwrap().id, 33);
+        // Removing an absent id is a no-op.
+        assert!(!idx.remove(33));
+        assert_eq!(idx.len(), 119);
     }
 
     #[test]

@@ -12,9 +12,22 @@
 //! raw input chunks (stored alongside each entry), which makes the
 //! accuracy-vs-τ experiments faithful to what τ means in the paper; the
 //! encoded keys are what the ANN index searches.
+//!
+//! Since the capacity-governance layer landed, the database is *bounded*:
+//! a [`CapacityBudget`] in the configuration caps resident bytes and/or
+//! entry count, enforced after every insert by the configured
+//! [`EvictionPolicy`]. All bookkeeping runs on the logical
+//! [`StoreClock`] (op ticks, job-iteration epochs, stable entry ids), so
+//! eviction is deterministic given the same schedule and identical whether
+//! the scopes live here or are striped over a
+//! [`ShardedMemoDb`](crate::ShardedMemoDb).
 
 use crate::ann::{IvfConfig, IvfIndex};
 use crate::encoder::{CnnEncoder, EncoderConfig};
+use crate::eviction::{
+    recompute_cost_estimate, CapacityBudget, EntryMeta, EvictionPolicy, EvictionPolicyKind,
+    StoreClock,
+};
 use crate::kvstore::ValueStore;
 use crate::store::{Provenance, StoreStats};
 use mlr_lamino::FftOpKind;
@@ -40,6 +53,11 @@ pub struct MemoDbConfig {
     pub gate_on_raw: bool,
     /// ANN index parameters.
     pub ivf: IvfConfig,
+    /// Capacity caps (bytes/entries, global and per stripe). Unbounded by
+    /// default — the pre-governance behaviour.
+    pub budget: CapacityBudget,
+    /// Which built-in eviction policy enforces the budget.
+    pub eviction: EvictionPolicyKind,
 }
 
 impl Default for MemoDbConfig {
@@ -49,6 +67,8 @@ impl Default for MemoDbConfig {
             per_location: true,
             gate_on_raw: true,
             ivf: IvfConfig::default(),
+            budget: CapacityBudget::unbounded(),
+            eviction: EvictionPolicyKind::default(),
         }
     }
 }
@@ -84,19 +104,55 @@ struct Scope {
     index: IvfIndex,
 }
 
+/// Everything stored for one entry besides its value (which lives in the
+/// [`ValueStore`]): eviction metadata, the scope it was indexed under, and
+/// the τ-gate material (raw input or encoded key).
+struct EntryRecord {
+    meta: EntryMeta,
+    scope: (FftOpKind, usize),
+    raw_input: Option<Arc<Vec<Complex64>>>,
+    key: Option<Vec<f64>>,
+}
+
+impl EntryRecord {
+    /// Bytes held outside the value store (raw input + retained key).
+    fn aux_bytes(&self) -> u64 {
+        let raw = self.raw_input.as_ref().map_or(0, |r| r.len() * 16) as u64;
+        let key = self.key.as_ref().map_or(0, |k| k.len() * 8) as u64;
+        raw + key
+    }
+}
+
+/// Which caps this database instance enforces after an insert.
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum BudgetRole {
+    /// A standalone database (or the store behind `LocalMemoStore`): it *is*
+    /// the whole store, so it enforces the global caps (and any stripe caps,
+    /// treating itself as its only stripe).
+    Standalone,
+    /// One stripe of a `ShardedMemoDb`: enforces only the per-stripe caps;
+    /// the owning store coordinates global enforcement across stripes.
+    Stripe,
+}
+
 /// The memoization database.
 pub struct MemoDatabase {
     config: MemoDbConfig,
     encoder: CnnEncoder,
     scopes: HashMap<(FftOpKind, usize), Scope>,
     values: ValueStore,
-    /// Raw inputs kept for the τ gate (entry id → input chunk).
-    raw_inputs: HashMap<u64, Arc<Vec<Complex64>>>,
-    /// Encoded keys kept for the τ gate when raw gating is disabled.
-    keys: HashMap<u64, Vec<f64>>,
-    /// Job + outer ADMM iteration in which each entry was inserted.
-    origins: HashMap<u64, Provenance>,
-    next_id: u64,
+    entries: HashMap<u64, EntryRecord>,
+    clock: Arc<StoreClock>,
+    policy: Arc<dyn EvictionPolicy>,
+    role: BudgetRole,
+    /// Bytes resident outside the value store (raw inputs + keys).
+    aux_bytes: u64,
+    /// Bytes/entries freed since the owner last drained (lets a sharded
+    /// owner keep its published resident counter exact without re-summing).
+    freed_bytes_unpublished: u64,
+    freed_entries_unpublished: u64,
+    /// High-water mark of `resident_bytes()` observed *after* enforcement.
+    peak_resident: u64,
     /// Total number of index queries served (for reports).
     queries: u64,
     /// Queries that returned a value.
@@ -105,6 +161,14 @@ pub struct MemoDatabase {
     cross_job_hits: u64,
     /// Insertions performed.
     inserts: u64,
+    /// Entries evicted to satisfy the budget.
+    evictions: u64,
+    /// Entries reclaimed because their TTL expired.
+    expirations: u64,
+    /// Queries issued while the store was under capacity pressure.
+    pressure_queries: u64,
+    /// Hits served while the store was under capacity pressure.
+    pressure_hits: u64,
 }
 
 /// Stable 64-bit hash of an index scope, used to seed the scope's ANN index.
@@ -132,19 +196,79 @@ impl MemoDatabase {
     /// Creates an empty database around an existing (possibly pre-trained)
     /// encoder.
     pub fn with_encoder(config: MemoDbConfig, encoder: CnnEncoder) -> Self {
+        Self::build(
+            config,
+            encoder,
+            StoreClock::new(),
+            config.eviction.build(),
+            BudgetRole::Standalone,
+        )
+    }
+
+    /// Creates an empty database governed by a *custom* eviction policy
+    /// (the configuration's [`EvictionPolicyKind`] is ignored for victim
+    /// selection).
+    pub fn with_policy(
+        config: MemoDbConfig,
+        encoder_config: EncoderConfig,
+        seed: u64,
+        policy: Arc<dyn EvictionPolicy>,
+    ) -> Self {
+        Self::build(
+            config,
+            CnnEncoder::new(encoder_config, seed),
+            StoreClock::new(),
+            policy,
+            BudgetRole::Standalone,
+        )
+    }
+
+    /// Creates one stripe of a sharded store: shares the owner's logical
+    /// clock and policy, and leaves global budget enforcement to the owner.
+    pub(crate) fn stripe(
+        config: MemoDbConfig,
+        encoder_config: EncoderConfig,
+        seed: u64,
+        clock: Arc<StoreClock>,
+        policy: Arc<dyn EvictionPolicy>,
+    ) -> Self {
+        Self::build(
+            config,
+            CnnEncoder::new(encoder_config, seed),
+            clock,
+            policy,
+            BudgetRole::Stripe,
+        )
+    }
+
+    fn build(
+        config: MemoDbConfig,
+        encoder: CnnEncoder,
+        clock: Arc<StoreClock>,
+        policy: Arc<dyn EvictionPolicy>,
+        role: BudgetRole,
+    ) -> Self {
         Self {
             config,
             encoder,
             scopes: HashMap::new(),
             values: ValueStore::new(),
-            raw_inputs: HashMap::new(),
-            keys: HashMap::new(),
-            origins: HashMap::new(),
-            next_id: 0,
+            entries: HashMap::new(),
+            clock,
+            policy,
+            role,
+            aux_bytes: 0,
+            freed_bytes_unpublished: 0,
+            freed_entries_unpublished: 0,
+            peak_resident: 0,
             queries: 0,
             hits: 0,
             cross_job_hits: 0,
             inserts: 0,
+            evictions: 0,
+            expirations: 0,
+            pressure_queries: 0,
+            pressure_hits: 0,
         }
     }
 
@@ -163,9 +287,19 @@ impl MemoDatabase {
         &self.encoder
     }
 
+    /// The logical clock driving ticks, epochs and entry ids.
+    pub fn clock(&self) -> &Arc<StoreClock> {
+        &self.clock
+    }
+
+    /// Advances the job-iteration epoch; returns the new epoch.
+    pub fn advance_epoch(&self) -> u64 {
+        self.clock.advance_epoch()
+    }
+
     /// Number of stored entries.
     pub fn len(&self) -> usize {
-        self.values.len()
+        self.entries.len()
     }
 
     /// Returns `true` when the database holds no entries.
@@ -178,9 +312,31 @@ impl MemoDatabase {
         self.values.bytes()
     }
 
+    /// Total resident bytes: values plus retained raw inputs and keys —
+    /// the quantity the [`CapacityBudget`] caps.
+    pub fn resident_bytes(&self) -> u64 {
+        self.values.bytes() + self.aux_bytes
+    }
+
+    /// High-water mark of [`Self::resident_bytes`] observed after budget
+    /// enforcement (i.e. at the points where the bound must hold).
+    pub fn peak_resident_bytes(&self) -> u64 {
+        self.peak_resident.max(self.resident_bytes())
+    }
+
     /// Number of queries served.
     pub fn queries(&self) -> u64 {
         self.queries
+    }
+
+    /// Entries evicted so far to satisfy the budget.
+    pub fn evictions(&self) -> u64 {
+        self.evictions
+    }
+
+    /// Entries reclaimed so far because their TTL expired.
+    pub fn expirations(&self) -> u64 {
+        self.expirations
     }
 
     /// Aggregate counters in the shape shared with the other memo stores.
@@ -192,6 +348,12 @@ impl MemoDatabase {
             cross_job_hits: self.cross_job_hits,
             inserts: self.inserts,
             value_bytes: self.value_bytes(),
+            evictions: self.evictions,
+            expirations: self.expirations,
+            resident_bytes: self.resident_bytes(),
+            peak_resident_bytes: self.peak_resident_bytes(),
+            pressure_queries: self.pressure_queries,
+            pressure_hits: self.pressure_hits,
         }
     }
 
@@ -240,6 +402,17 @@ impl MemoDatabase {
         origin: Provenance,
     ) -> QueryOutcome {
         self.queries += 1;
+        let tick = self.clock.next_tick();
+        let now_epoch = self.clock.epoch();
+        let under_pressure = self.role == BudgetRole::Standalone
+            && self
+                .config
+                .budget
+                .pressure(self.resident_bytes(), self.len() as u64)
+                >= PRESSURE_THRESHOLD;
+        if under_pressure {
+            self.pressure_queries += 1;
+        }
         let scope_key = self.scope_key(op, loc);
         let Some(scope) = self.scopes.get(&scope_key) else {
             return QueryOutcome::Miss { key };
@@ -247,25 +420,29 @@ impl MemoDatabase {
         let Some(hit) = scope.index.search(&key) else {
             return QueryOutcome::Miss { key };
         };
+        let Some(record) = self.entries.get(&hit.id) else {
+            return QueryOutcome::Miss { key };
+        };
+        // TTL: an expired entry is unreachable; reclaim it on the way out.
+        if self.policy.is_expired(&record.meta, now_epoch) {
+            self.remove_entry(hit.id, RemovalKind::Expired);
+            return QueryOutcome::Miss { key };
+        }
         // Within one job, only entries from *earlier* ADMM iterations may be
         // reused; a value produced within the current LSP solve would feed
         // the CG its own output back and stall the update. Entries from
         // other jobs are always eligible.
-        let stored_origin = self
-            .origins
-            .get(&hit.id)
-            .copied()
-            .unwrap_or(Provenance::solo(0));
+        let stored_origin = record.meta.origin;
         if !stored_origin.may_serve(&origin) {
             return QueryOutcome::Miss { key };
         }
         let similarity = if self.config.gate_on_raw {
-            match self.raw_inputs.get(&hit.id) {
+            match &record.raw_input {
                 Some(stored) => scale_aware_similarity_c(input, stored),
                 None => return QueryOutcome::Miss { key },
             }
         } else {
-            match self.keys.get(&hit.id) {
+            match &record.key {
                 Some(stored) => scale_aware_similarity(&key, stored),
                 None => return QueryOutcome::Miss { key },
             }
@@ -273,8 +450,22 @@ impl MemoDatabase {
         if similarity > self.config.tau {
             if let Some(value) = self.values.get(hit.id) {
                 self.hits += 1;
+                if under_pressure {
+                    self.pressure_hits += 1;
+                }
                 if stored_origin.job != origin.job {
                     self.cross_job_hits += 1;
+                }
+                // Refresh recency/reuse metadata for LRU and cost-aware
+                // ranking (logical tick — never wall-clock).
+                if let Some(record) = self.entries.get_mut(&hit.id) {
+                    record.meta.last_access_tick = tick;
+                    record.meta.last_access_epoch = now_epoch;
+                    record.meta.hits += 1;
+                    if stored_origin.job != origin.job {
+                        record.meta.cross_hits += 1;
+                    }
+                    self.policy.charge(&mut record.meta);
                 }
                 return QueryOutcome::Hit {
                     value,
@@ -301,7 +492,8 @@ impl MemoDatabase {
         self.insert_from(op, loc, input, key, output, Provenance::solo(iteration))
     }
 
-    /// Inserts an entry on behalf of a specific job/iteration.
+    /// Inserts an entry on behalf of a specific job/iteration, pricing its
+    /// recompute cost with the default analytic model.
     pub fn insert_from(
         &mut self,
         op: FftOpKind,
@@ -311,10 +503,29 @@ impl MemoDatabase {
         output: Vec<Complex64>,
         origin: Provenance,
     ) -> u64 {
-        let id = self.next_id;
-        self.next_id += 1;
+        let cost = recompute_cost_estimate(op, input.len());
+        self.insert_from_with_cost(op, loc, input, key, output, origin, cost)
+    }
+
+    /// Inserts an entry with an explicit recompute-cost hint (the quantity
+    /// cost-aware eviction ranks by). The hint must be a deterministic
+    /// function of the operation — wall-clock timings would make eviction
+    /// irreproducible.
+    #[allow(clippy::too_many_arguments)]
+    pub fn insert_from_with_cost(
+        &mut self,
+        op: FftOpKind,
+        loc: usize,
+        input: &[Complex64],
+        key: Vec<f64>,
+        output: Vec<Complex64>,
+        origin: Provenance,
+        recompute_cost: f64,
+    ) -> u64 {
+        let id = self.clock.next_id();
+        let tick = self.clock.next_tick();
+        let epoch = self.clock.epoch();
         self.inserts += 1;
-        self.origins.insert(id, origin);
         let scope_key = self.scope_key(op, loc);
         let dim = key.len();
         let ivf = self.config.ivf;
@@ -322,13 +533,118 @@ impl MemoDatabase {
             index: IvfIndex::new(dim, ivf, scope_seed(scope_key.0, scope_key.1) ^ 0x5EED),
         });
         scope.index.add(id, key.clone());
-        if self.config.gate_on_raw {
-            self.raw_inputs.insert(id, Arc::new(input.to_vec()));
-        } else {
-            self.keys.insert(id, key);
-        }
+        let record = EntryRecord {
+            meta: EntryMeta {
+                id,
+                bytes: 0, // filled below once aux bytes are known
+                inserted_tick: tick,
+                inserted_epoch: epoch,
+                last_access_tick: tick,
+                last_access_epoch: epoch,
+                cross_hits: 0,
+                hits: 0,
+                recompute_cost,
+                origin,
+                op,
+                priority: 0.0,
+            },
+            scope: scope_key,
+            raw_input: self.config.gate_on_raw.then(|| Arc::new(input.to_vec())),
+            key: (!self.config.gate_on_raw).then_some(key),
+        };
+        let aux = record.aux_bytes();
+        let value_bytes = (output.len() * 16) as u64;
+        let mut record = record;
+        record.meta.bytes = value_bytes + aux;
+        self.policy.charge(&mut record.meta);
+        self.aux_bytes += aux;
         self.values.put(id, output);
+        self.entries.insert(id, record);
+        self.enforce_budget();
         id
+    }
+
+    /// Evicts entries until the caps this instance is responsible for hold,
+    /// then records the post-enforcement high-water mark. Expired entries
+    /// are preferred victims (rank `-∞`) but are otherwise reclaimed lazily,
+    /// so stripes and standalone stores converge on the same state.
+    fn enforce_budget(&mut self) {
+        let now_epoch = self.clock.epoch();
+        loop {
+            let bytes = self.resident_bytes();
+            let entries = self.len() as u64;
+            let over = match self.role {
+                BudgetRole::Standalone => {
+                    self.config.budget.exceeded(bytes, entries)
+                        || self.config.budget.stripe_exceeded(bytes, entries)
+                }
+                BudgetRole::Stripe => self.config.budget.stripe_exceeded(bytes, entries),
+            };
+            if !over {
+                break;
+            }
+            match self.peek_victim(now_epoch) {
+                Some((rank, id)) => {
+                    self.policy.on_evict(rank);
+                    self.remove_entry(id, RemovalKind::Evicted);
+                }
+                None => break,
+            }
+        }
+        self.peak_resident = self.peak_resident.max(self.resident_bytes());
+    }
+
+    /// The entry the policy would evict next: minimum `(rank, id)` over all
+    /// entries, with expired entries ranked `-∞` so they always go first.
+    /// Order-independent over the hash map, hence deterministic.
+    pub(crate) fn peek_victim(&self, now_epoch: u64) -> Option<(f64, u64)> {
+        self.entries
+            .values()
+            .map(|r| {
+                let rank = if self.policy.is_expired(&r.meta, now_epoch) {
+                    f64::NEG_INFINITY
+                } else {
+                    self.policy.rank(&r.meta, now_epoch)
+                };
+                (rank, r.meta.id)
+            })
+            .min_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)))
+    }
+
+    /// Evicts a specific entry on behalf of the owning sharded store's
+    /// global enforcement. Returns the bytes freed.
+    pub(crate) fn evict_id(&mut self, id: u64) -> u64 {
+        self.remove_entry(id, RemovalKind::Evicted)
+    }
+
+    /// Drains the `(bytes, entries)` freed since the last drain — lets a
+    /// sharded owner keep its published resident counters exact without
+    /// re-summing every stripe.
+    pub(crate) fn drain_freed(&mut self) -> (u64, u64) {
+        let freed = (self.freed_bytes_unpublished, self.freed_entries_unpublished);
+        self.freed_bytes_unpublished = 0;
+        self.freed_entries_unpublished = 0;
+        freed
+    }
+
+    fn remove_entry(&mut self, id: u64, kind: RemovalKind) -> u64 {
+        let Some(record) = self.entries.remove(&id) else {
+            return 0;
+        };
+        if let Some(scope) = self.scopes.get_mut(&record.scope) {
+            scope.index.remove(id);
+        }
+        self.values.remove(id);
+        let aux = record.aux_bytes();
+        self.aux_bytes -= aux;
+        let freed = record.meta.bytes;
+        self.freed_bytes_unpublished += freed;
+        self.freed_entries_unpublished += 1;
+        match kind {
+            RemovalKind::Evicted => self.evictions += 1,
+            RemovalKind::Expired => self.expirations += 1,
+        }
+        freed
     }
 
     /// Average number of key comparisons one query performs (used by the
@@ -344,6 +660,16 @@ impl MemoDatabase {
             .sum();
         total as f64 / self.scopes.len() as f64
     }
+}
+
+/// A query counts as "under pressure" when the tightest global cap is at
+/// least this utilised — the regime the bounded-store hit rate is judged in.
+pub(crate) const PRESSURE_THRESHOLD: f64 = 0.95;
+
+#[derive(Debug, Clone, Copy)]
+enum RemovalKind {
+    Evicted,
+    Expired,
 }
 
 #[cfg(test)]
@@ -496,6 +822,126 @@ mod tests {
         }
         assert_eq!(d.len(), 4);
         assert_eq!(d.value_bytes(), 4 * 32 * 16);
+        // Resident bytes additionally count the retained raw inputs and the
+        // peak is at least the current footprint.
+        assert!(d.resident_bytes() > d.value_bytes());
+        assert!(d.peak_resident_bytes() >= d.resident_bytes());
         assert!(d.comparisons_per_query() > 0.0);
+    }
+
+    #[test]
+    fn entry_budget_is_enforced_after_every_insert() {
+        let mut d = MemoDatabase::new(
+            MemoDbConfig {
+                tau: 0.9,
+                budget: CapacityBudget::entries(3),
+                eviction: EvictionPolicyKind::Fifo,
+                ..Default::default()
+            },
+            tiny_encoder_config(),
+            1,
+        );
+        for loc in 0..8 {
+            let input = chunk(1.0 + loc as f64, 0.0, 64);
+            let key = d.encode(&input);
+            d.insert(FftOpKind::Fu2D, loc, &input, key, chunk(1.0, 0.0, 32), 0);
+            assert!(d.len() <= 3, "entry cap violated after insert {loc}");
+        }
+        assert_eq!(d.len(), 3);
+        assert_eq!(d.evictions(), 5);
+        // FIFO evicted the oldest entries: the earliest locations now miss.
+        assert!(matches!(
+            d.query(FftOpKind::Fu2D, 0, &chunk(1.0, 0.0, 64)),
+            QueryOutcome::Miss { .. }
+        ));
+        assert!(matches!(
+            d.query(FftOpKind::Fu2D, 7, &chunk(8.0, 0.0, 64)),
+            QueryOutcome::Hit { .. }
+        ));
+    }
+
+    #[test]
+    fn byte_budget_bounds_resident_footprint() {
+        let mut d = MemoDatabase::new(
+            MemoDbConfig {
+                tau: 0.9,
+                budget: CapacityBudget::unbounded(),
+                ..Default::default()
+            },
+            tiny_encoder_config(),
+            1,
+        );
+        // Measure the footprint of 4 entries, then rebuild with half of it.
+        for loc in 0..4 {
+            let input = chunk(1.0 + loc as f64, 0.0, 64);
+            let key = d.encode(&input);
+            d.insert(FftOpKind::Fu2D, loc, &input, key, chunk(1.0, 0.0, 32), 0);
+        }
+        let full = d.resident_bytes();
+        let cap = full / 2;
+        let mut bounded = MemoDatabase::new(
+            MemoDbConfig {
+                tau: 0.9,
+                budget: CapacityBudget::bytes(cap),
+                ..Default::default()
+            },
+            tiny_encoder_config(),
+            1,
+        );
+        for loc in 0..4 {
+            let input = chunk(1.0 + loc as f64, 0.0, 64);
+            let key = bounded.encode(&input);
+            bounded.insert(FftOpKind::Fu2D, loc, &input, key, chunk(1.0, 0.0, 32), 0);
+            assert!(
+                bounded.resident_bytes() <= cap,
+                "byte cap violated: {} > {cap}",
+                bounded.resident_bytes()
+            );
+        }
+        assert!(bounded.peak_resident_bytes() <= cap);
+        assert!(bounded.evictions() > 0);
+    }
+
+    #[test]
+    fn ttl_entries_become_unreachable() {
+        let mut d = MemoDatabase::new(
+            MemoDbConfig {
+                tau: 0.9,
+                eviction: EvictionPolicyKind::Ttl { ttl_epochs: 2 },
+                ..Default::default()
+            },
+            tiny_encoder_config(),
+            1,
+        );
+        let input = chunk(1.0, 0.0, 128);
+        let key = d.encode(&input);
+        d.insert(FftOpKind::Fu2D, 0, &input, key, chunk(1.0, 0.0, 16), 0);
+        d.advance_epoch();
+        // Within the TTL: reachable.
+        assert!(matches!(
+            d.query_with_key_from(
+                FftOpKind::Fu2D,
+                0,
+                &input,
+                d.encode(&input),
+                Provenance::solo(1)
+            ),
+            QueryOutcome::Hit { .. }
+        ));
+        d.advance_epoch();
+        d.advance_epoch();
+        // Past the TTL: unreachable and lazily reclaimed.
+        assert!(matches!(
+            d.query_with_key_from(
+                FftOpKind::Fu2D,
+                0,
+                &input,
+                d.encode(&input),
+                Provenance::solo(3)
+            ),
+            QueryOutcome::Miss { .. }
+        ));
+        assert_eq!(d.len(), 0);
+        assert_eq!(d.expirations(), 1);
     }
 }

@@ -18,6 +18,7 @@ use crate::cache::{CacheKind, MemoCache};
 use crate::coalesce::KeyCoalescer;
 use crate::db::{MemoDatabase, MemoDbConfig, QueryOutcome};
 use crate::encoder::EncoderConfig;
+use crate::eviction::{recompute_cost_estimate, CapacityBudget, EvictionPolicyKind};
 use crate::similarity::SimilarityTracker;
 use crate::stats::{MemoCase, MemoStats};
 use crate::store::{JobId, LocalMemoStore, MemoStore, Provenance};
@@ -55,6 +56,13 @@ pub struct MemoConfig {
     /// the paper's own characterisation (Figure 4) shows similar chunks only
     /// start appearing after the first iterations.
     pub warmup_iterations: usize,
+    /// Capacity caps for the memoization database (unbounded by default).
+    /// When the executor builds its own private store, the budget flows into
+    /// the database configuration; shared stores built by the runtime carry
+    /// their own copy of the same caps.
+    pub budget: CapacityBudget,
+    /// Which eviction policy enforces the budget.
+    pub eviction: EvictionPolicyKind,
 }
 
 impl Default for MemoConfig {
@@ -69,6 +77,8 @@ impl Default for MemoConfig {
             track_similarity: false,
             usfft_only: true,
             warmup_iterations: 2,
+            budget: CapacityBudget::unbounded(),
+            eviction: EvictionPolicyKind::CostAware,
         }
     }
 }
@@ -104,6 +114,8 @@ impl MemoizedExecutor {
     pub fn new(config: MemoConfig, encoder_config: EncoderConfig, seed: u64) -> Self {
         let db_config = MemoDbConfig {
             tau: config.tau,
+            budget: config.budget,
+            eviction: config.eviction,
             ..Default::default()
         };
         let db = MemoDatabase::new(db_config, encoder_config, seed);
@@ -152,9 +164,12 @@ impl MemoizedExecutor {
     }
 
     /// Marks the start of a new ADMM (outer) iteration; used by the
-    /// similarity tracker and by reports.
+    /// similarity tracker and by reports. Also advances the store's epoch
+    /// (the job-iteration clock TTL eviction ages by): each tenant ticks
+    /// the shared store once per outer iteration.
     pub fn begin_iteration(&self, iteration: usize) {
         self.state.lock().iteration = iteration;
+        self.store.advance_epoch();
     }
 
     /// Snapshot of the accumulated statistics.
@@ -295,8 +310,12 @@ impl FftExecutor for MemoizedExecutor {
                     iteration: state.iteration,
                 };
                 drop(state);
+                // Price the entry with the deterministic analytic cost model
+                // (the OpStats wall-clock timings corroborate its per-op
+                // ratios but would make eviction irreproducible).
+                let cost = recompute_cost_estimate(kind, input.len());
                 self.store
-                    .insert(kind, loc, input, key, out.clone(), origin);
+                    .insert(kind, loc, input, key, out.clone(), origin, cost);
                 out
             }
         }

@@ -69,15 +69,15 @@ impl ValueStore {
         hit
     }
 
-    /// Removes the value for `id`, if present.
-    pub fn remove(&self, id: u64) -> bool {
+    /// Removes the value for `id`, if present; returns the freed bytes so
+    /// eviction can keep its accounting exact.
+    pub fn remove(&self, id: u64) -> Option<usize> {
         let removed = self.shard(id).write().remove(&id);
-        if let Some(v) = removed {
-            self.bytes.fetch_sub(v.len() as u64 * 16, Ordering::Relaxed);
-            true
-        } else {
-            false
-        }
+        removed.map(|v| {
+            let freed = v.len() * 16;
+            self.bytes.fetch_sub(freed as u64, Ordering::Relaxed);
+            freed
+        })
     }
 
     /// Number of stored values.
@@ -133,8 +133,8 @@ mod tests {
         let prev = store.put(1, value(4, 2.0));
         assert_eq!(prev, Some(160));
         assert_eq!(store.bytes(), 64);
-        assert!(store.remove(1));
-        assert!(!store.remove(1));
+        assert_eq!(store.remove(1), Some(64));
+        assert_eq!(store.remove(1), None);
         assert_eq!(store.bytes(), 0);
     }
 

@@ -28,6 +28,12 @@
 //!   `mlr_lamino::FftExecutor` that the ADMM solver can use in place of the
 //!   direct executor; it accounts simulated time against `mlr-sim`'s cost
 //!   model and records the per-case statistics behind Figures 10–12.
+//! * [`eviction`] — capacity governance: [`CapacityBudget`] caps (bytes /
+//!   entries, global and per stripe) enforced after every insert by a
+//!   pluggable [`EvictionPolicy`] (FIFO, LRU, TTL in job-iterations, and a
+//!   cost-aware benefit-density policy). Eviction runs on logical clocks
+//!   (op ticks, epochs, stable entry ids) shared by every stripe, so it is
+//!   deterministic given the schedule and independent of the shard layout.
 //! * [`similarity`] — the chunk-similarity tracker behind Figure 4.
 //! * [`store`] — the [`MemoStore`] seam: a thread-safe interface the
 //!   executor talks to, so the database behind it can be a private
@@ -42,6 +48,7 @@ pub mod coalesce;
 pub mod db;
 pub mod encoder;
 pub mod engine;
+pub mod eviction;
 pub mod kvstore;
 pub mod sharded;
 pub mod similarity;
@@ -54,6 +61,10 @@ pub use coalesce::KeyCoalescer;
 pub use db::{MemoDatabase, MemoDbConfig, QueryOutcome};
 pub use encoder::{CnnEncoder, EncoderConfig};
 pub use engine::{MemoConfig, MemoizedExecutor};
+pub use eviction::{
+    recompute_cost_estimate, CapacityBudget, CostAwarePolicy, EntryMeta, EvictionPolicy,
+    EvictionPolicyKind, FifoPolicy, LruPolicy, StoreClock, TtlPolicy,
+};
 pub use kvstore::ValueStore;
 pub use sharded::{ShardedMemoDb, DEFAULT_SHARDS};
 pub use similarity::SimilarityTracker;

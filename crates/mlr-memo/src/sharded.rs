@@ -19,14 +19,29 @@
 //! reason). Key encoding goes through one shared encoder behind a `RwLock`
 //! (reads only, after optional training), so every tenant speaks the same
 //! key space.
+//!
+//! # Capacity governance
+//!
+//! When the configuration carries a bounded [`CapacityBudget`], the store
+//! enforces it *globally*: after every insert it selects the store-wide
+//! minimum `(rank, id)` victim across all stripes under one eviction lock,
+//! so the resident footprint never exceeds the cap at any observable point
+//! and — because every stripe shares one [`StoreClock`] (op ticks, epochs,
+//! entry ids) — the evicted entries are exactly the ones a single
+//! `MemoDatabase` with the same budget would evict. Per-stripe caps
+//! (`stripe_max_*`) are additionally enforced inside each stripe. Published
+//! resident counters are only updated *after* enforcement, so external
+//! observers never see an over-budget store.
 
-use crate::db::{scope_seed, MemoDatabase, MemoDbConfig, QueryOutcome};
+use crate::db::{scope_seed, MemoDatabase, MemoDbConfig, QueryOutcome, PRESSURE_THRESHOLD};
 use crate::encoder::{CnnEncoder, EncoderConfig};
+use crate::eviction::{CapacityBudget, EvictionPolicy, StoreClock};
 use crate::store::{MemoStore, Provenance, StoreStats};
 use mlr_lamino::FftOpKind;
 use mlr_math::Complex64;
 use parking_lot::{Mutex, RwLock};
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::Arc;
 
 /// Default number of lock stripes. Enough to keep eight-ish concurrent jobs
 /// off each other's locks without bloating small deployments.
@@ -39,10 +54,25 @@ pub struct ShardedMemoDb {
     /// encode takes a read lock.
     encoder: RwLock<CnnEncoder>,
     shards: Vec<Mutex<MemoDatabase>>,
+    /// Logical clock shared with every stripe (ticks, epochs, entry ids).
+    clock: Arc<StoreClock>,
+    /// The eviction policy, shared with every stripe (global enforcement
+    /// notifies it of evictions directly).
+    policy: Arc<dyn EvictionPolicy>,
+    /// Serialises insert + global enforcement when the budget is bounded,
+    /// so the budget invariant holds at every observable point.
+    eviction_lock: Mutex<()>,
+    /// Resident bytes/entries as of the last post-enforcement publish.
+    published_resident: AtomicI64,
+    published_entries: AtomicI64,
+    /// High-water mark of the published resident bytes.
+    peak_resident: AtomicU64,
     queries: AtomicU64,
     hits: AtomicU64,
     cross_job_hits: AtomicU64,
     inserts: AtomicU64,
+    pressure_queries: AtomicU64,
+    pressure_hits: AtomicU64,
 }
 
 impl ShardedMemoDb {
@@ -51,7 +81,8 @@ impl ShardedMemoDb {
         Self::with_shards(config, encoder_config, seed, DEFAULT_SHARDS)
     }
 
-    /// Creates an empty store with an explicit shard count.
+    /// Creates an empty store with an explicit shard count; eviction runs
+    /// the built-in policy named by `config.eviction`.
     ///
     /// # Panics
     /// Panics when `shards == 0`.
@@ -61,28 +92,72 @@ impl ShardedMemoDb {
         seed: u64,
         shards: usize,
     ) -> Self {
+        Self::with_policy(
+            config,
+            encoder_config,
+            seed,
+            shards,
+            config.eviction.build(),
+        )
+    }
+
+    /// Creates an empty store governed by a *custom* eviction policy (the
+    /// configuration's `eviction` kind is ignored for victim selection).
+    ///
+    /// # Panics
+    /// Panics when `shards == 0`.
+    pub fn with_policy(
+        config: MemoDbConfig,
+        encoder_config: EncoderConfig,
+        seed: u64,
+        shards: usize,
+        policy: Arc<dyn EvictionPolicy>,
+    ) -> Self {
         assert!(shards > 0, "shard count must be positive");
+        let clock = StoreClock::new();
         // Every shard gets an encoder with the same seed so the whole store
         // is one consistent key space; only the top-level encoder is ever
         // used for encoding (the shards are driven exclusively through the
-        // pre-encoded-key entry points).
+        // pre-encoded-key entry points). Shards share the clock and policy
+        // so eviction is identical to a single unsharded database.
         let shard_dbs = (0..shards)
-            .map(|_| Mutex::new(MemoDatabase::new(config, encoder_config, seed)))
+            .map(|_| {
+                Mutex::new(MemoDatabase::stripe(
+                    config,
+                    encoder_config,
+                    seed,
+                    Arc::clone(&clock),
+                    Arc::clone(&policy),
+                ))
+            })
             .collect();
         Self {
             config,
             encoder: RwLock::new(CnnEncoder::new(encoder_config, seed)),
             shards: shard_dbs,
+            clock,
+            policy,
+            eviction_lock: Mutex::new(()),
+            published_resident: AtomicI64::new(0),
+            published_entries: AtomicI64::new(0),
+            peak_resident: AtomicU64::new(0),
             queries: AtomicU64::new(0),
             hits: AtomicU64::new(0),
             cross_job_hits: AtomicU64::new(0),
             inserts: AtomicU64::new(0),
+            pressure_queries: AtomicU64::new(0),
+            pressure_hits: AtomicU64::new(0),
         }
     }
 
     /// Number of lock stripes.
     pub fn shard_count(&self) -> usize {
         self.shards.len()
+    }
+
+    /// The capacity budget this store enforces.
+    pub fn budget(&self) -> CapacityBudget {
+        self.config.budget
     }
 
     /// Which shard owns the index scope of `(op, loc)`.
@@ -101,6 +176,83 @@ impl ShardedMemoDb {
     /// Per-shard entry counts (diagnostics; shows stripe balance).
     pub fn shard_sizes(&self) -> Vec<usize> {
         self.shards.iter().map(|s| s.lock().len()).collect()
+    }
+
+    /// High-water mark of the resident footprint, observed only at
+    /// post-enforcement points — with a byte cap set this never exceeds it.
+    pub fn peak_resident_bytes(&self) -> u64 {
+        self.peak_resident.load(Ordering::Relaxed)
+    }
+
+    /// Entries evicted so far to satisfy the budget (all stripes).
+    pub fn evictions(&self) -> u64 {
+        self.shards.iter().map(|s| s.lock().evictions()).sum()
+    }
+
+    /// Entries reclaimed so far because their TTL expired (all stripes).
+    pub fn expirations(&self) -> u64 {
+        self.shards.iter().map(|s| s.lock().expirations()).sum()
+    }
+
+    /// The published `(resident bytes, entries)` totals, clamped at zero —
+    /// delta accounting can transiently dip negative when a reclaim's
+    /// subtraction lands before the matching (deferred) publication.
+    fn published(&self) -> (u64, u64) {
+        (
+            self.published_resident.load(Ordering::Relaxed).max(0) as u64,
+            self.published_entries.load(Ordering::Relaxed).max(0) as u64,
+        )
+    }
+
+    /// Evicts store-wide minimum-`(rank, id)` victims until the global
+    /// caps hold over the published totals plus the not-yet-published
+    /// contribution of the insert being enforced. Caller must hold
+    /// `eviction_lock`. Each eviction adjusts the published counters by the
+    /// freed amount — no stripe re-summing on this path — and the pending
+    /// contribution is only published by the caller once enforcement is
+    /// done, so external observers never see an over-budget store.
+    fn enforce_global(&self, pending_bytes: u64, pending_entries: u64) {
+        let budget = self.config.budget;
+        if budget.max_bytes.is_none() && budget.max_entries.is_none() {
+            return;
+        }
+        let now_epoch = self.clock.epoch();
+        loop {
+            let (bytes, entries) = self.published();
+            if !budget.exceeded(bytes + pending_bytes, entries + pending_entries) {
+                break;
+            }
+            // Store-wide victim: the same entry a single unsharded database
+            // would pick — minimum rank, ties on the smaller stable id.
+            let mut best: Option<(f64, u64, usize)> = None;
+            for (i, shard) in self.shards.iter().enumerate() {
+                if let Some((rank, id)) = shard.lock().peek_victim(now_epoch) {
+                    let better = match best {
+                        None => true,
+                        Some((best_rank, best_id, _)) => {
+                            (rank.total_cmp(&best_rank)).then(id.cmp(&best_id))
+                                == std::cmp::Ordering::Less
+                        }
+                    };
+                    if better {
+                        best = Some((rank, id, i));
+                    }
+                }
+            }
+            match best {
+                Some((rank, id, shard_idx)) => {
+                    self.policy.on_evict(rank);
+                    let mut db = self.shards[shard_idx].lock();
+                    db.evict_id(id);
+                    let (freed_bytes, freed_entries) = db.drain_freed();
+                    self.published_resident
+                        .fetch_sub(freed_bytes as i64, Ordering::Relaxed);
+                    self.published_entries
+                        .fetch_sub(freed_entries as i64, Ordering::Relaxed);
+                }
+                None => break,
+            }
+        }
     }
 }
 
@@ -122,16 +274,38 @@ impl MemoStore for ShardedMemoDb {
         origin: Provenance,
     ) -> QueryOutcome {
         self.queries.fetch_add(1, Ordering::Relaxed);
-        let outcome = self
-            .shard_for(op, loc)
-            .lock()
-            .query_with_key_from(op, loc, input, key, origin);
+        let (published_bytes, published_entries) = self.published();
+        let under_pressure = self
+            .config
+            .budget
+            .pressure(published_bytes, published_entries)
+            >= PRESSURE_THRESHOLD;
+        if under_pressure {
+            self.pressure_queries.fetch_add(1, Ordering::Relaxed);
+        }
+        let mut db = self.shard_for(op, loc).lock();
+        let outcome = db.query_with_key_from(op, loc, input, key, origin);
+        // A query can lazily reclaim an expired entry; fold the freed bytes
+        // into the published counters while the stripe lock is still held,
+        // so the subtraction cannot race an insert's addition of the same
+        // entry.
+        let (freed_bytes, freed_entries) = db.drain_freed();
+        if freed_bytes > 0 || freed_entries > 0 {
+            self.published_resident
+                .fetch_sub(freed_bytes as i64, Ordering::Relaxed);
+            self.published_entries
+                .fetch_sub(freed_entries as i64, Ordering::Relaxed);
+        }
+        drop(db);
         if let QueryOutcome::Hit {
             origin: entry_origin,
             ..
         } = &outcome
         {
             self.hits.fetch_add(1, Ordering::Relaxed);
+            if under_pressure {
+                self.pressure_hits.fetch_add(1, Ordering::Relaxed);
+            }
             if entry_origin.job != origin.job {
                 self.cross_job_hits.fetch_add(1, Ordering::Relaxed);
             }
@@ -147,11 +321,44 @@ impl MemoStore for ShardedMemoDb {
         key: Vec<f64>,
         output: Vec<Complex64>,
         origin: Provenance,
+        recompute_cost: f64,
     ) -> u64 {
         self.inserts.fetch_add(1, Ordering::Relaxed);
-        self.shard_for(op, loc)
-            .lock()
-            .insert_from(op, loc, input, key, output, origin)
+        let bounded = self.config.budget.is_bounded();
+        // One writer at a time when bounded: the budget invariant must hold
+        // at every observable point, so insert + global enforcement are
+        // atomic with respect to other inserts. Queries stay concurrent
+        // (they only take their own stripe's lock).
+        let _guard = bounded.then(|| self.eviction_lock.lock());
+        let mut db = self.shard_for(op, loc).lock();
+        let before = (db.resident_bytes(), db.len() as u64);
+        let id = db.insert_from_with_cost(op, loc, input, key, output, origin, recompute_cost);
+        let (freed_bytes, freed_entries) = db.drain_freed();
+        let after = (db.resident_bytes(), db.len() as u64);
+        // Split the stripe's delta: what stripe-cap eviction reclaimed from
+        // already-published entries is subtracted immediately (still under
+        // the stripe lock, so it cannot race that entry's own publication),
+        // while the new entry's contribution is published only after global
+        // enforcement — observers never see an over-budget store.
+        let new_bytes = after.0 + freed_bytes - before.0;
+        let new_entries = after.1 + freed_entries - before.1;
+        if freed_bytes > 0 || freed_entries > 0 {
+            self.published_resident
+                .fetch_sub(freed_bytes as i64, Ordering::Relaxed);
+            self.published_entries
+                .fetch_sub(freed_entries as i64, Ordering::Relaxed);
+        }
+        drop(db);
+        if bounded {
+            self.enforce_global(new_bytes, new_entries);
+        }
+        self.published_resident
+            .fetch_add(new_bytes as i64, Ordering::Relaxed);
+        self.published_entries
+            .fetch_add(new_entries as i64, Ordering::Relaxed);
+        self.peak_resident
+            .fetch_max(self.published().0, Ordering::Relaxed);
+        id
     }
 
     fn len(&self) -> usize {
@@ -162,6 +369,18 @@ impl MemoStore for ShardedMemoDb {
         self.shards.iter().map(|s| s.lock().value_bytes()).sum()
     }
 
+    fn resident_bytes(&self) -> u64 {
+        self.published().0
+    }
+
+    fn advance_epoch(&self) -> u64 {
+        self.clock.advance_epoch()
+    }
+
+    fn epoch(&self) -> u64 {
+        self.clock.epoch()
+    }
+
     fn stats(&self) -> StoreStats {
         StoreStats {
             entries: self.len(),
@@ -170,6 +389,12 @@ impl MemoStore for ShardedMemoDb {
             cross_job_hits: self.cross_job_hits.load(Ordering::Relaxed),
             inserts: self.inserts.load(Ordering::Relaxed),
             value_bytes: self.value_bytes(),
+            evictions: self.evictions(),
+            expirations: self.expirations(),
+            resident_bytes: self.resident_bytes(),
+            peak_resident_bytes: self.peak_resident_bytes(),
+            pressure_queries: self.pressure_queries.load(Ordering::Relaxed),
+            pressure_hits: self.pressure_hits.load(Ordering::Relaxed),
         }
     }
 
@@ -205,7 +430,9 @@ impl MemoStore for ShardedMemoDb {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::db::MemoDatabase;
     use crate::encoder::EncoderConfig;
+    use crate::eviction::{recompute_cost_estimate, EvictionPolicyKind};
     use crate::store::LocalMemoStore;
 
     fn tiny_encoder_config() -> EncoderConfig {
@@ -239,6 +466,19 @@ mod tests {
             .collect()
     }
 
+    fn insert_simple(
+        store: &dyn MemoStore,
+        op: FftOpKind,
+        loc: usize,
+        input: &[Complex64],
+        key: Vec<f64>,
+        output: Vec<Complex64>,
+        origin: Provenance,
+    ) -> u64 {
+        let cost = recompute_cost_estimate(op, input.len());
+        store.insert(op, loc, input, key, output, origin, cost)
+    }
+
     #[test]
     fn insert_then_query_hits_across_jobs() {
         let db = sharded(0.9, 4);
@@ -248,7 +488,8 @@ mod tests {
             job: 1,
             iteration: 3,
         };
-        db.insert(
+        insert_simple(
+            &db,
             FftOpKind::Fu2D,
             5,
             &input,
@@ -302,7 +543,7 @@ mod tests {
                     QueryOutcome::Hit { .. } => outcomes.push(true),
                     QueryOutcome::Miss { key } => {
                         outcomes.push(false);
-                        store.insert(op, loc, &input, key, chunk(2.0, 0.5, 16), origin);
+                        insert_simple(store, op, loc, &input, key, chunk(2.0, 0.5, 16), origin);
                     }
                 }
             }
@@ -335,7 +576,8 @@ mod tests {
         let db = sharded(0.9, 8);
         let input = chunk(1.0, 0.0, 256);
         let key = db.encode(&input);
-        db.insert(
+        insert_simple(
+            &db,
             FftOpKind::Fu2D,
             0,
             &input,
@@ -359,7 +601,8 @@ mod tests {
         let db = ShardedMemoDb::with_shards(config, tiny_encoder_config(), 2, 8);
         let input = chunk(1.0, 0.0, 256);
         let key = db.encode(&input);
-        db.insert(
+        insert_simple(
+            &db,
             FftOpKind::Fu2D,
             0,
             &input,
@@ -382,7 +625,8 @@ mod tests {
         for loc in 0..8 {
             let input = chunk(1.0 + loc as f64, 0.0, 64);
             let key = db.encode(&input);
-            db.insert(
+            insert_simple(
+                &db,
                 FftOpKind::Fu2D,
                 loc,
                 &input,
@@ -393,10 +637,116 @@ mod tests {
         }
         assert_eq!(db.len(), 8);
         assert_eq!(db.value_bytes(), 8 * 32 * 16);
+        // Resident bytes additionally count raw inputs + keys and are
+        // published after every insert.
+        assert!(db.resident_bytes() > db.value_bytes());
+        assert!(db.peak_resident_bytes() >= db.resident_bytes());
         assert_eq!(db.shard_sizes().iter().sum::<usize>(), 8);
         assert!(
             db.shard_sizes().iter().filter(|&&n| n > 0).count() > 1,
             "all in one stripe"
         );
+    }
+
+    #[test]
+    fn global_entry_cap_is_enforced_across_shards() {
+        let db = ShardedMemoDb::with_shards(
+            MemoDbConfig {
+                tau: 0.9,
+                budget: CapacityBudget::entries(3),
+                eviction: EvictionPolicyKind::Fifo,
+                ..Default::default()
+            },
+            tiny_encoder_config(),
+            1,
+            4,
+        );
+        for loc in 0..10 {
+            let input = chunk(1.0 + loc as f64, 0.0, 64);
+            let key = db.encode(&input);
+            insert_simple(
+                &db,
+                FftOpKind::Fu2D,
+                loc,
+                &input,
+                key,
+                chunk(1.0, 0.0, 32),
+                Provenance::solo(0),
+            );
+            assert!(db.len() <= 3, "global cap violated after insert {loc}");
+        }
+        assert_eq!(db.len(), 3);
+        assert_eq!(db.evictions(), 7);
+        let stats = db.stats();
+        assert_eq!(stats.evictions, 7);
+        assert_eq!(stats.entries, 3);
+    }
+
+    #[test]
+    fn bounded_sharded_store_matches_unsharded_eviction() {
+        // A byte-capped trace must produce identical hit/miss sequences and
+        // identical surviving entries whether the store is one database or
+        // striped — the shared clock + global victim selection guarantee.
+        let run = |store: &dyn MemoStore| -> (Vec<bool>, usize, u64) {
+            let mut outcomes = Vec::new();
+            for round in 0..3usize {
+                store.advance_epoch();
+                for loc in 0..12usize {
+                    let input = chunk(1.0 + loc as f64, 0.2 * loc as f64, 128);
+                    let key = store.encode(&input);
+                    let origin = Provenance::solo(round + 1);
+                    match store.query_with_key(FftOpKind::Fu2D, loc, &input, key, origin) {
+                        QueryOutcome::Hit { .. } => outcomes.push(true),
+                        QueryOutcome::Miss { key } => {
+                            outcomes.push(false);
+                            insert_simple(
+                                store,
+                                FftOpKind::Fu2D,
+                                loc,
+                                &input,
+                                key,
+                                chunk(2.0, 0.5, 64),
+                                origin,
+                            );
+                        }
+                    }
+                }
+            }
+            (outcomes, store.len(), store.stats().evictions)
+        };
+        let config = |budget| MemoDbConfig {
+            tau: 0.9,
+            budget,
+            eviction: EvictionPolicyKind::Lru,
+            ..Default::default()
+        };
+        // Measure the unbounded footprint, then cap at half of it.
+        let probe = ShardedMemoDb::with_shards(
+            config(CapacityBudget::unbounded()),
+            tiny_encoder_config(),
+            1,
+            4,
+        );
+        let _ = run(&probe);
+        let cap = probe.resident_bytes() / 2;
+        assert!(cap > 0);
+
+        let local = LocalMemoStore::new(MemoDatabase::new(
+            config(CapacityBudget::bytes(cap)),
+            tiny_encoder_config(),
+            1,
+        ));
+        let reference = run(&local);
+        assert!(reference.2 > 0, "cap at 50% must evict — test is vacuous");
+        for shards in [1, 4, 16] {
+            let store = ShardedMemoDb::with_shards(
+                config(CapacityBudget::bytes(cap)),
+                tiny_encoder_config(),
+                1,
+                shards,
+            );
+            assert_eq!(run(&store), reference, "{shards} shards diverged");
+            assert!(store.peak_resident_bytes() <= cap);
+        }
     }
 }

@@ -68,6 +68,21 @@ pub struct StoreStats {
     pub inserts: u64,
     /// Approximate resident bytes of the value database.
     pub value_bytes: u64,
+    /// Entries evicted to satisfy the capacity budget.
+    pub evictions: u64,
+    /// Entries reclaimed because their TTL expired.
+    pub expirations: u64,
+    /// Total resident bytes (values + retained raw inputs + keys) — the
+    /// quantity the capacity budget caps.
+    pub resident_bytes: u64,
+    /// High-water mark of `resident_bytes` observed after budget
+    /// enforcement; with a byte cap set, this never exceeds the cap.
+    pub peak_resident_bytes: u64,
+    /// Queries issued while the store was under capacity pressure (the
+    /// tightest global cap ≥ 95 % utilised).
+    pub pressure_queries: u64,
+    /// Hits served while the store was under capacity pressure.
+    pub pressure_hits: u64,
 }
 
 impl StoreStats {
@@ -86,6 +101,16 @@ impl StoreStats {
             0.0
         } else {
             self.cross_job_hits as f64 / self.queries as f64
+        }
+    }
+
+    /// Hit rate over only the queries issued while the store was under
+    /// capacity pressure — the figure of merit for a bounded store.
+    pub fn hit_rate_under_pressure(&self) -> f64 {
+        if self.pressure_queries == 0 {
+            0.0
+        } else {
+            self.pressure_hits as f64 / self.pressure_queries as f64
         }
     }
 }
@@ -115,7 +140,10 @@ pub trait MemoStore: Send + Sync {
     ) -> QueryOutcome;
 
     /// Inserts an entry computed by `origin`. Returns the entry id
-    /// (meaningful within the store's shard).
+    /// (stable across the whole store; the eviction tie-breaker).
+    /// `recompute_cost` is the deterministic cost hint cost-aware eviction
+    /// ranks by (see [`recompute_cost_estimate`](crate::eviction::recompute_cost_estimate)).
+    #[allow(clippy::too_many_arguments)]
     fn insert(
         &self,
         op: FftOpKind,
@@ -124,6 +152,7 @@ pub trait MemoStore: Send + Sync {
         key: Vec<f64>,
         output: Vec<Complex64>,
         origin: Provenance,
+        recompute_cost: f64,
     ) -> u64;
 
     /// Number of stored entries.
@@ -136,6 +165,25 @@ pub trait MemoStore: Send + Sync {
 
     /// Approximate resident bytes of the value database.
     fn value_bytes(&self) -> u64;
+
+    /// Total resident bytes (values + retained raw inputs + keys) — the
+    /// quantity the capacity budget caps.
+    fn resident_bytes(&self) -> u64;
+
+    /// Advances the store's job-iteration epoch (the TTL clock). Executors
+    /// call this once per outer ADMM iteration; returns the new epoch.
+    fn advance_epoch(&self) -> u64;
+
+    /// The current job-iteration epoch.
+    fn epoch(&self) -> u64;
+
+    /// Utilisation of the tightest global capacity cap in `[0, 1]`
+    /// (0 when unbounded) — what the runtime's admission control consults.
+    fn pressure(&self) -> f64 {
+        self.config()
+            .budget
+            .pressure(self.resident_bytes(), self.len() as u64)
+    }
 
     /// Aggregate counters.
     fn stats(&self) -> StoreStats;
@@ -200,10 +248,11 @@ impl MemoStore for LocalMemoStore {
         key: Vec<f64>,
         output: Vec<Complex64>,
         origin: Provenance,
+        recompute_cost: f64,
     ) -> u64 {
         self.inner
             .lock()
-            .insert_from(op, loc, input, key, output, origin)
+            .insert_from_with_cost(op, loc, input, key, output, origin, recompute_cost)
     }
 
     fn len(&self) -> usize {
@@ -212,6 +261,18 @@ impl MemoStore for LocalMemoStore {
 
     fn value_bytes(&self) -> u64 {
         self.inner.lock().value_bytes()
+    }
+
+    fn resident_bytes(&self) -> u64 {
+        self.inner.lock().resident_bytes()
+    }
+
+    fn advance_epoch(&self) -> u64 {
+        self.inner.lock().advance_epoch()
+    }
+
+    fn epoch(&self) -> u64 {
+        self.inner.lock().clock().epoch()
     }
 
     fn stats(&self) -> StoreStats {
@@ -263,10 +324,14 @@ mod tests {
             queries: 10,
             hits: 5,
             cross_job_hits: 2,
+            pressure_queries: 4,
+            pressure_hits: 1,
             ..Default::default()
         };
         assert!((s.hit_rate() - 0.5).abs() < 1e-12);
         assert!((s.cross_job_hit_rate() - 0.2).abs() < 1e-12);
+        assert!((s.hit_rate_under_pressure() - 0.25).abs() < 1e-12);
         assert_eq!(StoreStats::default().hit_rate(), 0.0);
+        assert_eq!(StoreStats::default().hit_rate_under_pressure(), 0.0);
     }
 }

@@ -20,14 +20,21 @@
 //!   popped highest-priority-first, FIFO within a priority.
 //! * [`Runtime`] — fixed worker pool; [`Runtime::submit`] rejects when the
 //!   queue is full (admission control), [`Runtime::submit_blocking`] parks
-//!   the producer (backpressure).
+//!   the producer (backpressure). With
+//!   [`RuntimeConfig::admission_max_pressure`] set, admission additionally
+//!   consults the shared store's capacity pressure and turns jobs away
+//!   while the memoization budget is saturated.
 //! * The shared [`ShardedMemoDb`](mlr_memo::ShardedMemoDb): every worker's
 //!   executor queries and feeds the same store, so job B reuses USFFT
 //!   results job A computed. Entries carry a
 //!   [`Provenance`](mlr_memo::Provenance) so intra-job freshness gating
 //!   still holds per job while cross-job reuse is unrestricted; the store
 //!   counts those cross-job hits, surfaced via
-//!   [`RuntimeStats::cross_job_hit_rate`].
+//!   [`RuntimeStats::cross_job_hit_rate`]. When the job configuration
+//!   carries a capacity budget (`MlrConfig::with_memo_budget`), the shared
+//!   store enforces it with the configured eviction policy;
+//!   [`RuntimeStats`] then also reports eviction counts, resident bytes
+//!   and the hit rate under capacity pressure.
 //! * Within a job, the chunk-level USFFT kernels fan out through the rayon
 //!   scope-backed data-parallel layer, so parallelism composes: jobs across
 //!   workers, chunk kernels within a job.

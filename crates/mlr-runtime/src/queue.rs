@@ -15,12 +15,22 @@ use std::sync::{Condvar, Mutex};
 use std::time::Instant;
 
 /// Why a submission was not admitted.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum AdmissionError {
     /// The queue is at capacity; retry later or use the blocking submit.
     QueueFull {
         /// The configured capacity that was hit.
         capacity: usize,
+    },
+    /// The shared memo store is too close to its capacity budget: admitting
+    /// another job would only churn the store (every tenant's inserts evict
+    /// every other tenant's reusable entries). Configured through
+    /// [`RuntimeConfig::admission_max_pressure`](crate::RuntimeConfig).
+    StorePressure {
+        /// Observed store pressure (tightest-cap utilisation in `[0, 1]`).
+        pressure: f64,
+        /// The configured admission limit that was exceeded.
+        limit: f64,
     },
     /// The runtime is shutting down and no longer accepts work.
     ShuttingDown,
@@ -33,6 +43,13 @@ impl fmt::Display for AdmissionError {
                 write!(
                     f,
                     "job queue is at capacity ({capacity}); backpressure applied"
+                )
+            }
+            AdmissionError::StorePressure { pressure, limit } => {
+                write!(
+                    f,
+                    "shared memo store is under capacity pressure \
+                     ({pressure:.2} > limit {limit:.2}); retry later"
                 )
             }
             AdmissionError::ShuttingDown => write!(f, "runtime is shutting down"),

@@ -30,6 +30,11 @@ pub struct RuntimeConfig {
     pub encoder: EncoderConfig,
     /// Seed for the shared encoder.
     pub seed: u64,
+    /// Admission control against store pressure: when set, submissions are
+    /// rejected with [`AdmissionError::StorePressure`] while the shared
+    /// store's tightest capacity cap is more than this utilised (`None`
+    /// disables the check; pressure is always 0 for unbounded stores).
+    pub admission_max_pressure: Option<f64>,
 }
 
 impl Default for RuntimeConfig {
@@ -50,18 +55,22 @@ impl Default for RuntimeConfig {
                 learning_rate: 1e-3,
             },
             seed: 7,
+            admission_max_pressure: None,
         }
     }
 }
 
 impl RuntimeConfig {
-    /// Aligns the store's τ and encoder seed with a job configuration, so a
-    /// single job run through the runtime behaves exactly like
-    /// `MlrPipeline::run_memoized` (the determinism contract the tests pin).
+    /// Aligns the store's τ, capacity budget, eviction policy and encoder
+    /// seed with a job configuration, so a single job run through the
+    /// runtime behaves exactly like `MlrPipeline::run_memoized` (the
+    /// determinism contract the tests pin) — bounded or not.
     pub fn matching(config: &mlr_core::MlrConfig) -> Self {
         Self {
             db: MemoDbConfig {
                 tau: config.memo.tau,
+                budget: config.memo.budget,
+                eviction: config.memo.eviction,
                 ..Default::default()
             },
             seed: config.problem.seed,
@@ -132,6 +141,7 @@ pub struct Runtime {
     counters: Arc<Counters>,
     workers: Vec<JoinHandle<()>>,
     worker_count: usize,
+    admission_max_pressure: Option<f64>,
     next_job: AtomicU64,
     started: Instant,
 }
@@ -170,6 +180,7 @@ impl Runtime {
             counters,
             workers,
             worker_count: config.workers,
+            admission_max_pressure: config.admission_max_pressure,
             // Job 0 is reserved for standalone executors.
             next_job: AtomicU64::new(1),
             started: Instant::now(),
@@ -181,9 +192,34 @@ impl Runtime {
         &self.store
     }
 
+    /// Utilisation of the shared store's tightest capacity cap in `[0, 1]`
+    /// (0 when the store is unbounded) — what pressure-aware admission
+    /// consults.
+    pub fn store_pressure(&self) -> f64 {
+        self.store.pressure()
+    }
+
+    /// Rejects the submission when the shared store is past the configured
+    /// pressure limit — admitting more work would only churn the store.
+    fn check_store_pressure(&self) -> Result<(), AdmissionError> {
+        if let Some(limit) = self.admission_max_pressure {
+            let pressure = self.store.pressure();
+            if pressure > limit {
+                return Err(AdmissionError::StorePressure { pressure, limit });
+            }
+        }
+        Ok(())
+    }
+
     /// Non-blocking submission with admission control: rejects with
-    /// [`AdmissionError::QueueFull`] when the queue is at capacity.
+    /// [`AdmissionError::QueueFull`] when the queue is at capacity, or with
+    /// [`AdmissionError::StorePressure`] when the shared store is past the
+    /// configured pressure limit.
     pub fn submit(&self, job: ReconJob) -> Result<JobHandle, AdmissionError> {
+        if let Err(e) = self.check_store_pressure() {
+            self.counters.rejected.fetch_add(1, Ordering::Relaxed);
+            return Err(e);
+        }
         let id = self.next_job.fetch_add(1, Ordering::Relaxed);
         let name = job.name.clone();
         let (tx, rx) = channel();
@@ -200,8 +236,13 @@ impl Runtime {
     }
 
     /// Blocking submission: applies backpressure to the producer until a
-    /// queue slot frees up.
+    /// queue slot frees up. Store pressure still rejects (blocking would
+    /// not relieve it — the store only drains by eviction).
     pub fn submit_blocking(&self, job: ReconJob) -> Result<JobHandle, AdmissionError> {
+        if let Err(e) = self.check_store_pressure() {
+            self.counters.rejected.fetch_add(1, Ordering::Relaxed);
+            return Err(e);
+        }
         let id = self.next_job.fetch_add(1, Ordering::Relaxed);
         let name = job.name.clone();
         let (tx, rx) = channel();
@@ -231,6 +272,7 @@ impl Runtime {
                 queue_ns_total as f64 * 1e-9 / finished as f64
             },
             queue_seconds_max: self.counters.queue_ns_max.load(Ordering::Relaxed) as f64 * 1e-9,
+            store_pressure: self.store.pressure(),
             store: self.store.stats(),
         }
     }
@@ -421,6 +463,35 @@ mod tests {
         let stats = rt.shutdown();
         assert_eq!(stats.failed, 1);
         assert_eq!(stats.completed, 1);
+    }
+
+    #[test]
+    fn store_pressure_gates_admission() {
+        use mlr_memo::{CapacityBudget, EvictionPolicyKind};
+        // A one-entry budget saturates after the first job; with a pressure
+        // limit configured, the next submission must be turned away.
+        let config =
+            tiny_config().with_memo_budget(CapacityBudget::entries(1), EvictionPolicyKind::Fifo);
+        let rt = Runtime::new(RuntimeConfig {
+            workers: 1,
+            queue_capacity: 4,
+            admission_max_pressure: Some(0.5),
+            ..RuntimeConfig::matching(&config)
+        });
+        let first = rt.submit(ReconJob::new("fill", config)).unwrap();
+        let _ = first.wait();
+        assert!(rt.store_pressure() > 0.5, "store never saturated");
+        match rt.submit(ReconJob::new("turned-away", config)) {
+            Err(AdmissionError::StorePressure { pressure, limit }) => {
+                assert!(pressure > limit);
+            }
+            Err(e) => panic!("expected StorePressure, got {e}"),
+            Ok(_) => panic!("expected StorePressure, got admission"),
+        }
+        let stats = rt.shutdown();
+        assert_eq!(stats.rejected, 1);
+        assert_eq!(stats.completed, 1);
+        assert!(stats.store_pressure > 0.5);
     }
 
     #[test]

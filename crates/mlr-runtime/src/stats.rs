@@ -30,7 +30,11 @@ pub struct RuntimeStats {
     pub queue_seconds_mean: f64,
     /// Maximum queue latency over completed jobs.
     pub queue_seconds_max: f64,
-    /// Counters of the shared memo store.
+    /// Utilisation of the store's tightest capacity cap in `[0, 1]` at
+    /// snapshot time (0 for unbounded stores).
+    pub store_pressure: f64,
+    /// Counters of the shared memo store (including eviction counts and
+    /// resident bytes under the capacity budget).
     pub store: StoreStats,
 }
 
@@ -64,6 +68,23 @@ impl RuntimeStats {
     pub fn cross_job_hit_rate(&self) -> f64 {
         self.store.cross_job_hit_rate()
     }
+
+    /// Entries evicted from the shared store to satisfy its budget.
+    pub fn evictions(&self) -> u64 {
+        self.store.evictions
+    }
+
+    /// Resident bytes of the shared store (values + raw inputs + keys).
+    pub fn resident_bytes(&self) -> u64 {
+        self.store.resident_bytes
+    }
+
+    /// Store hit rate over only the queries issued while the store was
+    /// under capacity pressure — how well the eviction policy preserves
+    /// reuse once the budget binds.
+    pub fn hit_rate_under_pressure(&self) -> f64 {
+        self.store.hit_rate_under_pressure()
+    }
 }
 
 #[cfg(test)]
@@ -83,6 +104,7 @@ mod tests {
             busy_seconds: 4.0,
             queue_seconds_mean: 0.1,
             queue_seconds_max: 0.5,
+            store_pressure: 0.75,
             store: StoreStats {
                 entries: 100,
                 queries: 50,
@@ -90,11 +112,20 @@ mod tests {
                 cross_job_hits: 10,
                 inserts: 30,
                 value_bytes: 1 << 20,
+                evictions: 12,
+                expirations: 3,
+                resident_bytes: 3 << 20,
+                peak_resident_bytes: 3 << 20,
+                pressure_queries: 10,
+                pressure_hits: 4,
             },
         };
         assert!((s.throughput_jobs_per_second() - 4.0).abs() < 1e-12);
         assert!((s.utilisation() - 0.5).abs() < 1e-12);
         assert!((s.hit_rate() - 0.4).abs() < 1e-12);
         assert!((s.cross_job_hit_rate() - 0.2).abs() < 1e-12);
+        assert_eq!(s.evictions(), 12);
+        assert_eq!(s.resident_bytes(), 3 << 20);
+        assert!((s.hit_rate_under_pressure() - 0.4).abs() < 1e-12);
     }
 }

@@ -78,6 +78,7 @@ fn sharded_store_survives_concurrent_insert_query_stress() {
                         key.clone(),
                         chunk(2.0, 0.5, 16),
                         insert_origin,
+                        mlr_memo::recompute_cost_estimate(FftOpKind::Fu2D, input.len()),
                     );
                     let query_origin = Provenance {
                         job: t + 1,
