@@ -1,0 +1,221 @@
+//! Figure 20 (beyond the paper): deterministic intra-job chunk parallelism —
+//! `intra_job_threads` × chunk size, speedup and hit-rate parity vs the
+//! sequential schedule.
+//!
+//! The operator chunk loops used to run sequentially to preserve memo
+//! determinism; the two-phase batch scheduler (parallel read-only
+//! probe/compute, ordered commit) lifts that restriction without giving up
+//! the bit-identical reconstruction contract. This harness sweeps the
+//! chunk-thread count against chunk sizes and records, per cell:
+//!
+//! * **bit identity** — the reconstruction equals the sequential one, bit
+//!   for bit (asserted, and gated in CI);
+//! * **hit parity** — db/cache/failed-memo counts equal the sequential
+//!   run's (asserted, and gated);
+//! * **modeled speedup** — the deterministic critical-path speedup of the
+//!   chunk schedule under the analytic cost model (machine-independent,
+//!   gated at ≥ 2× for 4 threads);
+//! * **measured wall time / speedup** — what this machine actually did
+//!   (informational only: CI runners may have a single core, where wall
+//!   speedup is meaningless but the modeled schedule is unchanged).
+//!
+//! The machine-readable record lands in `BENCH_intra_job.json` (and, like
+//! every harness, under `target/experiments/`).
+
+use mlr_bench::{compare_row, header, smoke_from_args, write_record};
+use mlr_core::{MlrConfig, MlrPipeline};
+use serde::Serialize;
+use std::time::Instant;
+
+#[derive(Serialize)]
+struct Cell {
+    chunk_size: usize,
+    threads: usize,
+    wall_seconds: f64,
+    /// Sequential wall time / this cell's wall time (machine-dependent).
+    wall_speedup: f64,
+    /// Deterministic critical-path speedup of the chunk schedule.
+    modeled_speedup: f64,
+    /// Measured speedup of the parallel phases (chunk work / phase wall).
+    achieved_speedup: f64,
+    db_hits: u64,
+    cache_hits: u64,
+    failed_memo: u64,
+    bit_identical: bool,
+    hits_match: bool,
+}
+
+#[derive(Serialize)]
+struct Record {
+    smoke: bool,
+    n: usize,
+    iterations: usize,
+    thread_counts: Vec<usize>,
+    chunk_sizes: Vec<usize>,
+    cells: Vec<Cell>,
+    /// Modeled speedup at 4 threads on the smallest chunk size (the CI gate).
+    modeled_speedup_4t: f64,
+    /// Every parallel cell reconstructed bit-identically to sequential.
+    bit_identical: bool,
+    /// Every parallel cell reproduced the sequential hit counts exactly.
+    hit_parity: bool,
+}
+
+#[derive(Clone)]
+struct RunOutcome {
+    bits: Vec<u64>,
+    hits: (u64, u64, u64),
+    wall_seconds: f64,
+    modeled_speedup: f64,
+    achieved_speedup: f64,
+}
+
+fn run(config: MlrConfig, chunk_size: usize, threads: usize) -> RunOutcome {
+    let mut config = config.with_intra_job_threads(threads);
+    config.chunk_size = chunk_size;
+    let pipeline = MlrPipeline::new(config);
+    let start = Instant::now();
+    let (result, executor) = pipeline.run_memoized();
+    let wall_seconds = start.elapsed().as_secs_f64();
+    let total = executor.stats().total();
+    let parallel = executor.parallel_stats();
+    RunOutcome {
+        bits: result
+            .reconstruction
+            .as_slice()
+            .iter()
+            .map(|v| v.to_bits())
+            .collect(),
+        hits: (total.db_hits, total.cache_hits, total.failed_memo),
+        wall_seconds,
+        modeled_speedup: parallel.modeled_speedup(),
+        achieved_speedup: parallel.achieved_speedup(),
+    }
+}
+
+fn main() {
+    // Chunk-level threads are the parallelism under study: pin the rayon
+    // shim's intra-kernel fan-out to one thread so the two grains do not
+    // compete for cores (results are identical either way — this only
+    // de-noises the timing columns).
+    std::env::set_var("RAYON_NUM_THREADS", "1");
+    header(
+        "Figure 20",
+        "intra-job chunk parallelism: threads × chunk size, speedup + hit parity vs sequential",
+    );
+    let smoke = smoke_from_args();
+    let (n, angles, iterations) = if smoke { (12, 8, 5) } else { (16, 12, 6) };
+    let thread_counts: Vec<usize> = if smoke {
+        vec![1, 2, 4]
+    } else {
+        vec![1, 2, 4, 8]
+    };
+    let chunk_sizes: Vec<usize> = if smoke { vec![2, 4] } else { vec![2, 4, 8] };
+    let config = MlrConfig::quick(n, angles).with_iterations(iterations);
+
+    println!("problem: {n}³, {angles} angles, {iterations} ADMM iterations\n");
+    println!(
+        "{:>6} {:>8} {:>12} {:>9} {:>9} {:>9}  {:>14} {:>5} {:>5}",
+        "chunk", "threads", "wall", "wall×", "model×", "phase×", "db/cache/fail", "bits", "hits"
+    );
+
+    let mut cells = Vec::new();
+    let mut all_identical = true;
+    let mut all_parity = true;
+    let mut modeled_speedup_4t = 1.0;
+    for &chunk_size in &chunk_sizes {
+        let reference = run(config, chunk_size, 1);
+        for &threads in &thread_counts {
+            let outcome = if threads == 1 {
+                // The reference run *is* the threads=1 cell.
+                reference.clone()
+            } else {
+                run(config, chunk_size, threads)
+            };
+            let bit_identical = outcome.bits == reference.bits;
+            let hits_match = outcome.hits == reference.hits;
+            all_identical &= bit_identical;
+            all_parity &= hits_match;
+            if threads == 4 && chunk_size == chunk_sizes[0] {
+                modeled_speedup_4t = outcome.modeled_speedup;
+            }
+            let wall_speedup = if outcome.wall_seconds > 0.0 {
+                reference.wall_seconds / outcome.wall_seconds
+            } else {
+                1.0
+            };
+            println!(
+                "{:>6} {:>8} {:>11.3}s {:>8.2}x {:>8.2}x {:>8.2}x  {:>4}/{:<4}/{:<4} {:>5} {:>5}",
+                chunk_size,
+                threads,
+                outcome.wall_seconds,
+                wall_speedup,
+                outcome.modeled_speedup,
+                outcome.achieved_speedup,
+                outcome.hits.0,
+                outcome.hits.1,
+                outcome.hits.2,
+                if bit_identical { "==" } else { "DIFF" },
+                if hits_match { "==" } else { "DIFF" },
+            );
+            cells.push(Cell {
+                chunk_size,
+                threads,
+                wall_seconds: outcome.wall_seconds,
+                wall_speedup,
+                modeled_speedup: outcome.modeled_speedup,
+                achieved_speedup: outcome.achieved_speedup,
+                db_hits: outcome.hits.0,
+                cache_hits: outcome.hits.1,
+                failed_memo: outcome.hits.2,
+                bit_identical,
+                hits_match,
+            });
+        }
+    }
+
+    println!();
+    compare_row(
+        "bit-identical for every thread count",
+        "required",
+        if all_identical { "holds" } else { "VIOLATED" },
+    );
+    compare_row(
+        "hit counts identical to sequential",
+        "required",
+        if all_parity { "holds" } else { "VIOLATED" },
+    );
+    compare_row(
+        "modeled speedup @ 4 threads",
+        "≥ 2×",
+        &format!("{modeled_speedup_4t:.2}x"),
+    );
+
+    assert!(all_identical, "a parallel schedule changed the bits");
+    assert!(all_parity, "a parallel schedule changed the hit counts");
+    assert!(
+        modeled_speedup_4t >= 2.0,
+        "modeled speedup at 4 threads below 2x: {modeled_speedup_4t}"
+    );
+
+    let record = Record {
+        smoke,
+        n,
+        iterations,
+        thread_counts,
+        chunk_sizes,
+        cells,
+        modeled_speedup_4t,
+        bit_identical: all_identical,
+        hit_parity: all_parity,
+    };
+    match serde_json::to_string_pretty(&record) {
+        Ok(json) => {
+            if std::fs::write("BENCH_intra_job.json", &json).is_ok() {
+                println!("\n[record written to BENCH_intra_job.json]");
+            }
+        }
+        Err(e) => eprintln!("failed to serialise record: {e}"),
+    }
+    write_record("fig20_intra_job", &record);
+}

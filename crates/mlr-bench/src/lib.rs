@@ -20,10 +20,12 @@
 //! | `table1_accuracy` | Table 1 — reconstruction accuracy vs τ |
 //! | `fig18_multi_job` | beyond the paper — multi-job runtime, shared vs isolated stores |
 //! | `fig19_eviction` | beyond the paper — capacity budget vs cross-job hit rate per eviction policy |
+//! | `fig20_intra_job` | beyond the paper — intra-job chunk parallelism: threads × chunk size, speedup + hit parity |
 //! | `check_bench` | CI regression gate over the `BENCH_*.json` records (see `ci/bench_baseline.json`) |
 //!
 //! Run any of them with `cargo run --release -p mlr-bench --bin <name> [-- --scale tiny|small|paper]`.
-//! `fig18_multi_job` and `fig19_eviction` additionally accept `--smoke`, the
+//! `fig18_multi_job`, `fig19_eviction` and `fig20_intra_job` additionally
+//! accept `--smoke`, the
 //! reduced-size mode CI's bench-smoke job runs. Each prints a human-readable
 //! table with the paper's reported values next to the reproduced ones and
 //! writes a JSON record under `target/experiments/`.

@@ -93,6 +93,12 @@ pub struct MlrConfig {
     pub memo: MemoConfig,
     /// Chunk size (slabs per chunk) for the FFT stages.
     pub chunk_size: usize,
+    /// Chunk-level threads used *inside* this job's FFT stages (1 =
+    /// sequential, the default). The memoized executor's two-phase schedule
+    /// keeps the reconstruction bit-identical for every value; through the
+    /// runtime, threads beyond the first are leased from the global
+    /// concurrency governor so jobs × threads never oversubscribe the pool.
+    pub intra_job_threads: usize,
 }
 
 impl MlrConfig {
@@ -116,6 +122,7 @@ impl MlrConfig {
                 ..Default::default()
             },
             chunk_size: 8,
+            intra_job_threads: 1,
         }
     }
 
@@ -141,6 +148,14 @@ impl MlrConfig {
     /// Enables or disables memoization entirely.
     pub fn with_memoization(mut self, enabled: bool) -> Self {
         self.memo.enabled = enabled;
+        self
+    }
+
+    /// Sets the chunk-level thread count for this job's FFT stages
+    /// (clamped to ≥ 1). Determinism contract: the reconstruction is
+    /// bit-identical for every value.
+    pub fn with_intra_job_threads(mut self, threads: usize) -> Self {
+        self.intra_job_threads = threads.max(1);
         self
     }
 
@@ -192,5 +207,13 @@ mod tests {
         assert_eq!(c.memo.budget.max_bytes, Some(1 << 20));
         assert_eq!(c.memo.eviction, EvictionPolicyKind::Lru);
         assert!(c.memo.budget.is_bounded());
+    }
+
+    #[test]
+    fn intra_job_threads_builder_clamps_to_one() {
+        let c = MlrConfig::quick(16, 8);
+        assert_eq!(c.intra_job_threads, 1);
+        assert_eq!(c.with_intra_job_threads(4).intra_job_threads, 4);
+        assert_eq!(c.with_intra_job_threads(0).intra_job_threads, 1);
     }
 }

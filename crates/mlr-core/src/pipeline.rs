@@ -4,8 +4,8 @@ use crate::config::MlrConfig;
 use crate::report::{MlrReport, PaperScaleProjection};
 use mlr_lamino::{LaminoDataset, LaminoGeometry, LaminoOperator};
 use mlr_memo::{
-    CapacityBudget, EncoderConfig, EvictionPolicyKind, JobId, MemoDbConfig, MemoStore,
-    MemoizedExecutor, ShardedMemoDb,
+    CapacityBudget, ConcurrencyGovernor, EncoderConfig, EvictionPolicyKind, JobId, MemoDbConfig,
+    MemoStore, MemoizedExecutor, ShardedMemoDb,
 };
 use mlr_sim::workload::{AdmmWorkload, ProblemSize};
 use mlr_sim::CostModel;
@@ -102,13 +102,16 @@ impl MlrPipeline {
     }
 
     /// Runs the memoized (mLR) reconstruction; returns the result and the
-    /// executor holding all memoization statistics.
+    /// executor holding all memoization statistics. Chunk-level parallelism
+    /// follows `config.intra_job_threads` (no governor: a standalone run
+    /// owns the whole machine).
     pub fn run_memoized(&self) -> (AdmmResult, MemoizedExecutor) {
         let executor = MemoizedExecutor::new(
             self.config.memo,
             self.encoder_config(),
             self.config.problem.seed,
-        );
+        )
+        .with_parallelism(self.config.intra_job_threads, None);
         let solver = AdmmSolver::new(self.config.admm);
         let result = solver.run_with(&self.operator, &self.dataset.projections, &executor);
         (result, executor)
@@ -123,7 +126,23 @@ impl MlrPipeline {
         store: Arc<dyn MemoStore>,
         job: JobId,
     ) -> (AdmmResult, MemoizedExecutor) {
-        let executor = MemoizedExecutor::with_store(self.config.memo, store, job);
+        self.run_memoized_governed(store, job, None)
+    }
+
+    /// Runs the memoized reconstruction over a shared store *and* a shared
+    /// concurrency governor: the multi-tenant entry point the runtime's
+    /// workers use, where every chunk thread beyond the job's first must be
+    /// leased from the governor so concurrent jobs never oversubscribe the
+    /// machine. The governor only shapes wall time — the reconstruction is
+    /// bit-identical whatever it grants.
+    pub fn run_memoized_governed(
+        &self,
+        store: Arc<dyn MemoStore>,
+        job: JobId,
+        governor: Option<Arc<ConcurrencyGovernor>>,
+    ) -> (AdmmResult, MemoizedExecutor) {
+        let executor = MemoizedExecutor::with_store(self.config.memo, store, job)
+            .with_parallelism(self.config.intra_job_threads, governor);
         let solver = AdmmSolver::new(self.config.admm);
         let result = solver.run_with(&self.operator, &self.dataset.projections, &executor);
         (result, executor)

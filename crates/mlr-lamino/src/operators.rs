@@ -9,7 +9,7 @@
 //! the FFT code) knowing about them — mirroring the paper's claim that mLR
 //! "does not change the FFT algorithm".
 
-use crate::chunk::ChunkGrid;
+use crate::chunk::{ChunkGrid, ChunkLocation};
 use crate::geometry::LaminoGeometry;
 use mlr_fft::fft::Direction;
 use mlr_fft::fft2d::Fft2Batch;
@@ -76,6 +76,19 @@ impl FftOpKind {
     }
 }
 
+/// One chunk of a batched executor dispatch: the chunk location, its
+/// gathered (flattened, row-major) input, and the exact-compute closure the
+/// executor must call on a memoization miss. The closure is `Sync` so
+/// batch-aware executors may evaluate different chunks on different threads.
+pub struct ChunkRequest<'a> {
+    /// Chunk index along the stage's grid (the memoization key scope).
+    pub loc: usize,
+    /// Flattened chunk input.
+    pub input: &'a [Complex64],
+    /// Exact transform for this chunk.
+    pub compute: &'a (dyn Fn(&[Complex64]) -> Vec<Complex64> + Sync),
+}
+
 /// The execution seam for chunked FFT operations.
 ///
 /// The operator hands every chunk-level FFT invocation to an executor
@@ -83,6 +96,12 @@ impl FftOpKind {
 /// [`DirectExecutor`] simply calls the closure; mLR's memoization engine
 /// (in `mlr-memo`) instead searches its database and only falls back to the
 /// closure on a miss; the hardware simulator wraps either to account time.
+///
+/// Operators dispatch whole chunk grids through [`FftExecutor::execute_batch`],
+/// which batch-aware executors (the memoized engine's deterministic
+/// chunk-parallel scheduler) override; the default implementation simply
+/// loops over [`FftExecutor::execute`], so single-chunk executors and sim
+/// wrappers keep working unchanged.
 pub trait FftExecutor: Send + Sync {
     /// Executes (or replaces) FFT operation `kind` on chunk location `loc`.
     ///
@@ -96,10 +115,30 @@ pub trait FftExecutor: Send + Sync {
         compute: &dyn Fn(&[Complex64]) -> Vec<Complex64>,
     ) -> Vec<Complex64>;
 
+    /// Executes one whole stage application — every chunk of the grid — in a
+    /// single dispatch, returning the per-chunk results in batch order.
+    ///
+    /// The default implementation runs the chunks sequentially through
+    /// [`FftExecutor::execute`]; the memoized engine overrides it with the
+    /// two-phase deterministic parallel schedule (parallel probe/compute,
+    /// ordered commit), whose results are bit-identical for every thread
+    /// count.
+    fn execute_batch(&self, kind: FftOpKind, batch: &[ChunkRequest<'_>]) -> Vec<Vec<Complex64>> {
+        batch
+            .iter()
+            .map(|r| self.execute(kind, r.loc, r.input, r.compute))
+            .collect()
+    }
+
     /// Notifies the executor that a new outer (ADMM) iteration begins.
     /// Memoizing executors use this for similarity tracking; the default
     /// implementation does nothing.
     fn begin_iteration(&self, _iteration: usize) {}
+
+    /// Notifies the executor that the job is complete (no more invocations
+    /// will follow). Memoizing executors flush and account any buffered
+    /// coalesced keys here; the default implementation does nothing.
+    fn finish(&self) {}
 }
 
 /// Executor that always performs the exact computation.
@@ -116,6 +155,35 @@ impl FftExecutor for DirectExecutor {
     ) -> Vec<Complex64> {
         compute(input)
     }
+}
+
+/// Assembles the per-chunk [`ChunkRequest`]s of one stage application and
+/// dispatches them through the executor's batch entry point.
+///
+/// Trade-off: the callers gather *every* chunk's input up front (one extra
+/// stage-sized copy held for the duration of the application, where the old
+/// sequential loops gathered one chunk at a time) so the executor sees the
+/// whole grid in one dispatch and can schedule it freely. Bounding the
+/// in-flight gather (dispatch in waves) would cap that at
+/// O(chunks-in-flight) if stage-sized copies ever become the memory
+/// bottleneck.
+fn dispatch_grid<'a>(
+    exec: &dyn FftExecutor,
+    kind: FftOpKind,
+    locs: &[ChunkLocation],
+    inputs: impl Iterator<Item = &'a [Complex64]>,
+    computes: impl Iterator<Item = &'a (dyn Fn(&[Complex64]) -> Vec<Complex64> + Sync)>,
+) -> Vec<Vec<Complex64>> {
+    let batch: Vec<ChunkRequest<'a>> = locs
+        .iter()
+        .zip(inputs.zip(computes))
+        .map(|(loc, (input, compute))| ChunkRequest {
+            loc: loc.index,
+            input,
+            compute,
+        })
+        .collect();
+    exec.execute_batch(kind, &batch)
 }
 
 /// The laminography operator for a fixed geometry.
@@ -200,12 +268,26 @@ impl LaminoOperator {
         );
         let out_shape = self.geometry.u1_shape();
         let mut out = Array3::zeros(out_shape);
-        let grid = self.fu1d_grid();
-        for loc in grid.iter() {
-            let chunk = u.slab(loc.start, loc.len);
-            let result = exec.execute(FftOpKind::Fu1D, loc.index, chunk.as_slice(), &|input| {
-                self.fu1d_chunk_compute(input, loc.len)
-            });
+        let locs: Vec<ChunkLocation> = self.fu1d_grid().iter().collect();
+        let slabs: Vec<Array3<Complex64>> =
+            locs.iter().map(|loc| u.slab(loc.start, loc.len)).collect();
+        let computes: Vec<_> = locs
+            .iter()
+            .map(|loc| {
+                let len = loc.len;
+                move |input: &[Complex64]| self.fu1d_chunk_compute(input, len)
+            })
+            .collect();
+        let results = dispatch_grid(
+            exec,
+            FftOpKind::Fu1D,
+            &locs,
+            slabs.iter().map(|s| s.as_slice()),
+            computes
+                .iter()
+                .map(|c| c as &(dyn Fn(&[Complex64]) -> Vec<Complex64> + Sync)),
+        );
+        for (loc, result) in locs.iter().zip(results) {
             let chunk_out =
                 Array3::from_vec(Shape3::new(loc.len, out_shape.n1, out_shape.n2), result);
             out.set_slab(loc.start, &chunk_out);
@@ -253,12 +335,26 @@ impl LaminoOperator {
         );
         let out_shape = self.geometry.volume_shape();
         let mut out = Array3::zeros(out_shape);
-        let grid = self.fu1d_grid();
-        for loc in grid.iter() {
-            let chunk = u1.slab(loc.start, loc.len);
-            let result = exec.execute(FftOpKind::Fu1DAdj, loc.index, chunk.as_slice(), &|input| {
-                self.fu1d_adjoint_chunk_compute(input, loc.len)
-            });
+        let locs: Vec<ChunkLocation> = self.fu1d_grid().iter().collect();
+        let slabs: Vec<Array3<Complex64>> =
+            locs.iter().map(|loc| u1.slab(loc.start, loc.len)).collect();
+        let computes: Vec<_> = locs
+            .iter()
+            .map(|loc| {
+                let len = loc.len;
+                move |input: &[Complex64]| self.fu1d_adjoint_chunk_compute(input, len)
+            })
+            .collect();
+        let results = dispatch_grid(
+            exec,
+            FftOpKind::Fu1DAdj,
+            &locs,
+            slabs.iter().map(|s| s.as_slice()),
+            computes
+                .iter()
+                .map(|c| c as &(dyn Fn(&[Complex64]) -> Vec<Complex64> + Sync)),
+        );
+        for (loc, result) in locs.iter().zip(results) {
             let chunk_out =
                 Array3::from_vec(Shape3::new(loc.len, out_shape.n1, out_shape.n2), result);
             out.set_slab(loc.start, &chunk_out);
@@ -305,12 +401,28 @@ impl LaminoOperator {
         let h = self.geometry.detector.rows;
         let w = self.geometry.detector.cols;
         let mut out = Array3::zeros(Shape3::new(n_theta, h, w));
-        let grid = self.fu2d_grid();
-        for loc in grid.iter() {
-            let chunk = self.gather_rows(u1, loc.start, loc.len);
-            let result = exec.execute(FftOpKind::Fu2D, loc.index, &chunk, &|input| {
-                self.fu2d_chunk_compute(input, loc.start, loc.len)
-            });
+        let locs: Vec<ChunkLocation> = self.fu2d_grid().iter().collect();
+        let chunks: Vec<Vec<Complex64>> = locs
+            .iter()
+            .map(|loc| self.gather_rows(u1, loc.start, loc.len))
+            .collect();
+        let computes: Vec<_> = locs
+            .iter()
+            .map(|loc| {
+                let (start, len) = (loc.start, loc.len);
+                move |input: &[Complex64]| self.fu2d_chunk_compute(input, start, len)
+            })
+            .collect();
+        let results = dispatch_grid(
+            exec,
+            FftOpKind::Fu2D,
+            &locs,
+            chunks.iter().map(|c| c.as_slice()),
+            computes
+                .iter()
+                .map(|c| c as &(dyn Fn(&[Complex64]) -> Vec<Complex64> + Sync)),
+        );
+        for (loc, result) in locs.iter().zip(results) {
             // result layout: [rows_in_chunk][nθ * w]
             for (r, row_data) in result.chunks(n_theta * w).enumerate() {
                 let row = loc.start + r;
@@ -367,21 +479,40 @@ impl LaminoOperator {
         let n_theta = self.geometry.n_angles();
         let w = self.geometry.detector.cols;
         let mut out = Array3::zeros(self.geometry.u1_shape());
-        let grid = self.fu2d_grid();
-        for loc in grid.iter() {
-            // Gather the chunk: per row, the nθ × w spectrum samples.
-            let mut chunk = vec![Complex64::ZERO; loc.len * n_theta * w];
-            for r in 0..loc.len {
-                let row = loc.start + r;
-                for t in 0..n_theta {
-                    for c in 0..w {
-                        chunk[r * n_theta * w + t * w + c] = dhat[(t, row, c)];
+        let locs: Vec<ChunkLocation> = self.fu2d_grid().iter().collect();
+        let chunks: Vec<Vec<Complex64>> = locs
+            .iter()
+            .map(|loc| {
+                // Gather the chunk: per row, the nθ × w spectrum samples.
+                let mut chunk = vec![Complex64::ZERO; loc.len * n_theta * w];
+                for r in 0..loc.len {
+                    let row = loc.start + r;
+                    for t in 0..n_theta {
+                        for c in 0..w {
+                            chunk[r * n_theta * w + t * w + c] = dhat[(t, row, c)];
+                        }
                     }
                 }
-            }
-            let result = exec.execute(FftOpKind::Fu2DAdj, loc.index, &chunk, &|input| {
-                self.fu2d_adjoint_chunk_compute(input, loc.start, loc.len)
-            });
+                chunk
+            })
+            .collect();
+        let computes: Vec<_> = locs
+            .iter()
+            .map(|loc| {
+                let (start, len) = (loc.start, loc.len);
+                move |input: &[Complex64]| self.fu2d_adjoint_chunk_compute(input, start, len)
+            })
+            .collect();
+        let results = dispatch_grid(
+            exec,
+            FftOpKind::Fu2DAdj,
+            &locs,
+            chunks.iter().map(|c| c.as_slice()),
+            computes
+                .iter()
+                .map(|c| c as &(dyn Fn(&[Complex64]) -> Vec<Complex64> + Sync)),
+        );
+        for (loc, result) in locs.iter().zip(results) {
             // result layout: [rows_in_chunk][n1 * n2]
             for (r, plane) in result.chunks(n1 * n2).enumerate() {
                 let row = loc.start + r;
@@ -452,12 +583,26 @@ impl LaminoOperator {
             "F2D input shape mismatch"
         );
         let mut out = Array3::zeros(d.shape());
-        let grid = self.f2d_grid();
-        for loc in grid.iter() {
-            let chunk = d.slab(loc.start, loc.len);
-            let result = exec.execute(kind, loc.index, chunk.as_slice(), &|input| {
-                self.f2d_chunk_compute(input, loc.len, kind)
-            });
+        let locs: Vec<ChunkLocation> = self.f2d_grid().iter().collect();
+        let slabs: Vec<Array3<Complex64>> =
+            locs.iter().map(|loc| d.slab(loc.start, loc.len)).collect();
+        let computes: Vec<_> = locs
+            .iter()
+            .map(|loc| {
+                let len = loc.len;
+                move |input: &[Complex64]| self.f2d_chunk_compute(input, len, kind)
+            })
+            .collect();
+        let results = dispatch_grid(
+            exec,
+            kind,
+            &locs,
+            slabs.iter().map(|s| s.as_slice()),
+            computes
+                .iter()
+                .map(|c| c as &(dyn Fn(&[Complex64]) -> Vec<Complex64> + Sync)),
+        );
+        for (loc, result) in locs.iter().zip(results) {
             let chunk_out =
                 Array3::from_vec(Shape3::new(loc.len, d.shape().n1, d.shape().n2), result);
             out.set_slab(loc.start, &chunk_out);

@@ -137,6 +137,56 @@ impl MemoCache {
         }
     }
 
+    /// Read-only lookup for the parallel phase of the batched executor: like
+    /// [`MemoCache::lookup`] but with *no* statistics side effects, so many
+    /// chunks can peek concurrently under a shared lock. Returns the value
+    /// (if any) and the number of similarity comparisons performed; the
+    /// caller folds both into the statistics during its ordered commit via
+    /// [`MemoCache::note_lookup`].
+    pub fn peek(
+        &self,
+        op: FftOpKind,
+        loc: usize,
+        key: &[f64],
+        tau: f64,
+        current_iteration: usize,
+    ) -> (Option<Arc<Vec<Complex64>>>, u64) {
+        if self.kind_is_global {
+            let mut comparisons = 0;
+            for entry in &self.global {
+                if entry.iteration >= current_iteration {
+                    continue;
+                }
+                comparisons += 1;
+                if scale_aware_similarity(key, &entry.key) > tau {
+                    return (Some(Arc::clone(&entry.value)), comparisons);
+                }
+            }
+            (None, comparisons)
+        } else {
+            if let Some(entry) = self.private.get(&(op, loc)) {
+                if entry.iteration >= current_iteration {
+                    return (None, 0);
+                }
+                if scale_aware_similarity(key, &entry.key) > tau {
+                    return (Some(Arc::clone(&entry.value)), 1);
+                }
+                return (None, 1);
+            }
+            (None, 0)
+        }
+    }
+
+    /// Folds the outcome of a [`MemoCache::peek`] into the statistics (the
+    /// ordered-commit counterpart of the accounting `lookup` does inline).
+    pub fn note_lookup(&mut self, hit: bool, comparisons: u64) {
+        self.stats.lookups += 1;
+        self.stats.comparisons += comparisons;
+        if hit {
+            self.stats.hits += 1;
+        }
+    }
+
     /// Inserts (or replaces, FIFO) the value fetched from the memoization
     /// database for `(op, loc)`.
     pub fn insert(
@@ -275,6 +325,27 @@ mod tests {
             c.insert(FftOpKind::Fu1D, i, key(i as f64 + 1.0), value(1), 0);
         }
         assert_eq!(c.len(), 4);
+    }
+
+    #[test]
+    fn peek_matches_lookup_without_stats_side_effects() {
+        let mut c = MemoCache::new(CacheKind::Private, 0);
+        c.insert(FftOpKind::Fu2D, 3, key(1.0), value(4), 0);
+        // Peek agrees with lookup on hit/miss but leaves the stats alone.
+        let (hit, comparisons) = c.peek(FftOpKind::Fu2D, 3, &key(1.0), 0.9, 1);
+        assert!(hit.is_some());
+        assert_eq!(comparisons, 1);
+        let (miss, _) = c.peek(FftOpKind::Fu2D, 4, &key(1.0), 0.9, 1);
+        assert!(miss.is_none());
+        // Same-iteration entries are invisible to peek, as to lookup.
+        assert!(c.peek(FftOpKind::Fu2D, 3, &key(1.0), 0.9, 0).0.is_none());
+        assert_eq!(c.stats().lookups, 0);
+        c.note_lookup(true, 1);
+        c.note_lookup(false, 1);
+        let s = c.stats();
+        assert_eq!(s.lookups, 2);
+        assert_eq!(s.hits, 1);
+        assert_eq!(s.comparisons, 2);
     }
 
     #[test]

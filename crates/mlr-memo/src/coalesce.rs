@@ -8,15 +8,26 @@
 //! reaches the saturating size (4 KB on Slingshot-11), enabling batched
 //! lookups on the memory node.
 
+use mlr_lamino::FftOpKind;
 use serde::{Deserialize, Serialize};
 
 /// A key queued for transmission.
 #[derive(Debug, Clone, PartialEq)]
 pub struct PendingKey {
+    /// Which FFT operation issued the query (so deferred flushes can be
+    /// accounted against the right operation's traffic counters).
+    pub op: FftOpKind,
     /// Which chunk location issued the query.
     pub location: usize,
     /// The encoded key.
     pub key: Vec<f64>,
+}
+
+impl PendingKey {
+    /// Size in bytes of this key on the wire.
+    pub fn wire_bytes(&self) -> u64 {
+        (self.key.len() * 8) as u64
+    }
 }
 
 /// Statistics of coalescing behaviour (feeds Figure 11).
@@ -82,10 +93,15 @@ impl KeyCoalescer {
     /// Submits a key. Returns the batch to transmit when the payload target
     /// is reached (or immediately when coalescing is disabled), otherwise
     /// `None`.
-    pub fn submit(&mut self, location: usize, key: Vec<f64>) -> Option<Vec<PendingKey>> {
+    pub fn submit(
+        &mut self,
+        op: FftOpKind,
+        location: usize,
+        key: Vec<f64>,
+    ) -> Option<Vec<PendingKey>> {
         self.stats.keys += 1;
         let bytes = Self::key_bytes(&key);
-        self.pending.push(PendingKey { location, key });
+        self.pending.push(PendingKey { op, location, key });
         self.pending_bytes += bytes;
         if !self.enabled || self.pending_bytes >= self.target_payload_bytes {
             Some(self.flush())
@@ -134,7 +150,9 @@ mod tests {
     fn disabled_coalescer_flushes_every_key() {
         let mut c = KeyCoalescer::new(4096, false);
         for loc in 0..5 {
-            let batch = c.submit(loc, key(60)).expect("immediate flush");
+            let batch = c
+                .submit(FftOpKind::Fu2D, loc, key(60))
+                .expect("immediate flush");
             assert_eq!(batch.len(), 1);
             assert_eq!(batch[0].location, loc);
         }
@@ -150,7 +168,7 @@ mod tests {
         let mut c = KeyCoalescer::new(4096, true);
         let mut flushed = None;
         for loc in 0..9 {
-            flushed = c.submit(loc, key(60));
+            flushed = c.submit(FftOpKind::Fu2D, loc, key(60));
             if loc < 8 {
                 assert!(flushed.is_none(), "flushed too early at {loc}");
             }
@@ -166,8 +184,8 @@ mod tests {
     #[test]
     fn manual_flush_drains_pending() {
         let mut c = KeyCoalescer::new(1 << 20, true);
-        assert!(c.submit(0, key(8)).is_none());
-        assert!(c.submit(1, key(8)).is_none());
+        assert!(c.submit(FftOpKind::Fu1D, 0, key(8)).is_none());
+        assert!(c.submit(FftOpKind::Fu1D, 1, key(8)).is_none());
         assert_eq!(c.pending(), 2);
         let batch = c.flush();
         assert_eq!(batch.len(), 2);

@@ -29,7 +29,7 @@ use crate::eviction::{
     StoreClock,
 };
 use crate::kvstore::ValueStore;
-use crate::store::{Provenance, StoreStats};
+use crate::store::{ProbeOutcome, Provenance, StoreStats};
 use mlr_lamino::FftOpKind;
 use mlr_math::norms::{scale_aware_similarity, scale_aware_similarity_c};
 use mlr_math::Complex64;
@@ -476,6 +476,131 @@ impl MemoDatabase {
             }
         }
         QueryOutcome::Miss { key }
+    }
+
+    /// Read-only probe: the lookup of [`Self::query_with_key_from`] with
+    /// *no* side effects — no counters, no tick consumption, no recency
+    /// refresh, no lazy TTL reclamation. The batched executor probes every
+    /// chunk of an operator application against the store state frozen at
+    /// the application's start and replays the bookkeeping afterwards, in
+    /// chunk-index order, through [`Self::commit_hit`] /
+    /// [`Self::commit_miss_query`] / [`Self::reclaim_expired`].
+    pub fn probe_with_key_from(
+        &self,
+        op: FftOpKind,
+        loc: usize,
+        input: &[Complex64],
+        key: &[f64],
+        origin: Provenance,
+    ) -> ProbeOutcome {
+        let now_epoch = self.clock.epoch();
+        let scope_key = self.scope_key(op, loc);
+        let Some(scope) = self.scopes.get(&scope_key) else {
+            return ProbeOutcome::Miss;
+        };
+        let Some(hit) = scope.index.search(key) else {
+            return ProbeOutcome::Miss;
+        };
+        let Some(record) = self.entries.get(&hit.id) else {
+            return ProbeOutcome::Miss;
+        };
+        if self.policy.is_expired(&record.meta, now_epoch) {
+            return ProbeOutcome::Expired { entry: hit.id };
+        }
+        let stored_origin = record.meta.origin;
+        if !stored_origin.may_serve(&origin) {
+            return ProbeOutcome::Miss;
+        }
+        let similarity = if self.config.gate_on_raw {
+            match &record.raw_input {
+                Some(stored) => scale_aware_similarity_c(input, stored),
+                None => return ProbeOutcome::Miss,
+            }
+        } else {
+            match &record.key {
+                Some(stored) => scale_aware_similarity(key, stored),
+                None => return ProbeOutcome::Miss,
+            }
+        };
+        if similarity > self.config.tau {
+            if let Some(value) = self.values.get(hit.id) {
+                return ProbeOutcome::Hit {
+                    value,
+                    similarity,
+                    entry: hit.id,
+                    origin: stored_origin,
+                };
+            }
+        }
+        ProbeOutcome::Miss
+    }
+
+    /// Replays the bookkeeping of a hit discovered by
+    /// [`Self::probe_with_key_from`]: query/hit counters, pressure
+    /// accounting, and the recency/reuse metadata refresh the eviction
+    /// policies rank by. Runs during the batch's ordered commit, so the
+    /// logical tick each hit consumes is assigned in chunk-index order —
+    /// identical for every thread count. The metadata refresh is skipped if
+    /// the entry no longer exists (an earlier commit of the same batch may
+    /// have evicted it); that skip is itself deterministic.
+    pub fn commit_hit(&mut self, entry: u64, entry_origin: Provenance, origin: Provenance) {
+        self.queries += 1;
+        let tick = self.clock.next_tick();
+        let now_epoch = self.clock.epoch();
+        let under_pressure = self.role == BudgetRole::Standalone
+            && self
+                .config
+                .budget
+                .pressure(self.resident_bytes(), self.len() as u64)
+                >= PRESSURE_THRESHOLD;
+        if under_pressure {
+            self.pressure_queries += 1;
+            self.pressure_hits += 1;
+        }
+        self.hits += 1;
+        if entry_origin.job != origin.job {
+            self.cross_job_hits += 1;
+        }
+        if let Some(record) = self.entries.get_mut(&entry) {
+            record.meta.last_access_tick = tick;
+            record.meta.last_access_epoch = now_epoch;
+            record.meta.hits += 1;
+            if entry_origin.job != origin.job {
+                record.meta.cross_hits += 1;
+            }
+            self.policy.charge(&mut record.meta);
+        }
+    }
+
+    /// Replays the query accounting of a probe that missed (the insert that
+    /// follows the exact compute is a separate
+    /// [`Self::insert_from_with_cost`]).
+    pub fn commit_miss_query(&mut self) {
+        self.queries += 1;
+        let _tick = self.clock.next_tick();
+        let under_pressure = self.role == BudgetRole::Standalone
+            && self
+                .config
+                .budget
+                .pressure(self.resident_bytes(), self.len() as u64)
+                >= PRESSURE_THRESHOLD;
+        if under_pressure {
+            self.pressure_queries += 1;
+        }
+    }
+
+    /// Reclaims an entry a probe found expired, if it still exists and still
+    /// is expired — the ordered-commit counterpart of the lazy reclamation
+    /// [`Self::query_with_key_from`] performs inline.
+    pub fn reclaim_expired(&mut self, entry: u64) {
+        let now_epoch = self.clock.epoch();
+        let expired = self
+            .entries
+            .get(&entry)
+            .is_some_and(|r| self.policy.is_expired(&r.meta, now_epoch));
+        if expired {
+            self.remove_entry(entry, RemovalKind::Expired);
+        }
     }
 
     /// Inserts an entry: the FFT `input` (as the key source) and its computed

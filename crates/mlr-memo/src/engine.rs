@@ -15,16 +15,17 @@
 //! operation cancellation of Algorithm 2 they do not appear at all.
 
 use crate::cache::{CacheKind, MemoCache};
-use crate::coalesce::KeyCoalescer;
+use crate::coalesce::{KeyCoalescer, PendingKey};
 use crate::db::{MemoDatabase, MemoDbConfig, QueryOutcome};
 use crate::encoder::EncoderConfig;
 use crate::eviction::{recompute_cost_estimate, CapacityBudget, EvictionPolicyKind};
+use crate::parallel::{ConcurrencyGovernor, ParallelStats};
 use crate::similarity::SimilarityTracker;
 use crate::stats::{MemoCase, MemoStats};
-use crate::store::{JobId, LocalMemoStore, MemoStore, Provenance};
-use mlr_lamino::{FftExecutor, FftOpKind};
+use crate::store::{JobId, LocalMemoStore, MemoStore, ProbeOutcome, Provenance};
+use mlr_lamino::{ChunkRequest, FftExecutor, FftOpKind};
 use mlr_math::Complex64;
-use parking_lot::Mutex;
+use parking_lot::{Mutex, RwLock};
 use serde::{Deserialize, Serialize};
 use std::sync::Arc;
 use std::time::Instant;
@@ -83,18 +84,51 @@ impl Default for MemoConfig {
     }
 }
 
-/// Per-executor mutable state behind one lock: the compute-node cache, key
-/// coalescer and statistics are private to one job, and the protocol is
-/// sequential per chunk within a job, so a single mutex keeps the
-/// implementation simple without measurable contention. The memoization
-/// database itself lives *outside* this lock, behind the [`MemoStore`] seam,
-/// so several executors can share one store concurrently.
+/// Per-executor mutable state behind one lock: the key coalescer,
+/// statistics and similarity tracker are private to one job and only
+/// touched during the *ordered commit* phase (or the sequential
+/// single-chunk path), so a single mutex suffices without ever serializing
+/// chunk compute. The compute-node cache lives outside this lock, behind a
+/// read-write lock, because the parallel phase peeks it concurrently. The
+/// memoization database itself lives behind the [`MemoStore`] seam, so
+/// several executors can share one store concurrently.
 struct EngineState {
-    cache: MemoCache,
     coalescer: KeyCoalescer,
     stats: MemoStats,
     similarity: SimilarityTracker,
     iteration: usize,
+    parallel: ParallelStats,
+}
+
+/// Per-chunk result of the parallel phase, carried into the ordered commit.
+enum ProbeCase {
+    /// The compute-node cache held a similar-enough value.
+    CacheHit { value: Arc<Vec<Complex64>> },
+    /// The database probe passed the τ gate.
+    DbHit {
+        value: Arc<Vec<Complex64>>,
+        entry: u64,
+        entry_origin: Provenance,
+    },
+    /// Nothing reusable: the exact transform was computed in parallel.
+    Computed {
+        output: Vec<Complex64>,
+        compute_seconds: f64,
+        /// TTL-expired candidate to reclaim during the commit.
+        expired: Option<u64>,
+    },
+}
+
+/// Everything the parallel phase produces for one chunk: the encoded key,
+/// how the chunk was satisfied, the compute-node-cache accounting to replay,
+/// and the chunk's wall time (folded into `OpStats`/`ParallelStats` during
+/// the ordered commit — never under the state lock while computing).
+struct ChunkScratch {
+    key: Vec<f64>,
+    case: ProbeCase,
+    cache_checked: bool,
+    cache_comparisons: u64,
+    seconds: f64,
 }
 
 /// The memoized FFT executor.
@@ -105,7 +139,15 @@ pub struct MemoizedExecutor {
     /// and account cross-job hits.
     job: JobId,
     store: Arc<dyn MemoStore>,
+    /// Compute-node cache: peeked (read) concurrently by the parallel phase,
+    /// written only during the ordered commit.
+    cache: RwLock<MemoCache>,
     state: Mutex<EngineState>,
+    /// Chunk-level threads this job may use per batch (≥ 1; 1 = sequential).
+    threads: usize,
+    /// Global arbiter of spare cores, shared with every other job of a
+    /// runtime; `None` for standalone executors (full allowance).
+    governor: Option<Arc<ConcurrencyGovernor>>,
 }
 
 impl MemoizedExecutor {
@@ -138,14 +180,33 @@ impl MemoizedExecutor {
             config,
             job,
             store,
+            cache: RwLock::new(MemoCache::new(config.cache_kind, cache_capacity)),
             state: Mutex::new(EngineState {
-                cache: MemoCache::new(config.cache_kind, cache_capacity),
                 coalescer: KeyCoalescer::new(config.coalesce_payload_bytes, config.coalesce_keys),
                 stats: MemoStats::new(),
                 similarity: SimilarityTracker::new(config.tau),
                 iteration: 0,
+                parallel: ParallelStats::default(),
             }),
+            threads: 1,
+            governor: None,
         }
+    }
+
+    /// Configures the deterministic intra-job chunk parallelism: batches
+    /// dispatched through [`FftExecutor::execute_batch`] run their parallel
+    /// phase on up to `threads` threads (clamped to ≥ 1), leasing every
+    /// thread beyond the first from `governor` when one is given (the
+    /// runtime's shared core arbiter). Thread count never affects the
+    /// reconstruction — only wall time.
+    pub fn with_parallelism(
+        mut self,
+        threads: usize,
+        governor: Option<Arc<ConcurrencyGovernor>>,
+    ) -> Self {
+        self.threads = threads.max(1);
+        self.governor = governor;
+        self
     }
 
     /// The executor configuration.
@@ -164,12 +225,42 @@ impl MemoizedExecutor {
     }
 
     /// Marks the start of a new ADMM (outer) iteration; used by the
-    /// similarity tracker and by reports. Also advances the store's epoch
-    /// (the job-iteration clock TTL eviction ages by): each tenant ticks
-    /// the shared store once per outer iteration.
+    /// similarity tracker and by reports. Flushes (and accounts) any keys
+    /// still buffered in the coalescer from the previous iteration — a
+    /// trailing partial batch must not carry its bytes unaccounted across
+    /// the iteration boundary. Also advances the store's epoch (the
+    /// job-iteration clock TTL eviction ages by): each tenant ticks the
+    /// shared store once per outer iteration.
     pub fn begin_iteration(&self, iteration: usize) {
-        self.state.lock().iteration = iteration;
+        let mut state = self.state.lock();
+        Self::flush_coalescer(&mut state);
+        state.iteration = iteration;
+        drop(state);
         self.store.advance_epoch();
+    }
+
+    /// Marks the end of the job: flushes and accounts the coalescer's final
+    /// trailing batch, so the per-op remote-byte counters cover every key
+    /// that was ever submitted.
+    pub fn finish(&self) {
+        Self::flush_coalescer(&mut self.state.lock());
+    }
+
+    /// Drains the coalescer and charges the flushed keys' wire bytes to
+    /// their operations (the accounting `submit` defers for buffered keys).
+    fn flush_coalescer(state: &mut EngineState) {
+        let flushed = state.coalescer.flush();
+        Self::account_flush(&mut state.stats, &flushed);
+    }
+
+    /// Charges a flushed coalescer batch's wire bytes to each key's *own*
+    /// operation — a batch crossing the payload target can carry keys
+    /// buffered by earlier stages of the iteration, which must not be
+    /// misattributed to the stage that happened to trigger the flush.
+    fn account_flush(stats: &mut MemoStats, flushed: &[PendingKey]) {
+        for pending in flushed {
+            stats.add_remote_bytes(pending.op, pending.wire_bytes());
+        }
     }
 
     /// Snapshot of the accumulated statistics.
@@ -177,9 +268,14 @@ impl MemoizedExecutor {
         self.state.lock().stats.clone()
     }
 
+    /// Snapshot of the intra-job parallel-scheduling statistics.
+    pub fn parallel_stats(&self) -> ParallelStats {
+        self.state.lock().parallel
+    }
+
     /// Snapshot of the compute-node cache statistics.
     pub fn cache_stats(&self) -> crate::cache::CacheStats {
-        self.state.lock().cache.stats()
+        self.cache.read().stats()
     }
 
     /// Snapshot of the key-coalescing statistics.
@@ -217,11 +313,95 @@ impl MemoizedExecutor {
     fn should_memoize(&self, kind: FftOpKind) -> bool {
         self.config.enabled && (!self.config.usfft_only || kind.is_unequally_spaced())
     }
+
+    /// Runs `f(0..n)` across the configured chunk threads (leasing extras
+    /// from the governor, best-effort) and returns the results in index
+    /// order plus the `(requested, used)` thread counts. The index space is
+    /// split into contiguous blocks — the same deterministic partition the
+    /// modeled schedule assumes — and since `f` is pure with respect to the
+    /// commit-ordered state, the output is identical for every thread count.
+    fn map_chunks<T: Send>(
+        &self,
+        n: usize,
+        f: impl Fn(usize) -> T + Sync,
+    ) -> (Vec<T>, usize, usize) {
+        let requested = self.threads.min(n).max(1);
+        let lease = self
+            .governor
+            .as_ref()
+            .map(|g| g.acquire(requested.saturating_sub(1)));
+        let used = 1 + lease
+            .as_ref()
+            .map_or(requested.saturating_sub(1), |l| l.granted());
+        let out = if used <= 1 || n <= 1 {
+            (0..n).map(f).collect()
+        } else {
+            let workers = used.min(n);
+            let block = n.div_ceil(workers);
+            let mut blocks: Vec<Vec<T>> = Vec::with_capacity(workers);
+            std::thread::scope(|s| {
+                let handles: Vec<_> = (0..workers)
+                    .map(|w| {
+                        let f = &f;
+                        s.spawn(move || {
+                            let start = w * block;
+                            let end = ((w + 1) * block).min(n);
+                            (start..end).map(f).collect::<Vec<T>>()
+                        })
+                    })
+                    .collect();
+                for h in handles {
+                    blocks.push(h.join().expect("chunk worker panicked"));
+                }
+            });
+            blocks.into_iter().flatten().collect()
+        };
+        (out, requested, used)
+    }
+
+    /// Folds one batch dispatch into the parallel statistics: thread
+    /// accounting, measured times, and the deterministic modeled schedule
+    /// (analytic per-chunk recompute cost over contiguous blocks at the
+    /// *requested* thread count — the governor's grant varies with machine
+    /// load, the model must not).
+    fn note_batch(
+        state: &mut EngineState,
+        kind: FftOpKind,
+        batch: &[ChunkRequest<'_>],
+        requested: usize,
+        used: usize,
+        chunk_seconds: f64,
+        phase_seconds: f64,
+    ) {
+        let p = &mut state.parallel;
+        p.batches += 1;
+        p.chunks += batch.len() as u64;
+        p.threads_requested += requested as u64;
+        p.threads_granted += used as u64;
+        p.chunk_seconds += chunk_seconds;
+        p.phase_seconds += phase_seconds;
+        let costs: Vec<f64> = batch
+            .iter()
+            .map(|t| recompute_cost_estimate(kind, t.input.len()))
+            .collect();
+        p.modeled_serial_cost += costs.iter().sum::<f64>();
+        let workers = requested.min(batch.len()).max(1);
+        let block = batch.len().div_ceil(workers);
+        let critical = costs
+            .chunks(block)
+            .map(|b| b.iter().sum::<f64>())
+            .fold(0.0f64, f64::max);
+        p.modeled_critical_cost += critical;
+    }
 }
 
 impl FftExecutor for MemoizedExecutor {
     fn begin_iteration(&self, iteration: usize) {
         MemoizedExecutor::begin_iteration(self, iteration);
+    }
+
+    fn finish(&self) {
+        MemoizedExecutor::finish(self);
     }
 
     fn execute(
@@ -256,9 +436,10 @@ impl FftExecutor for MemoizedExecutor {
 
         // 2. Compute-node cache.
         if self.config.use_cache {
-            if let Some(value) = state
-                .cache
-                .lookup(kind, loc, &key, self.config.tau, iteration)
+            if let Some(value) =
+                self.cache
+                    .write()
+                    .lookup(kind, loc, &key, self.config.tau, iteration)
             {
                 state.stats.record(kind, MemoCase::CacheHit);
                 return value.as_ref().clone();
@@ -268,14 +449,10 @@ impl FftExecutor for MemoizedExecutor {
         // 3. Key coalescing: the query key travels to the memory node as part
         //    of a batch. The batch boundary only affects *when* bytes cross
         //    the wire (accounted in the stats), not the query result.
-        let key_bytes = (key.len() * 8) as u64;
-        if let Some(batch) = state.coalescer.submit(loc, key.clone()) {
-            let batch_bytes: u64 = batch.iter().map(|k| (k.key.len() * 8) as u64).sum();
-            state.stats.add_remote_bytes(kind, batch_bytes);
-        } else {
-            // Buffered; bytes accounted when the batch flushes.
-            let _ = key_bytes;
+        if let Some(batch) = state.coalescer.submit(kind, loc, key.clone()) {
+            Self::account_flush(&mut state.stats, &batch);
         }
+        // Otherwise buffered; bytes accounted when the batch flushes.
 
         // 4. Query the memoization database.
         let origin = Provenance {
@@ -289,7 +466,9 @@ impl FftExecutor for MemoizedExecutor {
                     .stats
                     .add_remote_bytes(kind, (value.len() * 16) as u64);
                 if self.config.use_cache {
-                    state.cache.insert(kind, loc, key, value.clone(), iteration);
+                    self.cache
+                        .write()
+                        .insert(kind, loc, key, value.clone(), iteration);
                 }
                 value.as_ref().clone()
             }
@@ -319,6 +498,214 @@ impl FftExecutor for MemoizedExecutor {
                 out
             }
         }
+    }
+
+    /// The deterministic two-phase chunk-parallel schedule.
+    ///
+    /// **Phase 1 (parallel):** every chunk independently encodes its key,
+    /// peeks the compute-node cache (read-only), probes the database
+    /// (read-only) and — on a miss — computes the exact transform. All of
+    /// this runs against the store/cache state *frozen at the start of the
+    /// application*, so the phase is order-independent. Inserts from this
+    /// application only become visible at the next one, which loses nothing:
+    /// the provenance freshness gate already makes same-job entries of the
+    /// current iteration ineligible.
+    ///
+    /// **Phase 2 (ordered commit):** in chunk-index order, replay every side
+    /// effect — statistics, similarity tracking, key coalescing, cache
+    /// updates, store hit/miss bookkeeping (logical ticks!) and inserts with
+    /// their eviction enforcement. Commit order never depends on the thread
+    /// schedule, so the reconstruction (and the eviction trace) is
+    /// bit-identical for every `intra_job_threads`.
+    fn execute_batch(&self, kind: FftOpKind, batch: &[ChunkRequest<'_>]) -> Vec<Vec<Complex64>> {
+        if batch.is_empty() {
+            return Vec::new();
+        }
+        let iteration = self.state.lock().iteration;
+        let in_warmup = iteration < self.config.warmup_iterations;
+        if !self.should_memoize(kind) || in_warmup {
+            // Non-memoized stage: parallel exact compute, ordered stats fold.
+            let phase_start = Instant::now();
+            let (results, requested, used) = self.map_chunks(batch.len(), |i| {
+                let start = Instant::now();
+                let out = (batch[i].compute)(batch[i].input);
+                (out, start.elapsed().as_secs_f64())
+            });
+            let phase_seconds = phase_start.elapsed().as_secs_f64();
+            let mut state = self.state.lock();
+            let mut chunk_seconds = 0.0;
+            for (_, seconds) in &results {
+                state.stats.record(kind, MemoCase::Computed);
+                state.stats.add_compute_time(kind, *seconds);
+                chunk_seconds += seconds;
+            }
+            Self::note_batch(
+                &mut state,
+                kind,
+                batch,
+                requested,
+                used,
+                chunk_seconds,
+                phase_seconds,
+            );
+            return results.into_iter().map(|(out, _)| out).collect();
+        }
+
+        let origin = Provenance {
+            job: self.job,
+            iteration,
+        };
+
+        // ------------------------------------------------- phase 1: parallel
+        let phase_start = Instant::now();
+        let (scratch, requested, used) = self.map_chunks(batch.len(), |i| {
+            let task = &batch[i];
+            let start = Instant::now();
+            let key = self.store.encode(task.input);
+            let mut cache_checked = false;
+            let mut cache_comparisons = 0;
+            if self.config.use_cache {
+                cache_checked = true;
+                let (found, comparisons) =
+                    self.cache
+                        .read()
+                        .peek(kind, task.loc, &key, self.config.tau, iteration);
+                cache_comparisons = comparisons;
+                if let Some(value) = found {
+                    return ChunkScratch {
+                        key,
+                        case: ProbeCase::CacheHit { value },
+                        cache_checked,
+                        cache_comparisons,
+                        seconds: start.elapsed().as_secs_f64(),
+                    };
+                }
+            }
+            let case = match self
+                .store
+                .probe_with_key(kind, task.loc, task.input, &key, origin)
+            {
+                ProbeOutcome::Hit {
+                    value,
+                    entry,
+                    origin: entry_origin,
+                    ..
+                } => ProbeCase::DbHit {
+                    value,
+                    entry,
+                    entry_origin,
+                },
+                outcome @ (ProbeOutcome::Miss | ProbeOutcome::Expired { .. }) => {
+                    let expired = match outcome {
+                        ProbeOutcome::Expired { entry } => Some(entry),
+                        _ => None,
+                    };
+                    let compute_start = Instant::now();
+                    let output = (task.compute)(task.input);
+                    ProbeCase::Computed {
+                        output,
+                        compute_seconds: compute_start.elapsed().as_secs_f64(),
+                        expired,
+                    }
+                }
+            };
+            ChunkScratch {
+                key,
+                case,
+                cache_checked,
+                cache_comparisons,
+                seconds: start.elapsed().as_secs_f64(),
+            }
+        });
+        let phase_seconds = phase_start.elapsed().as_secs_f64();
+
+        // ------------------------------------------- phase 2: ordered commit
+        let mut state = self.state.lock();
+        let mut results = Vec::with_capacity(batch.len());
+        let mut chunk_seconds = 0.0;
+        for (task, chunk) in batch.iter().zip(scratch) {
+            chunk_seconds += chunk.seconds;
+            if self.config.track_similarity {
+                state.similarity.record(task.loc, iteration, task.input);
+            }
+            state.stats.add_encoded_key(kind);
+            if chunk.cache_checked {
+                let hit = matches!(chunk.case, ProbeCase::CacheHit { .. });
+                self.cache.write().note_lookup(hit, chunk.cache_comparisons);
+            }
+            match chunk.case {
+                ProbeCase::CacheHit { value } => {
+                    state.stats.record(kind, MemoCase::CacheHit);
+                    results.push(value.as_ref().clone());
+                }
+                ProbeCase::DbHit {
+                    value,
+                    entry,
+                    entry_origin,
+                } => {
+                    if let Some(flushed) = state.coalescer.submit(kind, task.loc, chunk.key.clone())
+                    {
+                        Self::account_flush(&mut state.stats, &flushed);
+                    }
+                    self.store
+                        .commit_hit(kind, task.loc, entry, entry_origin, origin);
+                    state.stats.record(kind, MemoCase::DbHit);
+                    state
+                        .stats
+                        .add_remote_bytes(kind, (value.len() * 16) as u64);
+                    if self.config.use_cache {
+                        self.cache.write().insert(
+                            kind,
+                            task.loc,
+                            chunk.key,
+                            value.clone(),
+                            iteration,
+                        );
+                    }
+                    results.push(value.as_ref().clone());
+                }
+                ProbeCase::Computed {
+                    output,
+                    compute_seconds,
+                    expired,
+                } => {
+                    if let Some(flushed) = state.coalescer.submit(kind, task.loc, chunk.key.clone())
+                    {
+                        Self::account_flush(&mut state.stats, &flushed);
+                    }
+                    if let Some(entry) = expired {
+                        self.store.reclaim_expired(kind, task.loc, entry);
+                    }
+                    self.store.commit_miss(kind, task.loc);
+                    state.stats.record(kind, MemoCase::FailedMemo);
+                    state.stats.add_compute_time(kind, compute_seconds);
+                    state
+                        .stats
+                        .add_remote_bytes(kind, (output.len() * 16) as u64);
+                    let cost = recompute_cost_estimate(kind, task.input.len());
+                    self.store.insert(
+                        kind,
+                        task.loc,
+                        task.input,
+                        chunk.key,
+                        output.clone(),
+                        origin,
+                        cost,
+                    );
+                    results.push(output);
+                }
+            }
+        }
+        Self::note_batch(
+            &mut state,
+            kind,
+            batch,
+            requested,
+            used,
+            chunk_seconds,
+            phase_seconds,
+        );
+        results
     }
 }
 
@@ -489,6 +876,49 @@ mod tests {
         assert_eq!(series[0].1, 0);
         assert!(series[3].1 >= 1);
         assert!(exec.similarity_fraction() > 0.0);
+    }
+
+    #[test]
+    fn single_chunk_execute_matches_one_element_batches() {
+        // The sequential `execute` path and the batched scheduler are two
+        // implementations of the same protocol; driving one executor chunk
+        // by chunk and another with one-element batches (identical
+        // semantics: a one-element batch has no intra-batch visibility
+        // deferral) must produce the same outputs and the same case counts,
+        // so the paths cannot silently drift apart.
+        let sequential = MemoizedExecutor::new(test_config(), tiny_encoder(), 9);
+        let batched = MemoizedExecutor::new(test_config(), tiny_encoder(), 9);
+        for it in 0..4 {
+            sequential.begin_iteration(it);
+            batched.begin_iteration(it);
+            for loc in 0..3usize {
+                // Slowly drifting per-location inputs: exercises misses,
+                // db hits and cache hits across iterations.
+                let input: Vec<Complex64> = chunk(40 + loc as u64, 128)
+                    .iter()
+                    .map(|z| z.scale(1.0 + 0.001 * it as f64))
+                    .collect();
+                let a = sequential.execute(FftOpKind::Fu2D, loc, &input, &fake_fft);
+                let compute = |x: &[Complex64]| fake_fft(x);
+                let requests = [mlr_lamino::ChunkRequest {
+                    loc,
+                    input: &input,
+                    compute: &compute,
+                }];
+                let b = batched.execute_batch(FftOpKind::Fu2D, &requests);
+                assert_eq!(a, b[0], "paths diverged at iteration {it}, loc {loc}");
+            }
+        }
+        sequential.finish();
+        batched.finish();
+        let sa = sequential.stats().op(FftOpKind::Fu2D);
+        let sb = batched.stats().op(FftOpKind::Fu2D);
+        assert_eq!(
+            (sa.failed_memo, sa.db_hits, sa.cache_hits, sa.keys_encoded),
+            (sb.failed_memo, sb.db_hits, sb.cache_hits, sb.keys_encoded)
+        );
+        assert_eq!(sa.remote_bytes, sb.remote_bytes);
+        assert!(sa.db_hits + sa.cache_hits > 0, "trace never hit — vacuous");
     }
 
     #[test]

@@ -34,6 +34,13 @@
 //!   cost-aware benefit-density policy). Eviction runs on logical clocks
 //!   (op ticks, epochs, stable entry ids) shared by every stripe, so it is
 //!   deterministic given the schedule and independent of the shard layout.
+//! * [`parallel`] — deterministic intra-job chunk parallelism: the
+//!   [`ConcurrencyGovernor`] that keeps job-level workers × chunk-level
+//!   threads from oversubscribing the machine, and the per-job
+//!   [`ParallelStats`]. The engine's batched executor runs a two-phase
+//!   protocol (parallel read-only probe/compute, then an ordered commit in
+//!   chunk-index order), so reconstructions are bit-identical for every
+//!   thread count.
 //! * [`similarity`] — the chunk-similarity tracker behind Figure 4.
 //! * [`store`] — the [`MemoStore`] seam: a thread-safe interface the
 //!   executor talks to, so the database behind it can be a private
@@ -50,6 +57,7 @@ pub mod encoder;
 pub mod engine;
 pub mod eviction;
 pub mod kvstore;
+pub mod parallel;
 pub mod sharded;
 pub mod similarity;
 pub mod stats;
@@ -66,7 +74,8 @@ pub use eviction::{
     EvictionPolicyKind, FifoPolicy, LruPolicy, StoreClock, TtlPolicy,
 };
 pub use kvstore::ValueStore;
+pub use parallel::{ConcurrencyGovernor, CoreLease, ParallelStats};
 pub use sharded::{ShardedMemoDb, DEFAULT_SHARDS};
 pub use similarity::SimilarityTracker;
 pub use stats::{MemoCase, MemoStats, OpStats};
-pub use store::{JobId, LocalMemoStore, MemoStore, Provenance, StoreStats};
+pub use store::{JobId, LocalMemoStore, MemoStore, ProbeOutcome, Provenance, StoreStats};

@@ -36,7 +36,7 @@
 use crate::db::{scope_seed, MemoDatabase, MemoDbConfig, QueryOutcome, PRESSURE_THRESHOLD};
 use crate::encoder::{CnnEncoder, EncoderConfig};
 use crate::eviction::{CapacityBudget, EvictionPolicy, StoreClock};
-use crate::store::{MemoStore, Provenance, StoreStats};
+use crate::store::{MemoStore, ProbeOutcome, Provenance, StoreStats};
 use mlr_lamino::FftOpKind;
 use mlr_math::Complex64;
 use parking_lot::{Mutex, RwLock};
@@ -311,6 +311,75 @@ impl MemoStore for ShardedMemoDb {
             }
         }
         outcome
+    }
+
+    fn probe_with_key(
+        &self,
+        op: FftOpKind,
+        loc: usize,
+        input: &[Complex64],
+        key: &[f64],
+        origin: Provenance,
+    ) -> ProbeOutcome {
+        // Pure read against the owning stripe: no counters, no reclamation,
+        // no published-counter adjustments.
+        self.shard_for(op, loc)
+            .lock()
+            .probe_with_key_from(op, loc, input, key, origin)
+    }
+
+    fn commit_hit(
+        &self,
+        op: FftOpKind,
+        loc: usize,
+        entry: u64,
+        entry_origin: Provenance,
+        origin: Provenance,
+    ) {
+        self.queries.fetch_add(1, Ordering::Relaxed);
+        let (published_bytes, published_entries) = self.published();
+        if self
+            .config
+            .budget
+            .pressure(published_bytes, published_entries)
+            >= PRESSURE_THRESHOLD
+        {
+            self.pressure_queries.fetch_add(1, Ordering::Relaxed);
+            self.pressure_hits.fetch_add(1, Ordering::Relaxed);
+        }
+        self.hits.fetch_add(1, Ordering::Relaxed);
+        if entry_origin.job != origin.job {
+            self.cross_job_hits.fetch_add(1, Ordering::Relaxed);
+        }
+        self.shard_for(op, loc)
+            .lock()
+            .commit_hit(entry, entry_origin, origin);
+    }
+
+    fn commit_miss(&self, op: FftOpKind, loc: usize) {
+        self.queries.fetch_add(1, Ordering::Relaxed);
+        let (published_bytes, published_entries) = self.published();
+        if self
+            .config
+            .budget
+            .pressure(published_bytes, published_entries)
+            >= PRESSURE_THRESHOLD
+        {
+            self.pressure_queries.fetch_add(1, Ordering::Relaxed);
+        }
+        self.shard_for(op, loc).lock().commit_miss_query();
+    }
+
+    fn reclaim_expired(&self, op: FftOpKind, loc: usize, entry: u64) {
+        let mut db = self.shard_for(op, loc).lock();
+        db.reclaim_expired(entry);
+        let (freed_bytes, freed_entries) = db.drain_freed();
+        if freed_bytes > 0 || freed_entries > 0 {
+            self.published_resident
+                .fetch_sub(freed_bytes as i64, Ordering::Relaxed);
+            self.published_entries
+                .fetch_sub(freed_entries as i64, Ordering::Relaxed);
+        }
     }
 
     fn insert(

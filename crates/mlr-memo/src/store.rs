@@ -17,6 +17,7 @@ use mlr_lamino::FftOpKind;
 use mlr_math::Complex64;
 use parking_lot::Mutex;
 use serde::{Deserialize, Serialize};
+use std::sync::Arc;
 
 /// Identifies the reconstruction job a query or entry belongs to. Jobs are
 /// numbered by the runtime; standalone executors use [`Provenance::solo`]
@@ -115,6 +116,39 @@ impl StoreStats {
     }
 }
 
+/// Outcome of a read-only probe (the parallel phase of the batched
+/// executor's two-phase protocol).
+///
+/// A probe is [`MemoStore::query_with_key`] stripped of every side effect:
+/// no query/hit counters, no recency refresh, no lazy TTL reclamation. The
+/// executor probes all chunks of a batch concurrently against the store
+/// state frozen at the start of the operator application, then replays the
+/// bookkeeping in chunk-index order through [`MemoStore::commit_hit`] /
+/// [`MemoStore::commit_miss`] — which is what makes the parallel schedule
+/// order-independent.
+#[derive(Debug, Clone)]
+pub enum ProbeOutcome {
+    /// A stored value passed the τ gate.
+    Hit {
+        /// The stored FFT result.
+        value: Arc<Vec<Complex64>>,
+        /// Cosine similarity between query and stored entry.
+        similarity: f64,
+        /// Stable id of the serving entry (for the ordered commit).
+        entry: u64,
+        /// Which job/iteration inserted the serving entry.
+        origin: Provenance,
+    },
+    /// No stored entry was similar enough (or eligible).
+    Miss,
+    /// The candidate entry exists but its TTL expired; it is reclaimed
+    /// during the ordered commit via [`MemoStore::reclaim_expired`].
+    Expired {
+        /// Stable id of the expired entry.
+        entry: u64,
+    },
+}
+
 /// A thread-safe memoization store.
 ///
 /// All methods take `&self`; implementations are responsible for their own
@@ -138,6 +172,42 @@ pub trait MemoStore: Send + Sync {
         key: Vec<f64>,
         origin: Provenance,
     ) -> QueryOutcome;
+
+    /// Read-only probe at `(op, loc)`: the lookup of
+    /// [`MemoStore::query_with_key`] with *no* side effects (no counters, no
+    /// recency refresh, no reclamation), safe to issue concurrently from the
+    /// parallel phase of a batch.
+    fn probe_with_key(
+        &self,
+        op: FftOpKind,
+        loc: usize,
+        input: &[Complex64],
+        key: &[f64],
+        origin: Provenance,
+    ) -> ProbeOutcome;
+
+    /// Ordered-commit bookkeeping for a probe that hit: query/hit counters,
+    /// pressure accounting, and the recency/reuse metadata refresh the
+    /// eviction policies rank by. `entry`/`entry_origin` come from the
+    /// [`ProbeOutcome::Hit`]; the refresh is skipped (deterministically) if
+    /// the entry was evicted by an earlier commit of the same batch.
+    fn commit_hit(
+        &self,
+        op: FftOpKind,
+        loc: usize,
+        entry: u64,
+        entry_origin: Provenance,
+        origin: Provenance,
+    );
+
+    /// Ordered-commit bookkeeping for a probe that missed (query and
+    /// pressure accounting only; the insert that follows the exact compute
+    /// goes through [`MemoStore::insert`]).
+    fn commit_miss(&self, op: FftOpKind, loc: usize);
+
+    /// Reclaims an entry a probe found expired, if it still is (the ordered
+    /// counterpart of the lazy reclamation `query_with_key` performs).
+    fn reclaim_expired(&self, op: FftOpKind, loc: usize, entry: u64);
 
     /// Inserts an entry computed by `origin`. Returns the entry id
     /// (stable across the whole store; the eviction tie-breaker).
@@ -238,6 +308,38 @@ impl MemoStore for LocalMemoStore {
         self.inner
             .lock()
             .query_with_key_from(op, loc, input, key, origin)
+    }
+
+    fn probe_with_key(
+        &self,
+        op: FftOpKind,
+        loc: usize,
+        input: &[Complex64],
+        key: &[f64],
+        origin: Provenance,
+    ) -> ProbeOutcome {
+        self.inner
+            .lock()
+            .probe_with_key_from(op, loc, input, key, origin)
+    }
+
+    fn commit_hit(
+        &self,
+        _op: FftOpKind,
+        _loc: usize,
+        entry: u64,
+        entry_origin: Provenance,
+        origin: Provenance,
+    ) {
+        self.inner.lock().commit_hit(entry, entry_origin, origin);
+    }
+
+    fn commit_miss(&self, _op: FftOpKind, _loc: usize) {
+        self.inner.lock().commit_miss_query();
+    }
+
+    fn reclaim_expired(&self, _op: FftOpKind, _loc: usize, entry: u64) {
+        self.inner.lock().reclaim_expired(entry);
     }
 
     fn insert(

@@ -2,7 +2,7 @@
 
 use mlr_core::MlrConfig;
 use mlr_math::Array3;
-use mlr_memo::{JobId, MemoStats};
+use mlr_memo::{JobId, MemoStats, ParallelStats};
 use serde::{Deserialize, Serialize};
 
 /// Scheduling priority of a job. Higher priorities are popped first; jobs of
@@ -68,6 +68,9 @@ pub struct JobReport {
     pub avoided_fraction: f64,
     /// This job's compute-node cache hit rate.
     pub cache_hit_rate: f64,
+    /// This job's chunk-scheduler statistics (thread grants, measured and
+    /// modeled speedup of the intra-job parallel phases).
+    pub parallel: ParallelStats,
     /// Time the job spent waiting in the queue.
     pub queue_seconds: f64,
     /// Time the job spent executing on a worker.

@@ -5,10 +5,13 @@ use crate::job::{JobReport, ReconJob};
 use crate::queue::{AdmissionError, JobQueue, QueuedJob};
 use crate::stats::RuntimeStats;
 use mlr_core::MlrPipeline;
-use mlr_memo::{EncoderConfig, JobId, MemoDbConfig, MemoStore, ShardedMemoDb, DEFAULT_SHARDS};
+use mlr_memo::{
+    ConcurrencyGovernor, EncoderConfig, JobId, MemoDbConfig, MemoStore, ParallelStats,
+    ShardedMemoDb, DEFAULT_SHARDS,
+};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::mpsc::{channel, Receiver};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::Instant;
 
@@ -35,6 +38,16 @@ pub struct RuntimeConfig {
     /// store's tightest capacity cap is more than this utilised (`None`
     /// disables the check; pressure is always 0 for unbounded stores).
     pub admission_max_pressure: Option<f64>,
+    /// Default chunk-level threads per job (a job whose own
+    /// `MlrConfig::intra_job_threads` asks for more keeps its larger
+    /// request). Every thread beyond a job's first is leased from the global
+    /// concurrency governor, so `workers × intra_job_threads` can never
+    /// oversubscribe [`RuntimeConfig::core_budget`].
+    pub intra_job_threads: usize,
+    /// Total cores the runtime may occupy: each worker owns one, and the
+    /// remainder forms the governor's pool of spare cores for chunk-level
+    /// threads. Defaults to the machine's available parallelism.
+    pub core_budget: usize,
 }
 
 impl Default for RuntimeConfig {
@@ -56,6 +69,10 @@ impl Default for RuntimeConfig {
             },
             seed: 7,
             admission_max_pressure: None,
+            intra_job_threads: 1,
+            core_budget: std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1),
         }
     }
 }
@@ -125,6 +142,9 @@ struct Counters {
     queue_ns_total: AtomicU64,
     queue_ns_max: AtomicU64,
     busy_ns_total: AtomicU64,
+    /// Aggregate of every finished job's chunk-scheduler statistics (the
+    /// per-job parallel efficiency the runtime reports).
+    parallel: Mutex<ParallelStats>,
 }
 
 /// The multi-tenant reconstruction runtime.
@@ -139,6 +159,7 @@ pub struct Runtime {
     queue: Arc<JobQueue>,
     store: Arc<ShardedMemoDb>,
     counters: Arc<Counters>,
+    governor: Arc<ConcurrencyGovernor>,
     workers: Vec<JoinHandle<()>>,
     worker_count: usize,
     admission_max_pressure: Option<f64>,
@@ -163,14 +184,21 @@ impl Runtime {
         assert!(config.workers > 0, "worker count must be positive");
         let queue = Arc::new(JobQueue::new(config.queue_capacity));
         let counters = Arc::new(Counters::default());
+        // Each worker owns one core of the budget; whatever is left over is
+        // the governor's pool of spare cores for chunk-level threads.
+        let governor = ConcurrencyGovernor::for_pool(config.core_budget, config.workers);
+        let intra_job_threads = config.intra_job_threads.max(1);
         let workers = (0..config.workers)
             .map(|i| {
                 let queue = Arc::clone(&queue);
                 let store = Arc::clone(&store);
                 let counters = Arc::clone(&counters);
+                let governor = Arc::clone(&governor);
                 std::thread::Builder::new()
                     .name(format!("mlr-worker-{i}"))
-                    .spawn(move || worker_loop(&queue, &store, &counters))
+                    .spawn(move || {
+                        worker_loop(&queue, &store, &counters, &governor, intra_job_threads)
+                    })
                     .expect("failed to spawn worker thread")
             })
             .collect();
@@ -178,6 +206,7 @@ impl Runtime {
             queue,
             store,
             counters,
+            governor,
             workers,
             worker_count: config.workers,
             admission_max_pressure: config.admission_max_pressure,
@@ -190,6 +219,12 @@ impl Runtime {
     /// The shared memo store.
     pub fn store(&self) -> &Arc<ShardedMemoDb> {
         &self.store
+    }
+
+    /// The global concurrency governor arbitrating spare cores between the
+    /// in-flight jobs' chunk-level threads.
+    pub fn governor(&self) -> &Arc<ConcurrencyGovernor> {
+        &self.governor
     }
 
     /// Utilisation of the shared store's tightest capacity cap in `[0, 1]`
@@ -274,6 +309,11 @@ impl Runtime {
             queue_seconds_max: self.counters.queue_ns_max.load(Ordering::Relaxed) as f64 * 1e-9,
             store_pressure: self.store.pressure(),
             store: self.store.stats(),
+            parallel: *self
+                .counters
+                .parallel
+                .lock()
+                .expect("parallel stats lock poisoned"),
         }
     }
 
@@ -302,7 +342,13 @@ impl Drop for Runtime {
     }
 }
 
-fn worker_loop(queue: &JobQueue, store: &Arc<ShardedMemoDb>, counters: &Counters) {
+fn worker_loop(
+    queue: &JobQueue,
+    store: &Arc<ShardedMemoDb>,
+    counters: &Counters,
+    governor: &Arc<ConcurrencyGovernor>,
+    intra_job_threads: usize,
+) {
     while let Some(q) = queue.pop() {
         let queue_ns = q.enqueued.elapsed().as_nanos() as u64;
         let start = Instant::now();
@@ -310,8 +356,9 @@ fn worker_loop(queue: &JobQueue, store: &Arc<ShardedMemoDb>, counters: &Counters
         // one misbehaving tenant must not kill the worker and starve every
         // queued job behind it. The panicked job's responder is dropped, so
         // its handle observes the failure; the worker lives on.
-        let outcome =
-            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| run_job(q, store, queue_ns)));
+        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            run_job(q, store, counters, governor, intra_job_threads, queue_ns)
+        }));
         let busy_ns = start.elapsed().as_nanos() as u64;
         counters.busy_ns_total.fetch_add(busy_ns, Ordering::Relaxed);
         // Queue-latency accounting lands together with completed/failed so
@@ -327,14 +374,33 @@ fn worker_loop(queue: &JobQueue, store: &Arc<ShardedMemoDb>, counters: &Counters
     }
 }
 
-fn run_job(q: QueuedJob, store: &Arc<ShardedMemoDb>, queue_ns: u64) {
+fn run_job(
+    q: QueuedJob,
+    store: &Arc<ShardedMemoDb>,
+    counters: &Counters,
+    governor: &Arc<ConcurrencyGovernor>,
+    intra_job_threads: usize,
+    queue_ns: u64,
+) {
     let start = Instant::now();
-    let pipeline = MlrPipeline::new(q.job.config);
+    // The runtime's default chunk parallelism applies unless the job itself
+    // asks for more; either way every thread beyond the first is leased from
+    // the shared governor, so workers × threads stays within the core budget.
+    let mut config = q.job.config;
+    config.intra_job_threads = config.intra_job_threads.max(intra_job_threads);
+    let pipeline = MlrPipeline::new(config);
     let shared: Arc<dyn MemoStore> = Arc::clone(store) as Arc<dyn MemoStore>;
-    let (result, executor) = pipeline.run_memoized_with_store(shared, q.id);
+    let (result, executor) =
+        pipeline.run_memoized_governed(shared, q.id, Some(Arc::clone(governor)));
     let busy_ns = start.elapsed().as_nanos() as u64;
 
     let stats = executor.stats();
+    let parallel = executor.parallel_stats();
+    counters
+        .parallel
+        .lock()
+        .expect("parallel stats lock poisoned")
+        .merge(&parallel);
     let report = JobReport {
         job: q.id,
         name: q.job.name,
@@ -343,6 +409,7 @@ fn run_job(q: QueuedJob, store: &Arc<ShardedMemoDb>, queue_ns: u64) {
         avoided_fraction: stats.total().avoided_fraction(),
         memo: stats,
         cache_hit_rate: executor.cache_stats().hit_rate(),
+        parallel,
         queue_seconds: queue_ns as f64 * 1e-9,
         run_seconds: busy_ns as f64 * 1e-9,
     };

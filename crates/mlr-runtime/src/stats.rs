@@ -1,6 +1,6 @@
 //! Runtime-wide statistics.
 
-use mlr_memo::StoreStats;
+use mlr_memo::{ParallelStats, StoreStats};
 use serde::{Deserialize, Serialize};
 
 /// A snapshot of the runtime's aggregate behaviour: job throughput, queue
@@ -36,6 +36,10 @@ pub struct RuntimeStats {
     /// Counters of the shared memo store (including eviction counts and
     /// resident bytes under the capacity budget).
     pub store: StoreStats,
+    /// Aggregate chunk-scheduler statistics over all finished jobs: thread
+    /// requests vs governor grants and the measured/modeled speedups of the
+    /// intra-job parallel phases.
+    pub parallel: ParallelStats,
 }
 
 impl RuntimeStats {
@@ -85,6 +89,19 @@ impl RuntimeStats {
     pub fn hit_rate_under_pressure(&self) -> f64 {
         self.store.hit_rate_under_pressure()
     }
+
+    /// Per-job parallel efficiency: the fraction of requested chunk-level
+    /// threads the global governor actually granted across all finished
+    /// jobs (1.0 when jobs run sequentially or uncontended).
+    pub fn parallel_efficiency(&self) -> f64 {
+        self.parallel.grant_ratio()
+    }
+
+    /// Measured speedup of the jobs' intra-job parallel phases (serialized
+    /// chunk work over parallel wall time).
+    pub fn intra_job_speedup(&self) -> f64 {
+        self.parallel.achieved_speedup()
+    }
 }
 
 #[cfg(test)]
@@ -119,7 +136,19 @@ mod tests {
                 pressure_queries: 10,
                 pressure_hits: 4,
             },
+            parallel: ParallelStats {
+                batches: 4,
+                chunks: 16,
+                threads_requested: 16,
+                threads_granted: 12,
+                chunk_seconds: 2.0,
+                phase_seconds: 1.0,
+                modeled_serial_cost: 8.0,
+                modeled_critical_cost: 2.0,
+            },
         };
+        assert!((s.parallel_efficiency() - 0.75).abs() < 1e-12);
+        assert!((s.intra_job_speedup() - 2.0).abs() < 1e-12);
         assert!((s.throughput_jobs_per_second() - 4.0).abs() < 1e-12);
         assert!((s.utilisation() - 0.5).abs() < 1e-12);
         assert!((s.hit_rate() - 0.4).abs() < 1e-12);

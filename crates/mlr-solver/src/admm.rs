@@ -194,6 +194,10 @@ impl AdmmSolver {
             });
         }
 
+        // The job is done: let the executor flush whatever it buffered
+        // (memoizing executors account the coalescer's trailing batch here).
+        exec.finish();
+
         AdmmResult {
             reconstruction: u,
             history,

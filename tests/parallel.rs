@@ -1,0 +1,190 @@
+//! Integration tests for deterministic intra-job chunk parallelism: the
+//! two-phase batch schedule must reconstruct bit-identically for every
+//! `intra_job_threads`, sequential included — standalone, over a shared
+//! `ShardedMemoDb`, and under an eviction budget — and the runtime's global
+//! concurrency governor must keep jobs × chunk threads within the core
+//! budget.
+
+use mlr_core::{MlrConfig, MlrPipeline};
+use mlr_memo::{CapacityBudget, EvictionPolicyKind, MemoStore};
+use mlr_runtime::{JobHandle, ReconJob, Runtime, RuntimeConfig};
+use std::sync::Arc;
+
+fn base_config() -> MlrConfig {
+    MlrConfig::quick(12, 8).with_iterations(5)
+}
+
+fn bits(reconstruction: &[f64]) -> Vec<u64> {
+    reconstruction.iter().map(|v| v.to_bits()).collect()
+}
+
+/// Runs one standalone memoized reconstruction at `threads` chunk threads
+/// and returns the reconstruction bits plus the (db, cache, failed) hit
+/// counts — hit parity is part of the determinism contract.
+fn run_standalone(config: MlrConfig, threads: usize) -> (Vec<u64>, (u64, u64, u64)) {
+    let pipeline = MlrPipeline::new(config.with_intra_job_threads(threads));
+    let (result, executor) = pipeline.run_memoized();
+    let total = executor.stats().total();
+    (
+        bits(result.reconstruction.as_slice()),
+        (total.db_hits, total.cache_hits, total.failed_memo),
+    )
+}
+
+/// Same, over a freshly built shared sharded store.
+fn run_sharded(config: MlrConfig, threads: usize, shards: usize) -> (Vec<u64>, (u64, u64, u64)) {
+    let pipeline = MlrPipeline::new(config.with_intra_job_threads(threads));
+    let store = pipeline.build_shared_store(shards);
+    let shared: Arc<dyn MemoStore> = store as Arc<dyn MemoStore>;
+    let (result, executor) = pipeline.run_memoized_with_store(shared, 7);
+    let total = executor.stats().total();
+    (
+        bits(result.reconstruction.as_slice()),
+        (total.db_hits, total.cache_hits, total.failed_memo),
+    )
+}
+
+#[test]
+fn reconstruction_is_bit_identical_across_thread_counts() {
+    let (reference, ref_hits) = run_standalone(base_config(), 1);
+    assert!(
+        ref_hits.0 + ref_hits.1 > 0,
+        "schedule never hits — test is vacuous: {ref_hits:?}"
+    );
+    for threads in [2, 4, 8] {
+        let (parallel, hits) = run_standalone(base_config(), threads);
+        assert_eq!(
+            parallel, reference,
+            "{threads} chunk threads changed the reconstruction"
+        );
+        assert_eq!(hits, ref_hits, "{threads} threads changed the hit counts");
+    }
+}
+
+#[test]
+fn sharded_store_is_bit_identical_across_thread_counts() {
+    // The sequential single-tenant run is the reference; every thread count
+    // over a fresh ShardedMemoDb must reproduce it exactly (the store seam
+    // guarantees Local == Sharded, the schedule guarantees 1 == N threads).
+    let (reference, ref_hits) = run_standalone(base_config(), 1);
+    for threads in [1, 2, 4, 8] {
+        let (parallel, hits) = run_sharded(base_config(), threads, 8);
+        assert_eq!(
+            parallel, reference,
+            "{threads} threads over a sharded store diverged"
+        );
+        assert_eq!(hits, ref_hits);
+    }
+}
+
+#[test]
+fn bounded_store_is_bit_identical_across_thread_counts() {
+    // Under a binding eviction budget the commit order *is* the eviction
+    // schedule, so this pins that inserts/evictions replay identically for
+    // every thread count.
+    let probe = MlrPipeline::new(base_config());
+    let (_, probe_exec) = probe.run_memoized();
+    let cap = probe_exec.store().resident_bytes() / 2;
+    assert!(cap > 0);
+
+    let bounded =
+        || base_config().with_memo_budget(CapacityBudget::bytes(cap), EvictionPolicyKind::Lru);
+    let (reference, ref_hits) = run_standalone(bounded(), 1);
+    let evictions = {
+        let pipeline = MlrPipeline::new(bounded());
+        let (_, executor) = pipeline.run_memoized();
+        executor.store().stats().evictions
+    };
+    assert!(evictions > 0, "budget never bound — test is vacuous");
+    for threads in [2, 4, 8] {
+        let (parallel, hits) = run_standalone(bounded(), threads);
+        assert_eq!(
+            parallel, reference,
+            "{threads} threads diverged under an eviction budget"
+        );
+        assert_eq!(hits, ref_hits);
+        let (sharded, sharded_hits) = run_sharded(bounded(), threads, 4);
+        assert_eq!(
+            sharded, reference,
+            "{threads} threads over a bounded sharded store diverged"
+        );
+        assert_eq!(sharded_hits, ref_hits);
+    }
+}
+
+#[test]
+fn parallel_stats_record_the_schedule() {
+    let pipeline = MlrPipeline::new(base_config().with_intra_job_threads(4));
+    let (_, executor) = pipeline.run_memoized();
+    let p = executor.parallel_stats();
+    assert!(p.batches > 0);
+    assert!(p.chunks >= p.batches, "every batch holds ≥ 1 chunk");
+    // No governor: the full request is always granted.
+    assert_eq!(p.threads_granted, p.threads_requested);
+    assert_eq!(p.grant_ratio(), 1.0);
+    assert!(p.modeled_speedup() >= 1.0);
+    assert!(p.chunk_seconds > 0.0);
+}
+
+#[test]
+fn governor_keeps_jobs_times_threads_within_the_core_budget() {
+    // 2 workers over a 4-core budget leave 2 spare cores; with every job
+    // asking for 8 chunk threads, concurrent grants must never exceed the
+    // spare pool, and each job's per-batch grant stays ≤ 1 + capacity.
+    let config = base_config();
+    let rt = Runtime::new(RuntimeConfig {
+        workers: 2,
+        queue_capacity: 8,
+        intra_job_threads: 8,
+        core_budget: 4,
+        ..RuntimeConfig::matching(&config)
+    });
+    assert_eq!(rt.governor().capacity(), 2);
+    let handles: Vec<_> = (0..4)
+        .map(|i| rt.submit(ReconJob::new(format!("p-{i}"), config)).unwrap())
+        .collect();
+    let reports: Vec<_> = handles.into_iter().map(JobHandle::wait).collect();
+    for report in &reports {
+        let p = report.parallel;
+        assert!(p.threads_requested > 0);
+        assert!(p.threads_granted <= p.threads_requested);
+        // 1 owned core + at most the whole spare pool per batch.
+        assert!(p.mean_threads() <= 1.0 + rt.governor().capacity() as f64);
+    }
+    // The governor never leased beyond its spare pool: workers × threads
+    // stayed within the core budget at every instant.
+    let governor = Arc::clone(rt.governor());
+    let stats = rt.shutdown();
+    assert!(stats.parallel.batches > 0);
+    assert!(stats.parallel_efficiency() > 0.0 && stats.parallel_efficiency() <= 1.0);
+    assert!(governor.peak_in_use() <= governor.capacity());
+    assert_eq!(governor.in_use(), 0, "all leases returned after shutdown");
+}
+
+#[test]
+fn runtime_job_with_threads_matches_sequential_run_memoized() {
+    // The runtime determinism contract extended to the parallel scheduler:
+    // one job through the runtime at 4 chunk threads == the classic
+    // sequential `run_memoized`.
+    let config = base_config();
+    let pipeline = MlrPipeline::new(config);
+    let (reference, _) = pipeline.run_memoized();
+
+    let rt = Runtime::new(RuntimeConfig {
+        workers: 1,
+        queue_capacity: 2,
+        intra_job_threads: 4,
+        core_budget: 8,
+        ..RuntimeConfig::matching(&config)
+    });
+    let report = rt
+        .submit(ReconJob::new("parallel-determinism", config))
+        .unwrap()
+        .wait();
+    assert_eq!(
+        bits(report.reconstruction.as_slice()),
+        bits(reference.reconstruction.as_slice()),
+        "a governed parallel job diverged from the sequential pipeline"
+    );
+    rt.shutdown();
+}
