@@ -83,7 +83,10 @@ fn main() {
                 .expect("queue sized for the demo")
         })
         .collect();
-    let reports: Vec<_> = handles.into_iter().map(|h| h.wait()).collect();
+    let reports: Vec<_> = handles
+        .into_iter()
+        .map(|h| h.wait_report().expect("demo job completes"))
+        .collect();
     let shared_wall = shared_start.elapsed().as_secs_f64();
     let stats = runtime.shutdown();
     let shared = SideRecord {

@@ -21,11 +21,12 @@
 //! | `fig18_multi_job` | beyond the paper — multi-job runtime, shared vs isolated stores |
 //! | `fig19_eviction` | beyond the paper — capacity budget vs cross-job hit rate per eviction policy |
 //! | `fig20_intra_job` | beyond the paper — intra-job chunk parallelism: threads × chunk size, speedup + hit parity |
+//! | `fig21_serving` | beyond the paper — deadline-aware serving: load × deadline tightness vs miss rate, cancellation guarantees |
 //! | `check_bench` | CI regression gate over the `BENCH_*.json` records (see `ci/bench_baseline.json`) |
 //!
 //! Run any of them with `cargo run --release -p mlr-bench --bin <name> [-- --scale tiny|small|paper]`.
-//! `fig18_multi_job`, `fig19_eviction` and `fig20_intra_job` additionally
-//! accept `--smoke`, the
+//! `fig18_multi_job`, `fig19_eviction`, `fig20_intra_job` and
+//! `fig21_serving` additionally accept `--smoke`, the
 //! reduced-size mode CI's bench-smoke job runs. Each prints a human-readable
 //! table with the paper's reported values next to the reproduced ones and
 //! writes a JSON record under `target/experiments/`.
@@ -88,6 +89,21 @@ pub fn write_record<T: Serialize>(name: &str, record: &T) {
     if let Ok(json) = serde_json::to_string_pretty(record) {
         let _ = std::fs::write(&path, json);
         println!("\n[record written to {}]", path.display());
+    }
+}
+
+/// Spins (yielding) until `done` returns true, panicking with `what` after
+/// `timeout` — the wait primitive the serving harness and tests use to
+/// observe another thread reaching a phase (job started running, first
+/// iteration in flight) without sleeping past it.
+pub fn spin_until(what: &str, timeout: std::time::Duration, mut done: impl FnMut() -> bool) {
+    let giving_up = std::time::Instant::now() + timeout;
+    while !done() {
+        assert!(
+            std::time::Instant::now() < giving_up,
+            "timed out waiting for: {what}"
+        );
+        std::thread::yield_now();
     }
 }
 

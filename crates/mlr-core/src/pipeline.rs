@@ -9,7 +9,7 @@ use mlr_memo::{
 };
 use mlr_sim::workload::{AdmmWorkload, ProblemSize};
 use mlr_sim::CostModel;
-use mlr_solver::{AdmmResult, AdmmSolver};
+use mlr_solver::{AdmmResult, AdmmSolver, CancelToken};
 use std::sync::Arc;
 
 /// The end-to-end pipeline: dataset simulation, exact reconstruction,
@@ -141,10 +141,28 @@ impl MlrPipeline {
         job: JobId,
         governor: Option<Arc<ConcurrencyGovernor>>,
     ) -> (AdmmResult, MemoizedExecutor) {
+        self.run_memoized_serving(store, job, governor, &CancelToken::new())
+    }
+
+    /// The serving-front-end entry point: a governed multi-tenant run that is
+    /// additionally *cancellable* — the ADMM driver polls `cancel` at every
+    /// iteration boundary, so a cancelled (or deadline-expired) job stops
+    /// early, flushes the coalescer through the executor's `finish` hook, and
+    /// keeps the memo entries it already published available to every other
+    /// tenant of the shared store. A token that never fires leaves the run
+    /// bit-identical to [`MlrPipeline::run_memoized_governed`].
+    pub fn run_memoized_serving(
+        &self,
+        store: Arc<dyn MemoStore>,
+        job: JobId,
+        governor: Option<Arc<ConcurrencyGovernor>>,
+        cancel: &CancelToken,
+    ) -> (AdmmResult, MemoizedExecutor) {
         let executor = MemoizedExecutor::with_store(self.config.memo, store, job)
             .with_parallelism(self.config.intra_job_threads, governor);
         let solver = AdmmSolver::new(self.config.admm);
-        let result = solver.run_with(&self.operator, &self.dataset.projections, &executor);
+        let result =
+            solver.run_with_cancel(&self.operator, &self.dataset.projections, &executor, cancel);
         (result, executor)
     }
 

@@ -51,7 +51,7 @@ impl ReconJob {
 }
 
 /// The completed result of one job.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct JobReport {
     /// Runtime-assigned job id (also the provenance stamped on every memo
     /// entry this job inserted).

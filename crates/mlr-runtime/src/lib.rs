@@ -1,55 +1,79 @@
 //! # mlr-runtime
 //!
-//! A multi-tenant reconstruction runtime for the mLR reproduction.
+//! A multi-tenant reconstruction runtime for the mLR reproduction, with a
+//! deadline-aware serving front-end.
 //!
 //! The paper's distributed memoization (Figure 6) separates compute nodes
 //! from a memory node holding the memoization database — a design that only
 //! pays off when *many* reconstructions share that database. Synchrotron
-//! laminography runs many large samples back-to-back (and concurrently);
-//! this crate is the serving layer for that regime:
+//! laminography runs many large samples back-to-back (and concurrently),
+//! and those requests arrive with acquisition-driven deadlines; this crate
+//! is the serving layer for that regime:
 //!
 //! ```text
-//!   ReconJob ──► bounded priority queue ──► worker pool ──► JobReport
-//!                 (admission control,        │ │ │
-//!                  backpressure)             ▼ ▼ ▼
-//!                                      ShardedMemoDb (N lock stripes)
-//!                                      shared by every in-flight job
+//!   ServeRequest ──► bounded priority queue ──► worker pool ──► JobStatus
+//!   (deadline,        (admission control,         │ │ │          Completed
+//!    priority)         backpressure,              ▼ ▼ ▼          Failed
+//!        │             removable entries)   ShardedMemoDb        Cancelled
+//!        ▼                                  (N lock stripes,     Expired
+//!    JobHandle ── cancel() ─► queued: removed on the spot        ▲
+//!    try_wait / wait_timeout  running: stops at the next ADMM    │
+//!    / wait ──────────────────iteration boundary ────────────────┘
 //! ```
 //!
-//! * [`ReconJob`] — a named pipeline configuration plus a [`Priority`];
-//!   popped highest-priority-first, FIFO within a priority.
+//! * [`ServeFront`] — the request/response front-end: [`ServeRequest`]s
+//!   carry a [`Priority`] and an optional [`Deadline`]; every admitted
+//!   request yields a ticket-style [`JobHandle`] (`try_wait`,
+//!   `wait_timeout`, `wait`, `cancel`) resolving to a typed [`JobStatus`]
+//!   instead of the old bare channel on which a crashed job surfaced as a
+//!   `RecvError`.
+//! * Deadlines are enforced twice: an entry still queued past its deadline
+//!   is skipped at pop (reported [`JobStatus::Expired`], never run), and an
+//!   in-flight job past its deadline stops cooperatively at the next ADMM
+//!   iteration boundary via the solver's `CancelToken`.
+//! * Cancellation has the same two stages — a queued job is removed from
+//!   the queue on the spot (its slot frees immediately); a running job
+//!   stops at the next iteration boundary, flushes its coalescer through
+//!   the executor's `finish` hook, and the memo entries it already
+//!   published keep serving every other tenant.
 //! * [`Runtime`] — fixed worker pool; [`Runtime::submit`] rejects when the
 //!   queue is full (admission control), [`Runtime::submit_blocking`] parks
 //!   the producer (backpressure). With
 //!   [`RuntimeConfig::admission_max_pressure`] set, admission additionally
 //!   consults the shared store's capacity pressure and turns jobs away
-//!   while the memoization budget is saturated.
+//!   while the memoization budget is saturated. Every rejection path is
+//!   counted in [`RuntimeStats::rejected`], and job ids are allocated only
+//!   after admission succeeds (rejected submissions never consume one).
 //! * The shared [`ShardedMemoDb`](mlr_memo::ShardedMemoDb): every worker's
 //!   executor queries and feeds the same store, so job B reuses USFFT
 //!   results job A computed. Entries carry a
 //!   [`Provenance`](mlr_memo::Provenance) so intra-job freshness gating
 //!   still holds per job while cross-job reuse is unrestricted; the store
 //!   counts those cross-job hits, surfaced via
-//!   [`RuntimeStats::cross_job_hit_rate`]. When the job configuration
-//!   carries a capacity budget (`MlrConfig::with_memo_budget`), the shared
-//!   store enforces it with the configured eviction policy;
-//!   [`RuntimeStats`] then also reports eviction counts, resident bytes
-//!   and the hit rate under capacity pressure.
-//! * Within a job, the chunk-level USFFT kernels fan out through the rayon
-//!   scope-backed data-parallel layer, so parallelism composes: jobs across
-//!   workers, chunk kernels within a job.
+//!   [`RuntimeStats::cross_job_hit_rate`]. Capacity budgets and eviction
+//!   ride in the configuration as before.
+//! * [`RuntimeStats`] — throughput, queue latency, utilisation, store
+//!   counters, plus cancelled/expired counts and [`DeadlineStats`]
+//!   (met/missed and slack percentiles across decided jobs).
 //!
-//! Determinism contract: a single job run through the runtime (over a store
-//! built by [`RuntimeConfig::matching`]) produces the *same reconstruction*
-//! as `MlrPipeline::run_memoized` — sharding is an implementation detail,
-//! pinned by tests in `tests/runtime.rs`.
+//! Determinism contract: a job that *runs to completion* through the
+//! serving front-end (over a store built by [`RuntimeConfig::matching`])
+//! produces the *same reconstruction* as `MlrPipeline::run_memoized` —
+//! sharding, ticketing and deadline bookkeeping are implementation details,
+//! pinned by tests in `tests/runtime.rs` and `tests/serving.rs`. A
+//! cancelled-while-queued or expired-while-queued job never executes at
+//! all.
 
+pub mod handle;
 pub mod job;
 mod queue;
 pub mod runtime;
+pub mod serve;
 pub mod stats;
 
+pub use handle::{JobHandle, JobPhase, JobStatus};
 pub use job::{JobReport, JobSummary, Priority, ReconJob};
 pub use queue::AdmissionError;
-pub use runtime::{JobHandle, Runtime, RuntimeConfig};
-pub use stats::RuntimeStats;
+pub use runtime::{Runtime, RuntimeConfig};
+pub use serve::{Deadline, ServeFront, ServeRequest};
+pub use stats::{DeadlineStats, RuntimeStats};

@@ -1,17 +1,30 @@
-//! The bounded priority job queue with admission control.
+//! The bounded priority job queue with admission control and removable,
+//! deadline-tagged entries.
 //!
 //! Capacity is the backpressure mechanism: [`JobQueue::try_push`] rejects
 //! when the queue is full (admission control — the caller is told to back
 //! off), while [`JobQueue::push_blocking`] parks the producer until a worker
 //! drains a slot. Jobs pop highest-priority-first, FIFO within a priority.
+//!
+//! Two serving-front-end properties are layered on top:
+//!
+//! * **Ids are allocated inside admission.** A `JobId` is taken from the
+//!   runtime's counter only once the entry is definitely admitted, so a
+//!   rejected submission never consumes an id and the id sequence of
+//!   admitted jobs stays dense (stats and eviction epochs key off it).
+//! * **Entries are removable.** A cancelled queued job is taken out of the
+//!   heap on the spot by [`JobQueue::remove`] — its slot frees immediately
+//!   for blocked producers and no worker ever picks it up. Entries also
+//!   carry their absolute deadline so the pop side can skip expired jobs
+//!   without running them.
 
+use crate::handle::Ticket;
 use crate::job::{Priority, ReconJob};
-use crate::JobReport;
 use mlr_memo::JobId;
 use std::collections::BinaryHeap;
 use std::fmt;
-use std::sync::mpsc::Sender;
-use std::sync::{Condvar, Mutex};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
 use std::time::Instant;
 
 /// Why a submission was not admitted.
@@ -60,12 +73,15 @@ impl fmt::Display for AdmissionError {
 impl std::error::Error for AdmissionError {}
 
 /// A job admitted to the queue, with everything a worker needs to run it and
-/// deliver its result.
+/// deliver its terminal status.
 pub(crate) struct QueuedJob {
     pub(crate) id: JobId,
     pub(crate) job: ReconJob,
     pub(crate) enqueued: Instant,
-    pub(crate) responder: Sender<JobReport>,
+    /// The single source of truth for cancellation *and* the absolute
+    /// deadline is the ticket's token (`ticket.token.deadline()`): the pop
+    /// side and the solver's mid-run expiry check read the same value.
+    pub(crate) ticket: Arc<Ticket>,
     /// Tie-breaker: submission sequence number (FIFO within a priority).
     seq: u64,
 }
@@ -130,25 +146,30 @@ impl JobQueue {
         self.inner.lock().unwrap().heap.len()
     }
 
-    fn admit(inner: &mut Inner, id: JobId, job: ReconJob, responder: Sender<JobReport>) {
+    /// Admits under the lock: the id is allocated *here*, after every
+    /// admission check has passed, so rejected submissions never consume one.
+    fn admit(inner: &mut Inner, next_job: &AtomicU64, job: ReconJob, ticket: Arc<Ticket>) -> JobId {
+        let id = next_job.fetch_add(1, Ordering::Relaxed);
         let seq = inner.next_seq;
         inner.next_seq += 1;
         inner.heap.push(QueuedJob {
             id,
             job,
             enqueued: Instant::now(),
-            responder,
+            ticket,
             seq,
         });
+        id
     }
 
-    /// Non-blocking admission: rejects when full or closed.
+    /// Non-blocking admission: rejects when full or closed. Returns the
+    /// allocated job id on success.
     pub(crate) fn try_push(
         &self,
-        id: JobId,
+        next_job: &AtomicU64,
         job: ReconJob,
-        responder: Sender<JobReport>,
-    ) -> Result<(), AdmissionError> {
+        ticket: Arc<Ticket>,
+    ) -> Result<JobId, AdmissionError> {
         let mut inner = self.inner.lock().unwrap();
         if inner.closed {
             return Err(AdmissionError::ShuttingDown);
@@ -158,36 +179,39 @@ impl JobQueue {
                 capacity: self.capacity,
             });
         }
-        Self::admit(&mut inner, id, job, responder);
+        let id = Self::admit(&mut inner, next_job, job, ticket);
         drop(inner);
         self.not_empty.notify_one();
-        Ok(())
+        Ok(id)
     }
 
     /// Blocking admission: waits for a slot (backpressure on the producer).
+    /// Returns the allocated job id on success.
     pub(crate) fn push_blocking(
         &self,
-        id: JobId,
+        next_job: &AtomicU64,
         job: ReconJob,
-        responder: Sender<JobReport>,
-    ) -> Result<(), AdmissionError> {
+        ticket: Arc<Ticket>,
+    ) -> Result<JobId, AdmissionError> {
         let mut inner = self.inner.lock().unwrap();
         loop {
             if inner.closed {
                 return Err(AdmissionError::ShuttingDown);
             }
             if inner.heap.len() < self.capacity {
-                Self::admit(&mut inner, id, job, responder);
+                let id = Self::admit(&mut inner, next_job, job, ticket);
                 drop(inner);
                 self.not_empty.notify_one();
-                return Ok(());
+                return Ok(id);
             }
             inner = self.not_full.wait(inner).unwrap();
         }
     }
 
     /// Blocks until a job is available (returning it) or the queue is closed
-    /// and drained (returning `None`). Workers loop on this.
+    /// and drained (returning `None`). Workers loop on this; the worker
+    /// checks the popped entry's cancel token and deadline *before* running
+    /// it, so cancelled/expired entries are reported, never executed.
     pub(crate) fn pop(&self) -> Option<QueuedJob> {
         let mut inner = self.inner.lock().unwrap();
         loop {
@@ -203,6 +227,29 @@ impl JobQueue {
         }
     }
 
+    /// Removes a still-queued entry by id (cancellation of a queued job).
+    /// Returns the entry when it was found — the caller resolves its ticket
+    /// — or `None` when a worker already popped it (or it never existed).
+    /// The freed slot immediately re-admits a blocked producer.
+    pub(crate) fn remove(&self, id: JobId) -> Option<QueuedJob> {
+        let mut inner = self.inner.lock().unwrap();
+        // BinaryHeap has no targeted removal: rebuild without the entry.
+        // Queues are bounded and small, so the O(n) rebuild is irrelevant
+        // next to the seconds-long jobs the entries describe.
+        let mut entries = std::mem::take(&mut inner.heap).into_vec();
+        let found = entries
+            .iter()
+            .position(|q| q.id == id)
+            .map(|at| entries.swap_remove(at));
+        inner.heap = BinaryHeap::from(entries);
+        let removed = found.is_some();
+        drop(inner);
+        if removed {
+            self.not_full.notify_one();
+        }
+        found
+    }
+
     /// Closes the queue: no further admissions; workers drain what remains
     /// and then see `None`.
     pub(crate) fn close(&self) {
@@ -215,54 +262,117 @@ impl JobQueue {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use mlr_core::MlrConfig;
-    use std::sync::mpsc::channel;
+    use mlr_core::{CancelToken, MlrConfig};
 
     fn job(name: &str, priority: Priority) -> ReconJob {
         ReconJob::new(name, MlrConfig::quick(12, 8)).with_priority(priority)
     }
 
+    fn ticket() -> Arc<Ticket> {
+        Arc::new(Ticket::new(CancelToken::new()))
+    }
+
     #[test]
     fn pops_by_priority_then_fifo() {
         let q = JobQueue::new(8);
-        let (tx, _rx) = channel();
-        q.try_push(1, job("batch-1", Priority::Batch), tx.clone())
+        let ids = AtomicU64::new(1);
+        q.try_push(&ids, job("batch-1", Priority::Batch), ticket())
             .unwrap();
-        q.try_push(2, job("normal-1", Priority::Normal), tx.clone())
+        q.try_push(&ids, job("normal-1", Priority::Normal), ticket())
             .unwrap();
-        q.try_push(3, job("interactive", Priority::Interactive), tx.clone())
+        q.try_push(&ids, job("interactive", Priority::Interactive), ticket())
             .unwrap();
-        q.try_push(4, job("normal-2", Priority::Normal), tx.clone())
+        q.try_push(&ids, job("normal-2", Priority::Normal), ticket())
             .unwrap();
         let order: Vec<String> = (0..4).map(|_| q.pop().unwrap().job.name).collect();
         assert_eq!(order, ["interactive", "normal-1", "normal-2", "batch-1"]);
     }
 
     #[test]
-    fn admission_control_rejects_when_full() {
+    fn admission_control_rejects_when_full_without_consuming_ids() {
         let q = JobQueue::new(2);
-        let (tx, _rx) = channel();
-        q.try_push(1, job("a", Priority::Normal), tx.clone())
-            .unwrap();
-        q.try_push(2, job("b", Priority::Normal), tx.clone())
-            .unwrap();
-        match q.try_push(3, job("c", Priority::Normal), tx.clone()) {
+        let ids = AtomicU64::new(1);
+        assert_eq!(
+            q.try_push(&ids, job("a", Priority::Normal), ticket()),
+            Ok(1)
+        );
+        assert_eq!(
+            q.try_push(&ids, job("b", Priority::Normal), ticket()),
+            Ok(2)
+        );
+        match q.try_push(&ids, job("c", Priority::Normal), ticket()) {
             Err(AdmissionError::QueueFull { capacity: 2 }) => {}
             other => panic!("expected QueueFull, got {other:?}"),
         }
-        // Draining one slot re-admits.
+        // The rejection consumed no id; the next admitted job stays dense.
         let _ = q.pop().unwrap();
-        q.try_push(3, job("c", Priority::Normal), tx).unwrap();
+        assert_eq!(
+            q.try_push(&ids, job("c", Priority::Normal), ticket()),
+            Ok(3)
+        );
         assert_eq!(q.len(), 2);
     }
 
     #[test]
-    fn close_rejects_and_unblocks() {
-        let q = std::sync::Arc::new(JobQueue::new(2));
-        let (tx, _rx) = channel();
-        q.try_push(1, job("a", Priority::Normal), tx.clone())
+    fn remove_takes_a_queued_entry_out() {
+        let q = JobQueue::new(4);
+        let ids = AtomicU64::new(1);
+        let a = q
+            .try_push(&ids, job("a", Priority::Normal), ticket())
             .unwrap();
-        let q2 = std::sync::Arc::clone(&q);
+        let b = q
+            .try_push(&ids, job("b", Priority::Interactive), ticket())
+            .unwrap();
+        let removed = q.remove(b).expect("b is still queued");
+        assert_eq!(removed.id, b);
+        assert_eq!(removed.job.name, "b");
+        // Removing again (or a never-admitted id) is a no-op.
+        assert!(q.remove(b).is_none());
+        assert!(q.remove(999).is_none());
+        // The untouched entry still pops, in its original order.
+        assert_eq!(q.pop().unwrap().id, a);
+        assert_eq!(q.len(), 0);
+    }
+
+    #[test]
+    fn remove_preserves_priority_order_of_the_rest() {
+        let q = JobQueue::new(8);
+        let ids = AtomicU64::new(1);
+        q.try_push(&ids, job("batch", Priority::Batch), ticket())
+            .unwrap();
+        let victim = q
+            .try_push(&ids, job("normal-1", Priority::Normal), ticket())
+            .unwrap();
+        q.try_push(&ids, job("normal-2", Priority::Normal), ticket())
+            .unwrap();
+        q.try_push(&ids, job("interactive", Priority::Interactive), ticket())
+            .unwrap();
+        q.remove(victim).expect("victim queued");
+        let order: Vec<String> = (0..3).map(|_| q.pop().unwrap().job.name).collect();
+        assert_eq!(order, ["interactive", "normal-2", "batch"]);
+    }
+
+    #[test]
+    fn deadlines_ride_along_with_entries() {
+        let q = JobQueue::new(4);
+        let ids = AtomicU64::new(1);
+        let soon = Instant::now() + std::time::Duration::from_secs(30);
+        let dl_ticket = Arc::new(Ticket::new(CancelToken::with_deadline(soon)));
+        q.try_push(&ids, job("dl", Priority::Normal), dl_ticket)
+            .unwrap();
+        q.try_push(&ids, job("no-dl", Priority::Batch), ticket())
+            .unwrap();
+        assert_eq!(q.pop().unwrap().ticket.token.deadline(), Some(soon));
+        assert_eq!(q.pop().unwrap().ticket.token.deadline(), None);
+    }
+
+    #[test]
+    fn close_rejects_and_unblocks() {
+        let q = Arc::new(JobQueue::new(2));
+        let ids = AtomicU64::new(1);
+        q.try_push(&ids, job("a", Priority::Normal), ticket())
+            .unwrap();
+        let q2 = Arc::clone(&q);
         let waiter = std::thread::spawn(move || {
             // Drains "a", then blocks until close.
             let first = q2.pop();
@@ -272,7 +382,7 @@ mod tests {
         std::thread::sleep(std::time::Duration::from_millis(50));
         q.close();
         assert_eq!(
-            q.try_push(5, job("late", Priority::Normal), tx),
+            q.try_push(&ids, job("late", Priority::Normal), ticket()),
             Err(AdmissionError::ShuttingDown)
         );
         let (first_ok, second_none) = waiter.join().unwrap();
@@ -281,18 +391,41 @@ mod tests {
 
     #[test]
     fn blocking_push_waits_for_capacity() {
-        let q = std::sync::Arc::new(JobQueue::new(1));
-        let (tx, _rx) = channel();
-        q.try_push(1, job("a", Priority::Normal), tx.clone())
+        let q = Arc::new(JobQueue::new(1));
+        let ids = Arc::new(AtomicU64::new(1));
+        q.try_push(&ids, job("a", Priority::Normal), ticket())
             .unwrap();
-        let q2 = std::sync::Arc::clone(&q);
+        let q2 = Arc::clone(&q);
+        let ids2 = Arc::clone(&ids);
         let producer = std::thread::spawn(move || {
-            q2.push_blocking(2, job("b", Priority::Normal), tx).unwrap();
+            q2.push_blocking(&ids2, job("b", Priority::Normal), ticket())
+                .unwrap();
         });
         std::thread::sleep(std::time::Duration::from_millis(50));
         // Producer is parked on backpressure; free a slot.
         assert_eq!(q.pop().unwrap().job.name, "a");
         producer.join().unwrap();
         assert_eq!(q.pop().unwrap().job.name, "b");
+    }
+
+    #[test]
+    fn remove_readmits_a_blocked_producer() {
+        let q = Arc::new(JobQueue::new(1));
+        let ids = Arc::new(AtomicU64::new(1));
+        let victim = q
+            .try_push(&ids, job("victim", Priority::Normal), ticket())
+            .unwrap();
+        let q2 = Arc::clone(&q);
+        let ids2 = Arc::clone(&ids);
+        let producer = std::thread::spawn(move || {
+            q2.push_blocking(&ids2, job("waiter", Priority::Normal), ticket())
+                .unwrap()
+        });
+        std::thread::sleep(std::time::Duration::from_millis(50));
+        // Cancelling the queued victim frees the slot for the producer.
+        q.remove(victim).expect("victim queued");
+        let waiter_id = producer.join().unwrap();
+        assert_eq!(waiter_id, 2);
+        assert_eq!(q.pop().unwrap().job.name, "waiter");
     }
 }

@@ -1,16 +1,22 @@
 //! The runtime: a fixed worker pool multiplexing reconstruction jobs over
 //! one shared, sharded memoization store.
+//!
+//! Every admitted job is tracked by a ticket (see [`crate::handle`]) that
+//! resolves to a typed [`JobStatus`]. Workers check a popped entry's cancel
+//! token and deadline *before* running it — a cancelled or expired queued
+//! job is reported and skipped, never executed — and in-flight jobs stop
+//! cooperatively at ADMM iteration boundaries through the same token.
 
+use crate::handle::{JobHandle, JobStatus, Ticket};
 use crate::job::{JobReport, ReconJob};
 use crate::queue::{AdmissionError, JobQueue, QueuedJob};
-use crate::stats::RuntimeStats;
-use mlr_core::MlrPipeline;
+use crate::stats::{DeadlineStats, RuntimeStats};
+use mlr_core::{CancelToken, MlrPipeline, StopCause};
 use mlr_memo::{
     ConcurrencyGovernor, EncoderConfig, JobId, MemoDbConfig, MemoStore, ParallelStats,
     ShardedMemoDb, DEFAULT_SHARDS,
 };
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::mpsc::{channel, Receiver};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::Instant;
@@ -96,55 +102,101 @@ impl RuntimeConfig {
     }
 }
 
-/// Handle to a submitted job; resolves to its [`JobReport`].
-pub struct JobHandle {
-    id: JobId,
-    name: String,
-    rx: Receiver<JobReport>,
+/// Signed slack of `deadline` seen from `at`: positive while there is time
+/// left, negative once the deadline has passed.
+pub(crate) fn slack_seconds(deadline: Instant, at: Instant) -> f64 {
+    if at <= deadline {
+        deadline.duration_since(at).as_secs_f64()
+    } else {
+        -at.duration_since(deadline).as_secs_f64()
+    }
 }
 
-impl JobHandle {
-    /// The runtime-assigned job id.
-    pub fn id(&self) -> JobId {
-        self.id
+/// Cap on retained slack samples: the percentiles cover the most recent
+/// `SLACK_SAMPLE_CAP` decided jobs, so a long-lived front-end neither grows
+/// without bound nor stalls workers sorting an ever-larger ledger.
+const SLACK_SAMPLE_CAP: usize = 4096;
+
+/// Deadline bookkeeping behind [`RuntimeStats::deadline`]: decided outcomes
+/// plus a bounded ring of the decided jobs' signed slack samples (for the
+/// percentiles).
+#[derive(Default)]
+pub(crate) struct DeadlineLedger {
+    pub(crate) submitted: u64,
+    pub(crate) met: u64,
+    pub(crate) missed: u64,
+    slack_seconds: Vec<f64>,
+    /// Ring cursor once the sample buffer is full.
+    next_slot: usize,
+}
+
+impl DeadlineLedger {
+    fn push_slack(&mut self, slack_seconds: f64) {
+        if self.slack_seconds.len() < SLACK_SAMPLE_CAP {
+            self.slack_seconds.push(slack_seconds);
+        } else {
+            self.slack_seconds[self.next_slot] = slack_seconds;
+            self.next_slot = (self.next_slot + 1) % SLACK_SAMPLE_CAP;
+        }
     }
 
-    /// The job name.
-    pub fn name(&self) -> &str {
-        &self.name
-    }
-
-    /// Blocks until the job completes.
-    ///
-    /// # Panics
-    /// Panics if the runtime was torn down without running the job, or if
-    /// the job itself panicked (see [`JobHandle::try_wait`] for the
-    /// non-panicking variant).
-    pub fn wait(self) -> JobReport {
-        self.rx
-            .recv()
-            .expect("runtime dropped the job without a result")
-    }
-
-    /// Blocks until the job completes; returns `None` when the job panicked
-    /// or the runtime was torn down without running it.
-    pub fn try_wait(self) -> Option<JobReport> {
-        self.rx.recv().ok()
+    pub(crate) fn slack_samples(&self) -> &[f64] {
+        &self.slack_seconds
     }
 }
 
 #[derive(Default)]
-struct Counters {
-    submitted: AtomicU64,
-    rejected: AtomicU64,
-    completed: AtomicU64,
-    failed: AtomicU64,
-    queue_ns_total: AtomicU64,
-    queue_ns_max: AtomicU64,
-    busy_ns_total: AtomicU64,
+pub(crate) struct Counters {
+    pub(crate) submitted: AtomicU64,
+    pub(crate) rejected: AtomicU64,
+    pub(crate) completed: AtomicU64,
+    pub(crate) failed: AtomicU64,
+    pub(crate) cancelled: AtomicU64,
+    pub(crate) expired: AtomicU64,
+    pub(crate) queue_ns_total: AtomicU64,
+    /// Jobs whose queue latency landed in `queue_ns_total` — every popped
+    /// entry that actually ran, whatever its terminal status — so the mean
+    /// divides a matching sample set.
+    pub(crate) queue_samples: AtomicU64,
+    pub(crate) queue_ns_max: AtomicU64,
+    pub(crate) busy_ns_total: AtomicU64,
     /// Aggregate of every finished job's chunk-scheduler statistics (the
     /// per-job parallel efficiency the runtime reports).
-    parallel: Mutex<ParallelStats>,
+    pub(crate) parallel: Mutex<ParallelStats>,
+    pub(crate) deadlines: Mutex<DeadlineLedger>,
+}
+
+impl Counters {
+    /// Counts a rejected submission — every rejection path must land here so
+    /// `RuntimeStats::rejected` never under-reports.
+    pub(crate) fn note_rejected(&self) {
+        self.rejected.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn note_cancelled(&self) {
+        self.cancelled.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// An expired job (skipped in the queue or stopped mid-run): counted as
+    /// a deadline miss with its (negative) slack sample.
+    pub(crate) fn note_expired(&self, late_seconds: f64) {
+        self.expired.fetch_add(1, Ordering::Relaxed);
+        let mut ledger = self.deadlines.lock().expect("deadline ledger poisoned");
+        ledger.missed += 1;
+        ledger.push_slack(-late_seconds);
+    }
+
+    /// A completed job that carried a deadline: met when it finished with
+    /// non-negative slack, missed otherwise (it ran to completion late).
+    pub(crate) fn note_deadline_outcome(&self, slack_seconds: f64) {
+        let mut ledger = self.deadlines.lock().expect("deadline ledger poisoned");
+        if slack_seconds >= 0.0 {
+            ledger.met += 1;
+        } else {
+            ledger.missed += 1;
+        }
+        ledger.push_slack(slack_seconds);
+    }
 }
 
 /// The multi-tenant reconstruction runtime.
@@ -246,69 +298,131 @@ impl Runtime {
         Ok(())
     }
 
+    /// The one admission path: every rejection — store pressure, queue full,
+    /// shutting down, blocking or not — is counted in
+    /// [`RuntimeStats::rejected`], and the job id is allocated by the queue
+    /// only *after* admission succeeds (rejected submissions never consume
+    /// an id, keeping the admitted-id sequence dense).
+    pub(crate) fn admit(
+        &self,
+        job: ReconJob,
+        deadline: Option<Instant>,
+        blocking: bool,
+    ) -> Result<JobHandle, AdmissionError> {
+        if let Err(e) = self.check_store_pressure() {
+            self.counters.note_rejected();
+            return Err(e);
+        }
+        let name = job.name.clone();
+        // The token is the single source of truth for both cancellation and
+        // the absolute deadline: queue-skip, mid-run expiry and the handle
+        // all read it from here.
+        let token = match deadline {
+            Some(at) => CancelToken::with_deadline(at),
+            None => CancelToken::new(),
+        };
+        let ticket = Arc::new(Ticket::new(token));
+        // Count the deadline submission *before* the push: the instant the
+        // entry is in the queue a worker may pop and decide it, and a stats
+        // snapshot must never see more decided deadline jobs than submitted
+        // ones. Rolled back below if admission fails.
+        if deadline.is_some() {
+            self.counters
+                .deadlines
+                .lock()
+                .expect("deadline ledger poisoned")
+                .submitted += 1;
+        }
+        let pushed = if blocking {
+            self.queue
+                .push_blocking(&self.next_job, job, Arc::clone(&ticket))
+        } else {
+            self.queue
+                .try_push(&self.next_job, job, Arc::clone(&ticket))
+        };
+        match pushed {
+            Ok(id) => {
+                self.counters.submitted.fetch_add(1, Ordering::Relaxed);
+                Ok(JobHandle {
+                    id,
+                    name,
+                    ticket,
+                    queue: Arc::clone(&self.queue),
+                    counters: Arc::clone(&self.counters),
+                })
+            }
+            Err(e) => {
+                if deadline.is_some() {
+                    self.counters
+                        .deadlines
+                        .lock()
+                        .expect("deadline ledger poisoned")
+                        .submitted -= 1;
+                }
+                self.counters.note_rejected();
+                Err(e)
+            }
+        }
+    }
+
     /// Non-blocking submission with admission control: rejects with
     /// [`AdmissionError::QueueFull`] when the queue is at capacity, or with
     /// [`AdmissionError::StorePressure`] when the shared store is past the
     /// configured pressure limit.
     pub fn submit(&self, job: ReconJob) -> Result<JobHandle, AdmissionError> {
-        if let Err(e) = self.check_store_pressure() {
-            self.counters.rejected.fetch_add(1, Ordering::Relaxed);
-            return Err(e);
-        }
-        let id = self.next_job.fetch_add(1, Ordering::Relaxed);
-        let name = job.name.clone();
-        let (tx, rx) = channel();
-        match self.queue.try_push(id, job, tx) {
-            Ok(()) => {
-                self.counters.submitted.fetch_add(1, Ordering::Relaxed);
-                Ok(JobHandle { id, name, rx })
-            }
-            Err(e) => {
-                self.counters.rejected.fetch_add(1, Ordering::Relaxed);
-                Err(e)
-            }
-        }
+        self.admit(job, None, false)
     }
 
     /// Blocking submission: applies backpressure to the producer until a
     /// queue slot frees up. Store pressure still rejects (blocking would
     /// not relieve it — the store only drains by eviction).
     pub fn submit_blocking(&self, job: ReconJob) -> Result<JobHandle, AdmissionError> {
-        if let Err(e) = self.check_store_pressure() {
-            self.counters.rejected.fetch_add(1, Ordering::Relaxed);
-            return Err(e);
-        }
-        let id = self.next_job.fetch_add(1, Ordering::Relaxed);
-        let name = job.name.clone();
-        let (tx, rx) = channel();
-        self.queue.push_blocking(id, job, tx)?;
-        self.counters.submitted.fetch_add(1, Ordering::Relaxed);
-        Ok(JobHandle { id, name, rx })
+        self.admit(job, None, true)
     }
 
     /// A snapshot of the runtime statistics.
     pub fn stats(&self) -> RuntimeStats {
         let completed = self.counters.completed.load(Ordering::Relaxed);
         let failed = self.counters.failed.load(Ordering::Relaxed);
-        let finished = completed + failed;
+        let queue_samples = self.counters.queue_samples.load(Ordering::Relaxed);
         let queue_ns_total = self.counters.queue_ns_total.load(Ordering::Relaxed);
+        let deadline = {
+            let ledger = self
+                .counters
+                .deadlines
+                .lock()
+                .expect("deadline ledger poisoned");
+            let mut slack = ledger.slack_samples().to_vec();
+            slack.sort_by(f64::total_cmp);
+            DeadlineStats {
+                submitted: ledger.submitted,
+                met: ledger.met,
+                missed: ledger.missed,
+                slack_p50_seconds: percentile(&slack, 0.50),
+                slack_p90_seconds: percentile(&slack, 0.90),
+                slack_p99_seconds: percentile(&slack, 0.99),
+            }
+        };
         RuntimeStats {
             workers: self.worker_count,
             submitted: self.counters.submitted.load(Ordering::Relaxed),
             rejected: self.counters.rejected.load(Ordering::Relaxed),
             completed,
             failed,
+            cancelled: self.counters.cancelled.load(Ordering::Relaxed),
+            expired: self.counters.expired.load(Ordering::Relaxed),
             queued: self.queue.len(),
             wall_seconds: self.started.elapsed().as_secs_f64(),
             busy_seconds: self.counters.busy_ns_total.load(Ordering::Relaxed) as f64 * 1e-9,
-            queue_seconds_mean: if finished == 0 {
+            queue_seconds_mean: if queue_samples == 0 {
                 0.0
             } else {
-                queue_ns_total as f64 * 1e-9 / finished as f64
+                queue_ns_total as f64 * 1e-9 / queue_samples as f64
             },
             queue_seconds_max: self.counters.queue_ns_max.load(Ordering::Relaxed) as f64 * 1e-9,
             store_pressure: self.store.pressure(),
             store: self.store.stats(),
+            deadline,
             parallel: *self
                 .counters
                 .parallel
@@ -320,6 +434,14 @@ impl Runtime {
     /// The configured queue capacity.
     pub fn queue_capacity(&self) -> usize {
         self.queue.capacity()
+    }
+
+    /// Enters drain mode: no further submissions are admitted (they reject
+    /// with [`AdmissionError::ShuttingDown`], and are counted as rejected),
+    /// while already-admitted jobs keep running to completion. Workers stay
+    /// alive until [`Runtime::shutdown`] or drop.
+    pub fn close(&self) {
+        self.queue.close();
     }
 
     /// Drains the queue, stops the workers and returns the final statistics.
@@ -342,6 +464,25 @@ impl Drop for Runtime {
     }
 }
 
+/// Nearest-rank percentile over an ascending-sorted slice (0 when empty).
+fn percentile(sorted: &[f64], p: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let at = (p * (sorted.len() - 1) as f64).round() as usize;
+    sorted[at.min(sorted.len() - 1)]
+}
+
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "job panicked".to_string()
+    }
+}
+
 fn worker_loop(
     queue: &JobQueue,
     store: &Arc<ShardedMemoDb>,
@@ -350,48 +491,116 @@ fn worker_loop(
     intra_job_threads: usize,
 ) {
     while let Some(q) = queue.pop() {
-        let queue_ns = q.enqueued.elapsed().as_nanos() as u64;
+        let QueuedJob {
+            id,
+            job,
+            enqueued,
+            ticket,
+            ..
+        } = q;
+        let deadline = ticket.token.deadline();
+        // Cancelled while queued but popped before the handle could remove
+        // it: the job never runs. Checked before the deadline so that, as
+        // everywhere else, cancellation wins over expiry when both apply —
+        // a submitter-cancelled job must not inflate the deadline-miss rate.
+        if ticket.token.is_cancelled() {
+            counters.note_cancelled();
+            ticket.resolve(JobStatus::Cancelled {
+                while_running: false,
+                completed_iterations: 0,
+            });
+            continue;
+        }
+        // Deadline-aware pop: an entry that expired while queued is reported
+        // and skipped — it never runs (and never touches the store).
+        let now = Instant::now();
+        if let Some(at) = deadline {
+            if now >= at {
+                let late = -slack_seconds(at, now);
+                counters.note_expired(late);
+                ticket.resolve(JobStatus::Expired {
+                    while_running: false,
+                    late_seconds: late,
+                    completed_iterations: 0,
+                });
+                continue;
+            }
+        }
+
+        ticket.set_running();
+        let queue_ns = enqueued.elapsed().as_nanos() as u64;
+        let token = ticket.token.clone();
         let start = Instant::now();
         // Contain per-job panics (bad configs assert deep in the pipeline):
         // one misbehaving tenant must not kill the worker and starve every
-        // queued job behind it. The panicked job's responder is dropped, so
-        // its handle observes the failure; the worker lives on.
+        // queued job behind it. The panicked job resolves `Failed`; the
+        // worker lives on.
         let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-            run_job(q, store, counters, governor, intra_job_threads, queue_ns)
+            run_job(
+                id,
+                job,
+                token,
+                store,
+                counters,
+                governor,
+                intra_job_threads,
+                queue_ns,
+            )
         }));
         let busy_ns = start.elapsed().as_nanos() as u64;
         counters.busy_ns_total.fetch_add(busy_ns, Ordering::Relaxed);
-        // Queue-latency accounting lands together with completed/failed so
-        // mid-run snapshots divide matching job sets.
+        // Queue-latency accounting lands together with its own sample count
+        // (cancelled/expired mid-run jobs waited in the queue too), so the
+        // mean always divides a matching sample set.
         counters
             .queue_ns_total
             .fetch_add(queue_ns, Ordering::Relaxed);
+        counters.queue_samples.fetch_add(1, Ordering::Relaxed);
         counters.queue_ns_max.fetch_max(queue_ns, Ordering::Relaxed);
-        match outcome {
-            Ok(()) => counters.completed.fetch_add(1, Ordering::Relaxed),
-            Err(_) => counters.failed.fetch_add(1, Ordering::Relaxed),
+        let status = match outcome {
+            Ok(status) => status,
+            Err(payload) => JobStatus::Failed {
+                error: panic_message(payload),
+            },
         };
+        match &status {
+            JobStatus::Completed(_) => {
+                counters.completed.fetch_add(1, Ordering::Relaxed);
+                if let Some(at) = deadline {
+                    counters.note_deadline_outcome(slack_seconds(at, Instant::now()));
+                }
+            }
+            JobStatus::Failed { .. } => {
+                counters.failed.fetch_add(1, Ordering::Relaxed);
+            }
+            JobStatus::Cancelled { .. } => counters.note_cancelled(),
+            JobStatus::Expired { late_seconds, .. } => counters.note_expired(*late_seconds),
+        }
+        ticket.resolve(status);
     }
 }
 
+#[allow(clippy::too_many_arguments)]
 fn run_job(
-    q: QueuedJob,
+    id: JobId,
+    job: ReconJob,
+    token: CancelToken,
     store: &Arc<ShardedMemoDb>,
     counters: &Counters,
     governor: &Arc<ConcurrencyGovernor>,
     intra_job_threads: usize,
     queue_ns: u64,
-) {
+) -> JobStatus {
     let start = Instant::now();
     // The runtime's default chunk parallelism applies unless the job itself
     // asks for more; either way every thread beyond the first is leased from
     // the shared governor, so workers × threads stays within the core budget.
-    let mut config = q.job.config;
+    let mut config = job.config;
     config.intra_job_threads = config.intra_job_threads.max(intra_job_threads);
     let pipeline = MlrPipeline::new(config);
     let shared: Arc<dyn MemoStore> = Arc::clone(store) as Arc<dyn MemoStore>;
     let (result, executor) =
-        pipeline.run_memoized_governed(shared, q.id, Some(Arc::clone(governor)));
+        pipeline.run_memoized_serving(shared, id, Some(Arc::clone(governor)), &token);
     let busy_ns = start.elapsed().as_nanos() as u64;
 
     let stats = executor.stats();
@@ -401,21 +610,37 @@ fn run_job(
         .lock()
         .expect("parallel stats lock poisoned")
         .merge(&parallel);
-    let report = JobReport {
-        job: q.id,
-        name: q.job.name,
-        reconstruction: result.reconstruction,
-        loss: result.history.loss_series(),
-        avoided_fraction: stats.total().avoided_fraction(),
-        memo: stats,
-        cache_hit_rate: executor.cache_stats().hit_rate(),
-        parallel,
-        queue_seconds: queue_ns as f64 * 1e-9,
-        run_seconds: busy_ns as f64 * 1e-9,
-    };
-    // The submitter may have dropped the handle; the job still ran and its
-    // entries still benefit every other tenant of the store.
-    let _ = q.responder.send(report);
+    let completed_iterations = result.history.records().len();
+    match result.stopped {
+        Some(StopCause::Cancelled) => JobStatus::Cancelled {
+            while_running: true,
+            completed_iterations,
+        },
+        Some(StopCause::DeadlineExpired) => {
+            let late = token
+                .deadline()
+                .map(|at| -slack_seconds(at, Instant::now()))
+                .unwrap_or(0.0)
+                .max(0.0);
+            JobStatus::Expired {
+                while_running: true,
+                late_seconds: late,
+                completed_iterations,
+            }
+        }
+        None => JobStatus::Completed(Arc::new(JobReport {
+            job: id,
+            name: job.name,
+            reconstruction: result.reconstruction,
+            loss: result.history.loss_series(),
+            avoided_fraction: stats.total().avoided_fraction(),
+            memo: stats,
+            cache_hit_rate: executor.cache_stats().hit_rate(),
+            parallel,
+            queue_seconds: queue_ns as f64 * 1e-9,
+            run_seconds: busy_ns as f64 * 1e-9,
+        })),
+    }
 }
 
 #[cfg(test)]
@@ -436,7 +661,7 @@ mod tests {
             ..RuntimeConfig::matching(&tiny_config())
         });
         let handle = rt.submit(ReconJob::new("solo", tiny_config())).unwrap();
-        let report = handle.wait();
+        let report = handle.wait_report().expect("job completes");
         assert_eq!(report.job, 1);
         assert_eq!(report.name, "solo");
         assert_eq!(report.loss.len(), 4);
@@ -449,6 +674,8 @@ mod tests {
         let stats = rt.shutdown();
         assert_eq!(stats.completed, 1);
         assert_eq!(stats.submitted, 1);
+        assert_eq!(stats.cancelled, 0);
+        assert_eq!(stats.expired, 0);
         assert!(stats.store.queries > 0);
     }
 
@@ -466,7 +693,10 @@ mod tests {
                     .unwrap()
             })
             .collect();
-        let reports: Vec<_> = handles.into_iter().map(JobHandle::wait).collect();
+        let reports: Vec<_> = handles
+            .into_iter()
+            .map(|h| h.wait_report().expect("job completes"))
+            .collect();
         assert_eq!(reports.len(), 4);
         // Identical samples: later jobs must reuse earlier jobs' entries.
         let stats = rt.shutdown();
@@ -509,9 +739,59 @@ mod tests {
     }
 
     #[test]
-    fn panicking_job_does_not_kill_the_worker() {
+    fn rejected_submissions_do_not_leak_job_ids() {
+        // One worker, capacity-1 queue: the first job is popped immediately,
+        // the second fills the slot, and everything after rejects. Rejected
+        // submissions must not consume ids — the next admitted job's id is
+        // dense with the previous one.
+        let rt = Runtime::new(RuntimeConfig {
+            workers: 1,
+            queue_capacity: 1,
+            ..RuntimeConfig::matching(&tiny_config())
+        });
+        let a = rt.submit(ReconJob::new("a", tiny_config())).unwrap();
+        assert_eq!(a.id(), 1);
+        let mut b = None;
+        let mut rejections = 0;
+        for _ in 0..16 {
+            match rt.submit(ReconJob::new("b", tiny_config())) {
+                Ok(h) => {
+                    b = Some(h);
+                    break;
+                }
+                Err(AdmissionError::QueueFull { .. }) => rejections += 1,
+                Err(e) => panic!("unexpected admission error: {e}"),
+            }
+            // The worker may still be holding "a"; give it a moment.
+            std::thread::sleep(std::time::Duration::from_millis(5));
+        }
+        let b = b.expect("one submission eventually admitted");
+        assert_eq!(b.id(), 2, "rejected submissions consumed job ids");
+        assert!(a.wait().is_completed());
+        assert!(b.wait().is_completed());
+        // Wait for b to leave the queue, then the next admit must be id 3.
+        let c = loop {
+            match rt.submit(ReconJob::new("c", tiny_config())) {
+                Ok(h) => break h,
+                Err(AdmissionError::QueueFull { .. }) => {
+                    std::thread::sleep(std::time::Duration::from_millis(5))
+                }
+                Err(e) => panic!("unexpected admission error: {e}"),
+            }
+        };
+        assert_eq!(c.id(), 3, "id sequence of admitted jobs must stay dense");
+        let _ = c.wait();
+        let stats = rt.shutdown();
+        assert_eq!(stats.submitted, 3);
+        assert_eq!(stats.rejected as usize, rejections);
+    }
+
+    #[test]
+    fn panicking_job_resolves_failed_not_a_channel_error() {
         // An invalid configuration asserts deep inside the pipeline; the
-        // worker must survive and keep serving the jobs queued behind it.
+        // worker must survive, keep serving the jobs queued behind it, and
+        // the submitter must see a typed `Failed` status (not a bare
+        // RecvError as in the old channel protocol).
         let rt = Runtime::new(RuntimeConfig {
             workers: 1,
             queue_capacity: 4,
@@ -521,11 +801,13 @@ mod tests {
             .submit(ReconJob::new("bad", MlrConfig::quick(0, 0)))
             .unwrap();
         let good = rt.submit(ReconJob::new("good", tiny_config())).unwrap();
-        assert!(
-            bad.try_wait().is_none(),
-            "panicked job must not yield a report"
-        );
-        let report = good.try_wait().expect("queued job must still run");
+        match bad.wait() {
+            JobStatus::Failed { error } => {
+                assert!(!error.is_empty(), "panic message must be captured");
+            }
+            other => panic!("panicked job must resolve Failed, got {other:?}"),
+        }
+        let report = good.wait_report().expect("queued job must still run");
         assert_eq!(report.name, "good");
         let stats = rt.shutdown();
         assert_eq!(stats.failed, 1);
@@ -572,7 +854,50 @@ mod tests {
         let h2 = rt.submit(ReconJob::new("b", tiny_config())).unwrap();
         let stats = rt.shutdown();
         assert_eq!(stats.completed, 2);
-        assert_eq!(h1.wait().name, "a");
-        assert_eq!(h2.wait().name, "b");
+        assert_eq!(h1.wait_report().expect("drained").name, "a");
+        assert_eq!(h2.wait_report().expect("drained").name, "b");
+    }
+
+    #[test]
+    fn slack_ledger_is_bounded_and_keeps_the_newest_samples() {
+        let c = Counters::default();
+        for i in 0..(SLACK_SAMPLE_CAP + 100) {
+            c.note_deadline_outcome(i as f64);
+        }
+        let ledger = c.deadlines.lock().unwrap();
+        assert_eq!(ledger.slack_samples().len(), SLACK_SAMPLE_CAP);
+        // Outcome counters keep the full history even though the sample
+        // ring is bounded.
+        assert_eq!(ledger.met, (SLACK_SAMPLE_CAP + 100) as u64);
+        // The newest sample overwrote an old slot rather than being dropped.
+        let newest = (SLACK_SAMPLE_CAP + 99) as f64;
+        assert!(ledger.slack_samples().contains(&newest));
+    }
+
+    #[test]
+    fn shutdown_time_rejections_are_counted_for_both_submit_paths() {
+        // The old `submit_blocking` lost ShuttingDown rejections from
+        // `RuntimeStats::rejected` (the `?` returned before the counter);
+        // every rejection path must be visible in the stats.
+        let rt = Runtime::new(RuntimeConfig {
+            workers: 1,
+            queue_capacity: 4,
+            ..RuntimeConfig::matching(&tiny_config())
+        });
+        rt.close();
+        assert!(matches!(
+            rt.submit_blocking(ReconJob::new("late-blocking", tiny_config())),
+            Err(AdmissionError::ShuttingDown)
+        ));
+        assert!(matches!(
+            rt.submit(ReconJob::new("late", tiny_config())),
+            Err(AdmissionError::ShuttingDown)
+        ));
+        let stats = rt.shutdown();
+        assert_eq!(
+            stats.rejected, 2,
+            "shutdown-time rejections must be counted on both submit paths"
+        );
+        assert_eq!(stats.submitted, 0);
     }
 }

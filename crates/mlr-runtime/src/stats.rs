@@ -3,6 +3,49 @@
 use mlr_memo::{ParallelStats, StoreStats};
 use serde::{Deserialize, Serialize};
 
+/// Deadline bookkeeping across all decided jobs (a job is *decided* once it
+/// completed, expired in the queue, or expired mid-run; cancelled jobs and
+/// jobs still in flight are undecided). Slack is signed seconds between the
+/// deadline and the moment the job was decided: positive when it finished
+/// with time to spare, negative when it was late (or skipped as expired).
+#[derive(Debug, Clone, Copy, Default, Serialize, Deserialize)]
+pub struct DeadlineStats {
+    /// Jobs admitted with a deadline.
+    pub submitted: u64,
+    /// Decided jobs that completed at or before their deadline.
+    pub met: u64,
+    /// Decided jobs that missed: expired (queued or mid-run) or completed
+    /// past the deadline.
+    pub missed: u64,
+    /// Median slack over decided jobs, seconds.
+    pub slack_p50_seconds: f64,
+    /// 90th-percentile slack over decided jobs, seconds. Percentiles are
+    /// taken over ascending slack, so the *low* tail (tight or missed
+    /// deadlines) sits at p50 < p90 < p99 only when slack is plentiful —
+    /// compare p50 against the miss rate when reading these.
+    pub slack_p90_seconds: f64,
+    /// 99th-percentile slack over decided jobs, seconds.
+    pub slack_p99_seconds: f64,
+}
+
+impl DeadlineStats {
+    /// Decided jobs (met + missed).
+    pub fn decided(&self) -> u64 {
+        self.met + self.missed
+    }
+
+    /// Fraction of decided jobs that missed their deadline (0 when no
+    /// deadline-carrying job has been decided yet).
+    pub fn miss_rate(&self) -> f64 {
+        let decided = self.decided();
+        if decided == 0 {
+            0.0
+        } else {
+            self.missed as f64 / decided as f64
+        }
+    }
+}
+
 /// A snapshot of the runtime's aggregate behaviour: job throughput, queue
 /// latency, worker utilisation, and the shared store's counters (including
 /// the cross-job hit rate that quantifies what sharing one memoization
@@ -18,8 +61,14 @@ pub struct RuntimeStats {
     /// Jobs completed.
     pub completed: u64,
     /// Jobs that panicked while running (bad configurations); the worker
-    /// survives and the job's handle observes the failure.
+    /// survives and the job's handle resolves `Failed`.
     pub failed: u64,
+    /// Jobs cancelled by their submitter — removed from the queue before
+    /// running, or stopped at an ADMM iteration boundary mid-run.
+    pub cancelled: u64,
+    /// Jobs whose deadline passed — skipped at pop while still queued, or
+    /// stopped at an iteration boundary mid-run.
+    pub expired: u64,
     /// Jobs currently waiting in the queue.
     pub queued: usize,
     /// Wall-clock seconds since the runtime started.
@@ -36,6 +85,8 @@ pub struct RuntimeStats {
     /// Counters of the shared memo store (including eviction counts and
     /// resident bytes under the capacity budget).
     pub store: StoreStats,
+    /// Deadline outcomes and slack percentiles across decided jobs.
+    pub deadline: DeadlineStats,
     /// Aggregate chunk-scheduler statistics over all finished jobs: thread
     /// requests vs governor grants and the measured/modeled speedups of the
     /// intra-job parallel phases.
@@ -102,6 +153,12 @@ impl RuntimeStats {
     pub fn intra_job_speedup(&self) -> f64 {
         self.parallel.achieved_speedup()
     }
+
+    /// Fraction of decided deadline-carrying jobs that missed their
+    /// deadline — the serving front-end's headline quality number.
+    pub fn deadline_miss_rate(&self) -> f64 {
+        self.deadline.miss_rate()
+    }
 }
 
 #[cfg(test)]
@@ -116,6 +173,8 @@ mod tests {
             rejected: 2,
             completed: 8,
             failed: 0,
+            cancelled: 1,
+            expired: 2,
             queued: 0,
             wall_seconds: 2.0,
             busy_seconds: 4.0,
@@ -135,6 +194,14 @@ mod tests {
                 peak_resident_bytes: 3 << 20,
                 pressure_queries: 10,
                 pressure_hits: 4,
+            },
+            deadline: DeadlineStats {
+                submitted: 5,
+                met: 3,
+                missed: 1,
+                slack_p50_seconds: 0.8,
+                slack_p90_seconds: 2.0,
+                slack_p99_seconds: 2.4,
             },
             parallel: ParallelStats {
                 batches: 4,
@@ -156,5 +223,14 @@ mod tests {
         assert_eq!(s.evictions(), 12);
         assert_eq!(s.resident_bytes(), 3 << 20);
         assert!((s.hit_rate_under_pressure() - 0.4).abs() < 1e-12);
+        assert_eq!(s.deadline.decided(), 4);
+        assert!((s.deadline_miss_rate() - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_deadline_stats_report_zero_miss_rate() {
+        let d = DeadlineStats::default();
+        assert_eq!(d.decided(), 0);
+        assert_eq!(d.miss_rate(), 0.0);
     }
 }

@@ -28,11 +28,13 @@
 //!   convergence histories.
 
 pub mod admm;
+pub mod cancel;
 pub mod lsp;
 pub mod metrics;
 pub mod tv;
 
 pub use admm::{AdmmConfig, AdmmResult, AdmmSolver};
+pub use cancel::{CancelToken, StopCause};
 pub use lsp::{FrequencyData, LspVariant};
 pub use metrics::{accuracy_vs_reference, ConvergenceHistory};
 pub use tv::{divergence, gradient, shrink, tv_norm, VectorField};

@@ -34,7 +34,10 @@ fn main() {
         })
         .collect();
 
-    let mut reports: Vec<_> = handles.into_iter().map(|h| h.wait()).collect();
+    let mut reports: Vec<_> = handles
+        .into_iter()
+        .map(|h| h.wait_report().expect("demo job completes"))
+        .collect();
     reports.sort_by_key(|r| r.job);
     for r in &reports {
         println!(

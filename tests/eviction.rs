@@ -113,7 +113,8 @@ fn bounded_single_job_through_runtime_matches_run_memoized() {
     let report = runtime
         .submit(ReconJob::new("bounded-determinism", bounded))
         .unwrap()
-        .wait();
+        .wait_report()
+        .expect("bounded job completes");
     let stats = runtime.shutdown();
     assert!(stats.store.evictions > 0);
     assert!(stats.store.peak_resident_bytes <= cap);

@@ -7,7 +7,7 @@
 
 use mlr_core::{MlrConfig, MlrPipeline};
 use mlr_memo::{CapacityBudget, EvictionPolicyKind, MemoStore};
-use mlr_runtime::{JobHandle, ReconJob, Runtime, RuntimeConfig};
+use mlr_runtime::{ReconJob, Runtime, RuntimeConfig};
 use std::sync::Arc;
 
 fn base_config() -> MlrConfig {
@@ -143,7 +143,10 @@ fn governor_keeps_jobs_times_threads_within_the_core_budget() {
     let handles: Vec<_> = (0..4)
         .map(|i| rt.submit(ReconJob::new(format!("p-{i}"), config)).unwrap())
         .collect();
-    let reports: Vec<_> = handles.into_iter().map(JobHandle::wait).collect();
+    let reports: Vec<_> = handles
+        .into_iter()
+        .map(|h| h.wait_report().expect("parallel job completes"))
+        .collect();
     for report in &reports {
         let p = report.parallel;
         assert!(p.threads_requested > 0);
@@ -180,7 +183,8 @@ fn runtime_job_with_threads_matches_sequential_run_memoized() {
     let report = rt
         .submit(ReconJob::new("parallel-determinism", config))
         .unwrap()
-        .wait();
+        .wait_report()
+        .expect("governed job completes");
     assert_eq!(
         bits(report.reconstruction.as_slice()),
         bits(reference.reconstruction.as_slice()),

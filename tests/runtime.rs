@@ -158,7 +158,8 @@ fn single_job_through_runtime_matches_run_memoized() {
     let report = runtime
         .submit(ReconJob::new("determinism", config))
         .unwrap()
-        .wait();
+        .wait_report()
+        .expect("determinism job completes");
     let stats = runtime.shutdown();
 
     let err = mlr_math::norms::relative_error(&reference.reconstruction, &report.reconstruction);
@@ -192,7 +193,10 @@ fn concurrent_jobs_benefit_from_shared_store() {
                 .unwrap()
         })
         .collect();
-    let mut reports: Vec<_> = handles.into_iter().map(|h| h.wait()).collect();
+    let mut reports: Vec<_> = handles
+        .into_iter()
+        .map(|h| h.wait_report().expect("replica job completes"))
+        .collect();
     reports.sort_by_key(|r| r.job);
 
     let stats = runtime.shutdown();
