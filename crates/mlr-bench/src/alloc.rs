@@ -1,0 +1,67 @@
+//! A counting global allocator for the allocation gates.
+//!
+//! The zero-copy hot-path contract (`fig22_hotpath`) is not "the hit path is
+//! fast on this machine" — that would be noise-gated — but "the hit path
+//! performs (approximately) **no allocator traffic**", which is a
+//! deterministic property of the code path and therefore CI-gateable. A
+//! harness opts in with
+//!
+//! ```ignore
+//! #[global_allocator]
+//! static ALLOC: mlr_bench::alloc::CountingAllocator = CountingAllocator;
+//! ```
+//!
+//! and brackets its measured region with [`snapshot`]: the delta of
+//! `(allocations, bytes)` divided by the chunks processed is the
+//! allocations-per-chunk figure the gate asserts on. Counting is two relaxed
+//! atomic increments per `alloc`/`realloc` — cheap enough to leave on for
+//! the timing columns too (it perturbs hit and miss paths equally).
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+static ALLOCATED_BYTES: AtomicU64 = AtomicU64::new(0);
+
+/// System allocator wrapper counting every allocation and its size.
+pub struct CountingAllocator;
+
+// SAFETY: defers every operation to `System`; only counters are added.
+unsafe impl GlobalAlloc for CountingAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        ALLOCATED_BYTES.fetch_add(layout.size() as u64, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        ALLOCATED_BYTES.fetch_add(layout.size() as u64, Ordering::Relaxed);
+        System.alloc_zeroed(layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        // A grow is fresh allocator traffic for the grown span; counting the
+        // full new size keeps the gate conservative.
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        ALLOCATED_BYTES.fetch_add(new_size as u64, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+}
+
+/// Current `(allocations, bytes)` totals since process start.
+pub fn snapshot() -> (u64, u64) {
+    (
+        ALLOCATIONS.load(Ordering::Relaxed),
+        ALLOCATED_BYTES.load(Ordering::Relaxed),
+    )
+}
+
+/// Delta between two [`snapshot`]s as `(allocations, bytes)`.
+pub fn delta(before: (u64, u64), after: (u64, u64)) -> (u64, u64) {
+    (after.0 - before.0, after.1 - before.1)
+}

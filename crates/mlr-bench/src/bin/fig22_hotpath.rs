@@ -1,0 +1,333 @@
+//! Figure 22 (beyond the paper): the zero-copy, allocation-free chunk hot
+//! path.
+//!
+//! mLR's premise is that a memo hit must be far cheaper than the FFT it
+//! replaces. This harness measures the *constant factors* of that claim on
+//! the real executor seam (`FftExecutor::execute_batch_into`):
+//!
+//! * **hit path** — steady-state cache-hit and db-hit cost per chunk
+//!   (ns/chunk), with every payload handed out as a shared `Arc<[Complex64]>`
+//!   and copied exactly once, straight into the caller's output slice;
+//! * **miss path** — exact-FFT throughput through the same seam (the work a
+//!   hit avoids);
+//! * **allocator traffic** — allocations and bytes per steady-state hit
+//!   chunk, measured by the counting global allocator. This is the
+//!   deterministic CI gate: a reintroduced payload deep-clone (the pre-PR-5
+//!   behaviour cloned every hit out of the store) immediately shows up as
+//!   payload-sized allocations per chunk.
+//!
+//! Gated in CI (`ci/bench_baseline.json`): `hit_path_allocation_free` and
+//! `zero_payload_clone` must hold exactly, and the machine-independent
+//! `modeled_hit_speedup` — the analytic recompute cost `w·n·log2 n` over a
+//! `2n` element-touch model of the hit memcpy — must stay ≥ 2× (it is
+//! ~20× at the smoke chunk size). Wall-clock columns are informational.
+//!
+//! The machine-readable record lands in `BENCH_hotpath.json` (and under
+//! `target/experiments/`).
+
+use mlr_bench::alloc::{delta, snapshot, CountingAllocator};
+use mlr_bench::{compare_row, fmt_secs, header, smoke_from_args, write_record};
+use mlr_fft::fft::{Direction, FftPlan};
+use mlr_lamino::{ChunkRequest, FftExecutor, FftOpKind};
+use mlr_math::rng::seeded;
+use mlr_math::Complex64;
+use mlr_memo::{EncoderConfig, MemoConfig, MemoizedExecutor};
+use rand::Rng;
+use serde::Serialize;
+use std::time::Instant;
+
+#[global_allocator]
+static ALLOC: CountingAllocator = CountingAllocator;
+
+#[derive(Serialize)]
+struct PathStats {
+    ns_per_chunk: f64,
+    allocs_per_chunk: f64,
+    alloc_bytes_per_chunk: f64,
+    db_hits: u64,
+    cache_hits: u64,
+    failed_memo: u64,
+    computed: u64,
+}
+
+#[derive(Serialize)]
+struct Record {
+    smoke: bool,
+    chunk_elems: usize,
+    payload_bytes: u64,
+    locations: usize,
+    steady_iterations: usize,
+    cache_hit: PathStats,
+    db_hit: PathStats,
+    miss: PathStats,
+    miss_throughput_elems_per_sec: f64,
+    /// Measured miss-ns / cache-hit-ns on this machine (informational).
+    measured_hit_speedup: f64,
+    /// Machine-independent: analytic recompute cost over the 2n hit-copy
+    /// model (the CI gate).
+    modeled_hit_speedup: f64,
+    /// Steady-state cache-hit path stays within the allocation envelope
+    /// (≤ MAX_HIT_ALLOCS allocations and ≤ MAX_HIT_ALLOC_BYTES per chunk).
+    hit_path_allocation_free: bool,
+    /// No hit chunk allocated anything payload-sized: the stored value is
+    /// shared, never deep-cloned.
+    zero_payload_clone: bool,
+}
+
+/// Allocation envelope of one steady-state cache-hit chunk: the encoded key
+/// (the one intended allocation) plus slack for amortised batch plumbing.
+const MAX_HIT_ALLOCS: f64 = 4.0;
+const MAX_HIT_ALLOC_BYTES: f64 = 1024.0;
+
+fn encoder() -> EncoderConfig {
+    EncoderConfig {
+        input_grid: 8,
+        conv1_filters: 2,
+        conv2_filters: 4,
+        embedding_dim: 16,
+        learning_rate: 1e-3,
+    }
+}
+
+fn chunk(loc: usize, n: usize) -> Vec<Complex64> {
+    let mut rng = seeded(0xF1622 ^ loc as u64);
+    (0..n)
+        .map(|_| Complex64::new(rng.gen::<f64>() - 0.5, rng.gen::<f64>() - 0.5))
+        .collect()
+}
+
+/// Drives `iterations` whole-grid batch dispatches (one per ADMM iteration,
+/// starting at `first_iteration`) through the zero-copy seam and returns
+/// `(seconds, allocations, bytes)` accumulated over them.
+#[allow(clippy::too_many_arguments)]
+fn drive(
+    exec: &MemoizedExecutor,
+    inputs: &[Vec<Complex64>],
+    outputs: &mut [Vec<Complex64>],
+    compute: &(dyn Fn(&[Complex64]) -> Vec<Complex64> + Sync),
+    first_iteration: usize,
+    iterations: usize,
+) -> (f64, u64, u64) {
+    let before = snapshot();
+    let start = Instant::now();
+    for it in first_iteration..first_iteration + iterations {
+        exec.begin_iteration(it);
+        let batch: Vec<ChunkRequest<'_>> = inputs
+            .iter()
+            .enumerate()
+            .map(|(loc, input)| ChunkRequest {
+                loc,
+                input,
+                compute,
+            })
+            .collect();
+        let mut slots: Vec<&mut [Complex64]> =
+            outputs.iter_mut().map(|v| v.as_mut_slice()).collect();
+        exec.execute_batch_into(FftOpKind::Fu2D, &batch, &mut slots);
+    }
+    let seconds = start.elapsed().as_secs_f64();
+    let (allocs, bytes) = delta(before, snapshot());
+    (seconds, allocs, bytes)
+}
+
+fn path_stats(
+    exec: &MemoizedExecutor,
+    seconds: f64,
+    allocs: u64,
+    bytes: u64,
+    chunks: u64,
+) -> PathStats {
+    let total = exec.stats().total();
+    PathStats {
+        ns_per_chunk: seconds * 1e9 / chunks as f64,
+        allocs_per_chunk: allocs as f64 / chunks as f64,
+        alloc_bytes_per_chunk: bytes as f64 / chunks as f64,
+        db_hits: total.db_hits,
+        cache_hits: total.cache_hits,
+        failed_memo: total.failed_memo,
+        computed: total.computed,
+    }
+}
+
+fn main() {
+    // Pin the rayon shim to one thread and run batches sequentially: the
+    // subject under measurement is the per-chunk constant factor, and the
+    // allocation gate must count one deterministic code path.
+    std::env::set_var("RAYON_NUM_THREADS", "1");
+    header(
+        "Figure 22",
+        "zero-copy memo hits: hit ns/chunk, miss FFT throughput, allocations/chunk",
+    );
+    let smoke = smoke_from_args();
+    let (n, locations, steady) = if smoke { (1024, 24, 8) } else { (4096, 32, 12) };
+    let payload_bytes = (n * 16) as u64;
+    println!(
+        "chunk: {n} complex elems ({} KiB payload), {locations} locations, \
+         {steady} steady-state iterations\n",
+        payload_bytes / 1024
+    );
+
+    let plan = FftPlan::new(n);
+    let compute = move |x: &[Complex64]| {
+        let mut v = x.to_vec();
+        plan.process(&mut v, Direction::Forward);
+        v
+    };
+    let inputs: Vec<Vec<Complex64>> = (0..locations).map(|loc| chunk(loc, n)).collect();
+    let mut outputs: Vec<Vec<Complex64>> = vec![vec![Complex64::ZERO; n]; locations];
+    let memo = MemoConfig {
+        warmup_iterations: 0,
+        ..Default::default()
+    };
+    let chunks = (steady * locations) as u64;
+
+    // --- cache-hit path: identical inputs every iteration; after the
+    // populate (miss) and promote (db-hit → cache fill) rounds plus one
+    // pool-warming round, every chunk is a compute-node cache hit.
+    let exec = MemoizedExecutor::new(memo, encoder(), 22);
+    let _ = drive(&exec, &inputs, &mut outputs, &compute, 0, 3);
+    let (secs, allocs, bytes) = drive(&exec, &inputs, &mut outputs, &compute, 3, steady);
+    let cache_hit = path_stats(&exec, secs, allocs, bytes, chunks);
+    assert_eq!(
+        cache_hit.cache_hits,
+        chunks + locations as u64,
+        "steady window must be all cache hits"
+    );
+
+    // --- db-hit path: cache disabled, every steady chunk is a database hit
+    // served through the shared payload buffer.
+    let db_exec = MemoizedExecutor::new(
+        MemoConfig {
+            use_cache: false,
+            ..memo
+        },
+        encoder(),
+        23,
+    );
+    let _ = drive(&db_exec, &inputs, &mut outputs, &compute, 0, 2);
+    let (secs, allocs, bytes) = drive(&db_exec, &inputs, &mut outputs, &compute, 2, steady);
+    let db_hit = path_stats(&db_exec, secs, allocs, bytes, chunks);
+    assert_eq!(
+        db_hit.db_hits,
+        chunks + locations as u64,
+        "steady window must be all db hits"
+    );
+
+    // --- miss path: memoization disabled, every chunk recomputes the exact
+    // FFT through the same batch seam.
+    let miss_exec = MemoizedExecutor::new(
+        MemoConfig {
+            enabled: false,
+            ..memo
+        },
+        encoder(),
+        24,
+    );
+    let _ = drive(&miss_exec, &inputs, &mut outputs, &compute, 0, 1);
+    let (secs, allocs, bytes) = drive(&miss_exec, &inputs, &mut outputs, &compute, 1, steady);
+    let miss = path_stats(&miss_exec, secs, allocs, bytes, chunks);
+    let miss_throughput = (chunks as f64 * n as f64) / secs;
+
+    let measured_hit_speedup = miss.ns_per_chunk / cache_hit.ns_per_chunk.max(1e-9);
+    // Analytic recompute cost of the memoized op over a 2n element-touch
+    // model of the hit (read the shared payload, write the grid window):
+    // w·n·log2(n) / 2n — machine-independent, so CI can gate it tightly.
+    let modeled_hit_speedup =
+        mlr_memo::recompute_cost_estimate(FftOpKind::Fu2D, n) / (2.0 * n as f64);
+
+    let hit_path_allocation_free = cache_hit.allocs_per_chunk <= MAX_HIT_ALLOCS
+        && cache_hit.alloc_bytes_per_chunk <= MAX_HIT_ALLOC_BYTES;
+    let zero_payload_clone = cache_hit.alloc_bytes_per_chunk < payload_bytes as f64 / 2.0
+        && db_hit.alloc_bytes_per_chunk < payload_bytes as f64 / 2.0;
+
+    println!(
+        "{:>12} {:>14} {:>14} {:>16}",
+        "path", "ns/chunk", "allocs/chunk", "bytes/chunk"
+    );
+    for (label, p) in [
+        ("cache hit", &cache_hit),
+        ("db hit", &db_hit),
+        ("miss (FFT)", &miss),
+    ] {
+        println!(
+            "{label:>12} {:>14.0} {:>14.2} {:>16.1}",
+            p.ns_per_chunk, p.allocs_per_chunk, p.alloc_bytes_per_chunk
+        );
+    }
+    println!();
+    compare_row(
+        "steady hit-path allocations per chunk",
+        "~0 (key only)",
+        &format!(
+            "{:.2} allocs / {:.0} B",
+            cache_hit.allocs_per_chunk, cache_hit.alloc_bytes_per_chunk
+        ),
+    );
+    compare_row(
+        "payload deep-clones on a hit",
+        "zero",
+        if zero_payload_clone {
+            "zero"
+        } else {
+            "PRESENT"
+        },
+    );
+    compare_row(
+        "modeled hit speedup (w·n·log2 n / 2n)",
+        "≥ 2×",
+        &format!("{modeled_hit_speedup:.1}x"),
+    );
+    compare_row(
+        "measured hit speedup vs exact FFT",
+        "(informational)",
+        &format!("{measured_hit_speedup:.1}x"),
+    );
+    compare_row(
+        "miss-path FFT throughput",
+        "(informational)",
+        &format!(
+            "{:.1} Melem/s ({}/chunk)",
+            miss_throughput / 1e6,
+            fmt_secs(miss.ns_per_chunk / 1e9)
+        ),
+    );
+
+    assert!(
+        hit_path_allocation_free,
+        "hit path allocates: {:.2} allocs / {:.1} B per chunk (envelope {MAX_HIT_ALLOCS} / {MAX_HIT_ALLOC_BYTES} B)",
+        cache_hit.allocs_per_chunk, cache_hit.alloc_bytes_per_chunk
+    );
+    assert!(
+        zero_payload_clone,
+        "a hit performed payload-sized allocations — a deep clone is back"
+    );
+    assert!(
+        modeled_hit_speedup >= 2.0,
+        "modeled hit speedup below 2x: {modeled_hit_speedup}"
+    );
+
+    let record = Record {
+        smoke,
+        chunk_elems: n,
+        payload_bytes,
+        locations,
+        steady_iterations: steady,
+        cache_hit,
+        db_hit,
+        miss,
+        miss_throughput_elems_per_sec: miss_throughput,
+        measured_hit_speedup,
+        modeled_hit_speedup,
+        hit_path_allocation_free,
+        zero_payload_clone,
+    };
+    match serde_json::to_string_pretty(&record) {
+        Ok(json) => {
+            if std::fs::write("BENCH_hotpath.json", &json).is_ok() {
+                println!("\n[record written to BENCH_hotpath.json]");
+            }
+        }
+        Err(e) => eprintln!("failed to serialise record: {e}"),
+    }
+    write_record("fig22_hotpath", &record);
+}

@@ -8,6 +8,7 @@
 //! transforms of the same size (the common case: every chunk has the same
 //! shape) pay the setup cost once.
 
+use crate::scratch::ScratchPool;
 use mlr_math::Complex64;
 use std::collections::HashMap;
 use std::f64::consts::PI;
@@ -56,6 +57,9 @@ struct BluesteinTables {
     b_hat_inv: Vec<Complex64>,
     /// Inner power-of-two plan for length m.
     inner: Box<FftPlan>,
+    /// Reusable length-`m` chirp-product buffers, one per concurrent caller
+    /// — the transform stops allocating once the pool is warm.
+    scratch: ScratchPool,
 }
 
 impl FftPlan {
@@ -133,6 +137,7 @@ impl FftPlan {
                     b_hat_fwd,
                     b_hat_inv,
                     inner,
+                    scratch: ScratchPool::new(),
                 }),
             }
         }
@@ -233,7 +238,9 @@ impl FftPlan {
         let n = self.n;
         let m = tables.m;
         // a_i = x_i * chirp_i (chirp conjugated for the inverse direction).
-        let mut a = vec![Complex64::ZERO; m];
+        // The zero-padded product lives in pooled scratch: steady state
+        // performs no allocation per transform.
+        let mut a = tables.scratch.lease_zeroed(m);
         for i in 0..n {
             let c = match dir {
                 Direction::Forward => tables.chirp[i],

@@ -8,6 +8,7 @@
 //! simulated GPU timing lives in `mlr-sim`.
 
 use crate::fft::{Direction, FftPlan, FftPlanner};
+use crate::scratch::ScratchPool;
 use mlr_math::{Array3, Complex64, Shape3};
 use rayon::prelude::*;
 
@@ -47,6 +48,9 @@ pub struct Fft2Batch {
     cols: usize,
     row_plan: std::sync::Arc<FftPlan>,
     col_plan: std::sync::Arc<FftPlan>,
+    /// Pooled per-plane column buffers: one lease per concurrent plane
+    /// worker, so the batch stops allocating once the pool is warm.
+    col_scratch: ScratchPool,
 }
 
 impl Fft2Batch {
@@ -58,6 +62,7 @@ impl Fft2Batch {
             cols,
             row_plan: planner.plan(cols.max(1)),
             col_plan: planner.plan(rows.max(1)),
+            col_scratch: ScratchPool::new(),
         }
     }
 
@@ -88,7 +93,7 @@ impl Fft2Batch {
             self.row_plan
                 .process(&mut plane[r * self.cols..(r + 1) * self.cols], dir);
         }
-        let mut col = vec![Complex64::ZERO; self.rows];
+        let mut col = self.col_scratch.lease(self.rows);
         for c in 0..self.cols {
             for r in 0..self.rows {
                 col[r] = plane[r * self.cols + c];

@@ -19,6 +19,7 @@
 //! (oversampling 2, kernel half-width 10).
 
 use crate::fft::{Direction, FftPlan};
+use crate::scratch::{ScratchLease, ScratchPool};
 use mlr_math::Complex64;
 use rayon::prelude::*;
 use std::f64::consts::PI;
@@ -51,6 +52,9 @@ pub struct Usfft1d {
     deconv: Vec<f64>,
     scale: f64,
     plan: Arc<FftPlan>,
+    /// Pooled fine-grid buffers (length `nr`): forward/adjoint transforms
+    /// stop allocating their spreading grid once the pool is warm.
+    fine_pool: ScratchPool,
 }
 
 impl Usfft1d {
@@ -90,6 +94,7 @@ impl Usfft1d {
             deconv,
             scale,
             plan: Arc::new(FftPlan::new(nr)),
+            fine_pool: ScratchPool::new(),
         }
     }
 
@@ -120,8 +125,9 @@ impl Usfft1d {
     /// Panics when `u.len() != self.input_len()`.
     pub fn forward(&self, u: &[Complex64]) -> Vec<Complex64> {
         assert_eq!(u.len(), self.n, "USFFT input length mismatch");
-        // 1. Pre-compensate and place on the fine grid at (p mod nr).
-        let mut fine = vec![Complex64::ZERO; self.nr];
+        // 1. Pre-compensate and place on the fine grid at (p mod nr). The
+        //    grid is pooled scratch — no allocation in steady state.
+        let mut fine = self.fine_pool.lease_zeroed(self.nr);
         let half = (self.n / 2) as isize;
         for (j, &val) in u.iter().enumerate() {
             let p = j as isize - half;
@@ -168,8 +174,8 @@ impl Usfft1d {
         let nr = self.nr as isize;
         let m_sp = self.m_sp as isize;
         // 1. Spread each non-uniform value onto the fine grid (transpose of
-        //    the interpolation step).
-        let mut fine = vec![Complex64::ZERO; self.nr];
+        //    the interpolation step). Pooled scratch, as in `forward`.
+        let mut fine = self.fine_pool.lease_zeroed(self.nr);
         for (k, &val) in y.iter().enumerate() {
             let center = wrap_unit(self.freqs[k]) * self.nr as f64;
             let q0 = center.round() as isize;
@@ -263,6 +269,10 @@ pub struct Usfft2d {
     scale: f64,
     plan1: Arc<FftPlan>,
     plan2: Arc<FftPlan>,
+    /// Pooled fine-grid and transpose buffers (length `nr1 * nr2` each):
+    /// the per-chunk 2-D transforms stop allocating once the pools warm up.
+    fine_pool: ScratchPool,
+    transpose_pool: ScratchPool,
 }
 
 impl Usfft2d {
@@ -318,6 +328,8 @@ impl Usfft2d {
             scale,
             plan1: Arc::new(FftPlan::new(nr1)),
             plan2: Arc::new(FftPlan::new(nr2)),
+            fine_pool: ScratchPool::new(),
+            transpose_pool: ScratchPool::new(),
         }
     }
 
@@ -349,8 +361,8 @@ impl Usfft2d {
     }
 
     /// Builds the pre-compensated, zero-embedded fine grid and transforms it.
-    fn fine_forward(&self, u: &[Complex64]) -> Vec<Complex64> {
-        let mut fine = vec![Complex64::ZERO; self.nr1 * self.nr2];
+    fn fine_forward(&self, u: &[Complex64]) -> ScratchLease<'_> {
+        let mut fine = self.fine_pool.lease_zeroed(self.nr1 * self.nr2);
         let half1 = (self.n1 / 2) as isize;
         let half2 = (self.n2 / 2) as isize;
         for j1 in 0..self.n1 {
@@ -378,10 +390,11 @@ impl Usfft2d {
                 self.plan2.process_unscaled(row, dir);
             }
         });
-        // Columns (length nr1).
+        // Columns (length nr1), via a pooled transpose buffer (every element
+        // is overwritten, so the lease needs no zeroing).
         let nr1 = self.nr1;
         let nr2 = self.nr2;
-        let mut transposed = vec![Complex64::ZERO; nr1 * nr2];
+        let mut transposed = self.transpose_pool.lease(nr1 * nr2);
         for r in 0..nr1 {
             for c in 0..nr2 {
                 transposed[c * nr1 + r] = fine[r * nr2 + c];
@@ -447,7 +460,7 @@ impl Usfft2d {
         let m_sp = self.m_sp as isize;
         let nr1 = self.nr1 as isize;
         let nr2 = self.nr2 as isize;
-        let mut fine = vec![Complex64::ZERO; self.nr1 * self.nr2];
+        let mut fine = self.fine_pool.lease_zeroed(self.nr1 * self.nr2);
         for (k, &val) in y.iter().enumerate() {
             let (w1, w2) = self.freqs[k];
             let c1 = wrap_unit(w1) * self.nr1 as f64;

@@ -13,6 +13,7 @@ use crate::chunk::{ChunkGrid, ChunkLocation};
 use crate::geometry::LaminoGeometry;
 use mlr_fft::fft::Direction;
 use mlr_fft::fft2d::Fft2Batch;
+use mlr_fft::scratch::ScratchPool;
 use mlr_fft::usfft::{Usfft1d, Usfft2d};
 use mlr_math::{Array3, Complex64, Shape3};
 use rayon::prelude::*;
@@ -74,6 +75,33 @@ impl FftOpKind {
     pub fn is_unequally_spaced(&self) -> bool {
         !matches!(self, FftOpKind::F2D | FftOpKind::F2DAdj)
     }
+
+    /// The operation kinds in dense-index order: `DENSE[k.index()] == k`.
+    /// This is the canonical order for fixed-arity per-operation tables
+    /// (note it differs from [`FftOpKind::ALL`], which lists the kinds in
+    /// Algorithm-1 invocation order).
+    pub const DENSE: [FftOpKind; 6] = [
+        FftOpKind::Fu1D,
+        FftOpKind::Fu1DAdj,
+        FftOpKind::Fu2D,
+        FftOpKind::Fu2DAdj,
+        FftOpKind::F2D,
+        FftOpKind::F2DAdj,
+    ];
+
+    /// Dense index of this kind in `0..FftOpKind::DENSE.len()`, the inverse
+    /// of [`FftOpKind::DENSE`]. Lets hot-path per-operation statistics live
+    /// in fixed arrays (a copyable snapshot) instead of hash maps.
+    pub fn index(self) -> usize {
+        match self {
+            FftOpKind::Fu1D => 0,
+            FftOpKind::Fu1DAdj => 1,
+            FftOpKind::Fu2D => 2,
+            FftOpKind::Fu2DAdj => 3,
+            FftOpKind::F2D => 4,
+            FftOpKind::F2DAdj => 5,
+        }
+    }
 }
 
 /// One chunk of a batched executor dispatch: the chunk location, its
@@ -97,11 +125,11 @@ pub struct ChunkRequest<'a> {
 /// (in `mlr-memo`) instead searches its database and only falls back to the
 /// closure on a miss; the hardware simulator wraps either to account time.
 ///
-/// Operators dispatch whole chunk grids through [`FftExecutor::execute_batch`],
-/// which batch-aware executors (the memoized engine's deterministic
-/// chunk-parallel scheduler) override; the default implementation simply
-/// loops over [`FftExecutor::execute`], so single-chunk executors and sim
-/// wrappers keep working unchanged.
+/// Operators dispatch whole chunk grids through
+/// [`FftExecutor::execute_batch_into`], which batch-aware executors (the
+/// memoized engine's deterministic chunk-parallel scheduler) override; the
+/// default implementation simply loops over [`FftExecutor::execute`], so
+/// single-chunk executors and sim wrappers keep working unchanged.
 pub trait FftExecutor: Send + Sync {
     /// Executes (or replaces) FFT operation `kind` on chunk location `loc`.
     ///
@@ -116,18 +144,33 @@ pub trait FftExecutor: Send + Sync {
     ) -> Vec<Complex64>;
 
     /// Executes one whole stage application — every chunk of the grid — in a
-    /// single dispatch, returning the per-chunk results in batch order.
+    /// single dispatch, writing each chunk's result into its caller-provided
+    /// output slice (`outputs[i]` receives chunk `i`; lengths must match the
+    /// chunk results exactly).
     ///
-    /// The default implementation runs the chunks sequentially through
+    /// This is the zero-copy seam: the operator hands out windows of its own
+    /// grid buffers, so a memoization hit costs one memcpy from the shared
+    /// stored payload into the grid — no intermediate `Vec` per chunk. The
+    /// default implementation runs the chunks sequentially through
     /// [`FftExecutor::execute`]; the memoized engine overrides it with the
     /// two-phase deterministic parallel schedule (parallel probe/compute,
     /// ordered commit), whose results are bit-identical for every thread
     /// count.
-    fn execute_batch(&self, kind: FftOpKind, batch: &[ChunkRequest<'_>]) -> Vec<Vec<Complex64>> {
-        batch
-            .iter()
-            .map(|r| self.execute(kind, r.loc, r.input, r.compute))
-            .collect()
+    ///
+    /// # Panics
+    /// Panics when `batch` and `outputs` disagree in arity (or a result
+    /// length mismatches its output slice).
+    fn execute_batch_into(
+        &self,
+        kind: FftOpKind,
+        batch: &[ChunkRequest<'_>],
+        outputs: &mut [&mut [Complex64]],
+    ) {
+        assert_eq!(batch.len(), outputs.len(), "batch/output arity mismatch");
+        for (r, out) in batch.iter().zip(outputs.iter_mut()) {
+            let result = self.execute(kind, r.loc, r.input, r.compute);
+            out.copy_from_slice(&result);
+        }
     }
 
     /// Notifies the executor that a new outer (ADMM) iteration begins.
@@ -157,33 +200,70 @@ impl FftExecutor for DirectExecutor {
     }
 }
 
-/// Assembles the per-chunk [`ChunkRequest`]s of one stage application and
-/// dispatches them through the executor's batch entry point.
-///
-/// Trade-off: the callers gather *every* chunk's input up front (one extra
-/// stage-sized copy held for the duration of the application, where the old
-/// sequential loops gathered one chunk at a time) so the executor sees the
-/// whole grid in one dispatch and can schedule it freely. Bounding the
-/// in-flight gather (dispatch in waves) would cap that at
-/// O(chunks-in-flight) if stage-sized copies ever become the memory
-/// bottleneck.
-fn dispatch_grid<'a>(
-    exec: &dyn FftExecutor,
-    kind: FftOpKind,
+/// Splits `data` into consecutive mutable windows of the given sizes — the
+/// per-chunk output slices a batch dispatch writes into. The windows
+/// partition a single grid (or staging) buffer, so chunk results land in
+/// place with no per-chunk `Vec`.
+fn split_windows(
+    mut data: &mut [Complex64],
+    sizes: impl Iterator<Item = usize>,
+) -> Vec<&mut [Complex64]> {
+    let mut out = Vec::new();
+    for size in sizes {
+        let (head, tail) = data.split_at_mut(size);
+        out.push(head);
+        data = tail;
+    }
+    out
+}
+
+/// Iterator over consecutive immutable windows of the given sizes — the
+/// read-side counterpart of [`split_windows`], used to hand each chunk its
+/// slice of a shared gather arena.
+struct WindowIter<'a, I> {
+    data: &'a [Complex64],
+    offset: usize,
+    sizes: I,
+}
+
+impl<'a, I: Iterator<Item = usize>> WindowIter<'a, I> {
+    fn new(data: &'a [Complex64], sizes: I) -> Self {
+        Self {
+            data,
+            offset: 0,
+            sizes,
+        }
+    }
+}
+
+impl<'a, I: Iterator<Item = usize>> Iterator for WindowIter<'a, I> {
+    type Item = &'a [Complex64];
+    fn next(&mut self) -> Option<&'a [Complex64]> {
+        let size = self.sizes.next()?;
+        let window = &self.data[self.offset..self.offset + size];
+        self.offset += size;
+        Some(window)
+    }
+}
+
+/// Assembles the per-chunk [`ChunkRequest`]s of one stage application from
+/// parallel slices of locations, input windows and compute closures.
+fn make_batch<'a, C>(
     locs: &[ChunkLocation],
     inputs: impl Iterator<Item = &'a [Complex64]>,
-    computes: impl Iterator<Item = &'a (dyn Fn(&[Complex64]) -> Vec<Complex64> + Sync)>,
-) -> Vec<Vec<Complex64>> {
-    let batch: Vec<ChunkRequest<'a>> = locs
-        .iter()
+    computes: &'a [C],
+) -> Vec<ChunkRequest<'a>>
+where
+    C: Fn(&[Complex64]) -> Vec<Complex64> + Sync,
+{
+    locs.iter()
         .zip(inputs.zip(computes))
         .map(|(loc, (input, compute))| ChunkRequest {
             loc: loc.index,
             input,
-            compute,
+            compute: compute as &(dyn Fn(&[Complex64]) -> Vec<Complex64> + Sync),
         })
-        .collect();
-    exec.execute_batch(kind, &batch)
+        .collect()
 }
 
 /// The laminography operator for a fixed geometry.
@@ -198,6 +278,15 @@ pub struct LaminoOperator {
     usfft_rows: Vec<Usfft2d>,
     fft2_detector: Fft2Batch,
     chunk_size: usize,
+    /// Pooled gather/scatter staging buffers, reused across the batch
+    /// dispatches of an operator application (and across applications): the
+    /// `F_u2D`/`F*_u2D` stages gather their chunk inputs into one leased
+    /// arena and stage their outputs in another instead of allocating per
+    /// chunk. The slab-aligned stages (`F_u1D`, `F_2D`) need no staging at
+    /// all — they borrow the operand and write the result grids directly.
+    arena: ScratchPool,
+    /// Pooled per-plane column buffers for the chunk compute kernels.
+    column_pool: ScratchPool,
 }
 
 impl LaminoOperator {
@@ -228,6 +317,8 @@ impl LaminoOperator {
             usfft_rows,
             fft2_detector,
             chunk_size,
+            arena: ScratchPool::new(),
+            column_pool: ScratchPool::new(),
         }
     }
 
@@ -259,6 +350,11 @@ impl LaminoOperator {
     // ----------------------------------------------------------------- Fu1D
 
     /// Applies `F_u1D` to the whole volume: `u[n1, n0, n2] → ũ1[n1, h, n2]`.
+    ///
+    /// Chunks of this stage are slabs along axis 0, which are contiguous in
+    /// row-major storage: the batch borrows its inputs straight out of `u`
+    /// and writes its results straight into windows of the output grid —
+    /// zero gather/scatter copies, zero per-chunk buffers.
     pub fn fu1d(&self, u: &Array3<Complex64>, exec: &dyn FftExecutor) -> Array3<Complex64> {
         let shape = u.shape();
         assert_eq!(
@@ -269,8 +365,8 @@ impl LaminoOperator {
         let out_shape = self.geometry.u1_shape();
         let mut out = Array3::zeros(out_shape);
         let locs: Vec<ChunkLocation> = self.fu1d_grid().iter().collect();
-        let slabs: Vec<Array3<Complex64>> =
-            locs.iter().map(|loc| u.slab(loc.start, loc.len)).collect();
+        let in_plane = shape.n1 * shape.n2;
+        let out_plane = out_shape.n1 * out_shape.n2;
         let computes: Vec<_> = locs
             .iter()
             .map(|loc| {
@@ -278,20 +374,14 @@ impl LaminoOperator {
                 move |input: &[Complex64]| self.fu1d_chunk_compute(input, len)
             })
             .collect();
-        let results = dispatch_grid(
-            exec,
-            FftOpKind::Fu1D,
+        let batch = make_batch(
             &locs,
-            slabs.iter().map(|s| s.as_slice()),
-            computes
-                .iter()
-                .map(|c| c as &(dyn Fn(&[Complex64]) -> Vec<Complex64> + Sync)),
+            locs.iter()
+                .map(|loc| &u.as_slice()[loc.start * in_plane..(loc.start + loc.len) * in_plane]),
+            &computes,
         );
-        for (loc, result) in locs.iter().zip(results) {
-            let chunk_out =
-                Array3::from_vec(Shape3::new(loc.len, out_shape.n1, out_shape.n2), result);
-            out.set_slab(loc.start, &chunk_out);
-        }
+        let mut outputs = split_windows(out.as_mut_slice(), locs.iter().map(|l| l.len * out_plane));
+        exec.execute_batch_into(FftOpKind::Fu1D, &batch, &mut outputs);
         out
     }
 
@@ -307,7 +397,7 @@ impl LaminoOperator {
             .enumerate()
             .for_each(|(i1, out_plane)| {
                 let in_plane = &input[i1 * n0 * n2..(i1 + 1) * n0 * n2];
-                let mut column = vec![Complex64::ZERO; n0];
+                let mut column = self.column_pool.lease(n0);
                 for i2 in 0..n2 {
                     for j in 0..n0 {
                         column[j] = in_plane[j * n2 + i2];
@@ -336,8 +426,8 @@ impl LaminoOperator {
         let out_shape = self.geometry.volume_shape();
         let mut out = Array3::zeros(out_shape);
         let locs: Vec<ChunkLocation> = self.fu1d_grid().iter().collect();
-        let slabs: Vec<Array3<Complex64>> =
-            locs.iter().map(|loc| u1.slab(loc.start, loc.len)).collect();
+        let in_plane = shape.n1 * shape.n2;
+        let out_plane = out_shape.n1 * out_shape.n2;
         let computes: Vec<_> = locs
             .iter()
             .map(|loc| {
@@ -345,20 +435,14 @@ impl LaminoOperator {
                 move |input: &[Complex64]| self.fu1d_adjoint_chunk_compute(input, len)
             })
             .collect();
-        let results = dispatch_grid(
-            exec,
-            FftOpKind::Fu1DAdj,
+        let batch = make_batch(
             &locs,
-            slabs.iter().map(|s| s.as_slice()),
-            computes
-                .iter()
-                .map(|c| c as &(dyn Fn(&[Complex64]) -> Vec<Complex64> + Sync)),
+            locs.iter()
+                .map(|loc| &u1.as_slice()[loc.start * in_plane..(loc.start + loc.len) * in_plane]),
+            &computes,
         );
-        for (loc, result) in locs.iter().zip(results) {
-            let chunk_out =
-                Array3::from_vec(Shape3::new(loc.len, out_shape.n1, out_shape.n2), result);
-            out.set_slab(loc.start, &chunk_out);
-        }
+        let mut outputs = split_windows(out.as_mut_slice(), locs.iter().map(|l| l.len * out_plane));
+        exec.execute_batch_into(FftOpKind::Fu1DAdj, &batch, &mut outputs);
         out
     }
 
@@ -373,7 +457,7 @@ impl LaminoOperator {
             .enumerate()
             .for_each(|(i1, out_plane)| {
                 let in_plane = &input[i1 * h * n2..(i1 + 1) * h * n2];
-                let mut column = vec![Complex64::ZERO; h];
+                let mut column = self.column_pool.lease(h);
                 for i2 in 0..n2 {
                     for row in 0..h {
                         column[row] = in_plane[row * n2 + i2];
@@ -397,15 +481,23 @@ impl LaminoOperator {
             self.geometry.u1_shape(),
             "Fu2D input shape mismatch"
         );
+        let n1 = self.geometry.n1;
+        let n2 = self.geometry.n2;
         let n_theta = self.geometry.n_angles();
         let h = self.geometry.detector.rows;
         let w = self.geometry.detector.cols;
         let mut out = Array3::zeros(Shape3::new(n_theta, h, w));
         let locs: Vec<ChunkLocation> = self.fu2d_grid().iter().collect();
-        let chunks: Vec<Vec<Complex64>> = locs
-            .iter()
-            .map(|loc| self.gather_rows(u1, loc.start, loc.len))
-            .collect();
+        // One leased gather arena holds every chunk's input (reused across
+        // dispatches and applications); one leased staging arena receives
+        // the per-row outputs before the scatter into `out`.
+        let mut gather = self.arena.lease(h * n1 * n2);
+        let mut offset = 0;
+        for loc in &locs {
+            let size = loc.len * n1 * n2;
+            self.gather_rows_into(u1, loc.start, loc.len, &mut gather[offset..offset + size]);
+            offset += size;
+        }
         let computes: Vec<_> = locs
             .iter()
             .map(|loc| {
@@ -413,25 +505,29 @@ impl LaminoOperator {
                 move |input: &[Complex64]| self.fu2d_chunk_compute(input, start, len)
             })
             .collect();
-        let results = dispatch_grid(
-            exec,
-            FftOpKind::Fu2D,
+        let batch = make_batch(
             &locs,
-            chunks.iter().map(|c| c.as_slice()),
-            computes
-                .iter()
-                .map(|c| c as &(dyn Fn(&[Complex64]) -> Vec<Complex64> + Sync)),
+            WindowIter::new(&gather[..], locs.iter().map(|l| l.len * n1 * n2)),
+            &computes,
         );
-        for (loc, result) in locs.iter().zip(results) {
-            // result layout: [rows_in_chunk][nθ * w]
-            for (r, row_data) in result.chunks(n_theta * w).enumerate() {
+        let mut staging = self.arena.lease(h * n_theta * w);
+        {
+            let mut outputs = split_windows(&mut staging, locs.iter().map(|l| l.len * n_theta * w));
+            exec.execute_batch_into(FftOpKind::Fu2D, &batch, &mut outputs);
+        }
+        let mut offset = 0;
+        for loc in &locs {
+            // staging layout per chunk: [rows_in_chunk][nθ * w]
+            for r in 0..loc.len {
                 let row = loc.start + r;
+                let row_data = &staging[offset + r * n_theta * w..offset + (r + 1) * n_theta * w];
                 for t in 0..n_theta {
                     for c in 0..w {
                         out[(t, row, c)] = row_data[t * w + c];
                     }
                 }
             }
+            offset += loc.len * n_theta * w;
         }
         out
     }
@@ -477,25 +573,24 @@ impl LaminoOperator {
         let n1 = self.geometry.n1;
         let n2 = self.geometry.n2;
         let n_theta = self.geometry.n_angles();
+        let h = self.geometry.detector.rows;
         let w = self.geometry.detector.cols;
         let mut out = Array3::zeros(self.geometry.u1_shape());
         let locs: Vec<ChunkLocation> = self.fu2d_grid().iter().collect();
-        let chunks: Vec<Vec<Complex64>> = locs
-            .iter()
-            .map(|loc| {
-                // Gather the chunk: per row, the nθ × w spectrum samples.
-                let mut chunk = vec![Complex64::ZERO; loc.len * n_theta * w];
-                for r in 0..loc.len {
-                    let row = loc.start + r;
-                    for t in 0..n_theta {
-                        for c in 0..w {
-                            chunk[r * n_theta * w + t * w + c] = dhat[(t, row, c)];
-                        }
+        // Leased gather arena: per row, the nθ × w spectrum samples.
+        let mut gather = self.arena.lease(h * n_theta * w);
+        let mut offset = 0;
+        for loc in &locs {
+            for r in 0..loc.len {
+                let row = loc.start + r;
+                for t in 0..n_theta {
+                    for c in 0..w {
+                        gather[offset + r * n_theta * w + t * w + c] = dhat[(t, row, c)];
                     }
                 }
-                chunk
-            })
-            .collect();
+            }
+            offset += loc.len * n_theta * w;
+        }
         let computes: Vec<_> = locs
             .iter()
             .map(|loc| {
@@ -503,25 +598,29 @@ impl LaminoOperator {
                 move |input: &[Complex64]| self.fu2d_adjoint_chunk_compute(input, start, len)
             })
             .collect();
-        let results = dispatch_grid(
-            exec,
-            FftOpKind::Fu2DAdj,
+        let batch = make_batch(
             &locs,
-            chunks.iter().map(|c| c.as_slice()),
-            computes
-                .iter()
-                .map(|c| c as &(dyn Fn(&[Complex64]) -> Vec<Complex64> + Sync)),
+            WindowIter::new(&gather[..], locs.iter().map(|l| l.len * n_theta * w)),
+            &computes,
         );
-        for (loc, result) in locs.iter().zip(results) {
-            // result layout: [rows_in_chunk][n1 * n2]
-            for (r, plane) in result.chunks(n1 * n2).enumerate() {
+        let mut staging = self.arena.lease(h * n1 * n2);
+        {
+            let mut outputs = split_windows(&mut staging, locs.iter().map(|l| l.len * n1 * n2));
+            exec.execute_batch_into(FftOpKind::Fu2DAdj, &batch, &mut outputs);
+        }
+        let mut offset = 0;
+        for loc in &locs {
+            // staging layout per chunk: [rows_in_chunk][n1 * n2]
+            for r in 0..loc.len {
                 let row = loc.start + r;
+                let plane = &staging[offset + r * n1 * n2..offset + (r + 1) * n1 * n2];
                 for i1 in 0..n1 {
                     for i2 in 0..n2 {
                         out[(i1, row, i2)] = plane[i1 * n2 + i2];
                     }
                 }
             }
+            offset += loc.len * n1 * n2;
         }
         out
     }
@@ -584,8 +683,7 @@ impl LaminoOperator {
         );
         let mut out = Array3::zeros(d.shape());
         let locs: Vec<ChunkLocation> = self.f2d_grid().iter().collect();
-        let slabs: Vec<Array3<Complex64>> =
-            locs.iter().map(|loc| d.slab(loc.start, loc.len)).collect();
+        let plane = d.shape().n1 * d.shape().n2;
         let computes: Vec<_> = locs
             .iter()
             .map(|loc| {
@@ -593,20 +691,14 @@ impl LaminoOperator {
                 move |input: &[Complex64]| self.f2d_chunk_compute(input, len, kind)
             })
             .collect();
-        let results = dispatch_grid(
-            exec,
-            kind,
+        let batch = make_batch(
             &locs,
-            slabs.iter().map(|s| s.as_slice()),
-            computes
-                .iter()
-                .map(|c| c as &(dyn Fn(&[Complex64]) -> Vec<Complex64> + Sync)),
+            locs.iter()
+                .map(|loc| &d.as_slice()[loc.start * plane..(loc.start + loc.len) * plane]),
+            &computes,
         );
-        for (loc, result) in locs.iter().zip(results) {
-            let chunk_out =
-                Array3::from_vec(Shape3::new(loc.len, d.shape().n1, d.shape().n2), result);
-            out.set_slab(loc.start, &chunk_out);
-        }
+        let mut outputs = split_windows(out.as_mut_slice(), locs.iter().map(|l| l.len * plane));
+        exec.execute_batch_into(kind, &batch, &mut outputs);
         out
     }
 
@@ -668,11 +760,18 @@ impl LaminoOperator {
     }
 
     /// Gathers a slab of detector rows `[start, start+len)` from
-    /// `ũ1[n1, h, n2]`, producing the per-row planes consumed by `F_u2D`.
-    fn gather_rows(&self, u1: &Array3<Complex64>, start: usize, len: usize) -> Vec<Complex64> {
+    /// `ũ1[n1, h, n2]` into the caller's arena window, producing the per-row
+    /// planes consumed by `F_u2D`. Every element of `out` is overwritten.
+    fn gather_rows_into(
+        &self,
+        u1: &Array3<Complex64>,
+        start: usize,
+        len: usize,
+        out: &mut [Complex64],
+    ) {
         let n1 = self.geometry.n1;
         let n2 = self.geometry.n2;
-        let mut out = vec![Complex64::ZERO; len * n1 * n2];
+        assert_eq!(out.len(), len * n1 * n2, "gather window size mismatch");
         for r in 0..len {
             let row = start + r;
             for i1 in 0..n1 {
@@ -681,7 +780,6 @@ impl LaminoOperator {
                 }
             }
         }
-        out
     }
 
     /// Size in complex elements of the chunk fed to `kind` at any location
@@ -877,5 +975,17 @@ mod tests {
         assert!(FftOpKind::Fu2D.is_unequally_spaced());
         assert!(!FftOpKind::F2D.is_unequally_spaced());
         assert_eq!(FftOpKind::Fu2DAdj.label(), "F*u2D");
+    }
+
+    #[test]
+    fn dense_order_is_the_inverse_of_index() {
+        // Fixed-arity stat tables rely on this bijection; every ALL member
+        // must appear, so a new kind cannot silently miss the dense order.
+        for (i, kind) in FftOpKind::DENSE.iter().enumerate() {
+            assert_eq!(kind.index(), i, "{kind:?}");
+        }
+        for kind in FftOpKind::ALL {
+            assert_eq!(FftOpKind::DENSE[kind.index()], kind);
+        }
     }
 }

@@ -8,12 +8,28 @@
 //! `nprobe` nearest clusters and returns the closest stored key by L2
 //! distance. Batched queries scan in parallel, which is what makes the
 //! key-coalescing optimisation pay off on the memory node.
+//!
+//! # Storage layout and the probe hot path
+//!
+//! Inverted lists are stored **structure-of-arrays**: one contiguous
+//! `Vec<f64>` of key data per list (fixed stride = the key dimension), a
+//! parallel id array, and precomputed squared norms. A probe therefore walks
+//! cache-friendly flat memory instead of jagged `Vec<Vec<f64>>` posting
+//! lists, and performs **zero allocations**: the per-query centroid ranking
+//! lives in a reusable [`SearchScratch`] (leased thread-locally by
+//! [`IvfIndex::search`], or passed explicitly via
+//! [`IvfIndex::search_with`]). Two prunes cut the scanned key data —
+//! a norm-triangle lower bound and early-abandon partial distances — both
+//! engineered to return **exactly** the hit a full scan in list order would
+//! (same id, same distance bits), which the determinism contracts of the
+//! memo store rely on.
 
 use mlr_math::norms::l2_distance;
 use mlr_math::rng::seeded;
 use rand::seq::SliceRandom;
 use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
+use std::cell::RefCell;
 
 /// Result of one nearest-neighbour query.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -45,15 +61,65 @@ impl Default for IvfConfig {
     }
 }
 
+/// One inverted list in structure-of-arrays layout: ids, precomputed squared
+/// norms and the flat key data (stride = key dimension). List order is
+/// insertion order, preserved across removals — search tie-breaking (first
+/// encountered wins at equal distance) depends on it.
+#[derive(Debug, Clone, Default)]
+struct FlatList {
+    ids: Vec<u64>,
+    norms_sq: Vec<f64>,
+    data: Vec<f64>,
+}
+
+impl FlatList {
+    fn len(&self) -> usize {
+        self.ids.len()
+    }
+
+    #[inline]
+    fn key(&self, i: usize, dim: usize) -> &[f64] {
+        &self.data[i * dim..(i + 1) * dim]
+    }
+
+    fn push(&mut self, id: u64, key: &[f64]) {
+        self.ids.push(id);
+        self.norms_sq.push(key.iter().map(|x| x * x).sum());
+        self.data.extend_from_slice(key);
+    }
+
+    /// Removes entry `i`, shifting the tail down so order is preserved.
+    fn remove(&mut self, i: usize, dim: usize) {
+        self.ids.remove(i);
+        self.norms_sq.remove(i);
+        self.data.drain(i * dim..(i + 1) * dim);
+    }
+}
+
+/// Reusable per-query probe scratch: the centroid ranking a query builds to
+/// pick its `nprobe` lists. One instance per worker thread makes the probe
+/// path allocation-free; contents never influence results (fully rebuilt per
+/// query), so sharing a scratch across queries is numerically invisible.
+#[derive(Debug, Default)]
+pub struct SearchScratch {
+    centroid_dists: Vec<(usize, f64)>,
+    probes: Vec<usize>,
+}
+
+thread_local! {
+    static PROBE_SCRATCH: RefCell<SearchScratch> = RefCell::new(SearchScratch::default());
+}
+
 /// A cluster-based approximate-nearest-neighbour index over fixed-dimension
 /// float vectors.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct IvfIndex {
     dim: usize,
     config: IvfConfig,
-    centroids: Vec<Vec<f64>>,
-    /// Per-cluster lists of (id, key).
-    lists: Vec<Vec<(u64, Vec<f64>)>>,
+    /// Flat centroid matrix, `centroid_count × dim`.
+    centroids: Vec<f64>,
+    centroid_count: usize,
+    lists: Vec<FlatList>,
     len: usize,
     inserts_since_train: usize,
     seed: u64,
@@ -72,7 +138,8 @@ impl IvfIndex {
             dim,
             config,
             centroids: Vec::new(),
-            lists: vec![Vec::new(); config.nlist],
+            centroid_count: 0,
+            lists: vec![FlatList::default(); config.nlist],
             len: 0,
             inserts_since_train: 0,
             seed,
@@ -94,6 +161,11 @@ impl IvfIndex {
         self.dim
     }
 
+    #[inline]
+    fn centroid(&self, i: usize) -> &[f64] {
+        &self.centroids[i * self.dim..(i + 1) * self.dim]
+    }
+
     /// Inserts a key with the given identifier. Until enough keys exist to
     /// train centroids, keys accumulate in a single list (exact search).
     ///
@@ -101,16 +173,16 @@ impl IvfIndex {
     /// Panics when the key dimension is wrong.
     pub fn add(&mut self, id: u64, key: Vec<f64>) {
         assert_eq!(key.len(), self.dim, "key dimension mismatch");
-        let list = if self.centroids.is_empty() {
+        let list = if self.centroid_count == 0 {
             0
         } else {
-            self.nearest_centroid(&key)
+            nearest_flat(&self.centroids, self.centroid_count, self.dim, &key)
         };
-        self.lists[list].push((id, key));
+        self.lists[list].push(id, &key);
         self.len += 1;
         self.inserts_since_train += 1;
-        let should_train = (self.centroids.is_empty() && self.len >= 4 * self.config.nlist)
-            || (!self.centroids.is_empty()
+        let should_train = (self.centroid_count == 0 && self.len >= 4 * self.config.nlist)
+            || (self.centroid_count > 0
                 && self.inserts_since_train >= self.config.retrain_interval);
         if should_train {
             self.train();
@@ -122,9 +194,10 @@ impl IvfIndex {
     /// encountered wins at equal distance) stays deterministic across
     /// removals — capacity eviction depends on that.
     pub fn remove(&mut self, id: u64) -> bool {
+        let dim = self.dim;
         for list in &mut self.lists {
-            if let Some(pos) = list.iter().position(|(stored, _)| *stored == id) {
-                list.remove(pos);
+            if let Some(pos) = list.ids.iter().position(|&stored| stored == id) {
+                list.remove(pos, dim);
                 self.len -= 1;
                 return true;
             }
@@ -132,22 +205,49 @@ impl IvfIndex {
         false
     }
 
-    /// Finds the nearest stored key to `query`, if any.
+    /// Finds the nearest stored key to `query`, if any, over a thread-local
+    /// [`SearchScratch`] (zero allocations in steady state).
     pub fn search(&self, query: &[f64]) -> Option<SearchHit> {
+        PROBE_SCRATCH.with(|s| self.search_with(query, &mut s.borrow_mut()))
+    }
+
+    /// [`Self::search`] with an explicit reusable scratch.
+    pub fn search_with(&self, query: &[f64], scratch: &mut SearchScratch) -> Option<SearchHit> {
         assert_eq!(query.len(), self.dim, "query dimension mismatch");
         if self.len == 0 {
             return None;
         }
-        let lists = self.probe_lists(query);
+        self.probe_lists(query, scratch);
+        let q_norm_sq: f64 = query.iter().map(|x| x * x).sum();
+        let q_norm = q_norm_sq.sqrt();
+        // Best candidate: `best_d` is the reported (sqrt-domain) distance,
+        // compared with the same strict `<` as a plain scan; `best_sum` is
+        // the winning candidate's raw squared sum, the pruning threshold.
         let mut best: Option<SearchHit> = None;
-        for &li in &lists {
-            for (id, key) in &self.lists[li] {
-                let d = l2_distance(query, key);
+        let mut best_sum = f64::INFINITY;
+        for pi in 0..scratch.probes.len() {
+            let li = scratch.probes[pi];
+            let list = &self.lists[li];
+            for i in 0..list.len() {
+                // Norm-triangle lower bound: ‖q − x‖² ≥ (‖q‖ − ‖x‖)². The
+                // tiny relative margin keeps the prune conservative against
+                // floating-point rounding of the precomputed norms, so a
+                // candidate the exact scan would pick is never skipped.
+                let lb = q_norm - list.norms_sq[i].sqrt();
+                if lb * lb > best_sum * (1.0 + 1e-9) {
+                    continue;
+                }
+                let Some(sum) = distance_sq_early_abandon(query, list.key(i, self.dim), best_sum)
+                else {
+                    continue;
+                };
+                let d = sum.sqrt();
                 if best.is_none_or(|b| d < b.distance) {
                     best = Some(SearchHit {
-                        id: *id,
+                        id: list.ids[i],
                         distance: d,
                     });
+                    best_sum = sum;
                 }
             }
         }
@@ -155,7 +255,8 @@ impl IvfIndex {
     }
 
     /// Batched search: one result slot per query, computed in parallel (the
-    /// memory node's multi-threaded batched lookup enabled by key coalescing).
+    /// memory node's multi-threaded batched lookup enabled by key
+    /// coalescing). Each worker thread reuses its own thread-local scratch.
     pub fn search_batch(&self, queries: &[Vec<f64>]) -> Vec<Option<SearchHit>> {
         queries.par_iter().map(|q| self.search(q)).collect()
     }
@@ -166,11 +267,11 @@ impl IvfIndex {
         assert_eq!(query.len(), self.dim, "query dimension mismatch");
         let mut best: Option<SearchHit> = None;
         for list in &self.lists {
-            for (id, key) in list {
-                let d = l2_distance(query, key);
+            for i in 0..list.len() {
+                let d = l2_distance(query, list.key(i, self.dim));
                 if best.is_none_or(|b| d < b.distance) {
                     best = Some(SearchHit {
-                        id: *id,
+                        id: list.ids[i],
                         distance: d,
                     });
                 }
@@ -183,7 +284,7 @@ impl IvfIndex {
     /// "similarity comparison" cost; used to contrast private vs. global
     /// caches and to price queries in the cost model).
     pub fn comparisons_per_query(&self) -> usize {
-        if self.centroids.is_empty() {
+        if self.centroid_count == 0 {
             return self.len;
         }
         // nprobe lists of average occupancy, plus the centroid scan.
@@ -191,93 +292,140 @@ impl IvfIndex {
         self.config.nlist + self.config.nprobe * avg.max(1)
     }
 
-    fn nearest_centroid(&self, key: &[f64]) -> usize {
-        let mut best = 0usize;
-        let mut best_d = f64::INFINITY;
-        for (i, c) in self.centroids.iter().enumerate() {
-            let d = l2_distance(key, c);
-            if d < best_d {
-                best_d = d;
-                best = i;
-            }
+    /// Ranks centroids by distance into the scratch and selects the `nprobe`
+    /// nearest list indices (ties broken by centroid index — the sort is
+    /// stable over the index-ordered distance table, exactly as the jagged
+    /// implementation behaved).
+    fn probe_lists(&self, query: &[f64], scratch: &mut SearchScratch) {
+        scratch.probes.clear();
+        if self.centroid_count == 0 {
+            scratch.probes.push(0);
+            return;
         }
-        best
-    }
-
-    fn probe_lists(&self, query: &[f64]) -> Vec<usize> {
-        if self.centroids.is_empty() {
-            return vec![0];
+        scratch.centroid_dists.clear();
+        for i in 0..self.centroid_count {
+            scratch
+                .centroid_dists
+                .push((i, l2_distance(query, self.centroid(i))));
         }
-        let mut dists: Vec<(usize, f64)> = self
-            .centroids
-            .iter()
-            .enumerate()
-            .map(|(i, c)| (i, l2_distance(query, c)))
-            .collect();
-        dists.sort_by(|a, b| a.1.partial_cmp(&b.1).expect("non-finite distance"));
-        dists
-            .iter()
-            .take(self.config.nprobe)
-            .map(|&(i, _)| i)
-            .collect()
+        scratch
+            .centroid_dists
+            .sort_by(|a, b| a.1.partial_cmp(&b.1).expect("non-finite distance"));
+        scratch.probes.extend(
+            scratch
+                .centroid_dists
+                .iter()
+                .take(self.config.nprobe)
+                .map(|&(i, _)| i),
+        );
     }
 
     /// Re-trains centroids with a few Lloyd iterations over all stored keys
-    /// and redistributes the inverted lists.
+    /// and redistributes the inverted lists. The rebuild moves the flat key
+    /// storage through one concatenated arena — no per-key clones (the
+    /// jagged implementation cloned every stored key twice per retrain).
     fn train(&mut self) {
-        let all: Vec<(u64, Vec<f64>)> = self.lists.iter().flatten().cloned().collect();
-        if all.len() < self.config.nlist {
+        if self.len < self.config.nlist {
             return;
         }
+        let dim = self.dim;
+        let total = self.len;
+        // Concatenate the lists' flat storage (list order, as the jagged
+        // implementation's `flatten` did).
+        let old_lists = std::mem::take(&mut self.lists);
+        let mut all_ids: Vec<u64> = Vec::with_capacity(total);
+        let mut all_data: Vec<f64> = Vec::with_capacity(total * dim);
+        for mut list in old_lists {
+            all_ids.append(&mut list.ids);
+            all_data.append(&mut list.data);
+        }
+        let key_at = |i: usize| &all_data[i * dim..(i + 1) * dim];
+
         let mut rng = seeded(self.seed ^ self.len as u64);
         // k-means++ style: random distinct initial centroids.
-        let mut indices: Vec<usize> = (0..all.len()).collect();
+        let mut indices: Vec<usize> = (0..total).collect();
         indices.shuffle(&mut rng);
-        let mut centroids: Vec<Vec<f64>> = indices
-            .iter()
-            .take(self.config.nlist)
-            .map(|&i| all[i].1.clone())
-            .collect();
+        let mut centroids: Vec<f64> = Vec::with_capacity(self.config.nlist * dim);
+        for &i in indices.iter().take(self.config.nlist) {
+            centroids.extend_from_slice(key_at(i));
+        }
+        let centroid_count = self.config.nlist;
 
         for _ in 0..5 {
-            let mut sums = vec![vec![0.0; self.dim]; centroids.len()];
-            let mut counts = vec![0usize; centroids.len()];
-            for (_, key) in &all {
-                let c = nearest_of(&centroids, key);
+            let mut sums = vec![0.0; centroid_count * dim];
+            let mut counts = vec![0usize; centroid_count];
+            for i in 0..total {
+                let key = key_at(i);
+                let c = nearest_flat(&centroids, centroid_count, dim, key);
                 counts[c] += 1;
-                for (s, k) in sums[c].iter_mut().zip(key) {
+                for (s, k) in sums[c * dim..(c + 1) * dim].iter_mut().zip(key) {
                     *s += k;
                 }
             }
-            for (c, (sum, count)) in sums.iter().zip(&counts).enumerate() {
+            for (c, count) in counts.iter().enumerate() {
                 if *count > 0 {
-                    centroids[c] = sum.iter().map(|s| s / *count as f64).collect();
+                    for (cv, s) in centroids[c * dim..(c + 1) * dim]
+                        .iter_mut()
+                        .zip(&sums[c * dim..(c + 1) * dim])
+                    {
+                        *cv = s / *count as f64;
+                    }
                 }
             }
         }
 
-        let mut lists = vec![Vec::new(); self.config.nlist];
-        for (id, key) in all {
-            let c = nearest_of(&centroids, &key);
-            lists[c].push((id, key));
+        let mut lists = vec![FlatList::default(); self.config.nlist];
+        for (i, &id) in all_ids.iter().enumerate() {
+            let key = key_at(i);
+            let c = nearest_flat(&centroids, centroid_count, dim, key);
+            lists[c].push(id, key);
         }
         self.centroids = centroids;
+        self.centroid_count = centroid_count;
         self.lists = lists;
         self.inserts_since_train = 0;
     }
 }
 
-fn nearest_of(centroids: &[Vec<f64>], key: &[f64]) -> usize {
+/// Nearest centroid in a flat `count × dim` matrix (first wins on ties, as
+/// the jagged scan did).
+fn nearest_flat(centroids: &[f64], count: usize, dim: usize, key: &[f64]) -> usize {
     let mut best = 0usize;
     let mut best_d = f64::INFINITY;
-    for (i, c) in centroids.iter().enumerate() {
-        let d = l2_distance(key, c);
+    for i in 0..count {
+        let d = l2_distance(key, &centroids[i * dim..(i + 1) * dim]);
         if d < best_d {
             best_d = d;
             best = i;
         }
     }
     best
+}
+
+/// Squared L2 distance with early abandonment: accumulates `(a-b)²` in index
+/// order — the exact summation `l2_distance` performs — and gives up once
+/// the running sum can no longer beat `threshold_sum` (the current best
+/// candidate's full squared sum). Returns `None` when abandoned. Because
+/// partial sums are monotone non-decreasing prefixes of the exact sum, an
+/// abandoned candidate provably could not have won under the caller's strict
+/// sqrt-domain comparison, so pruning never changes the selected hit.
+#[inline]
+fn distance_sq_early_abandon(a: &[f64], b: &[f64], threshold_sum: f64) -> Option<f64> {
+    let mut sum = 0.0;
+    let mut i = 0;
+    let n = a.len();
+    while i < n {
+        let stop = (i + 8).min(n);
+        while i < stop {
+            let d = a[i] - b[i];
+            sum += d * d;
+            i += 1;
+        }
+        if sum >= threshold_sum && i < n {
+            return None;
+        }
+    }
+    Some(sum)
 }
 
 #[cfg(test)]
@@ -344,6 +492,57 @@ mod tests {
         }
         // IVF with nprobe 3/8 should find the true neighbour most of the time.
         assert!(hits >= 70, "recall too low: {hits}/100");
+    }
+
+    #[test]
+    fn pruned_search_is_identical_to_full_probe_scan() {
+        // The property the memo determinism contracts rely on: with
+        // `nprobe == nlist` (every list probed) the pruned SoA search must
+        // return the *identical* SearchHit as the exhaustive scan — same id,
+        // same distance bits — on seeded workloads, across insert sizes,
+        // retrains and removals.
+        for seed in 0..6u64 {
+            let dim = 12;
+            let mut idx = IvfIndex::new(
+                dim,
+                IvfConfig {
+                    nlist: 8,
+                    nprobe: 8,
+                    retrain_interval: 64,
+                },
+                seed,
+            );
+            for (i, key) in random_keys(300, dim, 100 + seed).into_iter().enumerate() {
+                idx.add(i as u64, key);
+            }
+            // A few removals exercise order preservation.
+            for id in [3u64, 77, 150, 299] {
+                assert!(idx.remove(id));
+            }
+            let mut scratch = SearchScratch::default();
+            for q in &random_keys(50, dim, 200 + seed) {
+                let pruned = idx.search_with(q, &mut scratch).unwrap();
+                let exact = idx.search_exact(q).unwrap();
+                assert_eq!(pruned.id, exact.id, "seed {seed}");
+                assert_eq!(
+                    pruned.distance.to_bits(),
+                    exact.distance.to_bits(),
+                    "seed {seed}: distance bits diverged"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn early_abandon_prefixes_match_full_sum() {
+        // With an infinite threshold the early-abandon sum equals the plain
+        // squared distance bit for bit (same accumulation order).
+        let a = random_keys(1, 37, 9)[0].clone();
+        let b = random_keys(1, 37, 10)[0].clone();
+        let full = distance_sq_early_abandon(&a, &b, f64::INFINITY).unwrap();
+        assert_eq!(full.sqrt().to_bits(), l2_distance(&a, &b).to_bits());
+        // A threshold below the true distance abandons.
+        assert!(distance_sq_early_abandon(&a, &b, full / 2.0).is_none());
     }
 
     #[test]

@@ -31,7 +31,9 @@ pub enum CacheKind {
 #[derive(Debug, Clone)]
 struct CacheEntry {
     key: Vec<f64>,
-    value: Arc<Vec<Complex64>>,
+    /// Shared payload buffer — the cache holds a reference into the same
+    /// allocation the database serves, never a private copy.
+    value: Arc<[Complex64]>,
     /// Outer ADMM iteration in which the entry was inserted; entries are only
     /// served to *later* iterations (reuse across iterations is the paper's
     /// premise; reuse within one LSP solve would short-circuit the CG).
@@ -108,7 +110,7 @@ impl MemoCache {
         key: &[f64],
         tau: f64,
         current_iteration: usize,
-    ) -> Option<Arc<Vec<Complex64>>> {
+    ) -> Option<Arc<[Complex64]>> {
         self.stats.lookups += 1;
         if self.kind_is_global {
             for entry in &self.global {
@@ -150,7 +152,7 @@ impl MemoCache {
         key: &[f64],
         tau: f64,
         current_iteration: usize,
-    ) -> (Option<Arc<Vec<Complex64>>>, u64) {
+    ) -> (Option<Arc<[Complex64]>>, u64) {
         if self.kind_is_global {
             let mut comparisons = 0;
             for entry in &self.global {
@@ -194,7 +196,7 @@ impl MemoCache {
         op: FftOpKind,
         loc: usize,
         key: Vec<f64>,
-        value: Arc<Vec<Complex64>>,
+        value: Arc<[Complex64]>,
         iteration: usize,
     ) {
         self.stats.insertions += 1;
@@ -253,8 +255,8 @@ mod tests {
         vec![v, 2.0 * v, -v, 0.5]
     }
 
-    fn value(n: usize) -> Arc<Vec<Complex64>> {
-        Arc::new(vec![Complex64::new(n as f64, 0.0); n])
+    fn value(n: usize) -> Arc<[Complex64]> {
+        vec![Complex64::new(n as f64, 0.0); n].into()
     }
 
     #[test]

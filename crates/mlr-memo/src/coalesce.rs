@@ -11,22 +11,26 @@
 use mlr_lamino::FftOpKind;
 use serde::{Deserialize, Serialize};
 
-/// A key queued for transmission.
-#[derive(Debug, Clone, PartialEq)]
+/// A key queued for transmission. Only the key's *shape* is buffered — the
+/// coalescer exists for traffic accounting and batching decisions, so
+/// retaining the dimension (and with it the wire size) is enough. Not
+/// cloning the key itself keeps the submit path allocation-free, which
+/// matters on the memo-hit hot path where `submit` runs once per chunk.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct PendingKey {
     /// Which FFT operation issued the query (so deferred flushes can be
     /// accounted against the right operation's traffic counters).
     pub op: FftOpKind,
     /// Which chunk location issued the query.
     pub location: usize,
-    /// The encoded key.
-    pub key: Vec<f64>,
+    /// Dimension of the encoded key (fixed per encoder).
+    pub key_dim: usize,
 }
 
 impl PendingKey {
     /// Size in bytes of this key on the wire.
     pub fn wire_bytes(&self) -> u64 {
-        (self.key.len() * 8) as u64
+        (self.key_dim * 8) as u64
     }
 }
 
@@ -90,18 +94,22 @@ impl KeyCoalescer {
         key.len() * 8
     }
 
-    /// Submits a key. Returns the batch to transmit when the payload target
-    /// is reached (or immediately when coalescing is disabled), otherwise
-    /// `None`.
+    /// Submits a key (borrowed — the coalescer never clones it). Returns
+    /// the batch to transmit when the payload target is reached (or
+    /// immediately when coalescing is disabled), otherwise `None`.
     pub fn submit(
         &mut self,
         op: FftOpKind,
         location: usize,
-        key: Vec<f64>,
+        key: &[f64],
     ) -> Option<Vec<PendingKey>> {
         self.stats.keys += 1;
-        let bytes = Self::key_bytes(&key);
-        self.pending.push(PendingKey { op, location, key });
+        let bytes = Self::key_bytes(key);
+        self.pending.push(PendingKey {
+            op,
+            location,
+            key_dim: key.len(),
+        });
         self.pending_bytes += bytes;
         if !self.enabled || self.pending_bytes >= self.target_payload_bytes {
             Some(self.flush())
@@ -151,7 +159,7 @@ mod tests {
         let mut c = KeyCoalescer::new(4096, false);
         for loc in 0..5 {
             let batch = c
-                .submit(FftOpKind::Fu2D, loc, key(60))
+                .submit(FftOpKind::Fu2D, loc, &key(60))
                 .expect("immediate flush");
             assert_eq!(batch.len(), 1);
             assert_eq!(batch[0].location, loc);
@@ -168,7 +176,7 @@ mod tests {
         let mut c = KeyCoalescer::new(4096, true);
         let mut flushed = None;
         for loc in 0..9 {
-            flushed = c.submit(FftOpKind::Fu2D, loc, key(60));
+            flushed = c.submit(FftOpKind::Fu2D, loc, &key(60));
             if loc < 8 {
                 assert!(flushed.is_none(), "flushed too early at {loc}");
             }
@@ -184,8 +192,8 @@ mod tests {
     #[test]
     fn manual_flush_drains_pending() {
         let mut c = KeyCoalescer::new(1 << 20, true);
-        assert!(c.submit(FftOpKind::Fu1D, 0, key(8)).is_none());
-        assert!(c.submit(FftOpKind::Fu1D, 1, key(8)).is_none());
+        assert!(c.submit(FftOpKind::Fu1D, 0, &key(8)).is_none());
+        assert!(c.submit(FftOpKind::Fu1D, 1, &key(8)).is_none());
         assert_eq!(c.pending(), 2);
         let batch = c.flush();
         assert_eq!(batch.len(), 2);

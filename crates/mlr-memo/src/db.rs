@@ -80,8 +80,9 @@ pub enum QueryOutcome {
     /// similarity and `key` the encoded key of the query (reusable for the
     /// compute-node cache).
     Hit {
-        /// The stored FFT result.
-        value: Arc<Vec<Complex64>>,
+        /// The stored FFT result — a shared reference into the value
+        /// database, never a deep clone.
+        value: Arc<[Complex64]>,
         /// Cosine similarity between query and stored entry.
         similarity: f64,
         /// Encoded query key.
@@ -110,7 +111,7 @@ struct Scope {
 struct EntryRecord {
     meta: EntryMeta,
     scope: (FftOpKind, usize),
-    raw_input: Option<Arc<Vec<Complex64>>>,
+    raw_input: Option<Arc<[Complex64]>>,
     key: Option<Vec<f64>>,
 }
 
@@ -674,7 +675,10 @@ impl MemoDatabase {
                 priority: 0.0,
             },
             scope: scope_key,
-            raw_input: self.config.gate_on_raw.then(|| Arc::new(input.to_vec())),
+            raw_input: self
+                .config
+                .gate_on_raw
+                .then(|| Arc::<[Complex64]>::from(input)),
             key: (!self.config.gate_on_raw).then_some(key),
         };
         let aux = record.aux_bytes();
@@ -683,7 +687,7 @@ impl MemoDatabase {
         record.meta.bytes = value_bytes + aux;
         self.policy.charge(&mut record.meta);
         self.aux_bytes += aux;
-        self.values.put(id, output);
+        self.values.put(id, output.into());
         self.entries.insert(id, record);
         self.enforce_budget();
         id
@@ -855,7 +859,7 @@ mod tests {
                 value, similarity, ..
             } => {
                 assert!(similarity > 0.999);
-                assert_eq!(value.as_slice(), output.as_slice());
+                assert_eq!(value.as_ref(), output.as_slice());
             }
             QueryOutcome::Miss { .. } => panic!("expected hit"),
         }

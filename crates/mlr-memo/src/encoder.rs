@@ -59,7 +59,7 @@ impl Default for EncoderConfig {
 }
 
 /// A small CHW tensor used inside the encoder.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, Default, PartialEq)]
 struct Tensor {
     c: usize,
     h: usize,
@@ -75,6 +75,15 @@ impl Tensor {
             w,
             data: vec![0.0; c * h * w],
         }
+    }
+
+    /// Re-dimensions the tensor in place, reusing its storage. Contents are
+    /// unspecified afterwards; callers overwrite (or `fill`) every element.
+    fn reshape(&mut self, c: usize, h: usize, w: usize) {
+        self.c = c;
+        self.h = h;
+        self.w = w;
+        self.data.resize(c * h * w, 0.0);
     }
 
     #[inline]
@@ -121,8 +130,17 @@ impl ConvLayer {
     }
 
     fn forward(&self, input: &Tensor) -> Tensor {
-        let pad = self.k / 2;
         let mut out = Tensor::zeros(self.out_c, input.h, input.w);
+        self.forward_into(input, &mut out);
+        out
+    }
+
+    /// The forward pass into a caller-provided (scratch) tensor: identical
+    /// arithmetic to [`ConvLayer::forward`], zero allocations in steady
+    /// state. Every output element is written unconditionally.
+    fn forward_into(&self, input: &Tensor, out: &mut Tensor) {
+        let pad = self.k / 2;
+        out.reshape(self.out_c, input.h, input.w);
         for o in 0..self.out_c {
             for y in 0..input.h {
                 for x in 0..input.w {
@@ -147,7 +165,6 @@ impl ConvLayer {
                 }
             }
         }
-        out
     }
 
     /// Backward pass: given dL/d(output), accumulates weight/bias gradients
@@ -295,6 +312,22 @@ pub struct CnnEncoder {
     pub quantised: bool,
 }
 
+/// Reusable intermediate activations for the inference (encode) path.
+///
+/// One scratch per thread suffices: [`CnnEncoder::encode`] leases a
+/// thread-local instance, so the steady-state hot path allocates nothing but
+/// the returned embedding itself. Reuse is numerically invisible — every
+/// stage overwrites (or zero-fills) its scratch tensor completely, so
+/// [`CnnEncoder::encode_with`] produces bit-identical embeddings to the
+/// allocating trace path.
+#[derive(Debug, Default)]
+pub struct EncoderScratch {
+    input: Tensor,
+    conv1: Tensor,
+    pool1: Tensor,
+    conv2: Tensor,
+}
+
 /// Intermediate activations kept for the backward pass.
 struct ForwardTrace {
     input: Tensor,
@@ -342,8 +375,17 @@ impl CnnEncoder {
     fn prepare_input(&self, chunk: &[Complex64]) -> Tensor {
         let g = self.config.input_grid;
         let mut t = Tensor::zeros(2, g, g);
+        self.prepare_input_into(chunk, &mut t);
+        t
+    }
+
+    /// [`Self::prepare_input`] into a caller-provided (scratch) tensor.
+    fn prepare_input_into(&self, chunk: &[Complex64], t: &mut Tensor) {
+        let g = self.config.input_grid;
+        t.reshape(2, g, g);
+        t.data.fill(0.0);
         if chunk.is_empty() {
-            return t;
+            return;
         }
         let cells = g * g;
         let per_cell = chunk.len().div_ceil(cells);
@@ -365,7 +407,6 @@ impl CnnEncoder {
             *t.at_mut(0, y, x) = re / count;
             *t.at_mut(1, y, x) = im / count;
         }
-        t
     }
 
     fn forward_trace(&self, chunk: &[Complex64]) -> ForwardTrace {
@@ -390,8 +431,28 @@ impl CnnEncoder {
     }
 
     /// Encodes a complex chunk into the embedding space.
+    ///
+    /// Runs over a thread-local [`EncoderScratch`], so in steady state the
+    /// only allocation is the returned embedding (the memoization key) —
+    /// every intermediate activation reuses the calling thread's scratch.
     pub fn encode(&self, chunk: &[Complex64]) -> Vec<f64> {
-        self.forward_trace(chunk).embedding
+        thread_local! {
+            static SCRATCH: std::cell::RefCell<EncoderScratch> =
+                std::cell::RefCell::new(EncoderScratch::default());
+        }
+        SCRATCH.with(|s| self.encode_with(chunk, &mut s.borrow_mut()))
+    }
+
+    /// Encodes with an explicit scratch (for callers managing their own
+    /// per-worker scratch). Bit-identical to the allocating forward pass.
+    pub fn encode_with(&self, chunk: &[Complex64], scratch: &mut EncoderScratch) -> Vec<f64> {
+        self.prepare_input_into(chunk, &mut scratch.input);
+        self.conv1.forward_into(&scratch.input, &mut scratch.conv1);
+        relu_inplace(&mut scratch.conv1);
+        avg_pool2_into(&scratch.conv1, &mut scratch.pool1);
+        self.conv2.forward_into(&scratch.pool1, &mut scratch.conv2);
+        relu_inplace(&mut scratch.conv2);
+        self.fc.forward(&scratch.conv2.data)
     }
 
     /// One SGD step of the contrastive objective on a pair of chunks.
@@ -506,6 +567,15 @@ fn relu(t: &Tensor) -> Tensor {
     }
 }
 
+/// In-place ReLU for the scratch-based inference path (same arithmetic as
+/// [`relu`]; the backward pass keeps the pre-activation copy it needs, the
+/// inference path does not).
+fn relu_inplace(t: &mut Tensor) {
+    for x in &mut t.data {
+        *x = x.max(0.0);
+    }
+}
+
 /// Zeroes gradient entries where the pre-activation was non-positive.
 fn relu_backward(pre: &Tensor, grad: &mut Tensor) {
     for (g, &x) in grad.data.iter_mut().zip(&pre.data) {
@@ -517,9 +587,16 @@ fn relu_backward(pre: &Tensor, grad: &mut Tensor) {
 
 /// 2×2 average pooling (floor semantics; inputs here are powers of two).
 fn avg_pool2(t: &Tensor) -> Tensor {
+    let mut out = Tensor::zeros(t.c, t.h / 2, t.w / 2);
+    avg_pool2_into(t, &mut out);
+    out
+}
+
+/// [`avg_pool2`] into a caller-provided (scratch) tensor.
+fn avg_pool2_into(t: &Tensor, out: &mut Tensor) {
     let h = t.h / 2;
     let w = t.w / 2;
-    let mut out = Tensor::zeros(t.c, h, w);
+    out.reshape(t.c, h, w);
     for c in 0..t.c {
         for y in 0..h {
             for x in 0..w {
@@ -531,7 +608,6 @@ fn avg_pool2(t: &Tensor) -> Tensor {
             }
         }
     }
-    out
 }
 
 /// Backward of 2×2 average pooling: spread each gradient over its window.
@@ -592,6 +668,21 @@ mod tests {
         let b = enc.encode(&chunk);
         assert_eq!(a.len(), 12);
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn scratch_encode_is_bit_identical_to_trace_path() {
+        // The scratch-based inference path must reproduce the allocating
+        // forward trace bit for bit — including across reuses of one scratch
+        // with different chunk sizes (stale data must never leak through).
+        let enc = CnnEncoder::new(tiny_config(), 7);
+        let mut scratch = EncoderScratch::default();
+        for (n, scale) in [(256, 1.0), (64, 2.5), (0, 0.0), (512, 0.3)] {
+            let chunk = chunk_from_pattern(n, scale, 0.1);
+            let via_scratch = enc.encode_with(&chunk, &mut scratch);
+            let via_trace = enc.forward_trace(&chunk).embedding;
+            assert_eq!(via_scratch, via_trace, "n={n}");
+        }
     }
 
     #[test]

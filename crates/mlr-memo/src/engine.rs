@@ -21,7 +21,7 @@ use crate::encoder::EncoderConfig;
 use crate::eviction::{recompute_cost_estimate, CapacityBudget, EvictionPolicyKind};
 use crate::parallel::{ConcurrencyGovernor, ParallelStats};
 use crate::similarity::SimilarityTracker;
-use crate::stats::{MemoCase, MemoStats};
+use crate::stats::{MemoCase, MemoStats, OpStatsTable};
 use crate::store::{JobId, LocalMemoStore, MemoStore, ProbeOutcome, Provenance};
 use mlr_lamino::{ChunkRequest, FftExecutor, FftOpKind};
 use mlr_math::Complex64;
@@ -94,7 +94,9 @@ impl Default for MemoConfig {
 /// several executors can share one store concurrently.
 struct EngineState {
     coalescer: KeyCoalescer,
-    stats: MemoStats,
+    /// Fixed-arity `Copy` counter table: `stats()` snapshots it with one
+    /// memcpy under the lock and converts to the reporting shape outside.
+    stats: OpStatsTable,
     similarity: SimilarityTracker,
     iteration: usize,
     parallel: ParallelStats,
@@ -102,11 +104,12 @@ struct EngineState {
 
 /// Per-chunk result of the parallel phase, carried into the ordered commit.
 enum ProbeCase {
-    /// The compute-node cache held a similar-enough value.
-    CacheHit { value: Arc<Vec<Complex64>> },
+    /// The compute-node cache held a similar-enough value (a shared buffer,
+    /// never a copy — the commit memcpys it straight into the output slice).
+    CacheHit { value: Arc<[Complex64]> },
     /// The database probe passed the τ gate.
     DbHit {
-        value: Arc<Vec<Complex64>>,
+        value: Arc<[Complex64]>,
         entry: u64,
         entry_origin: Provenance,
     },
@@ -183,7 +186,7 @@ impl MemoizedExecutor {
             cache: RwLock::new(MemoCache::new(config.cache_kind, cache_capacity)),
             state: Mutex::new(EngineState {
                 coalescer: KeyCoalescer::new(config.coalesce_payload_bytes, config.coalesce_keys),
-                stats: MemoStats::new(),
+                stats: OpStatsTable::new(),
                 similarity: SimilarityTracker::new(config.tau),
                 iteration: 0,
                 parallel: ParallelStats::default(),
@@ -194,7 +197,7 @@ impl MemoizedExecutor {
     }
 
     /// Configures the deterministic intra-job chunk parallelism: batches
-    /// dispatched through [`FftExecutor::execute_batch`] run their parallel
+    /// dispatched through [`FftExecutor::execute_batch_into`] run their parallel
     /// phase on up to `threads` threads (clamped to ≥ 1), leasing every
     /// thread beyond the first from `governor` when one is given (the
     /// runtime's shared core arbiter). Thread count never affects the
@@ -257,15 +260,18 @@ impl MemoizedExecutor {
     /// operation — a batch crossing the payload target can carry keys
     /// buffered by earlier stages of the iteration, which must not be
     /// misattributed to the stage that happened to trigger the flush.
-    fn account_flush(stats: &mut MemoStats, flushed: &[PendingKey]) {
+    fn account_flush(stats: &mut OpStatsTable, flushed: &[PendingKey]) {
         for pending in flushed {
             stats.add_remote_bytes(pending.op, pending.wire_bytes());
         }
     }
 
-    /// Snapshot of the accumulated statistics.
+    /// Snapshot of the accumulated statistics. The state lock is held only
+    /// for a plain copy of the fixed counter table; the conversion to the
+    /// map-backed reporting shape happens outside it.
     pub fn stats(&self) -> MemoStats {
-        self.state.lock().stats.clone()
+        let table = self.state.lock().stats;
+        table.to_stats()
     }
 
     /// Snapshot of the intra-job parallel-scheduling statistics.
@@ -442,14 +448,19 @@ impl FftExecutor for MemoizedExecutor {
                     .lookup(kind, loc, &key, self.config.tau, iteration)
             {
                 state.stats.record(kind, MemoCase::CacheHit);
-                return value.as_ref().clone();
+                // The payload copy into the caller's Vec happens outside the
+                // state lock (the batch path avoids even that copy by
+                // memcpying into the operator's grid buffer directly).
+                drop(state);
+                return value.as_ref().to_vec();
             }
         }
 
         // 3. Key coalescing: the query key travels to the memory node as part
-        //    of a batch. The batch boundary only affects *when* bytes cross
-        //    the wire (accounted in the stats), not the query result.
-        if let Some(batch) = state.coalescer.submit(kind, loc, key.clone()) {
+        //    of a batch (borrowed — the coalescer never clones it). The batch
+        //    boundary only affects *when* bytes cross the wire (accounted in
+        //    the stats), not the query result.
+        if let Some(batch) = state.coalescer.submit(kind, loc, &key) {
             Self::account_flush(&mut state.stats, &batch);
         }
         // Otherwise buffered; bytes accounted when the batch flushes.
@@ -465,12 +476,13 @@ impl FftExecutor for MemoizedExecutor {
                 state
                     .stats
                     .add_remote_bytes(kind, (value.len() * 16) as u64);
+                drop(state);
                 if self.config.use_cache {
                     self.cache
                         .write()
                         .insert(kind, loc, key, value.clone(), iteration);
                 }
-                value.as_ref().clone()
+                value.as_ref().to_vec()
             }
             QueryOutcome::Miss { key } => {
                 // 5. Compute exactly and insert (the insertion itself is
@@ -517,9 +529,15 @@ impl FftExecutor for MemoizedExecutor {
     /// their eviction enforcement. Commit order never depends on the thread
     /// schedule, so the reconstruction (and the eviction trace) is
     /// bit-identical for every `intra_job_threads`.
-    fn execute_batch(&self, kind: FftOpKind, batch: &[ChunkRequest<'_>]) -> Vec<Vec<Complex64>> {
+    fn execute_batch_into(
+        &self,
+        kind: FftOpKind,
+        batch: &[ChunkRequest<'_>],
+        outputs: &mut [&mut [Complex64]],
+    ) {
+        assert_eq!(batch.len(), outputs.len(), "batch/output arity mismatch");
         if batch.is_empty() {
-            return Vec::new();
+            return;
         }
         let iteration = self.state.lock().iteration;
         let in_warmup = iteration < self.config.warmup_iterations;
@@ -534,10 +552,11 @@ impl FftExecutor for MemoizedExecutor {
             let phase_seconds = phase_start.elapsed().as_secs_f64();
             let mut state = self.state.lock();
             let mut chunk_seconds = 0.0;
-            for (_, seconds) in &results {
+            for ((out, seconds), slot) in results.into_iter().zip(outputs.iter_mut()) {
                 state.stats.record(kind, MemoCase::Computed);
-                state.stats.add_compute_time(kind, *seconds);
+                state.stats.add_compute_time(kind, seconds);
                 chunk_seconds += seconds;
+                slot.copy_from_slice(&out);
             }
             Self::note_batch(
                 &mut state,
@@ -548,7 +567,7 @@ impl FftExecutor for MemoizedExecutor {
                 chunk_seconds,
                 phase_seconds,
             );
-            return results.into_iter().map(|(out, _)| out).collect();
+            return;
         }
 
         let origin = Provenance {
@@ -621,9 +640,8 @@ impl FftExecutor for MemoizedExecutor {
 
         // ------------------------------------------- phase 2: ordered commit
         let mut state = self.state.lock();
-        let mut results = Vec::with_capacity(batch.len());
         let mut chunk_seconds = 0.0;
-        for (task, chunk) in batch.iter().zip(scratch) {
+        for ((task, chunk), slot) in batch.iter().zip(scratch).zip(outputs.iter_mut()) {
             chunk_seconds += chunk.seconds;
             if self.config.track_similarity {
                 state.similarity.record(task.loc, iteration, task.input);
@@ -636,15 +654,16 @@ impl FftExecutor for MemoizedExecutor {
             match chunk.case {
                 ProbeCase::CacheHit { value } => {
                     state.stats.record(kind, MemoCase::CacheHit);
-                    results.push(value.as_ref().clone());
+                    // Zero-copy hit: one memcpy from the shared payload into
+                    // the operator's grid window, no intermediate Vec.
+                    slot.copy_from_slice(&value);
                 }
                 ProbeCase::DbHit {
                     value,
                     entry,
                     entry_origin,
                 } => {
-                    if let Some(flushed) = state.coalescer.submit(kind, task.loc, chunk.key.clone())
-                    {
+                    if let Some(flushed) = state.coalescer.submit(kind, task.loc, &chunk.key) {
                         Self::account_flush(&mut state.stats, &flushed);
                     }
                     self.store
@@ -653,24 +672,21 @@ impl FftExecutor for MemoizedExecutor {
                     state
                         .stats
                         .add_remote_bytes(kind, (value.len() * 16) as u64);
+                    slot.copy_from_slice(&value);
                     if self.config.use_cache {
-                        self.cache.write().insert(
-                            kind,
-                            task.loc,
-                            chunk.key,
-                            value.clone(),
-                            iteration,
-                        );
+                        // The cache shares the payload buffer (Arc) and takes
+                        // ownership of the already-encoded key — no clones.
+                        self.cache
+                            .write()
+                            .insert(kind, task.loc, chunk.key, value, iteration);
                     }
-                    results.push(value.as_ref().clone());
                 }
                 ProbeCase::Computed {
                     output,
                     compute_seconds,
                     expired,
                 } => {
-                    if let Some(flushed) = state.coalescer.submit(kind, task.loc, chunk.key.clone())
-                    {
+                    if let Some(flushed) = state.coalescer.submit(kind, task.loc, &chunk.key) {
                         Self::account_flush(&mut state.stats, &flushed);
                     }
                     if let Some(entry) = expired {
@@ -682,17 +698,12 @@ impl FftExecutor for MemoizedExecutor {
                     state
                         .stats
                         .add_remote_bytes(kind, (output.len() * 16) as u64);
+                    slot.copy_from_slice(&output);
                     let cost = recompute_cost_estimate(kind, task.input.len());
-                    self.store.insert(
-                        kind,
-                        task.loc,
-                        task.input,
-                        chunk.key,
-                        output.clone(),
-                        origin,
-                        cost,
-                    );
-                    results.push(output);
+                    // The computed Vec moves into the store (one conversion
+                    // into the shared payload buffer, no extra clone).
+                    self.store
+                        .insert(kind, task.loc, task.input, chunk.key, output, origin, cost);
                 }
             }
         }
@@ -705,7 +716,6 @@ impl FftExecutor for MemoizedExecutor {
             chunk_seconds,
             phase_seconds,
         );
-        results
     }
 }
 
@@ -905,8 +915,9 @@ mod tests {
                     input: &input,
                     compute: &compute,
                 }];
-                let b = batched.execute_batch(FftOpKind::Fu2D, &requests);
-                assert_eq!(a, b[0], "paths diverged at iteration {it}, loc {loc}");
+                let mut b = vec![Complex64::ZERO; input.len()];
+                batched.execute_batch_into(FftOpKind::Fu2D, &requests, &mut [&mut b[..]]);
+                assert_eq!(a, b, "paths diverged at iteration {it}, loc {loc}");
             }
         }
         sequential.finish();

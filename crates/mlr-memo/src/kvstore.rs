@@ -6,6 +6,12 @@
 //! get/put/async-put surface as an embedded, sharded hash map guarded by
 //! `parking_lot` locks, with byte accounting so the harnesses can report
 //! database growth against the memory node's capacity.
+//!
+//! Values are stored as `Arc<[Complex64]>` — the canonical shared payload
+//! type of the whole memo stack. A `get` hands out another reference to the
+//! same buffer, so a memoization hit never deep-clones the chunk payload:
+//! the only copy on the hit path is the executor's final memcpy into the
+//! operator's own grid buffer.
 
 use mlr_math::Complex64;
 use parking_lot::RwLock;
@@ -20,7 +26,7 @@ const SHARDS: usize = 16;
 /// An in-memory, thread-safe value store mapping entry ids to FFT results.
 #[derive(Debug, Default)]
 pub struct ValueStore {
-    shards: Vec<RwLock<HashMap<u64, Arc<Vec<Complex64>>>>>,
+    shards: Vec<RwLock<HashMap<u64, Arc<[Complex64]>>>>,
     bytes: AtomicU64,
     puts: AtomicU64,
     gets: AtomicU64,
@@ -40,15 +46,15 @@ impl ValueStore {
     }
 
     #[inline]
-    fn shard(&self, id: u64) -> &RwLock<HashMap<u64, Arc<Vec<Complex64>>>> {
+    fn shard(&self, id: u64) -> &RwLock<HashMap<u64, Arc<[Complex64]>>> {
         &self.shards[(id as usize) % SHARDS]
     }
 
-    /// Stores (or replaces) the value for `id`. Returns the previous value's
-    /// size in bytes, if any.
-    pub fn put(&self, id: u64, value: Vec<Complex64>) -> Option<usize> {
+    /// Stores (or replaces) the shared value buffer for `id`. Returns the
+    /// previous value's size in bytes, if any.
+    pub fn put(&self, id: u64, value: Arc<[Complex64]>) -> Option<usize> {
         let new_bytes = value.len() as u64 * 16;
-        let prev = self.shard(id).write().insert(id, Arc::new(value));
+        let prev = self.shard(id).write().insert(id, value);
         self.puts.fetch_add(1, Ordering::Relaxed);
         self.bytes.fetch_add(new_bytes, Ordering::Relaxed);
         prev.map(|old| {
@@ -60,7 +66,7 @@ impl ValueStore {
 
     /// Retrieves the value for `id`, if present. The value is shared (`Arc`)
     /// so large results are not copied on the hot path.
-    pub fn get(&self, id: u64) -> Option<Arc<Vec<Complex64>>> {
+    pub fn get(&self, id: u64) -> Option<Arc<[Complex64]>> {
         self.gets.fetch_add(1, Ordering::Relaxed);
         let hit = self.shard(id).read().get(&id).cloned();
         if hit.is_some() {
@@ -109,8 +115,8 @@ impl ValueStore {
 mod tests {
     use super::*;
 
-    fn value(n: usize, v: f64) -> Vec<Complex64> {
-        vec![Complex64::new(v, -v); n]
+    fn value(n: usize, v: f64) -> Arc<[Complex64]> {
+        vec![Complex64::new(v, -v); n].into()
     }
 
     #[test]

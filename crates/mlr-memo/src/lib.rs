@@ -67,7 +67,7 @@ pub use ann::IvfIndex;
 pub use cache::{CacheKind, MemoCache};
 pub use coalesce::KeyCoalescer;
 pub use db::{MemoDatabase, MemoDbConfig, QueryOutcome};
-pub use encoder::{CnnEncoder, EncoderConfig};
+pub use encoder::{CnnEncoder, EncoderConfig, EncoderScratch};
 pub use engine::{MemoConfig, MemoizedExecutor};
 pub use eviction::{
     recompute_cost_estimate, CapacityBudget, CostAwarePolicy, EntryMeta, EvictionPolicy,
@@ -77,5 +77,5 @@ pub use kvstore::ValueStore;
 pub use parallel::{ConcurrencyGovernor, CoreLease, ParallelStats};
 pub use sharded::{ShardedMemoDb, DEFAULT_SHARDS};
 pub use similarity::SimilarityTracker;
-pub use stats::{MemoCase, MemoStats, OpStats};
+pub use stats::{MemoCase, MemoStats, OpStats, OpStatsTable};
 pub use store::{JobId, LocalMemoStore, MemoStore, ProbeOutcome, Provenance, StoreStats};

@@ -64,6 +64,81 @@ impl OpStats {
     }
 }
 
+/// The operation kinds in dense-index order — the canonical array defined
+/// next to [`FftOpKind::index`] (pinned to be its inverse by a test there).
+const KINDS: [FftOpKind; 6] = FftOpKind::DENSE;
+
+/// Fixed-arity per-operation counter table — the engine's internal, `Copy`
+/// representation of [`MemoStats`].
+///
+/// Snapshotting a hash-map-backed `MemoStats` under the engine's state lock
+/// cloned (and allocated) on every `stats()` call; this table is a plain
+/// array of `Copy` counters, so a snapshot is one memcpy and the conversion
+/// to the reporting shape happens outside the lock.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct OpStatsTable {
+    per_op: [OpStats; KINDS.len()],
+}
+
+impl Default for OpStatsTable {
+    fn default() -> Self {
+        Self {
+            per_op: [OpStats::default(); KINDS.len()],
+        }
+    }
+}
+
+impl OpStatsTable {
+    /// Creates an empty table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one invocation outcome.
+    pub fn record(&mut self, op: FftOpKind, case: MemoCase) {
+        let entry = &mut self.per_op[op.index()];
+        match case {
+            MemoCase::Computed => entry.computed += 1,
+            MemoCase::FailedMemo => entry.failed_memo += 1,
+            MemoCase::DbHit => entry.db_hits += 1,
+            MemoCase::CacheHit => entry.cache_hits += 1,
+        }
+    }
+
+    /// Adds compute wall-clock time for an operation.
+    pub fn add_compute_time(&mut self, op: FftOpKind, seconds: f64) {
+        self.per_op[op.index()].compute_seconds += seconds;
+    }
+
+    /// Adds one encoded key for an operation.
+    pub fn add_encoded_key(&mut self, op: FftOpKind) {
+        self.per_op[op.index()].keys_encoded += 1;
+    }
+
+    /// Adds remote traffic for an operation.
+    pub fn add_remote_bytes(&mut self, op: FftOpKind, bytes: u64) {
+        self.per_op[op.index()].remote_bytes += bytes;
+    }
+
+    /// Counters for one operation.
+    pub fn op(&self, op: FftOpKind) -> OpStats {
+        self.per_op[op.index()]
+    }
+
+    /// Converts to the map-backed reporting shape (operations that never
+    /// recorded anything are omitted, matching the map's historical
+    /// contents).
+    pub fn to_stats(&self) -> MemoStats {
+        let mut out = MemoStats::new();
+        for (kind, stats) in KINDS.iter().zip(&self.per_op) {
+            if *stats != OpStats::default() {
+                out.per_op.insert(*kind, *stats);
+            }
+        }
+        out
+    }
+}
+
 /// Aggregated statistics across operations.
 #[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
 pub struct MemoStats {
@@ -157,6 +232,35 @@ impl MemoStats {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn table_snapshot_matches_map_shape() {
+        let mut table = OpStatsTable::new();
+        let mut map = MemoStats::new();
+        for (op, case) in [
+            (FftOpKind::Fu2D, MemoCase::FailedMemo),
+            (FftOpKind::Fu2D, MemoCase::DbHit),
+            (FftOpKind::Fu1D, MemoCase::CacheHit),
+            (FftOpKind::F2D, MemoCase::Computed),
+        ] {
+            table.record(op, case);
+            map.record(op, case);
+        }
+        table.add_compute_time(FftOpKind::Fu2D, 0.5);
+        map.add_compute_time(FftOpKind::Fu2D, 0.5);
+        table.add_encoded_key(FftOpKind::Fu1D);
+        map.add_encoded_key(FftOpKind::Fu1D);
+        table.add_remote_bytes(FftOpKind::Fu2D, 64);
+        map.add_remote_bytes(FftOpKind::Fu2D, 64);
+        assert_eq!(table.to_stats(), map);
+        assert_eq!(table.op(FftOpKind::Fu2D), map.op(FftOpKind::Fu2D));
+        // Untouched operations are omitted from the map, as before.
+        assert_eq!(table.op(FftOpKind::Fu2DAdj), OpStats::default());
+        assert_eq!(table.to_stats().total().total(), map.total().total());
+        // The snapshot itself is a plain copy.
+        let snapshot = table;
+        assert_eq!(snapshot.to_stats(), table.to_stats());
+    }
 
     #[test]
     fn record_and_query() {

@@ -130,8 +130,9 @@ impl StoreStats {
 pub enum ProbeOutcome {
     /// A stored value passed the τ gate.
     Hit {
-        /// The stored FFT result.
-        value: Arc<Vec<Complex64>>,
+        /// The stored FFT result — a shared reference into the value
+        /// database, never a deep clone.
+        value: Arc<[Complex64]>,
         /// Cosine similarity between query and stored entry.
         similarity: f64,
         /// Stable id of the serving entry (for the ordered commit).

@@ -4,7 +4,11 @@
 //! Capacity is the backpressure mechanism: [`JobQueue::try_push`] rejects
 //! when the queue is full (admission control — the caller is told to back
 //! off), while [`JobQueue::push_blocking`] parks the producer until a worker
-//! drains a slot. Jobs pop highest-priority-first, FIFO within a priority.
+//! drains a slot. Jobs pop highest-priority-first; *within* a priority class
+//! the order is earliest-deadline-first (deadline-tagged entries ahead of
+//! untagged ones), FIFO among equals — so under load the serving front-end
+//! spends its worker time on the requests that can still meet their
+//! deadlines instead of expiring them behind older, slacker work.
 //!
 //! Two serving-front-end properties are layered on top:
 //!
@@ -21,6 +25,7 @@
 use crate::handle::Ticket;
 use crate::job::{Priority, ReconJob};
 use mlr_memo::JobId;
+use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -82,13 +87,29 @@ pub(crate) struct QueuedJob {
     /// deadline is the ticket's token (`ticket.token.deadline()`): the pop
     /// side and the solver's mid-run expiry check read the same value.
     pub(crate) ticket: Arc<Ticket>,
-    /// Tie-breaker: submission sequence number (FIFO within a priority).
+    /// Deadline snapshot taken at admission (heap ordering must be stable,
+    /// so the rank never re-reads the token).
+    deadline: Option<Instant>,
+    /// Tie-breaker: submission sequence number (FIFO within a priority and
+    /// deadline).
     seq: u64,
 }
 
+/// Max-heap rank key of a queued entry: priority class, then earliest
+/// deadline (deadline-tagged ahead of untagged), then FIFO sequence.
+type Rank = (Priority, Reverse<(bool, Option<Instant>)>, Reverse<u64>);
+
 impl QueuedJob {
-    fn rank(&self) -> (Priority, std::cmp::Reverse<u64>) {
-        (self.job.priority, std::cmp::Reverse(self.seq))
+    /// Max-heap rank: priority first; within a priority, earliest deadline
+    /// first with deadline-tagged entries ahead of untagged ones (the
+    /// `(is_none, deadline)` pair ascends from tagged-early to untagged, and
+    /// `Reverse` flips it for the max-heap); FIFO among equals.
+    fn rank(&self) -> Rank {
+        (
+            self.job.priority,
+            Reverse((self.deadline.is_none(), self.deadline)),
+            Reverse(self.seq),
+        )
     }
 }
 
@@ -152,11 +173,13 @@ impl JobQueue {
         let id = next_job.fetch_add(1, Ordering::Relaxed);
         let seq = inner.next_seq;
         inner.next_seq += 1;
+        let deadline = ticket.token.deadline();
         inner.heap.push(QueuedJob {
             id,
             job,
             enqueued: Instant::now(),
             ticket,
+            deadline,
             seq,
         });
         id
@@ -350,6 +373,58 @@ mod tests {
         q.remove(victim).expect("victim queued");
         let order: Vec<String> = (0..3).map(|_| q.pop().unwrap().job.name).collect();
         assert_eq!(order, ["interactive", "normal-2", "batch"]);
+    }
+
+    #[test]
+    fn earliest_deadline_pops_first_within_a_priority() {
+        let q = JobQueue::new(8);
+        let ids = AtomicU64::new(1);
+        let now = Instant::now();
+        let with_deadline = |secs: u64| {
+            Arc::new(Ticket::new(CancelToken::with_deadline(
+                now + std::time::Duration::from_secs(secs),
+            )))
+        };
+        // Submission order deliberately scrambles the deadline order.
+        q.try_push(&ids, job("late", Priority::Normal), with_deadline(60))
+            .unwrap();
+        q.try_push(&ids, job("no-deadline-1", Priority::Normal), ticket())
+            .unwrap();
+        q.try_push(&ids, job("early", Priority::Normal), with_deadline(10))
+            .unwrap();
+        q.try_push(&ids, job("no-deadline-2", Priority::Normal), ticket())
+            .unwrap();
+        q.try_push(&ids, job("mid", Priority::Normal), with_deadline(30))
+            .unwrap();
+        let order: Vec<String> = (0..5).map(|_| q.pop().unwrap().job.name).collect();
+        // EDF within the class; untagged entries follow, FIFO among
+        // themselves.
+        assert_eq!(
+            order,
+            ["early", "mid", "late", "no-deadline-1", "no-deadline-2"]
+        );
+    }
+
+    #[test]
+    fn priority_still_dominates_deadlines() {
+        let q = JobQueue::new(4);
+        let ids = AtomicU64::new(1);
+        let soon = Instant::now() + std::time::Duration::from_secs(1);
+        q.try_push(
+            &ids,
+            job("urgent-batch", Priority::Batch),
+            Arc::new(Ticket::new(CancelToken::with_deadline(soon))),
+        )
+        .unwrap();
+        q.try_push(
+            &ids,
+            job("relaxed-interactive", Priority::Interactive),
+            ticket(),
+        )
+        .unwrap();
+        // A tight deadline never promotes a job across priority classes.
+        assert_eq!(q.pop().unwrap().job.name, "relaxed-interactive");
+        assert_eq!(q.pop().unwrap().job.name, "urgent-batch");
     }
 
     #[test]

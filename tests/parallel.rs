@@ -113,6 +113,104 @@ fn bounded_store_is_bit_identical_across_thread_counts() {
 }
 
 #[test]
+fn zero_copy_batch_seam_matches_sequential_execute() {
+    // Drives the output-slice seam directly: one executor runs chunk by
+    // chunk through `execute` (owned-Vec returns), a twin consumes the same
+    // trace through multi-chunk `execute_batch_into` dispatches whose memo
+    // hits are single memcpys from the shared `Arc<[Complex64]>` payloads
+    // into caller-provided slices. Outputs must be bitwise equal and the
+    // case counts identical — over both the local store and a shared
+    // `ShardedMemoDb` — so the zero-copy path cannot drift from the
+    // reference protocol.
+    use mlr_lamino::{ChunkRequest, FftExecutor, FftOpKind};
+    use mlr_math::Complex64;
+    use mlr_memo::{EncoderConfig, MemoConfig, MemoDbConfig, MemoizedExecutor, ShardedMemoDb};
+    use rand::Rng;
+
+    let encoder = EncoderConfig {
+        input_grid: 8,
+        conv1_filters: 2,
+        conv2_filters: 4,
+        embedding_dim: 8,
+        learning_rate: 1e-3,
+    };
+    let memo = MemoConfig {
+        warmup_iterations: 0,
+        ..Default::default()
+    };
+    let fake_fft = |x: &[Complex64]| -> Vec<Complex64> {
+        x.iter().map(|z| Complex64::new(-z.im, z.re)).collect()
+    };
+    let chunk = |loc: usize, it: usize| -> Vec<Complex64> {
+        let mut rng = mlr_math::rng::seeded(70 + loc as u64);
+        (0..96)
+            .map(|_| Complex64::new(rng.gen::<f64>(), rng.gen::<f64>()))
+            .map(|z| z.scale(1.0 + 0.001 * it as f64))
+            .collect()
+    };
+    let sharded = |seed: u64| {
+        let db_config = MemoDbConfig {
+            tau: memo.tau,
+            ..Default::default()
+        };
+        MemoizedExecutor::with_store(
+            memo,
+            Arc::new(ShardedMemoDb::new(db_config, encoder, seed)),
+            0,
+        )
+    };
+    let pairs: [(MemoizedExecutor, MemoizedExecutor); 2] = [
+        (
+            MemoizedExecutor::new(memo, encoder, 11),
+            MemoizedExecutor::new(memo, encoder, 11),
+        ),
+        (sharded(11), sharded(11)),
+    ];
+    for (label, (sequential, batched)) in ["local", "sharded"].iter().zip(pairs) {
+        let locations = 6usize;
+        for it in 0..5 {
+            sequential.begin_iteration(it);
+            batched.begin_iteration(it);
+            let inputs: Vec<Vec<Complex64>> = (0..locations).map(|loc| chunk(loc, it)).collect();
+            let reference: Vec<Vec<Complex64>> = (0..locations)
+                .map(|loc| sequential.execute(FftOpKind::Fu2D, loc, &inputs[loc], &fake_fft))
+                .collect();
+            let compute = |x: &[Complex64]| fake_fft(x);
+            let batch: Vec<ChunkRequest<'_>> = inputs
+                .iter()
+                .enumerate()
+                .map(|(loc, input)| ChunkRequest {
+                    loc,
+                    input,
+                    compute: &compute,
+                })
+                .collect();
+            let mut outputs: Vec<Vec<Complex64>> = vec![vec![Complex64::ZERO; 96]; locations];
+            let mut slots: Vec<&mut [Complex64]> =
+                outputs.iter_mut().map(|v| v.as_mut_slice()).collect();
+            batched.execute_batch_into(FftOpKind::Fu2D, &batch, &mut slots);
+            assert_eq!(
+                outputs, reference,
+                "{label}: zero-copy outputs diverged at iteration {it}"
+            );
+        }
+        sequential.finish();
+        batched.finish();
+        let a = sequential.stats().total();
+        let b = batched.stats().total();
+        assert_eq!(
+            (a.failed_memo, a.db_hits, a.cache_hits, a.remote_bytes),
+            (b.failed_memo, b.db_hits, b.cache_hits, b.remote_bytes),
+            "{label}: case counts diverged"
+        );
+        assert!(
+            a.db_hits + a.cache_hits > 0,
+            "{label}: trace never hit — vacuous"
+        );
+    }
+}
+
+#[test]
 fn parallel_stats_record_the_schedule() {
     let pipeline = MlrPipeline::new(base_config().with_intra_job_threads(4));
     let (_, executor) = pipeline.run_memoized();
