@@ -14,7 +14,13 @@
 //!   chunk, measured by the counting global allocator. This is the
 //!   deterministic CI gate: a reintroduced payload deep-clone (the pre-PR-5
 //!   behaviour cloned every hit out of the store) immediately shows up as
-//!   payload-sized allocations per chunk.
+//!   payload-sized allocations per chunk. The hit-path executors run with
+//!   telemetry *enabled*, so the gate also certifies that the instrumented
+//!   path stays allocation-free;
+//! * **stage breakdown** — where the hit ns/chunk goes: encode, cache peek,
+//!   IVF probe, payload copy and miss-FFT nanoseconds per chunk from the
+//!   telemetry stage histograms, answering how the measured hit cost splits
+//!   (the question the aggregate measured-vs-modeled speedup gap raised).
 //!
 //! Gated in CI (`ci/bench_baseline.json`): `hit_path_allocation_free` and
 //! `zero_payload_clone` must hold exactly, and the machine-independent
@@ -32,6 +38,7 @@ use mlr_lamino::{ChunkRequest, FftExecutor, FftOpKind};
 use mlr_math::rng::seeded;
 use mlr_math::Complex64;
 use mlr_memo::{EncoderConfig, MemoConfig, MemoizedExecutor};
+use mlr_telemetry::{MetricsSnapshot, StageId, Telemetry, STAGE_NAMES};
 use rand::Rng;
 use serde::Serialize;
 use std::time::Instant;
@@ -50,6 +57,32 @@ struct PathStats {
     computed: u64,
 }
 
+/// Per-stage split of a steady-state hit chunk, from the telemetry stage
+/// histograms recorded by the executor itself (encode → cache peek → IVF
+/// probe → payload copy, plus the miss-FFT stage on recompute paths). This
+/// answers the question the aggregate ns/chunk column cannot: *where* the
+/// hit-path time goes.
+#[derive(Serialize)]
+struct StageBreakdown {
+    encode_ns_per_chunk: f64,
+    cache_peek_ns_per_chunk: f64,
+    ivf_probe_ns_per_chunk: f64,
+    payload_copy_ns_per_chunk: f64,
+    miss_fft_ns_per_chunk: f64,
+    /// Sum of the five stage columns.
+    stage_sum_ns_per_chunk: f64,
+    /// The wall-clock ns/chunk measured over the same steady window.
+    measured_ns_per_chunk: f64,
+    /// stage_sum / measured: how much of the measured time the stage timers
+    /// explain (the remainder is untimed commit bookkeeping).
+    stage_sum_fraction: f64,
+    /// Whether the stage sum lands within 10 % of the measured ns/chunk.
+    /// Timing-noisy, so informational — not a CI gate.
+    stage_sum_within_10pct: bool,
+    /// The most expensive stage of this path.
+    top_stage: String,
+}
+
 #[derive(Serialize)]
 struct Record {
     smoke: bool,
@@ -60,6 +93,10 @@ struct Record {
     cache_hit: PathStats,
     db_hit: PathStats,
     miss: PathStats,
+    /// Stage split of the steady cache-hit window (telemetry enabled).
+    cache_hit_stages: StageBreakdown,
+    /// Stage split of the steady db-hit window (telemetry enabled).
+    db_hit_stages: StageBreakdown,
     miss_throughput_elems_per_sec: f64,
     /// Measured miss-ns / cache-hit-ns on this machine (informational).
     measured_hit_speedup: f64,
@@ -130,6 +167,56 @@ fn drive(
     (seconds, allocs, bytes)
 }
 
+/// Builds the per-stage breakdown of one steady window from the stage
+/// histograms' count/sum deltas across it.
+fn stage_breakdown(
+    before: &MetricsSnapshot,
+    after: &MetricsSnapshot,
+    chunks: u64,
+    measured_ns_per_chunk: f64,
+) -> StageBreakdown {
+    let per_chunk = |id: StageId| {
+        let delta = after.stage(id).sum - before.stage(id).sum;
+        delta as f64 / chunks as f64
+    };
+    let stages = [
+        per_chunk(StageId::Encode),
+        per_chunk(StageId::CachePeek),
+        per_chunk(StageId::IvfProbe),
+        per_chunk(StageId::PayloadCopy),
+        per_chunk(StageId::MissFft),
+    ];
+    let stage_sum: f64 = stages.iter().sum();
+    let top = stages
+        .iter()
+        .enumerate()
+        .max_by(|a, b| a.1.total_cmp(b.1))
+        .map(|(i, _)| STAGE_NAMES[i])
+        .unwrap_or("none");
+    let fraction = stage_sum / measured_ns_per_chunk.max(1e-9);
+    StageBreakdown {
+        encode_ns_per_chunk: stages[0],
+        cache_peek_ns_per_chunk: stages[1],
+        ivf_probe_ns_per_chunk: stages[2],
+        payload_copy_ns_per_chunk: stages[3],
+        miss_fft_ns_per_chunk: stages[4],
+        stage_sum_ns_per_chunk: stage_sum,
+        measured_ns_per_chunk,
+        stage_sum_fraction: fraction,
+        stage_sum_within_10pct: (fraction - 1.0).abs() <= 0.10,
+        top_stage: top.to_string(),
+    }
+}
+
+/// Snapshot of an executor's telemetry metrics (counters + stage
+/// histograms); the executors here always run with telemetry enabled.
+fn metrics_of(exec: &MemoizedExecutor) -> MetricsSnapshot {
+    exec.telemetry()
+        .snapshot()
+        .expect("telemetry is enabled on every fig22 executor")
+        .metrics
+}
+
 fn path_stats(
     exec: &MemoizedExecutor,
     seconds: f64,
@@ -183,11 +270,22 @@ fn main() {
 
     // --- cache-hit path: identical inputs every iteration; after the
     // populate (miss) and promote (db-hit → cache fill) rounds plus one
-    // pool-warming round, every chunk is a compute-node cache hit.
-    let exec = MemoizedExecutor::new(memo, encoder(), 22);
+    // pool-warming round, every chunk is a compute-node cache hit. The
+    // executor runs with telemetry *enabled*: the allocation gates below
+    // thereby certify that the instrumented hit path is still
+    // allocation-free, and the stage histograms feed the breakdown.
+    let exec = MemoizedExecutor::new(memo, encoder(), 22).with_telemetry(Telemetry::enabled());
     let _ = drive(&exec, &inputs, &mut outputs, &compute, 0, 3);
+    let stages_before = metrics_of(&exec);
     let (secs, allocs, bytes) = drive(&exec, &inputs, &mut outputs, &compute, 3, steady);
+    let stages_after = metrics_of(&exec);
     let cache_hit = path_stats(&exec, secs, allocs, bytes, chunks);
+    let cache_hit_stages = stage_breakdown(
+        &stages_before,
+        &stages_after,
+        chunks,
+        cache_hit.ns_per_chunk,
+    );
     assert_eq!(
         cache_hit.cache_hits,
         chunks + locations as u64,
@@ -203,10 +301,19 @@ fn main() {
         },
         encoder(),
         23,
-    );
+    )
+    .with_telemetry(Telemetry::enabled());
     let _ = drive(&db_exec, &inputs, &mut outputs, &compute, 0, 2);
+    let db_stages_before = metrics_of(&db_exec);
     let (secs, allocs, bytes) = drive(&db_exec, &inputs, &mut outputs, &compute, 2, steady);
+    let db_stages_after = metrics_of(&db_exec);
     let db_hit = path_stats(&db_exec, secs, allocs, bytes, chunks);
+    let db_hit_stages = stage_breakdown(
+        &db_stages_before,
+        &db_stages_after,
+        chunks,
+        db_hit.ns_per_chunk,
+    );
     assert_eq!(
         db_hit.db_hits,
         chunks + locations as u64,
@@ -255,6 +362,38 @@ fn main() {
         );
     }
     println!();
+    println!(
+        "{:>12} {:>10} {:>12} {:>11} {:>14} {:>10} {:>11}",
+        "path", "encode", "cache peek", "IVF probe", "payload copy", "miss FFT", "stage sum"
+    );
+    for (label, b) in [("cache hit", &cache_hit_stages), ("db hit", &db_hit_stages)] {
+        println!(
+            "{label:>12} {:>10.0} {:>12.0} {:>11.0} {:>14.0} {:>10.0} {:>11.0}",
+            b.encode_ns_per_chunk,
+            b.cache_peek_ns_per_chunk,
+            b.ivf_probe_ns_per_chunk,
+            b.payload_copy_ns_per_chunk,
+            b.miss_fft_ns_per_chunk,
+            b.stage_sum_ns_per_chunk,
+        );
+    }
+    println!();
+    compare_row(
+        "hit-path top stage",
+        "(informational)",
+        &format!(
+            "{} ({:.0} ns/chunk, stages explain {:.0}% of measured)",
+            cache_hit_stages.top_stage,
+            match cache_hit_stages.top_stage.as_str() {
+                "encode" => cache_hit_stages.encode_ns_per_chunk,
+                "cache_peek" => cache_hit_stages.cache_peek_ns_per_chunk,
+                "ivf_probe" => cache_hit_stages.ivf_probe_ns_per_chunk,
+                "payload_copy" => cache_hit_stages.payload_copy_ns_per_chunk,
+                _ => cache_hit_stages.miss_fft_ns_per_chunk,
+            },
+            100.0 * cache_hit_stages.stage_sum_fraction
+        ),
+    );
     compare_row(
         "steady hit-path allocations per chunk",
         "~0 (key only)",
@@ -315,6 +454,8 @@ fn main() {
         cache_hit,
         db_hit,
         miss,
+        cache_hit_stages,
+        db_hit_stages,
         miss_throughput_elems_per_sec: miss_throughput,
         measured_hit_speedup,
         modeled_hit_speedup,

@@ -22,12 +22,13 @@
 //! | `fig19_eviction` | beyond the paper — capacity budget vs cross-job hit rate per eviction policy |
 //! | `fig20_intra_job` | beyond the paper — intra-job chunk parallelism: threads × chunk size, speedup + hit parity |
 //! | `fig21_serving` | beyond the paper — deadline-aware serving: load × deadline tightness vs miss rate, cancellation guarantees |
-//! | `fig22_hotpath` | beyond the paper — zero-copy memo hits: hit ns/chunk, miss FFT throughput, allocations/chunk (counting allocator) |
+//! | `fig22_hotpath` | beyond the paper — zero-copy memo hits: hit ns/chunk, miss FFT throughput, allocations/chunk (counting allocator), per-stage hit breakdown |
+//! | `fig23_observability` | beyond the paper — telemetry overhead: disabled vs enabled hit ns/chunk, enabled-mode allocation envelope, export round-trip |
 //! | `check_bench` | CI regression gate over the `BENCH_*.json` records (see `ci/bench_baseline.json`) |
 //!
 //! Run any of them with `cargo run --release -p mlr-bench --bin <name> [-- --scale tiny|small|paper]`.
 //! `fig18_multi_job`, `fig19_eviction`, `fig20_intra_job`,
-//! `fig21_serving` and `fig22_hotpath` additionally accept `--smoke`, the
+//! `fig21_serving`, `fig22_hotpath` and `fig23_observability` additionally accept `--smoke`, the
 //! reduced-size mode CI's bench-smoke job runs. Each prints a human-readable
 //! table with the paper's reported values next to the reproduced ones and
 //! writes a JSON record under `target/experiments/`.

@@ -10,6 +10,7 @@ use mlr_memo::{
 use mlr_sim::workload::{AdmmWorkload, ProblemSize};
 use mlr_sim::CostModel;
 use mlr_solver::{AdmmResult, AdmmSolver, CancelToken};
+use mlr_telemetry::Telemetry;
 use std::sync::Arc;
 
 /// The end-to-end pipeline: dataset simulation, exact reconstruction,
@@ -158,8 +159,27 @@ impl MlrPipeline {
         governor: Option<Arc<ConcurrencyGovernor>>,
         cancel: &CancelToken,
     ) -> (AdmmResult, MemoizedExecutor) {
+        self.run_memoized_observed(store, job, governor, cancel, Telemetry::disabled())
+    }
+
+    /// [`MlrPipeline::run_memoized_serving`] with a telemetry recorder
+    /// attached to the executor: per-iteration and per-operator lifecycle
+    /// spans, chunk counters, and hit-path stage histograms flow into
+    /// `telemetry`'s shared registry. Passing [`Telemetry::disabled`] makes
+    /// this identical (including allocation behaviour) to the plain serving
+    /// entry point; telemetry records only wall-clock dimensions, so the
+    /// reconstruction stays bit-identical either way.
+    pub fn run_memoized_observed(
+        &self,
+        store: Arc<dyn MemoStore>,
+        job: JobId,
+        governor: Option<Arc<ConcurrencyGovernor>>,
+        cancel: &CancelToken,
+        telemetry: Telemetry,
+    ) -> (AdmmResult, MemoizedExecutor) {
         let executor = MemoizedExecutor::with_store(self.config.memo, store, job)
-            .with_parallelism(self.config.intra_job_threads, governor);
+            .with_parallelism(self.config.intra_job_threads, governor)
+            .with_telemetry(telemetry);
         let solver = AdmmSolver::new(self.config.admm);
         let result =
             solver.run_with_cancel(&self.operator, &self.dataset.projections, &executor, cancel);

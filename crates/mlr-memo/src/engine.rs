@@ -25,10 +25,28 @@ use crate::stats::{MemoCase, MemoStats, OpStatsTable};
 use crate::store::{JobId, LocalMemoStore, MemoStore, ProbeOutcome, Provenance};
 use mlr_lamino::{ChunkRequest, FftExecutor, FftOpKind};
 use mlr_math::Complex64;
+use mlr_telemetry::{CounterId, CounterTable, SpanKind, StageId, StageTable, Telemetry};
 use parking_lot::{Mutex, RwLock};
 use serde::{Deserialize, Serialize};
 use std::sync::Arc;
 use std::time::Instant;
+
+/// Starts a stage clock only when telemetry is enabled, so disabled mode
+/// performs zero `Instant::now()` calls per chunk.
+#[inline]
+fn stage_clock(enabled: bool) -> Option<Instant> {
+    if enabled {
+        Some(Instant::now())
+    } else {
+        None
+    }
+}
+
+/// Elapsed nanoseconds of a stage clock (0 when telemetry is disabled).
+#[inline]
+fn stage_ns(start: Option<Instant>) -> u64 {
+    start.map_or(0, |s| s.elapsed().as_nanos() as u64)
+}
 
 /// Executor configuration.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -132,6 +150,10 @@ struct ChunkScratch {
     cache_checked: bool,
     cache_comparisons: u64,
     seconds: f64,
+    /// Stage timings (ns), all zero when telemetry is disabled.
+    encode_ns: u64,
+    peek_ns: u64,
+    probe_ns: u64,
 }
 
 /// The memoized FFT executor.
@@ -151,6 +173,10 @@ pub struct MemoizedExecutor {
     /// Global arbiter of spare cores, shared with every other job of a
     /// runtime; `None` for standalone executors (full allowance).
     governor: Option<Arc<ConcurrencyGovernor>>,
+    /// Telemetry recorder (disabled by default). Stage timers and span
+    /// emission are gated on `telemetry.is_enabled()` captured once per
+    /// batch, so the disabled form adds one branch per batch, not per chunk.
+    telemetry: Telemetry,
 }
 
 impl MemoizedExecutor {
@@ -193,6 +219,7 @@ impl MemoizedExecutor {
             }),
             threads: 1,
             governor: None,
+            telemetry: Telemetry::disabled(),
         }
     }
 
@@ -210,6 +237,21 @@ impl MemoizedExecutor {
         self.threads = threads.max(1);
         self.governor = governor;
         self
+    }
+
+    /// Attaches a telemetry recorder: per-iteration and per-batch lifecycle
+    /// spans, chunk counters, and hit-path stage histograms
+    /// (encode / cache-peek / IVF-probe / payload-copy / miss-FFT). The
+    /// default is [`Telemetry::disabled`], which records nothing and takes
+    /// zero stage clock reads.
+    pub fn with_telemetry(mut self, telemetry: Telemetry) -> Self {
+        self.telemetry = telemetry;
+        self
+    }
+
+    /// The telemetry recorder attached to this executor.
+    pub fn telemetry(&self) -> &Telemetry {
+        &self.telemetry
     }
 
     /// The executor configuration.
@@ -240,6 +282,9 @@ impl MemoizedExecutor {
         state.iteration = iteration;
         drop(state);
         self.store.advance_epoch();
+        self.telemetry.count(CounterId::IterationsStarted, 1);
+        self.telemetry
+            .span(self.job, SpanKind::Iteration, iteration as u64);
     }
 
     /// Marks the end of the job: flushes and accounts the coalescer's final
@@ -541,6 +586,7 @@ impl FftExecutor for MemoizedExecutor {
         }
         let iteration = self.state.lock().iteration;
         let in_warmup = iteration < self.config.warmup_iterations;
+        let tel_on = self.telemetry.is_enabled();
         if !self.should_memoize(kind) || in_warmup {
             // Non-memoized stage: parallel exact compute, ordered stats fold.
             let phase_start = Instant::now();
@@ -552,11 +598,15 @@ impl FftExecutor for MemoizedExecutor {
             let phase_seconds = phase_start.elapsed().as_secs_f64();
             let mut state = self.state.lock();
             let mut chunk_seconds = 0.0;
+            let mut stage_scratch = StageTable::new();
             for ((out, seconds), slot) in results.into_iter().zip(outputs.iter_mut()) {
                 state.stats.record(kind, MemoCase::Computed);
                 state.stats.add_compute_time(kind, seconds);
                 chunk_seconds += seconds;
                 slot.copy_from_slice(&out);
+                if tel_on {
+                    stage_scratch.record(StageId::MissFft, (seconds * 1e9) as u64);
+                }
             }
             Self::note_batch(
                 &mut state,
@@ -567,6 +617,17 @@ impl FftExecutor for MemoizedExecutor {
                 chunk_seconds,
                 phase_seconds,
             );
+            if tel_on {
+                drop(state);
+                let mut counter_scratch = CounterTable::new();
+                counter_scratch.add(CounterId::OperatorBatches, 1);
+                counter_scratch.add(CounterId::ChunksCommitted, batch.len() as u64);
+                counter_scratch.add(CounterId::ComputedChunks, batch.len() as u64);
+                self.telemetry.fold_counters(&counter_scratch);
+                self.telemetry.fold_stages(&stage_scratch);
+                self.telemetry
+                    .span(self.job, SpanKind::Operator, batch.len() as u64);
+            }
             return;
         }
 
@@ -580,15 +641,20 @@ impl FftExecutor for MemoizedExecutor {
         let (scratch, requested, used) = self.map_chunks(batch.len(), |i| {
             let task = &batch[i];
             let start = Instant::now();
+            let encode_clock = stage_clock(tel_on);
             let key = self.store.encode(task.input);
+            let encode_ns = stage_ns(encode_clock);
             let mut cache_checked = false;
             let mut cache_comparisons = 0;
+            let mut peek_ns = 0;
             if self.config.use_cache {
                 cache_checked = true;
+                let peek_clock = stage_clock(tel_on);
                 let (found, comparisons) =
                     self.cache
                         .read()
                         .peek(kind, task.loc, &key, self.config.tau, iteration);
+                peek_ns = stage_ns(peek_clock);
                 cache_comparisons = comparisons;
                 if let Some(value) = found {
                     return ChunkScratch {
@@ -597,13 +663,18 @@ impl FftExecutor for MemoizedExecutor {
                         cache_checked,
                         cache_comparisons,
                         seconds: start.elapsed().as_secs_f64(),
+                        encode_ns,
+                        peek_ns,
+                        probe_ns: 0,
                     };
                 }
             }
-            let case = match self
+            let probe_clock = stage_clock(tel_on);
+            let probe = self
                 .store
-                .probe_with_key(kind, task.loc, task.input, &key, origin)
-            {
+                .probe_with_key(kind, task.loc, task.input, &key, origin);
+            let probe_ns = stage_ns(probe_clock);
+            let case = match probe {
                 ProbeOutcome::Hit {
                     value,
                     entry,
@@ -634,6 +705,9 @@ impl FftExecutor for MemoizedExecutor {
                 cache_checked,
                 cache_comparisons,
                 seconds: start.elapsed().as_secs_f64(),
+                encode_ns,
+                peek_ns,
+                probe_ns,
             }
         });
         let phase_seconds = phase_start.elapsed().as_secs_f64();
@@ -641,6 +715,12 @@ impl FftExecutor for MemoizedExecutor {
         // ------------------------------------------- phase 2: ordered commit
         let mut state = self.state.lock();
         let mut chunk_seconds = 0.0;
+        // Telemetry scratch lives on this stack frame (`Copy` tables, zero
+        // allocation) and folds into the shared registry once per batch —
+        // the same discipline as `OpStatsTable`, preserving the fig22
+        // allocation gate with telemetry enabled.
+        let mut stage_scratch = StageTable::new();
+        let mut counter_scratch = CounterTable::new();
         for ((task, chunk), slot) in batch.iter().zip(scratch).zip(outputs.iter_mut()) {
             chunk_seconds += chunk.seconds;
             if self.config.track_similarity {
@@ -651,12 +731,26 @@ impl FftExecutor for MemoizedExecutor {
                 let hit = matches!(chunk.case, ProbeCase::CacheHit { .. });
                 self.cache.write().note_lookup(hit, chunk.cache_comparisons);
             }
+            if tel_on {
+                stage_scratch.record(StageId::Encode, chunk.encode_ns);
+                if chunk.cache_checked {
+                    stage_scratch.record(StageId::CachePeek, chunk.peek_ns);
+                }
+                if !matches!(chunk.case, ProbeCase::CacheHit { .. }) {
+                    stage_scratch.record(StageId::IvfProbe, chunk.probe_ns);
+                }
+            }
             match chunk.case {
                 ProbeCase::CacheHit { value } => {
                     state.stats.record(kind, MemoCase::CacheHit);
                     // Zero-copy hit: one memcpy from the shared payload into
                     // the operator's grid window, no intermediate Vec.
+                    let copy_clock = stage_clock(tel_on);
                     slot.copy_from_slice(&value);
+                    if tel_on {
+                        stage_scratch.record(StageId::PayloadCopy, stage_ns(copy_clock));
+                        counter_scratch.add(CounterId::CacheHitChunks, 1);
+                    }
                 }
                 ProbeCase::DbHit {
                     value,
@@ -672,7 +766,12 @@ impl FftExecutor for MemoizedExecutor {
                     state
                         .stats
                         .add_remote_bytes(kind, (value.len() * 16) as u64);
+                    let copy_clock = stage_clock(tel_on);
                     slot.copy_from_slice(&value);
+                    if tel_on {
+                        stage_scratch.record(StageId::PayloadCopy, stage_ns(copy_clock));
+                        counter_scratch.add(CounterId::DbHitChunks, 1);
+                    }
                     if self.config.use_cache {
                         // The cache shares the payload buffer (Arc) and takes
                         // ownership of the already-encoded key — no clones.
@@ -699,6 +798,10 @@ impl FftExecutor for MemoizedExecutor {
                         .stats
                         .add_remote_bytes(kind, (output.len() * 16) as u64);
                     slot.copy_from_slice(&output);
+                    if tel_on {
+                        stage_scratch.record(StageId::MissFft, (compute_seconds * 1e9) as u64);
+                        counter_scratch.add(CounterId::ComputedChunks, 1);
+                    }
                     let cost = recompute_cost_estimate(kind, task.input.len());
                     // The computed Vec moves into the store (one conversion
                     // into the shared payload buffer, no extra clone).
@@ -716,6 +819,15 @@ impl FftExecutor for MemoizedExecutor {
             chunk_seconds,
             phase_seconds,
         );
+        if tel_on {
+            drop(state);
+            counter_scratch.add(CounterId::OperatorBatches, 1);
+            counter_scratch.add(CounterId::ChunksCommitted, batch.len() as u64);
+            self.telemetry.fold_counters(&counter_scratch);
+            self.telemetry.fold_stages(&stage_scratch);
+            self.telemetry
+                .span(self.job, SpanKind::Operator, batch.len() as u64);
+        }
     }
 }
 

@@ -389,6 +389,14 @@ impl StoreClock {
         self.tick.fetch_add(1, Ordering::Relaxed)
     }
 
+    /// Reads the current op tick without advancing it. The access-trace
+    /// recorder stamps records with this, so tracing never perturbs the
+    /// tick stream that eviction ranking (and with it the bit-identity
+    /// contracts) depends on.
+    pub fn current_tick(&self) -> u64 {
+        self.tick.load(Ordering::Relaxed)
+    }
+
     /// Claims the next entry id.
     pub fn next_id(&self) -> u64 {
         self.next_id.fetch_add(1, Ordering::Relaxed)

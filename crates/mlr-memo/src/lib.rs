@@ -75,7 +75,7 @@ pub use eviction::{
 };
 pub use kvstore::ValueStore;
 pub use parallel::{ConcurrencyGovernor, CoreLease, ParallelStats};
-pub use sharded::{ShardedMemoDb, DEFAULT_SHARDS};
+pub use sharded::{ShardedMemoDb, ACCESS_OP_UNKNOWN, DEFAULT_SHARDS};
 pub use similarity::SimilarityTracker;
 pub use stats::{MemoCase, MemoStats, OpStats, OpStatsTable};
 pub use store::{JobId, LocalMemoStore, MemoStore, ProbeOutcome, Provenance, StoreStats};

@@ -39,9 +39,15 @@ use crate::eviction::{CapacityBudget, EvictionPolicy, StoreClock};
 use crate::store::{MemoStore, ProbeOutcome, Provenance, StoreStats};
 use mlr_lamino::FftOpKind;
 use mlr_math::Complex64;
+use mlr_telemetry::{AccessKind, AccessRecord, AccessTrace};
 use parking_lot::{Mutex, RwLock};
 use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
 use std::sync::Arc;
+
+/// Operator discriminant stamped on access records whose operator is
+/// unknown at the record point (global eviction selects a victim by
+/// `(rank, id)` across stripes, without knowing which operator owns it).
+pub const ACCESS_OP_UNKNOWN: u8 = u8::MAX;
 
 /// Default number of lock stripes. Enough to keep eight-ish concurrent jobs
 /// off each other's locks without bloating small deployments.
@@ -73,6 +79,12 @@ pub struct ShardedMemoDb {
     inserts: AtomicU64,
     pressure_queries: AtomicU64,
     pressure_hits: AtomicU64,
+    /// Optional store access-trace recorder (entry, op, stripe, kind,
+    /// tick). Records are emitted only from the ordered-commit paths and
+    /// stamped with [`StoreClock::current_tick`] (a read, never an
+    /// advance), so the trace is deterministic and tracing cannot perturb
+    /// eviction ranking. `None` (the default) costs one branch per commit.
+    trace: Option<Arc<AccessTrace>>,
 }
 
 impl ShardedMemoDb {
@@ -147,6 +159,41 @@ impl ShardedMemoDb {
             inserts: AtomicU64::new(0),
             pressure_queries: AtomicU64::new(0),
             pressure_hits: AtomicU64::new(0),
+            trace: None,
+        }
+    }
+
+    /// Attaches an access-trace recorder (builder form). The store records
+    /// hit/miss/insert/evict/expired events from its ordered-commit paths
+    /// into the given ring, stamped with store-clock ticks.
+    pub fn with_access_trace(mut self, trace: Arc<AccessTrace>) -> Self {
+        self.trace = Some(trace);
+        self
+    }
+
+    /// Attaches an access-trace recorder in place (before the store is
+    /// shared behind an `Arc`).
+    pub fn set_access_trace(&mut self, trace: Arc<AccessTrace>) {
+        self.trace = Some(trace);
+    }
+
+    /// The attached access-trace recorder, if any.
+    pub fn access_trace(&self) -> Option<&Arc<AccessTrace>> {
+        self.trace.as_ref()
+    }
+
+    /// Records one access event when tracing is enabled; a single branch
+    /// otherwise.
+    #[inline]
+    fn trace_access(&self, op: u8, stripe: usize, entry: u64, kind: AccessKind) {
+        if let Some(trace) = &self.trace {
+            trace.record(AccessRecord {
+                entry,
+                op,
+                stripe: stripe as u32,
+                kind,
+                tick: self.clock.current_tick(),
+            });
         }
     }
 
@@ -160,8 +207,8 @@ impl ShardedMemoDb {
         self.config.budget
     }
 
-    /// Which shard owns the index scope of `(op, loc)`.
-    fn shard_for(&self, op: FftOpKind, loc: usize) -> &Mutex<MemoDatabase> {
+    /// Index of the shard owning the index scope of `(op, loc)`.
+    fn shard_index(&self, op: FftOpKind, loc: usize) -> usize {
         // Under global scoping all locations of an operation share one index
         // scope, which therefore must live in one shard.
         let scope_loc = if self.config.per_location {
@@ -169,8 +216,12 @@ impl ShardedMemoDb {
         } else {
             usize::MAX
         };
-        let idx = (scope_seed(op, scope_loc) % self.shards.len() as u64) as usize;
-        &self.shards[idx]
+        (scope_seed(op, scope_loc) % self.shards.len() as u64) as usize
+    }
+
+    /// Which shard owns the index scope of `(op, loc)`.
+    fn shard_for(&self, op: FftOpKind, loc: usize) -> &Mutex<MemoDatabase> {
+        &self.shards[self.shard_index(op, loc)]
     }
 
     /// Per-shard entry counts (diagnostics; shows stripe balance).
@@ -249,6 +300,8 @@ impl ShardedMemoDb {
                         .fetch_sub(freed_bytes as i64, Ordering::Relaxed);
                     self.published_entries
                         .fetch_sub(freed_entries as i64, Ordering::Relaxed);
+                    drop(db);
+                    self.trace_access(ACCESS_OP_UNKNOWN, shard_idx, id, AccessKind::Evict);
                 }
                 None => break,
             }
@@ -351,9 +404,11 @@ impl MemoStore for ShardedMemoDb {
         if entry_origin.job != origin.job {
             self.cross_job_hits.fetch_add(1, Ordering::Relaxed);
         }
-        self.shard_for(op, loc)
+        let stripe = self.shard_index(op, loc);
+        self.shards[stripe]
             .lock()
             .commit_hit(entry, entry_origin, origin);
+        self.trace_access(op as u8, stripe, entry, AccessKind::Hit);
     }
 
     fn commit_miss(&self, op: FftOpKind, loc: usize) {
@@ -367,11 +422,14 @@ impl MemoStore for ShardedMemoDb {
         {
             self.pressure_queries.fetch_add(1, Ordering::Relaxed);
         }
-        self.shard_for(op, loc).lock().commit_miss_query();
+        let stripe = self.shard_index(op, loc);
+        self.shards[stripe].lock().commit_miss_query();
+        self.trace_access(op as u8, stripe, 0, AccessKind::Miss);
     }
 
     fn reclaim_expired(&self, op: FftOpKind, loc: usize, entry: u64) {
-        let mut db = self.shard_for(op, loc).lock();
+        let stripe = self.shard_index(op, loc);
+        let mut db = self.shards[stripe].lock();
         db.reclaim_expired(entry);
         let (freed_bytes, freed_entries) = db.drain_freed();
         if freed_bytes > 0 || freed_entries > 0 {
@@ -380,6 +438,8 @@ impl MemoStore for ShardedMemoDb {
             self.published_entries
                 .fetch_sub(freed_entries as i64, Ordering::Relaxed);
         }
+        drop(db);
+        self.trace_access(op as u8, stripe, entry, AccessKind::Expired);
     }
 
     fn insert(
@@ -399,7 +459,8 @@ impl MemoStore for ShardedMemoDb {
         // atomic with respect to other inserts. Queries stay concurrent
         // (they only take their own stripe's lock).
         let _guard = bounded.then(|| self.eviction_lock.lock());
-        let mut db = self.shard_for(op, loc).lock();
+        let stripe = self.shard_index(op, loc);
+        let mut db = self.shards[stripe].lock();
         let before = (db.resident_bytes(), db.len() as u64);
         let id = db.insert_from_with_cost(op, loc, input, key, output, origin, recompute_cost);
         let (freed_bytes, freed_entries) = db.drain_freed();
@@ -427,6 +488,7 @@ impl MemoStore for ShardedMemoDb {
             .fetch_add(new_entries as i64, Ordering::Relaxed);
         self.peak_resident
             .fetch_max(self.published().0, Ordering::Relaxed);
+        self.trace_access(op as u8, stripe, id, AccessKind::Insert);
         id
     }
 

@@ -273,6 +273,35 @@ impl JobQueue {
         found
     }
 
+    /// Removes every still-queued entry whose deadline has already passed at
+    /// `now` (the proactive expiry sweep). The caller resolves the returned
+    /// entries' tickets; each freed slot immediately re-admits a blocked
+    /// producer. Entries without a deadline are never swept.
+    pub(crate) fn sweep_expired(&self, now: Instant) -> Vec<QueuedJob> {
+        let mut inner = self.inner.lock().unwrap();
+        if inner.heap.is_empty() {
+            return Vec::new();
+        }
+        // Same rebuild idiom as `remove`: BinaryHeap has no retain-with-take,
+        // and bounded queues keep the O(n) pass irrelevant next to the
+        // seconds-long jobs the entries describe.
+        let entries = std::mem::take(&mut inner.heap).into_vec();
+        let (expired, live): (Vec<_>, Vec<_>) = entries
+            .into_iter()
+            .partition(|q| q.deadline.is_some_and(|at| at <= now));
+        inner.heap = BinaryHeap::from(live);
+        drop(inner);
+        if !expired.is_empty() {
+            self.not_full.notify_all();
+        }
+        expired
+    }
+
+    /// Whether the queue has been closed (drain mode or shutdown).
+    pub(crate) fn is_closed(&self) -> bool {
+        self.inner.lock().unwrap().closed
+    }
+
     /// Closes the queue: no further admissions; workers drain what remains
     /// and then see `None`.
     pub(crate) fn close(&self) {
@@ -439,6 +468,38 @@ mod tests {
             .unwrap();
         assert_eq!(q.pop().unwrap().ticket.token.deadline(), Some(soon));
         assert_eq!(q.pop().unwrap().ticket.token.deadline(), None);
+    }
+
+    #[test]
+    fn sweep_removes_only_expired_deadline_entries() {
+        let q = JobQueue::new(8);
+        let ids = AtomicU64::new(1);
+        let now = Instant::now();
+        let expired_id = q
+            .try_push(
+                &ids,
+                job("expired", Priority::Normal),
+                Arc::new(Ticket::new(CancelToken::with_deadline(now))),
+            )
+            .unwrap();
+        q.try_push(
+            &ids,
+            job("live", Priority::Normal),
+            Arc::new(Ticket::new(CancelToken::with_deadline(
+                now + std::time::Duration::from_secs(3600),
+            ))),
+        )
+        .unwrap();
+        q.try_push(&ids, job("untagged", Priority::Normal), ticket())
+            .unwrap();
+        let swept = q.sweep_expired(Instant::now());
+        assert_eq!(swept.len(), 1);
+        assert_eq!(swept[0].id, expired_id);
+        assert_eq!(swept[0].job.name, "expired");
+        // The survivors keep their order; untagged entries are never swept.
+        assert_eq!(q.pop().unwrap().job.name, "live");
+        assert_eq!(q.pop().unwrap().job.name, "untagged");
+        assert!(q.sweep_expired(Instant::now()).is_empty());
     }
 
     #[test]

@@ -16,10 +16,11 @@ use mlr_memo::{
     ConcurrencyGovernor, EncoderConfig, JobId, MemoDbConfig, MemoStore, ParallelStats,
     ShardedMemoDb, DEFAULT_SHARDS,
 };
+use mlr_telemetry::{CounterId, SignedHistogram, SpanKind, Telemetry, TelemetryConfig};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 /// Runtime configuration.
 #[derive(Debug, Clone, Copy)]
@@ -54,6 +55,28 @@ pub struct RuntimeConfig {
     /// remainder forms the governor's pool of spare cores for chunk-level
     /// threads. Defaults to the machine's available parallelism.
     pub core_budget: usize,
+    /// Unified telemetry: lock-free counters and stage histograms, per-job
+    /// lifecycle spans, and (optionally) the store access trace. Off by
+    /// default — disabled telemetry is a no-op recorder whose call sites
+    /// cost one branch each, so the hot path stays allocation-free and
+    /// timer-free.
+    pub telemetry: bool,
+    /// Capacity of the store access-trace ring (entry id, operator, stripe,
+    /// hit/miss/insert/evict/expire, logical tick). `None` disables the
+    /// trace; it is only honoured when [`RuntimeConfig::telemetry`] is on.
+    /// The trace is attached to the store only when the runtime owns it
+    /// exclusively (always true for [`Runtime::new`]); a pre-shared store
+    /// passed to [`Runtime::with_store`] keeps whatever trace it was built
+    /// with.
+    pub access_trace: Option<usize>,
+    /// Interval of the proactive expiry sweep: a background sweeper walks
+    /// the queue and resolves entries whose deadline already passed as
+    /// [`JobStatus::Expired`] *in place*, instead of letting them ride to
+    /// the queue head and expire at pop. Deep queues thus shed dead work
+    /// (and free their slots for blocked producers) without spending worker
+    /// time on it. `None` disables the sweep; the pop-time check remains as
+    /// a backstop either way.
+    pub expiry_sweep: Option<Duration>,
 }
 
 impl Default for RuntimeConfig {
@@ -79,6 +102,9 @@ impl Default for RuntimeConfig {
             core_budget: std::thread::available_parallelism()
                 .map(|n| n.get())
                 .unwrap_or(1),
+            telemetry: false,
+            access_trace: None,
+            expiry_sweep: Some(Duration::from_millis(10)),
         }
     }
 }
@@ -112,41 +138,31 @@ pub(crate) fn slack_seconds(deadline: Instant, at: Instant) -> f64 {
     }
 }
 
-/// Cap on retained slack samples: the percentiles cover the most recent
-/// `SLACK_SAMPLE_CAP` decided jobs, so a long-lived front-end neither grows
-/// without bound nor stalls workers sorting an ever-larger ledger.
-const SLACK_SAMPLE_CAP: usize = 4096;
-
 /// Deadline bookkeeping behind [`RuntimeStats::deadline`]: decided outcomes
-/// plus a bounded ring of the decided jobs' signed slack samples (for the
-/// percentiles).
+/// plus the decided jobs' signed slack distribution. The distribution lives
+/// in a fixed-bucket [`SignedHistogram`] (microsecond-resolution log₂
+/// buckets), so the ledger is O(1) memory however many jobs are decided and
+/// a stats snapshot never sorts a sample vector — the old bounded-ring +
+/// sort design this replaces.
 #[derive(Default)]
 pub(crate) struct DeadlineLedger {
     pub(crate) submitted: u64,
     pub(crate) met: u64,
     pub(crate) missed: u64,
-    slack_seconds: Vec<f64>,
-    /// Ring cursor once the sample buffer is full.
-    next_slot: usize,
+    pub(crate) slack: SignedHistogram,
 }
 
 impl DeadlineLedger {
     fn push_slack(&mut self, slack_seconds: f64) {
-        if self.slack_seconds.len() < SLACK_SAMPLE_CAP {
-            self.slack_seconds.push(slack_seconds);
-        } else {
-            self.slack_seconds[self.next_slot] = slack_seconds;
-            self.next_slot = (self.next_slot + 1) % SLACK_SAMPLE_CAP;
-        }
-    }
-
-    pub(crate) fn slack_samples(&self) -> &[f64] {
-        &self.slack_seconds
+        self.slack.record_seconds(slack_seconds);
     }
 }
 
 #[derive(Default)]
 pub(crate) struct Counters {
+    /// Recorder shared with the workers and the memo engine; disabled by
+    /// default, so the `note_*` hooks cost one branch each.
+    pub(crate) telemetry: Telemetry,
     pub(crate) submitted: AtomicU64,
     pub(crate) rejected: AtomicU64,
     pub(crate) completed: AtomicU64,
@@ -175,15 +191,25 @@ impl Counters {
 
     pub(crate) fn note_cancelled(&self) {
         self.cancelled.fetch_add(1, Ordering::Relaxed);
+        self.telemetry.count(CounterId::JobsCancelled, 1);
     }
 
     /// An expired job (skipped in the queue or stopped mid-run): counted as
     /// a deadline miss with its (negative) slack sample.
     pub(crate) fn note_expired(&self, late_seconds: f64) {
         self.expired.fetch_add(1, Ordering::Relaxed);
+        self.telemetry.count(CounterId::JobsExpired, 1);
         let mut ledger = self.deadlines.lock().expect("deadline ledger poisoned");
         ledger.missed += 1;
         ledger.push_slack(-late_seconds);
+    }
+
+    /// An expired job resolved in place by the proactive sweep (never even
+    /// popped): a deadline miss like any other expiry, plus the sweep's own
+    /// counter so operators can see how much dead work the sweeper sheds.
+    pub(crate) fn note_swept_expired(&self, late_seconds: f64) {
+        self.note_expired(late_seconds);
+        self.telemetry.count(CounterId::SweptExpired, 1);
     }
 
     /// A completed job that carried a deadline: met when it finished with
@@ -213,6 +239,7 @@ pub struct Runtime {
     counters: Arc<Counters>,
     governor: Arc<ConcurrencyGovernor>,
     workers: Vec<JoinHandle<()>>,
+    sweeper: Option<JoinHandle<()>>,
     worker_count: usize,
     admission_max_pressure: Option<f64>,
     next_job: AtomicU64,
@@ -234,8 +261,28 @@ impl Runtime {
     /// Starts a runtime over an existing (possibly pre-warmed) store.
     pub fn with_store(config: RuntimeConfig, store: Arc<ShardedMemoDb>) -> Self {
         assert!(config.workers > 0, "worker count must be positive");
+        let telemetry = if config.telemetry {
+            Telemetry::with_config(TelemetryConfig {
+                access_trace_capacity: config.access_trace,
+                ..TelemetryConfig::default()
+            })
+        } else {
+            Telemetry::disabled()
+        };
+        // The access trace can only be attached while the store is still
+        // exclusively ours (Runtime::new always is); a pre-shared store
+        // keeps whatever trace it was constructed with.
+        let mut store = store;
+        if let Some(trace) = telemetry.access_trace() {
+            if let Some(db) = Arc::get_mut(&mut store) {
+                db.set_access_trace(trace);
+            }
+        }
         let queue = Arc::new(JobQueue::new(config.queue_capacity));
-        let counters = Arc::new(Counters::default());
+        let counters = Arc::new(Counters {
+            telemetry,
+            ..Counters::default()
+        });
         // Each worker owns one core of the budget; whatever is left over is
         // the governor's pool of spare cores for chunk-level threads.
         let governor = ConcurrencyGovernor::for_pool(config.core_budget, config.workers);
@@ -254,12 +301,21 @@ impl Runtime {
                     .expect("failed to spawn worker thread")
             })
             .collect();
+        let sweeper = config.expiry_sweep.map(|interval| {
+            let queue = Arc::clone(&queue);
+            let counters = Arc::clone(&counters);
+            std::thread::Builder::new()
+                .name("mlr-sweeper".to_string())
+                .spawn(move || sweeper_loop(&queue, &counters, interval))
+                .expect("failed to spawn sweeper thread")
+        });
         Self {
             queue,
             store,
             counters,
             governor,
             workers,
+            sweeper,
             worker_count: config.workers,
             admission_max_pressure: config.admission_max_pressure,
             // Job 0 is reserved for standalone executors.
@@ -271,6 +327,13 @@ impl Runtime {
     /// The shared memo store.
     pub fn store(&self) -> &Arc<ShardedMemoDb> {
         &self.store
+    }
+
+    /// The runtime's telemetry recorder: disabled (a no-op handle) unless
+    /// [`RuntimeConfig::telemetry`] was set. Snapshot it for counters, stage
+    /// histograms, lifecycle spans and the optional store access trace.
+    pub fn telemetry(&self) -> &Telemetry {
+        &self.counters.telemetry
     }
 
     /// The global concurrency governor arbitrating spare cores between the
@@ -343,6 +406,10 @@ impl Runtime {
         match pushed {
             Ok(id) => {
                 self.counters.submitted.fetch_add(1, Ordering::Relaxed);
+                self.counters.telemetry.count(CounterId::JobsAdmitted, 1);
+                self.counters
+                    .telemetry
+                    .span(id, SpanKind::Admitted, u64::from(deadline.is_some()));
                 Ok(JobHandle {
                     id,
                     name,
@@ -392,15 +459,13 @@ impl Runtime {
                 .deadlines
                 .lock()
                 .expect("deadline ledger poisoned");
-            let mut slack = ledger.slack_samples().to_vec();
-            slack.sort_by(f64::total_cmp);
             DeadlineStats {
                 submitted: ledger.submitted,
                 met: ledger.met,
                 missed: ledger.missed,
-                slack_p50_seconds: percentile(&slack, 0.50),
-                slack_p90_seconds: percentile(&slack, 0.90),
-                slack_p99_seconds: percentile(&slack, 0.99),
+                slack_p50_seconds: ledger.slack.percentile_seconds(0.50),
+                slack_p90_seconds: ledger.slack.percentile_seconds(0.90),
+                slack_p99_seconds: ledger.slack.percentile_seconds(0.99),
             }
         };
         RuntimeStats {
@@ -451,6 +516,9 @@ impl Runtime {
         for w in self.workers.drain(..) {
             let _ = w.join();
         }
+        if let Some(s) = self.sweeper.take() {
+            let _ = s.join();
+        }
         self.stats()
     }
 }
@@ -461,16 +529,10 @@ impl Drop for Runtime {
         for w in self.workers.drain(..) {
             let _ = w.join();
         }
+        if let Some(s) = self.sweeper.take() {
+            let _ = s.join();
+        }
     }
-}
-
-/// Nearest-rank percentile over an ascending-sorted slice (0 when empty).
-fn percentile(sorted: &[f64], p: f64) -> f64 {
-    if sorted.is_empty() {
-        return 0.0;
-    }
-    let at = (p * (sorted.len() - 1) as f64).round() as usize;
-    sorted[at.min(sorted.len() - 1)]
 }
 
 fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
@@ -505,6 +567,7 @@ fn worker_loop(
         // a submitter-cancelled job must not inflate the deadline-miss rate.
         if ticket.token.is_cancelled() {
             counters.note_cancelled();
+            counters.telemetry.span(id, SpanKind::Cancelled, 0);
             ticket.resolve(JobStatus::Cancelled {
                 while_running: false,
                 completed_iterations: 0,
@@ -518,6 +581,7 @@ fn worker_loop(
             if now >= at {
                 let late = -slack_seconds(at, now);
                 counters.note_expired(late);
+                counters.telemetry.span(id, SpanKind::Expired, 0);
                 ticket.resolve(JobStatus::Expired {
                     while_running: false,
                     late_seconds: late,
@@ -528,6 +592,7 @@ fn worker_loop(
         }
 
         ticket.set_running();
+        counters.telemetry.span(id, SpanKind::Running, 0);
         let queue_ns = enqueued.elapsed().as_nanos() as u64;
         let token = ticket.token.clone();
         let start = Instant::now();
@@ -564,19 +629,84 @@ fn worker_loop(
             },
         };
         match &status {
-            JobStatus::Completed(_) => {
+            JobStatus::Completed(report) => {
                 counters.completed.fetch_add(1, Ordering::Relaxed);
+                counters.telemetry.count(CounterId::JobsCompleted, 1);
+                counters
+                    .telemetry
+                    .span(id, SpanKind::Completed, report.loss.len() as u64);
                 if let Some(at) = deadline {
                     counters.note_deadline_outcome(slack_seconds(at, Instant::now()));
                 }
             }
             JobStatus::Failed { .. } => {
                 counters.failed.fetch_add(1, Ordering::Relaxed);
+                counters.telemetry.count(CounterId::JobsFailed, 1);
+                counters.telemetry.span(id, SpanKind::Failed, 0);
             }
-            JobStatus::Cancelled { .. } => counters.note_cancelled(),
-            JobStatus::Expired { late_seconds, .. } => counters.note_expired(*late_seconds),
+            JobStatus::Cancelled {
+                completed_iterations,
+                ..
+            } => {
+                counters.note_cancelled();
+                counters
+                    .telemetry
+                    .span(id, SpanKind::Cancelled, *completed_iterations as u64);
+            }
+            JobStatus::Expired {
+                late_seconds,
+                completed_iterations,
+                ..
+            } => {
+                counters.note_expired(*late_seconds);
+                counters
+                    .telemetry
+                    .span(id, SpanKind::Expired, *completed_iterations as u64);
+            }
         }
         ticket.resolve(status);
+    }
+}
+
+/// The proactive expiry sweep: every `interval`, entries whose deadline has
+/// already passed are taken out of the queue and resolved
+/// [`JobStatus::Expired`] on the spot — identical status and ledger
+/// bookkeeping to the pop-time check, just earlier, so deep queues shed
+/// dead work (and free slots for blocked producers) without a worker ever
+/// touching it. Exits as soon as the queue closes; entries that expire
+/// during drain are still caught by the pop-time backstop.
+fn sweeper_loop(queue: &JobQueue, counters: &Counters, interval: Duration) {
+    while !queue.is_closed() {
+        let now = Instant::now();
+        for q in queue.sweep_expired(now) {
+            // Cancellation wins over expiry, exactly as at pop: a
+            // submitter-cancelled entry swept in the race window between
+            // its token tripping and its queue removal must not inflate
+            // the deadline-miss rate.
+            if q.ticket.token.is_cancelled() {
+                counters.note_cancelled();
+                counters.telemetry.span(q.id, SpanKind::Cancelled, 0);
+                q.ticket.resolve(JobStatus::Cancelled {
+                    while_running: false,
+                    completed_iterations: 0,
+                });
+                continue;
+            }
+            let at = q
+                .ticket
+                .token
+                .deadline()
+                .expect("swept entries carry a deadline");
+            let late = (-slack_seconds(at, Instant::now())).max(0.0);
+            counters.note_swept_expired(late);
+            counters.telemetry.span(q.id, SpanKind::Swept, 0);
+            q.ticket.resolve(JobStatus::Expired {
+                while_running: false,
+                late_seconds: late,
+                completed_iterations: 0,
+            });
+        }
+        std::thread::sleep(interval);
     }
 }
 
@@ -599,8 +729,13 @@ fn run_job(
     config.intra_job_threads = config.intra_job_threads.max(intra_job_threads);
     let pipeline = MlrPipeline::new(config);
     let shared: Arc<dyn MemoStore> = Arc::clone(store) as Arc<dyn MemoStore>;
-    let (result, executor) =
-        pipeline.run_memoized_serving(shared, id, Some(Arc::clone(governor)), &token);
+    let (result, executor) = pipeline.run_memoized_observed(
+        shared,
+        id,
+        Some(Arc::clone(governor)),
+        &token,
+        counters.telemetry.clone(),
+    );
     let busy_ns = start.elapsed().as_nanos() as u64;
 
     let stats = executor.stats();
@@ -859,19 +994,34 @@ mod tests {
     }
 
     #[test]
-    fn slack_ledger_is_bounded_and_keeps_the_newest_samples() {
+    fn slack_ledger_is_bounded_and_tracks_percentiles() {
+        // The ledger's memory is a fixed pair of histograms, however many
+        // jobs are decided — no sample vector to cap or sort.
+        assert!(std::mem::size_of::<DeadlineLedger>() < 2048);
         let c = Counters::default();
-        for i in 0..(SLACK_SAMPLE_CAP + 100) {
+        for i in 0..10_000 {
             c.note_deadline_outcome(i as f64);
         }
+        c.note_expired(50.0);
         let ledger = c.deadlines.lock().unwrap();
-        assert_eq!(ledger.slack_samples().len(), SLACK_SAMPLE_CAP);
-        // Outcome counters keep the full history even though the sample
-        // ring is bounded.
-        assert_eq!(ledger.met, (SLACK_SAMPLE_CAP + 100) as u64);
-        // The newest sample overwrote an old slot rather than being dropped.
-        let newest = (SLACK_SAMPLE_CAP + 99) as f64;
-        assert!(ledger.slack_samples().contains(&newest));
+        // Outcome counters keep the full history; so does the histogram's
+        // sample count.
+        assert_eq!(ledger.met, 10_000);
+        assert_eq!(ledger.missed, 1);
+        assert_eq!(ledger.slack.count(), 10_001);
+        // Percentiles are monotone and live within the sampled range; the
+        // bucket representative is a lower bound, so p99 of samples up to
+        // ~10_000 s cannot exceed the largest sample.
+        let p50 = ledger.slack.percentile_seconds(0.50);
+        let p90 = ledger.slack.percentile_seconds(0.90);
+        let p99 = ledger.slack.percentile_seconds(0.99);
+        assert!(p50 <= p90 && p90 <= p99);
+        assert!(p50 > 0.0 && p99 < 10_000.0);
+        // The expiry landed as a negative sample: the distribution's floor
+        // is negative (bucket representatives are magnitude lower bounds,
+        // so it sits in (-50, 0)).
+        let floor = ledger.slack.percentile_seconds(0.0);
+        assert!(floor < 0.0 && floor > -50.0);
     }
 
     #[test]

@@ -139,6 +139,12 @@ impl ServeFront {
         &self.runtime
     }
 
+    /// The runtime's telemetry recorder (disabled unless
+    /// [`RuntimeConfig::telemetry`] was set).
+    pub fn telemetry(&self) -> &mlr_telemetry::Telemetry {
+        self.runtime.telemetry()
+    }
+
     /// Non-blocking submission with admission control; the request's
     /// deadline (if any) starts counting now.
     pub fn submit(&self, request: ServeRequest) -> Result<JobHandle, AdmissionError> {

@@ -1,0 +1,207 @@
+//! The `Telemetry` handle: a cloneable recorder that is a compile-time
+//! no-op when disabled.
+//!
+//! `Telemetry` is an `Option<Arc<_>>` under the hood. Every recording
+//! method is `#[inline]` and starts with the `None` check, so the disabled
+//! form compiles down to a single predictable branch on a register — no
+//! atomics, no locks, no `Instant::now()`. The hot path additionally gates
+//! its stage timers on [`Telemetry::is_enabled`] captured once per batch,
+//! so disabled mode takes zero clock reads per chunk. The `fig23`
+//! observability bench holds this to ≤5 % overhead empirically.
+
+use crate::export::TelemetrySnapshot;
+use crate::metrics::{CounterId, CounterTable, MetricsRegistry, StageTable};
+use crate::span::{SpanJournal, SpanKind};
+use crate::trace::AccessTrace;
+use std::sync::Arc;
+
+/// Construction parameters for an enabled [`Telemetry`].
+#[derive(Clone, Copy, Debug)]
+pub struct TelemetryConfig {
+    /// Span journal ring capacity (records).
+    pub span_capacity: usize,
+    /// Whether spans carry wall-clock timestamps in addition to logical
+    /// ticks.
+    pub wall_clock: bool,
+    /// Whether to record the store access trace, and with what ring
+    /// capacity. `None` disables the trace (the default — it is the one
+    /// recorder with per-store-access cost).
+    pub access_trace_capacity: Option<usize>,
+}
+
+impl Default for TelemetryConfig {
+    fn default() -> Self {
+        Self {
+            span_capacity: 8192,
+            wall_clock: true,
+            access_trace_capacity: None,
+        }
+    }
+}
+
+struct TelemetryInner {
+    metrics: MetricsRegistry,
+    spans: SpanJournal,
+    trace: Option<Arc<AccessTrace>>,
+}
+
+/// Cloneable recorder handle threaded through runtime, memo engine, solver
+/// and operators. Disabled (`Telemetry::disabled()`, also the `Default`)
+/// it records nothing and costs one branch per call site.
+#[derive(Clone, Default)]
+pub struct Telemetry {
+    inner: Option<Arc<TelemetryInner>>,
+}
+
+impl Telemetry {
+    /// The no-op recorder. All recording methods return immediately.
+    pub fn disabled() -> Self {
+        Self { inner: None }
+    }
+
+    /// An enabled recorder with default configuration.
+    pub fn enabled() -> Self {
+        Self::with_config(TelemetryConfig::default())
+    }
+
+    /// An enabled recorder with explicit configuration.
+    pub fn with_config(config: TelemetryConfig) -> Self {
+        let mut spans = SpanJournal::new(config.span_capacity);
+        if config.wall_clock {
+            spans = spans.with_wall_clock();
+        }
+        Self {
+            inner: Some(Arc::new(TelemetryInner {
+                metrics: MetricsRegistry::new(),
+                spans,
+                trace: config
+                    .access_trace_capacity
+                    .map(|capacity| Arc::new(AccessTrace::new(capacity))),
+            })),
+        }
+    }
+
+    /// Whether this handle records anything. Hot paths capture this once
+    /// per batch and skip their stage clocks entirely when `false`.
+    #[inline]
+    pub fn is_enabled(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    /// Adds `n` to one counter.
+    #[inline]
+    pub fn count(&self, id: CounterId, n: u64) {
+        if let Some(inner) = &self.inner {
+            inner.metrics.add(id, n);
+        }
+    }
+
+    /// Folds a per-thread counter scratch table into the registry.
+    #[inline]
+    pub fn fold_counters(&self, scratch: &CounterTable) {
+        if let Some(inner) = &self.inner {
+            inner.metrics.fold_counters(scratch);
+        }
+    }
+
+    /// Folds per-thread stage-timer scratch into the registry.
+    #[inline]
+    pub fn fold_stages(&self, scratch: &StageTable) {
+        if let Some(inner) = &self.inner {
+            inner.metrics.fold_stages(scratch);
+        }
+    }
+
+    /// Records one lifecycle span.
+    #[inline]
+    pub fn span(&self, job: u64, kind: SpanKind, arg: u64) {
+        if let Some(inner) = &self.inner {
+            inner.spans.record(job, kind, arg);
+        }
+    }
+
+    /// The live metrics registry, when enabled.
+    pub fn metrics(&self) -> Option<&MetricsRegistry> {
+        self.inner.as_ref().map(|inner| &inner.metrics)
+    }
+
+    /// The span journal, when enabled.
+    pub fn spans(&self) -> Option<&SpanJournal> {
+        self.inner.as_ref().map(|inner| &inner.spans)
+    }
+
+    /// The store access trace, when enabled *and* configured. The store
+    /// holds a clone of this `Arc` and records into it from its
+    /// ordered-commit paths.
+    pub fn access_trace(&self) -> Option<Arc<AccessTrace>> {
+        self.inner.as_ref().and_then(|inner| inner.trace.clone())
+    }
+
+    /// A complete copy of everything recorded so far; `None` when disabled.
+    pub fn snapshot(&self) -> Option<TelemetrySnapshot> {
+        let inner = self.inner.as_ref()?;
+        let trace = inner.trace.as_deref();
+        Some(TelemetrySnapshot {
+            metrics: inner.metrics.snapshot(),
+            spans: inner.spans.snapshot(),
+            spans_dropped: inner.spans.dropped(),
+            accesses: trace.map(|t| t.snapshot()).unwrap_or_default(),
+            accesses_dropped: trace.map(|t| t.dropped()).unwrap_or(0),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::StageId;
+
+    #[test]
+    fn disabled_records_nothing_and_snapshots_none() {
+        let telemetry = Telemetry::disabled();
+        assert!(!telemetry.is_enabled());
+        telemetry.count(CounterId::JobsAdmitted, 5);
+        telemetry.span(1, SpanKind::Admitted, 0);
+        let mut stages = StageTable::new();
+        stages.record(StageId::Encode, 100);
+        telemetry.fold_stages(&stages);
+        assert!(telemetry.snapshot().is_none());
+        assert!(telemetry.metrics().is_none());
+        assert!(telemetry.spans().is_none());
+        assert!(telemetry.access_trace().is_none());
+    }
+
+    #[test]
+    fn enabled_round_trips_through_snapshot() {
+        let telemetry = Telemetry::with_config(TelemetryConfig {
+            span_capacity: 16,
+            wall_clock: false,
+            access_trace_capacity: Some(8),
+        });
+        telemetry.count(CounterId::JobsAdmitted, 1);
+        telemetry.span(3, SpanKind::Admitted, 0);
+        telemetry.span(3, SpanKind::Completed, 0);
+        let trace = telemetry.access_trace().expect("trace configured");
+        trace.record(crate::trace::AccessRecord {
+            entry: 1,
+            op: 0,
+            stripe: 0,
+            kind: crate::trace::AccessKind::Insert,
+            tick: 1,
+        });
+        let snap = telemetry.snapshot().expect("enabled");
+        assert_eq!(snap.metrics.counter(CounterId::JobsAdmitted), 1);
+        assert_eq!(snap.spans.len(), 2);
+        assert_eq!(snap.accesses.len(), 1);
+        assert!(snap.to_json().contains("\"jobs_admitted\": 1"));
+    }
+
+    #[test]
+    fn clones_share_one_registry() {
+        let telemetry = Telemetry::enabled();
+        let clone = telemetry.clone();
+        clone.count(CounterId::JobsCompleted, 2);
+        let snap = telemetry.snapshot().expect("enabled");
+        assert_eq!(snap.metrics.counter(CounterId::JobsCompleted), 2);
+    }
+}

@@ -1,0 +1,228 @@
+//! Per-job lifecycle spans in a bounded ring-buffer journal.
+//!
+//! Every record carries a **logical tick** — a monotone sequence number
+//! drawn from one atomic — so span *ordering* is deterministic wherever the
+//! emitting code path is sequential (per-job iteration and operator spans
+//! are emitted from the ordered-commit path, which runs on one thread in
+//! chunk-index order regardless of the worker count). Wall-clock timestamps
+//! are optional and additive: they never influence ordering, so enabling
+//! them cannot perturb the bit-identity contracts.
+//!
+//! The ring is bounded: when full, the oldest record is overwritten and a
+//! drop counter increments. Memory use is `capacity × 40 bytes`, fixed at
+//! construction.
+
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+/// What a span record marks in a job's lifecycle.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SpanKind {
+    /// Job admitted into the queue (`arg` = queue length after admit).
+    Admitted,
+    /// Worker picked the job up and started executing it.
+    Running,
+    /// An outer ADMM iteration began (`arg` = iteration index).
+    Iteration,
+    /// An operator batch committed (`arg` = chunks in the batch).
+    Operator,
+    /// Job ran every configured iteration.
+    Completed,
+    /// Job cancelled (`arg` = 1 when it was mid-run).
+    Cancelled,
+    /// Job deadline expired (`arg` = 1 when it was mid-run).
+    Expired,
+    /// Job panicked while running.
+    Failed,
+    /// Job resolved `Expired` by the proactive queue sweep.
+    Swept,
+}
+
+impl SpanKind {
+    /// Stable snake_case name for exports.
+    pub fn name(self) -> &'static str {
+        match self {
+            SpanKind::Admitted => "admitted",
+            SpanKind::Running => "running",
+            SpanKind::Iteration => "iteration",
+            SpanKind::Operator => "operator",
+            SpanKind::Completed => "completed",
+            SpanKind::Cancelled => "cancelled",
+            SpanKind::Expired => "expired",
+            SpanKind::Failed => "failed",
+            SpanKind::Swept => "swept",
+        }
+    }
+
+    /// Whether this kind terminates a job's lifecycle.
+    pub fn is_terminal(self) -> bool {
+        matches!(
+            self,
+            SpanKind::Completed
+                | SpanKind::Cancelled
+                | SpanKind::Expired
+                | SpanKind::Failed
+                | SpanKind::Swept
+        )
+    }
+}
+
+/// One lifecycle event. `Copy`, fixed 40 bytes.
+#[derive(Clone, Copy, Debug)]
+pub struct SpanRecord {
+    /// The job this event belongs to.
+    pub job: u64,
+    /// What happened.
+    pub kind: SpanKind,
+    /// Kind-specific argument (iteration index, batch chunk count, …).
+    pub arg: u64,
+    /// Logical tick: globally monotone, deterministic in sequential
+    /// emission order.
+    pub tick: u64,
+    /// Nanoseconds since the journal's wall-clock epoch; `0` when wall
+    /// timers are disabled.
+    pub wall_ns: u64,
+}
+
+struct Ring {
+    slots: Vec<SpanRecord>,
+    /// Index of the oldest record when the ring is full; write cursor
+    /// otherwise.
+    head: usize,
+    len: usize,
+}
+
+/// Bounded ring-buffer journal of [`SpanRecord`]s.
+pub struct SpanJournal {
+    capacity: usize,
+    tick: AtomicU64,
+    dropped: AtomicU64,
+    epoch: Option<Instant>,
+    ring: Mutex<Ring>,
+}
+
+impl SpanJournal {
+    /// A journal holding at most `capacity` records (minimum 1), without
+    /// wall-clock timers.
+    pub fn new(capacity: usize) -> Self {
+        let capacity = capacity.max(1);
+        Self {
+            capacity,
+            tick: AtomicU64::new(0),
+            dropped: AtomicU64::new(0),
+            epoch: None,
+            ring: Mutex::new(Ring {
+                slots: Vec::with_capacity(capacity),
+                head: 0,
+                len: 0,
+            }),
+        }
+    }
+
+    /// Enables wall-clock timestamps, measured from this call.
+    pub fn with_wall_clock(mut self) -> Self {
+        self.epoch = Some(Instant::now());
+        self
+    }
+
+    /// Maximum number of retained records.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Current number of retained records (never exceeds capacity).
+    pub fn len(&self) -> usize {
+        self.ring.lock().len
+    }
+
+    /// Whether the journal holds no records.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Records overwritten because the ring was full.
+    pub fn dropped(&self) -> u64 {
+        self.dropped.load(Ordering::Relaxed)
+    }
+
+    /// Appends one record, overwriting the oldest when full. Allocation-free
+    /// after the ring's one-time preallocation.
+    pub fn record(&self, job: u64, kind: SpanKind, arg: u64) {
+        let tick = self.tick.fetch_add(1, Ordering::Relaxed);
+        let wall_ns = match self.epoch {
+            Some(epoch) => epoch.elapsed().as_nanos() as u64,
+            None => 0,
+        };
+        let record = SpanRecord {
+            job,
+            kind,
+            arg,
+            tick,
+            wall_ns,
+        };
+        let mut ring = self.ring.lock();
+        if ring.len < self.capacity {
+            ring.slots.push(record);
+            ring.len += 1;
+        } else {
+            let head = ring.head;
+            ring.slots[head] = record;
+            ring.head = (head + 1) % self.capacity;
+            self.dropped.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Copies the retained records out, oldest first.
+    pub fn snapshot(&self) -> Vec<SpanRecord> {
+        let ring = self.ring.lock();
+        let mut out = Vec::with_capacity(ring.len);
+        for i in 0..ring.len {
+            out.push(ring.slots[(ring.head + i) % ring.len.max(1)]);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ring_is_bounded_and_keeps_the_newest() {
+        let journal = SpanJournal::new(4);
+        for i in 0..10u64 {
+            journal.record(i, SpanKind::Iteration, i);
+        }
+        assert_eq!(journal.len(), 4);
+        assert_eq!(journal.dropped(), 6);
+        let records = journal.snapshot();
+        assert_eq!(records.len(), 4);
+        let jobs: Vec<u64> = records.iter().map(|r| r.job).collect();
+        assert_eq!(jobs, vec![6, 7, 8, 9], "oldest overwritten first");
+        // Ticks are monotone in snapshot order.
+        assert!(records.windows(2).all(|w| w[0].tick < w[1].tick));
+    }
+
+    #[test]
+    fn ticks_are_dense_from_zero_without_wall_clock() {
+        let journal = SpanJournal::new(16);
+        journal.record(1, SpanKind::Admitted, 0);
+        journal.record(1, SpanKind::Running, 0);
+        journal.record(1, SpanKind::Completed, 0);
+        let records = journal.snapshot();
+        let ticks: Vec<u64> = records.iter().map(|r| r.tick).collect();
+        assert_eq!(ticks, vec![0, 1, 2]);
+        assert!(records.iter().all(|r| r.wall_ns == 0));
+    }
+
+    #[test]
+    fn wall_clock_is_monotone_when_enabled() {
+        let journal = SpanJournal::new(16).with_wall_clock();
+        journal.record(1, SpanKind::Admitted, 0);
+        std::thread::sleep(std::time::Duration::from_millis(1));
+        journal.record(1, SpanKind::Completed, 0);
+        let records = journal.snapshot();
+        assert!(records[1].wall_ns > records[0].wall_ns);
+    }
+}

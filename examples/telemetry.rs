@@ -1,0 +1,148 @@
+//! Observability: unified counters, stage timers, lifecycle spans and the
+//! store access trace over a telemetry-enabled serving front-end.
+//!
+//! The front-end runs a small multi-tenant workload (bulk jobs plus a
+//! deadline-tagged preview), then drains everything the telemetry stack
+//! recorded: job/chunk counters, per-stage hit-path latency percentiles
+//! from the log₂ histograms, the tail of the span journal, a slice of the
+//! store access trace, and the JSON / Chrome-trace exports.
+//!
+//! ```bash
+//! cargo run --release --example telemetry
+//! ```
+
+use mlr_core::MlrConfig;
+use mlr_runtime::{Deadline, Priority, RuntimeConfig, ServeFront, ServeRequest};
+use mlr_telemetry::{CounterId, StageId, COUNTER_NAMES, STAGE_NAMES};
+use std::time::Duration;
+
+fn main() {
+    let config = MlrConfig::quick(16, 8).with_iterations(6);
+    let front = ServeFront::new(RuntimeConfig {
+        workers: 2,
+        queue_capacity: 8,
+        // Turn the recorder on. Disabled (the default) every instrument in
+        // the stack compiles down to one predictable branch.
+        telemetry: true,
+        // Opt into the store access trace as well (the one recorder with
+        // per-store-access cost), keeping the last 4096 accesses.
+        access_trace: Some(4096),
+        ..RuntimeConfig::matching(&config)
+    });
+
+    println!("running 4 jobs through a telemetry-enabled 2-worker front-end ...\n");
+
+    let handles: Vec<_> = (0..3)
+        .map(|i| {
+            front
+                .submit(
+                    ServeRequest::new(format!("bulk-{i}"), config).with_priority(Priority::Batch),
+                )
+                .expect("queue has room for the demo")
+        })
+        .collect();
+    let preview = front
+        .submit(
+            ServeRequest::new("preview", config)
+                .with_priority(Priority::Interactive)
+                .with_deadline(Deadline::within(Duration::from_secs(120))),
+        )
+        .expect("queue has room for the demo");
+
+    for handle in handles.iter().chain([&preview]) {
+        let status = handle
+            .wait_timeout(Duration::from_secs(600))
+            .expect("all jobs resolve well within the demo budget");
+        println!("job {:<2} {:<9} → {status}", handle.id(), handle.name());
+    }
+
+    // Everything recorded so far, in one self-contained copy. The handle
+    // stays live after shutdown, so snapshots can also be taken mid-flight.
+    let snapshot = front
+        .telemetry()
+        .snapshot()
+        .expect("telemetry was enabled in the RuntimeConfig");
+    front.shutdown();
+
+    println!("\n== counters ==");
+    for (name, value) in COUNTER_NAMES.iter().zip(snapshot.metrics.counters) {
+        println!("{name:<20} {value}");
+    }
+
+    println!("\n== hit-path stage timers (ns per chunk, log2-bucket floors) ==");
+    println!(
+        "{:<14} {:>8} {:>10} {:>10} {:>10}",
+        "stage", "count", "p50", "p90", "p99"
+    );
+    for (i, name) in STAGE_NAMES.iter().enumerate() {
+        let stage = &snapshot.metrics.stages[i];
+        if stage.count == 0 {
+            continue;
+        }
+        println!(
+            "{:<14} {:>8} {:>10} {:>10} {:>10}",
+            name,
+            stage.count,
+            stage.percentile(0.50),
+            stage.percentile(0.90),
+            stage.percentile(0.99),
+        );
+    }
+    let hits = snapshot.metrics.counter(CounterId::CacheHitChunks)
+        + snapshot.metrics.counter(CounterId::DbHitChunks);
+    let committed = snapshot.metrics.counter(CounterId::ChunksCommitted).max(1);
+    println!(
+        "\nhit rate: {:.1} % of {} committed chunks; encode p50 {} ns vs miss-FFT p50 {} ns",
+        100.0 * hits as f64 / committed as f64,
+        committed,
+        snapshot.metrics.stage(StageId::Encode).percentile(0.50),
+        snapshot.metrics.stage(StageId::MissFft).percentile(0.50),
+    );
+
+    println!(
+        "\n== span journal (last 8 of {}, {} dropped by the ring) ==",
+        snapshot.spans.len(),
+        snapshot.spans_dropped
+    );
+    for span in snapshot.spans.iter().rev().take(8).rev() {
+        println!(
+            "tick {:>5}  job {:<2} {:<10} arg={}",
+            span.tick,
+            span.job,
+            span.kind.name(),
+            span.arg
+        );
+    }
+
+    println!(
+        "\n== store access trace (last 4 of {}, {} dropped) ==",
+        snapshot.accesses.len(),
+        snapshot.accesses_dropped
+    );
+    for access in snapshot.accesses.iter().rev().take(4).rev() {
+        println!(
+            "store tick {:>6}  {:<7} entry {:<5} stripe {}",
+            access.tick,
+            access.kind.name(),
+            access.entry,
+            access.stripe
+        );
+    }
+
+    // The whole snapshot exports as one JSON document, and the span journal
+    // additionally as Chrome trace-event format — load it in Perfetto or
+    // chrome://tracing to see per-job tracks.
+    let json = snapshot.to_json();
+    let trace = snapshot.to_chrome_trace();
+    println!("\n== exports ==");
+    println!(
+        "snapshot JSON   : {} bytes, starts {:?}",
+        json.len(),
+        &json[..32]
+    );
+    println!(
+        "chrome trace    : {} bytes, starts {:?}",
+        trace.len(),
+        &trace[..32]
+    );
+}

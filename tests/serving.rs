@@ -231,6 +231,71 @@ fn handles_are_tickets_not_one_shot_channels() {
 }
 
 #[test]
+fn proactive_sweep_expires_queued_jobs_without_a_worker() {
+    // One worker held by a long blocker; the victim's deadline passes while
+    // it is still queued. With the proactive sweep on, the victim must
+    // resolve `Expired` *while the blocker is still running* — no worker
+    // ever touches it — and the sweep is visible in the `swept_expired`
+    // telemetry counter.
+    let front = ServeFront::new(RuntimeConfig {
+        workers: 1,
+        queue_capacity: 4,
+        telemetry: true,
+        expiry_sweep: Some(Duration::from_millis(2)),
+        ..RuntimeConfig::matching(&tiny_config())
+    });
+    let blocker = front
+        .submit(ServeRequest::new("blocker", blocker_config()))
+        .unwrap();
+    spin_until("blocker to start running", || {
+        blocker.phase() == JobPhase::Running
+    });
+    let victim = front
+        .submit(
+            ServeRequest::new("victim", tiny_config())
+                .with_deadline(Deadline::within(Duration::from_millis(20))),
+        )
+        .unwrap();
+    // Resolved in place by the sweeper: the worker is demonstrably still
+    // busy with the blocker when the victim's ticket settles.
+    spin_until("sweeper to expire the victim", || {
+        victim.phase() == JobPhase::Done
+    });
+    assert_eq!(
+        blocker.phase(),
+        JobPhase::Running,
+        "victim must be swept while the worker is still held"
+    );
+    match victim.wait() {
+        JobStatus::Expired {
+            while_running,
+            late_seconds,
+            completed_iterations,
+        } => {
+            assert!(!while_running, "swept job must never run");
+            assert!(late_seconds >= 0.0);
+            assert_eq!(completed_iterations, 0);
+        }
+        other => panic!("expected Expired, got {other:?}"),
+    }
+    let snapshot = front.telemetry().snapshot().expect("telemetry is enabled");
+    assert_eq!(
+        snapshot
+            .metrics
+            .counter(mlr_telemetry::CounterId::SweptExpired),
+        1,
+        "the sweep (not the pop-time backstop) must have resolved the victim"
+    );
+    assert!(blocker.wait().is_completed());
+    let stats = front.shutdown();
+    assert_eq!(stats.expired, 1);
+    assert_eq!(stats.completed, 1);
+    assert_eq!(stats.deadline.submitted, 1);
+    assert_eq!(stats.deadline.missed, 1);
+    assert!(stats.deadline.slack_p50_seconds <= 0.0);
+}
+
+#[test]
 fn mixed_priorities_and_deadlines_resolve_deterministically() {
     // One worker held by a blocker; behind it, a mix of priorities where
     // the top-priority entry is already expired and a mid-priority entry is

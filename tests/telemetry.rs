@@ -1,0 +1,197 @@
+//! Invariant tests for the unified telemetry stack (`mlr-telemetry`) and
+//! its integration with the memo engine:
+//!
+//! * the span journal is a bounded ring even under multi-threaded stress;
+//! * log₂-histogram percentiles track a sorted-reference nearest-rank
+//!   percentile within bucket resolution, and never exceed any recorded
+//!   sample;
+//! * a disabled recorder records nothing anywhere (counters, stages, spans,
+//!   snapshot);
+//! * span sequences are keyed by *logical* ticks, so the executor emits an
+//!   identical span stream whatever the intra-job thread count — the same
+//!   determinism contract the reconstruction itself honours.
+
+use mlr_lamino::{ChunkRequest, FftExecutor, FftOpKind};
+use mlr_math::rng::seeded;
+use mlr_math::Complex64;
+use mlr_memo::{EncoderConfig, MemoConfig, MemoizedExecutor};
+use mlr_telemetry::{
+    CounterId, CounterTable, Histogram, SpanJournal, SpanKind, StageId, StageTable, Telemetry,
+};
+use rand::Rng;
+use std::sync::Arc;
+
+#[test]
+fn span_journal_stays_bounded_under_concurrent_stress() {
+    const CAPACITY: usize = 256;
+    const THREADS: u64 = 8;
+    const PER_THREAD: u64 = 5_000;
+    let journal = Arc::new(SpanJournal::new(CAPACITY));
+    let workers: Vec<_> = (0..THREADS)
+        .map(|t| {
+            let journal = Arc::clone(&journal);
+            std::thread::spawn(move || {
+                for i in 0..PER_THREAD {
+                    journal.record(t, SpanKind::Iteration, i);
+                }
+            })
+        })
+        .collect();
+    for w in workers {
+        w.join().unwrap();
+    }
+    assert_eq!(journal.len(), CAPACITY);
+    assert_eq!(journal.dropped(), THREADS * PER_THREAD - CAPACITY as u64);
+    let spans = journal.snapshot();
+    assert_eq!(spans.len(), CAPACITY);
+    // Ticks are unique (one fetch_add per record) and the ring keeps a
+    // strictly ordered suffix of the stream.
+    for pair in spans.windows(2) {
+        assert!(pair[0].tick < pair[1].tick, "ring must stay oldest-first");
+    }
+    assert_eq!(spans.last().unwrap().tick, THREADS * PER_THREAD - 1);
+}
+
+#[test]
+fn histogram_percentiles_track_a_sorted_reference() {
+    // Deterministic heavy-tailed samples: the interesting regime for a
+    // log2-bucket histogram.
+    let mut rng = seeded(0x7E1E);
+    let samples: Vec<u64> = (0..4096)
+        .map(|_| {
+            let magnitude = rng.gen_range(0..28u32);
+            rng.gen_range(0..2u64.pow(magnitude))
+        })
+        .collect();
+    let mut hist = Histogram::new();
+    for &s in &samples {
+        hist.record(s);
+    }
+    let mut sorted = samples.clone();
+    sorted.sort_unstable();
+    for p in [0.0, 0.10, 0.50, 0.90, 0.99, 1.0] {
+        let reference = sorted[((p * (sorted.len() - 1) as f64).round() as usize).min(4095)];
+        let estimate = hist.percentile(p);
+        // The estimate is the lower bound of the bucket holding the
+        // reference rank: never above the reference, never below half of
+        // it (one power of two), and never above the global maximum.
+        assert!(
+            estimate <= reference,
+            "p{p}: estimate {estimate} above reference {reference}"
+        );
+        assert!(
+            reference == 0 || estimate * 2 > reference,
+            "p{p}: estimate {estimate} more than a bucket below reference {reference}"
+        );
+        assert!(estimate <= *sorted.last().unwrap());
+    }
+    assert_eq!(hist.count, 4096);
+    assert_eq!(hist.sum, samples.iter().sum::<u64>());
+}
+
+#[test]
+fn disabled_recorder_records_nothing() {
+    let telemetry = Telemetry::disabled();
+    assert!(!telemetry.is_enabled());
+    telemetry.count(CounterId::JobsAdmitted, 5);
+    let mut counters = CounterTable::new();
+    counters.add(CounterId::ChunksCommitted, 9);
+    telemetry.fold_counters(&counters);
+    let mut stages = StageTable::new();
+    stages.record(StageId::Encode, 1234);
+    telemetry.fold_stages(&stages);
+    telemetry.span(1, SpanKind::Admitted, 0);
+    assert!(telemetry.metrics().is_none());
+    assert!(telemetry.spans().is_none());
+    assert!(telemetry.access_trace().is_none());
+    assert!(telemetry.snapshot().is_none());
+}
+
+fn encoder() -> EncoderConfig {
+    EncoderConfig {
+        input_grid: 8,
+        conv1_filters: 2,
+        conv2_filters: 4,
+        embedding_dim: 16,
+        learning_rate: 1e-3,
+    }
+}
+
+fn chunk(loc: usize, n: usize) -> Vec<Complex64> {
+    let mut rng = seeded(0x5EA1 ^ loc as u64);
+    (0..n)
+        .map(|_| Complex64::new(rng.gen::<f64>() - 0.5, rng.gen::<f64>() - 0.5))
+        .collect()
+}
+
+/// Runs a fixed three-iteration batch schedule through a telemetry-enabled
+/// executor at the given intra-job thread count and returns the observed
+/// span stream as `(kind, arg, tick)` triples plus the counter snapshot.
+fn span_stream(threads: usize) -> (Vec<(String, u64, u64)>, [u64; mlr_telemetry::COUNTER_COUNT]) {
+    let n = 256;
+    let locations = 12;
+    let inputs: Vec<Vec<Complex64>> = (0..locations).map(|loc| chunk(loc, n)).collect();
+    let mut outputs: Vec<Vec<Complex64>> = vec![vec![Complex64::ZERO; n]; locations];
+    let exec = MemoizedExecutor::new(
+        MemoConfig {
+            warmup_iterations: 0,
+            ..Default::default()
+        },
+        encoder(),
+        7,
+    )
+    .with_parallelism(threads, None)
+    .with_telemetry(Telemetry::enabled());
+    let compute = |x: &[Complex64]| x.to_vec();
+    for it in 0..3 {
+        exec.begin_iteration(it);
+        let batch: Vec<ChunkRequest<'_>> = inputs
+            .iter()
+            .enumerate()
+            .map(|(loc, input)| ChunkRequest {
+                loc,
+                input,
+                compute: &compute,
+            })
+            .collect();
+        let mut slots: Vec<&mut [Complex64]> =
+            outputs.iter_mut().map(|v| v.as_mut_slice()).collect();
+        exec.execute_batch_into(FftOpKind::Fu2D, &batch, &mut slots);
+    }
+    let snapshot = exec.telemetry().snapshot().expect("telemetry enabled");
+    let spans = snapshot
+        .spans
+        .iter()
+        .map(|s| (s.kind.name().to_string(), s.arg, s.tick))
+        .collect();
+    (spans, snapshot.metrics.counters)
+}
+
+#[test]
+fn span_stream_is_deterministic_across_thread_counts() {
+    // Spans are emitted from the sequential sections of the two-phase
+    // batch protocol and stamped with logical ticks, so the full stream —
+    // kinds, args and tick values — is bit-identical whether the chunk
+    // work inside a batch ran on one thread or four.
+    let (sequential, counters_1t) = span_stream(1);
+    let (parallel, counters_4t) = span_stream(4);
+    assert!(!sequential.is_empty());
+    assert_eq!(sequential, parallel);
+    assert_eq!(counters_1t, counters_4t);
+    // The stream has the expected shape: one Iteration span per iteration,
+    // one Operator span per batch, in alternating order.
+    let kinds: Vec<&str> = sequential.iter().map(|(k, _, _)| k.as_str()).collect();
+    assert_eq!(
+        kinds,
+        [
+            "iteration",
+            "operator",
+            "iteration",
+            "operator",
+            "iteration",
+            "operator"
+        ]
+    );
+    assert_eq!(counters_1t[CounterId::OperatorBatches as usize], 3);
+    assert_eq!(counters_1t[CounterId::ChunksCommitted as usize], 36);
+}
