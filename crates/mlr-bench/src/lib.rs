@@ -24,11 +24,12 @@
 //! | `fig21_serving` | beyond the paper — deadline-aware serving: load × deadline tightness vs miss rate, cancellation guarantees |
 //! | `fig22_hotpath` | beyond the paper — zero-copy memo hits: hit ns/chunk, miss FFT throughput, allocations/chunk (counting allocator), per-stage hit breakdown |
 //! | `fig23_observability` | beyond the paper — telemetry overhead: disabled vs enabled hit ns/chunk, enabled-mode allocation envelope, export round-trip |
+//! | `fig24_cluster` | beyond the paper — distributed memo tier: hit parity vs `ShardedMemoDb`, access-trace replay over simulated memory nodes (Figure 15/16 analogues) |
 //! | `check_bench` | CI regression gate over the `BENCH_*.json` records (see `ci/bench_baseline.json`) |
 //!
 //! Run any of them with `cargo run --release -p mlr-bench --bin <name> [-- --scale tiny|small|paper]`.
-//! `fig18_multi_job`, `fig19_eviction`, `fig20_intra_job`,
-//! `fig21_serving`, `fig22_hotpath` and `fig23_observability` additionally accept `--smoke`, the
+//! `fig18_multi_job`, `fig19_eviction`, `fig20_intra_job`, `fig21_serving`,
+//! `fig22_hotpath`, `fig23_observability` and `fig24_cluster` additionally accept `--smoke`, the
 //! reduced-size mode CI's bench-smoke job runs. Each prints a human-readable
 //! table with the paper's reported values next to the reproduced ones and
 //! writes a JSON record under `target/experiments/`.

@@ -13,7 +13,11 @@
 //! from inter-node communication — exactly the effect Figure 14 reports.
 
 pub mod latency;
+pub mod placement;
+pub mod replay;
 pub mod scaling;
 
 pub use latency::{latency_cdf, LatencyExperiment};
+pub use placement::{place_stripes, stripes_per_node};
+pub use replay::{replay_trace, NodeUtilisation, ReplayConfig, ReplayOutcome};
 pub use scaling::{ScalingModel, ScalingPoint};

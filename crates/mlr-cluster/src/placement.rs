@@ -1,0 +1,96 @@
+//! Deterministic, network-cost-aware stripe→node placement.
+//!
+//! The distributed memo tier spreads the store's lock stripes over N
+//! simulated memory nodes. Placement is a *pure function* of the stripe
+//! count and the nodes' link capacities — no randomness, no insertion
+//! order — so the same topology always produces the same map, and the map
+//! never affects store semantics (which entries are resident, which probes
+//! hit); it only decides which node's link a remote operation is charged
+//! through.
+//!
+//! The criterion is greedy load balancing weighted by link capacity: each
+//! stripe (in index order) goes to the node whose *relative* load after
+//! accepting it — assigned stripes per unit of link bandwidth — is
+//! smallest, ties broken on the lower node index. With uniform capacities
+//! this degenerates to round-robin; with heterogeneous links, faster nodes
+//! receive proportionally more stripes, which equalises the expected
+//! per-link service time of a uniformly spread access stream.
+
+/// Assigns each of `stripes` lock stripes to one of `capacities.len()`
+/// memory nodes; `capacities[j]` is node `j`'s link capacity (any unit,
+/// only ratios matter). Returns the stripe→node map.
+///
+/// Deterministic: the same `(stripes, capacities)` always yields the same
+/// map. Non-positive capacities are treated as a minimal epsilon so a
+/// degenerate node still participates rather than dividing by zero.
+///
+/// # Panics
+/// Panics when `capacities` is empty.
+pub fn place_stripes(stripes: usize, capacities: &[f64]) -> Vec<usize> {
+    assert!(
+        !capacities.is_empty(),
+        "placement needs at least one memory node"
+    );
+    const EPS: f64 = 1e-12;
+    let mut assigned = vec![0.0f64; capacities.len()];
+    let mut map = Vec::with_capacity(stripes);
+    for _ in 0..stripes {
+        let mut best = 0usize;
+        let mut best_cost = f64::INFINITY;
+        for (j, &cap) in capacities.iter().enumerate() {
+            // Relative load of node j if it accepted this stripe.
+            let cost = (assigned[j] + 1.0) / cap.max(EPS);
+            if cost < best_cost {
+                best_cost = cost;
+                best = j;
+            }
+        }
+        assigned[best] += 1.0;
+        map.push(best);
+    }
+    map
+}
+
+/// Per-node stripe counts of a placement map over `nodes` nodes.
+pub fn stripes_per_node(placement: &[usize], nodes: usize) -> Vec<usize> {
+    let mut counts = vec![0usize; nodes];
+    for &node in placement {
+        if node < nodes {
+            counts[node] += 1;
+        }
+    }
+    counts
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_capacities_round_robin() {
+        let map = place_stripes(8, &[1.0, 1.0, 1.0, 1.0]);
+        assert_eq!(map, vec![0, 1, 2, 3, 0, 1, 2, 3]);
+        assert_eq!(stripes_per_node(&map, 4), vec![2, 2, 2, 2]);
+    }
+
+    #[test]
+    fn faster_links_receive_more_stripes() {
+        let map = place_stripes(30, &[2.0, 1.0]);
+        let counts = stripes_per_node(&map, 2);
+        assert_eq!(counts.iter().sum::<usize>(), 30);
+        assert_eq!(counts[0], 20, "2:1 capacity ratio must place 2:1 stripes");
+        assert_eq!(counts[1], 10);
+    }
+
+    #[test]
+    fn placement_is_deterministic() {
+        let caps = [3.0, 1.0, 2.0];
+        assert_eq!(place_stripes(17, &caps), place_stripes(17, &caps));
+    }
+
+    #[test]
+    fn degenerate_capacity_still_participates() {
+        let map = place_stripes(4, &[0.0]);
+        assert_eq!(map, vec![0, 0, 0, 0]);
+    }
+}

@@ -1,0 +1,305 @@
+//! Trace replay: drive the simulated interconnect with a *recorded* store
+//! access stream instead of the analytic load model.
+//!
+//! [`LatencyExperiment`](crate::latency::LatencyExperiment) reproduces the
+//! Figure 15/16 curves from closed-form offered-load assumptions. This
+//! module replays an [`AccessRecord`] stream — what `mlr-telemetry`'s
+//! access trace captured from a real multi-job run — through one
+//! deterministic [`LinkQueue`] per simulated memory node: each record's
+//! stripe is mapped to its owning node by a placement map (see
+//! [`crate::placement`]), its store-clock tick becomes a simulated arrival
+//! time, and the queue charges it wait + service. The outcome is per-node
+//! utilisation and a query-latency distribution produced by *actual store
+//! behaviour* under the modeled contention, not by an arrival-rate guess.
+//!
+//! Hot-entry replication is modeled the same way the distributed store
+//! models it: once an entry has served `promote_hits` replayed hits it is
+//! promoted into a bounded replica set, and further hits on it cost only
+//! `local_latency` instead of a trip over the owning node's link.
+
+use crate::placement::stripes_per_node;
+use mlr_sim::hardware::InterconnectSpec;
+use mlr_sim::network::{LinkQueue, SharedLink};
+use mlr_sim::Seconds;
+use mlr_telemetry::{AccessKind, AccessRecord};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// Payload and timing model of a replay run.
+#[derive(Debug, Clone, Copy)]
+pub struct ReplayConfig {
+    /// Per-node link the remote operations are charged through.
+    pub interconnect: InterconnectSpec,
+    /// Simulated seconds per store-clock tick (arrival spacing).
+    pub tick_seconds: f64,
+    /// Modeled query payload (coalesced key batch), bytes.
+    pub key_bytes: f64,
+    /// Modeled value payload returned by a hit / shipped by an insert,
+    /// bytes (access records carry no sizes, so replay uses one
+    /// representative value size).
+    pub value_bytes: f64,
+    /// Modeled control-message payload of evictions/expirations, bytes.
+    pub control_bytes: f64,
+    /// Cost of a hit served from a local replica (no link trip), seconds.
+    pub local_latency: Seconds,
+    /// Replayed hits after which an entry is promoted into the replica set
+    /// (`0` disables replication).
+    pub promote_hits: u64,
+    /// Maximum number of replicated entries.
+    pub replica_budget: usize,
+}
+
+impl ReplayConfig {
+    /// Defaults over the given interconnect: microsecond ticks, 1 KiB
+    /// coalesced queries, 64 KiB values, DRAM-ish 400 ns local hits,
+    /// promotion after 2 hits into a 64-entry replica set.
+    pub fn new(interconnect: InterconnectSpec) -> Self {
+        Self {
+            interconnect,
+            tick_seconds: 1e-6,
+            key_bytes: 1024.0,
+            value_bytes: 64.0 * 1024.0,
+            control_bytes: 64.0,
+            local_latency: 0.4e-6,
+            promote_hits: 2,
+            replica_budget: 64,
+        }
+    }
+}
+
+/// One memory node's share of a replayed trace.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct NodeUtilisation {
+    /// Node index.
+    pub node: usize,
+    /// Lock stripes the placement map assigned to the node.
+    pub stripes: usize,
+    /// Messages charged through the node's link.
+    pub messages: u64,
+    /// Payload bytes charged through the node's link.
+    pub bytes: f64,
+    /// Seconds the node's link spent in service.
+    pub busy_seconds: Seconds,
+    /// Busy fraction of the replay horizon, in `[0, 1]`.
+    pub utilisation: f64,
+}
+
+/// Everything a replay run produced.
+#[derive(Debug, Clone)]
+pub struct ReplayOutcome {
+    /// Per-node link accounting, indexed by node.
+    pub per_node: Vec<NodeUtilisation>,
+    /// Latency of every replayed *query* (hit or miss), in replay order.
+    pub query_latencies: Vec<Seconds>,
+    /// Replayed hits served from the local replica set.
+    pub local_hits: u64,
+    /// Replayed hits that crossed a node link.
+    pub remote_hits: u64,
+    /// Entries promoted into the replica set.
+    pub promotions: u64,
+    /// Simulated end of the replay (last arrival or last link departure).
+    pub horizon: Seconds,
+}
+
+impl ReplayOutcome {
+    /// Nodes whose link saw at least one message.
+    pub fn active_nodes(&self) -> usize {
+        self.per_node.iter().filter(|n| n.messages > 0).count()
+    }
+
+    /// Mean latency of the replayed queries (0 when none were replayed).
+    pub fn mean_query_latency(&self) -> Seconds {
+        if self.query_latencies.is_empty() {
+            0.0
+        } else {
+            self.query_latencies.iter().sum::<f64>() / self.query_latencies.len() as f64
+        }
+    }
+}
+
+/// Replays `records` through one [`LinkQueue`] per node of `placement`
+/// (a stripe→node map; stripes beyond its length wrap around). Fully
+/// deterministic: same records, placement and config → same outcome.
+///
+/// # Panics
+/// Panics when `placement` is empty.
+pub fn replay_trace(
+    records: &[AccessRecord],
+    placement: &[usize],
+    config: &ReplayConfig,
+) -> ReplayOutcome {
+    assert!(!placement.is_empty(), "replay needs a placement map");
+    let nodes = placement.iter().copied().max().unwrap_or(0) + 1;
+    let link = SharedLink::from_interconnect(&config.interconnect);
+    let mut queues: Vec<LinkQueue> = (0..nodes).map(|_| LinkQueue::new(link)).collect();
+    let mut query_latencies = Vec::with_capacity(records.len());
+    let mut hit_counts: HashMap<u64, u64> = HashMap::new();
+    let mut replicas: HashMap<u64, u64> = HashMap::new();
+    let (mut local_hits, mut remote_hits, mut promotions) = (0u64, 0u64, 0u64);
+    let first_tick = records.first().map(|r| r.tick).unwrap_or(0);
+    let mut last_arrival: Seconds = 0.0;
+
+    for record in records {
+        let arrival = record.tick.saturating_sub(first_tick) as f64 * config.tick_seconds;
+        last_arrival = last_arrival.max(arrival);
+        let node = placement[record.stripe as usize % placement.len()];
+        match record.kind {
+            AccessKind::Hit => {
+                if replicas.contains_key(&record.entry) {
+                    local_hits += 1;
+                    query_latencies.push(config.local_latency);
+                } else {
+                    remote_hits += 1;
+                    let bytes = config.key_bytes + config.value_bytes;
+                    query_latencies.push(queues[node].charge(arrival, bytes));
+                }
+                let hits = hit_counts.entry(record.entry).or_insert(0);
+                *hits += 1;
+                if config.promote_hits > 0
+                    && *hits >= config.promote_hits
+                    && config.replica_budget > 0
+                    && !replicas.contains_key(&record.entry)
+                {
+                    if replicas.len() >= config.replica_budget {
+                        // Deterministic victim: fewest replayed hits, ties on
+                        // the larger entry id (older entries win ties).
+                        if let Some((&victim, _)) = replicas
+                            .iter()
+                            .min_by(|(ae, ah), (be, bh)| ah.cmp(bh).then(be.cmp(ae)))
+                        {
+                            replicas.remove(&victim);
+                        }
+                    }
+                    replicas.insert(record.entry, *hits);
+                    promotions += 1;
+                }
+            }
+            AccessKind::Miss => {
+                query_latencies.push(queues[node].charge(arrival, config.key_bytes));
+            }
+            AccessKind::Insert => {
+                let bytes = config.key_bytes + config.value_bytes;
+                let _ = queues[node].charge(arrival, bytes);
+            }
+            AccessKind::Evict | AccessKind::Expired => {
+                let _ = queues[node].charge(arrival, config.control_bytes);
+                replicas.remove(&record.entry);
+            }
+        }
+    }
+
+    let horizon = queues
+        .iter()
+        .map(|q| q.next_free())
+        .fold(last_arrival, f64::max);
+    let stripes = stripes_per_node(placement, nodes);
+    let per_node = queues
+        .iter()
+        .enumerate()
+        .map(|(node, q)| NodeUtilisation {
+            node,
+            stripes: stripes[node],
+            messages: q.messages(),
+            bytes: q.bytes(),
+            busy_seconds: q.busy_seconds(),
+            utilisation: q.utilisation(horizon),
+        })
+        .collect();
+    ReplayOutcome {
+        per_node,
+        query_latencies,
+        local_hits,
+        remote_hits,
+        promotions,
+        horizon,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::placement::place_stripes;
+
+    fn record(entry: u64, stripe: u32, kind: AccessKind, tick: u64) -> AccessRecord {
+        AccessRecord {
+            entry,
+            op: 0,
+            stripe,
+            kind,
+            tick,
+        }
+    }
+
+    fn config() -> ReplayConfig {
+        ReplayConfig::new(InterconnectSpec::slingshot11())
+    }
+
+    fn sample_trace() -> Vec<AccessRecord> {
+        let mut records = Vec::new();
+        let mut tick = 0u64;
+        for round in 0..6u64 {
+            for stripe in 0..8u32 {
+                let entry = u64::from(stripe) + 1;
+                let kind = if round == 0 {
+                    AccessKind::Insert
+                } else {
+                    AccessKind::Hit
+                };
+                records.push(record(entry, stripe, kind, tick));
+                tick += 1;
+            }
+        }
+        records.push(record(0, 3, AccessKind::Miss, tick));
+        records
+    }
+
+    #[test]
+    fn replay_spreads_load_and_is_deterministic() {
+        let placement = place_stripes(8, &[1.0; 4]);
+        let outcome = replay_trace(&sample_trace(), &placement, &config());
+        assert!(outcome.active_nodes() >= 2, "load stuck on one node");
+        assert_eq!(outcome.per_node.len(), 4);
+        let again = replay_trace(&sample_trace(), &placement, &config());
+        assert_eq!(outcome.query_latencies, again.query_latencies);
+        assert_eq!(outcome.local_hits, again.local_hits);
+    }
+
+    #[test]
+    fn replicated_hits_cost_less_than_remote_ones() {
+        let placement = place_stripes(8, &[1.0; 2]);
+        let cfg = config();
+        let outcome = replay_trace(&sample_trace(), &placement, &cfg);
+        assert!(outcome.local_hits > 0, "promotion never engaged");
+        assert!(outcome.remote_hits > 0, "every hit served locally");
+        let min_remote = outcome
+            .query_latencies
+            .iter()
+            .copied()
+            .filter(|&l| l > cfg.local_latency)
+            .fold(f64::INFINITY, f64::min);
+        assert!(
+            min_remote > cfg.local_latency,
+            "remote probes must cost strictly more than local ones"
+        );
+        assert!(outcome.query_latencies.contains(&cfg.local_latency));
+    }
+
+    #[test]
+    fn replica_budget_is_bounded() {
+        // 100 distinct entries, each hit twice, through a 4-entry budget:
+        // promotions happen but the set never grows past the budget —
+        // replays stay O(budget) whatever the trace length.
+        let mut records = Vec::new();
+        for e in 0..100u64 {
+            for i in 0..3u64 {
+                records.push(record(e + 1, (e % 8) as u32, AccessKind::Hit, 3 * e + i));
+            }
+        }
+        let mut cfg = config();
+        cfg.replica_budget = 4;
+        let placement = place_stripes(8, &[1.0; 2]);
+        let outcome = replay_trace(&records, &placement, &cfg);
+        assert!(outcome.promotions >= 4);
+        assert!(outcome.local_hits > 0);
+    }
+}

@@ -358,6 +358,13 @@ impl MemoDatabase {
         }
     }
 
+    /// A copy of the eviction metadata of entry `id`, if it is resident —
+    /// the signal (bytes, hit counts, recompute cost, policy priority) the
+    /// distributed tier's replica promotion ranks by.
+    pub fn meta_of(&self, id: u64) -> Option<EntryMeta> {
+        self.entries.get(&id).map(|r| r.meta)
+    }
+
     /// Encodes an input chunk into a key (exposed for the compute-node cache
     /// and for benches that time the encoder separately).
     pub fn encode(&self, input: &[Complex64]) -> Vec<f64> {

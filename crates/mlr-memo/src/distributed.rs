@@ -1,0 +1,748 @@
+//! The distributed memo tier: one logical store spread over N simulated
+//! memory nodes.
+//!
+//! The paper's deployment (Figure 6, §5) keeps the memoization database on
+//! dedicated memory nodes behind Slingshot links; [`DistributedMemoDb`] is
+//! that deployment in simulation. It wraps a [`ShardedMemoDb`] and spreads
+//! the store's lock stripes over `N` simulated nodes with a deterministic,
+//! network-cost-aware placement (see `mlr_cluster::placement`): every
+//! stripe has one owning node, and every remote operation — a hit shipping
+//! a value back, a miss answering a query, an insert shipping a value up —
+//! is charged through the owning node's [`LinkQueue`], `mlr-sim`'s
+//! deterministic shared-link contention model.
+//!
+//! # Bit-identity contract
+//!
+//! Store *semantics* — which probes hit, which entries are resident, what
+//! the counters say — are delegated 1:1 to the wrapped [`ShardedMemoDb`].
+//! The distributed tier adds only modeled latency and per-node accounting
+//! on top, so given the same schedule it returns bit-identical hits to the
+//! plain sharded store, for any node count and any placement. The
+//! `tests/distributed.rs` suite pins this.
+//!
+//! # Hot-entry replication
+//!
+//! Entries that keep getting hit are promoted into a bounded replica set —
+//! the model of the paper's compute-side caching of hot values. Promotion
+//! is driven by the cost-aware eviction metadata already on [`EntryMeta`]:
+//! once an entry has served [`NodeTopology::promote_hits`] hits it is
+//! replicated, ranked by [`CostAwarePolicy::benefit_density`], and when the
+//! replica budget is full the lowest-density replica (ties on the smaller
+//! entry id) is dropped. A hit on a replicated entry costs
+//! [`NodeTopology::local_latency`] instead of a round trip over the owning
+//! node's link — which is what bends the latency CDF's head down while
+//! remote probes populate its tail.
+
+use crate::db::{MemoDbConfig, QueryOutcome};
+use crate::eviction::{CostAwarePolicy, EntryMeta};
+use crate::sharded::ShardedMemoDb;
+use crate::store::{MemoStore, ProbeOutcome, Provenance, StoreStats};
+use mlr_cluster::placement::{place_stripes, stripes_per_node};
+use mlr_lamino::FftOpKind;
+use mlr_math::Complex64;
+use mlr_sim::hardware::InterconnectSpec;
+use mlr_sim::network::{LinkQueue, SharedLink};
+use parking_lot::Mutex;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Topology of the simulated memory-node cluster. `Copy`, so it can ride
+/// in `RuntimeConfig`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NodeTopology {
+    /// Number of simulated memory nodes the stripes are spread over.
+    pub nodes: usize,
+    /// Per-node injection link the remote operations are charged through.
+    pub interconnect: InterconnectSpec,
+    /// Maximum number of hot entries kept in the replica set.
+    pub replica_budget: usize,
+    /// Hits after which an entry is promoted into the replica set
+    /// (`0` disables replication).
+    pub promote_hits: u64,
+    /// Modeled cost of a hit served from a local replica, seconds.
+    pub local_latency: f64,
+    /// Simulated seconds per store-clock tick — how the deterministic op
+    /// ticks map to link arrival times.
+    pub tick_seconds: f64,
+    /// Modeled query payload (coalesced key batch), bytes.
+    pub key_bytes: f64,
+    /// Modeled control-message payload (expiry reclaim), bytes.
+    pub control_bytes: f64,
+}
+
+impl Default for NodeTopology {
+    /// Four memory nodes behind Slingshot-11 links, microsecond ticks,
+    /// 1 KiB coalesced queries, 400 ns local replica hits, promotion after
+    /// 2 hits into a 64-entry replica set.
+    fn default() -> Self {
+        Self {
+            nodes: 4,
+            interconnect: InterconnectSpec::slingshot11(),
+            replica_budget: 64,
+            promote_hits: 2,
+            local_latency: 0.4e-6,
+            tick_seconds: 1e-6,
+            key_bytes: 1024.0,
+            control_bytes: 64.0,
+        }
+    }
+}
+
+impl NodeTopology {
+    /// A topology with `nodes` memory nodes and the default link model.
+    pub fn with_nodes(nodes: usize) -> Self {
+        Self {
+            nodes,
+            ..Self::default()
+        }
+    }
+}
+
+/// One memory node's share of the distributed store's traffic.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct NodeStats {
+    /// Node index.
+    pub node: usize,
+    /// Lock stripes placed on the node.
+    pub stripes: usize,
+    /// Entries resident on the node's stripes.
+    pub entries: usize,
+    /// Remote hits served over the node's link.
+    pub hits: u64,
+    /// Misses answered over the node's link.
+    pub misses: u64,
+    /// Inserts shipped over the node's link.
+    pub inserts: u64,
+    /// Messages charged through the node's link (all kinds).
+    pub messages: u64,
+    /// Payload bytes charged through the node's link.
+    pub bytes: f64,
+    /// Seconds the node's link spent in service.
+    pub busy_seconds: f64,
+    /// Busy fraction of the simulated horizon, in `[0, 1]`.
+    pub utilisation: f64,
+    /// Mean modeled latency of the node's remote operations, seconds.
+    pub mean_latency_seconds: f64,
+    /// Largest modeled latency of the node's remote operations, seconds.
+    pub max_latency_seconds: f64,
+}
+
+/// Aggregate view of the distributed tier: per-node link accounting plus
+/// the replica set's effect.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct DistributedStats {
+    /// Per-node accounting, indexed by node.
+    pub nodes: Vec<NodeStats>,
+    /// Hits served from the local replica set (no link trip).
+    pub local_hits: u64,
+    /// Hits that crossed a node link.
+    pub remote_hits: u64,
+    /// Entries promoted into the replica set so far.
+    pub promotions: u64,
+    /// Replicas dropped to respect the replica budget.
+    pub replica_evictions: u64,
+    /// Entries currently replicated.
+    pub replicas: usize,
+    /// Mean modeled latency of replica-served hits, seconds (the constant
+    /// [`NodeTopology::local_latency`] whenever `local_hits > 0`).
+    pub local_latency_seconds_mean: f64,
+    /// Mean modeled latency over all remote operations, seconds.
+    pub remote_latency_seconds_mean: f64,
+    /// Simulated end of the charged traffic (last arrival or departure).
+    pub horizon_seconds: f64,
+}
+
+impl DistributedStats {
+    /// Nodes whose link saw at least one message.
+    pub fn active_nodes(&self) -> usize {
+        self.nodes.iter().filter(|n| n.messages > 0).count()
+    }
+
+    /// Fraction of hits served from the replica set.
+    pub fn local_hit_fraction(&self) -> f64 {
+        let hits = self.local_hits + self.remote_hits;
+        if hits == 0 {
+            0.0
+        } else {
+            self.local_hits as f64 / hits as f64
+        }
+    }
+
+    /// Spread between the busiest and idlest node's utilisation.
+    pub fn utilisation_spread(&self) -> f64 {
+        let max = self.nodes.iter().map(|n| n.utilisation).fold(0.0, f64::max);
+        let min = self
+            .nodes
+            .iter()
+            .map(|n| n.utilisation)
+            .fold(f64::INFINITY, f64::min);
+        if min.is_finite() {
+            max - min
+        } else {
+            0.0
+        }
+    }
+}
+
+/// Mutable network-model state, behind one mutex: the per-node link
+/// queues, per-node counters, and the replica set. Taken only on the
+/// ordered-commit paths (never on the parallel probe path), so probe
+/// concurrency is untouched.
+struct NetState {
+    queues: Vec<LinkQueue>,
+    hits: Vec<u64>,
+    misses: Vec<u64>,
+    inserts: Vec<u64>,
+    latency_sum: Vec<f64>,
+    latency_max: Vec<f64>,
+    latency_count: Vec<u64>,
+    /// entry id → benefit density at promotion/refresh time.
+    replicas: HashMap<u64, f64>,
+    local_hits: u64,
+    remote_hits: u64,
+    promotions: u64,
+    replica_evictions: u64,
+    local_latency_sum: f64,
+    last_arrival: f64,
+}
+
+impl NetState {
+    fn new(nodes: usize, link: SharedLink) -> Self {
+        Self {
+            queues: (0..nodes).map(|_| LinkQueue::new(link)).collect(),
+            hits: vec![0; nodes],
+            misses: vec![0; nodes],
+            inserts: vec![0; nodes],
+            latency_sum: vec![0.0; nodes],
+            latency_max: vec![0.0; nodes],
+            latency_count: vec![0; nodes],
+            replicas: HashMap::new(),
+            local_hits: 0,
+            remote_hits: 0,
+            promotions: 0,
+            replica_evictions: 0,
+            local_latency_sum: 0.0,
+            last_arrival: 0.0,
+        }
+    }
+
+    /// Charges one remote message and folds it into the node's aggregates.
+    fn charge(&mut self, node: usize, arrival: f64, bytes: f64) -> f64 {
+        self.last_arrival = self.last_arrival.max(arrival);
+        let latency = self.queues[node].charge(arrival, bytes);
+        self.latency_sum[node] += latency;
+        self.latency_max[node] = self.latency_max[node].max(latency);
+        self.latency_count[node] += 1;
+        latency
+    }
+
+    /// Promotes `entry` (ranked `density`) into the bounded replica set,
+    /// dropping the lowest-density replica (ties on the smaller id) when
+    /// the budget is full. Deterministic: runs on the ordered-commit path.
+    fn promote(&mut self, entry: u64, density: f64, budget: usize) {
+        if budget == 0 || self.replicas.contains_key(&entry) {
+            return;
+        }
+        if self.replicas.len() >= budget {
+            if let Some((&victim, _)) = self
+                .replicas
+                .iter()
+                .min_by(|(ae, ad), (be, bd)| ad.total_cmp(bd).then(ae.cmp(be)))
+            {
+                self.replicas.remove(&victim);
+                self.replica_evictions += 1;
+            }
+        }
+        self.replicas.insert(entry, density);
+        self.promotions += 1;
+    }
+}
+
+/// A [`MemoStore`] spread over N simulated memory nodes: semantics
+/// delegated to a [`ShardedMemoDb`] (bit-identical hits), remote traffic
+/// charged through per-node [`LinkQueue`]s, hot entries replicated by
+/// benefit density. See the module docs for the full picture.
+///
+/// ```
+/// use mlr_memo::{
+///     DistributedMemoDb, EncoderConfig, MemoDbConfig, MemoStore, NodeTopology, ShardedMemoDb,
+/// };
+/// use std::sync::Arc;
+///
+/// let inner = Arc::new(ShardedMemoDb::with_shards(
+///     MemoDbConfig::default(),
+///     EncoderConfig {
+///         input_grid: 8,
+///         conv1_filters: 2,
+///         conv2_filters: 4,
+///         embedding_dim: 8,
+///         learning_rate: 1e-3,
+///     },
+///     1,
+///     16,
+/// ));
+/// let store = DistributedMemoDb::new(inner, NodeTopology::with_nodes(4));
+/// // 16 stripes spread evenly over 4 equal-capacity nodes...
+/// assert_eq!(store.placement().len(), 16);
+/// let stats = store.distributed_stats();
+/// assert_eq!(stats.nodes.len(), 4);
+/// assert!(stats.nodes.iter().all(|n| n.stripes == 4));
+/// // ...and the store serves `MemoStore` callers like any other.
+/// assert!(store.is_empty());
+/// ```
+pub struct DistributedMemoDb {
+    inner: Arc<ShardedMemoDb>,
+    topology: NodeTopology,
+    /// stripe → owning node, fixed at construction.
+    placement: Vec<usize>,
+    net: Mutex<NetState>,
+}
+
+impl DistributedMemoDb {
+    /// Spreads `inner`'s stripes over `topology.nodes` equal-capacity
+    /// nodes.
+    ///
+    /// # Panics
+    /// Panics when `topology.nodes` is zero.
+    pub fn new(inner: Arc<ShardedMemoDb>, topology: NodeTopology) -> Self {
+        let capacities = vec![topology.interconnect.injection_gbps; topology.nodes];
+        Self::with_capacities(inner, topology, &capacities)
+    }
+
+    /// Spreads `inner`'s stripes over nodes with explicit per-node link
+    /// capacities (the network-cost-aware placement assigns faster links
+    /// proportionally more stripes).
+    ///
+    /// # Panics
+    /// Panics when `capacities.len() != topology.nodes` or is empty.
+    pub fn with_capacities(
+        inner: Arc<ShardedMemoDb>,
+        topology: NodeTopology,
+        capacities: &[f64],
+    ) -> Self {
+        assert_eq!(
+            capacities.len(),
+            topology.nodes,
+            "one capacity per memory node"
+        );
+        let placement = place_stripes(inner.shard_count(), capacities);
+        let link = SharedLink::from_interconnect(&topology.interconnect);
+        Self {
+            inner,
+            topology,
+            placement,
+            net: Mutex::new(NetState::new(capacities.len(), link)),
+        }
+    }
+
+    /// The wrapped sharded store.
+    pub fn inner(&self) -> &Arc<ShardedMemoDb> {
+        &self.inner
+    }
+
+    /// The node topology.
+    pub fn topology(&self) -> &NodeTopology {
+        &self.topology
+    }
+
+    /// The stripe→node placement map.
+    pub fn placement(&self) -> &[usize] {
+        &self.placement
+    }
+
+    /// The node owning the stripe of `(op, loc)`.
+    pub fn node_of(&self, op: FftOpKind, loc: usize) -> usize {
+        self.placement[self.inner.stripe_of(op, loc)]
+    }
+
+    /// Simulated arrival time of an operation committed now.
+    fn arrival(&self) -> f64 {
+        self.inner.current_tick() as f64 * self.topology.tick_seconds
+    }
+
+    /// Charges a served hit: local when the entry is replicated, a value
+    /// round trip over the owning node's link otherwise; then refreshes the
+    /// replica set from the entry's post-commit metadata.
+    fn charge_hit(&self, op: FftOpKind, loc: usize, entry: u64, meta: Option<EntryMeta>) {
+        let stripe = self.inner.stripe_of(op, loc);
+        let node = self.placement[stripe];
+        let arrival = self.arrival();
+        let mut net = self.net.lock();
+        let density = meta.as_ref().map(CostAwarePolicy::benefit_density);
+        if let Some(density) = net
+            .replicas
+            .contains_key(&entry)
+            .then_some(density)
+            .flatten()
+        {
+            net.local_hits += 1;
+            net.local_latency_sum += self.topology.local_latency;
+            net.replicas.insert(entry, density);
+            return;
+        }
+        // The value size is the entry's resident bytes; an entry evicted
+        // between probe and commit (its refresh is skipped) is modeled as a
+        // query-only trip.
+        let value_bytes = meta.as_ref().map_or(0.0, |m| m.bytes as f64);
+        net.charge(node, arrival, self.topology.key_bytes + value_bytes);
+        net.remote_hits += 1;
+        net.hits[node] += 1;
+        if let (Some(meta), Some(density)) = (meta, density) {
+            if self.topology.promote_hits > 0 && meta.hits >= self.topology.promote_hits {
+                net.promote(meta.id, density, self.topology.replica_budget);
+            }
+        }
+    }
+
+    /// Charges a miss: the coalesced query goes to the owning node and
+    /// comes back empty.
+    fn charge_miss(&self, op: FftOpKind, loc: usize) {
+        let node = self.placement[self.inner.stripe_of(op, loc)];
+        let arrival = self.arrival();
+        let mut net = self.net.lock();
+        net.charge(node, arrival, self.topology.key_bytes);
+        net.misses[node] += 1;
+    }
+
+    /// A snapshot of the per-node accounting and replica-set state.
+    pub fn distributed_stats(&self) -> DistributedStats {
+        let net = self.net.lock();
+        let shard_sizes = self.inner.shard_sizes();
+        let nodes = net.queues.len();
+        let mut entries = vec![0usize; nodes];
+        for (stripe, &node) in self.placement.iter().enumerate() {
+            entries[node] += shard_sizes.get(stripe).copied().unwrap_or(0);
+        }
+        let stripes = stripes_per_node(&self.placement, nodes);
+        let horizon = net
+            .queues
+            .iter()
+            .map(|q| q.next_free())
+            .fold(net.last_arrival, f64::max);
+        let node_stats = (0..nodes)
+            .map(|node| NodeStats {
+                node,
+                stripes: stripes[node],
+                entries: entries[node],
+                hits: net.hits[node],
+                misses: net.misses[node],
+                inserts: net.inserts[node],
+                messages: net.queues[node].messages(),
+                bytes: net.queues[node].bytes(),
+                busy_seconds: net.queues[node].busy_seconds(),
+                utilisation: net.queues[node].utilisation(horizon),
+                mean_latency_seconds: if net.latency_count[node] == 0 {
+                    0.0
+                } else {
+                    net.latency_sum[node] / net.latency_count[node] as f64
+                },
+                max_latency_seconds: net.latency_max[node],
+            })
+            .collect();
+        let remote_ops: u64 = net.latency_count.iter().sum();
+        DistributedStats {
+            nodes: node_stats,
+            local_hits: net.local_hits,
+            remote_hits: net.remote_hits,
+            promotions: net.promotions,
+            replica_evictions: net.replica_evictions,
+            replicas: net.replicas.len(),
+            local_latency_seconds_mean: if net.local_hits == 0 {
+                0.0
+            } else {
+                net.local_latency_sum / net.local_hits as f64
+            },
+            remote_latency_seconds_mean: if remote_ops == 0 {
+                0.0
+            } else {
+                net.latency_sum.iter().sum::<f64>() / remote_ops as f64
+            },
+            horizon_seconds: horizon,
+        }
+    }
+}
+
+impl MemoStore for DistributedMemoDb {
+    fn config(&self) -> MemoDbConfig {
+        self.inner.config()
+    }
+
+    fn encode(&self, input: &[Complex64]) -> Vec<f64> {
+        self.inner.encode(input)
+    }
+
+    fn query_with_key(
+        &self,
+        op: FftOpKind,
+        loc: usize,
+        input: &[Complex64],
+        key: Vec<f64>,
+        origin: Provenance,
+    ) -> QueryOutcome {
+        let outcome = self.inner.query_with_key(op, loc, input, key, origin);
+        match &outcome {
+            QueryOutcome::Hit { key, .. } => {
+                // The simple query path does not surface the serving entry's
+                // id; recover it with a pure probe (no counters touched) so
+                // the replica set sees this hit too. The probe runs after the
+                // query committed, so the entry is resident.
+                if let ProbeOutcome::Hit { entry, .. } =
+                    self.inner.probe_with_key(op, loc, input, key, origin)
+                {
+                    let meta = self.inner.entry_meta(op, loc, entry);
+                    self.charge_hit(op, loc, entry, meta);
+                } else {
+                    self.charge_hit(op, loc, u64::MAX, None);
+                }
+            }
+            QueryOutcome::Miss { .. } => self.charge_miss(op, loc),
+        }
+        outcome
+    }
+
+    fn probe_with_key(
+        &self,
+        op: FftOpKind,
+        loc: usize,
+        input: &[Complex64],
+        key: &[f64],
+        origin: Provenance,
+    ) -> ProbeOutcome {
+        // Pure read, concurrent with other probes: no charging here — the
+        // network model is fed from the deterministic ordered-commit paths.
+        self.inner.probe_with_key(op, loc, input, key, origin)
+    }
+
+    fn commit_hit(
+        &self,
+        op: FftOpKind,
+        loc: usize,
+        entry: u64,
+        entry_origin: Provenance,
+        origin: Provenance,
+    ) {
+        self.inner.commit_hit(op, loc, entry, entry_origin, origin);
+        let meta = self.inner.entry_meta(op, loc, entry);
+        self.charge_hit(op, loc, entry, meta);
+    }
+
+    fn commit_miss(&self, op: FftOpKind, loc: usize) {
+        self.inner.commit_miss(op, loc);
+        self.charge_miss(op, loc);
+    }
+
+    fn reclaim_expired(&self, op: FftOpKind, loc: usize, entry: u64) {
+        self.inner.reclaim_expired(op, loc, entry);
+        let node = self.placement[self.inner.stripe_of(op, loc)];
+        let arrival = self.arrival();
+        let mut net = self.net.lock();
+        net.charge(node, arrival, self.topology.control_bytes);
+        net.replicas.remove(&entry);
+    }
+
+    fn insert(
+        &self,
+        op: FftOpKind,
+        loc: usize,
+        input: &[Complex64],
+        key: Vec<f64>,
+        output: Vec<Complex64>,
+        origin: Provenance,
+        recompute_cost: f64,
+    ) -> u64 {
+        let id = self
+            .inner
+            .insert(op, loc, input, key, output, origin, recompute_cost);
+        let value_bytes = self
+            .inner
+            .entry_meta(op, loc, id)
+            .map_or(0.0, |m| m.bytes as f64);
+        let node = self.placement[self.inner.stripe_of(op, loc)];
+        let arrival = self.arrival();
+        let mut net = self.net.lock();
+        net.charge(node, arrival, self.topology.key_bytes + value_bytes);
+        net.inserts[node] += 1;
+        id
+    }
+
+    fn len(&self) -> usize {
+        self.inner.len()
+    }
+
+    fn value_bytes(&self) -> u64 {
+        self.inner.value_bytes()
+    }
+
+    fn resident_bytes(&self) -> u64 {
+        self.inner.resident_bytes()
+    }
+
+    fn advance_epoch(&self) -> u64 {
+        self.inner.advance_epoch()
+    }
+
+    fn epoch(&self) -> u64 {
+        self.inner.epoch()
+    }
+
+    fn stats(&self) -> StoreStats {
+        self.inner.stats()
+    }
+
+    fn comparisons_per_query(&self) -> f64 {
+        self.inner.comparisons_per_query()
+    }
+
+    fn train_encoder(&self, samples: &[Vec<Complex64>], epochs: usize) -> f64 {
+        self.inner.train_encoder(samples, epochs)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::encoder::EncoderConfig;
+    use crate::eviction::recompute_cost_estimate;
+
+    fn tiny_encoder_config() -> EncoderConfig {
+        EncoderConfig {
+            input_grid: 8,
+            conv1_filters: 2,
+            conv2_filters: 4,
+            embedding_dim: 8,
+            learning_rate: 1e-3,
+        }
+    }
+
+    fn sharded(shards: usize) -> Arc<ShardedMemoDb> {
+        Arc::new(ShardedMemoDb::with_shards(
+            MemoDbConfig {
+                tau: 0.9,
+                ..Default::default()
+            },
+            tiny_encoder_config(),
+            1,
+            shards,
+        ))
+    }
+
+    fn chunk(scale: f64, phase: f64, n: usize) -> Vec<Complex64> {
+        (0..n)
+            .map(|i| {
+                let t = i as f64 / n as f64;
+                Complex64::new(scale * (5.0 * t + phase).sin(), scale * (3.0 * t).cos())
+            })
+            .collect()
+    }
+
+    /// Drives `rounds` rounds of query-or-insert over 8 locations and
+    /// returns the hit/miss sequence.
+    fn run_schedule(store: &dyn MemoStore, rounds: usize) -> Vec<bool> {
+        let mut outcomes = Vec::new();
+        for round in 0..rounds {
+            store.advance_epoch();
+            for loc in 0..8usize {
+                let input = chunk(1.0 + loc as f64, 0.1 * loc as f64, 128);
+                let key = store.encode(&input);
+                let origin = Provenance::solo(round + 1);
+                match store.query_with_key(FftOpKind::Fu2D, loc, &input, key, origin) {
+                    QueryOutcome::Hit { .. } => outcomes.push(true),
+                    QueryOutcome::Miss { key } => {
+                        outcomes.push(false);
+                        let cost = recompute_cost_estimate(FftOpKind::Fu2D, input.len());
+                        store.insert(
+                            FftOpKind::Fu2D,
+                            loc,
+                            &input,
+                            key,
+                            chunk(2.0, 0.5, 32),
+                            origin,
+                            cost,
+                        );
+                    }
+                }
+            }
+        }
+        outcomes
+    }
+
+    #[test]
+    fn hits_match_the_wrapped_store_bit_for_bit() {
+        let plain = sharded(16);
+        let reference = run_schedule(plain.as_ref(), 4);
+        assert!(reference.iter().any(|&h| h), "schedule never hits");
+        for nodes in [1, 2, 4, 7] {
+            let distributed = DistributedMemoDb::new(sharded(16), NodeTopology::with_nodes(nodes));
+            assert_eq!(
+                run_schedule(&distributed, 4),
+                reference,
+                "{nodes} nodes diverged from the plain sharded store"
+            );
+            assert_eq!(distributed.len(), plain.len());
+            assert_eq!(distributed.stats().hits, plain.stats().hits);
+        }
+    }
+
+    #[test]
+    fn traffic_spreads_over_nodes_and_replicas_go_local() {
+        let distributed = DistributedMemoDb::new(sharded(16), NodeTopology::with_nodes(4));
+        let _ = run_schedule(&distributed, 6);
+        let stats = distributed.distributed_stats();
+        assert!(
+            stats.active_nodes() >= 2,
+            "all traffic on one node: {stats:?}"
+        );
+        assert!(stats.remote_hits > 0, "no remote hits charged");
+        assert!(
+            stats.local_hits > 0,
+            "promotion never produced a local hit: {stats:?}"
+        );
+        assert!(stats.promotions > 0);
+        assert!(stats.local_hit_fraction() > 0.0);
+        // Remote operations pay at least the link's base latency, which the
+        // topology's local replica latency deliberately undercuts.
+        assert!(
+            stats.remote_latency_seconds_mean > stats.local_latency_seconds_mean,
+            "remote ops must cost strictly more than replica hits"
+        );
+        let total_entries: usize = stats.nodes.iter().map(|n| n.entries).sum();
+        assert_eq!(total_entries, distributed.len());
+        assert_eq!(
+            stats.nodes.iter().map(|n| n.stripes).sum::<usize>(),
+            distributed.inner().shard_count()
+        );
+    }
+
+    #[test]
+    fn placement_is_deterministic_and_capacity_weighted() {
+        let a = DistributedMemoDb::new(sharded(16), NodeTopology::with_nodes(4));
+        let b = DistributedMemoDb::new(sharded(16), NodeTopology::with_nodes(4));
+        assert_eq!(a.placement(), b.placement());
+        // A node with a 3× link takes 3× the stripes.
+        let skewed = DistributedMemoDb::with_capacities(
+            sharded(16),
+            NodeTopology::with_nodes(2),
+            &[3.0, 1.0],
+        );
+        let counts = stripes_per_node(skewed.placement(), 2);
+        assert_eq!(counts, vec![12, 4]);
+    }
+
+    #[test]
+    fn replica_budget_stays_bounded() {
+        let topology = NodeTopology {
+            replica_budget: 2,
+            promote_hits: 1,
+            ..NodeTopology::with_nodes(2)
+        };
+        let distributed = DistributedMemoDb::new(sharded(8), topology);
+        let _ = run_schedule(&distributed, 5);
+        let stats = distributed.distributed_stats();
+        assert!(stats.replicas <= 2, "replica budget violated: {stats:?}");
+        assert!(
+            stats.replica_evictions > 0,
+            "8 hot entries through a 2-replica budget must evict"
+        );
+    }
+}

@@ -49,10 +49,13 @@
 //!   serving several reconstruction jobs at once (the in-process analogue
 //!   of the paper's memory node under multi-job traffic).
 
+#![warn(missing_docs)]
+
 pub mod ann;
 pub mod cache;
 pub mod coalesce;
 pub mod db;
+pub mod distributed;
 pub mod encoder;
 pub mod engine;
 pub mod eviction;
@@ -67,6 +70,7 @@ pub use ann::IvfIndex;
 pub use cache::{CacheKind, MemoCache};
 pub use coalesce::KeyCoalescer;
 pub use db::{MemoDatabase, MemoDbConfig, QueryOutcome};
+pub use distributed::{DistributedMemoDb, DistributedStats, NodeStats, NodeTopology};
 pub use encoder::{CnnEncoder, EncoderConfig, EncoderScratch};
 pub use engine::{MemoConfig, MemoizedExecutor};
 pub use eviction::{

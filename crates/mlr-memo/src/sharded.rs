@@ -1,7 +1,7 @@
 //! The sharded, lock-striped concurrent memoization store.
 //!
 //! [`ShardedMemoDb`] is the multi-tenant counterpart of
-//! [`MemoDatabase`](crate::db::MemoDatabase): one logical database whose
+//! [`MemoDatabase`]: one logical database whose
 //! index scopes are distributed over `N` shards, each behind its own
 //! `parking_lot` mutex, so concurrent reconstruction jobs contend only when
 //! they touch the *same* chunk neighbourhood. It is the in-process analogue
@@ -202,6 +202,13 @@ impl ShardedMemoDb {
         self.shards.len()
     }
 
+    /// The store clock's current op tick (a read, never an advance) — the
+    /// deterministic timestamp access-trace records carry and the
+    /// distributed tier maps to simulated arrival times.
+    pub fn current_tick(&self) -> u64 {
+        self.clock.current_tick()
+    }
+
     /// The capacity budget this store enforces.
     pub fn budget(&self) -> CapacityBudget {
         self.config.budget
@@ -222,6 +229,27 @@ impl ShardedMemoDb {
     /// Which shard owns the index scope of `(op, loc)`.
     fn shard_for(&self, op: FftOpKind, loc: usize) -> &Mutex<MemoDatabase> {
         &self.shards[self.shard_index(op, loc)]
+    }
+
+    /// Public view of the stripe owning `(op, loc)` — what the distributed
+    /// tier's stripe→node placement and the trace-replay harness key on.
+    /// Identical to the `stripe` field of the access-trace records this
+    /// store emits.
+    pub fn stripe_of(&self, op: FftOpKind, loc: usize) -> usize {
+        self.shard_index(op, loc)
+    }
+
+    /// A copy of the eviction metadata of entry `entry` in the stripe
+    /// owning `(op, loc)`, if the entry is still resident there. The
+    /// distributed tier's replica promotion ranks hot entries by this
+    /// metadata (hit counts, bytes, recompute cost).
+    pub fn entry_meta(
+        &self,
+        op: FftOpKind,
+        loc: usize,
+        entry: u64,
+    ) -> Option<crate::eviction::EntryMeta> {
+        self.shard_for(op, loc).lock().meta_of(entry)
     }
 
     /// Per-shard entry counts (diagnostics; shows stripe balance).

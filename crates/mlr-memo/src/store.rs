@@ -1,6 +1,6 @@
 //! The memo-store seam: a thread-safe interface over "the memoization
 //! database", so the executor no longer cares whether it talks to a private
-//! single-tenant [`MemoDatabase`](crate::db::MemoDatabase) or to the
+//! single-tenant [`MemoDatabase`] or to the
 //! sharded, lock-striped [`ShardedMemoDb`](crate::sharded::ShardedMemoDb)
 //! shared by every job of a runtime.
 //!
@@ -156,6 +156,49 @@ pub enum ProbeOutcome {
 /// interior locking. The executor encodes keys through the store so every
 /// tenant of a shared store uses the *same* encoder (keys from different
 /// encoders would be mutually meaningless).
+///
+/// The τ-gated query/insert protocol, on a store shared by concurrent jobs:
+///
+/// ```
+/// use mlr_lamino::FftOpKind;
+/// use mlr_memo::{
+///     EncoderConfig, MemoDbConfig, MemoStore, Provenance, QueryOutcome, ShardedMemoDb,
+/// };
+/// use mlr_math::Complex64;
+///
+/// let store = ShardedMemoDb::with_shards(
+///     MemoDbConfig { tau: 0.9, ..Default::default() },
+///     EncoderConfig {
+///         input_grid: 8,
+///         conv1_filters: 2,
+///         conv2_filters: 4,
+///         embedding_dim: 8,
+///         learning_rate: 1e-3,
+///     },
+///     1, // encoder seed
+///     4, // lock stripes
+/// );
+/// let chunk: Vec<Complex64> = (0..64)
+///     .map(|i| Complex64::new((i as f64 * 0.1).sin(), 0.0))
+///     .collect();
+///
+/// // First sight of the chunk: a miss; insert the exactly-computed value.
+/// let key = store.encode(&chunk);
+/// let QueryOutcome::Miss { key } =
+///     store.query_with_key(FftOpKind::Fu2D, 0, &chunk, key, Provenance::solo(1))
+/// else {
+///     panic!("an empty store cannot hit");
+/// };
+/// store.insert(FftOpKind::Fu2D, 0, &chunk, key, chunk.clone(), Provenance::solo(1), 1e-3);
+///
+/// // A later iteration asking about the same chunk is served from memory
+/// // (cosine similarity 1.0 passes any τ).
+/// store.advance_epoch();
+/// let key = store.encode(&chunk);
+/// let outcome = store.query_with_key(FftOpKind::Fu2D, 0, &chunk, key, Provenance::solo(2));
+/// assert!(matches!(outcome, QueryOutcome::Hit { .. }));
+/// assert_eq!(store.stats().hits, 1);
+/// ```
 pub trait MemoStore: Send + Sync {
     /// The database configuration (τ threshold, scoping, gating).
     fn config(&self) -> MemoDbConfig;

@@ -64,6 +64,8 @@
 //! cancelled-while-queued or expired-while-queued job never executes at
 //! all.
 
+#![warn(missing_docs)]
+
 pub mod handle;
 pub mod job;
 mod queue;

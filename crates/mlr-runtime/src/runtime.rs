@@ -13,8 +13,8 @@ use crate::queue::{AdmissionError, JobQueue, QueuedJob};
 use crate::stats::{DeadlineStats, RuntimeStats};
 use mlr_core::{CancelToken, MlrPipeline, StopCause};
 use mlr_memo::{
-    ConcurrencyGovernor, EncoderConfig, JobId, MemoDbConfig, MemoStore, ParallelStats,
-    ShardedMemoDb, DEFAULT_SHARDS,
+    ConcurrencyGovernor, DistributedMemoDb, EncoderConfig, JobId, MemoDbConfig, MemoStore,
+    NodeTopology, ParallelStats, ShardedMemoDb, DEFAULT_SHARDS,
 };
 use mlr_telemetry::{CounterId, SignedHistogram, SpanKind, Telemetry, TelemetryConfig};
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -77,6 +77,15 @@ pub struct RuntimeConfig {
     /// time on it. `None` disables the sweep; the pop-time check remains as
     /// a backstop either way.
     pub expiry_sweep: Option<Duration>,
+    /// Distributed memo tier: when set, the shared store's lock stripes are
+    /// spread over this many simulated memory nodes and every worker talks
+    /// to the store through a [`DistributedMemoDb`] — remote hits, misses
+    /// and inserts are charged through per-node shared-link queues, and hot
+    /// entries are replicated by benefit density. Store *semantics* are
+    /// untouched (bit-identical hits to the plain sharded store); only the
+    /// modeled network accounting in [`RuntimeStats::distributed`] is added.
+    /// `None` keeps the store purely local.
+    pub topology: Option<NodeTopology>,
 }
 
 impl Default for RuntimeConfig {
@@ -105,6 +114,7 @@ impl Default for RuntimeConfig {
             telemetry: false,
             access_trace: None,
             expiry_sweep: Some(Duration::from_millis(10)),
+            topology: None,
         }
     }
 }
@@ -236,6 +246,7 @@ impl Counters {
 pub struct Runtime {
     queue: Arc<JobQueue>,
     store: Arc<ShardedMemoDb>,
+    distributed: Option<Arc<DistributedMemoDb>>,
     counters: Arc<Counters>,
     governor: Arc<ConcurrencyGovernor>,
     workers: Vec<JoinHandle<()>>,
@@ -283,6 +294,16 @@ impl Runtime {
             telemetry,
             ..Counters::default()
         });
+        // The distributed tier wraps the *same* sharded store — semantics
+        // (and the bit-identity contract) are the inner store's; the wrapper
+        // only adds per-node network accounting on the ordered-commit paths.
+        let distributed = config
+            .topology
+            .map(|topology| Arc::new(DistributedMemoDb::new(Arc::clone(&store), topology)));
+        let exec_store: Arc<dyn MemoStore> = match &distributed {
+            Some(d) => Arc::clone(d) as Arc<dyn MemoStore>,
+            None => Arc::clone(&store) as Arc<dyn MemoStore>,
+        };
         // Each worker owns one core of the budget; whatever is left over is
         // the governor's pool of spare cores for chunk-level threads.
         let governor = ConcurrencyGovernor::for_pool(config.core_budget, config.workers);
@@ -290,7 +311,7 @@ impl Runtime {
         let workers = (0..config.workers)
             .map(|i| {
                 let queue = Arc::clone(&queue);
-                let store = Arc::clone(&store);
+                let store = Arc::clone(&exec_store);
                 let counters = Arc::clone(&counters);
                 let governor = Arc::clone(&governor);
                 std::thread::Builder::new()
@@ -312,6 +333,7 @@ impl Runtime {
         Self {
             queue,
             store,
+            distributed,
             counters,
             governor,
             workers,
@@ -327,6 +349,13 @@ impl Runtime {
     /// The shared memo store.
     pub fn store(&self) -> &Arc<ShardedMemoDb> {
         &self.store
+    }
+
+    /// The distributed memo tier wrapping the shared store, when the runtime
+    /// was configured with a [`RuntimeConfig::topology`]; `None` for a
+    /// purely local store.
+    pub fn distributed(&self) -> Option<&Arc<DistributedMemoDb>> {
+        self.distributed.as_ref()
     }
 
     /// The runtime's telemetry recorder: disabled (a no-op handle) unless
@@ -493,6 +522,7 @@ impl Runtime {
                 .parallel
                 .lock()
                 .expect("parallel stats lock poisoned"),
+            distributed: self.distributed.as_ref().map(|d| d.distributed_stats()),
         }
     }
 
@@ -547,7 +577,7 @@ fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
 
 fn worker_loop(
     queue: &JobQueue,
-    store: &Arc<ShardedMemoDb>,
+    store: &Arc<dyn MemoStore>,
     counters: &Counters,
     governor: &Arc<ConcurrencyGovernor>,
     intra_job_threads: usize,
@@ -715,7 +745,7 @@ fn run_job(
     id: JobId,
     job: ReconJob,
     token: CancelToken,
-    store: &Arc<ShardedMemoDb>,
+    store: &Arc<dyn MemoStore>,
     counters: &Counters,
     governor: &Arc<ConcurrencyGovernor>,
     intra_job_threads: usize,
@@ -728,7 +758,7 @@ fn run_job(
     let mut config = job.config;
     config.intra_job_threads = config.intra_job_threads.max(intra_job_threads);
     let pipeline = MlrPipeline::new(config);
-    let shared: Arc<dyn MemoStore> = Arc::clone(store) as Arc<dyn MemoStore>;
+    let shared: Arc<dyn MemoStore> = Arc::clone(store);
     let (result, executor) = pipeline.run_memoized_observed(
         shared,
         id,

@@ -8,7 +8,7 @@
 //! condvars (no async runtime, no external crates):
 //!
 //! * every admitted [`ServeRequest`] yields a ticket-style
-//!   [`JobHandle`](crate::JobHandle) with `try_wait` / `wait_timeout` /
+//!   [`JobHandle`] with `try_wait` / `wait_timeout` /
 //!   `wait` / `cancel`;
 //! * a request's [`Deadline`] is converted to an absolute instant at
 //!   admission and enforced in two places: a job still *queued* past its
@@ -110,6 +110,25 @@ impl ServeRequest {
 
 /// The deadline-aware serving front-end: request/response submission with
 /// job cancellation over a [`Runtime`].
+///
+/// ```
+/// use mlr_core::MlrConfig;
+/// use mlr_runtime::{RuntimeConfig, ServeFront, ServeRequest};
+///
+/// let config = MlrConfig::quick(12, 8).with_iterations(2);
+/// let front = ServeFront::new(RuntimeConfig {
+///     workers: 1,
+///     ..RuntimeConfig::matching(&config)
+/// });
+/// let report = front
+///     .submit(ServeRequest::new("demo", config))
+///     .expect("queue has room")
+///     .wait_report()
+///     .expect("job completes");
+/// assert_eq!(report.loss.len(), 2);
+/// let stats = front.shutdown();
+/// assert_eq!(stats.completed, 1);
+/// ```
 pub struct ServeFront {
     runtime: Runtime,
 }

@@ -1,6 +1,6 @@
 //! Runtime-wide statistics.
 
-use mlr_memo::{ParallelStats, StoreStats};
+use mlr_memo::{DistributedStats, ParallelStats, StoreStats};
 use serde::{Deserialize, Serialize};
 
 /// Deadline bookkeeping across all decided jobs (a job is *decided* once it
@@ -50,7 +50,7 @@ impl DeadlineStats {
 /// latency, worker utilisation, and the shared store's counters (including
 /// the cross-job hit rate that quantifies what sharing one memoization
 /// database across jobs buys).
-#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct RuntimeStats {
     /// Number of worker threads.
     pub workers: usize,
@@ -91,6 +91,10 @@ pub struct RuntimeStats {
     /// requests vs governor grants and the measured/modeled speedups of the
     /// intra-job parallel phases.
     pub parallel: ParallelStats,
+    /// Per-node accounting of the distributed memo tier (stripe placement,
+    /// link utilisation, replica-set effect). `None` unless the runtime was
+    /// configured with a [`mlr_memo::NodeTopology`].
+    pub distributed: Option<DistributedStats>,
 }
 
 impl RuntimeStats {
@@ -213,6 +217,7 @@ mod tests {
                 modeled_serial_cost: 8.0,
                 modeled_critical_cost: 2.0,
             },
+            distributed: None,
         };
         assert!((s.parallel_efficiency() - 0.75).abs() < 1e-12);
         assert!((s.intra_job_speedup() - 2.0).abs() < 1e-12);

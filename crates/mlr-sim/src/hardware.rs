@@ -61,7 +61,7 @@ impl SsdSpec {
 }
 
 /// The inter-node interconnect (and the link to the memory node).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct InterconnectSpec {
     /// Bidirectional injection bandwidth per node in Gb/s (the paper quotes
     /// 200 Gb/s for dual Slingshot-11).

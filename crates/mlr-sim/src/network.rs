@@ -15,7 +15,7 @@ use rand::Rng;
 use serde::{Deserialize, Serialize};
 
 /// A contended, shared link (the memory node's injection port).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct SharedLink {
     /// Link capacity in GB/s.
     pub capacity_gbps: f64,
@@ -77,6 +77,94 @@ impl SharedLink {
         let deterministic = mean * (1.0 - queue_fraction);
         let tail = exponential(rng, 1.0 / (mean * queue_fraction).max(1e-12));
         deterministic + tail
+    }
+}
+
+/// A deterministic FIFO queue over one [`SharedLink`] — the charging seam
+/// the distributed memo tier and the trace-replay harness account remote
+/// store operations through.
+///
+/// Where [`SharedLink::loaded_latency`] answers "what is the *mean* latency
+/// at utilisation ρ" analytically, `LinkQueue` simulates the link as a
+/// single server: each message occupies the link for
+/// `base_latency + bytes / capacity` seconds, a message arriving while an
+/// earlier one is still in service waits for it, and the returned latency is
+/// wait + service. Fed the same arrival sequence it always produces the same
+/// latencies — no randomness, no wall clock — which is what lets a recorded
+/// `AccessTrace` reproduce the Figure 15/16 utilisation and latency-CDF
+/// curves deterministically.
+///
+/// Arrivals are expected in non-decreasing time order (store-clock ticks
+/// mapped to seconds are); an out-of-order arrival is served as if it
+/// arrived when the link last went idle.
+#[derive(Debug, Clone)]
+pub struct LinkQueue {
+    link: SharedLink,
+    /// Simulated time at which the link finishes its last accepted message.
+    next_free: Seconds,
+    /// Total seconds the link spent in service (busy time).
+    busy: Seconds,
+    messages: u64,
+    bytes: f64,
+}
+
+impl LinkQueue {
+    /// An idle queue over `link`.
+    pub fn new(link: SharedLink) -> Self {
+        Self {
+            link,
+            next_free: 0.0,
+            busy: 0.0,
+            messages: 0,
+            bytes: 0.0,
+        }
+    }
+
+    /// The underlying link.
+    pub fn link(&self) -> &SharedLink {
+        &self.link
+    }
+
+    /// Charges one message of `bytes` arriving at simulated time `arrival`
+    /// and returns its total latency (queue wait + service time).
+    pub fn charge(&mut self, arrival: Seconds, bytes: f64) -> Seconds {
+        let service = self.link.base_latency + bytes.max(0.0) / (self.link.capacity_gbps * 1e9);
+        let start = arrival.max(self.next_free);
+        self.next_free = start + service;
+        self.busy += service;
+        self.messages += 1;
+        self.bytes += bytes.max(0.0);
+        self.next_free - arrival
+    }
+
+    /// Messages charged so far.
+    pub fn messages(&self) -> u64 {
+        self.messages
+    }
+
+    /// Payload bytes charged so far.
+    pub fn bytes(&self) -> f64 {
+        self.bytes
+    }
+
+    /// Seconds the link spent in service.
+    pub fn busy_seconds(&self) -> Seconds {
+        self.busy
+    }
+
+    /// Simulated time at which the link goes idle.
+    pub fn next_free(&self) -> Seconds {
+        self.next_free
+    }
+
+    /// Fraction of the horizon `[0, horizon]` the link was busy, in
+    /// `[0, 1]` (0 for an empty horizon).
+    pub fn utilisation(&self, horizon: Seconds) -> f64 {
+        if horizon <= 0.0 {
+            0.0
+        } else {
+            (self.busy / horizon).min(1.0)
+        }
     }
 }
 
@@ -152,6 +240,40 @@ mod tests {
         let mut low = low;
         let mut high = high;
         assert!(p99(&mut high) > 10.0 * p99(&mut low));
+    }
+
+    #[test]
+    fn link_queue_charges_wait_plus_service() {
+        let mut q = LinkQueue::new(link());
+        let service = q.link().base_latency + 4096.0 / (q.link().capacity_gbps * 1e9);
+        // An uncontended message pays exactly the service time.
+        let first = q.charge(0.0, 4096.0);
+        assert!((first - service).abs() < 1e-12);
+        // A message arriving while the first is in service waits for it.
+        let second = q.charge(0.0, 4096.0);
+        assert!((second - 2.0 * service).abs() < 1e-12);
+        // A message arriving after the link went idle pays no wait.
+        let third = q.charge(1.0, 4096.0);
+        assert!((third - service).abs() < 1e-12);
+        assert_eq!(q.messages(), 3);
+        assert!((q.bytes() - 3.0 * 4096.0).abs() < 1e-9);
+        assert!((q.busy_seconds() - 3.0 * service).abs() < 1e-12);
+        let horizon = q.next_free();
+        assert!(q.utilisation(horizon) > 0.0);
+        assert!(q.utilisation(horizon) <= 1.0);
+        assert_eq!(q.utilisation(0.0), 0.0);
+    }
+
+    #[test]
+    fn link_queue_is_deterministic() {
+        let arrivals: Vec<(f64, f64)> = (0..100)
+            .map(|i| (i as f64 * 1e-6, 1024.0 + (i % 7) as f64 * 512.0))
+            .collect();
+        let run = || -> Vec<f64> {
+            let mut q = LinkQueue::new(link());
+            arrivals.iter().map(|&(t, b)| q.charge(t, b)).collect()
+        };
+        assert_eq!(run(), run());
     }
 
     #[test]

@@ -34,10 +34,13 @@
 //!   timestamps are optional and never influence ordering, so the
 //!   bit-identity contracts are untouched.
 
+#![warn(missing_docs)]
+
 mod export;
 mod hist;
 mod metrics;
 mod recorder;
+mod replay;
 mod span;
 mod trace;
 
@@ -48,5 +51,6 @@ pub use metrics::{
     COUNTER_NAMES, STAGE_COUNT, STAGE_NAMES,
 };
 pub use recorder::{Telemetry, TelemetryConfig};
+pub use replay::{export_access_records, parse_access_records, TraceParseError};
 pub use span::{SpanJournal, SpanKind, SpanRecord};
 pub use trace::{AccessKind, AccessRecord, AccessTrace};

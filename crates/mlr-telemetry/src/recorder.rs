@@ -48,6 +48,24 @@ struct TelemetryInner {
 /// Cloneable recorder handle threaded through runtime, memo engine, solver
 /// and operators. Disabled (`Telemetry::disabled()`, also the `Default`)
 /// it records nothing and costs one branch per call site.
+///
+/// ```
+/// use mlr_telemetry::{CounterId, SpanKind, Telemetry};
+///
+/// let telemetry = Telemetry::enabled();
+/// telemetry.count(CounterId::JobsAdmitted, 1);
+/// telemetry.span(7, SpanKind::Admitted, 0);
+/// let snapshot = telemetry.snapshot().expect("enabled recorders snapshot");
+/// assert_eq!(snapshot.metrics.counter(CounterId::JobsAdmitted), 1);
+/// assert_eq!(snapshot.spans.len(), 1);
+/// assert!(snapshot.to_json().contains("jobs_admitted"));
+///
+/// // Disabled — the default everywhere — records nothing and has nothing
+/// // to snapshot; every recording call above would have been one branch.
+/// let disabled = Telemetry::disabled();
+/// disabled.count(CounterId::JobsAdmitted, 1);
+/// assert!(disabled.snapshot().is_none());
+/// ```
 #[derive(Clone, Default)]
 pub struct Telemetry {
     inner: Option<Arc<TelemetryInner>>,

@@ -37,10 +37,22 @@ impl AccessKind {
             AccessKind::Expired => "expired",
         }
     }
+
+    /// Inverse of [`AccessKind::name`], for the trace replay reader.
+    pub fn from_name(name: &str) -> Option<Self> {
+        match name {
+            "hit" => Some(AccessKind::Hit),
+            "miss" => Some(AccessKind::Miss),
+            "insert" => Some(AccessKind::Insert),
+            "evict" => Some(AccessKind::Evict),
+            "expired" => Some(AccessKind::Expired),
+            _ => None,
+        }
+    }
 }
 
 /// One store access. `Copy`, fixed-size.
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct AccessRecord {
     /// Store entry id (`0` when the access resolved no entry, e.g. a miss).
     pub entry: u64,

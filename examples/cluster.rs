@@ -1,0 +1,122 @@
+//! The distributed memo tier: stripes spread across simulated memory
+//! nodes, hot-entry replication, and trace replay through the shared-link
+//! contention model.
+//!
+//! A topology-configured runtime serves a small multi-tenant workload, so
+//! every store access is charged through the modeled Slingshot
+//! interconnect while staying bit-identical to the process-local store.
+//! The example then prints the per-node utilisation snapshot (Figure 15
+//! analogue), replays the recorded access trace through
+//! `mlr_cluster::replay_trace`, and reports the replayed query-latency
+//! CDF (Figure 16 analogue).
+//!
+//! ```bash
+//! cargo run --release --example cluster
+//! ```
+
+use mlr_cluster::{replay_trace, ReplayConfig};
+use mlr_core::MlrConfig;
+use mlr_math::stats::Ecdf;
+use mlr_memo::NodeTopology;
+use mlr_runtime::{ReconJob, Runtime, RuntimeConfig};
+use mlr_sim::hardware::InterconnectSpec;
+use mlr_telemetry::parse_access_records;
+
+fn main() {
+    let config = MlrConfig::quick(16, 8).with_iterations(4);
+    // Four simulated memory nodes behind a Slingshot-11 interconnect. The
+    // topology only changes the modeled cost accounting: reconstructions
+    // stay bit-identical to a runtime without one (tests/distributed.rs).
+    let topology = NodeTopology::with_nodes(4);
+    let rt = Runtime::new(RuntimeConfig {
+        workers: 2,
+        queue_capacity: 8,
+        // Record the store access trace so the run can be replayed.
+        telemetry: true,
+        access_trace: Some(1 << 16),
+        topology: Some(topology),
+        ..RuntimeConfig::matching(&config)
+    });
+
+    println!(
+        "running 4 jobs over {} memory nodes ({} stripes each on average) ...\n",
+        topology.nodes,
+        rt.distributed()
+            .expect("topology configured")
+            .placement()
+            .len()
+            / topology.nodes
+    );
+
+    for i in 0..4 {
+        rt.submit(ReconJob::new(format!("tenant-{i}"), config))
+            .expect("queue has room for the demo")
+            .wait_report()
+            .expect("job completes");
+    }
+
+    let distributed = rt.distributed().expect("topology configured");
+    let placement = distributed.placement().to_vec();
+    let live = distributed.distributed_stats();
+    let snapshot = rt.telemetry().snapshot().expect("telemetry enabled");
+    let stats = rt.shutdown();
+
+    // Per-node utilisation of the live run — which stripes each node owns,
+    // how much traffic its link carried, and how busy it was.
+    println!("== live per-node stats (modeled link accounting) ==");
+    println!(
+        "{:<6} {:>7} {:>8} {:>6} {:>8} {:>10} {:>9}",
+        "node", "stripes", "entries", "hits", "msgs", "bytes", "util"
+    );
+    for node in &live.nodes {
+        println!(
+            "{:<6} {:>7} {:>8} {:>6} {:>8} {:>10.0} {:>8.1}%",
+            node.node,
+            node.stripes,
+            node.entries,
+            node.hits,
+            node.messages,
+            node.bytes,
+            100.0 * node.utilisation,
+        );
+    }
+    println!(
+        "replicas: {} resident, {} promotions; {:.0}% of hits served node-local",
+        live.replicas,
+        live.promotions,
+        100.0 * live.local_hit_fraction(),
+    );
+    println!(
+        "store totals: {} hits ({} cross-job), {} entries resident",
+        stats.store.hits, stats.store.cross_job_hits, stats.store.entries
+    );
+
+    // Replay the recorded trace through the shared-link contention model
+    // over the run's own stripe placement — the Figure 15/16 harness.
+    let records = parse_access_records(&snapshot.to_json()).expect("trace round-trips");
+    let outcome = replay_trace(
+        &records,
+        &placement,
+        &ReplayConfig::new(InterconnectSpec::slingshot11()),
+    );
+    let ecdf = Ecdf::new(&outcome.query_latencies);
+    println!(
+        "\n== trace replay ({} accesses, {} queries) ==",
+        records.len(),
+        outcome.query_latencies.len()
+    );
+    println!(
+        "query latency CDF: p50 {:.2} us, p90 {:.2} us, p99 {:.2} us",
+        ecdf.quantile(0.50) * 1e6,
+        ecdf.quantile(0.90) * 1e6,
+        ecdf.quantile(0.99) * 1e6,
+    );
+    println!(
+        "{} of {} nodes active; {} local / {} remote hits, {} promotions",
+        outcome.active_nodes(),
+        topology.nodes,
+        outcome.local_hits,
+        outcome.remote_hits,
+        outcome.promotions,
+    );
+}
