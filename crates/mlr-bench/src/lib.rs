@@ -22,7 +22,7 @@
 //! | `fig19_eviction` | beyond the paper — capacity budget vs cross-job hit rate per eviction policy |
 //! | `fig20_intra_job` | beyond the paper — intra-job chunk parallelism: threads × chunk size, speedup + hit parity |
 //! | `fig21_serving` | beyond the paper — deadline-aware serving: load × deadline tightness vs miss rate, cancellation guarantees |
-//! | `fig22_hotpath` | beyond the paper — zero-copy memo hits: hit ns/chunk, miss FFT throughput, allocations/chunk (counting allocator), per-stage hit breakdown |
+//! | `fig22_hotpath` | beyond the paper — zero-copy memo hits: hit ns/chunk, miss FFT throughput, allocations/chunk (counting allocator), per-stage hit breakdown (prefilter/encode/peek/probe/quantize), prefilter skip lane; `--sweep` adds the 256..16 Ki-elem chunk-size sweep recording `break_even_chunk_elems` |
 //! | `fig23_observability` | beyond the paper — telemetry overhead: disabled vs enabled hit ns/chunk, enabled-mode allocation envelope, export round-trip |
 //! | `fig24_cluster` | beyond the paper — distributed memo tier: hit parity vs `ShardedMemoDb`, access-trace replay over simulated memory nodes (Figure 15/16 analogues) |
 //! | `check_bench` | CI regression gate over the `BENCH_*.json` records (see `ci/bench_baseline.json`) |
@@ -30,7 +30,9 @@
 //! Run any of them with `cargo run --release -p mlr-bench --bin <name> [-- --scale tiny|small|paper]`.
 //! `fig18_multi_job`, `fig19_eviction`, `fig20_intra_job`, `fig21_serving`,
 //! `fig22_hotpath`, `fig23_observability` and `fig24_cluster` additionally accept `--smoke`, the
-//! reduced-size mode CI's bench-smoke job runs. Each prints a human-readable
+//! reduced-size mode CI's bench-smoke job runs; `fig22_hotpath` also accepts
+//! `--sweep` (CI passes it) to embed the chunk-size break-even sweep in
+//! `BENCH_hotpath.json`. Each prints a human-readable
 //! table with the paper's reported values next to the reproduced ones and
 //! writes a JSON record under `target/experiments/`.
 

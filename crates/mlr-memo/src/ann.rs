@@ -27,9 +27,36 @@
 use mlr_math::norms::l2_distance;
 use mlr_math::rng::seeded;
 use rand::seq::SliceRandom;
-use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
-use std::cell::RefCell;
+use std::cell::{Cell, RefCell};
+use std::sync::atomic::{AtomicBool, Ordering};
+
+/// Process-wide switch for quantize-stage timing. Off by default so the
+/// disabled hot path pays one relaxed load per probed list and zero clock
+/// reads; the engine flips it per batch when telemetry is enabled.
+static QUANTIZE_TIMING: AtomicBool = AtomicBool::new(false);
+
+thread_local! {
+    /// Nanoseconds spent in the fixed-point shortlist kernel on this thread
+    /// since the last drain. Probes run on the calling thread, so the engine
+    /// drains this right after each probe with no cross-thread traffic.
+    static QUANTIZE_NS: Cell<u64> = const { Cell::new(0) };
+}
+
+/// Enables or disables quantize-stage timing for subsequent probes.
+pub(crate) fn set_quantize_timing(on: bool) {
+    QUANTIZE_TIMING.store(on, Ordering::Relaxed);
+}
+
+/// Drains the calling thread's accumulated quantize-kernel nanoseconds.
+pub(crate) fn take_quantize_ns() -> u64 {
+    QUANTIZE_NS.with(|c| c.replace(0))
+}
+
+#[inline]
+fn add_quantize_ns(ns: u64) {
+    QUANTIZE_NS.with(|c| c.set(c.get() + ns));
+}
 
 /// Result of one nearest-neighbour query.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -65,11 +92,27 @@ impl Default for IvfConfig {
 /// norms and the flat key data (stride = key dimension). List order is
 /// insertion order, preserved across removals — search tie-breaking (first
 /// encountered wins at equal distance) depends on it.
+///
+/// Alongside the exact `f64` keys the list keeps a symmetric i8-quantised
+/// mirror (`qdata`, shared per-list `scale`) plus each key's exact
+/// quantisation residual `‖k − scale·k8‖₂`. A probe shortlists candidates
+/// with a fixed-point i32 kernel over `qdata` and only rescores the
+/// shortlist with the exact `f64` kernel; the residuals make the shortlist
+/// bound provably conservative, so the rescored winner is bit-identical to
+/// a full `f64` scan.
 #[derive(Debug, Clone, Default)]
 struct FlatList {
     ids: Vec<u64>,
     norms_sq: Vec<f64>,
     data: Vec<f64>,
+    /// i8-quantised mirror of `data` (same stride).
+    qdata: Vec<i8>,
+    /// Exact per-key quantisation residual `‖k − scale·k8‖₂`.
+    residuals: Vec<f64>,
+    /// Symmetric quantisation scale shared by every key in the list; grows
+    /// monotonically (keys are requantised when a new key exceeds the
+    /// representable `scale·127` range).
+    scale: f64,
 }
 
 impl FlatList {
@@ -86,14 +129,53 @@ impl FlatList {
         self.ids.push(id);
         self.norms_sq.push(key.iter().map(|x| x * x).sum());
         self.data.extend_from_slice(key);
+        let maxabs = key.iter().fold(0.0f64, |m, &x| m.max(x.abs()));
+        if maxabs > self.scale * 127.0 {
+            self.rescale(maxabs / 127.0, key.len());
+        } else {
+            append_quantised(key, self.scale, &mut self.qdata, &mut self.residuals);
+        }
+    }
+
+    /// Requantises every stored key at a new, larger scale (including the
+    /// just-pushed tail key). The scale only grows, so requantisation cost
+    /// is amortised across inserts.
+    fn rescale(&mut self, scale: f64, dim: usize) {
+        self.scale = scale;
+        self.qdata.clear();
+        self.residuals.clear();
+        for key in self.data.chunks_exact(dim) {
+            append_quantised(key, scale, &mut self.qdata, &mut self.residuals);
+        }
     }
 
     /// Removes entry `i`, shifting the tail down so order is preserved.
     fn remove(&mut self, i: usize, dim: usize) {
         self.ids.remove(i);
         self.norms_sq.remove(i);
+        self.residuals.remove(i);
         self.data.drain(i * dim..(i + 1) * dim);
+        self.qdata.drain(i * dim..(i + 1) * dim);
     }
+}
+
+/// Quantises one key at `scale`, appending the i8 codes to `qdata` and the
+/// exact residual `‖key − scale·k8‖₂` to `residuals`. A zero scale (empty
+/// or all-zero list) quantises everything to 0 with the full norm as
+/// residual — weak but still conservative bounds.
+fn append_quantised(key: &[f64], scale: f64, qdata: &mut Vec<i8>, residuals: &mut Vec<f64>) {
+    let mut resid_sq = 0.0;
+    for &x in key {
+        let q = if scale > 0.0 {
+            (x / scale).round().clamp(-127.0, 127.0)
+        } else {
+            0.0
+        };
+        let r = x - q * scale;
+        resid_sq += r * r;
+        qdata.push(q as i8);
+    }
+    residuals.push(resid_sq.sqrt());
 }
 
 /// Reusable per-query probe scratch: the centroid ranking a query builds to
@@ -104,10 +186,31 @@ impl FlatList {
 pub struct SearchScratch {
     centroid_dists: Vec<(usize, f64)>,
     probes: Vec<usize>,
+    /// The query quantised at the current list's scale.
+    q8: Vec<i8>,
+    /// Fixed-point squared distances `Σ(q8−k8)²` for the current list.
+    qdists: Vec<i32>,
 }
 
 thread_local! {
     static PROBE_SCRATCH: RefCell<SearchScratch> = RefCell::new(SearchScratch::default());
+}
+
+/// Reusable scratch for [`IvfIndex::search_batch_with`]: the per-batch
+/// centroid distance matrix, per-query centroid ranking, and the per-list
+/// buckets of `(query index, probe rank)` pairs the list-major scan walks.
+/// Contents never influence results (fully rebuilt per batch).
+#[derive(Debug, Default)]
+pub struct BatchSearchScratch {
+    /// Flat `queries × centroids` distance matrix, filled centroid-major.
+    dists: Vec<f64>,
+    /// Per-query centroid ranking, rebuilt per query.
+    order: Vec<(usize, f64)>,
+    /// For each posting list, the `(query index, probe rank)` pairs that
+    /// probe it this batch.
+    list_queries: Vec<Vec<(usize, usize)>>,
+    /// The single-query probe scratch reused for quantised shortlisting.
+    probe: SearchScratch,
 }
 
 /// A cluster-based approximate-nearest-neighbour index over fixed-dimension
@@ -228,6 +331,10 @@ impl IvfIndex {
         for pi in 0..scratch.probes.len() {
             let li = scratch.probes[pi];
             let list = &self.lists[li];
+            if list.len() == 0 {
+                continue;
+            }
+            let eq = self.quantise_probe(query, list, scratch);
             for i in 0..list.len() {
                 // Norm-triangle lower bound: ‖q − x‖² ≥ (‖q‖ − ‖x‖)². The
                 // tiny relative margin keeps the prune conservative against
@@ -235,6 +342,14 @@ impl IvfIndex {
                 // candidate the exact scan would pick is never skipped.
                 let lb = q_norm - list.norms_sq[i].sqrt();
                 if lb * lb > best_sum * (1.0 + 1e-9) {
+                    continue;
+                }
+                // Fixed-point shortlist bound (triangle inequality around
+                // the quantised images): ‖q − k‖ ≥ scale·‖q8 − k8‖ − eq − ek.
+                // Candidates whose bound already exceeds the incumbent skip
+                // the exact f64 rescore entirely.
+                let qlb = list.scale * (scratch.qdists[i] as f64).sqrt() - eq - list.residuals[i];
+                if qlb > 0.0 && qlb * qlb > best_sum * (1.0 + 1e-9) {
                     continue;
                 }
                 let Some(sum) = distance_sq_early_abandon(query, list.key(i, self.dim), best_sum)
@@ -254,11 +369,173 @@ impl IvfIndex {
         best
     }
 
-    /// Batched search: one result slot per query, computed in parallel (the
-    /// memory node's multi-threaded batched lookup enabled by key
-    /// coalescing). Each worker thread reuses its own thread-local scratch.
+    /// Quantises `query` at `list`'s scale into `scratch.q8`, streams the
+    /// whole list's i8 codes through the fixed-point i32 distance kernel
+    /// into `scratch.qdists`, and returns the query's exact quantisation
+    /// residual `‖q − scale·q8‖₂`. This branch-free SoA pass is the
+    /// autovectorizable heart of the shortlist; its wall time feeds the
+    /// `quantize` telemetry stage when timing is enabled.
+    fn quantise_probe(&self, query: &[f64], list: &FlatList, scratch: &mut SearchScratch) -> f64 {
+        let t0 = QUANTIZE_TIMING
+            .load(Ordering::Relaxed)
+            .then(std::time::Instant::now);
+        let scale = list.scale;
+        scratch.q8.clear();
+        let mut resid_sq = 0.0;
+        for &x in query {
+            let q = if scale > 0.0 {
+                (x / scale).round().clamp(-127.0, 127.0)
+            } else {
+                0.0
+            };
+            let r = x - q * scale;
+            resid_sq += r * r;
+            scratch.q8.push(q as i8);
+        }
+        scratch.qdists.clear();
+        for krow in list.qdata.chunks_exact(self.dim) {
+            let mut acc = 0i32;
+            for (&a, &b) in scratch.q8.iter().zip(krow) {
+                let d = a as i32 - b as i32;
+                acc += d * d;
+            }
+            scratch.qdists.push(acc);
+        }
+        if let Some(t0) = t0 {
+            add_quantize_ns(t0.elapsed().as_nanos() as u64);
+        }
+        resid_sq.sqrt()
+    }
+
+    /// Batched search: one result slot per query, amortizing centroid scans
+    /// and posting-list traversal across the batch (the memory node's
+    /// batched lookup enabled by key coalescing). Each slot is bit-identical
+    /// to [`IvfIndex::search`] on the same query.
     pub fn search_batch(&self, queries: &[Vec<f64>]) -> Vec<Option<SearchHit>> {
-        queries.par_iter().map(|q| self.search(q)).collect()
+        thread_local! {
+            static BATCH_SCRATCH: RefCell<BatchSearchScratch> =
+                RefCell::new(BatchSearchScratch::default());
+        }
+        BATCH_SCRATCH.with(|s| self.search_batch_with(queries, &mut s.borrow_mut()))
+    }
+
+    /// [`Self::search_batch`] with an explicit reusable scratch.
+    ///
+    /// The batch is processed centroid-major then list-major: every centroid
+    /// row is streamed once against all queries, and every posting list is
+    /// scanned once while its key data is cache-hot for all queries probing
+    /// it — instead of re-walking centroids and lists per query. Per-query
+    /// winners are tracked as the lexicographic minimum of
+    /// `(distance, probe rank, list position)`, which is exactly the first
+    /// candidate the probe-ordered scan of [`IvfIndex::search_with`] would
+    /// have kept, so every result slot is bit-identical (id and distance
+    /// bits) to the single-query path.
+    pub fn search_batch_with(
+        &self,
+        queries: &[Vec<f64>],
+        scratch: &mut BatchSearchScratch,
+    ) -> Vec<Option<SearchHit>> {
+        for q in queries {
+            assert_eq!(q.len(), self.dim, "query dimension mismatch");
+        }
+        let mut results: Vec<Option<SearchHit>> = vec![None; queries.len()];
+        if self.len == 0 || queries.is_empty() {
+            return results;
+        }
+
+        // Phase 1: rank centroids for every query. The distance matrix is
+        // filled centroid-major (each centroid row loaded once, streamed
+        // against the whole batch); the per-query ranking then reproduces
+        // `probe_lists` exactly (stable sort over the index-ordered table).
+        scratch.list_queries.resize_with(self.lists.len(), Vec::new);
+        for bucket in &mut scratch.list_queries {
+            bucket.clear();
+        }
+        if self.centroid_count == 0 {
+            for qi in 0..queries.len() {
+                scratch.list_queries[0].push((qi, 0));
+            }
+        } else {
+            let c = self.centroid_count;
+            scratch.dists.clear();
+            scratch.dists.resize(queries.len() * c, 0.0);
+            for ci in 0..c {
+                let cent = self.centroid(ci);
+                for (qi, q) in queries.iter().enumerate() {
+                    scratch.dists[qi * c + ci] = l2_distance(q, cent);
+                }
+            }
+            for qi in 0..queries.len() {
+                scratch.order.clear();
+                scratch
+                    .order
+                    .extend((0..c).map(|ci| (ci, scratch.dists[qi * c + ci])));
+                scratch
+                    .order
+                    .sort_by(|a, b| a.1.partial_cmp(&b.1).expect("non-finite distance"));
+                for (rank, &(ci, _)) in scratch.order.iter().take(self.config.nprobe).enumerate() {
+                    scratch.list_queries[ci].push((qi, rank));
+                }
+            }
+        }
+
+        // Phase 2: scan each posting list once for all queries probing it.
+        let q_norms: Vec<f64> = queries
+            .iter()
+            .map(|q| q.iter().map(|x| x * x).sum::<f64>().sqrt())
+            .collect();
+        let mut best_order = vec![(usize::MAX, usize::MAX); queries.len()];
+        let mut best_sums = vec![f64::INFINITY; queries.len()];
+        for (li, list) in self.lists.iter().enumerate() {
+            if list.len() == 0 || scratch.list_queries[li].is_empty() {
+                continue;
+            }
+            for bi in 0..scratch.list_queries[li].len() {
+                let (qi, rank) = scratch.list_queries[li][bi];
+                let query = &queries[qi];
+                let eq = self.quantise_probe(query, list, &mut scratch.probe);
+                for i in 0..list.len() {
+                    let best_sum = best_sums[qi];
+                    let lb = q_norms[qi] - list.norms_sq[i].sqrt();
+                    if lb * lb > best_sum * (1.0 + 1e-9) {
+                        continue;
+                    }
+                    let qlb = list.scale * (scratch.probe.qdists[i] as f64).sqrt()
+                        - eq
+                        - list.residuals[i];
+                    if qlb > 0.0 && qlb * qlb > best_sum * (1.0 + 1e-9) {
+                        continue;
+                    }
+                    // Slightly inflated abandon threshold: candidates whose
+                    // exact sum *ties* the incumbent must survive to the
+                    // comparison below, because out-of-probe-order scanning
+                    // resolves ties by (rank, position), not arrival.
+                    let Some(sum) = distance_sq_early_abandon(
+                        query,
+                        list.key(i, self.dim),
+                        best_sum * (1.0 + 1e-9) + f64::MIN_POSITIVE,
+                    ) else {
+                        continue;
+                    };
+                    let d = sum.sqrt();
+                    let wins = match &results[qi] {
+                        None => true,
+                        Some(b) => {
+                            d < b.distance || (d == b.distance && (rank, i) < best_order[qi])
+                        }
+                    };
+                    if wins {
+                        results[qi] = Some(SearchHit {
+                            id: list.ids[i],
+                            distance: d,
+                        });
+                        best_order[qi] = (rank, i);
+                        best_sums[qi] = best_sums[qi].min(sum);
+                    }
+                }
+            }
+        }
+        results
     }
 
     /// Exact (exhaustive) nearest-neighbour search — the ground truth used by
@@ -527,6 +804,96 @@ mod tests {
                 assert_eq!(
                     pruned.distance.to_bits(),
                     exact.distance.to_bits(),
+                    "seed {seed}: distance bits diverged"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn quantised_shortlist_rescore_matches_exact_bits() {
+        // The quantized-shortlist + exact-rescore path must return the
+        // bit-identical SearchHit (id and distance bits) a full f64 scan
+        // would, across key distributions that stress the quantiser: wildly
+        // mixed magnitudes (worst-case shared per-list scale), duplicated
+        // keys (exact distance ties), and near-duplicates (shortlist bounds
+        // close to the incumbent).
+        for seed in 0..8u64 {
+            let dim = 20;
+            let mut idx = IvfIndex::new(
+                dim,
+                IvfConfig {
+                    nlist: 6,
+                    nprobe: 6,
+                    retrain_interval: 48,
+                },
+                seed,
+            );
+            let mut keys = random_keys(240, dim, 300 + seed);
+            for (i, key) in keys.iter_mut().enumerate() {
+                // Scales spanning 6 orders of magnitude within one index.
+                let scale = 10f64.powi((i % 7) as i32 - 3);
+                for v in key.iter_mut() {
+                    *v = (*v - 0.5) * scale;
+                }
+            }
+            // Exact duplicates force distance ties: first-inserted must win.
+            let dup = keys[17].clone();
+            keys.push(dup.clone());
+            keys.push(dup);
+            for (i, key) in keys.iter().enumerate() {
+                idx.add(i as u64, key.clone());
+            }
+            let mut scratch = SearchScratch::default();
+            let mut queries = random_keys(40, dim, 400 + seed);
+            queries.push(keys[17].clone()); // exact-match tie between 3 copies
+            for q in &queries {
+                let pruned = idx.search_with(q, &mut scratch).unwrap();
+                let exact = idx.search_exact(q).unwrap();
+                assert_eq!(pruned.id, exact.id, "seed {seed}");
+                assert_eq!(
+                    pruned.distance.to_bits(),
+                    exact.distance.to_bits(),
+                    "seed {seed}: distance bits diverged"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn batched_search_is_bit_identical_to_single() {
+        // The centroid-major batched scan must fill every result slot with
+        // the bit-identical hit the single-query probe-ordered scan returns
+        // — including on exact-duplicate keys where ties are resolved by
+        // (probe rank, list position) rather than arrival order.
+        for seed in 0..6u64 {
+            let dim = 12;
+            let mut idx = IvfIndex::new(
+                dim,
+                IvfConfig {
+                    nlist: 8,
+                    nprobe: 3,
+                    retrain_interval: 96,
+                },
+                seed,
+            );
+            let mut keys = random_keys(260, dim, 500 + seed);
+            let dup = keys[41].clone();
+            keys.push(dup);
+            for (i, key) in keys.iter().enumerate() {
+                idx.add(i as u64, key.clone());
+            }
+            let mut queries = random_keys(30, dim, 600 + seed);
+            queries.push(keys[41].clone());
+            let mut batch_scratch = BatchSearchScratch::default();
+            let batch = idx.search_batch_with(&queries, &mut batch_scratch);
+            let mut scratch = SearchScratch::default();
+            for (q, b) in queries.iter().zip(&batch) {
+                let single = idx.search_with(q, &mut scratch);
+                assert_eq!(single.map(|h| h.id), b.map(|h| h.id), "seed {seed}");
+                assert_eq!(
+                    single.map(|h| h.distance.to_bits()),
+                    b.map(|h| h.distance.to_bits()),
                     "seed {seed}: distance bits diverged"
                 );
             }

@@ -28,6 +28,7 @@ use crate::eviction::{
     recompute_cost_estimate, CapacityBudget, EntryMeta, EvictionPolicy, EvictionPolicyKind,
     StoreClock,
 };
+use crate::fingerprint::{ChunkFingerprint, FingerprintTable};
 use crate::kvstore::ValueStore;
 use crate::store::{ProbeOutcome, Provenance, StoreStats};
 use mlr_lamino::FftOpKind;
@@ -141,6 +142,10 @@ pub struct MemoDatabase {
     config: MemoDbConfig,
     encoder: CnnEncoder,
     scopes: HashMap<(FftOpKind, usize), Scope>,
+    /// Per-scope doorkeeper rings for the norm prefilter. Control metadata:
+    /// deliberately excluded from `resident_bytes` accounting (bounded at
+    /// [`crate::fingerprint::FINGERPRINT_HISTORY`] entries per scope).
+    fingerprints: HashMap<(FftOpKind, usize), FingerprintTable>,
     values: ValueStore,
     entries: HashMap<u64, EntryRecord>,
     clock: Arc<StoreClock>,
@@ -253,6 +258,7 @@ impl MemoDatabase {
             config,
             encoder,
             scopes: HashMap::new(),
+            fingerprints: HashMap::new(),
             values: ValueStore::new(),
             entries: HashMap::new(),
             clock,
@@ -369,6 +375,36 @@ impl MemoDatabase {
     /// and for benches that time the encoder separately).
     pub fn encode(&self, input: &[Complex64]) -> Vec<f64> {
         self.encoder.encode(input)
+    }
+
+    /// Encodes a batch of input chunks through one thread-local scratch
+    /// lease (amortizes the scratch across the batch, allocation-free once
+    /// the thread's scratch is warm).
+    pub fn encode_batch(&self, inputs: &[&[Complex64]]) -> Vec<Vec<f64>> {
+        self.encoder.encode_batch(inputs)
+    }
+
+    /// Does the scope's fingerprint history contain a chunk whose raw
+    /// similarity to `fp`'s chunk could exceed `τ`? Returns `false` for a
+    /// scope that has seen no chunks yet — the prefilter then routes the
+    /// chunk straight to the exact FFT without encoding it.
+    pub fn has_fingerprint_neighbor(
+        &self,
+        op: FftOpKind,
+        loc: usize,
+        fp: &ChunkFingerprint,
+    ) -> bool {
+        let scope = self.scope_key(op, loc);
+        self.fingerprints
+            .get(&scope)
+            .is_some_and(|t| t.has_neighbor(fp, self.config.tau))
+    }
+
+    /// Records the fingerprint of a committed chunk in the scope's
+    /// doorkeeper ring (bounded; the oldest entry is evicted on overflow).
+    pub fn note_fingerprint(&mut self, op: FftOpKind, loc: usize, fp: ChunkFingerprint) {
+        let scope = self.scope_key(op, loc);
+        self.fingerprints.entry(scope).or_default().note(fp);
     }
 
     fn scope_key(&self, op: FftOpKind, loc: usize) -> (FftOpKind, usize) {

@@ -472,6 +472,31 @@ impl MemoStore for DistributedMemoDb {
         self.inner.encode(input)
     }
 
+    fn encode_batch(&self, inputs: &[&[Complex64]]) -> Vec<Vec<f64>> {
+        self.inner.encode_batch(inputs)
+    }
+
+    // Fingerprint consultation happens on the compute node before any
+    // encode/probe traffic, so the distributed tier delegates without
+    // charging network time.
+    fn has_fingerprint_neighbor(
+        &self,
+        op: FftOpKind,
+        loc: usize,
+        fp: &crate::fingerprint::ChunkFingerprint,
+    ) -> bool {
+        self.inner.has_fingerprint_neighbor(op, loc, fp)
+    }
+
+    fn note_fingerprint(
+        &self,
+        op: FftOpKind,
+        loc: usize,
+        fp: crate::fingerprint::ChunkFingerprint,
+    ) {
+        self.inner.note_fingerprint(op, loc, fp);
+    }
+
     fn query_with_key(
         &self,
         op: FftOpKind,

@@ -19,6 +19,7 @@ use crate::coalesce::{KeyCoalescer, PendingKey};
 use crate::db::{MemoDatabase, MemoDbConfig, QueryOutcome};
 use crate::encoder::EncoderConfig;
 use crate::eviction::{recompute_cost_estimate, CapacityBudget, EvictionPolicyKind};
+use crate::fingerprint::ChunkFingerprint;
 use crate::parallel::{ConcurrencyGovernor, ParallelStats};
 use crate::similarity::SimilarityTracker;
 use crate::stats::{MemoCase, MemoStats, OpStatsTable};
@@ -82,6 +83,13 @@ pub struct MemoConfig {
     pub budget: CapacityBudget,
     /// Which eviction policy enforces the budget.
     pub eviction: EvictionPolicyKind,
+    /// Norm prefilter in front of the CNN encoder: chunks whose O(n)
+    /// fingerprint has no τ-band neighbor in the scope's recent history skip
+    /// encode, cache peek and database probe entirely and go straight to the
+    /// exact FFT. Only active when the backing store gates hits on raw
+    /// inputs (`MemoDbConfig::gate_on_raw`, the default) — the fingerprint
+    /// band bounds *raw* similarity, not key similarity.
+    pub prefilter: bool,
 }
 
 impl Default for MemoConfig {
@@ -98,6 +106,7 @@ impl Default for MemoConfig {
             warmup_iterations: 2,
             budget: CapacityBudget::unbounded(),
             eviction: EvictionPolicyKind::CostAware,
+            prefilter: true,
         }
     }
 }
@@ -138,6 +147,12 @@ enum ProbeCase {
         /// TTL-expired candidate to reclaim during the commit.
         expired: Option<u64>,
     },
+    /// The norm prefilter found no τ-band fingerprint neighbor: the exact
+    /// transform was computed without encoding, peeking, or probing.
+    Prefiltered {
+        output: Vec<Complex64>,
+        compute_seconds: f64,
+    },
 }
 
 /// Everything the parallel phase produces for one chunk: the encoded key,
@@ -147,6 +162,9 @@ enum ProbeCase {
 struct ChunkScratch {
     key: Vec<f64>,
     case: ProbeCase,
+    /// The chunk's fingerprint, noted into the scope's doorkeeper history
+    /// at ordered commit (`Some` whenever the prefilter is active).
+    fingerprint: Option<ChunkFingerprint>,
     cache_checked: bool,
     cache_comparisons: u64,
     seconds: f64,
@@ -154,6 +172,10 @@ struct ChunkScratch {
     encode_ns: u64,
     peek_ns: u64,
     probe_ns: u64,
+    prefilter_ns: u64,
+    /// Fixed-point shortlist time inside the probe (drained from the ANN
+    /// kernel's thread-local accumulator on the probing thread).
+    quantize_ns: u64,
 }
 
 /// The memoized FFT executor.
@@ -376,6 +398,19 @@ impl MemoizedExecutor {
         n: usize,
         f: impl Fn(usize) -> T + Sync,
     ) -> (Vec<T>, usize, usize) {
+        self.map_chunk_blocks(n, |range| range.map(&f).collect())
+    }
+
+    /// Like [`Self::map_chunks`], but hands each worker its whole contiguous
+    /// index block at once, so per-block work (batched key encoding, one
+    /// store lock per block) can be amortized. The partition is the same
+    /// deterministic contiguous split for any given thread count, and block
+    /// results are concatenated in index order.
+    fn map_chunk_blocks<T: Send>(
+        &self,
+        n: usize,
+        f: impl Fn(std::ops::Range<usize>) -> Vec<T> + Sync,
+    ) -> (Vec<T>, usize, usize) {
         let requested = self.threads.min(n).max(1);
         let lease = self
             .governor
@@ -385,7 +420,7 @@ impl MemoizedExecutor {
             .as_ref()
             .map_or(requested.saturating_sub(1), |l| l.granted());
         let out = if used <= 1 || n <= 1 {
-            (0..n).map(f).collect()
+            f(0..n)
         } else {
             let workers = used.min(n);
             let block = n.div_ceil(workers);
@@ -397,7 +432,7 @@ impl MemoizedExecutor {
                         s.spawn(move || {
                             let start = w * block;
                             let end = ((w + 1) * block).min(n);
-                            (start..end).map(f).collect::<Vec<T>>()
+                            f(start..end)
                         })
                     })
                     .collect();
@@ -478,6 +513,27 @@ impl FftExecutor for MemoizedExecutor {
         let iteration = state.iteration;
         if self.config.track_similarity {
             state.similarity.record(loc, iteration, input);
+        }
+
+        // 0. Norm prefilter: an O(n) fingerprint consulted against the
+        //    scope's doorkeeper history. No τ-band neighbor ⇒ the raw gate
+        //    cannot pass ⇒ skip encode/peek/probe and compute exactly. The
+        //    fingerprint is noted either way, so a repeating chunk is
+        //    admitted (and inserted) on its second sighting.
+        if self.config.prefilter && self.store.config().gate_on_raw {
+            let fp = ChunkFingerprint::compute(input);
+            let admitted = self.store.has_fingerprint_neighbor(kind, loc, &fp);
+            self.store.note_fingerprint(kind, loc, fp);
+            if !admitted {
+                drop(state);
+                let start = Instant::now();
+                let out = compute(input);
+                let elapsed = start.elapsed().as_secs_f64();
+                let mut state = self.state.lock();
+                state.stats.record(kind, MemoCase::Prefiltered);
+                state.stats.add_compute_time(kind, elapsed);
+                return out;
+            }
         }
 
         // 1. Encode the key once (through the store, so every tenant of a
@@ -636,79 +692,174 @@ impl FftExecutor for MemoizedExecutor {
             iteration,
         };
 
+        let prefilter_on = self.config.prefilter && self.store.config().gate_on_raw;
+        // The ANN kernel's fixed-point shortlist times itself into a
+        // thread-local accumulator, drained per chunk on the probing thread.
+        crate::ann::set_quantize_timing(tel_on);
+
         // ------------------------------------------------- phase 1: parallel
         let phase_start = Instant::now();
-        let (scratch, requested, used) = self.map_chunks(batch.len(), |i| {
-            let task = &batch[i];
-            let start = Instant::now();
-            let encode_clock = stage_clock(tel_on);
-            let key = self.store.encode(task.input);
-            let encode_ns = stage_ns(encode_clock);
-            let mut cache_checked = false;
-            let mut cache_comparisons = 0;
-            let mut peek_ns = 0;
-            if self.config.use_cache {
-                cache_checked = true;
-                let peek_clock = stage_clock(tel_on);
-                let (found, comparisons) =
-                    self.cache
-                        .read()
-                        .peek(kind, task.loc, &key, self.config.tau, iteration);
-                peek_ns = stage_ns(peek_clock);
-                cache_comparisons = comparisons;
-                if let Some(value) = found {
-                    return ChunkScratch {
-                        key,
-                        case: ProbeCase::CacheHit { value },
-                        cache_checked,
-                        cache_comparisons,
-                        seconds: start.elapsed().as_secs_f64(),
-                        encode_ns,
-                        peek_ns,
-                        probe_ns: 0,
-                    };
-                }
+        let (scratch, requested, used) = self.map_chunk_blocks(batch.len(), |range| {
+            let mut out: Vec<ChunkScratch> = Vec::with_capacity(range.len());
+            // Pass A: fingerprint + doorkeeper decision per chunk, read-only
+            // against the history frozen at the start of the application
+            // (notes happen at ordered commit, so the decisions are
+            // independent of the thread schedule).
+            let mut pre: Vec<(Option<ChunkFingerprint>, bool, f64)> =
+                Vec::with_capacity(range.len());
+            for i in range.clone() {
+                let task = &batch[i];
+                let t = Instant::now();
+                let (fp, admitted) = if prefilter_on {
+                    let fp = ChunkFingerprint::compute(task.input);
+                    let admitted = self.store.has_fingerprint_neighbor(kind, task.loc, &fp);
+                    (Some(fp), admitted)
+                } else {
+                    (None, true)
+                };
+                pre.push((fp, admitted, t.elapsed().as_secs_f64()));
             }
-            let probe_clock = stage_clock(tel_on);
-            let probe = self
-                .store
-                .probe_with_key(kind, task.loc, task.input, &key, origin);
-            let probe_ns = stage_ns(probe_clock);
-            let case = match probe {
-                ProbeOutcome::Hit {
-                    value,
-                    entry,
-                    origin: entry_origin,
-                    ..
-                } => ProbeCase::DbHit {
-                    value,
-                    entry,
-                    entry_origin,
-                },
-                outcome @ (ProbeOutcome::Miss | ProbeOutcome::Expired { .. }) => {
-                    let expired = match outcome {
-                        ProbeOutcome::Expired { entry } => Some(entry),
-                        _ => None,
-                    };
+            // Pass B: one batched encode for the block's admitted chunks —
+            // one store lock and one encoder scratch for the whole block
+            // instead of one per chunk.
+            let admitted_inputs: Vec<&[Complex64]> = range
+                .clone()
+                .zip(&pre)
+                .filter(|(_, (_, admitted, _))| *admitted)
+                .map(|(i, _)| batch[i].input)
+                .collect();
+            let encode_start = Instant::now();
+            let mut keys = if admitted_inputs.is_empty() {
+                Vec::new()
+            } else {
+                self.store.encode_batch(&admitted_inputs)
+            }
+            .into_iter();
+            let encode_seconds = encode_start.elapsed().as_secs_f64();
+            let n_admitted = admitted_inputs.len().max(1) as u64;
+            // Per-chunk attribution of the block encode: even shares, the
+            // integer remainder going to the first admitted chunk so the
+            // stage-sum invariant loses nothing to rounding.
+            let encode_share = encode_seconds / n_admitted as f64;
+            let encode_total_ns = (encode_seconds * 1e9) as u64;
+            let encode_share_ns = encode_total_ns / n_admitted;
+            let mut encode_rem_ns = encode_total_ns % n_admitted;
+            // Pass C: cache peek, database probe, and exact compute on miss.
+            for (i, (fp, admitted, pre_seconds)) in range.clone().zip(pre) {
+                let task = &batch[i];
+                let prefilter_ns = if tel_on && prefilter_on {
+                    (pre_seconds * 1e9) as u64
+                } else {
+                    0
+                };
+                if !admitted {
                     let compute_start = Instant::now();
                     let output = (task.compute)(task.input);
-                    ProbeCase::Computed {
-                        output,
-                        compute_seconds: compute_start.elapsed().as_secs_f64(),
-                        expired,
+                    let compute_seconds = compute_start.elapsed().as_secs_f64();
+                    out.push(ChunkScratch {
+                        key: Vec::new(),
+                        case: ProbeCase::Prefiltered {
+                            output,
+                            compute_seconds,
+                        },
+                        fingerprint: fp,
+                        cache_checked: false,
+                        cache_comparisons: 0,
+                        seconds: pre_seconds + compute_seconds,
+                        encode_ns: 0,
+                        peek_ns: 0,
+                        probe_ns: 0,
+                        prefilter_ns,
+                        quantize_ns: 0,
+                    });
+                    continue;
+                }
+                let key = keys.next().expect("one key per admitted chunk");
+                let encode_ns = if tel_on {
+                    encode_share_ns + std::mem::take(&mut encode_rem_ns)
+                } else {
+                    0
+                };
+                let start = Instant::now();
+                let mut cache_checked = false;
+                let mut cache_comparisons = 0;
+                let mut peek_ns = 0;
+                if self.config.use_cache {
+                    cache_checked = true;
+                    let peek_clock = stage_clock(tel_on);
+                    let (found, comparisons) =
+                        self.cache
+                            .read()
+                            .peek(kind, task.loc, &key, self.config.tau, iteration);
+                    peek_ns = stage_ns(peek_clock);
+                    cache_comparisons = comparisons;
+                    if let Some(value) = found {
+                        out.push(ChunkScratch {
+                            key,
+                            case: ProbeCase::CacheHit { value },
+                            fingerprint: fp,
+                            cache_checked,
+                            cache_comparisons,
+                            seconds: pre_seconds + encode_share + start.elapsed().as_secs_f64(),
+                            encode_ns,
+                            peek_ns,
+                            probe_ns: 0,
+                            prefilter_ns,
+                            quantize_ns: 0,
+                        });
+                        continue;
                     }
                 }
-            };
-            ChunkScratch {
-                key,
-                case,
-                cache_checked,
-                cache_comparisons,
-                seconds: start.elapsed().as_secs_f64(),
-                encode_ns,
-                peek_ns,
-                probe_ns,
+                let probe_clock = stage_clock(tel_on);
+                let probe = self
+                    .store
+                    .probe_with_key(kind, task.loc, task.input, &key, origin);
+                let probe_ns = stage_ns(probe_clock);
+                let quantize_ns = if tel_on {
+                    crate::ann::take_quantize_ns()
+                } else {
+                    0
+                };
+                let case = match probe {
+                    ProbeOutcome::Hit {
+                        value,
+                        entry,
+                        origin: entry_origin,
+                        ..
+                    } => ProbeCase::DbHit {
+                        value,
+                        entry,
+                        entry_origin,
+                    },
+                    outcome @ (ProbeOutcome::Miss | ProbeOutcome::Expired { .. }) => {
+                        let expired = match outcome {
+                            ProbeOutcome::Expired { entry } => Some(entry),
+                            _ => None,
+                        };
+                        let compute_start = Instant::now();
+                        let output = (task.compute)(task.input);
+                        ProbeCase::Computed {
+                            output,
+                            compute_seconds: compute_start.elapsed().as_secs_f64(),
+                            expired,
+                        }
+                    }
+                };
+                out.push(ChunkScratch {
+                    key,
+                    case,
+                    fingerprint: fp,
+                    cache_checked,
+                    cache_comparisons,
+                    seconds: pre_seconds + encode_share + start.elapsed().as_secs_f64(),
+                    encode_ns,
+                    peek_ns,
+                    probe_ns,
+                    prefilter_ns,
+                    quantize_ns,
+                });
             }
+            out
         });
         let phase_seconds = phase_start.elapsed().as_secs_f64();
 
@@ -726,18 +877,40 @@ impl FftExecutor for MemoizedExecutor {
             if self.config.track_similarity {
                 state.similarity.record(task.loc, iteration, task.input);
             }
-            state.stats.add_encoded_key(kind);
+            // Doorkeeper bookkeeping happens in chunk-index order, like
+            // every other side effect: every committed chunk's fingerprint
+            // is noted, including prefiltered ones — a repeating chunk is
+            // admitted (and inserted) on its second sighting.
+            if let Some(fp) = chunk.fingerprint {
+                self.store.note_fingerprint(kind, task.loc, fp);
+            }
+            let prefiltered = matches!(chunk.case, ProbeCase::Prefiltered { .. });
+            if !prefiltered {
+                state.stats.add_encoded_key(kind);
+            }
             if chunk.cache_checked {
                 let hit = matches!(chunk.case, ProbeCase::CacheHit { .. });
                 self.cache.write().note_lookup(hit, chunk.cache_comparisons);
             }
             if tel_on {
-                stage_scratch.record(StageId::Encode, chunk.encode_ns);
+                if chunk.fingerprint.is_some() {
+                    stage_scratch.record(StageId::Prefilter, chunk.prefilter_ns);
+                }
+                if !prefiltered {
+                    stage_scratch.record(StageId::Encode, chunk.encode_ns);
+                }
                 if chunk.cache_checked {
                     stage_scratch.record(StageId::CachePeek, chunk.peek_ns);
                 }
-                if !matches!(chunk.case, ProbeCase::CacheHit { .. }) {
-                    stage_scratch.record(StageId::IvfProbe, chunk.probe_ns);
+                if !prefiltered && !matches!(chunk.case, ProbeCase::CacheHit { .. }) {
+                    // The quantize sub-stage is carved out of the probe so
+                    // the stage set partitions hit-path time (no double
+                    // counting in the stage-sum invariant).
+                    stage_scratch.record(
+                        StageId::IvfProbe,
+                        chunk.probe_ns.saturating_sub(chunk.quantize_ns),
+                    );
+                    stage_scratch.record(StageId::Quantize, chunk.quantize_ns);
                 }
             }
             match chunk.case {
@@ -808,6 +981,23 @@ impl FftExecutor for MemoizedExecutor {
                     self.store
                         .insert(kind, task.loc, task.input, chunk.key, output, origin, cost);
                 }
+                ProbeCase::Prefiltered {
+                    output,
+                    compute_seconds,
+                } => {
+                    // No key traveled and no query was issued: nothing to
+                    // coalesce, no store bookkeeping, no insert (there is no
+                    // key to insert under — the chunk's fingerprint was
+                    // noted above, so its next sighting takes the full
+                    // path and inserts).
+                    state.stats.record(kind, MemoCase::Prefiltered);
+                    state.stats.add_compute_time(kind, compute_seconds);
+                    slot.copy_from_slice(&output);
+                    if tel_on {
+                        stage_scratch.record(StageId::MissFft, (compute_seconds * 1e9) as u64);
+                        counter_scratch.add(CounterId::PrefilteredChunks, 1);
+                    }
+                }
             }
         }
         Self::note_batch(
@@ -873,12 +1063,21 @@ mod tests {
     fn identical_inputs_hit_after_first_miss() {
         let exec = MemoizedExecutor::new(test_config(), tiny_encoder(), 1);
         let input = chunk(1, 128);
+        // First sighting: the doorkeeper prefilter has no history for the
+        // scope, so the chunk goes straight to the exact FFT (no insert).
         exec.begin_iteration(0);
         let first = exec.execute(FftOpKind::Fu2D, 0, &input, &fake_fft);
+        // Second sighting: the noted fingerprint admits it — full path,
+        // miss, insert.
         exec.begin_iteration(1);
         let second = exec.execute(FftOpKind::Fu2D, 0, &input, &fake_fft);
+        // Third sighting: served from memory.
+        exec.begin_iteration(2);
+        let third = exec.execute(FftOpKind::Fu2D, 0, &input, &fake_fft);
         assert_eq!(first, second);
+        assert_eq!(first, third);
         let stats = exec.stats().op(FftOpKind::Fu2D);
+        assert_eq!(stats.prefiltered, 1);
         assert_eq!(stats.failed_memo, 1);
         assert_eq!(stats.db_hits + stats.cache_hits, 1);
         assert_eq!(exec.db_len(), 1);
@@ -888,15 +1087,15 @@ mod tests {
     fn cache_hit_comes_from_compute_node_cache() {
         let exec = MemoizedExecutor::new(test_config(), tiny_encoder(), 2);
         let input = chunk(2, 128);
-        exec.begin_iteration(0);
-        let _ = exec.execute(FftOpKind::Fu1D, 5, &input, &fake_fft);
-        // Later iterations with an identical chunk: the first goes to the DB
-        // (and fills the cache), subsequent ones hit the cache.
-        exec.begin_iteration(1);
-        let _ = exec.execute(FftOpKind::Fu1D, 5, &input, &fake_fft);
-        exec.begin_iteration(2);
-        let _ = exec.execute(FftOpKind::Fu1D, 5, &input, &fake_fft);
+        // Iteration 0 is prefiltered (first sighting), iteration 1 misses
+        // and inserts, iteration 2 hits the DB (and fills the cache),
+        // subsequent ones hit the cache.
+        for it in 0..4 {
+            exec.begin_iteration(it);
+            let _ = exec.execute(FftOpKind::Fu1D, 5, &input, &fake_fft);
+        }
         let stats = exec.stats().op(FftOpKind::Fu1D);
+        assert_eq!(stats.prefiltered, 1);
         assert_eq!(stats.failed_memo, 1);
         assert!(stats.cache_hits >= 1, "stats: {stats:?}");
     }
@@ -933,7 +1132,10 @@ mod tests {
     #[test]
     fn results_match_direct_executor_when_inputs_differ() {
         // With completely different inputs every call, memoization never
-        // hits, so outputs must equal the exact computation.
+        // hits, so outputs must equal the exact computation. Each chunk is
+        // the first sighting in its own location scope, so the norm
+        // prefilter routes all of them straight to the exact FFT — the
+        // encoder is never consulted on this unique-chunk workload.
         let exec = MemoizedExecutor::new(test_config(), tiny_encoder(), 5);
         let direct = DirectExecutor;
         for i in 0..5 {
@@ -943,8 +1145,30 @@ mod tests {
             assert_eq!(memo_out, direct_out);
         }
         let stats = exec.stats().op(FftOpKind::Fu2D);
-        assert_eq!(stats.failed_memo, 5);
+        assert_eq!(stats.prefiltered, 5);
+        assert_eq!(stats.keys_encoded, 0);
         assert_eq!(stats.db_hits + stats.cache_hits, 0);
+        assert_eq!(exec.db_len(), 0);
+
+        // The same workload with the prefilter disabled pays the encoder
+        // and the probe for every guaranteed miss.
+        let unfiltered = MemoizedExecutor::new(
+            MemoConfig {
+                prefilter: false,
+                ..test_config()
+            },
+            tiny_encoder(),
+            5,
+        );
+        for i in 0..5 {
+            let input = chunk(100 + i, 96);
+            let memo_out = unfiltered.execute(FftOpKind::Fu2D, i as usize, &input, &fake_fft);
+            let direct_out = direct.execute(FftOpKind::Fu2D, i as usize, &input, &fake_fft);
+            assert_eq!(memo_out, direct_out);
+        }
+        let stats = unfiltered.stats().op(FftOpKind::Fu2D);
+        assert_eq!(stats.failed_memo, 5);
+        assert_eq!(stats.keys_encoded, 5);
     }
 
     #[test]
@@ -955,7 +1179,11 @@ mod tests {
         };
         let exec = MemoizedExecutor::new(config, tiny_encoder(), 6);
         let base = chunk(6, 256);
+        // Iteration 0 primes the doorkeeper (prefiltered, nothing stored);
+        // iteration 1 inserts the exact base result.
         exec.begin_iteration(0);
+        let _ = exec.execute(FftOpKind::Fu2D, 0, &base, &fake_fft);
+        exec.begin_iteration(1);
         let exact_base = exec.execute(FftOpKind::Fu2D, 0, &base, &fake_fft);
         // Slightly perturbed input in the next iteration: similar enough to
         // reuse.
@@ -963,7 +1191,7 @@ mod tests {
             .iter()
             .map(|z| *z + Complex64::new(0.01, -0.01))
             .collect();
-        exec.begin_iteration(1);
+        exec.begin_iteration(2);
         let reused = exec.execute(FftOpKind::Fu2D, 0, &perturbed, &fake_fft);
         // The reused value is the *stored* result, i.e. an approximation of
         // the exact result for the perturbed input.
@@ -1049,6 +1277,10 @@ mod tests {
         let config = MemoConfig {
             coalesce_keys: true,
             coalesce_payload_bytes: 64,
+            // Unique chunks at unique locations would all be prefiltered
+            // away (no keys would ever reach the coalescer); this test is
+            // about the coalescer, so the prefilter stays off.
+            prefilter: false,
             ..test_config()
         };
         let exec = MemoizedExecutor::new(config, tiny_encoder(), 8);

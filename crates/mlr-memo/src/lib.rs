@@ -13,6 +13,10 @@
 //!   trained with a contrastive loss so that chunks with similar content land
 //!   close together in a ~60-dimensional embedding space; weights can be
 //!   quantised to INT8 for cheap CPU inference.
+//! * [`fingerprint`] — the norm prefilter's O(n) chunk fingerprints and the
+//!   per-scope doorkeeper table: chunks with no fingerprint neighbor inside
+//!   the τ-derived band skip the CNN encoder (and the probe) entirely and go
+//!   straight to the exact FFT.
 //! * [`ann`] — the index database (§4.3.2): a from-scratch cluster-based
 //!   (IVF) approximate-nearest-neighbour index standing in for Faiss,
 //!   supporting dynamic insertion and batched queries.
@@ -59,6 +63,7 @@ pub mod distributed;
 pub mod encoder;
 pub mod engine;
 pub mod eviction;
+pub mod fingerprint;
 pub mod kvstore;
 pub mod parallel;
 pub mod sharded;
@@ -77,6 +82,7 @@ pub use eviction::{
     recompute_cost_estimate, CapacityBudget, CostAwarePolicy, EntryMeta, EvictionPolicy,
     EvictionPolicyKind, FifoPolicy, LruPolicy, StoreClock, TtlPolicy,
 };
+pub use fingerprint::{ChunkFingerprint, FingerprintTable, FINGERPRINT_HISTORY};
 pub use kvstore::ValueStore;
 pub use parallel::{ConcurrencyGovernor, CoreLease, ParallelStats};
 pub use sharded::{ShardedMemoDb, ACCESS_OP_UNKNOWN, DEFAULT_SHARDS};

@@ -346,6 +346,31 @@ impl MemoStore for ShardedMemoDb {
         self.encoder.read().encode(input)
     }
 
+    fn encode_batch(&self, inputs: &[&[Complex64]]) -> Vec<Vec<f64>> {
+        // One reader lease and one thread-local scratch for the whole batch.
+        self.encoder.read().encode_batch(inputs)
+    }
+
+    fn has_fingerprint_neighbor(
+        &self,
+        op: FftOpKind,
+        loc: usize,
+        fp: &crate::fingerprint::ChunkFingerprint,
+    ) -> bool {
+        self.shard_for(op, loc)
+            .lock()
+            .has_fingerprint_neighbor(op, loc, fp)
+    }
+
+    fn note_fingerprint(
+        &self,
+        op: FftOpKind,
+        loc: usize,
+        fp: crate::fingerprint::ChunkFingerprint,
+    ) {
+        self.shard_for(op, loc).lock().note_fingerprint(op, loc, fp);
+    }
+
     fn query_with_key(
         &self,
         op: FftOpKind,

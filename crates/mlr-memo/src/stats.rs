@@ -26,6 +26,10 @@ pub enum MemoCase {
     DbHit,
     /// Case 3: compute-node cache hit.
     CacheHit,
+    /// Routed straight to the exact FFT by the norm prefilter: the chunk's
+    /// fingerprint had no τ-band neighbor in the scope's recent history, so
+    /// encode, cache peek and database probe were all skipped.
+    Prefiltered,
 }
 
 /// Per-operation counters.
@@ -39,6 +43,8 @@ pub struct OpStats {
     pub db_hits: u64,
     /// Case-3 invocations (cache hit).
     pub cache_hits: u64,
+    /// Invocations the norm prefilter routed straight to the exact FFT.
+    pub prefiltered: u64,
     /// Wall-clock seconds spent inside the exact compute closure.
     pub compute_seconds: f64,
     /// Keys encoded.
@@ -50,7 +56,7 @@ pub struct OpStats {
 impl OpStats {
     /// Total memoizable invocations.
     pub fn total(&self) -> u64 {
-        self.computed + self.failed_memo + self.db_hits + self.cache_hits
+        self.computed + self.failed_memo + self.db_hits + self.cache_hits + self.prefiltered
     }
 
     /// Fraction of invocations whose FFT computation was avoided.
@@ -102,6 +108,7 @@ impl OpStatsTable {
             MemoCase::FailedMemo => entry.failed_memo += 1,
             MemoCase::DbHit => entry.db_hits += 1,
             MemoCase::CacheHit => entry.cache_hits += 1,
+            MemoCase::Prefiltered => entry.prefiltered += 1,
         }
     }
 
@@ -159,6 +166,7 @@ impl MemoStats {
             MemoCase::FailedMemo => entry.failed_memo += 1,
             MemoCase::DbHit => entry.db_hits += 1,
             MemoCase::CacheHit => entry.cache_hits += 1,
+            MemoCase::Prefiltered => entry.prefiltered += 1,
         }
     }
 
@@ -190,6 +198,7 @@ impl MemoStats {
             out.failed_memo += s.failed_memo;
             out.db_hits += s.db_hits;
             out.cache_hits += s.cache_hits;
+            out.prefiltered += s.prefiltered;
             out.compute_seconds += s.compute_seconds;
             out.keys_encoded += s.keys_encoded;
             out.remote_bytes += s.remote_bytes;
@@ -222,6 +231,7 @@ impl MemoStats {
             entry.failed_memo += s.failed_memo;
             entry.db_hits += s.db_hits;
             entry.cache_hits += s.cache_hits;
+            entry.prefiltered += s.prefiltered;
             entry.compute_seconds += s.compute_seconds;
             entry.keys_encoded += s.keys_encoded;
             entry.remote_bytes += s.remote_bytes;
@@ -269,10 +279,14 @@ mod tests {
         s.record(FftOpKind::Fu2D, MemoCase::DbHit);
         s.record(FftOpKind::Fu2D, MemoCase::CacheHit);
         s.record(FftOpKind::Fu1D, MemoCase::Computed);
+        s.record(FftOpKind::Fu1D, MemoCase::Prefiltered);
         let fu2d = s.op(FftOpKind::Fu2D);
         assert_eq!(fu2d.total(), 3);
         assert!((fu2d.avoided_fraction() - 2.0 / 3.0).abs() < 1e-12);
-        assert_eq!(s.total().total(), 4);
+        assert_eq!(s.op(FftOpKind::Fu1D).prefiltered, 1);
+        assert_eq!(s.total().total(), 5);
+        // Prefiltered chunks run the exact FFT: they never count as avoided.
+        assert_eq!(s.op(FftOpKind::Fu1D).avoided_fraction(), 0.0);
     }
 
     #[test]

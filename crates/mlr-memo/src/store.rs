@@ -13,6 +13,7 @@
 //! values that job A computed.
 
 use crate::db::{MemoDatabase, MemoDbConfig, QueryOutcome};
+use crate::fingerprint::ChunkFingerprint;
 use mlr_lamino::FftOpKind;
 use mlr_math::Complex64;
 use parking_lot::Mutex;
@@ -206,6 +207,29 @@ pub trait MemoStore: Send + Sync {
     /// Encodes an input chunk into a key.
     fn encode(&self, input: &[Complex64]) -> Vec<f64>;
 
+    /// Encodes a batch of input chunks in one pass, amortizing per-call
+    /// costs (scratch lease, locks) across the batch. The default falls
+    /// back to per-item [`MemoStore::encode`]; implementations override it
+    /// to take their lock once.
+    fn encode_batch(&self, inputs: &[&[Complex64]]) -> Vec<Vec<f64>> {
+        inputs.iter().map(|input| self.encode(input)).collect()
+    }
+
+    /// Norm-prefilter consultation: does the scope's fingerprint history at
+    /// `(op, loc)` contain a chunk whose raw similarity to `fp`'s chunk
+    /// could exceed τ? Implementations without a fingerprint table return
+    /// `true` (admit everything), which disables the prefilter safely.
+    fn has_fingerprint_neighbor(&self, op: FftOpKind, loc: usize, fp: &ChunkFingerprint) -> bool {
+        let _ = (op, loc, fp);
+        true
+    }
+
+    /// Records the fingerprint of a committed chunk in the scope's
+    /// doorkeeper history. Default: no-op (for stores without a table).
+    fn note_fingerprint(&self, op: FftOpKind, loc: usize, fp: ChunkFingerprint) {
+        let _ = (op, loc, fp);
+    }
+
     /// Queries for an entry similar to `input` at `(op, loc)` with a
     /// pre-computed key. `origin` identifies the querying job/iteration.
     fn query_with_key(
@@ -339,6 +363,18 @@ impl MemoStore for LocalMemoStore {
 
     fn encode(&self, input: &[Complex64]) -> Vec<f64> {
         self.inner.lock().encode(input)
+    }
+
+    fn encode_batch(&self, inputs: &[&[Complex64]]) -> Vec<Vec<f64>> {
+        self.inner.lock().encode_batch(inputs)
+    }
+
+    fn has_fingerprint_neighbor(&self, op: FftOpKind, loc: usize, fp: &ChunkFingerprint) -> bool {
+        self.inner.lock().has_fingerprint_neighbor(op, loc, fp)
+    }
+
+    fn note_fingerprint(&self, op: FftOpKind, loc: usize, fp: ChunkFingerprint) {
+        self.inner.lock().note_fingerprint(op, loc, fp);
     }
 
     fn query_with_key(

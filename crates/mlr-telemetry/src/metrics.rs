@@ -41,10 +41,13 @@ pub enum CounterId {
     DbHitChunks,
     /// Chunks that missed and ran the exact FFT.
     ComputedChunks,
+    /// Chunks the norm prefilter routed straight to the exact FFT
+    /// (no encode, no cache peek, no probe).
+    PrefilteredChunks,
 }
 
 /// Number of counters in [`CounterId`].
-pub const COUNTER_COUNT: usize = 12;
+pub const COUNTER_COUNT: usize = 13;
 
 /// Stable snake_case names, indexable by `CounterId as usize`.
 pub const COUNTER_NAMES: [&str; COUNTER_COUNT] = [
@@ -60,6 +63,7 @@ pub const COUNTER_NAMES: [&str; COUNTER_COUNT] = [
     "cache_hit_chunks",
     "db_hit_chunks",
     "computed_chunks",
+    "prefiltered_chunks",
 ];
 
 /// One timed stage of the memo-hit path.
@@ -76,10 +80,18 @@ pub enum StageId {
     PayloadCopy,
     /// The exact FFT executed on a miss.
     MissFft,
+    /// Fingerprint computation + doorkeeper consultation before the
+    /// encoder (the norm prefilter).
+    Prefilter,
+    /// Fixed-point shortlist arithmetic inside the IVF probe (quantised
+    /// key kernel). Carved *out* of the `ivf_probe` histogram — the engine
+    /// records the probe minus this sub-stage — so the stage set partitions
+    /// hit-path time without double counting.
+    Quantize,
 }
 
 /// Number of stages in [`StageId`].
-pub const STAGE_COUNT: usize = 5;
+pub const STAGE_COUNT: usize = 7;
 
 /// Stable snake_case names, indexable by `StageId as usize`.
 pub const STAGE_NAMES: [&str; STAGE_COUNT] = [
@@ -88,6 +100,8 @@ pub const STAGE_NAMES: [&str; STAGE_COUNT] = [
     "ivf_probe",
     "payload_copy",
     "miss_fft",
+    "prefilter",
+    "quantize",
 ];
 
 /// Per-thread counter scratch: a `Copy` array on the worker's stack.
@@ -406,7 +420,13 @@ mod tests {
             COUNTER_NAMES[CounterId::ComputedChunks as usize],
             "computed_chunks"
         );
+        assert_eq!(
+            COUNTER_NAMES[CounterId::PrefilteredChunks as usize],
+            "prefiltered_chunks"
+        );
         assert_eq!(STAGE_NAMES[StageId::Encode as usize], "encode");
         assert_eq!(STAGE_NAMES[StageId::MissFft as usize], "miss_fft");
+        assert_eq!(STAGE_NAMES[StageId::Prefilter as usize], "prefilter");
+        assert_eq!(STAGE_NAMES[StageId::Quantize as usize], "quantize");
     }
 }

@@ -203,6 +203,15 @@ fn zero_copy_batch_seam_matches_sequential_execute() {
             (b.failed_memo, b.db_hits, b.cache_hits, b.remote_bytes),
             "{label}: case counts diverged"
         );
+        assert_eq!(
+            (a.prefiltered, a.keys_encoded),
+            (b.prefiltered, b.keys_encoded),
+            "{label}: prefilter decisions diverged between the paths"
+        );
+        assert!(
+            a.prefiltered > 0,
+            "{label}: the norm prefilter never fired — vacuous for the doorkeeper"
+        );
         assert!(
             a.db_hits + a.cache_hits > 0,
             "{label}: trace never hit — vacuous"
