@@ -65,3 +65,114 @@ pub fn snapshot() -> (u64, u64) {
 pub fn delta(before: (u64, u64), after: (u64, u64)) -> (u64, u64) {
     (after.0 - before.0, after.1 - before.1)
 }
+
+/// Whether [`CountingAllocator`] is actually installed as the global
+/// allocator of this process, detected once with a probe allocation.
+///
+/// The counters only move when a harness has opted in with
+/// `#[global_allocator]`; a library unit test running under the plain
+/// system allocator sees a flat counter and must not assert on it.
+pub fn counting_allocator_installed() -> bool {
+    static INSTALLED: std::sync::OnceLock<bool> = std::sync::OnceLock::new();
+    *INSTALLED.get_or_init(|| {
+        let before = snapshot();
+        std::hint::black_box(vec![0u8; 64]);
+        delta(before, snapshot()).0 > 0
+    })
+}
+
+/// RAII bracket asserting an allocation budget over a region of code.
+///
+/// Created by [`enter`](AllocRegion::enter) (or the [`no_alloc_region!`](crate::no_alloc_region)
+/// macro), closed by [`finish`](AllocRegion::finish) which returns the
+/// region's `(allocations, bytes)` delta and panics when the allocation
+/// count exceeds the budget. Dropping the guard without calling `finish`
+/// still enforces the budget (unless the thread is already panicking).
+///
+/// Enforcement is automatically disarmed when
+///
+/// * the counting allocator is not installed (see
+///   [`counting_allocator_installed`]) — the counters would read zero and
+///   vacuously pass, so the guard reports but never asserts; or
+/// * the `lockcheck` lock-order sanitizer is compiled in
+///   (`parking_lot::lockcheck_enabled()`): lockcheck captures an
+///   acquisition backtrace on every lock, which allocates freely and would
+///   fail any honest budget.
+#[must_use = "the budget is checked when the region is finished or dropped"]
+pub struct AllocRegion {
+    label: &'static str,
+    max_allocs: u64,
+    before: (u64, u64),
+    enforced: bool,
+    finished: bool,
+}
+
+impl AllocRegion {
+    /// Opens a region allowing at most `max_allocs` allocations.
+    pub fn enter(label: &'static str, max_allocs: u64) -> Self {
+        let enforced = counting_allocator_installed() && !parking_lot::lockcheck_enabled();
+        Self {
+            label,
+            max_allocs,
+            before: snapshot(),
+            enforced,
+            finished: false,
+        }
+    }
+
+    /// Whether this region will actually assert its budget.
+    pub fn enforced(&self) -> bool {
+        self.enforced
+    }
+
+    fn check(&self) -> (u64, u64) {
+        let d = delta(self.before, snapshot());
+        if self.enforced {
+            assert!(
+                d.0 <= self.max_allocs,
+                "no_alloc_region '{}': {} allocations ({} bytes) exceed the budget of {}",
+                self.label,
+                d.0,
+                d.1,
+                self.max_allocs
+            );
+        }
+        d
+    }
+
+    /// Closes the region, asserting the budget and returning the
+    /// `(allocations, bytes)` delta.
+    pub fn finish(mut self) -> (u64, u64) {
+        self.finished = true;
+        self.check()
+    }
+}
+
+impl Drop for AllocRegion {
+    fn drop(&mut self) {
+        if !self.finished && !std::thread::panicking() {
+            self.check();
+        }
+    }
+}
+
+/// Runs a block under an [`AllocRegion`] allocation budget.
+///
+/// ```ignore
+/// let out = no_alloc_region!("steady hit window", 4 * chunks, {
+///     drive(&exec, &inputs, &mut outputs, &compute, 4, steady)
+/// });
+/// ```
+///
+/// Evaluates to the block's value; panics if the block performs more than
+/// the budgeted number of allocations (see [`AllocRegion`] for when
+/// enforcement is disarmed).
+#[macro_export]
+macro_rules! no_alloc_region {
+    ($label:expr, $max_allocs:expr, $body:expr) => {{
+        let __region = $crate::alloc::AllocRegion::enter($label, $max_allocs);
+        let __out = $body;
+        __region.finish();
+        __out
+    }};
+}

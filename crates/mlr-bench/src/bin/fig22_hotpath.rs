@@ -401,7 +401,13 @@ fn main() {
     let exec = MemoizedExecutor::new(memo, encoder(), 22).with_telemetry(Telemetry::enabled());
     let _ = drive(&exec, &inputs, &mut outputs, &compute, 0, 4);
     let stages_before = metrics_of(&exec);
-    let (secs, allocs, bytes) = drive(&exec, &inputs, &mut outputs, &compute, 4, steady);
+    // Region-level enforcement of the same envelope the JSON gate reports:
+    // a reintroduced hit-path allocation aborts the bench run outright.
+    let (secs, allocs, bytes) = mlr_bench::no_alloc_region!(
+        "fig22 steady cache-hit window",
+        MAX_HIT_ALLOCS as u64 * chunks,
+        drive(&exec, &inputs, &mut outputs, &compute, 4, steady)
+    );
     let stages_after = metrics_of(&exec);
     let cache_hit = path_stats(&exec, secs, allocs, bytes, chunks);
     let cache_hit_stages = stage_breakdown(

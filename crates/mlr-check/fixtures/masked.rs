@@ -1,0 +1,20 @@
+//! Fixture: rule tokens inside comments, strings, and test code never fire.
+//! For example `Instant::now()` on this line is only prose.
+
+/* block comment: thread::spawn, std::sync::Mutex, .unwrap() */
+pub fn describe() -> &'static str {
+    "calls Instant::now() and .expect(msg) and std::sync::RwLock"
+}
+
+pub fn raw() -> &'static str {
+    r#"thread::Builder and SystemTime live in a raw string"#
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn helper() {
+        let t = std::time::Instant::now();
+        let _ = t.elapsed().as_nanos().checked_add(1).unwrap();
+    }
+}

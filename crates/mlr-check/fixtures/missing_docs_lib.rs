@@ -1,0 +1,4 @@
+//! A lib.rs whose only `#![warn(missing_docs)]` mention is inside comments.
+
+// #![warn(missing_docs)] — commented out, so the crate must still be flagged.
+pub fn undocumented() {}

@@ -1,0 +1,8 @@
+//! Fixture: std::sync locks bypassing the instrumented shim (rule `std-sync-lock`).
+
+use std::sync::Mutex;
+
+pub struct Registry {
+    counts: Mutex<Vec<u32>>,
+    gate: std::sync::RwLock<()>,
+}

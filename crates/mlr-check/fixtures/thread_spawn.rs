@@ -1,0 +1,5 @@
+//! Fixture: ad-hoc thread spawn outside the governor pools (rule `thread-spawn`).
+
+pub fn fire_and_forget() {
+    std::thread::spawn(|| {});
+}

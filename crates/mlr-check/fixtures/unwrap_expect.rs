@@ -1,0 +1,10 @@
+//! Fixture: panicking accessors in library code (rule `unwrap-expect`).
+
+pub fn first(xs: &[u32]) -> u32 {
+    *xs.first().unwrap()
+}
+
+pub fn parse(s: &str) -> u32 {
+    // A typed error would be the policy-compliant shape here.
+    s.parse().expect("not a number")
+}

@@ -1,0 +1,11 @@
+//! Fixture: both waiver forms, each carrying a justification.
+
+pub fn elapsed_ms(stats: &mut Vec<u128>) {
+    // mlr-check: allow(wall-clock) — decoration only: feeds the stats counter
+    let start = std::time::Instant::now();
+    stats.push(start.elapsed().as_millis());
+}
+
+pub fn poke(xs: &[u32]) -> u32 {
+    xs.first().copied().unwrap() // mlr-check: allow(unwrap-expect) — fixture for the trailing form
+}

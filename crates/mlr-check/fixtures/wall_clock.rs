@@ -1,0 +1,13 @@
+//! Fixture: wall-clock reads in a decision path (rule `wall-clock`).
+
+pub fn decide() -> bool {
+    let start = std::time::Instant::now();
+    start.elapsed().as_nanos() % 2 == 0
+}
+
+pub fn stamp_secs() -> u64 {
+    match std::time::SystemTime::now().duration_since(std::time::UNIX_EPOCH) {
+        Ok(d) => d.as_secs(),
+        Err(_) => 0,
+    }
+}

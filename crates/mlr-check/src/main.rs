@@ -1,0 +1,110 @@
+//! Command-line entry point for the workspace invariant linter.
+//!
+//! ```text
+//! mlr-check [--root PATH] [--report PATH] [--verbose]
+//! ```
+//!
+//! Scans every `crates/*/src` tree named by the policy table, prints a
+//! summary (and every finding under `--verbose`), optionally writes the
+//! JSON report, and exits non-zero iff unwaived violations remain.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use mlr_check::{scan_workspace, Finding, PolicyTable};
+
+struct Args {
+    root: PathBuf,
+    report: Option<PathBuf>,
+    verbose: bool,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        root: PathBuf::from("."),
+        report: None,
+        verbose: false,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--root" => match it.next() {
+                Some(v) => args.root = PathBuf::from(v),
+                None => return Err("--root requires a path".to_string()),
+            },
+            "--report" => match it.next() {
+                Some(v) => args.report = Some(PathBuf::from(v)),
+                None => return Err("--report requires a path".to_string()),
+            },
+            "--verbose" => args.verbose = true,
+            "--help" | "-h" => {
+                return Err("usage: mlr-check [--root PATH] [--report PATH] [--verbose]".to_string())
+            }
+            other => return Err(format!("unknown argument '{other}' (try --help)")),
+        }
+    }
+    Ok(args)
+}
+
+fn print_finding(prefix: &str, f: &Finding) {
+    match &f.waived {
+        Some(reason) => {
+            eprintln!(
+                "{prefix}{}:{}: [{}] waived: {reason}",
+                f.file, f.line, f.rule
+            )
+        }
+        None => eprintln!("{prefix}{}:{}: [{}] {}", f.file, f.line, f.rule, f.snippet),
+    }
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(args) => args,
+        Err(msg) => {
+            eprintln!("mlr-check: {msg}");
+            return ExitCode::from(2);
+        }
+    };
+
+    let report = match scan_workspace(&args.root, &PolicyTable::workspace()) {
+        Ok(report) => report,
+        Err(err) => {
+            eprintln!("mlr-check: scan failed: {err}");
+            return ExitCode::from(2);
+        }
+    };
+
+    for f in &report.violations {
+        print_finding("", f);
+    }
+    if args.verbose {
+        for f in &report.waived {
+            print_finding("", f);
+        }
+    }
+
+    eprintln!(
+        "mlr-check: {} files scanned, {} violation(s), {} waived site(s)",
+        report.files_scanned,
+        report.violations.len(),
+        report.waived.len()
+    );
+
+    if let Some(path) = &args.report {
+        if let Err(err) = std::fs::write(path, report.to_json()) {
+            eprintln!(
+                "mlr-check: failed to write report {}: {err}",
+                path.display()
+            );
+            return ExitCode::from(2);
+        }
+        eprintln!("mlr-check: report written to {}", path.display());
+    }
+
+    if report.is_clean() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::from(1)
+    }
+}

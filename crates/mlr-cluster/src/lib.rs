@@ -12,6 +12,8 @@
 //! is divided over GPUs, and the diminishing returns beyond one node come
 //! from inter-node communication — exactly the effect Figure 14 reports.
 
+#![warn(missing_docs)]
+
 pub mod latency;
 pub mod placement;
 pub mod replay;

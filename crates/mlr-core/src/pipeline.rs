@@ -118,6 +118,25 @@ impl MlrPipeline {
         (result, executor)
     }
 
+    /// [`MlrPipeline::run_memoized`] with the executor's
+    /// schedule-perturbation checker armed: parallel-phase workers stagger
+    /// their block start/completion orderings deterministically from `seed`.
+    /// The result must be bit-identical to the unperturbed run for every
+    /// seed — the determinism harness sweeps seeds × thread counts over
+    /// this entry point.
+    pub fn run_memoized_perturbed(&self, seed: u64) -> (AdmmResult, MemoizedExecutor) {
+        let executor = MemoizedExecutor::new(
+            self.config.memo,
+            self.encoder_config(),
+            self.config.problem.seed,
+        )
+        .with_parallelism(self.config.intra_job_threads, None)
+        .with_schedule_perturbation(seed);
+        let solver = AdmmSolver::new(self.config.admm);
+        let result = solver.run_with(&self.operator, &self.dataset.projections, &executor);
+        (result, executor)
+    }
+
     /// Runs the memoized reconstruction against an injected (typically
     /// shared) memo store on behalf of job `job`. With a store shared
     /// between pipelines, FFT results memoized by one reconstruction are

@@ -10,9 +10,10 @@
 
 use crate::scratch::ScratchPool;
 use mlr_math::Complex64;
+use parking_lot::Mutex;
 use std::collections::HashMap;
 use std::f64::consts::PI;
-use std::sync::{Arc, Mutex};
+use std::sync::Arc;
 
 /// Transform direction.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -234,7 +235,7 @@ impl FftPlan {
     }
 
     fn bluestein_transform(&self, data: &mut [Complex64], dir: Direction) {
-        let tables = self.bluestein.as_ref().expect("bluestein tables");
+        let tables = self.bluestein.as_ref().expect("bluestein tables"); // mlr-check: allow(unwrap-expect) — invariant: new() builds Bluestein tables for every non-power-of-two size
         let n = self.n;
         let m = tables.m;
         // a_i = x_i * chirp_i (chirp conjugated for the inverse direction).
@@ -289,7 +290,7 @@ impl FftPlanner {
 
     /// Returns the (possibly cached) plan for length `n`.
     pub fn plan(&self, n: usize) -> Arc<FftPlan> {
-        let mut guard = self.plans.lock().expect("planner lock poisoned");
+        let mut guard = self.plans.lock();
         guard
             .entry(n)
             .or_insert_with(|| Arc::new(FftPlan::new(n)))
@@ -298,7 +299,7 @@ impl FftPlanner {
 
     /// Number of distinct lengths planned so far.
     pub fn cached_plans(&self) -> usize {
-        self.plans.lock().expect("planner lock poisoned").len()
+        self.plans.lock().len()
     }
 }
 

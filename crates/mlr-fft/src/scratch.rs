@@ -19,8 +19,8 @@
 //! ([`ScratchPool::lease`]).
 
 use mlr_math::Complex64;
+use parking_lot::Mutex;
 use std::ops::{Deref, DerefMut};
-use std::sync::Mutex;
 
 /// A free list of reusable `Complex64` buffers.
 #[derive(Debug, Default)]
@@ -36,19 +36,14 @@ impl ScratchPool {
 
     /// Number of buffers currently parked in the pool (diagnostics).
     pub fn idle(&self) -> usize {
-        self.free.lock().expect("scratch pool lock poisoned").len()
+        self.free.lock().len()
     }
 
     /// Leases a buffer of exactly `len` elements with **unspecified**
     /// contents — for callers that overwrite every element (gather arenas,
     /// transpose targets). Returns the buffer to the pool on drop.
     pub fn lease(&self, len: usize) -> ScratchLease<'_> {
-        let mut buf = self
-            .free
-            .lock()
-            .expect("scratch pool lock poisoned")
-            .pop()
-            .unwrap_or_default();
+        let mut buf = self.free.lock().pop().unwrap_or_default();
         buf.resize(len, Complex64::ZERO);
         ScratchLease { pool: self, buf }
     }
@@ -62,10 +57,7 @@ impl ScratchPool {
     }
 
     fn give_back(&self, buf: Vec<Complex64>) {
-        self.free
-            .lock()
-            .expect("scratch pool lock poisoned")
-            .push(buf);
+        self.free.lock().push(buf);
     }
 }
 

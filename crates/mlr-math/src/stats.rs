@@ -45,7 +45,7 @@ impl Summary {
         let mean = sample.iter().sum::<f64>() / count as f64;
         let var = sample.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / count as f64;
         let mut sorted = sample.to_vec();
-        sorted.sort_by(|a, b| a.partial_cmp(b).expect("non-finite sample"));
+        sorted.sort_by(|a, b| a.total_cmp(b));
         Self {
             count,
             mean,
@@ -80,7 +80,7 @@ pub fn percentile_sorted(sorted: &[f64], p: f64) -> f64 {
 /// Linear-interpolated percentile of an unsorted sample.
 pub fn percentile(sample: &[f64], p: f64) -> f64 {
     let mut sorted = sample.to_vec();
-    sorted.sort_by(|a, b| a.partial_cmp(b).expect("non-finite sample"));
+    sorted.sort_by(|a, b| a.total_cmp(b));
     percentile_sorted(&sorted, p)
 }
 
@@ -94,7 +94,7 @@ impl Ecdf {
     /// Builds the ECDF from a sample (copied and sorted internally).
     pub fn new(sample: &[f64]) -> Self {
         let mut sorted = sample.to_vec();
-        sorted.sort_by(|a, b| a.partial_cmp(b).expect("non-finite sample"));
+        sorted.sort_by(|a, b| a.total_cmp(b));
         Self { sorted }
     }
 

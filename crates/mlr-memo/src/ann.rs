@@ -378,7 +378,7 @@ impl IvfIndex {
     fn quantise_probe(&self, query: &[f64], list: &FlatList, scratch: &mut SearchScratch) -> f64 {
         let t0 = QUANTIZE_TIMING
             .load(Ordering::Relaxed)
-            .then(std::time::Instant::now);
+            .then(std::time::Instant::now); // mlr-check: allow(wall-clock) — decoration only: quantize-stage telemetry timing
         let scale = list.scale;
         scratch.q8.clear();
         let mut resid_sq = 0.0;
@@ -470,9 +470,7 @@ impl IvfIndex {
                 scratch
                     .order
                     .extend((0..c).map(|ci| (ci, scratch.dists[qi * c + ci])));
-                scratch
-                    .order
-                    .sort_by(|a, b| a.1.partial_cmp(&b.1).expect("non-finite distance"));
+                scratch.order.sort_by(|a, b| a.1.total_cmp(&b.1));
                 for (rank, &(ci, _)) in scratch.order.iter().take(self.config.nprobe).enumerate() {
                     scratch.list_queries[ci].push((qi, rank));
                 }
@@ -585,9 +583,7 @@ impl IvfIndex {
                 .centroid_dists
                 .push((i, l2_distance(query, self.centroid(i))));
         }
-        scratch
-            .centroid_dists
-            .sort_by(|a, b| a.1.partial_cmp(&b.1).expect("non-finite distance"));
+        scratch.centroid_dists.sort_by(|a, b| a.1.total_cmp(&b.1));
         scratch.probes.extend(
             scratch
                 .centroid_dists

@@ -37,7 +37,7 @@ use std::time::Instant;
 #[inline]
 fn stage_clock(enabled: bool) -> Option<Instant> {
     if enabled {
-        Some(Instant::now())
+        Some(Instant::now()) // mlr-check: allow(wall-clock) — decoration only: stage clocks feed telemetry timing
     } else {
         None
     }
@@ -47,6 +47,21 @@ fn stage_clock(enabled: bool) -> Option<Instant> {
 #[inline]
 fn stage_ns(start: Option<Instant>) -> u64 {
     start.map_or(0, |s| s.elapsed().as_nanos() as u64)
+}
+
+/// Deterministic yield storm for the schedule-perturbation checker: a
+/// splitmix-style hash of `(seed, block, phase)` picks 0–96 scheduler
+/// yields, so different seeds force different relative block start
+/// (`phase = 0`) and completion (`phase = 1`) orderings without touching
+/// what any block computes.
+fn stagger(seed: u64, block: u64, phase: u64) {
+    let mut h = seed ^ block.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ phase.wrapping_shl(32);
+    h ^= h >> 33;
+    h = h.wrapping_mul(0xFF51_AFD7_ED55_8CCD);
+    h ^= h >> 33;
+    for _ in 0..(h % 97) {
+        std::thread::yield_now();
+    }
 }
 
 /// Executor configuration.
@@ -199,6 +214,13 @@ pub struct MemoizedExecutor {
     /// emission are gated on `telemetry.is_enabled()` captured once per
     /// batch, so the disabled form adds one branch per batch, not per chunk.
     telemetry: Telemetry,
+    /// Seed of the schedule-perturbation checker (`None` = off): when set,
+    /// every parallel-phase worker runs a deterministic yield storm derived
+    /// from `(seed, block index)` before and after its block, forcing
+    /// adversarial block start/completion orderings. The two-phase schedule
+    /// must keep the commit bit-identical under every seed — the
+    /// determinism harness sweeps this.
+    perturb_seed: Option<u64>,
 }
 
 impl MemoizedExecutor {
@@ -242,6 +264,7 @@ impl MemoizedExecutor {
             threads: 1,
             governor: None,
             telemetry: Telemetry::disabled(),
+            perturb_seed: None,
         }
     }
 
@@ -258,6 +281,17 @@ impl MemoizedExecutor {
     ) -> Self {
         self.threads = threads.max(1);
         self.governor = governor;
+        self
+    }
+
+    /// Arms the schedule-perturbation determinism checker: parallel-phase
+    /// workers stagger their block start and completion with deterministic
+    /// yield storms derived from `(seed, block index)`. This only reshuffles
+    /// *when* blocks run relative to each other — never what they compute —
+    /// so the reconstruction must stay bit-identical for every seed; any
+    /// divergence means the read-only phase leaked schedule-dependent state.
+    pub fn with_schedule_perturbation(mut self, seed: u64) -> Self {
+        self.perturb_seed = Some(seed);
         self
     }
 
@@ -424,20 +458,31 @@ impl MemoizedExecutor {
         } else {
             let workers = used.min(n);
             let block = n.div_ceil(workers);
+            let perturb = self.perturb_seed;
             let mut blocks: Vec<Vec<T>> = Vec::with_capacity(workers);
             std::thread::scope(|s| {
                 let handles: Vec<_> = (0..workers)
                     .map(|w| {
                         let f = &f;
                         s.spawn(move || {
+                            if let Some(seed) = perturb {
+                                stagger(seed, w as u64, 0);
+                            }
                             let start = w * block;
                             let end = ((w + 1) * block).min(n);
-                            f(start..end)
+                            let out = f(start..end);
+                            if let Some(seed) = perturb {
+                                stagger(seed, w as u64, 1);
+                            }
+                            out
                         })
                     })
                     .collect();
                 for h in handles {
-                    blocks.push(h.join().expect("chunk worker panicked"));
+                    match h.join() {
+                        Ok(block) => blocks.push(block),
+                        Err(panic) => std::panic::resume_unwind(panic),
+                    }
                 }
             });
             blocks.into_iter().flatten().collect()
@@ -499,7 +544,7 @@ impl FftExecutor for MemoizedExecutor {
     ) -> Vec<Complex64> {
         let in_warmup = self.state.lock().iteration < self.config.warmup_iterations;
         if !self.should_memoize(kind) || in_warmup {
-            let start = Instant::now();
+            let start = Instant::now(); // mlr-check: allow(wall-clock) — decoration only: feeds compute-time stats
             let out = compute(input);
             let mut state = self.state.lock();
             state.stats.record(kind, MemoCase::Computed);
@@ -526,7 +571,7 @@ impl FftExecutor for MemoizedExecutor {
             self.store.note_fingerprint(kind, loc, fp);
             if !admitted {
                 drop(state);
-                let start = Instant::now();
+                let start = Instant::now(); // mlr-check: allow(wall-clock) — decoration only: feeds compute-time stats
                 let out = compute(input);
                 let elapsed = start.elapsed().as_secs_f64();
                 let mut state = self.state.lock();
@@ -590,7 +635,7 @@ impl FftExecutor for MemoizedExecutor {
                 //    overlapped with the next chunk's compute in the real
                 //    system; here only its bytes are accounted).
                 drop(state);
-                let start = Instant::now();
+                let start = Instant::now(); // mlr-check: allow(wall-clock) — decoration only: feeds compute-time stats
                 let out = compute(input);
                 let elapsed = start.elapsed().as_secs_f64();
                 let mut state = self.state.lock();
@@ -645,9 +690,9 @@ impl FftExecutor for MemoizedExecutor {
         let tel_on = self.telemetry.is_enabled();
         if !self.should_memoize(kind) || in_warmup {
             // Non-memoized stage: parallel exact compute, ordered stats fold.
-            let phase_start = Instant::now();
+            let phase_start = Instant::now(); // mlr-check: allow(wall-clock) — decoration only: phase timing feeds ParallelStats
             let (results, requested, used) = self.map_chunks(batch.len(), |i| {
-                let start = Instant::now();
+                let start = Instant::now(); // mlr-check: allow(wall-clock) — decoration only: feeds compute-time stats
                 let out = (batch[i].compute)(batch[i].input);
                 (out, start.elapsed().as_secs_f64())
             });
@@ -698,7 +743,7 @@ impl FftExecutor for MemoizedExecutor {
         crate::ann::set_quantize_timing(tel_on);
 
         // ------------------------------------------------- phase 1: parallel
-        let phase_start = Instant::now();
+        let phase_start = Instant::now(); // mlr-check: allow(wall-clock) — decoration only: phase timing feeds ParallelStats
         let (scratch, requested, used) = self.map_chunk_blocks(batch.len(), |range| {
             let mut out: Vec<ChunkScratch> = Vec::with_capacity(range.len());
             // Pass A: fingerprint + doorkeeper decision per chunk, read-only
@@ -709,7 +754,7 @@ impl FftExecutor for MemoizedExecutor {
                 Vec::with_capacity(range.len());
             for i in range.clone() {
                 let task = &batch[i];
-                let t = Instant::now();
+                let t = Instant::now(); // mlr-check: allow(wall-clock) — decoration only: feeds compute-time stats
                 let (fp, admitted) = if prefilter_on {
                     let fp = ChunkFingerprint::compute(task.input);
                     let admitted = self.store.has_fingerprint_neighbor(kind, task.loc, &fp);
@@ -728,7 +773,7 @@ impl FftExecutor for MemoizedExecutor {
                 .filter(|(_, (_, admitted, _))| *admitted)
                 .map(|(i, _)| batch[i].input)
                 .collect();
-            let encode_start = Instant::now();
+            let encode_start = Instant::now(); // mlr-check: allow(wall-clock) — decoration only: encode timing feeds telemetry
             let mut keys = if admitted_inputs.is_empty() {
                 Vec::new()
             } else {
@@ -753,7 +798,7 @@ impl FftExecutor for MemoizedExecutor {
                     0
                 };
                 if !admitted {
-                    let compute_start = Instant::now();
+                    let compute_start = Instant::now(); // mlr-check: allow(wall-clock) — decoration only: feeds compute-time stats
                     let output = (task.compute)(task.input);
                     let compute_seconds = compute_start.elapsed().as_secs_f64();
                     out.push(ChunkScratch {
@@ -774,13 +819,13 @@ impl FftExecutor for MemoizedExecutor {
                     });
                     continue;
                 }
-                let key = keys.next().expect("one key per admitted chunk");
+                let key = keys.next().expect("one key per admitted chunk"); // mlr-check: allow(unwrap-expect) — invariant: encode_batch returns one key per admitted chunk
                 let encode_ns = if tel_on {
                     encode_share_ns + std::mem::take(&mut encode_rem_ns)
                 } else {
                     0
                 };
-                let start = Instant::now();
+                let start = Instant::now(); // mlr-check: allow(wall-clock) — decoration only: feeds compute-time stats
                 let mut cache_checked = false;
                 let mut cache_comparisons = 0;
                 let mut peek_ns = 0;
@@ -836,7 +881,7 @@ impl FftExecutor for MemoizedExecutor {
                             ProbeOutcome::Expired { entry } => Some(entry),
                             _ => None,
                         };
-                        let compute_start = Instant::now();
+                        let compute_start = Instant::now(); // mlr-check: allow(wall-clock) — decoration only: feeds compute-time stats
                         let output = (task.compute)(task.input);
                         ProbeCase::Computed {
                             output,

@@ -79,7 +79,7 @@ impl IterationProfile {
                 .iter()
                 .find(|(p, _, _)| *p == phase)
                 .map(|&(_, s, e)| (s, e))
-                .expect("phase present")
+                .expect("phase present") // mlr-check: allow(unwrap-expect) — invariant: phase_times covers every AdmmPhase
         };
         let (lsp_s, lsp_e) = span(AdmmPhase::Lsp);
         let (rsp_s, rsp_e) = span(AdmmPhase::Rsp);

@@ -83,7 +83,11 @@ impl SsdStore {
         self.bytes_read += bytes.len() as u64;
         let out = bytes
             .chunks_exact(8)
-            .map(|c| f64::from_le_bytes(c.try_into().expect("8-byte chunk")))
+            .map(|c| {
+                let mut word = [0u8; 8];
+                word.copy_from_slice(c);
+                f64::from_le_bytes(word)
+            })
             .collect();
         Ok(out)
     }

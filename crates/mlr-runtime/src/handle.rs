@@ -25,9 +25,10 @@ use crate::queue::JobQueue;
 use crate::runtime::Counters;
 use mlr_core::CancelToken;
 use mlr_memo::JobId;
+use parking_lot::{Condvar, Mutex};
 use std::fmt;
 use std::sync::atomic::{AtomicU8, Ordering};
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 /// Where a job currently is in its lifecycle.
@@ -207,7 +208,7 @@ impl Ticket {
     /// Resolves the ticket with a terminal status. Idempotent: only the
     /// first resolution sticks (cancel racing a worker is harmless).
     pub(crate) fn resolve(&self, status: JobStatus) -> bool {
-        let mut slot = self.status.lock().unwrap();
+        let mut slot = self.status.lock();
         if slot.is_some() {
             return false;
         }
@@ -260,35 +261,33 @@ impl JobHandle {
     /// Non-blocking poll: the terminal status if the job is done, else
     /// `None`. The handle stays usable.
     pub fn try_wait(&self) -> Option<JobStatus> {
-        self.ticket.status.lock().unwrap().clone()
+        self.ticket.status.lock().clone()
     }
 
     /// Blocks up to `timeout` for the terminal status; `None` on timeout.
     /// The handle stays usable.
     pub fn wait_timeout(&self, timeout: Duration) -> Option<JobStatus> {
-        let deadline = Instant::now() + timeout;
-        let mut slot = self.ticket.status.lock().unwrap();
+        let deadline = Instant::now() + timeout; // mlr-check: allow(wall-clock) — serving deadline: caller-supplied wall timeout
+        let mut slot = self.ticket.status.lock();
         loop {
             if let Some(status) = slot.as_ref() {
                 return Some(status.clone());
             }
-            let now = Instant::now();
-            if now >= deadline {
-                return None;
+            if self.ticket.done.wait_until(&mut slot, deadline).timed_out() {
+                // One final check: a resolution racing the timeout wins.
+                return slot.clone();
             }
-            let (guard, _timed_out) = self.ticket.done.wait_timeout(slot, deadline - now).unwrap();
-            slot = guard;
         }
     }
 
     /// Blocks until the job reaches a terminal status and returns it.
     pub fn wait(self) -> JobStatus {
-        let mut slot = self.ticket.status.lock().unwrap();
+        let mut slot = self.ticket.status.lock();
         loop {
             if let Some(status) = slot.take() {
                 return status;
             }
-            slot = self.ticket.done.wait(slot).unwrap();
+            self.ticket.done.wait(&mut slot);
         }
     }
 
@@ -349,7 +348,7 @@ mod tests {
             completed_iterations: 3
         }));
         assert_eq!(t.phase(), JobPhase::Done);
-        let slot = t.status.lock().unwrap();
+        let slot = t.status.lock();
         match slot.as_ref() {
             Some(JobStatus::Failed { error }) => assert_eq!(error, "first"),
             other => panic!("first resolution must stick, got {other:?}"),

@@ -25,11 +25,12 @@
 use crate::handle::Ticket;
 use crate::job::{Priority, ReconJob};
 use mlr_memo::JobId;
+use parking_lot::{Condvar, Mutex};
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::Arc;
 use std::time::Instant;
 
 /// Why a submission was not admitted.
@@ -164,7 +165,7 @@ impl JobQueue {
     }
 
     pub(crate) fn len(&self) -> usize {
-        self.inner.lock().unwrap().heap.len()
+        self.inner.lock().heap.len()
     }
 
     /// Admits under the lock: the id is allocated *here*, after every
@@ -177,7 +178,7 @@ impl JobQueue {
         inner.heap.push(QueuedJob {
             id,
             job,
-            enqueued: Instant::now(),
+            enqueued: Instant::now(), // mlr-check: allow(wall-clock) — decoration only: queue-latency timestamp feeds counters
             ticket,
             deadline,
             seq,
@@ -193,7 +194,7 @@ impl JobQueue {
         job: ReconJob,
         ticket: Arc<Ticket>,
     ) -> Result<JobId, AdmissionError> {
-        let mut inner = self.inner.lock().unwrap();
+        let mut inner = self.inner.lock();
         if inner.closed {
             return Err(AdmissionError::ShuttingDown);
         }
@@ -216,7 +217,7 @@ impl JobQueue {
         job: ReconJob,
         ticket: Arc<Ticket>,
     ) -> Result<JobId, AdmissionError> {
-        let mut inner = self.inner.lock().unwrap();
+        let mut inner = self.inner.lock();
         loop {
             if inner.closed {
                 return Err(AdmissionError::ShuttingDown);
@@ -227,7 +228,7 @@ impl JobQueue {
                 self.not_empty.notify_one();
                 return Ok(id);
             }
-            inner = self.not_full.wait(inner).unwrap();
+            self.not_full.wait(&mut inner);
         }
     }
 
@@ -236,7 +237,7 @@ impl JobQueue {
     /// checks the popped entry's cancel token and deadline *before* running
     /// it, so cancelled/expired entries are reported, never executed.
     pub(crate) fn pop(&self) -> Option<QueuedJob> {
-        let mut inner = self.inner.lock().unwrap();
+        let mut inner = self.inner.lock();
         loop {
             if let Some(q) = inner.heap.pop() {
                 drop(inner);
@@ -246,7 +247,7 @@ impl JobQueue {
             if inner.closed {
                 return None;
             }
-            inner = self.not_empty.wait(inner).unwrap();
+            self.not_empty.wait(&mut inner);
         }
     }
 
@@ -255,7 +256,7 @@ impl JobQueue {
     /// — or `None` when a worker already popped it (or it never existed).
     /// The freed slot immediately re-admits a blocked producer.
     pub(crate) fn remove(&self, id: JobId) -> Option<QueuedJob> {
-        let mut inner = self.inner.lock().unwrap();
+        let mut inner = self.inner.lock();
         // BinaryHeap has no targeted removal: rebuild without the entry.
         // Queues are bounded and small, so the O(n) rebuild is irrelevant
         // next to the seconds-long jobs the entries describe.
@@ -278,7 +279,7 @@ impl JobQueue {
     /// entries' tickets; each freed slot immediately re-admits a blocked
     /// producer. Entries without a deadline are never swept.
     pub(crate) fn sweep_expired(&self, now: Instant) -> Vec<QueuedJob> {
-        let mut inner = self.inner.lock().unwrap();
+        let mut inner = self.inner.lock();
         if inner.heap.is_empty() {
             return Vec::new();
         }
@@ -299,13 +300,13 @@ impl JobQueue {
 
     /// Whether the queue has been closed (drain mode or shutdown).
     pub(crate) fn is_closed(&self) -> bool {
-        self.inner.lock().unwrap().closed
+        self.inner.lock().closed
     }
 
     /// Closes the queue: no further admissions; workers drain what remains
     /// and then see `None`.
     pub(crate) fn close(&self) {
-        self.inner.lock().unwrap().closed = true;
+        self.inner.lock().closed = true;
         self.not_empty.notify_all();
         self.not_full.notify_all();
     }

@@ -17,8 +17,9 @@ use mlr_memo::{
     NodeTopology, ParallelStats, ShardedMemoDb, DEFAULT_SHARDS,
 };
 use mlr_telemetry::{CounterId, SignedHistogram, SpanKind, Telemetry, TelemetryConfig};
+use parking_lot::Mutex;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
@@ -209,7 +210,7 @@ impl Counters {
     pub(crate) fn note_expired(&self, late_seconds: f64) {
         self.expired.fetch_add(1, Ordering::Relaxed);
         self.telemetry.count(CounterId::JobsExpired, 1);
-        let mut ledger = self.deadlines.lock().expect("deadline ledger poisoned");
+        let mut ledger = self.deadlines.lock();
         ledger.missed += 1;
         ledger.push_slack(-late_seconds);
     }
@@ -225,7 +226,7 @@ impl Counters {
     /// A completed job that carried a deadline: met when it finished with
     /// non-negative slack, missed otherwise (it ran to completion late).
     pub(crate) fn note_deadline_outcome(&self, slack_seconds: f64) {
-        let mut ledger = self.deadlines.lock().expect("deadline ledger poisoned");
+        let mut ledger = self.deadlines.lock();
         if slack_seconds >= 0.0 {
             ledger.met += 1;
         } else {
@@ -314,21 +315,21 @@ impl Runtime {
                 let store = Arc::clone(&exec_store);
                 let counters = Arc::clone(&counters);
                 let governor = Arc::clone(&governor);
-                std::thread::Builder::new()
+                std::thread::Builder::new() // mlr-check: allow(thread-spawn) — runtime-owned pool: these threads are the governed worker pool
                     .name(format!("mlr-worker-{i}"))
                     .spawn(move || {
                         worker_loop(&queue, &store, &counters, &governor, intra_job_threads)
                     })
-                    .expect("failed to spawn worker thread")
+                    .expect("failed to spawn worker thread") // mlr-check: allow(unwrap-expect) — startup: a runtime without its pool is unusable, fail fast
             })
             .collect();
         let sweeper = config.expiry_sweep.map(|interval| {
             let queue = Arc::clone(&queue);
             let counters = Arc::clone(&counters);
-            std::thread::Builder::new()
+            std::thread::Builder::new() // mlr-check: allow(thread-spawn) — runtime-owned pool: these threads are the governed worker pool
                 .name("mlr-sweeper".to_string())
                 .spawn(move || sweeper_loop(&queue, &counters, interval))
-                .expect("failed to spawn sweeper thread")
+                .expect("failed to spawn sweeper thread") // mlr-check: allow(unwrap-expect) — startup: a runtime without its pool is unusable, fail fast
         });
         Self {
             queue,
@@ -342,7 +343,7 @@ impl Runtime {
             admission_max_pressure: config.admission_max_pressure,
             // Job 0 is reserved for standalone executors.
             next_job: AtomicU64::new(1),
-            started: Instant::now(),
+            started: Instant::now(), // mlr-check: allow(wall-clock) — decoration only: start timestamp feeds latency counters
         }
     }
 
@@ -419,11 +420,7 @@ impl Runtime {
         // snapshot must never see more decided deadline jobs than submitted
         // ones. Rolled back below if admission fails.
         if deadline.is_some() {
-            self.counters
-                .deadlines
-                .lock()
-                .expect("deadline ledger poisoned")
-                .submitted += 1;
+            self.counters.deadlines.lock().submitted += 1;
         }
         let pushed = if blocking {
             self.queue
@@ -449,11 +446,7 @@ impl Runtime {
             }
             Err(e) => {
                 if deadline.is_some() {
-                    self.counters
-                        .deadlines
-                        .lock()
-                        .expect("deadline ledger poisoned")
-                        .submitted -= 1;
+                    self.counters.deadlines.lock().submitted -= 1;
                 }
                 self.counters.note_rejected();
                 Err(e)
@@ -483,11 +476,7 @@ impl Runtime {
         let queue_samples = self.counters.queue_samples.load(Ordering::Relaxed);
         let queue_ns_total = self.counters.queue_ns_total.load(Ordering::Relaxed);
         let deadline = {
-            let ledger = self
-                .counters
-                .deadlines
-                .lock()
-                .expect("deadline ledger poisoned");
+            let ledger = self.counters.deadlines.lock();
             DeadlineStats {
                 submitted: ledger.submitted,
                 met: ledger.met,
@@ -517,11 +506,7 @@ impl Runtime {
             store_pressure: self.store.pressure(),
             store: self.store.stats(),
             deadline,
-            parallel: *self
-                .counters
-                .parallel
-                .lock()
-                .expect("parallel stats lock poisoned"),
+            parallel: *self.counters.parallel.lock(),
             distributed: self.distributed.as_ref().map(|d| d.distributed_stats()),
         }
     }
@@ -606,7 +591,7 @@ fn worker_loop(
         }
         // Deadline-aware pop: an entry that expired while queued is reported
         // and skipped — it never runs (and never touches the store).
-        let now = Instant::now();
+        let now = Instant::now(); // mlr-check: allow(wall-clock) — serving deadline: expiry sweep compares wall deadlines
         if let Some(at) = deadline {
             if now >= at {
                 let late = -slack_seconds(at, now);
@@ -625,11 +610,11 @@ fn worker_loop(
         counters.telemetry.span(id, SpanKind::Running, 0);
         let queue_ns = enqueued.elapsed().as_nanos() as u64;
         let token = ticket.token.clone();
-        let start = Instant::now();
-        // Contain per-job panics (bad configs assert deep in the pipeline):
-        // one misbehaving tenant must not kill the worker and starve every
-        // queued job behind it. The panicked job resolves `Failed`; the
-        // worker lives on.
+        let start = Instant::now(); // mlr-check: allow(wall-clock) — decoration only: service-time measurement feeds counters
+                                    // Contain per-job panics (bad configs assert deep in the pipeline):
+                                    // one misbehaving tenant must not kill the worker and starve every
+                                    // queued job behind it. The panicked job resolves `Failed`; the
+                                    // worker lives on.
         let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
             run_job(
                 id,
@@ -666,6 +651,7 @@ fn worker_loop(
                     .telemetry
                     .span(id, SpanKind::Completed, report.loss.len() as u64);
                 if let Some(at) = deadline {
+                    // mlr-check: allow(wall-clock) — serving deadline: slack vs wall deadline feeds counters
                     counters.note_deadline_outcome(slack_seconds(at, Instant::now()));
                 }
             }
@@ -707,7 +693,7 @@ fn worker_loop(
 /// during drain are still caught by the pop-time backstop.
 fn sweeper_loop(queue: &JobQueue, counters: &Counters, interval: Duration) {
     while !queue.is_closed() {
-        let now = Instant::now();
+        let now = Instant::now(); // mlr-check: allow(wall-clock) — serving deadline: expiry sweep compares wall deadlines
         for q in queue.sweep_expired(now) {
             // Cancellation wins over expiry, exactly as at pop: a
             // submitter-cancelled entry swept in the race window between
@@ -726,8 +712,8 @@ fn sweeper_loop(queue: &JobQueue, counters: &Counters, interval: Duration) {
                 .ticket
                 .token
                 .deadline()
-                .expect("swept entries carry a deadline");
-            let late = (-slack_seconds(at, Instant::now())).max(0.0);
+                .expect("swept entries carry a deadline"); // mlr-check: allow(unwrap-expect) — invariant: sweep_expired only returns deadline-carrying entries
+            let late = (-slack_seconds(at, Instant::now())).max(0.0); // mlr-check: allow(wall-clock) — serving deadline: slack vs wall deadline feeds counters
             counters.note_swept_expired(late);
             counters.telemetry.span(q.id, SpanKind::Swept, 0);
             q.ticket.resolve(JobStatus::Expired {
@@ -751,10 +737,10 @@ fn run_job(
     intra_job_threads: usize,
     queue_ns: u64,
 ) -> JobStatus {
-    let start = Instant::now();
-    // The runtime's default chunk parallelism applies unless the job itself
-    // asks for more; either way every thread beyond the first is leased from
-    // the shared governor, so workers × threads stays within the core budget.
+    let start = Instant::now(); // mlr-check: allow(wall-clock) — decoration only: service-time measurement feeds counters
+                                // The runtime's default chunk parallelism applies unless the job itself
+                                // asks for more; either way every thread beyond the first is leased from
+                                // the shared governor, so workers × threads stays within the core budget.
     let mut config = job.config;
     config.intra_job_threads = config.intra_job_threads.max(intra_job_threads);
     let pipeline = MlrPipeline::new(config);
@@ -770,11 +756,7 @@ fn run_job(
 
     let stats = executor.stats();
     let parallel = executor.parallel_stats();
-    counters
-        .parallel
-        .lock()
-        .expect("parallel stats lock poisoned")
-        .merge(&parallel);
+    counters.parallel.lock().merge(&parallel);
     let completed_iterations = result.history.records().len();
     match result.stopped {
         Some(StopCause::Cancelled) => JobStatus::Cancelled {
@@ -784,7 +766,7 @@ fn run_job(
         Some(StopCause::DeadlineExpired) => {
             let late = token
                 .deadline()
-                .map(|at| -slack_seconds(at, Instant::now()))
+                .map(|at| -slack_seconds(at, Instant::now())) // mlr-check: allow(wall-clock) — serving deadline: slack vs wall deadline feeds counters
                 .unwrap_or(0.0)
                 .max(0.0);
             JobStatus::Expired {
@@ -1033,7 +1015,7 @@ mod tests {
             c.note_deadline_outcome(i as f64);
         }
         c.note_expired(50.0);
-        let ledger = c.deadlines.lock().unwrap();
+        let ledger = c.deadlines.lock();
         // Outcome counters keep the full history; so does the histogram's
         // sample count.
         assert_eq!(ledger.met, 10_000);

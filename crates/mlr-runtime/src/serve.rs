@@ -59,7 +59,7 @@ impl Deadline {
     }
 
     pub(crate) fn starting_now(&self) -> Instant {
-        Instant::now() + self.budget
+        Instant::now() + self.budget // mlr-check: allow(wall-clock) — serving deadline: budget is anchored to wall clock by design
     }
 }
 

@@ -27,6 +27,8 @@
 //! Numerical results (convergence, accuracy vs τ, chunk similarity) never go
 //! through this crate — they are computed for real by the solver.
 
+#![warn(missing_docs)]
+
 pub mod cost;
 pub mod hardware;
 pub mod memory;

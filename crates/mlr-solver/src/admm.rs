@@ -149,8 +149,8 @@ impl AdmmSolver {
             exec.begin_iteration(iteration);
 
             // ------------------------------------------------------- LSP
-            let lsp_start = Instant::now();
-            // g = ψ − λ/ρ  (Algorithm 1 line 1).
+            let lsp_start = Instant::now(); // mlr-check: allow(wall-clock) — decoration only: per-phase seconds feed the solver profile
+                                            // g = ψ − λ/ρ  (Algorithm 1 line 1).
             let mut g_field = psi.clone();
             g_field.axpby(1.0, &lambda, -1.0 / rho);
 
@@ -162,7 +162,7 @@ impl AdmmSolver {
                     LspVariant::Cancelled => lsp_gradient_cancelled(
                         op,
                         &u,
-                        freq.as_ref().expect("frequency data"),
+                        freq.as_ref().expect("frequency data"), // mlr-check: allow(unwrap-expect) — invariant: the cancelled variant always carries frequency data
                         &g_field,
                         rho,
                         exec,
@@ -177,7 +177,7 @@ impl AdmmSolver {
             let lsp_seconds = lsp_start.elapsed().as_secs_f64();
 
             // ------------------------------------------------------- RSP
-            let rsp_start = Instant::now();
+            let rsp_start = Instant::now(); // mlr-check: allow(wall-clock) — decoration only: per-phase seconds feed the solver profile
             let grad_u = gradient(&u);
             // ψ = shrink(∇u + λ/ρ, α/ρ).
             let mut arg = grad_u.clone();
@@ -186,15 +186,15 @@ impl AdmmSolver {
             let rsp_seconds = rsp_start.elapsed().as_secs_f64();
 
             // -------------------------------------------------- λ update
-            let lambda_start = Instant::now();
-            // λ ← λ + ρ(∇u − ψ).
+            let lambda_start = Instant::now(); // mlr-check: allow(wall-clock) — decoration only: per-phase seconds feed the solver profile
+                                               // λ ← λ + ρ(∇u − ψ).
             let mut primal = grad_u.clone();
             primal.axpby(1.0, &psi, -1.0);
             lambda.axpby(1.0, &primal, rho);
             let lambda_seconds = lambda_start.elapsed().as_secs_f64();
 
             // --------------------------------------------- penalty update
-            let penalty_start = Instant::now();
+            let penalty_start = Instant::now(); // mlr-check: allow(wall-clock) — decoration only: per-phase seconds feed the solver profile
             if cfg.adaptive_rho {
                 let primal_res = primal.norm_sqr().sqrt();
                 // Dual residual ~ ρ‖ψ_k − ψ_{k−1}‖; approximate with the

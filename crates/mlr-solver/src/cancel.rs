@@ -79,7 +79,7 @@ impl CancelToken {
             return Some(StopCause::Cancelled);
         }
         match self.inner.deadline {
-            Some(d) if Instant::now() >= d => Some(StopCause::DeadlineExpired),
+            Some(d) if Instant::now() >= d => Some(StopCause::DeadlineExpired), // mlr-check: allow(wall-clock) — serving deadline: wall-clock expiry is the contract
             _ => None,
         }
     }

@@ -122,7 +122,7 @@ impl SpanJournal {
 
     /// Enables wall-clock timestamps, measured from this call.
     pub fn with_wall_clock(mut self) -> Self {
-        self.epoch = Some(Instant::now());
+        self.epoch = Some(Instant::now()); // mlr-check: allow(wall-clock) — decoration only: opt-in wall epochs label telemetry output
         self
     }
 

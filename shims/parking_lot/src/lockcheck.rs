@@ -1,0 +1,300 @@
+//! The lock-order sanitizer behind `--features lockcheck`.
+//!
+//! Mechanics (see the crate docs for the contract):
+//!
+//! * every `Mutex`/`RwLock` carries a [`LockTag`] whose numeric id is
+//!   assigned lazily on first acquisition (`new` must stay `const`);
+//! * a thread-local stack records the locks the current thread holds, each
+//!   with the backtrace of its acquisition;
+//! * a blocking acquisition while other locks are held inserts edges
+//!   `held → acquiring` into a global order graph; the first insertion of an
+//!   edge stores both acquisition backtraces;
+//! * inserting an edge whose reverse direction is already reachable means
+//!   two code paths order the same locks differently — a potential deadlock
+//!   — and panics with the stored backtraces of the earlier ordering and the
+//!   captured backtraces of this one.
+//!
+//! The graph only ever grows with *distinct ordered pairs* of lock
+//! instances, so its size is bounded by the square of the nesting-active
+//! locks, not by acquisition counts.
+
+use std::backtrace::Backtrace;
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex as StdMutex, OnceLock};
+
+static NEXT_ID: AtomicU64 = AtomicU64::new(1);
+
+/// Per-lock identity: id 0 means "not yet assigned".
+#[derive(Debug)]
+pub(crate) struct LockTag {
+    id: AtomicU64,
+}
+
+impl LockTag {
+    pub(crate) const fn new() -> Self {
+        Self {
+            id: AtomicU64::new(0),
+        }
+    }
+
+    fn id(&self) -> u64 {
+        let current = self.id.load(Ordering::Relaxed);
+        if current != 0 {
+            return current;
+        }
+        let fresh = NEXT_ID.fetch_add(1, Ordering::Relaxed);
+        match self
+            .id
+            .compare_exchange(0, fresh, Ordering::Relaxed, Ordering::Relaxed)
+        {
+            Ok(_) => fresh,
+            Err(existing) => existing,
+        }
+    }
+
+    /// Called before blocking on the lock: checks re-entrancy, records
+    /// ordering edges from every held lock, and joins the held stack.
+    pub(crate) fn blocking_acquire(&self) {
+        acquire(self.id(), true);
+    }
+
+    /// Called after a successful `try_lock`: never blocks, so it adds no
+    /// ordering edges, but the lock is now held and future blocking
+    /// acquisitions under it must see it.
+    pub(crate) fn try_acquired(&self) {
+        acquire(self.id(), false);
+    }
+
+    /// Called when the guard drops (or a condvar wait releases the lock).
+    pub(crate) fn released(&self) {
+        let id = self.id();
+        HELD.with(|held| {
+            let mut held = held.borrow_mut();
+            if let Some(at) = held.iter().rposition(|h| h.id == id) {
+                held.remove(at);
+            }
+        });
+    }
+}
+
+struct HeldLock {
+    id: u64,
+    acquired_at: Arc<Backtrace>,
+}
+
+thread_local! {
+    static HELD: RefCell<Vec<HeldLock>> = const { RefCell::new(Vec::new()) };
+}
+
+/// First-sighting record of an ordering edge `from → to`.
+struct EdgeInfo {
+    /// Where `from` was acquired when the edge was first observed.
+    held_at: Arc<Backtrace>,
+    /// Where `to` was being acquired when the edge was first observed.
+    acquired_at: Arc<Backtrace>,
+}
+
+#[derive(Default)]
+struct OrderGraph {
+    successors: HashMap<u64, Vec<u64>>,
+    edges: HashMap<(u64, u64), EdgeInfo>,
+}
+
+impl OrderGraph {
+    /// Depth-first path `from → … → to` through recorded edges, if any.
+    fn path(&self, from: u64, to: u64) -> Option<Vec<u64>> {
+        let mut stack = vec![vec![from]];
+        let mut visited = std::collections::HashSet::new();
+        visited.insert(from);
+        while let Some(path) = stack.pop() {
+            let last = *path.last().expect("paths are non-empty");
+            if last == to {
+                return Some(path);
+            }
+            for &next in self.successors.get(&last).into_iter().flatten() {
+                if visited.insert(next) {
+                    let mut longer = path.clone();
+                    longer.push(next);
+                    stack.push(longer);
+                }
+            }
+        }
+        None
+    }
+}
+
+fn graph() -> &'static StdMutex<OrderGraph> {
+    static GRAPH: OnceLock<StdMutex<OrderGraph>> = OnceLock::new();
+    GRAPH.get_or_init(Default::default)
+}
+
+fn acquire(id: u64, blocking: bool) {
+    let acquired_at = Arc::new(Backtrace::force_capture());
+    HELD.with(|held| {
+        let held_stack = held.borrow();
+        if let Some(prev) = held_stack.iter().find(|h| h.id == id) {
+            // With std primitives underneath, re-locking what this thread
+            // already holds deadlocks (mutex/write) or can deadlock behind a
+            // queued writer (read-read), so it is an error either way. A
+            // re-entrant try_lock merely fails, but reaching here via
+            // try_acquired means it *succeeded*, which std does not permit —
+            // flag it identically rather than silently corrupt the stack.
+            panic!(
+                "lockcheck: re-entrant acquisition of lock #{id}\n\
+                 --- first acquired at ---\n{}\n\
+                 --- re-acquired at ---\n{}",
+                prev.acquired_at, acquired_at
+            );
+        }
+        if blocking && !held_stack.is_empty() {
+            let mut graph = graph().lock().unwrap_or_else(|e| e.into_inner());
+            for prev in held_stack.iter() {
+                record_edge(&mut graph, prev, id, &acquired_at);
+            }
+        }
+        drop(held_stack);
+        held.borrow_mut().push(HeldLock { id, acquired_at });
+    });
+}
+
+/// Inserts `held.id → acquiring` into the order graph, panicking when the
+/// reverse order is already on record (a lock-order inversion).
+fn record_edge(
+    graph: &mut OrderGraph,
+    held: &HeldLock,
+    acquiring: u64,
+    acquired_at: &Arc<Backtrace>,
+) {
+    let from = held.id;
+    if from == acquiring || graph.edges.contains_key(&(from, acquiring)) {
+        return;
+    }
+    if let Some(path) = graph.path(acquiring, from) {
+        // The earlier, conflicting ordering: the first edge of the reverse
+        // path, with the backtraces stored when it was first observed.
+        let conflict = graph
+            .edges
+            .get(&(path[0], path[1]))
+            .expect("path edges are recorded");
+        panic!(
+            "lockcheck: lock-order inversion — acquiring lock #{acquiring} while holding \
+             lock #{from}, but the opposite order #{path:?} was recorded earlier; \
+             the two orders deadlock if their threads interleave\n\
+             === this acquisition ===\n\
+             --- holding #{from}, acquired at ---\n{}\n\
+             --- while acquiring #{acquiring} at ---\n{}\n\
+             === earlier conflicting acquisition ===\n\
+             --- holding #{}, acquired at ---\n{}\n\
+             --- while acquiring #{} at ---\n{}",
+            held.acquired_at, acquired_at, path[0], conflict.held_at, path[1], conflict.acquired_at
+        );
+    }
+    graph.successors.entry(from).or_default().push(acquiring);
+    graph.edges.insert(
+        (from, acquiring),
+        EdgeInfo {
+            held_at: Arc::clone(&held.acquired_at),
+            acquired_at: Arc::clone(acquired_at),
+        },
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::{Mutex, RwLock};
+
+    #[test]
+    fn consistent_nesting_is_fine() {
+        let outer = Mutex::new(());
+        let inner = Mutex::new(());
+        for _ in 0..3 {
+            let _a = outer.lock();
+            let _b = inner.lock();
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "lock-order inversion")]
+    fn inverted_order_panics() {
+        let a = Mutex::new(());
+        let b = Mutex::new(());
+        {
+            let _ga = a.lock();
+            let _gb = b.lock();
+        }
+        // Same thread, opposite order: no deadlock *here*, but two threads
+        // running these two blocks concurrently could each hold one lock and
+        // wait forever for the other — exactly what the sanitizer flags.
+        let _gb = b.lock();
+        let _ga = a.lock();
+    }
+
+    #[test]
+    #[should_panic(expected = "lock-order inversion")]
+    fn transitive_inversion_panics() {
+        let a = Mutex::new(());
+        let b = Mutex::new(());
+        let c = RwLock::new(());
+        {
+            let _ga = a.lock();
+            let _gb = b.lock();
+        }
+        {
+            let _gb = b.lock();
+            let _gc = c.write();
+        }
+        // a → b → c is on record; c → a closes the cycle.
+        let _gc = c.read();
+        let _ga = a.lock();
+    }
+
+    #[test]
+    #[should_panic(expected = "re-entrant acquisition")]
+    fn reentrant_lock_panics() {
+        let m = Mutex::new(());
+        let _g = m.lock();
+        let _g2 = m.lock();
+    }
+
+    #[test]
+    #[should_panic(expected = "re-entrant acquisition")]
+    fn reentrant_read_panics() {
+        // Two read guards on one thread deadlock with std's RwLock as soon
+        // as a writer queues between them — flagged like any re-entrancy.
+        let l = RwLock::new(());
+        let _a = l.read();
+        let _b = l.read();
+    }
+
+    #[test]
+    fn released_locks_leave_the_held_stack() {
+        let a = Mutex::new(());
+        let b = Mutex::new(());
+        // Sequential (non-nested) acquisitions in both orders are fine.
+        drop(a.lock());
+        drop(b.lock());
+        drop(b.lock());
+        drop(a.lock());
+    }
+
+    #[test]
+    fn try_lock_holds_but_adds_no_edges() {
+        let a = Mutex::new(());
+        let b = Mutex::new(());
+        {
+            let _ga = a.try_lock().expect("uncontended");
+            let _gb = b.lock(); // edge a → b
+        }
+        {
+            // b held via try_lock, then blocking on a would be b → a and
+            // must still trip the checker: the hold is real however it was
+            // obtained. (Not exercised here — this test pins the quiet path:
+            // try_lock *itself* records no edge, so taking b under a again
+            // stays silent.)
+            let _ga = a.lock();
+            let _gb = b.try_lock().expect("uncontended");
+        }
+    }
+}

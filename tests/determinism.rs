@@ -1,0 +1,73 @@
+//! Schedule-perturbation determinism harness.
+//!
+//! The memoized executor's two-phase batch schedule claims the parallel
+//! read-only phase is pure with respect to the ordered commit: thread count
+//! and block completion order shape wall time only, never the
+//! reconstruction. The thread-count half is pinned by `tests/parallel.rs`;
+//! this harness attacks the *ordering* half directly. With
+//! `with_schedule_perturbation(seed)` armed, every parallel-phase worker
+//! runs a deterministic yield storm derived from `(seed, block index)`
+//! before and after its block, forcing adversarial relative start and
+//! completion orderings — blocks finishing reversed, interleaved, bunched —
+//! while computing exactly the same work. Every seed × thread-count cell
+//! must reproduce the sequential run bit-for-bit, hit counts included; any
+//! divergence means schedule-dependent state leaked into the read-only
+//! phase (a probe that wrote, a commit that read racing state).
+
+use mlr_core::{MlrConfig, MlrPipeline};
+
+fn base_config() -> MlrConfig {
+    MlrConfig::quick(12, 8).with_iterations(4)
+}
+
+fn bits(reconstruction: &[f64]) -> Vec<u64> {
+    reconstruction.iter().map(|v| v.to_bits()).collect()
+}
+
+/// Runs one reconstruction at `threads` chunk threads, with the
+/// perturbation checker armed when `seed` is `Some`, and returns the
+/// reconstruction bits plus the (db, cache, failed) hit counts.
+fn run(threads: usize, seed: Option<u64>) -> (Vec<u64>, (u64, u64, u64)) {
+    let pipeline = MlrPipeline::new(base_config().with_intra_job_threads(threads));
+    let (result, executor) = match seed {
+        Some(seed) => pipeline.run_memoized_perturbed(seed),
+        None => pipeline.run_memoized(),
+    };
+    let total = executor.stats().total();
+    (
+        bits(result.reconstruction.as_slice()),
+        (total.db_hits, total.cache_hits, total.failed_memo),
+    )
+}
+
+#[test]
+fn perturbed_schedules_commit_bit_identically() {
+    let (reference, ref_hits) = run(1, None);
+    assert!(
+        ref_hits.0 + ref_hits.1 > 0,
+        "schedule never hits — the sweep would be vacuous: {ref_hits:?}"
+    );
+    for threads in [2, 4] {
+        for seed in [0x5EED_0001_u64, 0xC0FF_EE42, 0xDEAD_BEA7] {
+            let (perturbed, hits) = run(threads, Some(seed));
+            assert_eq!(
+                perturbed, reference,
+                "seed {seed:#x} at {threads} threads changed the reconstruction"
+            );
+            assert_eq!(
+                hits, ref_hits,
+                "seed {seed:#x} at {threads} threads changed the hit counts"
+            );
+        }
+    }
+}
+
+#[test]
+fn perturbation_at_one_thread_is_exactly_the_sequential_run() {
+    // With a single worker the yield storms have nothing to reorder; the
+    // armed executor must be indistinguishable from the plain one.
+    let (reference, ref_hits) = run(1, None);
+    let (perturbed, hits) = run(1, Some(0x0DDB_A115));
+    assert_eq!(perturbed, reference);
+    assert_eq!(hits, ref_hits);
+}
