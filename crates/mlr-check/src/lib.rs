@@ -56,6 +56,13 @@ pub enum RuleId {
     /// `.unwrap()` / `.expect(` in non-test library code: failures must
     /// surface as typed errors, not panics inside a worker.
     UnwrapExpect,
+    /// `Instant::now` / `SystemTime` in a file that consumes `FaultPlan` /
+    /// `FaultClock`: fault decisions must be pure in the plan and logical
+    /// ticks so faulted runs replay bit-identically. Unlike
+    /// [`RuleId::WallClock`] this rule is structural, not per-crate — it
+    /// stays on even in harness binaries and relaxed crates, and only
+    /// reports where the general rule is switched off (no double counting).
+    FaultWallClock,
     /// `#![warn(missing_docs)]` missing from a crate that the policy table
     /// says has full public-item rustdoc coverage.
     MissingDocs,
@@ -63,11 +70,12 @@ pub enum RuleId {
 
 impl RuleId {
     /// All rules, in report order.
-    pub const ALL: [RuleId; 5] = [
+    pub const ALL: [RuleId; 6] = [
         RuleId::WallClock,
         RuleId::StdSyncLock,
         RuleId::ThreadSpawn,
         RuleId::UnwrapExpect,
+        RuleId::FaultWallClock,
         RuleId::MissingDocs,
     ];
 
@@ -78,6 +86,7 @@ impl RuleId {
             RuleId::StdSyncLock => "std-sync-lock",
             RuleId::ThreadSpawn => "thread-spawn",
             RuleId::UnwrapExpect => "unwrap-expect",
+            RuleId::FaultWallClock => "fault-wall-clock",
             RuleId::MissingDocs => "missing-docs",
         }
     }
@@ -413,6 +422,9 @@ pub struct RuleSet {
     pub thread_spawn: bool,
     /// Enforce [`RuleId::UnwrapExpect`].
     pub unwrap_expect: bool,
+    /// Enforce [`RuleId::FaultWallClock`] (always on in the workspace
+    /// policy — fault-path purity is not relaxable per crate).
+    pub fault_wall_clock: bool,
 }
 
 impl RuleSet {
@@ -423,6 +435,7 @@ impl RuleSet {
             std_sync_lock: true,
             thread_spawn: true,
             unwrap_expect: true,
+            fault_wall_clock: true,
         }
     }
 }
@@ -465,6 +478,13 @@ pub fn scan_source(file: &str, text: &str, rules: RuleSet) -> Vec<Finding> {
         excluded.iter().any(|&(s, e)| start >= s && start < e)
     };
 
+    // A file *consumes* the fault layer when non-test code names its types
+    // (doc references live in comments and are masked away). Such a file's
+    // wall-clock hygiene is enforced even where the general rule is relaxed.
+    let fault_consumer = masked_lines.iter().enumerate().any(|(idx, l)| {
+        !in_test_code(idx) && (l.contains("FaultPlan") || l.contains("FaultClock"))
+    });
+
     let mut findings = Vec::new();
     let mut push = |rule: RuleId, line_idx: usize, snippet: &str| {
         let waived = waivers
@@ -491,8 +511,12 @@ pub fn scan_source(file: &str, text: &str, rules: RuleSet) -> Vec<Finding> {
             continue;
         }
         let raw = raw_lines.get(idx).copied().unwrap_or("");
-        if rules.wall_clock && (masked.contains("Instant::now") || masked.contains("SystemTime")) {
+        let wall_clock_token = masked.contains("Instant::now") || masked.contains("SystemTime");
+        if rules.wall_clock && wall_clock_token {
             push(RuleId::WallClock, idx, raw);
+        }
+        if rules.fault_wall_clock && !rules.wall_clock && fault_consumer && wall_clock_token {
+            push(RuleId::FaultWallClock, idx, raw);
         }
         if rules.std_sync_lock
             && masked.contains("std::sync")
@@ -706,6 +730,30 @@ mod tests {
     #[test]
     fn disabled_rules_do_not_fire() {
         let text = "fn f() { let _ = std::time::Instant::now(); }\n";
+        let mut rules = RuleSet::all();
+        rules.wall_clock = false;
+        assert!(scan_source("inline.rs", text, rules).is_empty());
+    }
+
+    #[test]
+    fn fault_consumers_keep_wall_clock_hygiene_where_the_general_rule_is_off() {
+        // A harness-style file (wall_clock relaxed) that consumes FaultPlan
+        // must still not read the wall clock.
+        let text = "use mlr_sim::faults::FaultPlan;\n\nfn drive(plan: &FaultPlan) {\n    let t = std::time::Instant::now();\n    let _ = (plan, t);\n}\n";
+        let mut rules = RuleSet::all();
+        rules.wall_clock = false;
+        let found = scan_source("inline.rs", text, rules);
+        assert_eq!(violations(&found), vec![(RuleId::FaultWallClock, 4)]);
+        // The same file with the general rule on reports wall-clock once,
+        // not twice.
+        let strict = scan_source("inline.rs", text, RuleSet::all());
+        assert_eq!(violations(&strict), vec![(RuleId::WallClock, 4)]);
+    }
+
+    #[test]
+    fn fault_mentions_only_in_comments_or_tests_do_not_make_a_consumer() {
+        // Doc references are masked; a test-only consumer is a test concern.
+        let text = "// See [`FaultPlan`] for the schedule format.\nfn f() { let _ = std::time::Instant::now(); }\n\n#[cfg(test)]\nmod tests {\n    use mlr_sim::faults::FaultClock;\n}\n";
         let mut rules = RuleSet::all();
         rules.wall_clock = false;
         assert!(scan_source("inline.rs", text, rules).is_empty());

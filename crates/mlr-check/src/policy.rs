@@ -1,6 +1,6 @@
 //! The declarative per-crate policy table.
 //!
-//! One row per workspace crate, each toggling the five rules. The table is
+//! One row per workspace crate, each toggling the line-level rules. The table is
 //! code, not config — changing policy is a reviewed diff next to the rule
 //! it relaxes, and [`crate::scan_workspace`] fails loudly if a row names a
 //! crate that no longer exists (so the table cannot silently rot).
@@ -13,6 +13,10 @@
 //! * `src/bin/` harness binaries drop the wall-clock and unwrap rules: a
 //!   benchmark main measures wall time and asserts on its own output by
 //!   design. Library rules (shim locks, governed threads) still apply.
+//! * the `fault-wall-clock` rule is always on, everywhere: a file that
+//!   consumes `FaultPlan`/`FaultClock` may not read the wall clock even
+//!   where the general wall-clock rule is relaxed — fault schedules must
+//!   replay bit-identically, harness or not.
 
 use crate::RuleSet;
 
@@ -55,6 +59,11 @@ impl CratePolicy {
             std_sync_lock: self.std_sync_lock,
             thread_spawn: self.thread_spawn,
             unwrap_expect: self.unwrap_expect && !is_harness_bin,
+            // Fault-path purity is structural, not per-crate: any file that
+            // consumes `FaultPlan`/`FaultClock` must stay on logical ticks
+            // even in harness bins and wall-clock-relaxed crates, or faulted
+            // runs stop replaying bit-identically.
+            fault_wall_clock: true,
         }
     }
 }
@@ -118,6 +127,15 @@ mod tests {
         let bin = row.rules_for(true);
         assert!(!bin.wall_clock && !bin.unwrap_expect);
         assert!(bin.std_sync_lock && bin.thread_spawn);
+        // Fault-path purity survives every relaxation.
+        assert!(lib.fault_wall_clock && bin.fault_wall_clock);
+        let bench = PolicyTable::workspace()
+            .crates()
+            .iter()
+            .find(|c| c.name == "mlr-bench")
+            .copied()
+            .expect("mlr-bench row");
+        assert!(bench.rules_for(true).fault_wall_clock);
     }
 
     #[test]

@@ -185,6 +185,11 @@ pub fn replay_trace(
                 let _ = queues[node].charge(arrival, config.control_bytes);
                 replicas.remove(&record.entry);
             }
+            AccessKind::Lost => {
+                // The entry vanished with its crashed node: no link traffic
+                // (there is no node to talk to), the replica just lapses.
+                replicas.remove(&record.entry);
+            }
         }
     }
 

@@ -137,6 +137,25 @@ impl MlrPipeline {
         (result, executor)
     }
 
+    /// [`MlrPipeline::run_memoized_with_store`] with the executor's
+    /// schedule-perturbation checker armed: adversarial block orderings over
+    /// an injected store. The determinism harness drives this with a
+    /// fault-armed `DistributedMemoDb` to pin that forced fault-misses stay
+    /// bit-identical across thread counts and completion orders too.
+    pub fn run_memoized_perturbed_with_store(
+        &self,
+        store: Arc<dyn MemoStore>,
+        job: JobId,
+        seed: u64,
+    ) -> (AdmmResult, MemoizedExecutor) {
+        let executor = MemoizedExecutor::with_store(self.config.memo, store, job)
+            .with_parallelism(self.config.intra_job_threads, None)
+            .with_schedule_perturbation(seed);
+        let solver = AdmmSolver::new(self.config.admm);
+        let result = solver.run_with(&self.operator, &self.dataset.projections, &executor);
+        (result, executor)
+    }
+
     /// Runs the memoized reconstruction against an injected (typically
     /// shared) memo store on behalf of job `job`. With a store shared
     /// between pipelines, FFT results memoized by one reconstruction are

@@ -815,8 +815,23 @@ impl MemoDatabase {
         match kind {
             RemovalKind::Evicted => self.evictions += 1,
             RemovalKind::Expired => self.expirations += 1,
+            RemovalKind::Lost => {}
         }
         freed
+    }
+
+    /// Removes every resident entry — a crashed stripe losing its contents
+    /// (warm-up from scratch). The eviction policy is neither consulted nor
+    /// notified, and neither the eviction nor the expiration counter moves:
+    /// the removals land in the freed-accounting drained by
+    /// [`Self::drain_freed`]. Returns the lost entry ids in ascending order.
+    pub(crate) fn purge_all(&mut self) -> Vec<u64> {
+        let mut ids: Vec<u64> = self.entries.keys().copied().collect();
+        ids.sort_unstable();
+        for &id in &ids {
+            self.remove_entry(id, RemovalKind::Lost);
+        }
+        ids
     }
 
     /// Average number of key comparisons one query performs (used by the
@@ -842,6 +857,10 @@ pub(crate) const PRESSURE_THRESHOLD: f64 = 0.95;
 enum RemovalKind {
     Evicted,
     Expired,
+    /// Removed because the owning (simulated) memory node crashed: neither
+    /// an eviction (the policy is not consulted and not notified) nor an
+    /// expiry — the entry was simply lost with its node.
+    Lost,
 }
 
 #[cfg(test)]

@@ -32,6 +32,29 @@
 //! [`NodeTopology::local_latency`] instead of a round trip over the owning
 //! node's link — which is what bends the latency CDF's head down while
 //! remote probes populate its tail.
+//!
+//! # Fault injection
+//!
+//! Armed with a [`FaultPlan`] (see [`DistributedMemoDb::with_faults`]), the
+//! tier consumes a seeded, tick-ordered schedule of node crashes, link
+//! degradations, and slow-stripe stalls:
+//!
+//! * An access owned by a *down* node resolves as a deterministic miss
+//!   (the caller recomputes the FFT — mLR's always-correct degradation
+//!   path) **unless** the serving entry sits in the local replica set, in
+//!   which case the hit survives (a *replica-saved* hit).
+//! * When a crashed node restarts, its stripes' resident entries are
+//!   purged wholesale — warm-up starts from scratch. Placement is never
+//!   recomputed; liveness is consulted through a [`NodeHealth`] view.
+//! * Link degradations and stripe stalls only inflate the modeled charge
+//!   latency ([`LinkQueue::charge_degraded`]); they never change which
+//!   probes hit.
+//!
+//! Every fault decision is a pure function of the plan and the store's
+//! logical tick — frozen for the whole parallel probe phase, advanced only
+//! on ordered commits — so a faulted run is bit-replayable across thread
+//! counts, and its [`FaultStats`] are identical too. No wall clock is
+//! consulted anywhere on a fault path.
 
 use crate::db::{MemoDbConfig, QueryOutcome};
 use crate::eviction::{CostAwarePolicy, EntryMeta};
@@ -40,11 +63,13 @@ use crate::store::{MemoStore, ProbeOutcome, Provenance, StoreStats};
 use mlr_cluster::placement::{place_stripes, stripes_per_node};
 use mlr_lamino::FftOpKind;
 use mlr_math::Complex64;
+use mlr_sim::faults::{FaultClock, FaultEvent, FaultPlan, LinkState, NodeHealth};
 use mlr_sim::hardware::InterconnectSpec;
 use mlr_sim::network::{LinkQueue, SharedLink};
-use parking_lot::Mutex;
+use parking_lot::{Mutex, RwLock};
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 /// Topology of the simulated memory-node cluster. `Copy`, so it can ride
@@ -151,6 +176,8 @@ pub struct DistributedStats {
     pub remote_latency_seconds_mean: f64,
     /// Simulated end of the charged traffic (last arrival or departure).
     pub horizon_seconds: f64,
+    /// Fault-injection accounting; `None` when no [`FaultPlan`] is armed.
+    pub faults: Option<FaultStats>,
 }
 
 impl DistributedStats {
@@ -181,6 +208,88 @@ impl DistributedStats {
             max - min
         } else {
             0.0
+        }
+    }
+}
+
+/// What the fault layer observed: how much the injected schedule actually
+/// degraded the store, and how fast it came back.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FaultStats {
+    /// Seed of the active [`FaultPlan`].
+    pub plan_seed: u64,
+    /// Scheduled events in the plan.
+    pub plan_events: usize,
+    /// Node crashes applied so far.
+    pub crashes: u64,
+    /// Node restarts applied so far.
+    pub restarts: u64,
+    /// Entries purged because their node restarted after a crash.
+    pub lost_entries: u64,
+    /// Hits on a down node that survived via the local replica set.
+    pub replica_saved_hits: u64,
+    /// Accesses forced down the recompute path by a down node (would-be
+    /// hits and expired-entry confirmations degraded to plain misses).
+    pub degraded_accesses: u64,
+    /// Logical ticks from the most recent restart until the post-restart
+    /// hit rate (over at least 8 accesses) reached half the pre-crash hit
+    /// rate; `None` while not yet recovered (or before any restart).
+    pub recovery_ticks_to_half_hit_rate: Option<u64>,
+}
+
+/// Sequential fault bookkeeping, mutated only on ordered-commit paths.
+struct FaultSeq {
+    /// Cursor into the plan's events: everything before it is applied.
+    next_event: usize,
+    /// Store-wide hit rate snapshotted when the last crash applied.
+    pre_crash_hit_rate: f64,
+    /// Tick of the most recent restart, once one applied.
+    restart_tick: Option<u64>,
+    /// Accesses and hits observed since the most recent restart.
+    post_hits: u64,
+    post_queries: u64,
+    /// Ticks from restart to half the pre-crash hit rate, once reached.
+    recovery_ticks: Option<u64>,
+}
+
+/// Fault-injection state riding next to the network model. Counters that
+/// the parallel probe path touches are atomics; everything with ordering
+/// requirements lives in [`FaultSeq`] behind its own mutex and is only
+/// taken on ordered-commit paths (lock order: `seq` before `net`).
+struct FaultState {
+    plan: FaultPlan,
+    clock: FaultClock,
+    /// Read-optimised mirror of the replica-set ids for the probe path —
+    /// probes must never take the `net` mutex. Rewritten (commit paths
+    /// only) whenever replica membership changes.
+    replica_ids: RwLock<HashSet<u64>>,
+    degraded_accesses: AtomicU64,
+    replica_saved_hits: AtomicU64,
+    lost_entries: AtomicU64,
+    crashes: AtomicU64,
+    restarts: AtomicU64,
+    seq: Mutex<FaultSeq>,
+}
+
+impl FaultState {
+    fn new(plan: FaultPlan) -> Self {
+        Self {
+            plan,
+            clock: FaultClock::new(),
+            replica_ids: RwLock::new(HashSet::new()),
+            degraded_accesses: AtomicU64::new(0),
+            replica_saved_hits: AtomicU64::new(0),
+            lost_entries: AtomicU64::new(0),
+            crashes: AtomicU64::new(0),
+            restarts: AtomicU64::new(0),
+            seq: Mutex::new(FaultSeq {
+                next_event: 0,
+                pre_crash_hit_rate: 0.0,
+                restart_tick: None,
+                post_hits: 0,
+                post_queries: 0,
+                recovery_ticks: None,
+            }),
         }
     }
 }
@@ -227,10 +336,16 @@ impl NetState {
         }
     }
 
-    /// Charges one remote message and folds it into the node's aggregates.
-    fn charge(&mut self, node: usize, arrival: f64, bytes: f64) -> f64 {
+    /// Charges one remote message — over a degraded link when the fault
+    /// plan says so — and folds it into the node's aggregates.
+    fn charge(&mut self, node: usize, arrival: f64, bytes: f64, eff: LinkState) -> f64 {
         self.last_arrival = self.last_arrival.max(arrival);
-        let latency = self.queues[node].charge(arrival, bytes);
+        let latency = self.queues[node].charge_degraded(
+            arrival,
+            bytes,
+            eff.capacity_factor,
+            eff.extra_latency,
+        );
         self.latency_sum[node] += latency;
         self.latency_max[node] = self.latency_max[node].max(latency);
         self.latency_count[node] += 1;
@@ -297,6 +412,8 @@ pub struct DistributedMemoDb {
     /// stripe → owning node, fixed at construction.
     placement: Vec<usize>,
     net: Mutex<NetState>,
+    /// Fault-injection layer; `None` (the default) is a perfect cluster.
+    fault: Option<FaultState>,
 }
 
 impl DistributedMemoDb {
@@ -333,6 +450,149 @@ impl DistributedMemoDb {
             topology,
             placement,
             net: Mutex::new(NetState::new(capacities.len(), link)),
+            fault: None,
+        }
+    }
+
+    /// Arms the tier with a fault-injection plan: equal-capacity placement
+    /// plus the deterministic crash/degrade/stall schedule described in the
+    /// module docs. An empty plan behaves exactly like [`Self::new`].
+    ///
+    /// # Panics
+    /// Panics when `topology.nodes` is zero.
+    pub fn with_faults(inner: Arc<ShardedMemoDb>, topology: NodeTopology, plan: FaultPlan) -> Self {
+        let mut db = Self::new(inner, topology);
+        db.fault = Some(FaultState::new(plan));
+        db
+    }
+
+    /// The armed fault plan, if any.
+    pub fn fault_plan(&self) -> Option<&FaultPlan> {
+        self.fault.as_ref().map(|f| &f.plan)
+    }
+
+    /// Per-node liveness at the store's current logical tick. Without an
+    /// armed plan every node is up. Placement never changes on a crash —
+    /// this view is how consumers learn an owner cannot currently serve.
+    pub fn node_health(&self) -> NodeHealth {
+        let tick = self.inner.current_tick();
+        match &self.fault {
+            Some(f) => f.plan.health_at(self.topology.nodes, tick),
+            None => FaultPlan::new(0).health_at(self.topology.nodes, tick),
+        }
+    }
+
+    /// Fault accounting so far; `None` when no plan is armed.
+    pub fn fault_stats(&self) -> Option<FaultStats> {
+        let fault = self.fault.as_ref()?;
+        let seq = fault.seq.lock();
+        Some(FaultStats {
+            plan_seed: fault.plan.seed(),
+            plan_events: fault.plan.len(),
+            crashes: fault.crashes.load(Ordering::Relaxed),
+            restarts: fault.restarts.load(Ordering::Relaxed),
+            lost_entries: fault.lost_entries.load(Ordering::Relaxed),
+            replica_saved_hits: fault.replica_saved_hits.load(Ordering::Relaxed),
+            degraded_accesses: fault.degraded_accesses.load(Ordering::Relaxed),
+            recovery_ticks_to_half_hit_rate: seq.recovery_ticks,
+        })
+    }
+
+    /// True when the fault plan marks the owner of `(op, loc)` down at the
+    /// store's current tick — a pure read, safe on the probe path.
+    fn owner_down(&self, op: FftOpKind, loc: usize) -> Option<(&FaultState, usize)> {
+        let fault = self.fault.as_ref()?;
+        let node = self.placement[self.inner.stripe_of(op, loc)];
+        fault
+            .plan
+            .node_down_at(node, self.inner.current_tick())
+            .then_some((fault, node))
+    }
+
+    /// Effective link parameters toward `node` for traffic on `stripe`:
+    /// the plan's link degradation plus any stripe stall, nominal without
+    /// a plan.
+    fn effective_link(&self, stripe: usize, node: usize) -> LinkState {
+        match &self.fault {
+            Some(f) => {
+                let tick = self.inner.current_tick();
+                let link = f.plan.link_state_at(node, tick);
+                LinkState {
+                    capacity_factor: link.capacity_factor,
+                    extra_latency: link.extra_latency + f.plan.stripe_stall_at(stripe, tick),
+                }
+            }
+            None => LinkState::NOMINAL,
+        }
+    }
+
+    /// Applies every scheduled fault event up to the store's current tick
+    /// (ordered-commit paths only; `seq` is taken before `net`). A restart
+    /// purges the node's stripes — the crash itself is pure bookkeeping,
+    /// since down-ness is answered directly from the plan — and optionally
+    /// folds one access into the recovery curve.
+    fn fault_tick(&self, access_hit: Option<bool>) {
+        let Some(fault) = &self.fault else { return };
+        let tick = self.inner.current_tick();
+        fault.clock.advance_to(tick);
+        let mut seq = fault.seq.lock();
+        while seq.next_event < fault.plan.events().len() {
+            let timed = fault.plan.events()[seq.next_event];
+            if timed.tick > tick {
+                break;
+            }
+            seq.next_event += 1;
+            match timed.event {
+                FaultEvent::NodeCrash { .. } => {
+                    fault.crashes.fetch_add(1, Ordering::Relaxed);
+                    let stats = self.inner.stats();
+                    seq.pre_crash_hit_rate = if stats.queries == 0 {
+                        0.0
+                    } else {
+                        stats.hits as f64 / stats.queries as f64
+                    };
+                    seq.restart_tick = None;
+                    seq.recovery_ticks = None;
+                }
+                FaultEvent::NodeRestart { node } => {
+                    fault.restarts.fetch_add(1, Ordering::Relaxed);
+                    let mut purged = Vec::new();
+                    for (stripe, &owner) in self.placement.iter().enumerate() {
+                        if owner == node {
+                            purged.extend(self.inner.purge_stripe(stripe));
+                        }
+                    }
+                    fault
+                        .lost_entries
+                        .fetch_add(purged.len() as u64, Ordering::Relaxed);
+                    if !purged.is_empty() {
+                        let mut net = self.net.lock();
+                        for id in &purged {
+                            net.replicas.remove(id);
+                        }
+                        *fault.replica_ids.write() = net.replicas.keys().copied().collect();
+                    }
+                    seq.restart_tick = Some(timed.tick);
+                    seq.post_hits = 0;
+                    seq.post_queries = 0;
+                }
+                // Link and stripe events need no side effects: their state
+                // is answered pure from the plan at charge time.
+                FaultEvent::LinkDegrade { .. }
+                | FaultEvent::LinkRestore { .. }
+                | FaultEvent::StripeStall { .. }
+                | FaultEvent::StripeRecover { .. } => {}
+            }
+        }
+        if let Some(hit) = access_hit {
+            if seq.restart_tick.is_some() && seq.recovery_ticks.is_none() {
+                seq.post_queries += 1;
+                seq.post_hits += u64::from(hit);
+                let rate = seq.post_hits as f64 / seq.post_queries as f64;
+                if seq.post_queries >= 8 && rate >= seq.pre_crash_hit_rate / 2.0 {
+                    seq.recovery_ticks = Some(tick.saturating_sub(seq.restart_tick.unwrap_or(0)));
+                }
+            }
         }
     }
 
@@ -368,6 +628,11 @@ impl DistributedMemoDb {
         let stripe = self.inner.stripe_of(op, loc);
         let node = self.placement[stripe];
         let arrival = self.arrival();
+        let eff = self.effective_link(stripe, node);
+        let down = self
+            .fault
+            .as_ref()
+            .is_some_and(|f| f.plan.node_down_at(node, self.inner.current_tick()));
         let mut net = self.net.lock();
         let density = meta.as_ref().map(CostAwarePolicy::benefit_density);
         if let Some(density) = net
@@ -385,28 +650,53 @@ impl DistributedMemoDb {
         // between probe and commit (its refresh is skipped) is modeled as a
         // query-only trip.
         let value_bytes = meta.as_ref().map_or(0.0, |m| m.bytes as f64);
-        net.charge(node, arrival, self.topology.key_bytes + value_bytes);
-        net.remote_hits += 1;
-        net.hits[node] += 1;
+        if down {
+            // The owner died between the probe and this commit (or the
+            // replica lapsed); the payload is already on the compute side,
+            // so count the hit but charge no traffic to a dead link.
+            net.remote_hits += 1;
+            net.hits[node] += 1;
+        } else {
+            net.charge(node, arrival, self.topology.key_bytes + value_bytes, eff);
+            net.remote_hits += 1;
+            net.hits[node] += 1;
+        }
+        // Promotion is a compute-side action on a value that already
+        // arrived, so it applies even when the owner just went down.
         if let (Some(meta), Some(density)) = (meta, density) {
             if self.topology.promote_hits > 0 && meta.hits >= self.topology.promote_hits {
                 net.promote(meta.id, density, self.topology.replica_budget);
+                if let Some(fault) = &self.fault {
+                    *fault.replica_ids.write() = net.replicas.keys().copied().collect();
+                }
             }
         }
     }
 
     /// Charges a miss: the coalesced query goes to the owning node and
-    /// comes back empty.
+    /// comes back empty. A miss owned by a down node is counted but not
+    /// charged — there is no link to carry it.
     fn charge_miss(&self, op: FftOpKind, loc: usize) {
-        let node = self.placement[self.inner.stripe_of(op, loc)];
+        let stripe = self.inner.stripe_of(op, loc);
+        let node = self.placement[stripe];
         let arrival = self.arrival();
+        let eff = self.effective_link(stripe, node);
+        let down = self
+            .fault
+            .as_ref()
+            .is_some_and(|f| f.plan.node_down_at(node, self.inner.current_tick()));
         let mut net = self.net.lock();
-        net.charge(node, arrival, self.topology.key_bytes);
+        if !down {
+            net.charge(node, arrival, self.topology.key_bytes, eff);
+        }
         net.misses[node] += 1;
     }
 
     /// A snapshot of the per-node accounting and replica-set state.
     pub fn distributed_stats(&self) -> DistributedStats {
+        // `seq` (inside fault_stats) strictly before `net` — the crate-wide
+        // lock order for this pair.
+        let faults = self.fault_stats();
         let net = self.net.lock();
         let shard_sizes = self.inner.shard_sizes();
         let nodes = net.queues.len();
@@ -442,6 +732,7 @@ impl DistributedMemoDb {
             .collect();
         let remote_ops: u64 = net.latency_count.iter().sum();
         DistributedStats {
+            faults,
             nodes: node_stats,
             local_hits: net.local_hits,
             remote_hits: net.remote_hits,
@@ -505,7 +796,30 @@ impl MemoStore for DistributedMemoDb {
         key: Vec<f64>,
         origin: Provenance,
     ) -> QueryOutcome {
+        self.fault_tick(None);
+        if let Some((fault, node)) = self.owner_down(op, loc) {
+            // The owner is down: the access degrades to a deterministic
+            // miss (the caller recomputes — always correct) unless the
+            // serving entry is replicated locally.
+            let saved = match self.inner.probe_with_key(op, loc, input, &key, origin) {
+                ProbeOutcome::Hit { entry, .. } => fault.replica_ids.read().contains(&entry),
+                _ => false,
+            };
+            if !saved {
+                fault.degraded_accesses.fetch_add(1, Ordering::Relaxed);
+                self.inner.commit_miss(op, loc);
+                {
+                    let mut net = self.net.lock();
+                    net.misses[node] += 1;
+                }
+                self.fault_tick(Some(false));
+                return QueryOutcome::Miss { key };
+            }
+            fault.replica_saved_hits.fetch_add(1, Ordering::Relaxed);
+            // Fall through: the replica serves the hit.
+        }
         let outcome = self.inner.query_with_key(op, loc, input, key, origin);
+        self.fault_tick(Some(matches!(&outcome, QueryOutcome::Hit { .. })));
         match &outcome {
             QueryOutcome::Hit { key, .. } => {
                 // The simple query path does not surface the serving entry's
@@ -536,7 +850,26 @@ impl MemoStore for DistributedMemoDb {
     ) -> ProbeOutcome {
         // Pure read, concurrent with other probes: no charging here — the
         // network model is fed from the deterministic ordered-commit paths.
-        self.inner.probe_with_key(op, loc, input, key, origin)
+        let outcome = self.inner.probe_with_key(op, loc, input, key, origin);
+        let Some((fault, _)) = self.owner_down(op, loc) else {
+            return outcome;
+        };
+        // The owner is down at the (frozen) probe tick. Stat counters here
+        // are atomics over an interleaving-independent access set, so the
+        // totals stay deterministic across thread counts.
+        match outcome {
+            ProbeOutcome::Hit { entry, .. } if fault.replica_ids.read().contains(&entry) => {
+                fault.replica_saved_hits.fetch_add(1, Ordering::Relaxed);
+                outcome
+            }
+            ProbeOutcome::Hit { .. } | ProbeOutcome::Expired { .. } => {
+                // A would-be hit (or an expiry we cannot confirm against a
+                // dead node) degrades to the recompute path.
+                fault.degraded_accesses.fetch_add(1, Ordering::Relaxed);
+                ProbeOutcome::Miss
+            }
+            ProbeOutcome::Miss => ProbeOutcome::Miss,
+        }
     }
 
     fn commit_hit(
@@ -547,23 +880,32 @@ impl MemoStore for DistributedMemoDb {
         entry_origin: Provenance,
         origin: Provenance,
     ) {
+        self.fault_tick(Some(true));
         self.inner.commit_hit(op, loc, entry, entry_origin, origin);
         let meta = self.inner.entry_meta(op, loc, entry);
         self.charge_hit(op, loc, entry, meta);
     }
 
     fn commit_miss(&self, op: FftOpKind, loc: usize) {
+        self.fault_tick(Some(false));
         self.inner.commit_miss(op, loc);
         self.charge_miss(op, loc);
     }
 
     fn reclaim_expired(&self, op: FftOpKind, loc: usize, entry: u64) {
+        self.fault_tick(None);
         self.inner.reclaim_expired(op, loc, entry);
-        let node = self.placement[self.inner.stripe_of(op, loc)];
+        let stripe = self.inner.stripe_of(op, loc);
+        let node = self.placement[stripe];
         let arrival = self.arrival();
+        let eff = self.effective_link(stripe, node);
         let mut net = self.net.lock();
-        net.charge(node, arrival, self.topology.control_bytes);
-        net.replicas.remove(&entry);
+        net.charge(node, arrival, self.topology.control_bytes, eff);
+        if net.replicas.remove(&entry).is_some() {
+            if let Some(fault) = &self.fault {
+                *fault.replica_ids.write() = net.replicas.keys().copied().collect();
+            }
+        }
     }
 
     fn insert(
@@ -576,6 +918,7 @@ impl MemoStore for DistributedMemoDb {
         origin: Provenance,
         recompute_cost: f64,
     ) -> u64 {
+        self.fault_tick(None);
         let id = self
             .inner
             .insert(op, loc, input, key, output, origin, recompute_cost);
@@ -583,10 +926,21 @@ impl MemoStore for DistributedMemoDb {
             .inner
             .entry_meta(op, loc, id)
             .map_or(0.0, |m| m.bytes as f64);
-        let node = self.placement[self.inner.stripe_of(op, loc)];
+        let stripe = self.inner.stripe_of(op, loc);
+        let node = self.placement[stripe];
         let arrival = self.arrival();
+        let eff = self.effective_link(stripe, node);
+        let down = self
+            .fault
+            .as_ref()
+            .is_some_and(|f| f.plan.node_down_at(node, self.inner.current_tick()));
         let mut net = self.net.lock();
-        net.charge(node, arrival, self.topology.key_bytes + value_bytes);
+        // An insert toward a down node is counted but not charged (no link
+        // to carry it); the entry lands in the wrapped store regardless and
+        // is purged with the rest of the stripe when the node restarts.
+        if !down {
+            net.charge(node, arrival, self.topology.key_bytes + value_bytes, eff);
+        }
         net.inserts[node] += 1;
         id
     }
@@ -664,8 +1018,15 @@ mod tests {
     /// Drives `rounds` rounds of query-or-insert over 8 locations and
     /// returns the hit/miss sequence.
     fn run_schedule(store: &dyn MemoStore, rounds: usize) -> Vec<bool> {
+        run_rounds(store, 0..rounds)
+    }
+
+    /// Like [`run_schedule`] but with explicit round numbers, so a schedule
+    /// can continue where an earlier warm-up left off (the freshness gate
+    /// refuses same-job same-iteration reuse).
+    fn run_rounds(store: &dyn MemoStore, rounds: std::ops::Range<usize>) -> Vec<bool> {
         let mut outcomes = Vec::new();
-        for round in 0..rounds {
+        for round in rounds {
             store.advance_epoch();
             for loc in 0..8usize {
                 let input = chunk(1.0 + loc as f64, 0.1 * loc as f64, 128);
@@ -752,6 +1113,117 @@ mod tests {
         );
         let counts = stripes_per_node(skewed.placement(), 2);
         assert_eq!(counts, vec![12, 4]);
+    }
+
+    #[test]
+    fn down_node_degrades_to_miss_and_restart_purges() {
+        let inner = sharded(16);
+        // Warm through the bare inner store: round 0 inserts, round 1 hits.
+        let warm = run_rounds(inner.as_ref() as &dyn MemoStore, 0..2);
+        assert!(warm[8..].iter().all(|&h| h), "warm-up must end hitting");
+        let resident_before = inner.len();
+        assert!(resident_before > 0);
+        // One node owns everything; crash it for the next round and restart
+        // it far enough out that the purge lands mid-schedule.
+        let t = inner.current_tick();
+        let plan = FaultPlan::new(3).crash_window(0, t, t + 12);
+        let store = DistributedMemoDb::with_faults(inner, NodeTopology::with_nodes(1), plan);
+        assert!(!store.node_health().is_up(0), "crash window must be open");
+        let during = run_rounds(&store, 2..3);
+        assert!(
+            during.iter().all(|&h| !h),
+            "a down node with no replicas must force misses: {during:?}"
+        );
+        let faults = store.fault_stats().expect("plan armed");
+        assert_eq!(faults.crashes, 1);
+        assert_eq!(faults.restarts, 1);
+        assert!(faults.degraded_accesses > 0, "{faults:?}");
+        assert!(
+            faults.lost_entries as usize >= resident_before,
+            "restart must lose at least the warm entries: {faults:?}"
+        );
+        assert_eq!(faults.replica_saved_hits, 0);
+        // Post-restart rounds rebuild the store and the hit rate recovers.
+        let after = run_rounds(&store, 3..6);
+        assert!(
+            after[8..].iter().filter(|&&h| h).count() > 0,
+            "recovery never produced a hit: {after:?}"
+        );
+        let faults = store.fault_stats().expect("plan armed");
+        assert!(
+            faults.recovery_ticks_to_half_hit_rate.is_some(),
+            "recovery curve never reached half the pre-crash hit rate: {faults:?}"
+        );
+        let stats = store.distributed_stats();
+        assert_eq!(stats.faults.as_ref().map(|f| f.crashes), Some(1));
+    }
+
+    #[test]
+    fn replicated_entries_survive_a_crash() {
+        // Promote after the first hit so the whole working set is
+        // replicated before the crash window opens.
+        let topology = NodeTopology {
+            promote_hits: 1,
+            ..NodeTopology::with_nodes(1)
+        };
+        // Rounds 0..2 run before the crash (insert, then hit-and-promote);
+        // the miss round costs 16 ticks and the hit round 8, so the crash
+        // at tick 24 covers round 2 exactly.
+        let plan = FaultPlan::new(9).crash_window(0, 24, 100_000);
+        let store = DistributedMemoDb::with_faults(sharded(16), topology, plan);
+        let outcomes = run_rounds(&store, 0..3);
+        assert!(
+            outcomes[16..].iter().all(|&h| h),
+            "replica set must keep serving through the crash: {outcomes:?}"
+        );
+        let faults = store.fault_stats().expect("plan armed");
+        assert_eq!(faults.replica_saved_hits, 8, "{faults:?}");
+        assert_eq!(faults.degraded_accesses, 0, "{faults:?}");
+        let stats = store.distributed_stats();
+        // Round 1 hits charge remote (promotion follows the charge); all of
+        // round 2 is served from the replica set.
+        assert_eq!(stats.local_hits, 8, "replica hits are local: {stats:?}");
+        assert!(!store.node_health().is_up(0));
+    }
+
+    #[test]
+    fn faulted_runs_replay_bit_identically() {
+        let plan = FaultPlan::seeded(0xC0FFEE, 2, 16, 64);
+        let run = || {
+            let store = DistributedMemoDb::with_faults(
+                sharded(16),
+                NodeTopology::with_nodes(2),
+                plan.clone(),
+            );
+            let outcomes = run_rounds(&store, 0..5);
+            (outcomes, store.fault_stats().expect("plan armed"))
+        };
+        let (a_out, a_faults) = run();
+        let (b_out, b_faults) = run();
+        assert_eq!(a_out, b_out);
+        assert_eq!(a_faults, b_faults);
+        assert!(
+            a_faults.crashes > 0,
+            "seeded plan never crashed inside the schedule: {a_faults:?}"
+        );
+    }
+
+    #[test]
+    fn empty_plan_changes_nothing() {
+        let reference = {
+            let store = DistributedMemoDb::new(sharded(16), NodeTopology::with_nodes(4));
+            run_schedule(&store, 4)
+        };
+        let store = DistributedMemoDb::with_faults(
+            sharded(16),
+            NodeTopology::with_nodes(4),
+            FaultPlan::new(0),
+        );
+        assert_eq!(run_schedule(&store, 4), reference);
+        let faults = store.fault_stats().expect("plan armed");
+        assert_eq!(faults.degraded_accesses, 0);
+        assert_eq!(faults.lost_entries, 0);
+        assert_eq!(faults.crashes, 0);
     }
 
     #[test]

@@ -75,7 +75,7 @@ pub use ann::IvfIndex;
 pub use cache::{CacheKind, MemoCache};
 pub use coalesce::KeyCoalescer;
 pub use db::{MemoDatabase, MemoDbConfig, QueryOutcome};
-pub use distributed::{DistributedMemoDb, DistributedStats, NodeStats, NodeTopology};
+pub use distributed::{DistributedMemoDb, DistributedStats, FaultStats, NodeStats, NodeTopology};
 pub use encoder::{CnnEncoder, EncoderConfig, EncoderScratch};
 pub use engine::{MemoConfig, MemoizedExecutor};
 pub use eviction::{

@@ -257,6 +257,33 @@ impl ShardedMemoDb {
         self.shards.iter().map(|s| s.lock().len()).collect()
     }
 
+    /// Purges every entry resident in `stripe` — the distributed tier calls
+    /// this when the simulated memory node owning the stripe restarts after
+    /// a crash (its contents are lost; warm-up starts from scratch). The
+    /// removals bypass the eviction policy and count as neither evictions
+    /// nor expirations; published resident counters are adjusted under the
+    /// stripe lock, exactly like any other reclamation. Returns the lost
+    /// entry ids in ascending order.
+    ///
+    /// # Panics
+    /// Panics when `stripe >= shard_count()`.
+    pub fn purge_stripe(&self, stripe: usize) -> Vec<u64> {
+        let mut db = self.shards[stripe].lock();
+        let ids = db.purge_all();
+        let (freed_bytes, freed_entries) = db.drain_freed();
+        if freed_bytes > 0 || freed_entries > 0 {
+            self.published_resident
+                .fetch_sub(freed_bytes as i64, Ordering::Relaxed);
+            self.published_entries
+                .fetch_sub(freed_entries as i64, Ordering::Relaxed);
+        }
+        drop(db);
+        for &id in &ids {
+            self.trace_access(ACCESS_OP_UNKNOWN, stripe, id, AccessKind::Lost);
+        }
+        ids
+    }
+
     /// High-water mark of the resident footprint, observed only at
     /// post-enforcement points — with a byte cap set this never exceeds it.
     pub fn peak_resident_bytes(&self) -> u64 {

@@ -51,10 +51,16 @@ pub enum JobStatus {
     /// hundreds of MB at paper scale) under the ticket mutex.
     Completed(Arc<JobReport>),
     /// The job panicked while running (e.g. a bad configuration asserting
-    /// deep in the pipeline). The worker survived; this is the panic message.
+    /// deep in the pipeline), or was in flight when its worker died. The
+    /// pool survived either way; this is the panic message.
     Failed {
         /// The panic payload, stringified.
         error: String,
+        /// Whether resubmitting the same job could plausibly succeed:
+        /// `false` for a panic inside the job itself (a bad configuration
+        /// fails the same way every time), `true` when the job was the
+        /// casualty of a worker death and was never at fault.
+        retryable: bool,
     },
     /// The job was cancelled: either removed from the queue before any
     /// worker picked it up (`while_running == false`, it never executed), or
@@ -101,6 +107,20 @@ impl JobStatus {
         matches!(self, JobStatus::Failed { .. })
     }
 
+    /// Whether resubmitting the job could plausibly succeed. Only a
+    /// [`JobStatus::Failed`] that was the casualty of a worker death is
+    /// retryable; a job-level panic, a cancellation and an expired deadline
+    /// are all final — a retry loop must never resubmit those.
+    pub fn is_retryable(&self) -> bool {
+        matches!(
+            self,
+            JobStatus::Failed {
+                retryable: true,
+                ..
+            }
+        )
+    }
+
     /// The completed report, if any.
     pub fn report(&self) -> Option<&JobReport> {
         match self {
@@ -133,7 +153,10 @@ impl fmt::Display for JobStatus {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             JobStatus::Completed(r) => write!(f, "completed in {:.3}s", r.run_seconds),
-            JobStatus::Failed { error } => write!(f, "failed: {error}"),
+            JobStatus::Failed { error, retryable } => {
+                let tag = if *retryable { " (retryable)" } else { "" };
+                write!(f, "failed{tag}: {error}")
+            }
             JobStatus::Cancelled {
                 while_running,
                 completed_iterations,
@@ -341,7 +364,8 @@ mod tests {
         t.set_running();
         assert_eq!(t.phase(), JobPhase::Running);
         assert!(t.resolve(JobStatus::Failed {
-            error: "first".into()
+            error: "first".into(),
+            retryable: false,
         }));
         assert!(!t.resolve(JobStatus::Cancelled {
             while_running: true,
@@ -350,7 +374,7 @@ mod tests {
         assert_eq!(t.phase(), JobPhase::Done);
         let slot = t.status.lock();
         match slot.as_ref() {
-            Some(JobStatus::Failed { error }) => assert_eq!(error, "first"),
+            Some(JobStatus::Failed { error, .. }) => assert_eq!(error, "first"),
             other => panic!("first resolution must stick, got {other:?}"),
         }
     }
@@ -368,10 +392,20 @@ mod tests {
 
     #[test]
     fn status_predicates() {
-        let completed_like = JobStatus::Failed { error: "x".into() };
+        let completed_like = JobStatus::Failed {
+            error: "x".into(),
+            retryable: false,
+        };
         assert!(completed_like.is_failed());
         assert!(!completed_like.is_completed());
         assert!(completed_like.report().is_none());
+        assert!(!completed_like.is_retryable());
+        let casualty = JobStatus::Failed {
+            error: "worker died".into(),
+            retryable: true,
+        };
+        assert!(casualty.is_retryable());
+        assert!(format!("{casualty}").contains("retryable"));
         let cancelled = JobStatus::Cancelled {
             while_running: false,
             completed_iterations: 0,

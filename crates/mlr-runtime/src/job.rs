@@ -31,6 +31,10 @@ pub struct ReconJob {
     pub config: MlrConfig,
     /// Scheduling priority.
     pub priority: Priority,
+    /// Test hook: panic on the worker thread *outside* the per-job panic
+    /// containment, simulating a worker death with this job in flight (the
+    /// respawn path has no organic trigger — run_job panics are contained).
+    pub(crate) planted_worker_panic: bool,
 }
 
 impl ReconJob {
@@ -40,12 +44,24 @@ impl ReconJob {
             name: name.into(),
             config,
             priority: Priority::Normal,
+            planted_worker_panic: false,
         }
     }
 
     /// Sets the priority.
     pub fn with_priority(mut self, priority: Priority) -> Self {
         self.priority = priority;
+        self
+    }
+
+    /// Makes the worker that picks this job up die to a panic that escapes
+    /// the per-job containment — the fault-injection trigger behind the
+    /// worker-respawn tests. The job resolves
+    /// [`Failed { retryable: true }`](crate::JobStatus::Failed) and the
+    /// pool respawns the worker in place.
+    #[doc(hidden)]
+    pub fn with_planted_worker_panic(mut self) -> Self {
+        self.planted_worker_panic = true;
         self
     }
 }

@@ -55,6 +55,19 @@
 //! * [`RuntimeStats`] — throughput, queue latency, utilisation, store
 //!   counters, plus cancelled/expired counts and [`DeadlineStats`]
 //!   (met/missed and slack percentiles across decided jobs).
+//! * **Robustness layer** — a panicking worker is respawned (counted in
+//!   [`RuntimeStats::worker_restarts`]) and its job resolves
+//!   [`JobStatus::Failed`] with a `retryable` flag instead of wedging the
+//!   pool; retryable admission rejections can be resubmitted through
+//!   [`ServeFront::submit_with_retry`] under a seeded, bounded
+//!   [`RetryPolicy`]; and [`RuntimeConfig::fault_plan`] arms the
+//!   distributed store's deterministic fault injection
+//!   ([`FaultPlan`](mlr_sim::faults::FaultPlan) windows on logical store
+//!   ticks: node crash/restart, link degradation, stripe stalls), whose
+//!   footprint surfaces as [`mlr_memo::FaultStats`] via
+//!   [`RuntimeStats::fault_stats`]. Faults degrade hits into exact
+//!   recomputes — never into different values (`tests/faults.rs`,
+//!   `fig25_faults`).
 //!
 //! Determinism contract: a job that *runs to completion* through the
 //! serving front-end (over a store built by [`RuntimeConfig::matching`])
@@ -69,6 +82,7 @@
 pub mod handle;
 pub mod job;
 mod queue;
+pub mod retry;
 pub mod runtime;
 pub mod serve;
 pub mod stats;
@@ -76,6 +90,7 @@ pub mod stats;
 pub use handle::{JobHandle, JobPhase, JobStatus};
 pub use job::{JobReport, JobSummary, Priority, ReconJob};
 pub use queue::AdmissionError;
+pub use retry::RetryPolicy;
 pub use runtime::{Runtime, RuntimeConfig};
 pub use serve::{Deadline, ServeFront, ServeRequest};
 pub use stats::{DeadlineStats, RuntimeStats};

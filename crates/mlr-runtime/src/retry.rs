@@ -1,0 +1,222 @@
+//! Deterministic retry with seeded-jitter exponential backoff.
+//!
+//! The serving front-end rejects submissions when the queue is full or the
+//! shared store is under capacity pressure. Both conditions are *transient*
+//! — a worker pops an entry, an eviction relieves the store — so the right
+//! client response is a bounded retry with backoff. [`RetryPolicy`] encodes
+//! that response deterministically: the backoff sequence is a pure function
+//! of `(seed, attempt)` expressed in logical ticks, so two clients
+//! configured with the same policy produce the same schedule and a replayed
+//! run retries at the same points. Only the *sleep* that realises a tick is
+//! wall time; every decision is tick-arithmetic.
+//!
+//! Which rejections are retryable is the error's own call:
+//! [`AdmissionError::is_retryable`] (queue-full and store-pressure yes,
+//! shutdown no), and for terminal job statuses
+//! [`JobStatus::is_retryable`](crate::JobStatus::is_retryable) (only the
+//! casualty of a worker death — never a cancelled, expired or
+//! deterministically-panicking job).
+
+use crate::queue::AdmissionError;
+use std::time::Duration;
+
+impl AdmissionError {
+    /// Whether the same submission could plausibly be admitted later.
+    /// Queue-full and store-pressure rejections are transient (workers
+    /// drain the queue, eviction relieves the store); a shutting-down
+    /// runtime never admits again.
+    pub fn is_retryable(&self) -> bool {
+        match self {
+            AdmissionError::QueueFull { .. } | AdmissionError::StorePressure { .. } => true,
+            AdmissionError::ShuttingDown => false,
+        }
+    }
+}
+
+/// SplitMix64: the standard 64-bit finalizer-style mixer — a bijective
+/// avalanche function, so distinct `(seed, attempt)` pairs give
+/// well-scattered jitter without any RNG state to carry between attempts.
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+/// A bounded, deterministic retry schedule: exponential backoff in logical
+/// ticks with seeded jitter.
+///
+/// Attempt `k` (1-based) failing retryably is followed by a wait of
+/// `backoff_ticks(k)` ticks, where the base doubles each attempt
+/// (`base_ticks << (k-1)`), the jitter drawn from `splitmix64(seed ^ k)`
+/// keeps the wait in `[base/2, base]` (decorrelating clients that share a
+/// policy but not a seed), and the whole thing is capped at
+/// `max_backoff_ticks`. No attempt counter survives outside the call — the
+/// schedule is a pure function, which is what the determinism tests pin.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Total submission attempts (the first try included). `1` disables
+    /// retrying entirely; `0` is treated as `1`.
+    pub max_attempts: u32,
+    /// Backoff base after the first failed attempt, in logical ticks.
+    pub base_ticks: u64,
+    /// Ceiling on any single wait, in ticks (the exponential stops growing
+    /// here).
+    pub max_backoff_ticks: u64,
+    /// Jitter seed: two policies differing only in seed produce different
+    /// (but individually deterministic) schedules.
+    pub seed: u64,
+    /// Wall duration of one logical tick — only used when a wait is
+    /// *realised* by [`RetryPolicy::backoff`]; every decision stays in
+    /// ticks.
+    pub tick: Duration,
+}
+
+impl RetryPolicy {
+    /// A policy with `max_attempts` tries, 4-tick base, 256-tick cap,
+    /// seed 0 and millisecond ticks.
+    pub fn new(max_attempts: u32) -> Self {
+        Self {
+            max_attempts,
+            base_ticks: 4,
+            max_backoff_ticks: 256,
+            seed: 0,
+            tick: Duration::from_millis(1),
+        }
+    }
+
+    /// Sets the jitter seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Sets the wall duration of one tick.
+    pub fn with_tick(mut self, tick: Duration) -> Self {
+        self.tick = tick;
+        self
+    }
+
+    /// The wait after failed attempt `attempt` (1-based), in ticks: jittered
+    /// exponential, capped, pure in `(self, attempt)`. Attempt 0 (nothing
+    /// failed yet) waits nothing.
+    pub fn backoff_ticks(&self, attempt: u32) -> u64 {
+        if attempt == 0 || self.base_ticks == 0 {
+            return 0;
+        }
+        let base = self
+            .base_ticks
+            .saturating_shl((attempt - 1).min(63))
+            .min(self.max_backoff_ticks)
+            .max(1);
+        // Jitter into [base/2, base]: never collapses to zero wait, never
+        // exceeds the capped base.
+        let span = base / 2;
+        let jitter = if span == 0 {
+            0
+        } else {
+            splitmix64(self.seed ^ u64::from(attempt)) % (span + 1)
+        };
+        base - jitter
+    }
+
+    /// The wall wait realising [`RetryPolicy::backoff_ticks`].
+    pub fn backoff(&self, attempt: u32) -> Duration {
+        self.tick
+            .saturating_mul(u32::try_from(self.backoff_ticks(attempt)).unwrap_or(u32::MAX))
+    }
+
+    /// The full wait schedule in ticks — one entry per failed attempt that
+    /// still has a retry behind it (`max_attempts - 1` entries).
+    pub fn schedule(&self) -> Vec<u64> {
+        (1..self.max_attempts.max(1))
+            .map(|k| self.backoff_ticks(k))
+            .collect()
+    }
+}
+
+/// `u64::checked_shl` that saturates instead of wrapping — `base << k`
+/// overflow must cap at the ceiling, not restart the exponential.
+trait SaturatingShl {
+    fn saturating_shl(self, shift: u32) -> Self;
+}
+
+impl SaturatingShl for u64 {
+    fn saturating_shl(self, shift: u32) -> Self {
+        self.checked_shl(shift).unwrap_or(u64::MAX)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn admission_errors_classify_retryability() {
+        assert!(AdmissionError::QueueFull { capacity: 4 }.is_retryable());
+        assert!(AdmissionError::StorePressure {
+            pressure: 0.9,
+            limit: 0.8
+        }
+        .is_retryable());
+        assert!(!AdmissionError::ShuttingDown.is_retryable());
+    }
+
+    #[test]
+    fn backoff_sequence_is_deterministic_for_a_fixed_seed() {
+        let policy = RetryPolicy::new(6).with_seed(0xFA11);
+        let again = RetryPolicy::new(6).with_seed(0xFA11);
+        assert_eq!(policy.schedule(), again.schedule());
+        assert_eq!(policy.schedule().len(), 5);
+        // A different seed decorrelates the schedule (same bounds, different
+        // jitter draws).
+        let other = RetryPolicy::new(6).with_seed(0xBEEF);
+        assert_ne!(policy.schedule(), other.schedule());
+    }
+
+    #[test]
+    fn backoff_grows_exponentially_within_jitter_bounds_and_caps() {
+        let policy = RetryPolicy {
+            max_attempts: 12,
+            base_ticks: 4,
+            max_backoff_ticks: 64,
+            seed: 7,
+            tick: Duration::from_millis(1),
+        };
+        assert_eq!(policy.backoff_ticks(0), 0);
+        for k in 1..12 {
+            let uncapped = 4u64.saturating_shl((k - 1).min(63)).min(64);
+            let wait = policy.backoff_ticks(k);
+            assert!(
+                wait >= uncapped - uncapped / 2 && wait <= uncapped,
+                "attempt {k}: wait {wait} outside [base/2, base] of {uncapped}"
+            );
+        }
+        // Far past the cap the wait stays pinned within the cap's jitter
+        // band — no overflow wraparound restarting the exponential.
+        assert!(policy.backoff_ticks(60) >= 32);
+        assert!(policy.backoff_ticks(60) <= 64);
+    }
+
+    #[test]
+    fn backoff_realises_ticks_as_wall_duration() {
+        let policy = RetryPolicy::new(3)
+            .with_seed(1)
+            .with_tick(Duration::from_micros(10));
+        let ticks = policy.backoff_ticks(1);
+        assert_eq!(policy.backoff(1), Duration::from_micros(10) * ticks as u32);
+    }
+
+    #[test]
+    fn degenerate_policies_stay_sane() {
+        // max_attempts 0/1: nothing to wait for.
+        assert!(RetryPolicy::new(0).schedule().is_empty());
+        assert!(RetryPolicy::new(1).schedule().is_empty());
+        // Zero base: waits are zero but attempts still bound.
+        let zero = RetryPolicy {
+            base_ticks: 0,
+            ..RetryPolicy::new(4)
+        };
+        assert_eq!(zero.schedule(), vec![0, 0, 0]);
+    }
+}

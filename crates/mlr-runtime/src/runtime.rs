@@ -16,6 +16,7 @@ use mlr_memo::{
     ConcurrencyGovernor, DistributedMemoDb, EncoderConfig, JobId, MemoDbConfig, MemoStore,
     NodeTopology, ParallelStats, ShardedMemoDb, DEFAULT_SHARDS,
 };
+use mlr_sim::faults::FaultPlan;
 use mlr_telemetry::{CounterId, SignedHistogram, SpanKind, Telemetry, TelemetryConfig};
 use parking_lot::Mutex;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -24,7 +25,7 @@ use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 /// Runtime configuration.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 pub struct RuntimeConfig {
     /// Worker threads executing jobs.
     pub workers: usize,
@@ -87,6 +88,15 @@ pub struct RuntimeConfig {
     /// modeled network accounting in [`RuntimeStats::distributed`] is added.
     /// `None` keeps the store purely local.
     pub topology: Option<NodeTopology>,
+    /// Deterministic fault schedule armed on the distributed memo tier:
+    /// node crash/restart windows, link degradations and stripe stalls,
+    /// all keyed to the store's logical tick (never the wall clock).
+    /// Requires [`RuntimeConfig::topology`] — without one there are no
+    /// simulated memory nodes to fault, and the plan is ignored. Fault
+    /// accounting surfaces through
+    /// [`DistributedStats::faults`](mlr_memo::DistributedStats) inside
+    /// [`RuntimeStats::distributed`]. `None` injects nothing.
+    pub fault_plan: Option<FaultPlan>,
 }
 
 impl Default for RuntimeConfig {
@@ -116,6 +126,7 @@ impl Default for RuntimeConfig {
             access_trace: None,
             expiry_sweep: Some(Duration::from_millis(10)),
             topology: None,
+            fault_plan: None,
         }
     }
 }
@@ -178,6 +189,9 @@ pub(crate) struct Counters {
     pub(crate) rejected: AtomicU64,
     pub(crate) completed: AtomicU64,
     pub(crate) failed: AtomicU64,
+    /// Workers respawned in place after a panic escaped the per-job
+    /// containment — the pool's capacity never shrinks on a worker death.
+    pub(crate) worker_restarts: AtomicU64,
     pub(crate) cancelled: AtomicU64,
     pub(crate) expired: AtomicU64,
     pub(crate) queue_ns_total: AtomicU64,
@@ -198,6 +212,28 @@ impl Counters {
     /// `RuntimeStats::rejected` never under-reports.
     pub(crate) fn note_rejected(&self) {
         self.rejected.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Counts one worker death + respawn, and resolves the job that was in
+    /// flight on the dying worker (if any) as `Failed { retryable: true }`:
+    /// the job was a casualty of the worker, not of its own configuration,
+    /// so resubmitting it is sound.
+    pub(crate) fn note_worker_restart(
+        &self,
+        casualty: Option<(JobId, Arc<Ticket>)>,
+        error: String,
+    ) {
+        self.worker_restarts.fetch_add(1, Ordering::Relaxed);
+        self.telemetry.count(CounterId::WorkerRestarts, 1);
+        if let Some((id, ticket)) = casualty {
+            self.failed.fetch_add(1, Ordering::Relaxed);
+            self.telemetry.count(CounterId::JobsFailed, 1);
+            self.telemetry.span(id, SpanKind::Failed, 0);
+            ticket.resolve(JobStatus::Failed {
+                error,
+                retryable: true,
+            });
+        }
     }
 
     pub(crate) fn note_cancelled(&self) {
@@ -298,9 +334,15 @@ impl Runtime {
         // The distributed tier wraps the *same* sharded store — semantics
         // (and the bit-identity contract) are the inner store's; the wrapper
         // only adds per-node network accounting on the ordered-commit paths.
-        let distributed = config
-            .topology
-            .map(|topology| Arc::new(DistributedMemoDb::new(Arc::clone(&store), topology)));
+        // A fault plan arms deterministic crash/degradation injection on
+        // that tier; without a topology there is nothing to fault.
+        let fault_plan = config.fault_plan.clone();
+        let distributed = config.topology.map(|topology| {
+            Arc::new(match fault_plan {
+                Some(plan) => DistributedMemoDb::with_faults(Arc::clone(&store), topology, plan),
+                None => DistributedMemoDb::new(Arc::clone(&store), topology),
+            })
+        });
         let exec_store: Arc<dyn MemoStore> = match &distributed {
             Some(d) => Arc::clone(d) as Arc<dyn MemoStore>,
             None => Arc::clone(&store) as Arc<dyn MemoStore>,
@@ -318,7 +360,35 @@ impl Runtime {
                 std::thread::Builder::new() // mlr-check: allow(thread-spawn) — runtime-owned pool: these threads are the governed worker pool
                     .name(format!("mlr-worker-{i}"))
                     .spawn(move || {
-                        worker_loop(&queue, &store, &counters, &governor, intra_job_threads)
+                        // Graceful degradation: a panic that escapes the
+                        // per-job containment kills one pass of the loop,
+                        // not the pool slot. The in-flight job (tracked in
+                        // the slot below) resolves `Failed { retryable }`,
+                        // the restart is counted, and the same thread
+                        // re-enters the worker loop — the pool's capacity
+                        // never shrinks. A clean exit (queue closed and
+                        // drained) ends the thread.
+                        let inflight: Mutex<Option<(JobId, Arc<Ticket>)>> = Mutex::new(None);
+                        loop {
+                            let outcome =
+                                std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                                    worker_loop(
+                                        &queue,
+                                        &store,
+                                        &counters,
+                                        &governor,
+                                        intra_job_threads,
+                                        &inflight,
+                                    )
+                                }));
+                            match outcome {
+                                Ok(()) => break,
+                                Err(payload) => {
+                                    let casualty = inflight.lock().take();
+                                    counters.note_worker_restart(casualty, panic_message(payload));
+                                }
+                            }
+                        }
                     })
                     .expect("failed to spawn worker thread") // mlr-check: allow(unwrap-expect) — startup: a runtime without its pool is unusable, fail fast
             })
@@ -492,6 +562,7 @@ impl Runtime {
             rejected: self.counters.rejected.load(Ordering::Relaxed),
             completed,
             failed,
+            worker_restarts: self.counters.worker_restarts.load(Ordering::Relaxed),
             cancelled: self.counters.cancelled.load(Ordering::Relaxed),
             expired: self.counters.expired.load(Ordering::Relaxed),
             queued: self.queue.len(),
@@ -566,6 +637,7 @@ fn worker_loop(
     counters: &Counters,
     governor: &Arc<ConcurrencyGovernor>,
     intra_job_threads: usize,
+    inflight: &Mutex<Option<(JobId, Arc<Ticket>)>>,
 ) {
     while let Some(q) = queue.pop() {
         let QueuedJob {
@@ -575,6 +647,11 @@ fn worker_loop(
             ticket,
             ..
         } = q;
+        // From pop to resolution this job is the worker's in-flight slot:
+        // if the worker dies before resolving it, the respawn path reads
+        // the slot and fails the job over (resolve is idempotent, so a
+        // race with a late resolution is harmless).
+        *inflight.lock() = Some((id, Arc::clone(&ticket)));
         let deadline = ticket.token.deadline();
         // Cancelled while queued but popped before the handle could remove
         // it: the job never runs. Checked before the deadline so that, as
@@ -587,6 +664,7 @@ fn worker_loop(
                 while_running: false,
                 completed_iterations: 0,
             });
+            inflight.lock().take();
             continue;
         }
         // Deadline-aware pop: an entry that expired while queued is reported
@@ -602,12 +680,19 @@ fn worker_loop(
                     late_seconds: late,
                     completed_iterations: 0,
                 });
+                inflight.lock().take();
                 continue;
             }
         }
 
         ticket.set_running();
         counters.telemetry.span(id, SpanKind::Running, 0);
+        // Fault injection: die *outside* the per-job containment below with
+        // the job still in flight — the only way to exercise the respawn
+        // path, since organic job panics are caught around `run_job`.
+        if job.planted_worker_panic {
+            panic!("planted worker panic with job {id} in flight");
+        }
         let queue_ns = enqueued.elapsed().as_nanos() as u64;
         let token = ticket.token.clone();
         let start = Instant::now(); // mlr-check: allow(wall-clock) — decoration only: service-time measurement feeds counters
@@ -639,8 +724,11 @@ fn worker_loop(
         counters.queue_ns_max.fetch_max(queue_ns, Ordering::Relaxed);
         let status = match outcome {
             Ok(status) => status,
+            // A panic *inside* the job is deterministic (a bad configuration
+            // asserts the same way every run): not retryable.
             Err(payload) => JobStatus::Failed {
                 error: panic_message(payload),
+                retryable: false,
             },
         };
         match &status {
@@ -681,6 +769,7 @@ fn worker_loop(
             }
         }
         ticket.resolve(status);
+        inflight.lock().take();
     }
 }
 
@@ -949,8 +1038,9 @@ mod tests {
             .unwrap();
         let good = rt.submit(ReconJob::new("good", tiny_config())).unwrap();
         match bad.wait() {
-            JobStatus::Failed { error } => {
+            JobStatus::Failed { error, retryable } => {
                 assert!(!error.is_empty(), "panic message must be captured");
+                assert!(!retryable, "a job-level panic is deterministic");
             }
             other => panic!("panicked job must resolve Failed, got {other:?}"),
         }
@@ -959,6 +1049,49 @@ mod tests {
         let stats = rt.shutdown();
         assert_eq!(stats.failed, 1);
         assert_eq!(stats.completed, 1);
+        // The per-job containment caught the panic: no worker died.
+        assert_eq!(stats.worker_restarts, 0);
+    }
+
+    #[test]
+    fn worker_death_respawns_and_keeps_draining_a_full_queue() {
+        // A panic that escapes the per-job containment must not shrink the
+        // pool: the dying worker's in-flight job fails over as retryable,
+        // the restart is counted, and the same pool slot keeps draining the
+        // jobs queued behind it — a full queue never stalls.
+        let rt = Runtime::new(RuntimeConfig {
+            workers: 1,
+            queue_capacity: 8,
+            ..RuntimeConfig::matching(&tiny_config())
+        });
+        let doomed = rt
+            .submit(ReconJob::new("doomed-1", tiny_config()).with_planted_worker_panic())
+            .unwrap();
+        let survivors: Vec<_> = (0..3)
+            .map(|i| {
+                rt.submit(ReconJob::new(format!("survivor-{i}"), tiny_config()))
+                    .unwrap()
+            })
+            .collect();
+        let doomed_again = rt
+            .submit(ReconJob::new("doomed-2", tiny_config()).with_planted_worker_panic())
+            .unwrap();
+        match doomed.wait() {
+            JobStatus::Failed { error, retryable } => {
+                assert!(error.contains("planted"), "unexpected panic: {error}");
+                assert!(retryable, "a worker-death casualty is retryable");
+            }
+            other => panic!("casualty must resolve Failed, got {other:?}"),
+        }
+        assert!(doomed_again.wait().is_retryable());
+        for h in survivors {
+            let report = h.wait_report().expect("queued jobs must still run");
+            assert!(report.name.starts_with("survivor-"));
+        }
+        let stats = rt.shutdown();
+        assert_eq!(stats.worker_restarts, 2);
+        assert_eq!(stats.failed, 2);
+        assert_eq!(stats.completed, 3);
     }
 
     #[test]

@@ -25,10 +25,12 @@
 use crate::handle::JobHandle;
 use crate::job::{Priority, ReconJob};
 use crate::queue::AdmissionError;
+use crate::retry::RetryPolicy;
 use crate::runtime::{Runtime, RuntimeConfig};
 use crate::stats::RuntimeStats;
 use mlr_core::MlrConfig;
 use mlr_memo::ShardedMemoDb;
+use mlr_telemetry::CounterId;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -182,6 +184,36 @@ impl ServeFront {
             .admit(job, deadline.map(|d| d.starting_now()), true)
     }
 
+    /// Submission with bounded, deterministic retry: a *retryable* rejection
+    /// ([`AdmissionError::QueueFull`] / [`AdmissionError::StorePressure`])
+    /// is re-attempted up to `policy.max_attempts` times total, waiting
+    /// `policy`'s seeded-jitter exponential backoff between attempts. A
+    /// non-retryable rejection ([`AdmissionError::ShuttingDown`]) returns
+    /// immediately, and the final attempt's error is returned verbatim when
+    /// the budget runs out. Each re-attempt is counted in the telemetry's
+    /// `retry_attempts`. The request's deadline (if any) starts counting at
+    /// the attempt that is finally *admitted*, not at the first rejection —
+    /// backoff never silently eats a job's deadline budget.
+    pub fn submit_with_retry(
+        &self,
+        request: ServeRequest,
+        policy: &RetryPolicy,
+    ) -> Result<JobHandle, AdmissionError> {
+        let attempts = policy.max_attempts.max(1);
+        let mut attempt = 1;
+        loop {
+            match self.submit(request.clone()) {
+                Ok(handle) => return Ok(handle),
+                Err(e) if e.is_retryable() && attempt < attempts => {
+                    self.telemetry().count(CounterId::RetryAttempts, 1);
+                    std::thread::sleep(policy.backoff(attempt));
+                    attempt += 1;
+                }
+                Err(e) => return Err(e),
+            }
+        }
+    }
+
     /// A snapshot of the runtime statistics (including deadline slack
     /// percentiles and cancelled/expired counts).
     pub fn stats(&self) -> RuntimeStats {
@@ -211,6 +243,65 @@ mod tests {
         assert_eq!(Deadline::within_seconds(-3.0).budget(), Duration::ZERO);
         let at = d.starting_now();
         assert!(at > Instant::now());
+    }
+
+    #[test]
+    fn retry_bounds_attempts_and_counts_them() {
+        use mlr_memo::{CapacityBudget, EvictionPolicyKind};
+        // A one-entry budget saturates the store after the first job, and
+        // pressure never drains on its own — a deterministic, race-free
+        // retryable rejection for every later attempt.
+        let config = MlrConfig::quick(12, 8)
+            .with_iterations(4)
+            .with_memo_budget(CapacityBudget::entries(1), EvictionPolicyKind::Fifo);
+        let front = ServeFront::new(RuntimeConfig {
+            workers: 1,
+            queue_capacity: 4,
+            admission_max_pressure: Some(0.5),
+            telemetry: true,
+            ..RuntimeConfig::matching(&config)
+        });
+        let fill = front
+            .submit(ServeRequest::new("fill", config))
+            .expect("empty queue admits");
+        assert!(fill.wait().is_completed());
+        let policy = RetryPolicy::new(3)
+            .with_seed(9)
+            .with_tick(Duration::from_micros(50));
+        match front.submit_with_retry(ServeRequest::new("turned-away", config), &policy) {
+            Err(AdmissionError::StorePressure { pressure, limit }) => assert!(pressure > limit),
+            Err(e) => panic!("expected StorePressure after retries, got {e}"),
+            Ok(_) => panic!("expected StorePressure after retries, got admission"),
+        }
+        // 3 attempts total = 2 re-attempts counted.
+        let snap = front.telemetry().snapshot().expect("telemetry enabled");
+        assert_eq!(snap.metrics.counter(CounterId::RetryAttempts), 2);
+        let _ = front.shutdown();
+    }
+
+    #[test]
+    fn non_retryable_rejections_return_without_retrying() {
+        let config = MlrConfig::quick(12, 8).with_iterations(2);
+        let front = ServeFront::new(RuntimeConfig {
+            workers: 1,
+            queue_capacity: 4,
+            telemetry: true,
+            ..RuntimeConfig::matching(&config)
+        });
+        front.close();
+        let policy = RetryPolicy::new(8).with_tick(Duration::from_micros(50));
+        match front.submit_with_retry(ServeRequest::new("late", config), &policy) {
+            Err(AdmissionError::ShuttingDown) => {}
+            Err(e) => panic!("expected immediate ShuttingDown, got {e}"),
+            Ok(_) => panic!("expected immediate ShuttingDown, got admission"),
+        }
+        let snap = front.telemetry().snapshot().expect("telemetry enabled");
+        assert_eq!(
+            snap.metrics.counter(CounterId::RetryAttempts),
+            0,
+            "a non-retryable rejection must never be re-attempted"
+        );
+        let _ = front.shutdown();
     }
 
     #[test]

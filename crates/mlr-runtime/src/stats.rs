@@ -1,6 +1,6 @@
 //! Runtime-wide statistics.
 
-use mlr_memo::{DistributedStats, ParallelStats, StoreStats};
+use mlr_memo::{DistributedStats, FaultStats, ParallelStats, StoreStats};
 use serde::{Deserialize, Serialize};
 
 /// Deadline bookkeeping across all decided jobs (a job is *decided* once it
@@ -63,6 +63,11 @@ pub struct RuntimeStats {
     /// Jobs that panicked while running (bad configurations); the worker
     /// survives and the job's handle resolves `Failed`.
     pub failed: u64,
+    /// Workers respawned in place after a panic escaped the per-job
+    /// containment. The pool's capacity never shrinks: every death is
+    /// matched by a restart, and the job that was in flight resolves
+    /// `Failed { retryable: true }` (counted in `failed` too).
+    pub worker_restarts: u64,
     /// Jobs cancelled by their submitter — removed from the queue before
     /// running, or stopped at an ADMM iteration boundary mid-run.
     pub cancelled: u64,
@@ -163,6 +168,13 @@ impl RuntimeStats {
     pub fn deadline_miss_rate(&self) -> f64 {
         self.deadline.miss_rate()
     }
+
+    /// Fault accounting of the distributed memo tier: `None` unless the
+    /// runtime was configured with both a topology and a
+    /// [`fault_plan`](crate::RuntimeConfig::fault_plan).
+    pub fn fault_stats(&self) -> Option<&FaultStats> {
+        self.distributed.as_ref()?.faults.as_ref()
+    }
 }
 
 #[cfg(test)]
@@ -177,6 +189,7 @@ mod tests {
             rejected: 2,
             completed: 8,
             failed: 0,
+            worker_restarts: 0,
             cancelled: 1,
             expired: 2,
             queued: 0,

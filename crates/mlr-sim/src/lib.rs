@@ -17,6 +17,9 @@
 //!   between compute and data movement (the pipelines of Figures 1 and 3).
 //! * [`network`] — shared-link contention for the compute↔memory-node
 //!   interconnect (Figures 15 and 16).
+//! * [`faults`] — deterministic fault injection: seeded, tick-ordered
+//!   schedules of node crashes, link degradations, and slow-stripe stalls
+//!   that the distributed memo tier replays bit-identically.
 //! * [`memory`] — tiered memory accounting: per-variable allocations on GPU
 //!   HBM / CPU DRAM / SSD / remote memory and RSS-over-time traces
 //!   (Figures 2 and 13).
@@ -30,6 +33,7 @@
 #![warn(missing_docs)]
 
 pub mod cost;
+pub mod faults;
 pub mod hardware;
 pub mod memory;
 pub mod network;
@@ -37,6 +41,7 @@ pub mod timeline;
 pub mod workload;
 
 pub use cost::CostModel;
+pub use faults::{FaultClock, FaultEvent, FaultPlan, LinkState, NodeHealth, TimedFault};
 pub use hardware::{ClusterSpec, GpuSpec, InterconnectSpec, MemoryNodeSpec, NodeSpec, SsdSpec};
 pub use memory::{MemTier, MemoryTracker};
 pub use network::SharedLink;

@@ -128,7 +128,26 @@ impl LinkQueue {
     /// Charges one message of `bytes` arriving at simulated time `arrival`
     /// and returns its total latency (queue wait + service time).
     pub fn charge(&mut self, arrival: Seconds, bytes: f64) -> Seconds {
-        let service = self.link.base_latency + bytes.max(0.0) / (self.link.capacity_gbps * 1e9);
+        self.charge_degraded(arrival, bytes, 1.0, 0.0)
+    }
+
+    /// Charges one message over a *degraded* link: capacity multiplied by
+    /// `capacity_factor` (clamped to `(0, 1]`) and `extra_latency` seconds
+    /// added to the service time — the fault-injection model of a browned
+    /// out link or a stalled stripe. With `(1.0, 0.0)` this is exactly
+    /// [`Self::charge`]. Byte accounting records the *payload* bytes, not
+    /// the inflated service time, so utilisation reflects the slowdown.
+    pub fn charge_degraded(
+        &mut self,
+        arrival: Seconds,
+        bytes: f64,
+        capacity_factor: f64,
+        extra_latency: Seconds,
+    ) -> Seconds {
+        let factor = capacity_factor.clamp(1e-3, 1.0);
+        let service = self.link.base_latency
+            + extra_latency.max(0.0)
+            + bytes.max(0.0) / (self.link.capacity_gbps * factor * 1e9);
         let start = arrival.max(self.next_free);
         self.next_free = start + service;
         self.busy += service;
@@ -262,6 +281,21 @@ mod tests {
         assert!(q.utilisation(horizon) > 0.0);
         assert!(q.utilisation(horizon) <= 1.0);
         assert_eq!(q.utilisation(0.0), 0.0);
+    }
+
+    #[test]
+    fn degraded_charge_slows_service_not_bytes() {
+        let mut q = LinkQueue::new(link());
+        let nominal = q.charge(0.0, 4096.0);
+        let mut d = LinkQueue::new(link());
+        let degraded = d.charge_degraded(0.0, 4096.0, 0.25, 5.0e-6);
+        // Quarter capacity + 5 µs extra latency must cost strictly more.
+        assert!(degraded > nominal + 5.0e-6 - 1e-12);
+        // Byte accounting records payload bytes, not inflated service.
+        assert!((d.bytes() - 4096.0).abs() < 1e-9);
+        // The nominal parameters reduce to the plain charge.
+        let mut e = LinkQueue::new(link());
+        assert_eq!(e.charge_degraded(0.0, 4096.0, 1.0, 0.0), nominal);
     }
 
     #[test]

@@ -44,10 +44,16 @@ pub enum CounterId {
     /// Chunks the norm prefilter routed straight to the exact FFT
     /// (no encode, no cache peek, no probe).
     PrefilteredChunks,
+    /// Worker threads respawned after dying to a panic that escaped the
+    /// per-job containment (the pool never shrinks).
+    WorkerRestarts,
+    /// Submissions re-attempted by the serving front-end's retry policy
+    /// after a retryable admission rejection.
+    RetryAttempts,
 }
 
 /// Number of counters in [`CounterId`].
-pub const COUNTER_COUNT: usize = 13;
+pub const COUNTER_COUNT: usize = 15;
 
 /// Stable snake_case names, indexable by `CounterId as usize`.
 pub const COUNTER_NAMES: [&str; COUNTER_COUNT] = [
@@ -64,6 +70,8 @@ pub const COUNTER_NAMES: [&str; COUNTER_COUNT] = [
     "db_hit_chunks",
     "computed_chunks",
     "prefiltered_chunks",
+    "worker_restarts",
+    "retry_attempts",
 ];
 
 /// One timed stage of the memo-hit path.
@@ -423,6 +431,14 @@ mod tests {
         assert_eq!(
             COUNTER_NAMES[CounterId::PrefilteredChunks as usize],
             "prefiltered_chunks"
+        );
+        assert_eq!(
+            COUNTER_NAMES[CounterId::WorkerRestarts as usize],
+            "worker_restarts"
+        );
+        assert_eq!(
+            COUNTER_NAMES[CounterId::RetryAttempts as usize],
+            "retry_attempts"
         );
         assert_eq!(STAGE_NAMES[StageId::Encode as usize], "encode");
         assert_eq!(STAGE_NAMES[StageId::MissFft as usize], "miss_fft");

@@ -185,6 +185,7 @@ mod tests {
             AccessKind::Miss,
             AccessKind::Evict,
             AccessKind::Expired,
+            AccessKind::Lost,
         ];
         (0..25u64)
             .map(|i| AccessRecord {
@@ -249,6 +250,7 @@ mod tests {
             AccessKind::Insert,
             AccessKind::Evict,
             AccessKind::Expired,
+            AccessKind::Lost,
         ] {
             assert_eq!(AccessKind::from_name(kind.name()), Some(kind));
         }

@@ -24,6 +24,9 @@ pub enum AccessKind {
     Evict,
     /// An expired entry reclaimed in place.
     Expired,
+    /// An entry lost with its crashed memory node (fault injection): no
+    /// link traffic, no eviction-policy involvement — it simply vanished.
+    Lost,
 }
 
 impl AccessKind {
@@ -35,6 +38,7 @@ impl AccessKind {
             AccessKind::Insert => "insert",
             AccessKind::Evict => "evict",
             AccessKind::Expired => "expired",
+            AccessKind::Lost => "lost",
         }
     }
 
@@ -46,6 +50,7 @@ impl AccessKind {
             "insert" => Some(AccessKind::Insert),
             "evict" => Some(AccessKind::Evict),
             "expired" => Some(AccessKind::Expired),
+            "lost" => Some(AccessKind::Lost),
             _ => None,
         }
     }

@@ -13,8 +13,16 @@
 //! must reproduce the sequential run bit-for-bit, hit counts included; any
 //! divergence means schedule-dependent state leaked into the read-only
 //! phase (a probe that wrote, a commit that read racing state).
+//!
+//! The final test re-runs the sweep against a fault-armed distributed
+//! store: an active [`FaultPlan`](mlr_sim::faults::FaultPlan) must not
+//! open a schedule-dependence hole (faults fire on logical ticks, and
+//! ticks advance with the ordered commit, never with thread timing).
 
 use mlr_core::{MlrConfig, MlrPipeline};
+use mlr_memo::{DistributedMemoDb, NodeTopology};
+use mlr_sim::faults::FaultPlan;
+use std::sync::Arc;
 
 fn base_config() -> MlrConfig {
     MlrConfig::quick(12, 8).with_iterations(4)
@@ -57,6 +65,71 @@ fn perturbed_schedules_commit_bit_identically() {
             assert_eq!(
                 hits, ref_hits,
                 "seed {seed:#x} at {threads} threads changed the hit counts"
+            );
+        }
+    }
+}
+
+/// Like [`run`], but against a fresh fault-armed distributed store under
+/// `plan`. Returns the reconstruction bits, the executor hit counts, and
+/// the fault footprint the store recorded.
+fn run_faulted(
+    threads: usize,
+    seed: Option<u64>,
+    plan: &FaultPlan,
+) -> (Vec<u64>, (u64, u64, u64), mlr_memo::FaultStats) {
+    const SHARDS: usize = 8;
+    let pipeline = MlrPipeline::new(base_config().with_intra_job_threads(threads));
+    let store = Arc::new(DistributedMemoDb::with_faults(
+        pipeline.build_shared_store(SHARDS),
+        NodeTopology::with_nodes(4),
+        plan.clone(),
+    ));
+    let (result, executor) = match seed {
+        Some(seed) => pipeline.run_memoized_perturbed_with_store(store.clone(), 1, seed),
+        None => pipeline.run_memoized_with_store(store.clone(), 1),
+    };
+    let total = executor.stats().total();
+    let faults = store.fault_stats().expect("plan armed").clone();
+    (
+        bits(result.reconstruction.as_slice()),
+        (total.db_hits, total.cache_hits, total.failed_memo),
+        faults,
+    )
+}
+
+#[test]
+fn perturbed_schedules_stay_deterministic_under_an_active_fault_plan() {
+    // Measure the run's logical horizon fault-free, then park node 0 in a
+    // crash window spanning the first half of the access stream — the
+    // restart purge lands mid-run, where a schedule-dependence hole would
+    // be most visible.
+    let probe = MlrPipeline::new(base_config());
+    let probe_store = probe.build_shared_store(8);
+    let _ = probe.run_memoized_with_store(probe_store.clone(), 1);
+    let horizon = probe_store.current_tick();
+    assert!(horizon > 0, "probe run never touched the store");
+    let plan = FaultPlan::new(11).crash_window(0, 1, horizon / 2);
+
+    let (reference, ref_hits, ref_faults) = run_faulted(1, None, &plan);
+    assert!(
+        ref_faults.crashes > 0 && ref_faults.restarts > 0,
+        "the crash window never fired: {ref_faults:?}"
+    );
+    for threads in [2, 4] {
+        for seed in [0x5EED_0001_u64, 0xC0FF_EE42, 0xDEAD_BEA7] {
+            let (perturbed, hits, faults) = run_faulted(threads, Some(seed), &plan);
+            assert_eq!(
+                perturbed, reference,
+                "seed {seed:#x} at {threads} threads changed the faulted reconstruction"
+            );
+            assert_eq!(
+                hits, ref_hits,
+                "seed {seed:#x} at {threads} threads changed the faulted hit counts"
+            );
+            assert_eq!(
+                faults, ref_faults,
+                "seed {seed:#x} at {threads} threads changed the fault footprint"
             );
         }
     }
